@@ -1,0 +1,50 @@
+//! Ablation bench: the §5.2.2 routing-option sweep (1 vs 2 options) at
+//! miniature scale — the unit the `ablation` binary scales up.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use iba_core::SimTime;
+use iba_experiments::fidelity::geometric_grid;
+use iba_experiments::harness::{build_ensemble, find_saturation};
+use iba_routing::RoutingConfig;
+use iba_sim::SimConfig;
+use iba_topology::IrregularConfig;
+use iba_workloads::WorkloadSpec;
+use std::hint::black_box;
+
+fn bench_option_ablation(c: &mut Criterion) {
+    let grid = geometric_grid(0.02, 0.45, 5);
+    let mut cfg = SimConfig::paper(13);
+    cfg.warmup = SimTime::from_us(15);
+    cfg.measure_window = SimTime::from_us(60);
+
+    let mut g = c.benchmark_group("ablation");
+    g.sample_size(10);
+    for &options in &[1u16, 2, 4] {
+        let member = build_ensemble(
+            IrregularConfig::paper_connected(8, 3),
+            1,
+            RoutingConfig::with_options(options),
+        )
+        .unwrap()
+        .remove(0);
+        let fraction = if options >= 2 { 1.0 } else { 0.0 };
+        g.bench_function(format!("saturation_8sw_{options}_options"), |b| {
+            b.iter(|| {
+                let sat = find_saturation(
+                    &member.topology,
+                    &member.routing,
+                    WorkloadSpec::uniform32(0.01).with_adaptive_fraction(fraction),
+                    cfg,
+                    &grid,
+                )
+                .unwrap();
+                assert!(sat > 0.0);
+                black_box(sat)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_option_ablation);
+criterion_main!(benches);

@@ -1,0 +1,129 @@
+//! Component benchmarks: the simulator's hot paths and the construction
+//! pipeline (topology generation, up*/down* + minimal routing, table
+//! compilation). These guard the measurement instrument's performance.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use iba_bench::BenchFixture;
+use iba_core::SimTime;
+use iba_routing::{FaRouting, RoutingConfig};
+use iba_sim::SimConfig;
+use iba_topology::IrregularConfig;
+use iba_workloads::WorkloadSpec;
+use std::hint::black_box;
+
+fn bench_topology_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("topology_generate");
+    for &n in &[8usize, 16, 32, 64] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                black_box(IrregularConfig::paper(n, seed).generate().unwrap())
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_routing_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fa_routing_build");
+    for &n in &[8usize, 16, 32, 64] {
+        let topo = IrregularConfig::paper(n, 1).generate().unwrap();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &topo, |b, topo| {
+            b.iter(|| black_box(FaRouting::build(topo, RoutingConfig::two_options()).unwrap()));
+        });
+    }
+    g.finish();
+}
+
+fn bench_table_lookup(c: &mut Criterion) {
+    let topo = IrregularConfig::paper(64, 1).generate().unwrap();
+    let fa = FaRouting::build(&topo, RoutingConfig::with_options(4)).unwrap();
+    let dlids: Vec<_> = topo
+        .host_ids()
+        .map(|h| fa.dlid(h, true).unwrap())
+        .collect();
+    c.bench_function("forwarding_table_lookup_adaptive", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % dlids.len();
+            black_box(fa.route(iba_core::SwitchId(0), dlids[i]).unwrap())
+        });
+    });
+}
+
+fn bench_simulation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulate_300us");
+    g.sample_size(10);
+    for &n in &[8usize, 16] {
+        let fixture = BenchFixture::paper(n, 2);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &fixture, |b, f| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let mut cfg = SimConfig::paper(seed);
+                cfg.warmup = SimTime::from_us(20);
+                cfg.measure_window = SimTime::from_us(80);
+                black_box(f.simulate(WorkloadSpec::uniform32(0.02), cfg))
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_event_queues(c: &mut Criterion) {
+    use iba_core::SimTime as T;
+    // A simulation-shaped workload: pop one event, schedule 1-2 nearby.
+    let mut g = c.benchmark_group("event_queue_hold");
+    for &n in &[1_000usize, 10_000] {
+        g.bench_with_input(BenchmarkId::new("binary_heap", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut q = iba_engine::EventQueue::new();
+                for i in 0..64u64 {
+                    q.schedule(T::from_ns(i * 97), i);
+                }
+                let mut done = 0usize;
+                while let Some((t, i)) = q.pop() {
+                    done += 1;
+                    if done < n {
+                        q.schedule(t + 128 + (i % 7) * 33, i + 1);
+                        if i % 3 == 0 {
+                            q.schedule(t + 401, i + 2);
+                        }
+                    }
+                }
+                black_box(done)
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("calendar", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut q = iba_engine::CalendarQueue::new();
+                for i in 0..64u64 {
+                    q.schedule(T::from_ns(i * 97), i);
+                }
+                let mut done = 0usize;
+                while let Some((t, i)) = q.pop() {
+                    done += 1;
+                    if done < n {
+                        q.schedule(t + 128 + (i % 7) * 33, i + 1);
+                        if i % 3 == 0 {
+                            q.schedule(t + 401, i + 2);
+                        }
+                    }
+                }
+                black_box(done)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_topology_generation,
+    bench_routing_build,
+    bench_table_lookup,
+    bench_simulation,
+    bench_event_queues
+);
+criterion_main!(benches);

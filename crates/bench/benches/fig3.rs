@@ -1,0 +1,42 @@
+//! Figure 3 regeneration bench: one latency/accepted-traffic sweep at a
+//! deterministic and a fully adaptive operating point, on one 8-switch
+//! ensemble member — the smallest unit the figure is assembled from.
+//! (`iba-experiments --bin fig3` produces the complete figure.)
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use iba_core::SimTime;
+use iba_experiments::fidelity::geometric_grid;
+use iba_experiments::harness::{build_ensemble, sweep_curve};
+use iba_routing::RoutingConfig;
+use iba_sim::SimConfig;
+use iba_topology::IrregularConfig;
+use iba_workloads::WorkloadSpec;
+use std::hint::black_box;
+
+fn bench_fig3_unit(c: &mut Criterion) {
+    let member = build_ensemble(IrregularConfig::paper(8, 5), 1, RoutingConfig::two_options())
+        .unwrap()
+        .remove(0);
+    let grid = geometric_grid(0.01, 0.45, 6);
+    let mut cfg = SimConfig::paper(3);
+    cfg.warmup = SimTime::from_us(15);
+    cfg.measure_window = SimTime::from_us(60);
+
+    let mut g = c.benchmark_group("fig3");
+    g.sample_size(10);
+    for (label, fraction) in [("deterministic", 0.0), ("fully_adaptive", 1.0)] {
+        g.bench_function(format!("sweep_8sw_{label}"), |b| {
+            b.iter(|| {
+                let spec = WorkloadSpec::uniform32(0.01).with_adaptive_fraction(fraction);
+                let curve =
+                    sweep_curve(&member.topology, &member.routing, spec, cfg, &grid).unwrap();
+                assert!(curve.saturation_throughput().unwrap() > 0.0);
+                black_box(curve)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig3_unit);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Table 1 regeneration bench: one throughput-increase factor (saturation
+//! of 100 % adaptive over deterministic) on a small ensemble — the unit
+//! cell of the table. (`iba-experiments --bin table1` produces the full
+//! matrix.)
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use iba_core::SimTime;
+use iba_experiments::fidelity::geometric_grid;
+use iba_experiments::harness::{build_ensemble, throughput_factors};
+use iba_routing::RoutingConfig;
+use iba_sim::SimConfig;
+use iba_topology::IrregularConfig;
+use iba_workloads::WorkloadSpec;
+use std::hint::black_box;
+
+fn bench_table1_cell(c: &mut Criterion) {
+    let ensemble =
+        build_ensemble(IrregularConfig::paper(8, 7), 2, RoutingConfig::two_options()).unwrap();
+    let grid = geometric_grid(0.02, 0.45, 5);
+    let mut cfg = SimConfig::paper(9);
+    cfg.warmup = SimTime::from_us(15);
+    cfg.measure_window = SimTime::from_us(60);
+
+    let mut g = c.benchmark_group("table1");
+    g.sample_size(10);
+    g.bench_function("factor_cell_8sw_uniform_32B", |b| {
+        b.iter(|| {
+            let factors = throughput_factors(
+                &ensemble,
+                WorkloadSpec::uniform32(0.01),
+                cfg,
+                &grid,
+                1.0,
+                0.0,
+            )
+            .unwrap();
+            assert!(factors.iter().all(|&f| f > 0.5));
+            black_box(factors)
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_table1_cell);
+criterion_main!(benches);

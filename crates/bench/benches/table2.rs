@@ -1,0 +1,26 @@
+//! Table 2 regeneration bench: the full static routing-option analysis
+//! (it is cheap enough to bench whole — 10 topologies per class).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use iba_experiments::table2::{run, Table2Config};
+use std::hint::black_box;
+
+fn bench_table2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2");
+    g.sample_size(10);
+    g.bench_function("paper_16_32_switches", |b| {
+        let cfg = Table2Config {
+            sizes: vec![16, 32],
+            ..Table2Config::paper(5)
+        };
+        b.iter(|| {
+            let rows = run(&cfg).unwrap();
+            assert_eq!(rows.len(), 2 * 2 * 3);
+            black_box(rows)
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! # iba-bench
+//!
+//! Criterion benchmarks for the iba-far workspace. Two families:
+//!
+//! * **component benches** — the simulator's hot paths (events/second on
+//!   a fixed workload) and the routing/topology construction pipeline,
+//!   guarding against performance regressions of the measurement
+//!   instrument itself;
+//! * **experiment benches** — one per paper artifact (`fig3`, `table1`,
+//!   `table2`, ablations), running tightly scaled-down versions of the
+//!   real experiment code so the full regeneration pipeline stays
+//!   exercised and timed by `cargo bench`.
+//!
+//! The *results* of the experiments (the numbers the paper reports) come
+//! from the `iba-experiments` binaries; these benches measure that the
+//! machinery runs and how fast.
+
+#![warn(missing_docs)]
+
+use iba_routing::{FaRouting, RoutingConfig};
+use iba_sim::{Network, RunResult, SimConfig};
+use iba_topology::{IrregularConfig, Topology};
+use iba_workloads::WorkloadSpec;
+
+/// A prepared (topology, routing) pair for simulation benches.
+pub struct BenchFixture {
+    /// The wired topology.
+    pub topology: Topology,
+    /// Compiled FA routing.
+    pub routing: FaRouting,
+}
+
+impl BenchFixture {
+    /// Build the standard fixture: an irregular paper-style network.
+    pub fn paper(switches: usize, seed: u64) -> BenchFixture {
+        let topology = IrregularConfig::paper(switches, seed)
+            .generate()
+            .expect("valid paper configuration");
+        let routing = FaRouting::build(&topology, RoutingConfig::two_options())
+            .expect("routable topology");
+        BenchFixture { topology, routing }
+    }
+
+    /// Run one simulation on the fixture.
+    pub fn simulate(&self, spec: WorkloadSpec, cfg: SimConfig) -> RunResult {
+        Network::new(&self.topology, &self.routing, spec, cfg)
+            .expect("consistent setup")
+            .run()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixture_builds_and_simulates() {
+        let f = BenchFixture::paper(8, 1);
+        let r = f.simulate(WorkloadSpec::uniform32(0.01), SimConfig::test(1));
+        assert!(r.delivered > 0);
+    }
+}

@@ -1,0 +1,41 @@
+//! # iba-core
+//!
+//! Core vocabulary types shared by every crate of the `iba-far` workspace,
+//! the reproduction of *"Supporting Fully Adaptive Routing in InfiniBand
+//! Networks"* (Martínez, Flich, Robles, López, Duato — IPPS 2003).
+//!
+//! The crate is deliberately dependency-light: it defines
+//!
+//! * identifiers for switches, hosts and ports ([`ids`]),
+//! * IBA local identifiers and the LMC virtual-addressing scheme that the
+//!   paper's mechanism is built on ([`lid`]),
+//! * packets and their routing mode ([`packet`]),
+//! * the 64-byte credit units of IBA's per-VL flow control ([`credits`]),
+//! * virtual lanes and service levels ([`vl`]),
+//! * simulated time in nanoseconds ([`time`]),
+//! * the physical-layer constants of the paper's evaluation section
+//!   ([`phys`]),
+//! * shared error types ([`error`]).
+//!
+//! Everything is plain data with value semantics; the behavioural models
+//! live in `iba-topology`, `iba-routing` and `iba-sim`.
+
+#![warn(missing_docs)]
+
+pub mod credits;
+pub mod error;
+pub mod ids;
+pub mod lid;
+pub mod packet;
+pub mod phys;
+pub mod time;
+pub mod vl;
+
+pub use credits::{Credits, CREDIT_BYTES};
+pub use error::IbaError;
+pub use ids::{HostId, NodeRef, PortIndex, SwitchId};
+pub use lid::{Lid, LidMap, Lmc};
+pub use packet::{Packet, PacketId, RoutingMode};
+pub use phys::PhysParams;
+pub use time::SimTime;
+pub use vl::{ServiceLevel, VirtualLane};

@@ -1,0 +1,139 @@
+//! Packets.
+//!
+//! The simulator works at packet granularity (virtual cut-through forwards
+//! a packet as one unit once its header has been routed and the downstream
+//! buffer can hold the *whole* packet). A [`Packet`] carries exactly the
+//! header fields the paper's mechanism reads — the DLID (whose low bit
+//! selects deterministic vs adaptive routing), the SL, and the size — plus
+//! bookkeeping used for statistics.
+
+use crate::ids::HostId;
+use crate::lid::Lid;
+use crate::time::SimTime;
+use crate::vl::ServiceLevel;
+use crate::Credits;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Globally unique packet identifier (injection order).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PacketId(pub u64);
+
+/// How the source asked the fabric to route this packet (§4.2).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum RoutingMode {
+    /// Only the escape/up\*/down\* option is returned at each switch;
+    /// in-order delivery is guaranteed.
+    Deterministic,
+    /// All routing options are returned at each switch; the packet may be
+    /// delivered out of order.
+    Adaptive,
+}
+
+impl RoutingMode {
+    /// Whether the mode permits adaptive options.
+    #[inline]
+    pub fn is_adaptive(self) -> bool {
+        matches!(self, RoutingMode::Adaptive)
+    }
+}
+
+/// A packet in flight.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Packet {
+    /// Unique id, assigned at generation.
+    pub id: PacketId,
+    /// Generating host.
+    pub src: HostId,
+    /// Destination host (the physical port the DLID's range belongs to).
+    pub dst: HostId,
+    /// Destination LID actually written in the header; its low bit encodes
+    /// the routing mode.
+    pub dlid: Lid,
+    /// Service level.
+    pub sl: ServiceLevel,
+    /// Total size in bytes (headers included; the paper's 32 B and 256 B
+    /// figures are total packet sizes).
+    pub size_bytes: u32,
+    /// Time the packet was generated at the source host (latency is
+    /// measured from here, per the paper's footnote 4).
+    pub generated_at: SimTime,
+    /// Per-source FIFO sequence number, used to check in-order delivery of
+    /// deterministic traffic.
+    pub seq: u64,
+    /// Number of switch hops taken so far (updated by the simulator).
+    pub hops: u32,
+    /// Number of times the packet used an escape queue (statistics).
+    pub escape_uses: u32,
+}
+
+impl Packet {
+    /// The routing mode the DLID encodes.
+    #[inline]
+    pub fn mode(&self) -> RoutingMode {
+        if self.dlid.requests_adaptive() {
+            RoutingMode::Adaptive
+        } else {
+            RoutingMode::Deterministic
+        }
+    }
+
+    /// Buffer space the packet occupies, in whole credits.
+    #[inline]
+    pub fn credits(&self) -> Credits {
+        Credits::for_bytes(self.size_bytes)
+    }
+}
+
+impl fmt::Debug for PacketId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pkt#{}", self.0)
+    }
+}
+
+impl fmt::Display for PacketId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pkt#{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lid::LidMap;
+
+    fn mk(dlid: Lid, size: u32) -> Packet {
+        Packet {
+            id: PacketId(0),
+            src: HostId(0),
+            dst: HostId(1),
+            dlid,
+            sl: ServiceLevel(0),
+            size_bytes: size,
+            generated_at: SimTime::ZERO,
+            seq: 0,
+            hops: 0,
+            escape_uses: 0,
+        }
+    }
+
+    #[test]
+    fn mode_follows_dlid_lsb() {
+        let map = LidMap::for_options(4, 2).unwrap();
+        let det = mk(map.dlid(HostId(1), false).unwrap(), 32);
+        let ada = mk(map.dlid(HostId(1), true).unwrap(), 32);
+        assert_eq!(det.mode(), RoutingMode::Deterministic);
+        assert_eq!(ada.mode(), RoutingMode::Adaptive);
+        assert!(!det.mode().is_adaptive());
+        assert!(ada.mode().is_adaptive());
+    }
+
+    #[test]
+    fn credit_footprint() {
+        let map = LidMap::for_options(4, 2).unwrap();
+        let lid = map.dlid(HostId(1), false).unwrap();
+        assert_eq!(mk(lid, 32).credits(), Credits(1));
+        assert_eq!(mk(lid, 256).credits(), Credits(4));
+        assert_eq!(mk(lid, 257).credits(), Credits(5));
+    }
+}

@@ -1,0 +1,348 @@
+//! A calendar queue — R. Brown's classic O(1) priority queue for
+//! discrete-event simulation (CACM 1988).
+//!
+//! Events are hashed into `buckets` of `width` nanoseconds each, like
+//! days on a wall calendar; one lap over all buckets is a *year*. Pop
+//! scans from the current day forward, only considering events of the
+//! current year, so with the width tuned to the average inter-event gap
+//! each operation touches O(1) events. The queue resizes itself (doubling
+//! or halving the day count and re-estimating the width from a sample)
+//! when the population outgrows the calendar.
+//!
+//! Interface-compatible with [`crate::EventQueue`] — including the strict
+//! FIFO tie-break for simultaneous events that keeps simulations
+//! deterministic — and verified equivalent to it by property tests.
+//!
+//! **Measured verdict** (`cargo bench -p iba-bench`, `event_queue_hold`):
+//! on the simulator's actual access pattern — a small pending set (tens
+//! to hundreds of events) with tight time locality — the binary heap is
+//! ~3× faster (53 µs vs 171 µs per 1 000-event hold cycle). The calendar
+//! queue's constant factors (per-pop day scans, resampling resizes) only
+//! amortize on much larger pending sets than credit-gated VCT ever
+//! produces. The simulator therefore keeps [`crate::EventQueue`]; this
+//! implementation stays as a verified, measured alternative.
+
+use iba_core::SimTime;
+
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+/// A calendar queue over events of type `E`.
+pub struct CalendarQueue<E> {
+    /// `buckets.len()` is always a power of two.
+    buckets: Vec<Vec<Entry<E>>>,
+    /// Bucket (day) width in nanoseconds.
+    width: u64,
+    /// Index of the day containing `now`.
+    cur_bucket: usize,
+    /// Upper bound (exclusive) of the current day, in ns.
+    cur_day_end: u64,
+    len: usize,
+    next_seq: u64,
+    now: SimTime,
+    popped: u64,
+}
+
+impl<E> CalendarQueue<E> {
+    /// An empty queue starting at time zero.
+    pub fn new() -> Self {
+        Self::with_layout(16, 1_000)
+    }
+
+    fn with_layout(nbuckets: usize, width: u64) -> Self {
+        debug_assert!(nbuckets.is_power_of_two());
+        CalendarQueue {
+            buckets: (0..nbuckets).map(|_| Vec::new()).collect(),
+            width: width.max(1),
+            cur_bucket: 0,
+            cur_day_end: width.max(1),
+            len: 0,
+            next_seq: 0,
+            now: SimTime::ZERO,
+            popped: 0,
+        }
+    }
+
+    /// Current simulated time (timestamp of the last popped event).
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending events.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no events are pending.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Total number of events popped.
+    #[inline]
+    pub fn events_processed(&self) -> u64 {
+        self.popped
+    }
+
+    #[inline]
+    fn bucket_of(&self, t: SimTime) -> usize {
+        ((t.as_ns() / self.width) as usize) & (self.buckets.len() - 1)
+    }
+
+    /// Schedule `event` at absolute time `at` (must not precede `now`).
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        debug_assert!(at >= self.now, "event scheduled in the past");
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let b = self.bucket_of(at);
+        self.buckets[b].push(Entry {
+            time: at,
+            seq,
+            event,
+        });
+        self.len += 1;
+        if self.len > 2 * self.buckets.len() {
+            self.resize(self.buckets.len() * 2);
+        }
+    }
+
+    /// Schedule `delay_ns` from now.
+    pub fn schedule_in(&mut self, delay_ns: u64, event: E) {
+        self.schedule(self.now + delay_ns, event);
+    }
+
+    /// Pop the earliest event (FIFO among equal timestamps).
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        if self.len == 0 {
+            return None;
+        }
+        loop {
+            // Scan the current day for its earliest due entry.
+            let day_end = self.cur_day_end;
+            let bucket = &self.buckets[self.cur_bucket];
+            let mut best: Option<(usize, SimTime, u64)> = None;
+            for (i, e) in bucket.iter().enumerate() {
+                if e.time.as_ns() < day_end {
+                    let key = (e.time, e.seq);
+                    if best.is_none_or(|(_, bt, bs)| key < (bt, bs)) {
+                        best = Some((i, e.time, e.seq));
+                    }
+                }
+            }
+            if let Some((i, _, _)) = best {
+                let entry = self.buckets[self.cur_bucket].swap_remove(i);
+                self.len -= 1;
+                debug_assert!(entry.time >= self.now);
+                self.now = entry.time;
+                self.popped += 1;
+                if self.len < self.buckets.len() / 2 && self.buckets.len() > 16 {
+                    self.resize(self.buckets.len() / 2);
+                }
+                return Some((entry.time, entry.event));
+            }
+            // Advance to the next day; after a whole empty year, jump
+            // directly to the earliest pending event (Brown's long-gap
+            // escape).
+            self.cur_bucket = (self.cur_bucket + 1) & (self.buckets.len() - 1);
+            self.cur_day_end += self.width;
+            if self.cur_bucket == 0 {
+                // Completed a lap: check for a sparse calendar.
+                let min_time = self
+                    .buckets
+                    .iter()
+                    .flatten()
+                    .map(|e| e.time)
+                    .min()
+                    .expect("len > 0");
+                if min_time.as_ns() >= self.cur_day_end + self.width * self.buckets.len() as u64 {
+                    // Far in the future: re-anchor the calendar there.
+                    let b = self.bucket_of(min_time);
+                    self.cur_bucket = b;
+                    self.cur_day_end = (min_time.as_ns() / self.width + 1) * self.width;
+                }
+            }
+        }
+    }
+
+    /// Pop only if the earliest event is at or before `horizon`.
+    pub fn pop_until(&mut self, horizon: SimTime) -> Option<(SimTime, E)> {
+        // Cheap check: peek by popping and re-inserting would break FIFO;
+        // instead find the min first.
+        let min = self
+            .buckets
+            .iter()
+            .flatten()
+            .map(|e| (e.time, e.seq))
+            .min()?;
+        if min.0 <= horizon {
+            self.pop()
+        } else {
+            None
+        }
+    }
+
+    /// Rebuild with `nbuckets` days, re-estimating the day width from the
+    /// average gap of a sample of pending events.
+    fn resize(&mut self, nbuckets: usize) {
+        let mut entries: Vec<Entry<E>> = self.buckets.drain(..).flatten().collect();
+        // Width estimate: average inter-event gap over a sorted sample.
+        let mut times: Vec<u64> = entries.iter().take(64).map(|e| e.time.as_ns()).collect();
+        times.sort_unstable();
+        let width = if times.len() >= 2 {
+            let span = times[times.len() - 1].saturating_sub(times[0]);
+            (span / (times.len() as u64 - 1)).clamp(1, u64::MAX / (2 * nbuckets as u64 + 2))
+        } else {
+            self.width
+        };
+        let mut fresh = CalendarQueue::with_layout(nbuckets, width.max(1));
+        fresh.now = self.now;
+        fresh.next_seq = self.next_seq;
+        fresh.popped = self.popped;
+        // Re-anchor the day cursor at `now`.
+        fresh.cur_bucket = fresh.bucket_of(self.now);
+        fresh.cur_day_end = (self.now.as_ns() / fresh.width + 1) * fresh.width;
+        for e in entries.drain(..) {
+            let b = fresh.bucket_of(e.time);
+            fresh.buckets[b].push(e);
+            fresh.len += 1;
+        }
+        *self = fresh;
+    }
+}
+
+impl<E> Default for CalendarQueue<E> {
+    fn default() -> Self {
+        CalendarQueue::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EventQueue;
+    use proptest::prelude::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = CalendarQueue::new();
+        q.schedule(SimTime::from_ns(5_000), "c");
+        q.schedule(SimTime::from_ns(10), "a");
+        q.schedule(SimTime::from_ns(1_200), "b");
+        assert_eq!(q.pop().unwrap().1, "a");
+        assert_eq!(q.pop().unwrap().1, "b");
+        assert_eq!(q.pop().unwrap().1, "c");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn fifo_for_equal_times() {
+        let mut q = CalendarQueue::new();
+        for i in 0..200 {
+            q.schedule(SimTime::from_ns(42), i);
+        }
+        for i in 0..200 {
+            assert_eq!(q.pop().unwrap().1, i);
+        }
+    }
+
+    #[test]
+    fn long_gaps_are_skipped() {
+        let mut q = CalendarQueue::new();
+        q.schedule(SimTime::from_ns(1), "near");
+        q.schedule(SimTime::from_ms(500), "far");
+        assert_eq!(q.pop().unwrap().1, "near");
+        assert_eq!(q.pop().unwrap().1, "far");
+        assert_eq!(q.now(), SimTime::from_ms(500));
+    }
+
+    #[test]
+    fn grows_and_shrinks_through_resize() {
+        let mut q = CalendarQueue::new();
+        for i in 0..10_000u64 {
+            q.schedule(SimTime::from_ns(i * 7 % 5_000), ());
+        }
+        assert_eq!(q.len(), 10_000);
+        let mut last = SimTime::ZERO;
+        for _ in 0..10_000 {
+            let (t, _) = q.pop().unwrap();
+            assert!(t >= last);
+            last = t;
+        }
+        assert!(q.is_empty());
+        assert_eq!(q.events_processed(), 10_000);
+    }
+
+    #[test]
+    fn pop_until_respects_horizon() {
+        let mut q = CalendarQueue::new();
+        q.schedule(SimTime::from_ns(10), "early");
+        q.schedule(SimTime::from_ns(100_000), "late");
+        assert_eq!(q.pop_until(SimTime::from_ns(50)).unwrap().1, "early");
+        assert!(q.pop_until(SimTime::from_ns(50)).is_none());
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn interleaved_schedule_pop() {
+        // The simulation access pattern: pop one, schedule a few nearby.
+        let mut q = CalendarQueue::new();
+        q.schedule(SimTime::from_ns(100), 0u64);
+        let mut count = 1u64;
+        let mut popped = 0;
+        while let Some((t, _)) = q.pop() {
+            popped += 1;
+            if count < 2_000 {
+                q.schedule(t + 128, count);
+                count += 1;
+                if count.is_multiple_of(3) {
+                    q.schedule(t + 100, count);
+                    count += 1;
+                }
+            }
+        }
+        assert_eq!(popped, count);
+    }
+
+    proptest! {
+        /// The calendar queue pops exactly the same sequence as the
+        /// reference binary-heap queue, for any interleaving of schedules
+        /// and pops.
+        #[test]
+        fn prop_equivalent_to_event_queue(
+            ops in proptest::collection::vec((0u64..200_000, any::<bool>()), 1..300)
+        ) {
+            let mut cal = CalendarQueue::new();
+            let mut heap = EventQueue::new();
+            let mut idx = 0u32;
+            for (t, do_pop) in ops {
+                if do_pop {
+                    let a = cal.pop();
+                    let b = heap.pop();
+                    prop_assert_eq!(a, b);
+                } else {
+                    // Keep times valid (>= now).
+                    let at = SimTime::from_ns(heap.now().as_ns() + t);
+                    cal.schedule(at, idx);
+                    heap.schedule(at, idx);
+                    idx += 1;
+                }
+            }
+            // Drain both.
+            loop {
+                let a = cal.pop();
+                let b = heap.pop();
+                prop_assert_eq!(a.is_some(), b.is_some());
+                match (a, b) {
+                    (Some(x), Some(y)) => prop_assert_eq!(x, y),
+                    _ => break,
+                }
+            }
+        }
+    }
+}

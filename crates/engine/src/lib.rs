@@ -1,0 +1,33 @@
+//! # iba-engine
+//!
+//! A small, deterministic discrete-event simulation kernel.
+//!
+//! The paper evaluates its mechanism with a register-transfer-level
+//! simulator; this crate is the substrate of our reimplementation:
+//!
+//! * [`queue::EventQueue`] — a time-ordered event queue (binary heap)
+//!   with strict FIFO tie-breaking, so two runs with the same seed replay
+//!   the exact same event order;
+//! * [`calendar::CalendarQueue`] — R. Brown's O(1) calendar queue with
+//!   the same interface and tie-breaking, property-tested equivalent and
+//!   benchmarked against the heap;
+//! * [`rng::StreamRng`] — seeded random-number streams with cheap,
+//!   collision-resistant substream derivation, so each host/component can
+//!   own an independent deterministic stream;
+//! * [`rng`] also carries the handful of distributions the workloads need
+//!   (exponential inter-arrival times for Poisson-like injection), built on
+//!   the sanctioned `rand` crate only.
+//!
+//! The kernel is intentionally *not* generic over an "agent" framework:
+//! the network model in `iba-sim` pops events and dispatches on its own
+//! enum, which keeps the hot loop monomorphic and allocation-free.
+
+#![warn(missing_docs)]
+
+pub mod calendar;
+pub mod queue;
+pub mod rng;
+
+pub use calendar::CalendarQueue;
+pub use queue::EventQueue;
+pub use rng::StreamRng;

@@ -1,0 +1,262 @@
+//! Deterministic time-ordered event queue.
+//!
+//! A thin wrapper over [`std::collections::BinaryHeap`] keyed on
+//! `(SimTime, sequence)`. The monotonically increasing sequence number
+//! guarantees FIFO order among events scheduled for the same instant,
+//! which makes simulation runs bit-reproducible for a given seed — a
+//! property the paper's min/max/avg-over-topologies methodology depends
+//! on, and that the test suite exploits heavily.
+
+use iba_core::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// One scheduled entry (internal).
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert to pop the earliest event, and
+        // among equal times the lowest sequence number (FIFO).
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic discrete-event queue.
+///
+/// Events of type `E` are scheduled at absolute [`SimTime`]s and popped in
+/// `(time, insertion order)` order. Scheduling in the past is a logic bug
+/// and panics in debug builds.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    now: SimTime,
+    popped: u64,
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue at time zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+            popped: 0,
+        }
+    }
+
+    /// An empty queue with pre-reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(cap),
+            ..EventQueue::new()
+        }
+    }
+
+    /// Current simulated time: the timestamp of the last popped event.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events waiting.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are waiting.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events popped so far.
+    #[inline]
+    pub fn events_processed(&self) -> u64 {
+        self.popped
+    }
+
+    /// Schedule `event` at absolute time `at`.
+    ///
+    /// `at` must not precede the current time (checked in debug builds).
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        debug_assert!(
+            at >= self.now,
+            "event scheduled in the past: {at:?} < now {:?}",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry {
+            time: at,
+            seq,
+            event,
+        });
+    }
+
+    /// Schedule `event` `delay_ns` nanoseconds from now.
+    pub fn schedule_in(&mut self, delay_ns: u64, event: E) {
+        self.schedule(self.now + delay_ns, event);
+    }
+
+    /// Timestamp of the next event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Pop the earliest event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let entry = self.heap.pop()?;
+        debug_assert!(entry.time >= self.now, "time went backwards");
+        self.now = entry.time;
+        self.popped += 1;
+        Some((entry.time, entry.event))
+    }
+
+    /// Pop the earliest event only if it is scheduled at or before
+    /// `horizon`; otherwise leave the queue untouched. This is how the
+    /// simulator stops at the end of the measurement window without
+    /// draining the whole queue.
+    pub fn pop_until(&mut self, horizon: SimTime) -> Option<(SimTime, E)> {
+        if self.peek_time()? <= horizon {
+            self.pop()
+        } else {
+            None
+        }
+    }
+
+    /// Drop every pending event (the clock is preserved).
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_ns(30), "c");
+        q.schedule(SimTime::from_ns(10), "a");
+        q.schedule(SimTime::from_ns(20), "b");
+        assert_eq!(q.pop().unwrap().1, "a");
+        assert_eq!(q.pop().unwrap().1, "b");
+        assert_eq!(q.pop().unwrap().1, "c");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn simultaneous_events_pop_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(SimTime::from_ns(5), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop().unwrap().1, i);
+        }
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_ns(7), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_ns(7));
+        q.schedule_in(3, ());
+        assert_eq!(q.peek_time(), Some(SimTime::from_ns(10)));
+    }
+
+    #[test]
+    fn pop_until_respects_horizon() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_ns(10), "early");
+        q.schedule(SimTime::from_ns(100), "late");
+        assert_eq!(q.pop_until(SimTime::from_ns(50)).unwrap().1, "early");
+        assert!(q.pop_until(SimTime::from_ns(50)).is_none());
+        assert_eq!(q.len(), 1); // the late event is still there
+        assert_eq!(q.pop_until(SimTime::from_ns(100)).unwrap().1, "late");
+    }
+
+    #[test]
+    fn counts_processed_events() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_ns(1), ());
+        q.schedule(SimTime::from_ns(2), ());
+        q.pop();
+        q.pop();
+        assert_eq!(q.events_processed(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled in the past")]
+    #[cfg(debug_assertions)]
+    fn scheduling_in_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_ns(10), ());
+        q.pop();
+        q.schedule(SimTime::from_ns(5), ());
+    }
+
+    #[test]
+    fn clear_preserves_clock() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_ns(4), ());
+        q.pop();
+        q.schedule(SimTime::from_ns(9), ());
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.now(), SimTime::from_ns(4));
+    }
+
+    proptest! {
+        /// Whatever the insertion order, pops come out sorted by
+        /// (time, insertion index).
+        #[test]
+        fn prop_pop_order_is_stable_sort(times in proptest::collection::vec(0u64..1000, 1..200)) {
+            let mut q = EventQueue::new();
+            for (i, &t) in times.iter().enumerate() {
+                q.schedule(SimTime::from_ns(t), i);
+            }
+            let mut expected: Vec<(u64, usize)> =
+                times.iter().copied().zip(0..times.len()).collect();
+            expected.sort();
+            let mut got = Vec::new();
+            while let Some((t, i)) = q.pop() {
+                got.push((t.as_ns(), i));
+            }
+            prop_assert_eq!(got, expected);
+        }
+    }
+}

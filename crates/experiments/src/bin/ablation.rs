@@ -1,0 +1,146 @@
+//! Design-choice ablations (see DESIGN.md §6 and the paper's §4.3–§5.2.2).
+//!
+//! ```text
+//! cargo run --release -p iba-experiments --bin ablation -- <which> \
+//!     [--size 16] [--fidelity quick|full] [--seed 100]
+//! # which ∈ options | selection | order | buffer | escapehead | mixed | source | all
+//! ```
+
+use iba_experiments::ablation;
+use iba_experiments::cli::Args;
+use iba_experiments::Fidelity;
+
+fn main() {
+    if let Err(e) = real_main() {
+        eprintln!("ablation: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn real_main() -> Result<(), String> {
+    let args = Args::from_env()?;
+    let which = args
+        .positional
+        .first()
+        .map(String::as_str)
+        .unwrap_or("all");
+    let fidelity = Fidelity::parse(args.get("fidelity").unwrap_or("quick"))
+        .ok_or("--fidelity must be quick or full")?;
+    let size = args.get_or("size", 16usize)?;
+    let seed = args.get_or("seed", 100u64)?;
+    let err = |e: iba_core::IbaError| e.to_string();
+
+    let run_options = || -> Result<(), String> {
+        let rows =
+            ablation::options_sweep(size, &[1, 2, 4], fidelity, seed).map_err(err)?;
+        println!(
+            "{}",
+            ablation::render(
+                &format!("routing options (§5.2.2), {size} switches, 6 links"),
+                &rows
+            )
+        );
+        if let (Some(base), Some(two), Some(four)) = (
+            rows.first().map(|r| r.saturation.avg()),
+            rows.get(1).map(|r| r.saturation.avg()),
+            rows.get(2).map(|r| r.saturation.avg()),
+        ) {
+            let share = (two - base) / (four - base).max(f64::EPSILON);
+            println!(
+                "2 options capture {:.0}% of the 4-option improvement (paper: ~90%)\n",
+                share * 100.0
+            );
+        }
+        Ok(())
+    };
+    let run_selection = || -> Result<(), String> {
+        let rows = ablation::selection_sweep(size, fidelity, seed).map_err(err)?;
+        println!(
+            "{}",
+            ablation::render(&format!("output selection (§4.3), {size} switches"), &rows)
+        );
+        Ok(())
+    };
+    let run_order = || -> Result<(), String> {
+        let rows = ablation::order_sweep(size, fidelity, seed).map_err(err)?;
+        println!(
+            "{}",
+            ablation::render(
+                &format!("in-order guard (§4.4), {size} switches, 50% adaptive"),
+                &rows
+            )
+        );
+        Ok(())
+    };
+    let run_buffer = || -> Result<(), String> {
+        let rows =
+            ablation::buffer_sweep(size, &[8, 16, 32, 64], fidelity, seed).map_err(err)?;
+        println!(
+            "{}",
+            ablation::render(&format!("VL buffer size, {size} switches"), &rows)
+        );
+        Ok(())
+    };
+    let run_source = || -> Result<(), String> {
+        let rows = ablation::source_multipath_sweep(size, fidelity, seed).map_err(err)?;
+        println!(
+            "{}",
+            ablation::render(
+                &format!("source multipath vs switch adaptivity (§1), {size} switches"),
+                &rows
+            )
+        );
+        Ok(())
+    };
+    let run_mixed = || -> Result<(), String> {
+        let rows = ablation::mixed_fabric_sweep(
+            size,
+            &[0.0, 0.25, 0.5, 0.75, 1.0],
+            fidelity,
+            seed,
+        )
+        .map_err(err)?;
+        println!(
+            "{}",
+            ablation::render(
+                &format!("mixed fabric (§4.2), {size} switches, 100% adaptive traffic"),
+                &rows
+            )
+        );
+        Ok(())
+    };
+    let run_escapehead = || -> Result<(), String> {
+        let rows = ablation::escape_head_sweep(size, fidelity, seed).map_err(err)?;
+        println!(
+            "{}",
+            ablation::render(
+                &format!("escape-head adaptivity, {size} switches"),
+                &rows
+            )
+        );
+        Ok(())
+    };
+
+    match which {
+        "options" => run_options(),
+        "selection" => run_selection(),
+        "order" => run_order(),
+        "buffer" => run_buffer(),
+        "escapehead" => run_escapehead(),
+        "mixed" => run_mixed(),
+        "source" => run_source(),
+        "all" => {
+            run_options()?;
+            run_selection()?;
+            run_order()?;
+            run_buffer()?;
+            run_escapehead()?;
+            run_mixed()?;
+            run_source()
+        }
+        other => Err(format!(
+            "unknown ablation {other:?} \
+             (options|selection|order|buffer|escapehead|mixed|source|all)"
+        )),
+    }
+}

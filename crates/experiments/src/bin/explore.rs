@@ -1,0 +1,93 @@
+//! Ad-hoc single simulation runs for exploration and debugging.
+//!
+//! ```text
+//! cargo run --release -p iba-experiments --bin explore -- \
+//!     [--switches 16] [--links 4] [--hosts 4] [--topo-seed 100] \
+//!     [--options 2] [--pattern uniform|bitrev|hotspot-10|...] \
+//!     [--packet 32] [--adaptive 1.0] [--rate 0.01] [--seed 1]
+//! ```
+//!
+//! `--rate` is the per-host injection rate in bytes/ns. Prints the full
+//! [`iba_sim::RunResult`] plus topology and routing summaries.
+
+use iba_experiments::cli::Args;
+use iba_experiments::harness::run_point;
+use iba_routing::{FaRouting, OptionDistribution, PathLengthStats, RoutingConfig};
+use iba_topology::{IrregularConfig, TopologyMetrics};
+use iba_workloads::{InjectionProcess, TrafficPattern, WorkloadSpec};
+
+fn main() {
+    if let Err(e) = real_main() {
+        eprintln!("explore: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn real_main() -> Result<(), String> {
+    let args = Args::from_env()?;
+    let topo_cfg = IrregularConfig {
+        switches: args.get_or("switches", 16usize)?,
+        inter_switch_links: args.get_or("links", 4usize)?,
+        hosts_per_switch: args.get_or("hosts", 4usize)?,
+        seed: args.get_or("topo-seed", 100u64)?,
+    };
+    let topo = topo_cfg.generate().map_err(|e| e.to_string())?;
+    println!("topology: {}", TopologyMetrics::compute(&topo));
+
+    let options = args.get_or("options", 2u16)?;
+    let routing =
+        FaRouting::build(&topo, RoutingConfig::with_options(options)).map_err(|e| e.to_string())?;
+    let plens = PathLengthStats::compute(&topo, routing.minimal(), routing.updown())
+        .map_err(|e| e.to_string())?;
+    println!(
+        "routing: {options} options, root {}, avg minimal {:.2} hops, avg up*/down* {:.2} hops \
+         ({:.0}% of pairs non-minimal)",
+        routing.updown().root(),
+        plens.avg_minimal,
+        plens.avg_updown,
+        plens.nonminimal_fraction * 100.0
+    );
+    let dist = OptionDistribution::compute(&topo, routing.minimal(), routing.updown(), 4, false)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "options per (switch, destination): {:?} % for 1..4 options",
+        dist.percent.iter().map(|p| (p * 100.0).round() / 100.0).collect::<Vec<_>>()
+    );
+
+    let pattern = match args.get("pattern").unwrap_or("uniform") {
+        "uniform" => TrafficPattern::Uniform,
+        "bitrev" | "bit-reversal" => TrafficPattern::BitReversal,
+        "transpose" => TrafficPattern::Transpose,
+        "complement" => TrafficPattern::Complement,
+        "permutation" => TrafficPattern::Permutation,
+        s => s
+            .strip_prefix("hotspot-")
+            .and_then(|p| p.parse().ok())
+            .map(TrafficPattern::hotspot_percent)
+            .ok_or_else(|| format!("unknown pattern {s:?}"))?,
+    };
+    let spec = WorkloadSpec {
+        pattern,
+        packet_bytes: args.get_or("packet", 32u32)?,
+        adaptive_fraction: args.get_or("adaptive", 1.0f64)?,
+        injection_rate: args.get_or("rate", 0.01f64)?,
+        process: InjectionProcess::Poisson,
+        service_levels: args.get_or("sls", 1u8)?,
+    };
+    let cfg = iba_sim::SimConfig::paper(args.get_or("seed", 1u64)?);
+    let r = run_point(&topo, &routing, spec, cfg).map_err(|e| e.to_string())?;
+    println!(
+        "\nrun: {} generated, {} delivered, avg latency {:.0} ns (max {}), \
+         accepted {:.5} B/ns/switch",
+        r.generated, r.delivered, r.avg_latency_ns, r.max_latency_ns,
+        r.accepted_bytes_per_ns_per_switch
+    );
+    println!(
+        "     {:.2} avg hops, {:.1}% escape forwards, {} order violations, {} events",
+        r.avg_hops,
+        r.escape_fraction() * 100.0,
+        r.order_violations,
+        r.events
+    );
+    Ok(())
+}

@@ -1,0 +1,103 @@
+//! Regenerate Figure 3 (a–d): average packet latency vs accepted traffic
+//! for FA routing at 0/25/50/75/100 % adaptive traffic.
+//!
+//! ```text
+//! cargo run --release -p iba-experiments --bin fig3 -- \
+//!     [--fidelity quick|full] [--sizes 8,16,32,64] [--seed 100] [--csv out.csv] \
+//!     [--gnuplot dir]
+//! ```
+//!
+//! `--gnuplot dir` writes one `.dat` series file per (size, fraction)
+//! plus a ready-to-run `fig3.gp` script that renders the paper-style
+//! latency/accepted-traffic plots (`gnuplot fig3.gp` → `fig3_<n>sw.png`).
+
+use iba_experiments::cli::Args;
+use iba_experiments::fig3::{render_size, run, Fig3Config};
+use iba_experiments::Fidelity;
+use iba_stats::csv_table;
+
+fn main() {
+    if let Err(e) = real_main() {
+        eprintln!("fig3: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn real_main() -> Result<(), String> {
+    let args = Args::from_env()?;
+    let fidelity = Fidelity::parse(args.get("fidelity").unwrap_or("quick"))
+        .ok_or("--fidelity must be quick or full")?;
+    let cfg = Fig3Config {
+        sizes: args.get_list_or("sizes", &[8usize, 16, 32, 64])?,
+        fractions: args.get_list_or("fractions", &[0.0f64, 0.25, 0.5, 0.75, 1.0])?,
+        fidelity,
+        seed: args.get_or("seed", 100u64)?,
+    };
+    eprintln!(
+        "fig3: {:?} fidelity, sizes {:?}, {} topologies each",
+        fidelity,
+        cfg.sizes,
+        fidelity.topologies()
+    );
+    let results = run(&cfg).map_err(|e| e.to_string())?;
+    for r in &results {
+        println!("{}", render_size(r));
+    }
+    if let Some(dir) = args.get("gnuplot") {
+        std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+        let mut script = String::from(concat!(
+            "# Figure 3 reproduction — run `gnuplot fig3.gp`\n",
+            "set terminal pngcairo size 900,600\n",
+            "set xlabel 'Accepted traffic (bytes/ns/switch)'\n",
+            "set ylabel 'Average packet latency (ns)'\n",
+            "set logscale y\nset key top left\nset grid\n",
+        ));
+        for r in &results {
+            let mut plots = Vec::new();
+            for (frac, curve) in &r.curves {
+                let name = format!("fig3_{}sw_{:.0}pct.dat", r.size, frac * 100.0);
+                    let mut dat = String::from("# accepted latency_ns\n");
+                for p in curve.points() {
+                    if p.avg_latency_ns.is_finite() {
+                        dat.push_str(&format!("{:.6} {:.1}\n", p.accepted, p.avg_latency_ns));
+                    }
+                }
+                std::fs::write(format!("{dir}/{name}"), dat).map_err(|e| e.to_string())?;
+                plots.push(format!(
+                    "'{name}' using 1:2 with linespoints title '{:.0}% adaptive'",
+                    frac * 100.0
+                ));
+            }
+            script.push_str(&format!(
+                "set output 'fig3_{0}sw.png'\nset title 'Figure 3 — {0} switches (uniform, 32 B)'\nplot {1}\n",
+                r.size,
+                plots.join(", ")
+            ));
+        }
+        std::fs::write(format!("{dir}/fig3.gp"), script).map_err(|e| e.to_string())?;
+        eprintln!("fig3: gnuplot bundle written to {dir}/");
+    }
+    if let Some(path) = args.get("csv") {
+        let mut rows = Vec::new();
+        for r in &results {
+            for (frac, curve) in &r.curves {
+                for p in curve.points() {
+                    rows.push(vec![
+                        r.size.to_string(),
+                        format!("{frac}"),
+                        format!("{:.6}", p.offered),
+                        format!("{:.6}", p.accepted),
+                        format!("{:.1}", p.avg_latency_ns),
+                    ]);
+                }
+            }
+        }
+        let csv = csv_table(
+            &["switches", "adaptive_fraction", "offered", "accepted", "avg_latency_ns"],
+            &rows,
+        );
+        std::fs::write(path, csv).map_err(|e| e.to_string())?;
+        eprintln!("fig3: CSV written to {path}");
+    }
+    Ok(())
+}

@@ -1,0 +1,122 @@
+//! Link-utilization heatmap: visualize *where* congestion sits under
+//! deterministic up*/down* routing versus fully adaptive routing — the
+//! §5.2.1 root-congestion story, as a text heatmap.
+//!
+//! ```text
+//! cargo run --release -p iba-experiments --bin heatmap -- \
+//!     [--switches 32] [--topo-seed 100] [--rate 0.02] [--seed 1]
+//! ```
+//!
+//! `--rate` is the offered load per host in bytes/ns. One row per switch
+//! (sorted by up*/down* tree level), one column per inter-switch port;
+//! cells shade with utilization.
+
+use iba_experiments::cli::Args;
+use iba_routing::{FaRouting, RoutingConfig};
+use iba_sim::{Network, SimConfig};
+use iba_topology::IrregularConfig;
+use iba_workloads::WorkloadSpec;
+
+fn shade(u: f64) -> char {
+    match (u * 10.0) as u32 {
+        0 => '.',
+        1 => '-',
+        2 => '=',
+        3 => '+',
+        4 => '*',
+        5 => 'x',
+        6 => 'X',
+        7 => '#',
+        8 => '%',
+        _ => '@',
+    }
+}
+
+fn main() {
+    if let Err(e) = real_main() {
+        eprintln!("heatmap: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn real_main() -> Result<(), String> {
+    let args = Args::from_env()?;
+    let topo = IrregularConfig::paper(
+        args.get_or("switches", 32usize)?,
+        args.get_or("topo-seed", 100u64)?,
+    )
+    .generate()
+    .map_err(|e| e.to_string())?;
+    let routing =
+        FaRouting::build(&topo, RoutingConfig::two_options()).map_err(|e| e.to_string())?;
+    let rate = args.get_or("rate", 0.02f64)?;
+    let seed = args.get_or("seed", 1u64)?;
+
+    let utilization = |fraction: f64| -> Result<Vec<Vec<f64>>, String> {
+        let spec = WorkloadSpec::uniform32(rate).with_adaptive_fraction(fraction);
+        let mut net = Network::new(&topo, &routing, spec, SimConfig::paper(seed))
+            .map_err(|e| e.to_string())?;
+        let _ = net.run();
+        Ok(net.port_utilization())
+    };
+    let det = utilization(0.0)?;
+    let ada = utilization(1.0)?;
+
+    // Rows sorted by tree level: the root at the top.
+    let mut order: Vec<_> = topo.switch_ids().collect();
+    order.sort_by_key(|&s| (routing.updown().level_of(s), s.0));
+
+    println!(
+        "link utilization per switch (rows: up*/down* tree level; cols: inter-switch ports)"
+    );
+    println!("scale: . <10%  - <20%  = <30%  + <40%  * <50%  x <60%  X <70%  # <80%  % <90%  @ >=90%\n");
+    println!("{:<18}{:<16}{:<16}", "switch (level)", "deterministic", "fully adaptive");
+    for s in order {
+        let ports: Vec<usize> = topo.switch_neighbors(s).map(|(p, _, _)| p.index()).collect();
+        let row = |util: &Vec<Vec<f64>>| -> String {
+            ports.iter().map(|&p| shade(util[s.index()][p])).collect()
+        };
+        let marker = if s == routing.updown().root() { " <- root" } else { "" };
+        println!(
+            "{:<18}{:<16}{:<16}{}",
+            format!("{s} (L{})", routing.updown().level_of(s)),
+            row(&det),
+            row(&ada),
+            marker
+        );
+    }
+
+    let mean = |util: &Vec<Vec<f64>>| -> f64 {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for s in topo.switch_ids() {
+            for (p, _, _) in topo.switch_neighbors(s) {
+                sum += util[s.index()][p.index()];
+                n += 1;
+            }
+        }
+        sum / n as f64
+    };
+    let peak = |util: &Vec<Vec<f64>>| -> f64 {
+        topo.switch_ids()
+            .flat_map(|s| {
+                topo.switch_neighbors(s)
+                    .map(move |(p, _, _)| util[s.index()][p.index()])
+                    .collect::<Vec<_>>()
+            })
+            .fold(0.0, f64::max)
+    };
+    println!(
+        "\ndeterministic: mean {:.1}% / peak {:.1}%   adaptive: mean {:.1}% / peak {:.1}%",
+        mean(&det) * 100.0,
+        peak(&det) * 100.0,
+        mean(&ada) * 100.0,
+        peak(&ada) * 100.0
+    );
+    println!(
+        "Up*/down* concentrates load on the links near the root (top rows); fully\n\
+         adaptive routing flattens the distribution — the §5.2.1 mechanism behind\n\
+         the throughput gains."
+    );
+    Ok(())
+}

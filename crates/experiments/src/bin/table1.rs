@@ -1,0 +1,95 @@
+//! Regenerate Table 1: min/max/avg throughput-increase factors of 100 %
+//! adaptive traffic over deterministic routing.
+//!
+//! ```text
+//! # left block (4 links, 2 options, all patterns, 32/256 B):
+//! cargo run --release -p iba-experiments --bin table1
+//! # right block (6 links, 4 options, uniform):
+//! cargo run --release -p iba-experiments --bin table1 -- --block right
+//! # custom:
+//! cargo run --release -p iba-experiments --bin table1 -- \
+//!     --links 6 --options 4 --sizes 8,64 --packets 32 --patterns uniform,hotspot-10 \
+//!     [--fidelity quick|full] [--seed 100] [--csv out.csv]
+//! ```
+
+use iba_experiments::cli::Args;
+use iba_experiments::table1::{render, run, Table1Config};
+use iba_experiments::Fidelity;
+use iba_stats::csv_table;
+use iba_workloads::TrafficPattern;
+
+fn parse_pattern(s: &str) -> Result<TrafficPattern, String> {
+    match s {
+        "uniform" => Ok(TrafficPattern::Uniform),
+        "bit-reversal" | "bitrev" => Ok(TrafficPattern::BitReversal),
+        "transpose" => Ok(TrafficPattern::Transpose),
+        "complement" => Ok(TrafficPattern::Complement),
+        "permutation" => Ok(TrafficPattern::Permutation),
+        _ => s
+            .strip_prefix("hotspot-")
+            .and_then(|p| p.trim_end_matches('%').parse::<u32>().ok())
+            .map(TrafficPattern::hotspot_percent)
+            .ok_or_else(|| format!("unknown pattern {s:?}")),
+    }
+}
+
+fn main() {
+    if let Err(e) = real_main() {
+        eprintln!("table1: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn real_main() -> Result<(), String> {
+    let args = Args::from_env()?;
+    let fidelity = Fidelity::parse(args.get("fidelity").unwrap_or("quick"))
+        .ok_or("--fidelity must be quick or full")?;
+    let seed = args.get_or("seed", 100u64)?;
+    let mut cfg = match args.get("block") {
+        Some("right") => Table1Config::right_block(fidelity, seed),
+        Some("left") | None => Table1Config::left_block(fidelity, seed),
+        Some(other) => return Err(format!("unknown --block {other:?}")),
+    };
+    cfg.sizes = args.get_list_or("sizes", &cfg.sizes)?;
+    cfg.links = args.get_or("links", cfg.links)?;
+    cfg.options = args.get_or("options", cfg.options)?;
+    cfg.packet_sizes = args.get_list_or("packets", &cfg.packet_sizes)?;
+    if let Some(pats) = args.get("patterns") {
+        cfg.patterns = pats
+            .split(',')
+            .map(|s| parse_pattern(s.trim()))
+            .collect::<Result<_, _>>()?;
+    }
+    eprintln!(
+        "table1: {:?} fidelity, sizes {:?}, {} links, {} options, {} topologies",
+        fidelity,
+        cfg.sizes,
+        cfg.links,
+        cfg.options,
+        fidelity.topologies()
+    );
+    let cells = run(&cfg).map_err(|e| e.to_string())?;
+    println!("{}", render(&cfg, &cells));
+    if let Some(path) = args.get("csv") {
+        let rows: Vec<Vec<String>> = cells
+            .iter()
+            .map(|c| {
+                vec![
+                    c.size.to_string(),
+                    c.packet_bytes.to_string(),
+                    c.pattern.name(),
+                    format!("{:.4}", c.factor.min),
+                    format!("{:.4}", c.factor.max),
+                    format!("{:.4}", c.factor.avg()),
+                ]
+            })
+            .collect();
+        let csv = csv_table(
+            &["switches", "packet_bytes", "pattern", "min", "max", "avg"],
+            &rows,
+        );
+        std::fs::write(path, csv).map_err(|e| e.to_string())?;
+        eprintln!("table1: CSV written to {path}");
+    }
+    Ok(())
+}

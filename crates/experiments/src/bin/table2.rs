@@ -1,0 +1,49 @@
+//! Regenerate Table 2: average percentage of routing options at each
+//! switch for each destination port (static routing analysis).
+//!
+//! ```text
+//! cargo run --release -p iba-experiments --bin table2 -- \
+//!     [--sizes 8,16,32,64] [--links 4,6] [--mr 2,3,4] \
+//!     [--topologies 10] [--seed 100] [--include-local true] [--csv out.csv]
+//! ```
+
+use iba_experiments::cli::Args;
+use iba_experiments::table2::{render, run, Table2Config};
+use iba_stats::csv_table;
+
+fn main() {
+    if let Err(e) = real_main() {
+        eprintln!("table2: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn real_main() -> Result<(), String> {
+    let args = Args::from_env()?;
+    let mut cfg = Table2Config::paper(args.get_or("seed", 100u64)?);
+    cfg.sizes = args.get_list_or("sizes", &cfg.sizes)?;
+    cfg.links = args.get_list_or("links", &cfg.links)?;
+    cfg.max_options = args.get_list_or("mr", &cfg.max_options)?;
+    cfg.topologies = args.get_or("topologies", cfg.topologies)?;
+    cfg.include_local = args.get_or("include-local", cfg.include_local)?;
+    let rows = run(&cfg).map_err(|e| e.to_string())?;
+    println!("{}", render(&cfg, &rows));
+    if let Some(path) = args.get("csv") {
+        let mut out = Vec::new();
+        for r in &rows {
+            for (k, pct) in r.distribution.percent.iter().enumerate() {
+                out.push(vec![
+                    r.size.to_string(),
+                    r.links.to_string(),
+                    r.max_options.to_string(),
+                    (k + 1).to_string(),
+                    format!("{pct:.4}"),
+                ]);
+            }
+        }
+        let csv = csv_table(&["switches", "links", "mr", "options", "percent"], &out);
+        std::fs::write(path, csv).map_err(|e| e.to_string())?;
+        eprintln!("table2: CSV written to {path}");
+    }
+    Ok(())
+}

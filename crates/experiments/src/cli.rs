@@ -1,0 +1,98 @@
+//! Minimal `--key value` argument parsing for the experiment binaries
+//! (kept dependency-free on purpose).
+
+use std::collections::BTreeMap;
+
+/// Parsed `--key value` flags plus positional arguments.
+#[derive(Debug, Default)]
+pub struct Args {
+    flags: BTreeMap<String, String>,
+    /// Positional arguments in order.
+    pub positional: Vec<String>,
+}
+
+impl Args {
+    /// Parse from an iterator of raw arguments (excluding argv\[0\]).
+    pub fn parse(raw: impl Iterator<Item = String>) -> Result<Args, String> {
+        let mut args = Args::default();
+        let mut raw = raw.peekable();
+        while let Some(a) = raw.next() {
+            if let Some(key) = a.strip_prefix("--") {
+                let value = raw
+                    .next()
+                    .ok_or_else(|| format!("missing value for --{key}"))?;
+                args.flags.insert(key.to_string(), value);
+            } else {
+                args.positional.push(a);
+            }
+        }
+        Ok(args)
+    }
+
+    /// Parse from the process arguments.
+    pub fn from_env() -> Result<Args, String> {
+        Args::parse(std::env::args().skip(1))
+    }
+
+    /// Raw flag value.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.flags.get(key).map(String::as_str)
+    }
+
+    /// Flag parsed as `T`, or `default`.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("invalid value {v:?} for --{key}")),
+        }
+    }
+
+    /// Comma-separated list flag, or `default`.
+    pub fn get_list_or<T: std::str::FromStr + Clone>(
+        &self,
+        key: &str,
+        default: &[T],
+    ) -> Result<Vec<T>, String> {
+        match self.get(key) {
+            None => Ok(default.to_vec()),
+            Some(v) => v
+                .split(',')
+                .map(|s| {
+                    s.trim()
+                        .parse()
+                        .map_err(|_| format!("invalid element {s:?} in --{key}"))
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(v: &[&str]) -> Args {
+        Args::parse(v.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    #[test]
+    fn flags_and_positionals() {
+        let a = parse(&["run", "--seed", "7", "--sizes", "8,16"]);
+        assert_eq!(a.positional, vec!["run"]);
+        assert_eq!(a.get("seed"), Some("7"));
+        assert_eq!(a.get_or("seed", 0u64).unwrap(), 7);
+        assert_eq!(a.get_or("missing", 3u64).unwrap(), 3);
+        assert_eq!(a.get_list_or("sizes", &[64usize]).unwrap(), vec![8, 16]);
+        assert_eq!(a.get_list_or("absent", &[64usize]).unwrap(), vec![64]);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(Args::parse(["--seed".to_string()].into_iter()).is_err());
+        let a = parse(&["--seed", "x"]);
+        assert!(a.get_or("seed", 0u64).is_err());
+        assert!(a.get_list_or("seed", &[1u64]).is_err());
+    }
+}

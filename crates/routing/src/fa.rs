@@ -1,0 +1,883 @@
+//! The Fully Adaptive (FA) routing function, materialized into IBA
+//! forwarding tables.
+//!
+//! FA (§3) extends a deadlock-free base routing — up\*/down\* here — with
+//! fully adaptive *minimal* options: when a packet is routed, any minimal
+//! output port whose downstream adaptive queue has room may be taken; the
+//! up\*/down\* option is always available as the escape. Under virtual
+//! cut-through a packet may return to adaptive queues after using an
+//! escape queue, and livelock is avoided by preferring the (minimal)
+//! adaptive options.
+//!
+//! [`FaRouting::build`] compiles this routing function into one
+//! [`InterleavedForwardingTable`] per switch, exactly as the paper's
+//! subnet manager would (§4.1): each destination port owns
+//! `x = 2^LMC` consecutive LIDs; address `d` (offset 0) is programmed
+//! with the up\*/down\* next hop, addresses `d+1 .. d+x−1` with minimal
+//! options. When a destination has more minimal options than adaptive
+//! slots, a deterministic seed-mixed rotation picks which ones are
+//! stored — different switches favour different options, balancing load.
+//! When it has fewer, the available options are repeated (the lookup
+//! de-duplicates).
+
+use crate::minimal::MinimalRouting;
+use crate::table::InterleavedForwardingTable;
+use crate::updown::UpDownRouting;
+use iba_core::{HostId, IbaError, Lid, LidMap, PortIndex, SwitchId};
+use iba_topology::Topology;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Configuration of the FA table construction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RoutingConfig {
+    /// Total routing options (= forwarding-table addresses) per
+    /// destination port: 1 escape + `table_options − 1` adaptive slots.
+    /// The paper's "two routing options" is `2`, "up to four" is `4`.
+    /// Must be a power of two so the LMC interleaving works; 1 disables
+    /// adaptivity entirely (pure up\*/down\*).
+    pub table_options: u16,
+    /// Seed for the option-balancing rotation.
+    pub seed: u64,
+    /// Optional explicit up\*/down\* root (default: min eccentricity).
+    pub root: Option<SwitchId>,
+}
+
+impl RoutingConfig {
+    /// The paper's default: two routing options (escape + one adaptive).
+    pub fn two_options() -> RoutingConfig {
+        RoutingConfig {
+            table_options: 2,
+            seed: 0,
+            root: None,
+        }
+    }
+
+    /// `x` routing options.
+    pub fn with_options(table_options: u16) -> RoutingConfig {
+        RoutingConfig {
+            table_options,
+            ..RoutingConfig::two_options()
+        }
+    }
+}
+
+impl Default for RoutingConfig {
+    fn default() -> Self {
+        RoutingConfig::two_options()
+    }
+}
+
+/// The routing options a switch offers one packet — the decoded result of
+/// the forwarding-table access.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RouteOptions {
+    /// The escape (up\*/down\*) option; always present.
+    pub escape: PortIndex,
+    /// Adaptive (minimal) options; empty for deterministic requests.
+    pub adaptive: Vec<PortIndex>,
+}
+
+/// FA routing compiled for one topology: the LID assignment plus one
+/// interleaved forwarding table per switch.
+#[derive(Clone, Debug)]
+pub struct FaRouting {
+    config: RoutingConfig,
+    lid_map: LidMap,
+    updown: UpDownRouting,
+    minimal: MinimalRouting,
+    tables: Vec<InterleavedForwardingTable>,
+    /// Which switches support the adaptive mechanism (§4.2 allows mixing
+    /// enhanced and plain deterministic switches in one subnet).
+    adaptive_capable: Vec<bool>,
+    /// `Some(x)` when the tables implement *source-selected multipath*
+    /// over `x` deterministic path variants instead of switch adaptivity.
+    source_multipath: Option<u16>,
+    /// APM coexistence (§4.1 footnote): `Some` when the upper half of
+    /// every destination's LID range holds an *alternate* path set.
+    apm: Option<ApmInfo>,
+    /// Precomputed decode of every (switch, DLID) table access, shared by
+    /// reference — the simulator resolves millions of routes per run and
+    /// must not re-derive (and re-allocate) the option lists each time.
+    route_cache: Vec<Vec<Option<Arc<RouteOptions>>>>,
+}
+
+/// APM bookkeeping.
+#[derive(Clone, Copy, Debug)]
+struct ApmInfo {
+    /// First LID offset of the alternate (APM) half.
+    base_offset: u16,
+    /// Root of the alternate up\*/down\* orientation.
+    alt_root: SwitchId,
+}
+
+fn mix(a: u64, b: u64, c: u64) -> u64 {
+    let mut z = a
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(b.wrapping_mul(0xC2B2_AE3D_27D4_EB4F))
+        .wrapping_add(c.wrapping_mul(0x1656_67B1_9E37_79F9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z ^ (z >> 31)
+}
+
+impl FaRouting {
+    /// Compile FA routing for `topo` with every switch adaptive-capable.
+    pub fn build(topo: &Topology, config: RoutingConfig) -> Result<FaRouting, IbaError> {
+        Self::build_mixed(topo, config, &vec![true; topo.num_switches()])
+    }
+
+    /// Compile FA routing for a *mixed* fabric (§4.2): switches with
+    /// `adaptive_capable[s] == false` are plain deterministic IBA
+    /// switches. Per the paper, their forwarding tables are programmed
+    /// with "all the table addresses that correspond to the same
+    /// destination port with the same switch output port" — the
+    /// up\*/down\* escape hop.
+    ///
+    /// Additionally, adaptive slots at *capable* switches only store
+    /// minimal options whose next hop is another capable switch (or the
+    /// destination host): a deterministic switch's buffer has no escape
+    /// read point, so its drainage is only guaranteed when every packet
+    /// it holds continues a legal up\*/down\* chain — which is exactly
+    /// the case when packets enter it via escape options only.
+    pub fn build_mixed(
+        topo: &Topology,
+        config: RoutingConfig,
+        adaptive_capable: &[bool],
+    ) -> Result<FaRouting, IbaError> {
+        if adaptive_capable.len() != topo.num_switches() {
+            return Err(IbaError::InvalidConfig(format!(
+                "capability vector has {} entries for {} switches",
+                adaptive_capable.len(),
+                topo.num_switches()
+            )));
+        }
+        if !config.table_options.is_power_of_two() {
+            return Err(IbaError::InvalidOptionCount(config.table_options));
+        }
+        let lid_map = LidMap::for_options(topo.num_hosts() as u16, config.table_options)?;
+        let updown = match config.root {
+            Some(root) => UpDownRouting::build_with_root(topo, root)?,
+            None => UpDownRouting::build(topo)?,
+        };
+        let minimal = MinimalRouting::build(topo)?;
+
+        let x = config.table_options;
+        let mut tables = Vec::with_capacity(topo.num_switches());
+        for s in topo.switch_ids() {
+            let mut table = InterleavedForwardingTable::new(lid_map.table_len(), x)?;
+            for h in topo.host_ids() {
+                let t = topo.host_switch(h);
+                let (escape, mut adaptive): (PortIndex, Vec<PortIndex>) = if t == s {
+                    // Local delivery: the only option is the host port.
+                    let (_, port) = topo.host_attachment(h);
+                    (port, vec![port])
+                } else {
+                    let escape = self::escape_hop(&updown, s, t)?;
+                    (escape, minimal.options(s, t).to_vec())
+                };
+                if !adaptive_capable[s.index()] {
+                    // Deterministic switch: every address stores the
+                    // escape port (§4.2).
+                    adaptive.clear();
+                } else if t != s {
+                    // Safety filter for mixed fabrics: adaptive hops may
+                    // only lead into adaptive-capable switches.
+                    adaptive.retain(|&p| {
+                        topo.endpoint(s, p)
+                            .and_then(|ep| ep.node.as_switch())
+                            .is_none_or(|peer| adaptive_capable[peer.index()])
+                    });
+                }
+                table.set(lid_map.lid_for(h, 0)?, escape)?;
+                let slots = x as usize - 1;
+                if slots > 0 {
+                    if adaptive.is_empty() {
+                        // No usable adaptive option: program the escape
+                        // port everywhere, as a deterministic switch would.
+                        adaptive.push(escape);
+                    }
+                    // Seed-mixed rotation balances which minimal options
+                    // are stored when there are more than fit.
+                    let start = (mix(s.0 as u64, h.0 as u64, config.seed)
+                        % adaptive.len() as u64) as usize;
+                    for k in 0..slots {
+                        let opt = adaptive[(start + k) % adaptive.len()];
+                        table.set(lid_map.lid_for(h, 1 + k as u16)?, opt)?;
+                    }
+                }
+            }
+            tables.push(table);
+        }
+        let mut fa = FaRouting {
+            config,
+            lid_map,
+            updown,
+            minimal,
+            tables,
+            adaptive_capable: adaptive_capable.to_vec(),
+            source_multipath: None,
+            apm: None,
+            route_cache: Vec::new(),
+        };
+        fa.fill_route_cache();
+        Ok(fa)
+    }
+
+    /// Compile FA routing with **Automatic Path Migration coexistence**
+    /// (§4.1, footnote 3): each destination's LID range doubles to
+    /// `2 × table_options`; the top LMC bit selects the *path set*. The
+    /// lower half is the ordinary FA group (up\*/down\* escape + minimal
+    /// adaptive options); the upper half is an equally-shaped group whose
+    /// escape is an **alternate** up\*/down\* orientation rooted at the
+    /// switch farthest from the primary root — the independent path a CA
+    /// migrates to on failure. The switch's interleave fanout stays
+    /// `table_options`, so each half forms its own deterministic/adaptive
+    /// group and "the APM mechanism uses different LIDs from those used
+    /// for adaptive routing".
+    ///
+    /// Deadlock discipline: the two escape orientations are only jointly
+    /// safe when they do not share virtual lanes. Keep primary and
+    /// alternate traffic on SLs that map to different VLs (the simulator
+    /// validates this for scripted traffic).
+    pub fn build_with_apm(topo: &Topology, config: RoutingConfig) -> Result<FaRouting, IbaError> {
+        if !config.table_options.is_power_of_two() {
+            return Err(IbaError::InvalidOptionCount(config.table_options));
+        }
+        let x = config.table_options;
+        let total = x
+            .checked_mul(2)
+            .ok_or(IbaError::InvalidOptionCount(x))?;
+        let lid_map = LidMap::for_options(topo.num_hosts() as u16, total)?;
+        let updown = match config.root {
+            Some(root) => UpDownRouting::build_with_root(topo, root)?,
+            None => UpDownRouting::build(topo)?,
+        };
+        // Alternate orientation: rooted at the switch farthest from the
+        // primary root (ties to the lowest id).
+        let dist = topo.distances_from(updown.root());
+        let alt_root = topo
+            .switch_ids()
+            .max_by_key(|s| (dist[s.index()], std::cmp::Reverse(s.0)))
+            .ok_or_else(|| IbaError::InvalidTopology("empty topology".into()))?;
+        let alternate = UpDownRouting::build_with_root(topo, alt_root)?;
+        let minimal = MinimalRouting::build(topo)?;
+
+        let mut tables = Vec::with_capacity(topo.num_switches());
+        for s in topo.switch_ids() {
+            let mut table = InterleavedForwardingTable::new(lid_map.table_len(), x)?;
+            for h in topo.host_ids() {
+                let t = topo.host_switch(h);
+                for (half, layer) in [(0u16, &updown), (x, &alternate)] {
+                    let (escape, adaptive): (PortIndex, Vec<PortIndex>) = if t == s {
+                        let (_, port) = topo.host_attachment(h);
+                        (port, vec![port])
+                    } else {
+                        (escape_hop(layer, s, t)?, minimal.options(s, t).to_vec())
+                    };
+                    table.set(lid_map.lid_for(h, half)?, escape)?;
+                    let slots = x as usize - 1;
+                    if slots > 0 {
+                        let adaptive = if adaptive.is_empty() { vec![escape] } else { adaptive };
+                        let start = (mix(s.0 as u64, h.0 as u64 ^ half as u64, config.seed)
+                            % adaptive.len() as u64) as usize;
+                        for k in 0..slots {
+                            let opt = adaptive[(start + k) % adaptive.len()];
+                            table.set(lid_map.lid_for(h, half + 1 + k as u16)?, opt)?;
+                        }
+                    }
+                }
+            }
+            tables.push(table);
+        }
+        let mut fa = FaRouting {
+            config,
+            lid_map,
+            updown,
+            minimal,
+            tables,
+            adaptive_capable: vec![true; topo.num_switches()],
+            source_multipath: None,
+            apm: Some(ApmInfo {
+                base_offset: x,
+                alt_root,
+            }),
+            route_cache: Vec::new(),
+        };
+        fa.fill_route_cache();
+        Ok(fa)
+    }
+
+    /// Whether the tables carry an APM alternate path set.
+    #[inline]
+    pub fn has_apm(&self) -> bool {
+        self.apm.is_some()
+    }
+
+    /// Root of the alternate orientation, if APM is provisioned.
+    pub fn apm_alt_root(&self) -> Option<SwitchId> {
+        self.apm.map(|a| a.alt_root)
+    }
+
+    /// The DLID addressing `host` through the **alternate** (APM) path
+    /// set, deterministic or adaptive.
+    pub fn apm_dlid(&self, host: HostId, adaptive: bool) -> Result<Lid, IbaError> {
+        let apm = self
+            .apm
+            .ok_or_else(|| IbaError::InvalidConfig("tables have no APM half".into()))?;
+        if adaptive && self.config.table_options < 2 {
+            return Err(IbaError::AdaptiveNeedsLmc);
+        }
+        self.lid_map
+            .lid_for(host, apm.base_offset + u16::from(adaptive))
+    }
+
+    /// Compile *source-selected multipath* tables — the IBA-compatible
+    /// alternative the paper's introduction dismisses: "IBA allows the
+    /// use of alternative paths between any source-destination pair. The
+    /// final path can be selected at each source node... However, by
+    /// using alternative paths selected at the source node, the overall
+    /// network performance is hardly improved."
+    ///
+    /// Plain (unmodified) switches forward linearly by the packet's exact
+    /// DLID; each of a destination's `x` addresses is programmed with a
+    /// *different deterministic* up\*/down\* variant (the k-th consistent
+    /// next-hop choice at every switch), and sources rotate over the
+    /// addresses per packet. All variants are legal turn-free moves of
+    /// one orientation, so any mixture stays deadlock-free.
+    pub fn build_source_multipath(
+        topo: &Topology,
+        config: RoutingConfig,
+    ) -> Result<FaRouting, IbaError> {
+        if !config.table_options.is_power_of_two() {
+            return Err(IbaError::InvalidOptionCount(config.table_options));
+        }
+        let lid_map = LidMap::for_options(topo.num_hosts() as u16, config.table_options)?;
+        let updown = match config.root {
+            Some(root) => UpDownRouting::build_with_root(topo, root)?,
+            None => UpDownRouting::build(topo)?,
+        };
+        let minimal = MinimalRouting::build(topo)?;
+        let x = config.table_options;
+        let mut tables = Vec::with_capacity(topo.num_switches());
+        for s in topo.switch_ids() {
+            let mut table = InterleavedForwardingTable::new(lid_map.table_len(), x)?;
+            for h in topo.host_ids() {
+                let t = topo.host_switch(h);
+                if t == s {
+                    let (_, port) = topo.host_attachment(h);
+                    for k in 0..x {
+                        table.set(lid_map.lid_for(h, k)?, port)?;
+                    }
+                } else {
+                    let variants = updown.next_hop_variants(topo, s, t);
+                    debug_assert!(!variants.is_empty());
+                    // Rotate which variant lands at which offset so that a
+                    // fixed source offset spreads across the fabric.
+                    let start =
+                        (mix(s.0 as u64, h.0 as u64, config.seed) % variants.len() as u64) as usize;
+                    for k in 0..x as usize {
+                        let port = variants[(start + k) % variants.len()];
+                        table.set(lid_map.lid_for(h, k as u16)?, port)?;
+                    }
+                }
+            }
+            tables.push(table);
+        }
+        let mut fa = FaRouting {
+            config,
+            lid_map,
+            updown,
+            minimal,
+            tables,
+            adaptive_capable: vec![false; topo.num_switches()],
+            source_multipath: Some(x),
+            apm: None,
+            route_cache: Vec::new(),
+        };
+        fa.fill_route_cache();
+        Ok(fa)
+    }
+
+    /// Decode every programmed (switch, DLID) entry once.
+    fn fill_route_cache(&mut self) {
+        let len = self.lid_map.table_len();
+        self.route_cache = (0..self.tables.len())
+            .map(|s| {
+                (0..len)
+                    .map(|lid| {
+                        self.decode(SwitchId(s as u16), Lid(lid as u16))
+                            .ok()
+                            .map(Arc::new)
+                    })
+                    .collect()
+            })
+            .collect();
+    }
+
+    /// `Some(x)` when the tables implement source-selected multipath over
+    /// `x` addresses per destination (sources rotate the DLID offset; the
+    /// switches stay plain deterministic).
+    #[inline]
+    pub fn source_multipath(&self) -> Option<u16> {
+        self.source_multipath
+    }
+
+    /// Whether switch `s` supports the adaptive mechanism.
+    #[inline]
+    pub fn switch_adaptive(&self, s: SwitchId) -> bool {
+        self.adaptive_capable[s.index()]
+    }
+
+    /// The configuration the tables were built with.
+    pub fn config(&self) -> &RoutingConfig {
+        &self.config
+    }
+
+    /// The LID assignment.
+    pub fn lid_map(&self) -> &LidMap {
+        &self.lid_map
+    }
+
+    /// The escape-layer routing.
+    pub fn updown(&self) -> &UpDownRouting {
+        &self.updown
+    }
+
+    /// The minimal-option analysis the adaptive slots were filled from.
+    pub fn minimal(&self) -> &MinimalRouting {
+        &self.minimal
+    }
+
+    /// The forwarding table of one switch.
+    pub fn table(&self, s: SwitchId) -> &InterleavedForwardingTable {
+        &self.tables[s.index()]
+    }
+
+    /// Route a packet at switch `s`: one physical table access returning
+    /// the packet's options. Errors only on unprogrammed DLIDs.
+    ///
+    /// At a deterministic switch the adaptive option list is always empty
+    /// — the switch has no selection logic, whatever the table rows hold
+    /// (§4.2 programs them all with the escape port anyway). An adaptive
+    /// entry that happens to equal the escape entry is still a valid
+    /// adaptive option: it is a legal up\*/down\* hop that may simply be
+    /// taken under the adaptive-queue credit rule.
+    pub fn route(&self, s: SwitchId, dlid: Lid) -> Result<RouteOptions, IbaError> {
+        self.route_shared(s, dlid).map(|r| (*r).clone())
+    }
+
+    /// Like [`Self::route`], returning the precomputed shared decode —
+    /// the simulator's hot path (no allocation, no table walk).
+    pub fn route_shared(&self, s: SwitchId, dlid: Lid) -> Result<Arc<RouteOptions>, IbaError> {
+        self.route_cache[s.index()]
+            .get(dlid.raw() as usize)
+            .and_then(|e| e.clone())
+            .ok_or(IbaError::UnknownLid(dlid.raw()))
+    }
+
+    /// Decode one physical table access (uncached; used to build the
+    /// cache and exposed for tests of the raw mechanism).
+    fn decode(&self, s: SwitchId, dlid: Lid) -> Result<RouteOptions, IbaError> {
+        if self.adaptive_capable[s.index()] {
+            let lookup = self.tables[s.index()].lookup(dlid);
+            let escape = lookup.escape.ok_or(IbaError::UnknownLid(dlid.raw()))?;
+            Ok(RouteOptions {
+                escape,
+                adaptive: lookup.adaptive,
+            })
+        } else {
+            // A plain IBA switch forwards linearly by the exact DLID —
+            // which is what lets source-selected multipath address
+            // different paths through different addresses of the range.
+            let escape = self.tables[s.index()]
+                .get(dlid)
+                .ok_or(IbaError::UnknownLid(dlid.raw()))?;
+            Ok(RouteOptions {
+                escape,
+                adaptive: Vec::new(),
+            })
+        }
+    }
+
+    /// Convenience: the DLID for `host` in the given mode (delegates to
+    /// the LID map).
+    pub fn dlid(&self, host: HostId, adaptive: bool) -> Result<Lid, IbaError> {
+        self.lid_map.dlid(host, adaptive)
+    }
+}
+
+fn escape_hop(updown: &UpDownRouting, s: SwitchId, t: SwitchId) -> Result<PortIndex, IbaError> {
+    updown
+        .next_hop(s, t)
+        .ok_or_else(|| IbaError::RoutingFailed(format!("no escape hop {s}→{t}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iba_topology::{regular, IrregularConfig};
+    use proptest::prelude::*;
+
+    fn build(n: usize, seed: u64, options: u16) -> (Topology, FaRouting) {
+        let topo = IrregularConfig::paper(n, seed).generate().unwrap();
+        let fa = FaRouting::build(&topo, RoutingConfig::with_options(options)).unwrap();
+        (topo, fa)
+    }
+
+    #[test]
+    fn deterministic_dlid_gets_exactly_the_escape_option() {
+        let (topo, fa) = build(16, 1, 2);
+        for s in topo.switch_ids() {
+            for h in topo.host_ids() {
+                let r = fa.route(s, fa.dlid(h, false).unwrap()).unwrap();
+                assert!(r.adaptive.is_empty());
+                let t = topo.host_switch(h);
+                if t == s {
+                    let (_, port) = topo.host_attachment(h);
+                    assert_eq!(r.escape, port);
+                } else {
+                    assert_eq!(Some(r.escape), fa.updown().next_hop(s, t));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn adaptive_dlid_gets_minimal_options() {
+        let (topo, fa) = build(16, 2, 4);
+        for s in topo.switch_ids() {
+            for h in topo.host_ids() {
+                let t = topo.host_switch(h);
+                if t == s {
+                    continue;
+                }
+                let r = fa.route(s, fa.dlid(h, true).unwrap()).unwrap();
+                assert!(!r.adaptive.is_empty());
+                // Every adaptive option is a genuine minimal option.
+                for p in &r.adaptive {
+                    assert!(
+                        fa.minimal().options(s, t).contains(p),
+                        "{s}→{h}: {p} is not minimal"
+                    );
+                }
+                // No duplicates.
+                let mut dedup = r.adaptive.clone();
+                dedup.dedup();
+                dedup.sort();
+                dedup.dedup();
+                assert_eq!(dedup.len(), r.adaptive.len());
+                // With x options we can store at most x−1 adaptive ones.
+                assert!(r.adaptive.len() <= 3);
+            }
+        }
+    }
+
+    #[test]
+    fn local_delivery_routes_to_the_host_port() {
+        let (topo, fa) = build(8, 3, 2);
+        for h in topo.host_ids() {
+            let s = topo.host_switch(h);
+            let (_, port) = topo.host_attachment(h);
+            let det = fa.route(s, fa.dlid(h, false).unwrap()).unwrap();
+            let ada = fa.route(s, fa.dlid(h, true).unwrap()).unwrap();
+            assert_eq!(det.escape, port);
+            assert_eq!(ada.escape, port);
+            assert_eq!(ada.adaptive, vec![port]);
+        }
+    }
+
+    #[test]
+    fn single_option_config_is_pure_updown() {
+        let (topo, fa) = build(8, 4, 1);
+        // No adaptive DLIDs exist with LMC 0.
+        assert!(fa.dlid(HostId(0), true).is_err());
+        for s in topo.switch_ids() {
+            for h in topo.host_ids() {
+                let r = fa.route(s, fa.dlid(h, false).unwrap()).unwrap();
+                assert!(r.adaptive.is_empty());
+                let t = topo.host_switch(h);
+                if t != s {
+                    assert_eq!(Some(r.escape), fa.updown().next_hop(s, t));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_non_power_of_two_options() {
+        let topo = regular::ring(4, 1).unwrap();
+        assert!(FaRouting::build(
+            &topo,
+            RoutingConfig {
+                table_options: 3,
+                seed: 0,
+                root: None
+            }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn rotation_balances_stored_options() {
+        // On a 6-ring, switch 0 → switch 3 has two minimal options; with
+        // x = 2 only one fits. Different (switch, host) pairs must not all
+        // store the same one — check both directions appear somewhere.
+        let topo = regular::ring(6, 2).unwrap();
+        let fa = FaRouting::build(&topo, RoutingConfig::two_options()).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for s in topo.switch_ids() {
+            for h in topo.host_ids() {
+                let t = topo.host_switch(h);
+                if fa.minimal().option_count(s, t) >= 2 {
+                    let r = fa.route(s, fa.dlid(h, true).unwrap()).unwrap();
+                    seen.insert((fa.minimal().options(s, t).iter().position(|p| *p == r.adaptive[0])).unwrap());
+                }
+            }
+        }
+        assert_eq!(seen.len(), 2, "rotation never picked the second option");
+    }
+
+    #[test]
+    fn mixed_fabric_deterministic_switches_offer_only_escape() {
+        let topo = IrregularConfig::paper(16, 9).generate().unwrap();
+        let mut caps = vec![true; 16];
+        caps[3] = false;
+        caps[7] = false;
+        let fa = FaRouting::build_mixed(&topo, RoutingConfig::with_options(2), &caps).unwrap();
+        assert!(!fa.switch_adaptive(SwitchId(3)));
+        assert!(fa.switch_adaptive(SwitchId(0)));
+        for h in topo.host_ids() {
+            for &det_sw in &[SwitchId(3), SwitchId(7)] {
+                let r = fa.route(det_sw, fa.dlid(h, true).unwrap()).unwrap();
+                assert!(r.adaptive.is_empty(), "det switch offered adaptive options");
+                // §4.2: every table address of the group holds the escape port.
+                let base = fa.lid_map().base_lid(h);
+                for off in 0..2u16 {
+                    let lid = iba_core::Lid(base.raw() + off);
+                    assert_eq!(fa.table(det_sw).get(lid), Some(r.escape));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_fabric_adaptive_hops_avoid_deterministic_switches() {
+        let topo = IrregularConfig::paper(16, 10).generate().unwrap();
+        let caps: Vec<bool> = (0..16).map(|i| i % 2 == 0).collect();
+        let fa = FaRouting::build_mixed(&topo, RoutingConfig::with_options(4), &caps).unwrap();
+        for s in topo.switch_ids().filter(|s| caps[s.index()]) {
+            for h in topo.host_ids() {
+                if topo.host_switch(h) == s {
+                    continue;
+                }
+                let r = fa.route(s, fa.dlid(h, true).unwrap()).unwrap();
+                for &p in &r.adaptive {
+                    // Every adaptive hop lands on a host or a capable switch —
+                    // except fill-up copies of the escape port, which follow
+                    // the escape chain and are always legal.
+                    if p == r.escape {
+                        continue;
+                    }
+                    let ep = topo.endpoint(s, p).unwrap();
+                    if let Some(peer) = ep.node.as_switch() {
+                        assert!(
+                            caps[peer.index()],
+                            "{s}: adaptive hop {p} leads into deterministic {peer}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_deterministic_fabric_equals_pure_updown() {
+        let topo = IrregularConfig::paper(8, 11).generate().unwrap();
+        let caps = vec![false; 8];
+        let fa = FaRouting::build_mixed(&topo, RoutingConfig::with_options(2), &caps).unwrap();
+        for s in topo.switch_ids() {
+            for h in topo.host_ids() {
+                let r = fa.route(s, fa.dlid(h, true).unwrap()).unwrap();
+                assert!(r.adaptive.is_empty());
+                let t = topo.host_switch(h);
+                if t != s {
+                    assert_eq!(Some(r.escape), fa.updown().next_hop(s, t));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn source_multipath_paths_terminate_for_every_offset() {
+        let topo = IrregularConfig::paper(16, 13).generate().unwrap();
+        let fa = FaRouting::build_source_multipath(&topo, RoutingConfig::with_options(4)).unwrap();
+        assert_eq!(fa.source_multipath(), Some(4));
+        for s in topo.switch_ids() {
+            assert!(!fa.switch_adaptive(s), "multipath uses plain switches");
+        }
+        for offset in 0..4u16 {
+            for h in topo.host_ids().take(16) {
+                let dlid = fa.lid_map().lid_for(h, offset).unwrap();
+                // Walk the fixed-offset path.
+                let mut cur = topo.host_switch(HostId(0));
+                let src_sw = cur;
+                let _ = src_sw;
+                let mut hops = 0;
+                loop {
+                    let r = fa.route(cur, dlid).unwrap();
+                    assert!(r.adaptive.is_empty());
+                    match topo.endpoint(cur, r.escape).unwrap().node {
+                        iba_core::NodeRef::Host(reached) => {
+                            assert_eq!(reached, h, "offset {offset} path reached wrong host");
+                            break;
+                        }
+                        iba_core::NodeRef::Switch(next) => {
+                            cur = next;
+                            hops += 1;
+                            assert!(
+                                hops <= 3 * topo.num_switches(),
+                                "offset {offset} path to {h} does not terminate"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn source_multipath_offers_distinct_paths_somewhere() {
+        let topo = IrregularConfig::paper(16, 14).generate().unwrap();
+        let fa = FaRouting::build_source_multipath(&topo, RoutingConfig::two_options()).unwrap();
+        let mut distinct = 0;
+        for s in topo.switch_ids() {
+            for h in topo.host_ids() {
+                let a = fa.route(s, fa.lid_map().lid_for(h, 0).unwrap()).unwrap();
+                let b = fa.route(s, fa.lid_map().lid_for(h, 1).unwrap()).unwrap();
+                if a.escape != b.escape {
+                    distinct += 1;
+                }
+            }
+        }
+        assert!(distinct > 0, "multipath never offered a second path");
+    }
+
+    #[test]
+    fn capability_vector_must_match_topology() {
+        let topo = IrregularConfig::paper(8, 12).generate().unwrap();
+        assert!(FaRouting::build_mixed(&topo, RoutingConfig::two_options(), &[true; 4]).is_err());
+    }
+
+    #[test]
+    fn apm_tables_carry_two_independent_path_sets() {
+        let topo = IrregularConfig::paper(16, 21).generate().unwrap();
+        let fa = FaRouting::build_with_apm(&topo, RoutingConfig::two_options()).unwrap();
+        assert!(fa.has_apm());
+        assert_eq!(fa.lid_map().lmc().bits(), 2); // 2 primary + 2 APM addresses
+        assert_ne!(fa.apm_alt_root(), Some(fa.updown().root()));
+        let mut first_hops_differ = 0;
+        for s in topo.switch_ids() {
+            for h in topo.host_ids() {
+                let t = topo.host_switch(h);
+                let primary = fa.route(s, fa.dlid(h, false).unwrap()).unwrap();
+                let alt = fa.route(s, fa.apm_dlid(h, false).unwrap()).unwrap();
+                // Deterministic requests return exactly one option in
+                // either half.
+                assert!(primary.adaptive.is_empty());
+                assert!(alt.adaptive.is_empty());
+                if t == s {
+                    assert_eq!(primary.escape, alt.escape, "local delivery");
+                } else if primary.escape != alt.escape {
+                    first_hops_differ += 1;
+                }
+                // Adaptive requests offer minimal options in both halves.
+                let alt_ada = fa.route(s, fa.apm_dlid(h, true).unwrap()).unwrap();
+                for p in &alt_ada.adaptive {
+                    if *p != alt_ada.escape && t != s {
+                        assert!(fa.minimal().options(s, t).contains(p));
+                    }
+                }
+            }
+        }
+        assert!(first_hops_differ > 0, "alternate paths never diverged");
+    }
+
+    #[test]
+    fn apm_alternate_escape_chains_terminate() {
+        let topo = IrregularConfig::paper(8, 22).generate().unwrap();
+        let fa = FaRouting::build_with_apm(&topo, RoutingConfig::two_options()).unwrap();
+        for s in topo.switch_ids() {
+            for h in topo.host_ids() {
+                let mut cur = s;
+                let mut hops = 0;
+                loop {
+                    let r = fa.route(cur, fa.apm_dlid(h, false).unwrap()).unwrap();
+                    match topo.endpoint(cur, r.escape).unwrap().node {
+                        iba_core::NodeRef::Host(reached) => {
+                            assert_eq!(reached, h);
+                            break;
+                        }
+                        iba_core::NodeRef::Switch(next) => {
+                            cur = next;
+                            hops += 1;
+                            assert!(hops <= 2 * topo.num_switches(), "APM chain loops");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn apm_dlid_requires_apm_tables() {
+        let topo = IrregularConfig::paper(8, 23).generate().unwrap();
+        let fa = FaRouting::build(&topo, RoutingConfig::two_options()).unwrap();
+        assert!(!fa.has_apm());
+        assert!(fa.apm_dlid(HostId(0), false).is_err());
+    }
+
+    #[test]
+    fn route_rejects_unknown_dlid() {
+        let (_, fa) = build(8, 5, 2);
+        assert!(fa.route(SwitchId(0), Lid(0)).is_err());
+    }
+
+    #[test]
+    fn tables_conform_to_linear_interface() {
+        // The subnet-manager view of every switch's table must be fully
+        // programmed for every assigned LID.
+        let (topo, fa) = build(8, 6, 4);
+        for s in topo.switch_ids() {
+            let view = fa.table(s).linear_view();
+            for h in topo.host_ids() {
+                for off in 0..4u16 {
+                    let lid = fa.lid_map().lid_for(h, off).unwrap();
+                    assert!(view[lid.raw() as usize].is_some(), "{s} lid {lid} unprogrammed");
+                }
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+        /// Escape chains always reach the destination switch (the
+        /// deadlock-free layer is complete), and adaptive options always
+        /// reduce distance by one.
+        #[test]
+        fn prop_fa_options_sound(seed in any::<u64>(), options_log in 1u32..3) {
+            let topo = IrregularConfig::paper(16, seed).generate().unwrap();
+            let fa = FaRouting::build(&topo, RoutingConfig::with_options(1 << options_log)).unwrap();
+            for s in topo.switch_ids() {
+                for h in topo.host_ids() {
+                    let t = topo.host_switch(h);
+                    if t == s { continue; }
+                    let r = fa.route(s, fa.dlid(h, true).unwrap()).unwrap();
+                    for p in &r.adaptive {
+                        let peer = topo.endpoint(s, *p).unwrap().node.as_switch().unwrap();
+                        prop_assert_eq!(fa.minimal().distance(peer, t) + 1, fa.minimal().distance(s, t));
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! # iba-routing
+//!
+//! Routing for the iba-far reproduction: everything between the topology
+//! and the simulator.
+//!
+//! * [`updown`] — the up\*/down\* routing algorithm \[Schroeder et al.,
+//!   Autonet\]: BFS spanning tree, up/down link orientation, and a
+//!   destination-based deterministic next-hop function whose paths never
+//!   take a forbidden down→up turn. This is both the paper's baseline
+//!   (deterministic routing, 0 % adaptive traffic) and the *escape* layer
+//!   of the FA algorithm.
+//! * [`minimal`] — minimal-path routing options: every output port on a
+//!   shortest path to the destination. These are the *adaptive* options
+//!   of the FA algorithm.
+//! * [`fa`] — the Fully Adaptive routing function of §3: minimal adaptive
+//!   options + one up\*/down\* escape option per destination, materialized
+//!   into per-switch forwarding tables through the LMC virtual-addressing
+//!   scheme.
+//! * [`table`] — the paper's core mechanism (§4.1): a *linear* forwarding
+//!   table physically organized as an interleaved memory so one access
+//!   returns all `2^LMC` routing options of a destination at once, while
+//!   the subnet-manager-facing interface stays a plain LID-indexed array.
+//! * [`sl2vl`] — the SLtoVL table (§4.4) computing the VL from (input
+//!   port, output port, SL).
+//! * [`analysis`] — static routing analysis: the routing-option
+//!   distribution of Table 2 and path-length statistics.
+
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod fa;
+pub mod minimal;
+pub mod sl2vl;
+pub mod table;
+pub mod updown;
+
+pub use analysis::{OptionDistribution, PathLengthStats};
+pub use fa::{FaRouting, RouteOptions, RoutingConfig};
+pub use minimal::MinimalRouting;
+pub use sl2vl::SlToVlTable;
+pub use table::InterleavedForwardingTable;
+pub use updown::UpDownRouting;

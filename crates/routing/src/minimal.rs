@@ -1,0 +1,159 @@
+//! Minimal-path routing options.
+//!
+//! The adaptive options of the FA algorithm (§3) are *minimal*: at each
+//! switch, any output port that lies on a shortest path to the
+//! destination's switch is a valid adaptive choice. This module computes,
+//! for every `(switch, destination switch)` pair, the full set of such
+//! ports — the raw material both for the forwarding tables (`fa`) and for
+//! the Table 2 analysis (`analysis`).
+
+use iba_core::{IbaError, PortIndex, SwitchId};
+use iba_topology::Topology;
+
+/// All minimal next-hop ports for every (switch, destination-switch) pair.
+#[derive(Clone, Debug)]
+pub struct MinimalRouting {
+    /// `dist[s][t]`: unconstrained shortest distance between switches.
+    dist: Vec<Vec<u32>>,
+    /// `options[t][s]`: ports of `s` on shortest paths to `t`, in
+    /// ascending port order. Empty for `s == t`.
+    options: Vec<Vec<Vec<PortIndex>>>,
+}
+
+impl MinimalRouting {
+    /// Compute minimal options for `topo`.
+    pub fn build(topo: &Topology) -> Result<MinimalRouting, IbaError> {
+        let n = topo.num_switches();
+        let dist = topo.switch_distances();
+        if dist.iter().any(|row| row.contains(&u32::MAX)) {
+            return Err(IbaError::RoutingFailed("topology disconnected".into()));
+        }
+        let mut options = vec![vec![Vec::new(); n]; n];
+        for s in topo.switch_ids() {
+            for (port, peer, _) in topo.switch_neighbors(s) {
+                for t in 0..n {
+                    if s.index() != t && dist[peer.index()][t] + 1 == dist[s.index()][t] {
+                        options[t][s.index()].push(port);
+                    }
+                }
+            }
+        }
+        Ok(MinimalRouting { dist, options })
+    }
+
+    /// Shortest distance between two switches, in hops.
+    #[inline]
+    pub fn distance(&self, s: SwitchId, t: SwitchId) -> u32 {
+        self.dist[s.index()][t.index()]
+    }
+
+    /// Minimal next-hop ports of `s` towards `t`, ascending by port.
+    /// Empty iff `s == t`.
+    #[inline]
+    pub fn options(&self, s: SwitchId, t: SwitchId) -> &[PortIndex] {
+        &self.options[t.index()][s.index()]
+    }
+
+    /// Number of distinct minimal options of `s` towards `t`.
+    #[inline]
+    pub fn option_count(&self, s: SwitchId, t: SwitchId) -> usize {
+        self.options(s, t).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iba_topology::{regular, IrregularConfig};
+    use proptest::prelude::*;
+
+    #[test]
+    fn ring_has_two_options_only_across() {
+        // On an even ring, opposite switches have two minimal directions;
+        // all other pairs have one.
+        let topo = regular::ring(6, 1).unwrap();
+        let mr = MinimalRouting::build(&topo).unwrap();
+        assert_eq!(mr.option_count(SwitchId(0), SwitchId(3)), 2);
+        assert_eq!(mr.option_count(SwitchId(0), SwitchId(1)), 1);
+        assert_eq!(mr.option_count(SwitchId(0), SwitchId(2)), 1);
+        assert_eq!(mr.option_count(SwitchId(0), SwitchId(0)), 0);
+    }
+
+    #[test]
+    fn hypercube_option_count_is_hamming_distance() {
+        // In a hypercube every differing dimension is a minimal first hop.
+        let topo = regular::hypercube(4, 1).unwrap();
+        let mr = MinimalRouting::build(&topo).unwrap();
+        for s in 0..16u16 {
+            for t in 0..16u16 {
+                let hamming = (s ^ t).count_ones() as usize;
+                assert_eq!(
+                    mr.option_count(SwitchId(s), SwitchId(t)),
+                    hamming,
+                    "sw{s} → sw{t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn options_point_strictly_closer() {
+        let topo = IrregularConfig::paper(32, 11).generate().unwrap();
+        let mr = MinimalRouting::build(&topo).unwrap();
+        for s in topo.switch_ids() {
+            for t in topo.switch_ids() {
+                for &port in mr.options(s, t) {
+                    let peer = topo.endpoint(s, port).unwrap().node.as_switch().unwrap();
+                    assert_eq!(mr.distance(peer, t) + 1, mr.distance(s, t));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_remote_pair_has_at_least_one_option() {
+        let topo = IrregularConfig::paper(16, 2).generate().unwrap();
+        let mr = MinimalRouting::build(&topo).unwrap();
+        for s in topo.switch_ids() {
+            for t in topo.switch_ids() {
+                if s != t {
+                    assert!(mr.option_count(s, t) >= 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn option_count_bounded_by_degree() {
+        let topo = IrregularConfig::paper(16, 3).generate().unwrap();
+        let mr = MinimalRouting::build(&topo).unwrap();
+        for s in topo.switch_ids() {
+            for t in topo.switch_ids() {
+                assert!(mr.option_count(s, t) <= topo.switch_degree(s));
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        /// Higher connectivity gives at least as many multi-option pairs,
+        /// in ensemble average (the driver of the paper's §5.2.2).
+        #[test]
+        fn prop_options_valid_on_any_seed(seed in any::<u64>()) {
+            let topo = IrregularConfig::paper(16, seed).generate().unwrap();
+            let mr = MinimalRouting::build(&topo).unwrap();
+            for s in topo.switch_ids() {
+                for t in topo.switch_ids() {
+                    if s == t {
+                        prop_assert!(mr.options(s, t).is_empty());
+                    } else {
+                        prop_assert!(!mr.options(s, t).is_empty());
+                        // Sorted, distinct ports.
+                        let opts = mr.options(s, t);
+                        prop_assert!(opts.windows(2).all(|w| w[0] < w[1]));
+                    }
+                }
+            }
+        }
+    }
+}

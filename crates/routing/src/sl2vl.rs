@@ -1,0 +1,127 @@
+//! The SLtoVL mapping table (§4.4).
+//!
+//! In IBA, the virtual lane a packet uses on its next hop is computed
+//! from the input port, the selected output port and the packet's service
+//! level, through the per-switch SLtoVL table. The paper's mechanism
+//! deliberately leaves this machinery untouched: the adaptive and escape
+//! queues live *inside* one VL's buffer, so the SLtoVL table keeps its
+//! spec-defined role.
+//!
+//! The default mapping used in the evaluation is the identity (`SL n →
+//! VL n`, clamped to the number of data VLs the switch operates), which
+//! is what subnet managers program when no QoS separation is requested.
+
+use iba_core::{IbaError, PortIndex, ServiceLevel, VirtualLane};
+use serde::{Deserialize, Serialize};
+
+/// A per-switch SLtoVL table.
+///
+/// Indexed by `(input port, output port, SL)`. Input port `None`
+/// represents packets injected by the switch's own management interface —
+/// not used by the data-path model, but kept for spec shape.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SlToVlTable {
+    ports: u8,
+    /// `map[in_port][out_port][sl]` → VL.
+    map: Vec<Vec<[u8; ServiceLevel::COUNT]>>,
+}
+
+impl SlToVlTable {
+    /// Identity mapping over `data_vls` lanes for a switch with `ports`
+    /// ports: `SL n → VL (n mod data_vls)`.
+    pub fn identity(ports: u8, data_vls: u8) -> Result<SlToVlTable, IbaError> {
+        if data_vls == 0 || data_vls as usize > VirtualLane::COUNT - 1 {
+            return Err(IbaError::InvalidConfig(format!(
+                "data VL count {data_vls} outside 1..=15"
+            )));
+        }
+        let mut row = [0u8; ServiceLevel::COUNT];
+        for (sl, vl) in row.iter_mut().enumerate() {
+            *vl = (sl % data_vls as usize) as u8;
+        }
+        Ok(SlToVlTable {
+            ports,
+            map: vec![vec![row; ports as usize]; ports as usize],
+        })
+    }
+
+    /// Program one entry (subnet-manager interface).
+    pub fn set(
+        &mut self,
+        input: PortIndex,
+        output: PortIndex,
+        sl: ServiceLevel,
+        vl: VirtualLane,
+    ) -> Result<(), IbaError> {
+        if input.index() >= self.ports as usize || output.index() >= self.ports as usize {
+            return Err(IbaError::InvalidConfig(format!(
+                "port out of range ({input}, {output})"
+            )));
+        }
+        self.map[input.index()][output.index()][sl.index()] = vl.0;
+        Ok(())
+    }
+
+    /// The VL a packet with service level `sl`, arriving on `input` and
+    /// leaving through `output`, must use on the downstream link.
+    #[inline]
+    pub fn vl_for(&self, input: PortIndex, output: PortIndex, sl: ServiceLevel) -> VirtualLane {
+        VirtualLane(self.map[input.index()][output.index()][sl.index()])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_maps_sl_to_same_vl() {
+        let t = SlToVlTable::identity(8, 4).unwrap();
+        assert_eq!(
+            t.vl_for(PortIndex(0), PortIndex(1), ServiceLevel(2)),
+            VirtualLane(2)
+        );
+        // Clamped modulo the data VL count.
+        assert_eq!(
+            t.vl_for(PortIndex(3), PortIndex(2), ServiceLevel(5)),
+            VirtualLane(1)
+        );
+    }
+
+    #[test]
+    fn single_vl_collapses_everything_to_vl0() {
+        let t = SlToVlTable::identity(8, 1).unwrap();
+        for sl in 0..16 {
+            assert_eq!(
+                t.vl_for(PortIndex(0), PortIndex(7), ServiceLevel(sl)),
+                VirtualLane(0)
+            );
+        }
+    }
+
+    #[test]
+    fn set_overrides_one_entry() {
+        let mut t = SlToVlTable::identity(4, 2).unwrap();
+        t.set(PortIndex(1), PortIndex(2), ServiceLevel(0), VirtualLane(1))
+            .unwrap();
+        assert_eq!(
+            t.vl_for(PortIndex(1), PortIndex(2), ServiceLevel(0)),
+            VirtualLane(1)
+        );
+        // Other entries untouched.
+        assert_eq!(
+            t.vl_for(PortIndex(2), PortIndex(1), ServiceLevel(0)),
+            VirtualLane(0)
+        );
+        assert!(t
+            .set(PortIndex(9), PortIndex(0), ServiceLevel(0), VirtualLane(0))
+            .is_err());
+    }
+
+    #[test]
+    fn rejects_bad_vl_counts() {
+        assert!(SlToVlTable::identity(8, 0).is_err());
+        assert!(SlToVlTable::identity(8, 16).is_err());
+        assert!(SlToVlTable::identity(8, 15).is_ok());
+    }
+}

@@ -1,0 +1,300 @@
+//! The interleaved linear forwarding table (§4.1, Figure 1).
+//!
+//! IBA's *linear forwarding table* is a plain array: the DLID indexes the
+//! table and each entry holds one output port. The paper's mechanism
+//! keeps that external interface — the subnet manager still programs the
+//! table entry-by-entry as if destinations were ordinary LIDs — but
+//! organizes the memory internally as `x` interleaved modules selected by
+//! the `log2(x)` least-significant bits of the address. One access then
+//! returns the data at *all* `x` addresses of the aligned group
+//! simultaneously: the full set of routing options of the packet's
+//! destination.
+//!
+//! The switch decides how much of the group to use from a single header
+//! bit (§4.2): if the DLID's least-significant bit is clear the packet
+//! asked for deterministic routing and only the entry at the group's
+//! first address (the escape/up\*/down\* option) is returned; if it is
+//! set, the whole group is returned.
+
+use iba_core::{IbaError, Lid, PortIndex};
+use serde::{Deserialize, Serialize};
+
+/// Value IBA uses for an unprogrammed forwarding-table entry.
+const INVALID_PORT: u8 = 0xFF;
+
+/// The result of one (physical) forwarding-table access for a packet.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TableLookup {
+    /// The escape / deterministic option: entry at the group's first
+    /// address. `None` if unprogrammed.
+    pub escape: Option<PortIndex>,
+    /// The adaptive options: entries at the remaining addresses of the
+    /// group, de-duplicated, in module order. Empty for a deterministic
+    /// request.
+    pub adaptive: Vec<PortIndex>,
+}
+
+/// A linear forwarding table stored as `x` interleaved memory modules.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct InterleavedForwardingTable {
+    /// `modules[m][row]` = entry at linear address `row * x + m`.
+    modules: Vec<Vec<u8>>,
+    /// Number of modules (`x`, a power of two).
+    fanout: u16,
+    /// Linear capacity (number of addressable LIDs).
+    len: usize,
+}
+
+impl InterleavedForwardingTable {
+    /// An empty (all-invalid) table of `len` linear entries organized in
+    /// `fanout` modules. `fanout` must be a power of two (the module is
+    /// selected by low address bits), matching `2^LMC`.
+    pub fn new(len: usize, fanout: u16) -> Result<Self, IbaError> {
+        if fanout == 0 || !fanout.is_power_of_two() || fanout > 128 {
+            return Err(IbaError::InvalidOptionCount(fanout));
+        }
+        let rows = len.div_ceil(fanout as usize);
+        Ok(InterleavedForwardingTable {
+            modules: vec![vec![INVALID_PORT; rows]; fanout as usize],
+            fanout,
+            len,
+        })
+    }
+
+    /// Number of linear entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the table has no entries.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of interleaved modules (`x` = routing options per
+    /// destination).
+    #[inline]
+    pub fn fanout(&self) -> u16 {
+        self.fanout
+    }
+
+    #[inline]
+    fn split(&self, addr: usize) -> (usize, usize) {
+        (addr % self.fanout as usize, addr / self.fanout as usize)
+    }
+
+    /// Linear (subnet-manager) write: program one entry, exactly as a
+    /// spec-conformant SMP `SubnSet(LinearForwardingTable)` would.
+    pub fn set(&mut self, lid: Lid, port: PortIndex) -> Result<(), IbaError> {
+        let addr = lid.raw() as usize;
+        if addr >= self.len {
+            return Err(IbaError::UnknownLid(lid.raw()));
+        }
+        let (m, row) = self.split(addr);
+        self.modules[m][row] = port.0;
+        Ok(())
+    }
+
+    /// Linear (subnet-manager) read of one entry.
+    pub fn get(&self, lid: Lid) -> Option<PortIndex> {
+        let addr = lid.raw() as usize;
+        if addr >= self.len {
+            return None;
+        }
+        let (m, row) = self.split(addr);
+        let v = self.modules[m][row];
+        (v != INVALID_PORT).then_some(PortIndex(v))
+    }
+
+    /// The physical *simultaneous* access a packet triggers (Figure 1):
+    /// all modules are read at the packet's group row in parallel; the
+    /// DLID's least-significant bit decides whether only the first entry
+    /// (deterministic) or the whole group (adaptive) is used.
+    pub fn lookup(&self, dlid: Lid) -> TableLookup {
+        let addr = dlid.raw() as usize;
+        if addr >= self.len {
+            return TableLookup {
+                escape: None,
+                adaptive: Vec::new(),
+            };
+        }
+        let row = addr / self.fanout as usize;
+        let escape = {
+            let v = self.modules[0][row];
+            (v != INVALID_PORT).then_some(PortIndex(v))
+        };
+        let mut adaptive = Vec::new();
+        if dlid.requests_adaptive() {
+            for module in &self.modules[1..] {
+                let v = module[row];
+                if v != INVALID_PORT {
+                    let p = PortIndex(v);
+                    if !adaptive.contains(&p) {
+                        adaptive.push(p);
+                    }
+                }
+            }
+        }
+        TableLookup { escape, adaptive }
+    }
+
+    /// View the table as the plain linear array the subnet manager sees
+    /// (`None` = unprogrammed). The interleaving is invisible here — this
+    /// is the compatibility guarantee of §4.1.
+    pub fn linear_view(&self) -> Vec<Option<PortIndex>> {
+        (0..self.len)
+            .map(|a| {
+                let (m, row) = self.split(a);
+                let v = self.modules[m][row];
+                (v != INVALID_PORT).then_some(PortIndex(v))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn table4() -> InterleavedForwardingTable {
+        InterleavedForwardingTable::new(64, 4).unwrap()
+    }
+
+    #[test]
+    fn fanout_must_be_power_of_two() {
+        assert!(InterleavedForwardingTable::new(16, 1).is_ok());
+        assert!(InterleavedForwardingTable::new(16, 2).is_ok());
+        assert!(InterleavedForwardingTable::new(16, 3).is_err());
+        assert!(InterleavedForwardingTable::new(16, 0).is_err());
+        assert!(InterleavedForwardingTable::new(16, 256).is_err());
+    }
+
+    #[test]
+    fn linear_set_get_roundtrip() {
+        let mut t = table4();
+        t.set(Lid(9), PortIndex(3)).unwrap();
+        assert_eq!(t.get(Lid(9)), Some(PortIndex(3)));
+        assert_eq!(t.get(Lid(8)), None);
+        assert!(t.set(Lid(64), PortIndex(0)).is_err());
+        assert_eq!(t.get(Lid(64)), None);
+    }
+
+    #[test]
+    fn group_lookup_returns_all_options_simultaneously() {
+        let mut t = table4();
+        // Destination owns addresses 8..12: escape at 8, adaptive at 9-11.
+        t.set(Lid(8), PortIndex(0)).unwrap();
+        t.set(Lid(9), PortIndex(1)).unwrap();
+        t.set(Lid(10), PortIndex(2)).unwrap();
+        t.set(Lid(11), PortIndex(5)).unwrap();
+        // Adaptive request (LSB set).
+        let r = t.lookup(Lid(9));
+        assert_eq!(r.escape, Some(PortIndex(0)));
+        assert_eq!(r.adaptive, vec![PortIndex(1), PortIndex(2), PortIndex(5)]);
+        // Any adaptive-flagged address of the group sees the same options.
+        assert_eq!(t.lookup(Lid(11)), r);
+    }
+
+    #[test]
+    fn deterministic_request_returns_only_the_escape_entry() {
+        let mut t = table4();
+        t.set(Lid(8), PortIndex(0)).unwrap();
+        t.set(Lid(9), PortIndex(1)).unwrap();
+        let r = t.lookup(Lid(8)); // LSB clear
+        assert_eq!(r.escape, Some(PortIndex(0)));
+        assert!(r.adaptive.is_empty());
+    }
+
+    #[test]
+    fn duplicate_adaptive_entries_are_deduped() {
+        let mut t = table4();
+        t.set(Lid(8), PortIndex(0)).unwrap();
+        // Fewer real options than modules: the subnet manager fills the
+        // rest with copies (§4.1); the switch must not offer duplicates.
+        t.set(Lid(9), PortIndex(1)).unwrap();
+        t.set(Lid(10), PortIndex(1)).unwrap();
+        t.set(Lid(11), PortIndex(1)).unwrap();
+        assert_eq!(t.lookup(Lid(9)).adaptive, vec![PortIndex(1)]);
+    }
+
+    #[test]
+    fn unprogrammed_entries_are_invisible() {
+        let t = table4();
+        let r = t.lookup(Lid(9));
+        assert_eq!(r.escape, None);
+        assert!(r.adaptive.is_empty());
+    }
+
+    #[test]
+    fn out_of_range_lookup_is_empty() {
+        let t = table4();
+        let r = t.lookup(Lid(1000));
+        assert_eq!(r.escape, None);
+        assert!(r.adaptive.is_empty());
+    }
+
+    #[test]
+    fn fanout_one_behaves_like_a_plain_linear_table() {
+        let mut t = InterleavedForwardingTable::new(8, 1).unwrap();
+        t.set(Lid(3), PortIndex(2)).unwrap();
+        let r = t.lookup(Lid(3)); // LSB set but there are no extra modules
+        assert_eq!(r.escape, Some(PortIndex(2)));
+        assert!(r.adaptive.is_empty());
+    }
+
+    proptest! {
+        /// The interleaved organization is externally equivalent to a
+        /// plain linear table: writing through the linear interface and
+        /// reading back (entry-wise or via linear_view) agrees with a
+        /// shadow Vec, for any fanout.
+        #[test]
+        fn prop_interleaved_equals_linear(
+            fanout_log in 0u32..4,
+            writes in proptest::collection::vec((0usize..128, 0u8..16), 0..200)
+        ) {
+            let fanout = 1u16 << fanout_log;
+            let mut t = InterleavedForwardingTable::new(128, fanout).unwrap();
+            let mut shadow: Vec<Option<PortIndex>> = vec![None; 128];
+            for (addr, port) in writes {
+                t.set(Lid(addr as u16), PortIndex(port)).unwrap();
+                shadow[addr] = Some(PortIndex(port));
+            }
+            for (a, &expect) in shadow.iter().enumerate() {
+                prop_assert_eq!(t.get(Lid(a as u16)), expect);
+            }
+            prop_assert_eq!(t.linear_view(), shadow);
+        }
+
+        /// Group lookup agrees with the linear view: escape is the entry
+        /// at the group base; adaptive are the deduped non-base entries.
+        #[test]
+        fn prop_lookup_matches_linear_semantics(
+            writes in proptest::collection::vec((0usize..64, 0u8..16), 0..100),
+            probe in 0usize..64
+        ) {
+            let fanout = 4u16;
+            let mut t = InterleavedForwardingTable::new(64, fanout).unwrap();
+            for (addr, port) in writes {
+                t.set(Lid(addr as u16), PortIndex(port)).unwrap();
+            }
+            let view = t.linear_view();
+            let base = probe / 4 * 4;
+            let r = t.lookup(Lid(probe as u16));
+            prop_assert_eq!(r.escape, view[base]);
+            if probe % 2 == 1 {
+                let mut expect = Vec::new();
+                for v in view[base + 1..base + 4].iter().flatten() {
+                    if !expect.contains(v) {
+                        expect.push(*v);
+                    }
+                }
+                prop_assert_eq!(r.adaptive, expect);
+            } else {
+                prop_assert!(r.adaptive.is_empty());
+            }
+        }
+    }
+}

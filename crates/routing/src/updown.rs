@@ -1,0 +1,484 @@
+//! Up\*/down\* routing.
+//!
+//! Up\*/down\* (Autonet; the paper's reference \[20\]) is the classic
+//! deadlock-free routing algorithm for irregular networks and the escape
+//! layer of the paper's FA algorithm:
+//!
+//! 1. Build a BFS spanning tree from a root switch. Orient every link:
+//!    the "up" end is the end closer to the root (tie broken by lower
+//!    switch id). Orientation is acyclic because an up move strictly
+//!    decreases the key `(BFS level, switch id)`.
+//! 2. A path is *legal* iff it consists of zero or more up moves followed
+//!    by zero or more down moves — equivalently, it never takes a
+//!    down→up turn. Legal paths cannot close a cycle of buffer
+//!    dependencies, hence deadlock freedom.
+//!
+//! Switches route by destination only (IBA forwarding tables know
+//! nothing about a packet's history), so the per-hop choice must make
+//! globally legal paths. We use the standard consistent rule:
+//!
+//! * if the destination is reachable through down moves alone, take the
+//!   first hop of a shortest all-down path ("go down when you can");
+//! * otherwise take the up move that minimizes the remaining legal
+//!   distance.
+//!
+//! Down-only reachability is *absorbing* along such routes (the next
+//! switch of a down move is itself down-only reachable), so a route never
+//! attempts an up move after its first down move — legality holds across
+//! hops even though each switch decides independently. This matches the
+//! well-known behaviour the paper leans on in §5.2.1: up\*/down\* paths
+//! may be non-minimal and concentrate traffic near the root.
+
+use iba_core::{HostId, IbaError, PortIndex, SwitchId};
+use iba_topology::Topology;
+use std::collections::VecDeque;
+
+/// Unreachable marker in distance matrices.
+const INF: u32 = u32::MAX;
+
+/// The up\*/down\* routing function for one topology.
+#[derive(Clone, Debug)]
+pub struct UpDownRouting {
+    root: SwitchId,
+    /// BFS level of every switch (root = 0).
+    level: Vec<u32>,
+    /// `down_dist[t][s]`: length of the shortest all-down path s→t, or
+    /// `INF`. Indexed destination-first for cache-friendly per-dest use.
+    down_dist: Vec<Vec<u32>>,
+    /// `legal_dist[t][s]`: length of the shortest legal (up\* then down\*)
+    /// path s→t.
+    legal_dist: Vec<Vec<u32>>,
+    /// `next_hop[t][s]`: the output port switch `s` uses towards switch
+    /// `t` (undefined for `s == t`, stored as `None`).
+    next_hop: Vec<Vec<Option<PortIndex>>>,
+}
+
+impl UpDownRouting {
+    /// Build up\*/down\* for `topo`, selecting the root automatically
+    /// (minimum eccentricity, ties to the lowest id — the usual heuristic
+    /// keeping the tree shallow).
+    pub fn build(topo: &Topology) -> Result<UpDownRouting, IbaError> {
+        let root = Self::select_root(topo)?;
+        Self::build_with_root(topo, root)
+    }
+
+    /// Build with an explicit root (exposed for tests and ablations).
+    pub fn build_with_root(topo: &Topology, root: SwitchId) -> Result<UpDownRouting, IbaError> {
+        let n = topo.num_switches();
+        if root.index() >= n {
+            return Err(IbaError::RoutingFailed(format!("root {root} out of range")));
+        }
+        let level = topo.distances_from(root);
+        if level.contains(&INF) {
+            return Err(IbaError::RoutingFailed("topology disconnected".into()));
+        }
+
+        let mut rt = UpDownRouting {
+            root,
+            level,
+            down_dist: Vec::with_capacity(n),
+            legal_dist: Vec::with_capacity(n),
+            next_hop: Vec::with_capacity(n),
+        };
+        for t in 0..n {
+            let (down, legal) = rt.distances_to(topo, SwitchId(t as u16));
+            rt.down_dist.push(down);
+            rt.legal_dist.push(legal);
+        }
+        for t in 0..n {
+            let mut hops = vec![None; n];
+            for (s, hop) in hops.iter_mut().enumerate() {
+                if s != t {
+                    *hop = Some(rt.compute_next_hop(
+                        topo,
+                        SwitchId(s as u16),
+                        SwitchId(t as u16),
+                    )?);
+                }
+            }
+            rt.next_hop.push(hops);
+        }
+        Ok(rt)
+    }
+
+    /// Root with minimum eccentricity (lowest id wins ties).
+    fn select_root(topo: &Topology) -> Result<SwitchId, IbaError> {
+        let dist = topo.switch_distances();
+        let mut best: Option<(u32, SwitchId)> = None;
+        for s in topo.switch_ids() {
+            let ecc = dist[s.index()]
+                .iter()
+                .copied()
+                .max()
+                .ok_or_else(|| IbaError::RoutingFailed("empty topology".into()))?;
+            if ecc == INF {
+                return Err(IbaError::RoutingFailed("topology disconnected".into()));
+            }
+            if best.is_none_or(|(be, _)| ecc < be) {
+                best = Some((ecc, s));
+            }
+        }
+        Ok(best.expect("at least one switch").1)
+    }
+
+    /// The selected root switch.
+    pub fn root(&self) -> SwitchId {
+        self.root
+    }
+
+    /// BFS level of a switch (root = 0).
+    pub fn level_of(&self, s: SwitchId) -> u32 {
+        self.level[s.index()]
+    }
+
+    /// Whether traversing the link `from → to` is an **up** move
+    /// (towards the root). The up end of a link is the end with the
+    /// lexicographically smaller `(level, id)`.
+    pub fn is_up_move(&self, from: SwitchId, to: SwitchId) -> bool {
+        (self.level[to.index()], to.0) < (self.level[from.index()], from.0)
+    }
+
+    /// Whether traversing the link `from → to` is a **down** move.
+    pub fn is_down_move(&self, from: SwitchId, to: SwitchId) -> bool {
+        !self.is_up_move(from, to)
+    }
+
+    /// Backward BFS from `t` over the 2-state layered graph, producing
+    /// for every source `s` the shortest all-down distance and the
+    /// shortest legal distance of paths `s → t`.
+    ///
+    /// Forward semantics of the layers: in state `CanUp` a packet may
+    /// still take up moves (or switch to going down); in state `DownOnly`
+    /// it may only take down moves. A forward edge `s →(up) n` connects
+    /// `(s, CanUp) → (n, CanUp)`; a forward edge `s →(down) m` connects
+    /// both `(s, CanUp)` and `(s, DownOnly)` to `(m, DownOnly)`. We BFS
+    /// the reversed edges from `{(t, CanUp), (t, DownOnly)}`.
+    fn distances_to(&self, topo: &Topology, t: SwitchId) -> (Vec<u32>, Vec<u32>) {
+        let n = topo.num_switches();
+        // legal[s] = distance of state (s, CanUp); down[s] = distance of
+        // state (s, DownOnly). Recurrences (forward semantics):
+        //   down[s]  = 1 + min over down-neighbors m of down[m]
+        //   legal[s] = min(1 + min over up-neighbors n of legal[n], down[s])
+        // solved by a multi-layer BFS over the reversed edges; every edge
+        // costs 1 so FIFO order yields shortest distances.
+        let mut legal = vec![INF; n];
+        let mut down = vec![INF; n];
+        legal[t.index()] = 0;
+        down[t.index()] = 0;
+        // Queue of (switch, is_down_only_state).
+        let mut queue = VecDeque::from([(t, false), (t, true)]);
+        while let Some((cur, down_only)) = queue.pop_front() {
+            if down_only {
+                let d = down[cur.index()];
+                for (_, peer, _) in topo.switch_neighbors(cur) {
+                    // Forward edges peer →(down) cur, from either layer:
+                    // (peer, DownOnly) → (cur, DownOnly) and
+                    // (peer, CanUp)   → (cur, DownOnly).
+                    if self.is_down_move(peer, cur) {
+                        if down[peer.index()] == INF {
+                            down[peer.index()] = d + 1;
+                            queue.push_back((peer, true));
+                        }
+                        if legal[peer.index()] == INF {
+                            legal[peer.index()] = d + 1;
+                            queue.push_back((peer, false));
+                        }
+                    }
+                }
+            } else {
+                let d = legal[cur.index()];
+                for (_, peer, _) in topo.switch_neighbors(cur) {
+                    // Forward edge peer →(up) cur: (peer, CanUp) → (cur, CanUp).
+                    if self.is_up_move(peer, cur) && legal[peer.index()] == INF {
+                        legal[peer.index()] = d + 1;
+                        queue.push_back((peer, false));
+                    }
+                }
+            }
+        }
+        (down, legal)
+    }
+
+    /// Deterministic next hop of `s` towards `t` (`s != t`).
+    fn compute_next_hop(
+        &self,
+        topo: &Topology,
+        s: SwitchId,
+        t: SwitchId,
+    ) -> Result<PortIndex, IbaError> {
+        let down = &self.down_dist[t.index()];
+        let legal = &self.legal_dist[t.index()];
+        let mut best: Option<(u32, u16, PortIndex)> = None;
+        if down[s.index()] != INF {
+            // Go down: pick the down neighbor on a shortest all-down path.
+            for (port, peer, _) in topo.switch_neighbors(s) {
+                if self.is_down_move(s, peer) && down[peer.index()] != INF {
+                    let cand = (down[peer.index()], peer.0, port);
+                    if best.is_none_or(|b| cand < b) {
+                        best = Some(cand);
+                    }
+                }
+            }
+        } else {
+            // Go up: pick the up neighbor minimizing the remaining legal
+            // distance.
+            for (port, peer, _) in topo.switch_neighbors(s) {
+                if self.is_up_move(s, peer) && legal[peer.index()] != INF {
+                    let cand = (legal[peer.index()], peer.0, port);
+                    if best.is_none_or(|b| cand < b) {
+                        best = Some(cand);
+                    }
+                }
+            }
+        }
+        best.map(|(_, _, port)| port).ok_or_else(|| {
+            IbaError::RoutingFailed(format!("no legal next hop from {s} to {t}"))
+        })
+    }
+
+    /// The output port `s` uses towards switch `t`; `None` when `s == t`.
+    #[inline]
+    pub fn next_hop(&self, s: SwitchId, t: SwitchId) -> Option<PortIndex> {
+        self.next_hop[t.index()][s.index()]
+    }
+
+    /// *All* consistent next-hop choices of `s` towards `t`, best first:
+    /// every down neighbor that still reaches `t` downward when one
+    /// exists, otherwise every up neighbor with a finite legal distance.
+    /// Any per-switch mixture of these choices yields a legal (turn-free)
+    /// and terminating path — down moves strictly increase the tree key
+    /// and down-only reachability is absorbing — so a source-selected
+    /// multipath scheme can spread packets over them without risking
+    /// deadlock. Used by `FaRouting::build_source_multipath`.
+    pub fn next_hop_variants(&self, topo: &Topology, s: SwitchId, t: SwitchId) -> Vec<PortIndex> {
+        if s == t {
+            return Vec::new();
+        }
+        let down = &self.down_dist[t.index()];
+        let legal = &self.legal_dist[t.index()];
+        let mut cands: Vec<(u32, u16, PortIndex)> = Vec::new();
+        if down[s.index()] != INF {
+            for (port, peer, _) in topo.switch_neighbors(s) {
+                if self.is_down_move(s, peer) && down[peer.index()] != INF {
+                    cands.push((down[peer.index()], peer.0, port));
+                }
+            }
+        } else {
+            for (port, peer, _) in topo.switch_neighbors(s) {
+                if self.is_up_move(s, peer) && legal[peer.index()] != INF {
+                    cands.push((legal[peer.index()], peer.0, port));
+                }
+            }
+        }
+        cands.sort();
+        cands.into_iter().map(|(_, _, p)| p).collect()
+    }
+
+    /// Shortest legal distance `s → t` in switch hops.
+    #[inline]
+    pub fn legal_distance(&self, s: SwitchId, t: SwitchId) -> u32 {
+        self.legal_dist[t.index()][s.index()]
+    }
+
+    /// The full switch path `s → t` following the deterministic rule.
+    /// Errors if the walk does not terminate within `2 × n` hops (which
+    /// would indicate a broken table).
+    pub fn path(&self, topo: &Topology, s: SwitchId, t: SwitchId) -> Result<Vec<SwitchId>, IbaError> {
+        let mut path = vec![s];
+        let mut cur = s;
+        let bound = 2 * topo.num_switches() + 2;
+        while cur != t {
+            if path.len() > bound {
+                return Err(IbaError::RoutingFailed(format!(
+                    "path {s}→{t} did not terminate"
+                )));
+            }
+            let port = self
+                .next_hop(cur, t)
+                .ok_or_else(|| IbaError::RoutingFailed("missing next hop".into()))?;
+            let ep = topo
+                .endpoint(cur, port)
+                .ok_or_else(|| IbaError::RoutingFailed("next hop port unwired".into()))?;
+            cur = ep
+                .node
+                .as_switch()
+                .ok_or_else(|| IbaError::RoutingFailed("next hop is a host".into()))?;
+            path.push(cur);
+        }
+        Ok(path)
+    }
+
+    /// Escape path length between the switches of two hosts (used by
+    /// path-length statistics).
+    pub fn host_path_len(&self, topo: &Topology, src: HostId, dst: HostId) -> Result<usize, IbaError> {
+        let s = topo.host_switch(src);
+        let t = topo.host_switch(dst);
+        Ok(self.path(topo, s, t)?.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iba_topology::{regular, IrregularConfig};
+    use proptest::prelude::*;
+
+    /// Assert that the deterministic route s→t is a legal up*/down* path.
+    fn assert_legal_path(rt: &UpDownRouting, topo: &Topology, s: SwitchId, t: SwitchId) {
+        let path = rt.path(topo, s, t).unwrap();
+        let mut went_down = false;
+        for w in path.windows(2) {
+            let up = rt.is_up_move(w[0], w[1]);
+            if up {
+                assert!(
+                    !went_down,
+                    "down→up turn on route {s}→{t}: {path:?} (root {})",
+                    rt.root()
+                );
+            } else {
+                went_down = true;
+            }
+        }
+    }
+
+    #[test]
+    fn root_has_level_zero_and_min_eccentricity() {
+        let topo = regular::chain(5, 1).unwrap();
+        let rt = UpDownRouting::build(&topo).unwrap();
+        // Center of a 5-chain.
+        assert_eq!(rt.root(), SwitchId(2));
+        assert_eq!(rt.level_of(SwitchId(2)), 0);
+        assert_eq!(rt.level_of(SwitchId(0)), 2);
+    }
+
+    #[test]
+    fn up_moves_decrease_level_key() {
+        let topo = IrregularConfig::paper(16, 5).generate().unwrap();
+        let rt = UpDownRouting::build(&topo).unwrap();
+        for s in topo.switch_ids() {
+            for (_, peer, _) in topo.switch_neighbors(s) {
+                // Exactly one direction of every link is up.
+                assert_ne!(rt.is_up_move(s, peer), rt.is_up_move(peer, s));
+                if rt.is_up_move(s, peer) {
+                    assert!(
+                        (rt.level_of(peer), peer.0) < (rt.level_of(s), s.0),
+                        "up move must decrease (level, id)"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_pairs_reachable_on_ring() {
+        let topo = regular::ring(8, 1).unwrap();
+        let rt = UpDownRouting::build(&topo).unwrap();
+        for s in topo.switch_ids() {
+            for t in topo.switch_ids() {
+                if s != t {
+                    assert!(rt.next_hop(s, t).is_some());
+                    assert_legal_path(&rt, &topo, s, t);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn routes_terminate_and_are_legal_on_irregular_networks() {
+        for seed in 0..5 {
+            let topo = IrregularConfig::paper(16, seed).generate().unwrap();
+            let rt = UpDownRouting::build(&topo).unwrap();
+            for s in topo.switch_ids() {
+                for t in topo.switch_ids() {
+                    if s != t {
+                        assert_legal_path(&rt, &topo, s, t);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn legal_distance_bounds_actual_path() {
+        let topo = IrregularConfig::paper(32, 9).generate().unwrap();
+        let rt = UpDownRouting::build(&topo).unwrap();
+        let dist = topo.switch_distances();
+        for s in topo.switch_ids() {
+            for t in topo.switch_ids() {
+                if s == t {
+                    continue;
+                }
+                let path = rt.path(&topo, s, t).unwrap();
+                let hops = (path.len() - 1) as u32;
+                // Never shorter than the unconstrained shortest path, and
+                // at least as long as the legal lower bound.
+                assert!(hops >= dist[s.index()][t.index()]);
+                assert!(hops >= rt.legal_distance(s, t));
+            }
+        }
+    }
+
+    #[test]
+    fn updown_paths_can_be_nonminimal() {
+        // The paper relies on up*/down* using non-minimal paths in large
+        // irregular networks. Check the phenomenon exists in an ensemble.
+        let mut nonminimal = 0;
+        for seed in 0..5 {
+            let topo = IrregularConfig::paper(32, seed).generate().unwrap();
+            let rt = UpDownRouting::build(&topo).unwrap();
+            let dist = topo.switch_distances();
+            for s in topo.switch_ids() {
+                for t in topo.switch_ids() {
+                    if s != t {
+                        let hops = (rt.path(&topo, s, t).unwrap().len() - 1) as u32;
+                        if hops > dist[s.index()][t.index()] {
+                            nonminimal += 1;
+                        }
+                    }
+                }
+            }
+        }
+        assert!(nonminimal > 0, "expected some non-minimal up*/down* routes");
+    }
+
+    #[test]
+    fn explicit_root_is_respected() {
+        let topo = regular::ring(6, 1).unwrap();
+        let rt = UpDownRouting::build_with_root(&topo, SwitchId(3)).unwrap();
+        assert_eq!(rt.root(), SwitchId(3));
+        assert_eq!(rt.level_of(SwitchId(3)), 0);
+        assert!(UpDownRouting::build_with_root(&topo, SwitchId(99)).is_err());
+    }
+
+    #[test]
+    fn down_distance_is_inf_when_no_down_path() {
+        // On a chain rooted at the center, leaf→leaf has no all-down path.
+        let topo = regular::chain(5, 1).unwrap();
+        let rt = UpDownRouting::build(&topo).unwrap();
+        let s = SwitchId(0);
+        let t = SwitchId(4);
+        // The route must go up towards the root first.
+        let path = rt.path(&topo, s, t).unwrap();
+        assert_eq!(path, vec![SwitchId(0), SwitchId(1), SwitchId(2), SwitchId(3), SwitchId(4)]);
+        assert_legal_path(&rt, &topo, s, t);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        /// Property: on any random irregular topology, every deterministic
+        /// route terminates and never takes a down→up turn.
+        #[test]
+        fn prop_routes_are_legal(seed in any::<u64>(), n_idx in 0usize..3) {
+            let n = [8usize, 16, 32][n_idx];
+            let topo = IrregularConfig::paper(n, seed).generate().unwrap();
+            let rt = UpDownRouting::build(&topo).unwrap();
+            for s in topo.switch_ids() {
+                for t in topo.switch_ids() {
+                    if s != t {
+                        assert_legal_path(&rt, &topo, s, t);
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,991 @@
+//! The event-driven network model.
+//!
+//! [`Network`] wires a [`Topology`] + [`FaRouting`] + [`WorkloadSpec`]
+//! into a register-transfer-level simulation of an IBA subnet, following
+//! §5.1 of the paper:
+//!
+//! * virtual cut-through switching: a packet is forwarded as soon as its
+//!   header has been routed *and* the downstream VL buffer can hold the
+//!   whole packet (credit check);
+//! * credit-based flow control per VL, in 64-byte credits; the sender
+//!   decrements its counter at transmission start, the receiver returns
+//!   credits when the packet's tail leaves its buffer, and the return
+//!   travels back with the link's propagation delay;
+//! * the 100 ns switch routing time covers forwarding-table access,
+//!   arbitration and crossbar setup — modelled as a pipeline delay
+//!   between header arrival and arbitration eligibility;
+//! * serialization at 4 ns/byte (1X link) and 100 ns propagation (20 m
+//!   copper), both taken from [`iba_core::PhysParams`];
+//! * the split adaptive/escape VL buffers, the per-VL credit split
+//!   (`C_A`/`C_E`), and the §4.3 output selection at arbitration time.
+//!
+//! Hosts are open-loop sources with unbounded source queues and infinite
+//! sink buffers (the paper measures fabric performance, not end-node
+//! limits).
+
+use crate::buffer::{ReadPoint, VlBuffer};
+use crate::config::{SelectionPolicy, SimConfig};
+use crate::stats::{RunResult, StatsCollector};
+use crate::trace::{TraceStep, Tracer};
+use iba_core::{
+    Credits, HostId, IbaError, NodeRef, Packet, PacketId, PortIndex, SimTime, SwitchId,
+    VirtualLane,
+};
+use iba_engine::rng::{StreamKind, StreamRng};
+use iba_engine::EventQueue;
+use iba_routing::{FaRouting, SlToVlTable};
+use iba_topology::Topology;
+use iba_workloads::{HostGenerator, PathSet, TrafficScript, WorkloadSpec};
+use std::collections::VecDeque;
+
+/// Discrete events of the network model.
+#[derive(Debug)]
+enum Event {
+    /// A host's traffic generator fires.
+    Generate { host: HostId },
+    /// The next scripted injection (trace-driven mode) fires.
+    GenerateScripted { idx: usize },
+    /// A host retries sending the head of its source queue.
+    TryInject { host: HostId },
+    /// A packet's header reaches a switch input port.
+    HeaderArrive {
+        sw: SwitchId,
+        port: PortIndex,
+        vl: VirtualLane,
+        packet: Packet,
+    },
+    /// The forwarding-table pipeline for a buffered packet completes.
+    RouteDone {
+        sw: SwitchId,
+        port: PortIndex,
+        vl: VirtualLane,
+        id: PacketId,
+    },
+    /// Coalesced arbitration pass at a switch.
+    Arbitrate { sw: SwitchId },
+    /// A forwarded packet's tail has left its input buffer.
+    TxDone {
+        sw: SwitchId,
+        port: PortIndex,
+        vl: VirtualLane,
+        id: PacketId,
+    },
+    /// Freed credits reach the upstream sender.
+    CreditReturn {
+        target: NodeRef,
+        port: PortIndex,
+        vl: VirtualLane,
+        credits: Credits,
+    },
+    /// A packet's tail reaches its destination host.
+    Deliver { host: HostId, packet: Packet },
+}
+
+/// One physical input port of a switch.
+struct InputPort {
+    /// Per-VL split buffers.
+    vls: Vec<VlBuffer>,
+    /// The buffer RAM's read path (the Figure 2 multiplexer) is busy
+    /// streaming a packet out until this time.
+    read_busy_until: SimTime,
+    /// Round-robin cursor over VLs (a minimal stand-in for IBA's VL
+    /// arbitration so no data VL starves behind VL0).
+    vl_cursor: usize,
+}
+
+/// One physical output port of a switch.
+struct OutputPort {
+    /// The serial link transmits one packet at a time.
+    busy_until: SimTime,
+    /// Sender-side credit counters per VL of the downstream input buffer;
+    /// `None` for host-facing ports (hosts are infinite sinks).
+    credits: Option<Vec<Credits>>,
+    /// Cumulative transmission time (utilization probe).
+    busy_ns_total: u64,
+}
+
+struct SwitchState {
+    inputs: Vec<InputPort>,
+    outputs: Vec<OutputPort>,
+    sl2vl: SlToVlTable,
+    arb_pending: bool,
+    rr_cursor: usize,
+}
+
+struct HostState {
+    /// Synthetic generator; `None` in trace-driven mode.
+    gen: Option<HostGenerator>,
+    /// Open-loop source queue.
+    queue: VecDeque<Packet>,
+    tx_busy_until: SimTime,
+    /// Credits towards the attached switch's input buffer, per VL.
+    credits: Vec<Credits>,
+    attached_switch: SwitchId,
+    /// Per-source sequence counter (order checking).
+    next_seq: u64,
+    /// Rotating DLID-offset cursor for source-selected multipath.
+    mp_cursor: u16,
+}
+
+/// A forwarding decision produced by arbitration.
+struct Decision {
+    input: usize,
+    vl: usize,
+    packet_id: PacketId,
+    out_port: PortIndex,
+    out_vl: VirtualLane,
+    via_escape: bool,
+    read_point: ReadPoint,
+}
+
+/// An IBA subnet simulation.
+pub struct Network<'a> {
+    topo: &'a Topology,
+    routing: &'a FaRouting,
+    spec: WorkloadSpec,
+    config: SimConfig,
+    queue: EventQueue<Event>,
+    switches: Vec<SwitchState>,
+    hosts: Vec<HostState>,
+    stats: StatsCollector,
+    next_packet_id: u64,
+    arb_rng: StreamRng,
+    /// No packets are generated at or after this time.
+    gen_deadline: SimTime,
+    tracer: Option<Tracer>,
+    /// Trace-driven injections (replaces the synthetic generators).
+    script: Option<&'a TrafficScript>,
+}
+
+impl<'a> Network<'a> {
+    /// Assemble a simulation. Fails on inconsistent configuration (e.g. a
+    /// workload requesting adaptive marking when the routing tables have
+    /// no adaptive addresses).
+    pub fn new(
+        topo: &'a Topology,
+        routing: &'a FaRouting,
+        spec: WorkloadSpec,
+        config: SimConfig,
+    ) -> Result<Network<'a>, IbaError> {
+        spec.validate()?;
+        config.validate(spec.packet_bytes)?;
+        if routing.lid_map().num_hosts() as usize != topo.num_hosts() {
+            return Err(IbaError::InvalidConfig(
+                "routing tables built for a different topology".into(),
+            ));
+        }
+        if spec.adaptive_fraction > 0.0 && routing.config().table_options < 2 {
+            return Err(IbaError::InvalidConfig(
+                "adaptive traffic requires at least 2 routing options (LMC >= 1)".into(),
+            ));
+        }
+
+        let root = StreamRng::from_seed(config.seed);
+        let vls = config.data_vls as usize;
+        let cap = config.vl_buffer_credits;
+
+        let switches = topo
+            .switch_ids()
+            .map(|s| {
+                let ports = topo.ports_per_switch() as usize;
+                let inputs = (0..ports)
+                    .map(|_| InputPort {
+                        vls: (0..vls).map(|_| VlBuffer::new(cap)).collect(),
+                        read_busy_until: SimTime::ZERO,
+                        vl_cursor: 0,
+                    })
+                    .collect();
+                let outputs = (0..ports)
+                    .map(|p| {
+                        let to_switch = topo
+                            .endpoint(s, PortIndex(p as u8))
+                            .is_some_and(|ep| ep.node.is_switch());
+                        OutputPort {
+                            busy_until: SimTime::ZERO,
+                            credits: to_switch.then(|| vec![cap; vls]),
+                            busy_ns_total: 0,
+                        }
+                    })
+                    .collect();
+                Ok(SwitchState {
+                    inputs,
+                    outputs,
+                    sl2vl: SlToVlTable::identity(topo.ports_per_switch(), config.data_vls)?,
+                    arb_pending: false,
+                    rr_cursor: 0,
+                })
+            })
+            .collect::<Result<Vec<_>, IbaError>>()?;
+
+        // Hosts are numbered consecutively per switch by the topology
+        // builders; permutation patterns act on the switch index.
+        let hosts_per_switch = if topo.num_hosts().is_multiple_of(topo.num_switches()) {
+            topo.num_hosts() / topo.num_switches()
+        } else {
+            1
+        };
+        let hosts = topo
+            .host_ids()
+            .map(|h| {
+                Ok(HostState {
+                    gen: Some(HostGenerator::with_groups(
+                        h,
+                        topo.num_hosts(),
+                        hosts_per_switch,
+                        spec,
+                        &root,
+                    )?),
+                    queue: VecDeque::new(),
+                    tx_busy_until: SimTime::ZERO,
+                    credits: vec![cap; vls],
+                    attached_switch: topo.host_switch(h),
+                    next_seq: 0,
+                    mp_cursor: h.0 % routing.config().table_options,
+                })
+            })
+            .collect::<Result<Vec<_>, IbaError>>()?;
+
+        let horizon = config.horizon();
+        Ok(Network {
+            topo,
+            routing,
+            spec,
+            config,
+            queue: EventQueue::with_capacity(4096),
+            switches,
+            hosts,
+            stats: StatsCollector::new(config.warmup, horizon),
+            next_packet_id: 0,
+            arb_rng: root.derive(StreamKind::Arbiter),
+            gen_deadline: horizon,
+            tracer: None,
+            script: None,
+        })
+    }
+
+    /// Assemble a *trace-driven* simulation: instead of synthetic
+    /// generators, the exact injections of `script` are replayed.
+    pub fn new_scripted(
+        topo: &'a Topology,
+        routing: &'a FaRouting,
+        script: &'a TrafficScript,
+        config: SimConfig,
+    ) -> Result<Network<'a>, IbaError> {
+        if let Some(max) = script.max_host() {
+            if max.index() >= topo.num_hosts() {
+                return Err(IbaError::InvalidConfig(format!(
+                    "script references {max} but the topology has {} hosts",
+                    topo.num_hosts()
+                )));
+            }
+        }
+        if script.uses_adaptive() && routing.config().table_options < 2 {
+            return Err(IbaError::InvalidConfig(
+                "adaptive script entries require at least 2 routing options".into(),
+            ));
+        }
+        if script.uses_alternate() {
+            if !routing.has_apm() {
+                return Err(IbaError::InvalidConfig(
+                    "alternate-path script entries require APM tables \
+                     (FaRouting::build_with_apm)"
+                        .into(),
+                ));
+            }
+            // The two escape orientations are only jointly deadlock-free
+            // on disjoint virtual lanes: every SL used by alternate
+            // entries must map to a different VL than every primary SL.
+            let (primary, alternate) = script.sls_by_path_set();
+            let vl_of = |sl: iba_core::ServiceLevel| sl.0 % config.data_vls;
+            for a in &alternate {
+                if primary.iter().any(|p| vl_of(*p) == vl_of(*a)) {
+                    return Err(IbaError::InvalidConfig(format!(
+                        "alternate-path SL {a} shares a VL with primary traffic; \
+                         put the path sets on SLs mapping to disjoint VLs \
+                         (data_vls = {})",
+                        config.data_vls
+                    )));
+                }
+            }
+        }
+        // The synthetic spec is a placeholder in this mode; only its
+        // packet size participates in buffer validation, so mirror the
+        // script's largest packet.
+        let spec = WorkloadSpec {
+            packet_bytes: script.max_packet_bytes().max(1),
+            adaptive_fraction: 0.0,
+            ..WorkloadSpec::uniform32(1e-6)
+        };
+        let mut net = Network::new(topo, routing, spec, config)?;
+        for h in &mut net.hosts {
+            h.gen = None;
+        }
+        net.script = Some(script);
+        Ok(net)
+    }
+
+    /// The workload driving the simulation.
+    pub fn spec(&self) -> &WorkloadSpec {
+        &self.spec
+    }
+
+    /// The simulator configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    /// Enable journey tracing before running: every `sample_every`-th
+    /// packet is recorded, up to `max_packets` journeys.
+    pub fn enable_tracing(&mut self, sample_every: u64, max_packets: usize) {
+        self.tracer = Some(Tracer::sampled(sample_every, max_packets));
+    }
+
+    /// Recorded journeys (empty unless tracing was enabled).
+    pub fn tracer(&self) -> Option<&Tracer> {
+        self.tracer.as_ref()
+    }
+
+    #[inline]
+    fn trace(&mut self, id: PacketId, at: SimTime, step: TraceStep) {
+        if let Some(tr) = self.tracer.as_mut() {
+            tr.record(id, at, step);
+        }
+    }
+
+    /// Run until the measurement horizon, returning the per-run result.
+    pub fn run(&mut self) -> RunResult {
+        let horizon = self.config.horizon();
+        self.prime();
+        while self.queue.events_processed() < self.config.max_events {
+            let Some((now, ev)) = self.queue.pop_until(horizon) else {
+                break;
+            };
+            self.dispatch(now, ev);
+        }
+        self.stats
+            .finish(self.topo.num_switches(), self.queue.events_processed())
+    }
+
+    /// Run with generation stopped at `stop_generation`, continuing until
+    /// every event has drained (all in-flight packets delivered) or
+    /// `hard_deadline` passes. Returns the result and whether the network
+    /// fully drained — the deadlock-freedom check used by the test suite.
+    pub fn run_until_drained(
+        &mut self,
+        stop_generation: SimTime,
+        hard_deadline: SimTime,
+    ) -> (RunResult, bool) {
+        self.gen_deadline = stop_generation;
+        self.prime();
+        let mut drained = true;
+        while let Some((now, ev)) = self.queue.pop_until(hard_deadline) {
+            self.dispatch(now, ev);
+            if self.queue.events_processed() >= self.config.max_events {
+                drained = false;
+                break;
+            }
+        }
+        drained &= self.queue.is_empty();
+        let result = self
+            .stats
+            .finish(self.topo.num_switches(), self.queue.events_processed());
+        // Packets dropped at full source queues never entered the fabric.
+        let fully_drained =
+            drained && result.delivered == result.generated - result.source_drops;
+        (result, fully_drained)
+    }
+
+    /// Whether every buffer is empty, every credit counter restored to
+    /// capacity and every source queue empty — the quiescence invariant
+    /// after a full drain.
+    pub fn is_quiescent(&self) -> bool {
+        let cap = self.config.vl_buffer_credits;
+        self.switches.iter().all(|sw| {
+            sw.inputs
+                .iter()
+                .all(|ip| ip.vls.iter().all(|b| b.is_empty() && b.occupied() == Credits::ZERO))
+                && sw.outputs.iter().all(|op| {
+                    op.credits
+                        .as_ref()
+                        .is_none_or(|cs| cs.iter().all(|&c| c == cap))
+                })
+        }) && self
+            .hosts
+            .iter()
+            .all(|h| h.queue.is_empty() && h.credits.iter().all(|&c| c == cap))
+    }
+
+    /// Per-(switch, output port) link utilization: cumulative
+    /// transmission time divided by elapsed simulated time. A congestion
+    /// probe — under pure up\*/down\* routing the ports around the tree
+    /// root run visibly hotter than the rest (the §5.2.1 effect).
+    pub fn port_utilization(&self) -> Vec<Vec<f64>> {
+        let elapsed = self.queue.now().as_ns().max(1) as f64;
+        self.switches
+            .iter()
+            .map(|sw| {
+                sw.outputs
+                    .iter()
+                    .map(|op| op.busy_ns_total as f64 / elapsed)
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Mean utilization of a switch's inter-switch links.
+    pub fn switch_link_utilization(&self, s: SwitchId) -> f64 {
+        let util = &self.port_utilization()[s.index()];
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for (p, u) in util.iter().enumerate() {
+            let is_switch_link = self
+                .topo
+                .endpoint(s, PortIndex(p as u8))
+                .is_some_and(|ep| ep.node.is_switch());
+            if is_switch_link {
+                sum += u;
+                n += 1;
+            }
+        }
+        if n == 0 {
+            0.0
+        } else {
+            sum / n as f64
+        }
+    }
+
+    /// Seed the event queue: every host's first synthetic generation, or
+    /// the script's first entry in trace-driven mode.
+    fn prime(&mut self) {
+        if let Some(script) = self.script {
+            if let Some(first) = script.packets().first() {
+                if first.at < self.gen_deadline {
+                    self.queue.schedule(first.at, Event::GenerateScripted { idx: 0 });
+                }
+            }
+            return;
+        }
+        for h in 0..self.hosts.len() {
+            let dt = self.hosts[h]
+                .gen
+                .as_mut()
+                .expect("synthetic mode")
+                .next_interarrival_ns();
+            let at = SimTime::from_ns(dt);
+            if at < self.gen_deadline {
+                self.queue.schedule(
+                    at,
+                    Event::Generate {
+                        host: HostId(h as u16),
+                    },
+                );
+            }
+        }
+    }
+
+    fn dispatch(&mut self, now: SimTime, ev: Event) {
+        match ev {
+            Event::Generate { host } => self.on_generate(now, host),
+            Event::GenerateScripted { idx } => self.on_generate_scripted(now, idx),
+            Event::TryInject { host } => self.try_inject(now, host),
+            Event::HeaderArrive {
+                sw,
+                port,
+                vl,
+                packet,
+            } => self.on_header_arrive(now, sw, port, vl, packet),
+            Event::RouteDone { sw, port, vl, id } => self.on_route_done(now, sw, port, vl, id),
+            Event::Arbitrate { sw } => {
+                self.switches[sw.index()].arb_pending = false;
+                self.arbitrate(now, sw);
+            }
+            Event::TxDone { sw, port, vl, id } => self.on_tx_done(now, sw, port, vl, id),
+            Event::CreditReturn {
+                target,
+                port,
+                vl,
+                credits,
+            } => self.on_credit_return(now, target, port, vl, credits),
+            Event::Deliver { host, packet } => {
+                self.trace(packet.id, now, TraceStep::Delivered { host });
+                self.stats.on_delivered(&packet, now);
+            }
+        }
+    }
+
+    fn on_generate(&mut self, now: SimTime, host: HostId) {
+        let h = &mut self.hosts[host.index()];
+        let gp = h.gen.as_mut().expect("synthetic mode").generate();
+        let dlid = match self.routing.source_multipath() {
+            // Source-selected multipath: rotate over the destination's
+            // whole address range; each address is a distinct fixed path.
+            Some(x) => {
+                let offset = h.mp_cursor % x;
+                h.mp_cursor = (h.mp_cursor + 1) % x;
+                self.routing
+                    .lid_map()
+                    .lid_for(gp.dst, offset)
+                    .expect("offset within the LMC range")
+            }
+            None => self
+                .routing
+                .dlid(gp.dst, gp.adaptive)
+                .expect("validated at construction"),
+        };
+        self.enqueue_generated(now, host, gp.dst, dlid, gp.sl, gp.size_bytes);
+
+        let dt = self.hosts[host.index()]
+            .gen
+            .as_mut()
+            .expect("synthetic mode")
+            .next_interarrival_ns();
+        if now + dt < self.gen_deadline {
+            self.queue.schedule(now + dt, Event::Generate { host });
+        }
+        self.try_inject(now, host);
+    }
+
+    fn on_generate_scripted(&mut self, now: SimTime, idx: usize) {
+        let script = self.script.expect("scripted mode");
+        let entry = script.packets()[idx];
+        let dlid = match (self.routing.source_multipath(), entry.path_set) {
+            (Some(x), _) => {
+                let h = &mut self.hosts[entry.src.index()];
+                let offset = h.mp_cursor % x;
+                h.mp_cursor = (h.mp_cursor + 1) % x;
+                self.routing
+                    .lid_map()
+                    .lid_for(entry.dst, offset)
+                    .expect("offset within the LMC range")
+            }
+            (None, PathSet::Primary) => self
+                .routing
+                .dlid(entry.dst, entry.adaptive)
+                .expect("validated at construction"),
+            (None, PathSet::Alternate) => self
+                .routing
+                .apm_dlid(entry.dst, entry.adaptive)
+                .expect("validated at construction"),
+        };
+        self.enqueue_generated(now, entry.src, entry.dst, dlid, entry.sl, entry.size_bytes);
+        if let Some(next) = script.packets().get(idx + 1) {
+            if next.at < self.gen_deadline {
+                self.queue
+                    .schedule(next.at, Event::GenerateScripted { idx: idx + 1 });
+            }
+        }
+        self.try_inject(now, entry.src);
+    }
+
+    /// Create the packet and place it in the source queue (or drop it at
+    /// a full finite queue).
+    fn enqueue_generated(
+        &mut self,
+        now: SimTime,
+        host: HostId,
+        dst: HostId,
+        dlid: iba_core::Lid,
+        sl: iba_core::ServiceLevel,
+        size_bytes: u32,
+    ) {
+        let id = PacketId(self.next_packet_id);
+        self.next_packet_id += 1;
+        let h = &mut self.hosts[host.index()];
+        let packet = Packet {
+            id,
+            src: host,
+            dst,
+            dlid,
+            sl,
+            size_bytes,
+            generated_at: now,
+            seq: h.next_seq,
+            hops: 0,
+            escape_uses: 0,
+        };
+        h.next_seq += 1;
+        let queue_full = self
+            .config
+            .host_queue_capacity
+            .is_some_and(|cap| h.queue.len() >= cap);
+        if !queue_full {
+            h.queue.push_back(packet);
+        }
+        self.stats.on_generated(now);
+        if queue_full {
+            // Finite CA send queue: the new packet is discarded.
+            self.stats.on_source_drop();
+        } else {
+            self.trace(id, now, TraceStep::Generated { host });
+        }
+    }
+
+    fn try_inject(&mut self, now: SimTime, host: HostId) {
+        let h = &mut self.hosts[host.index()];
+        if h.tx_busy_until > now {
+            return; // a TryInject is already scheduled at tx_busy_until
+        }
+        let Some(front) = h.queue.front() else {
+            return;
+        };
+        let vl = VirtualLane(front.sl.0 % self.config.data_vls);
+        let need = front.credits();
+        if h.credits[vl.index()] < need {
+            return; // woken again by CreditReturn
+        }
+        let packet = h.queue.pop_front().expect("checked above");
+        let traced_id = packet.id;
+        h.credits[vl.index()] -= need;
+        let ser = self.config.phys.serialization_ns(packet.size_bytes);
+        h.tx_busy_until = now + ser;
+        let queue_len = h.queue.len();
+        let sw = h.attached_switch;
+        let (_, port) = self.topo.host_attachment(host);
+        self.stats.on_injected(queue_len);
+        self.trace(traced_id, now, TraceStep::Injected);
+        self.queue.schedule(
+            now + self.config.phys.propagation_ns,
+            Event::HeaderArrive {
+                sw,
+                port,
+                vl,
+                packet,
+            },
+        );
+        self.queue
+            .schedule(now + ser, Event::TryInject { host });
+    }
+
+    fn on_header_arrive(
+        &mut self,
+        now: SimTime,
+        sw: SwitchId,
+        port: PortIndex,
+        vl: VirtualLane,
+        packet: Packet,
+    ) {
+        let id = packet.id;
+        let ready_at = now + self.config.phys.routing_delay_ns;
+        self.trace(id, now, TraceStep::ArrivedAt { sw, port, vl });
+        self.switches[sw.index()].inputs[port.index()].vls[vl.index()].push(packet, ready_at);
+        self.queue
+            .schedule(ready_at, Event::RouteDone { sw, port, vl, id });
+    }
+
+    fn on_route_done(
+        &mut self,
+        now: SimTime,
+        sw: SwitchId,
+        port: PortIndex,
+        vl: VirtualLane,
+        id: PacketId,
+    ) {
+        let dlid = {
+            let buf = &self.switches[sw.index()].inputs[port.index()].vls[vl.index()];
+            buf.iter().find(|p| p.packet.id == id).map(|p| p.packet.dlid)
+        };
+        let Some(dlid) = dlid else {
+            return; // packet already gone (cannot happen before ready_at)
+        };
+        let route = self
+            .routing
+            .route_shared(sw, dlid)
+            .expect("forwarding tables are fully programmed");
+        self.switches[sw.index()].inputs[port.index()].vls[vl.index()].set_route(id, route);
+        self.schedule_arbitrate(now, sw);
+    }
+
+    fn on_tx_done(
+        &mut self,
+        now: SimTime,
+        sw: SwitchId,
+        port: PortIndex,
+        vl: VirtualLane,
+        id: PacketId,
+    ) {
+        let removed = self.switches[sw.index()].inputs[port.index()].vls[vl.index()]
+            .remove(id)
+            .expect("tx-done packet still buffered");
+        // Return the freed credits to whoever feeds this input port.
+        let upstream = self
+            .topo
+            .endpoint(sw, port)
+            .expect("input port is wired");
+        self.queue.schedule(
+            now + self.config.phys.propagation_ns,
+            Event::CreditReturn {
+                target: upstream.node,
+                port: upstream.port,
+                vl,
+                credits: removed.packet.credits(),
+            },
+        );
+        self.schedule_arbitrate(now, sw);
+    }
+
+    fn on_credit_return(
+        &mut self,
+        now: SimTime,
+        target: NodeRef,
+        port: PortIndex,
+        vl: VirtualLane,
+        credits: Credits,
+    ) {
+        match target {
+            NodeRef::Switch(s) => {
+                let out = &mut self.switches[s.index()].outputs[port.index()];
+                if let Some(cs) = out.credits.as_mut() {
+                    cs[vl.index()] += credits;
+                }
+                self.schedule_arbitrate(now, s);
+            }
+            NodeRef::Host(h) => {
+                self.hosts[h.index()].credits[vl.index()] += credits;
+                self.try_inject(now, h);
+            }
+        }
+    }
+
+    fn schedule_arbitrate(&mut self, now: SimTime, sw: SwitchId) {
+        let st = &mut self.switches[sw.index()];
+        if !st.arb_pending {
+            st.arb_pending = true;
+            self.queue.schedule(now, Event::Arbitrate { sw });
+        }
+    }
+
+    /// One arbitration pass: repeatedly grant feasible (input, output)
+    /// matches until no further progress, with a round-robin cursor over
+    /// input ports for fairness.
+    fn arbitrate(&mut self, now: SimTime, sw: SwitchId) {
+        let nports = self.topo.ports_per_switch() as usize;
+        loop {
+            let mut progress = false;
+            for k in 0..nports {
+                let ip = (self.switches[sw.index()].rr_cursor + k) % nports;
+                if self.switches[sw.index()].inputs[ip].read_busy_until > now {
+                    continue;
+                }
+                if let Some(d) = self.pick_for_input(now, sw, ip) {
+                    self.start_forward(now, sw, d);
+                    progress = true;
+                }
+            }
+            let st = &mut self.switches[sw.index()];
+            st.rr_cursor = (st.rr_cursor + 1) % nports;
+            if !progress {
+                break;
+            }
+        }
+    }
+
+    /// Find one forwardable candidate in input port `ip`'s buffers.
+    fn pick_for_input(&mut self, now: SimTime, sw: SwitchId, ip: usize) -> Option<Decision> {
+        let nvls = self.config.data_vls as usize;
+        let start = self.switches[sw.index()].inputs[ip].vl_cursor;
+        for k in 0..nvls {
+            let vl = (start + k) % nvls;
+            let cands = {
+                let buf = &self.switches[sw.index()].inputs[ip].vls[vl];
+                if buf.has_in_flight() {
+                    continue;
+                }
+                let mut cands = buf.candidates(now, self.config.escape_order);
+                if !self.routing.switch_adaptive(sw) {
+                    // A plain deterministic IBA switch (§4.2 mixed
+                    // fabrics) has a single FIFO read point: no escape
+                    // head, no pointer redirection.
+                    cands.retain(|&(idx, _)| idx == 0);
+                }
+                cands
+            };
+            for (idx, read_point) in cands {
+                if let Some(d) = self.pick_option(now, sw, ip, vl, idx, read_point) {
+                    // Advance the VL cursor past the served lane.
+                    self.switches[sw.index()].inputs[ip].vl_cursor = (vl + 1) % nvls;
+                    return Some(d);
+                }
+            }
+        }
+        None
+    }
+
+    /// §4.3/§4.4 output selection for one candidate packet: adaptive
+    /// options first (minimal paths — the livelock-avoidance preference),
+    /// gated by adaptive-queue credits; the escape option as fallback,
+    /// gated by total credits.
+    fn pick_option(
+        &mut self,
+        now: SimTime,
+        sw: SwitchId,
+        ip: usize,
+        vl: usize,
+        idx: usize,
+        read_point: ReadPoint,
+    ) -> Option<Decision> {
+        let cap = self.config.vl_buffer_credits;
+        let st = &self.switches[sw.index()];
+        let bp = st.inputs[ip].vls[vl].get(idx);
+        let need = bp.packet.credits();
+        let sl = bp.packet.sl;
+        let route = bp.route.as_ref().expect("candidate is routed");
+
+        let adaptive_allowed = read_point == ReadPoint::AdaptiveHead
+            || self.config.adaptive_from_escape_head;
+
+        // Collect feasible adaptive options with their free adaptive-queue
+        // credits (host ports are infinite sinks).
+        let mut feasible: Vec<(PortIndex, VirtualLane, u32)> = Vec::new();
+        if adaptive_allowed {
+            for &op in &route.adaptive {
+                let out = &st.outputs[op.index()];
+                if out.busy_until > now {
+                    continue;
+                }
+                let out_vl = st.sl2vl.vl_for(PortIndex(ip as u8), op, sl);
+                match out.credits.as_ref() {
+                    None => feasible.push((op, out_vl, u32::MAX)),
+                    Some(cs) => {
+                        let avail = cs[out_vl.index()].adaptive_share(cap);
+                        if avail >= need {
+                            feasible.push((op, out_vl, avail.count()));
+                        }
+                    }
+                }
+            }
+        }
+
+        let adaptive_pick: Option<(PortIndex, VirtualLane, u32)> = match self.config.selection {
+            SelectionPolicy::CreditWeighted => {
+                // Most free adaptive-queue space wins; random tie-break
+                // among equals keeps the load balanced.
+                feasible.iter().map(|f| f.2).max().map(|best| {
+                    let ties: Vec<_> =
+                        feasible.iter().filter(|f| f.2 == best).copied().collect();
+                    ties[self.arb_rng.below(ties.len())]
+                })
+            }
+            SelectionPolicy::RandomAdaptive => {
+                (!feasible.is_empty()).then(|| feasible[self.arb_rng.below(feasible.len())])
+            }
+            SelectionPolicy::FirstFeasible => feasible.iter().min_by_key(|f| f.0).copied(),
+        };
+
+        if let Some((op, out_vl, _)) = adaptive_pick {
+            return Some(Decision {
+                input: ip,
+                vl,
+                packet_id: bp.packet.id,
+                out_port: op,
+                out_vl,
+                via_escape: false,
+                read_point,
+            });
+        }
+
+        // Escape fallback: usable whenever the *total* credit count fits
+        // the packet — it lands in the adaptive or escape region of the
+        // downstream buffer depending on occupancy (§4.4).
+        let op = route.escape;
+        let out = &st.outputs[op.index()];
+        if out.busy_until > now {
+            return None;
+        }
+        let out_vl = st.sl2vl.vl_for(PortIndex(ip as u8), op, sl);
+        let ok = match out.credits.as_ref() {
+            None => true,
+            Some(cs) => cs[out_vl.index()] >= need,
+        };
+        ok.then_some(Decision {
+            input: ip,
+            vl,
+            packet_id: bp.packet.id,
+            out_port: op,
+            out_vl,
+            via_escape: true,
+            read_point,
+        })
+    }
+
+    /// Commit a forwarding decision: reserve the resources, update the
+    /// packet, and schedule the downstream events.
+    fn start_forward(&mut self, now: SimTime, sw: SwitchId, d: Decision) {
+        let st = &mut self.switches[sw.index()];
+        let buf = &mut st.inputs[d.input].vls[d.vl];
+        let idx = buf
+            .iter()
+            .position(|p| p.packet.id == d.packet_id)
+            .expect("decision packet resident");
+
+        // Update the packet in place before cloning it downstream.
+        let (packet, ser) = {
+            let bp = buf.get(idx);
+            let mut p = bp.packet.clone();
+            p.hops += 1;
+            p.escape_uses += u32::from(d.via_escape);
+            let ser = self.config.phys.serialization_ns(p.size_bytes);
+            (p, ser)
+        };
+        buf.mark_in_flight(idx);
+        st.inputs[d.input].read_busy_until = now + ser;
+        let out = &mut st.outputs[d.out_port.index()];
+        out.busy_until = now + ser;
+        out.busy_ns_total += ser;
+        if let Some(cs) = out.credits.as_mut() {
+            cs[d.out_vl.index()] -= packet.credits();
+        }
+
+        if d.via_escape {
+            self.stats.on_escape_forward();
+        } else {
+            self.stats.on_adaptive_forward();
+        }
+        self.trace(
+            d.packet_id,
+            now,
+            TraceStep::Forwarded {
+                sw,
+                out_port: d.out_port,
+                via_escape: d.via_escape,
+                from_escape_head: d.read_point == ReadPoint::EscapeHead,
+            },
+        );
+
+        let prop = self.config.phys.propagation_ns;
+        let ep = self
+            .topo
+            .endpoint(sw, d.out_port)
+            .expect("output port is wired");
+        match ep.node {
+            NodeRef::Switch(n) => {
+                self.queue.schedule(
+                    now + prop,
+                    Event::HeaderArrive {
+                        sw: n,
+                        port: ep.port,
+                        vl: d.out_vl,
+                        packet,
+                    },
+                );
+            }
+            NodeRef::Host(h) => {
+                self.queue
+                    .schedule(now + ser + prop, Event::Deliver { host: h, packet });
+            }
+        }
+        self.queue.schedule(
+            now + ser,
+            Event::TxDone {
+                sw,
+                port: PortIndex(d.input as u8),
+                vl: VirtualLane(d.vl as u8),
+                id: d.packet_id,
+            },
+        );
+    }
+}

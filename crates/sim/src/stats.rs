@@ -1,0 +1,414 @@
+//! Measurement collection and the per-run result.
+//!
+//! The paper reports two quantities per simulation point (§5.1):
+//!
+//! * **average packet latency** — "the elapsed time between the
+//!   generation of a packet at the source host until it is delivered at
+//!   the destination end-node" (footnote 4), in nanoseconds;
+//! * **accepted traffic** — "the amount of information delivered by the
+//!   network per time unit", in bytes/ns/switch.
+//!
+//! Latency is averaged over packets *generated inside* the measurement
+//! window (after warm-up) and delivered before the horizon; accepted
+//! traffic counts all bytes delivered inside the window.
+
+use iba_core::{HostId, Lid, Packet, RoutingMode, ServiceLevel, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A latency histogram with power-of-two buckets: bucket `i` counts
+/// samples in `[2^i, 2^(i+1))` nanoseconds (bucket 0 also holds 0 ns).
+/// Good to ~2× resolution over the full `u64` range at 64 × 8 bytes —
+/// enough for the percentile columns of the extended reports.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LatencyHistogram {
+    buckets: Vec<u64>,
+    count: u64,
+}
+
+impl LatencyHistogram {
+    /// Empty histogram.
+    pub fn new() -> LatencyHistogram {
+        LatencyHistogram {
+            buckets: vec![0; 64],
+            count: 0,
+        }
+    }
+
+    /// Record one latency sample.
+    pub fn record(&mut self, latency_ns: u64) {
+        let bucket = 63u32.saturating_sub(latency_ns.max(1).leading_zeros()) as usize;
+        self.buckets[bucket] += 1;
+        self.count += 1;
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Approximate `q`-quantile (`0 < q <= 1`): the upper bound of the
+    /// bucket containing the quantile rank. `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(if i >= 63 { u64::MAX } else { 1u64 << (i + 1) });
+            }
+        }
+        None
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram::new()
+    }
+}
+
+/// Live accumulator updated by the simulator.
+#[derive(Debug)]
+pub struct StatsCollector {
+    window_start: SimTime,
+    window_end: SimTime,
+    /// Packets generated (all time / inside window).
+    pub generated: u64,
+    generated_window: u64,
+    /// Packets injected into the fabric (left the source queue).
+    pub injected: u64,
+    /// Packets delivered (all time).
+    pub delivered: u64,
+    delivered_bytes_window: u64,
+    latency_sum_ns: u128,
+    latency_max_ns: u64,
+    latency_count: u64,
+    histogram: LatencyHistogram,
+    hops_sum: u64,
+    escape_forwards: u64,
+    adaptive_forwards: u64,
+    max_host_queue: usize,
+    /// Packets discarded at full source queues (finite-queue mode).
+    pub source_drops: u64,
+    /// Per (src, DLID, SL) flow: highest sequence number delivered by a
+    /// deterministic packet, to detect ordering violations. IBA orders
+    /// traffic per path and service level: the exact DLID names the path
+    /// (both under the paper's scheme — where the low bit selects
+    /// deterministic routing — and under source-selected multipath, where
+    /// each address is a distinct fixed path); different SLs may ride
+    /// different VLs and overtake freely.
+    last_det_seq: HashMap<(HostId, Lid, ServiceLevel), u64>,
+    /// Number of deterministic packets delivered out of order.
+    pub order_violations: u64,
+}
+
+impl StatsCollector {
+    /// Collector for a `[window_start, window_end)` measurement window.
+    pub fn new(window_start: SimTime, window_end: SimTime) -> StatsCollector {
+        StatsCollector {
+            window_start,
+            window_end,
+            generated: 0,
+            generated_window: 0,
+            injected: 0,
+            delivered: 0,
+            delivered_bytes_window: 0,
+            latency_sum_ns: 0,
+            latency_max_ns: 0,
+            latency_count: 0,
+            histogram: LatencyHistogram::new(),
+            hops_sum: 0,
+            escape_forwards: 0,
+            adaptive_forwards: 0,
+            max_host_queue: 0,
+            source_drops: 0,
+            last_det_seq: HashMap::new(),
+            order_violations: 0,
+        }
+    }
+
+    #[inline]
+    fn in_window(&self, t: SimTime) -> bool {
+        t >= self.window_start && t < self.window_end
+    }
+
+    /// A packet was generated at a source host.
+    pub fn on_generated(&mut self, at: SimTime) {
+        self.generated += 1;
+        if self.in_window(at) {
+            self.generated_window += 1;
+        }
+    }
+
+    /// A packet was generated against a full source queue and dropped.
+    pub fn on_source_drop(&mut self) {
+        self.source_drops += 1;
+    }
+
+    /// A packet left its source queue into the fabric.
+    pub fn on_injected(&mut self, queue_len: usize) {
+        self.injected += 1;
+        self.max_host_queue = self.max_host_queue.max(queue_len);
+    }
+
+    /// A switch forwarded a packet through an adaptive (minimal) option.
+    pub fn on_adaptive_forward(&mut self) {
+        self.adaptive_forwards += 1;
+    }
+
+    /// A switch forwarded a packet through its escape option.
+    pub fn on_escape_forward(&mut self) {
+        self.escape_forwards += 1;
+    }
+
+    /// A packet's tail reached its destination host.
+    pub fn on_delivered(&mut self, packet: &Packet, at: SimTime) {
+        self.delivered += 1;
+        if self.in_window(at) {
+            self.delivered_bytes_window += packet.size_bytes as u64;
+        }
+        if self.in_window(packet.generated_at) {
+            let lat = at.since(packet.generated_at);
+            self.latency_sum_ns += lat as u128;
+            self.latency_max_ns = self.latency_max_ns.max(lat);
+            self.latency_count += 1;
+            self.histogram.record(lat);
+            self.hops_sum += packet.hops as u64;
+        }
+        if packet.mode() == RoutingMode::Deterministic {
+            let key = (packet.src, packet.dlid, packet.sl);
+            let last = self.last_det_seq.entry(key).or_insert(0);
+            if packet.seq < *last {
+                self.order_violations += 1;
+            } else {
+                *last = packet.seq;
+            }
+        }
+    }
+
+    /// Finalize into a [`RunResult`], given the number of switches.
+    pub fn finish(&self, num_switches: usize, events: u64) -> RunResult {
+        let window_ns = self.window_end.since(self.window_start);
+        RunResult {
+            generated: self.generated,
+            injected: self.injected,
+            delivered: self.delivered,
+            avg_latency_ns: if self.latency_count == 0 {
+                f64::NAN
+            } else {
+                self.latency_sum_ns as f64 / self.latency_count as f64
+            },
+            max_latency_ns: self.latency_max_ns,
+            p50_latency_ns: self.histogram.quantile(0.5),
+            p99_latency_ns: self.histogram.quantile(0.99),
+            measured_packets: self.latency_count,
+            accepted_bytes_per_ns_per_switch: if window_ns == 0 {
+                0.0
+            } else {
+                self.delivered_bytes_window as f64 / window_ns as f64 / num_switches as f64
+            },
+            avg_hops: if self.latency_count == 0 {
+                f64::NAN
+            } else {
+                self.hops_sum as f64 / self.latency_count as f64
+            },
+            escape_forwards: self.escape_forwards,
+            adaptive_forwards: self.adaptive_forwards,
+            order_violations: self.order_violations,
+            max_host_queue: self.max_host_queue,
+            source_drops: self.source_drops,
+            events,
+        }
+    }
+}
+
+/// The outcome of one simulation run.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RunResult {
+    /// Packets generated at sources.
+    pub generated: u64,
+    /// Packets injected into the fabric.
+    pub injected: u64,
+    /// Packets delivered to destinations.
+    pub delivered: u64,
+    /// Mean latency (generation → delivery) of measured packets, ns.
+    pub avg_latency_ns: f64,
+    /// Maximum measured latency, ns.
+    pub max_latency_ns: u64,
+    /// Median latency (upper bucket bound, ~2× resolution), ns.
+    pub p50_latency_ns: Option<u64>,
+    /// 99th-percentile latency (upper bucket bound), ns.
+    pub p99_latency_ns: Option<u64>,
+    /// Number of packets in the latency average.
+    pub measured_packets: u64,
+    /// Accepted traffic in bytes/ns/switch — the paper's throughput
+    /// metric.
+    pub accepted_bytes_per_ns_per_switch: f64,
+    /// Mean switch hops of measured packets.
+    pub avg_hops: f64,
+    /// Total escape-option forwards.
+    pub escape_forwards: u64,
+    /// Total adaptive-option forwards.
+    pub adaptive_forwards: u64,
+    /// Deterministic packets delivered out of order (must be 0).
+    pub order_violations: u64,
+    /// Largest source-queue length observed.
+    pub max_host_queue: usize,
+    /// Packets discarded at full source queues (0 in open-loop mode).
+    pub source_drops: u64,
+    /// Discrete events processed.
+    pub events: u64,
+}
+
+impl RunResult {
+    /// Fraction of switch forwards that used an escape queue.
+    pub fn escape_fraction(&self) -> f64 {
+        let total = self.escape_forwards + self.adaptive_forwards;
+        if total == 0 {
+            0.0
+        } else {
+            self.escape_forwards as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iba_core::{Lid, PacketId, ServiceLevel};
+
+    fn packet(seq: u64, adaptive: bool, gen_at: u64) -> Packet {
+        Packet {
+            id: PacketId(seq),
+            src: HostId(0),
+            dst: HostId(1),
+            dlid: Lid(if adaptive { 9 } else { 8 }),
+            sl: ServiceLevel(0),
+            size_bytes: 32,
+            generated_at: SimTime::from_ns(gen_at),
+            seq,
+            hops: 2,
+            escape_uses: 0,
+        }
+    }
+
+    fn collector() -> StatsCollector {
+        StatsCollector::new(SimTime::from_ns(1000), SimTime::from_ns(2000))
+    }
+
+    #[test]
+    fn latency_counts_only_window_generated_packets() {
+        let mut c = collector();
+        // Generated before the window: delivery counts bytes (if inside
+        // window) but not latency.
+        c.on_generated(SimTime::from_ns(500));
+        c.on_delivered(&packet(1, true, 500), SimTime::from_ns(1100));
+        assert_eq!(c.latency_count, 0);
+        // Generated inside the window: latency measured.
+        c.on_generated(SimTime::from_ns(1200));
+        c.on_delivered(&packet(2, true, 1200), SimTime::from_ns(1500));
+        let r = c.finish(4, 0);
+        assert_eq!(r.measured_packets, 1);
+        assert!((r.avg_latency_ns - 300.0).abs() < 1e-9);
+        assert_eq!(r.max_latency_ns, 300);
+        assert!((r.avg_hops - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn accepted_traffic_counts_window_deliveries() {
+        let mut c = collector();
+        c.on_delivered(&packet(1, true, 0), SimTime::from_ns(999)); // before window
+        c.on_delivered(&packet(2, true, 0), SimTime::from_ns(1000)); // inside
+        c.on_delivered(&packet(3, true, 0), SimTime::from_ns(1999)); // inside
+        c.on_delivered(&packet(4, true, 0), SimTime::from_ns(2000)); // after
+        let r = c.finish(2, 0);
+        // 64 bytes over 1000 ns over 2 switches.
+        assert!((r.accepted_bytes_per_ns_per_switch - 0.032).abs() < 1e-12);
+        assert_eq!(r.delivered, 4);
+    }
+
+    #[test]
+    fn order_violations_detected_for_deterministic_only() {
+        let mut c = collector();
+        c.on_delivered(&packet(2, false, 1100), SimTime::from_ns(1200));
+        c.on_delivered(&packet(1, false, 1100), SimTime::from_ns(1300)); // overtaken!
+        assert_eq!(c.order_violations, 1);
+        let mut c2 = collector();
+        c2.on_delivered(&packet(2, true, 1100), SimTime::from_ns(1200));
+        c2.on_delivered(&packet(1, true, 1100), SimTime::from_ns(1300)); // adaptive: fine
+        assert_eq!(c2.order_violations, 0);
+    }
+
+    #[test]
+    fn empty_run_yields_nan_latency_and_zero_traffic() {
+        let r = collector().finish(4, 7);
+        assert!(r.avg_latency_ns.is_nan());
+        assert!(r.avg_hops.is_nan());
+        assert_eq!(r.accepted_bytes_per_ns_per_switch, 0.0);
+        assert_eq!(r.events, 7);
+    }
+
+    #[test]
+    fn escape_fraction() {
+        let mut c = collector();
+        c.on_escape_forward();
+        c.on_adaptive_forward();
+        c.on_adaptive_forward();
+        c.on_adaptive_forward();
+        let r = c.finish(1, 0);
+        assert!((r.escape_fraction() - 0.25).abs() < 1e-12);
+        assert_eq!(collector().finish(1, 0).escape_fraction(), 0.0);
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let mut h = LatencyHistogram::new();
+        assert!(h.quantile(0.5).is_none());
+        for lat in [100u64, 200, 400, 800, 100_000] {
+            h.record(lat);
+        }
+        assert_eq!(h.count(), 5);
+        // Median sample is 400 → bucket [256, 512) → upper bound 512.
+        assert_eq!(h.quantile(0.5), Some(512));
+        // Tail: 100_000 → bucket [65536, 131072) → upper bound 131072.
+        assert_eq!(h.quantile(1.0), Some(131072));
+        // Quantiles are monotone.
+        assert!(h.quantile(0.2) <= h.quantile(0.9));
+    }
+
+    #[test]
+    fn histogram_edge_samples() {
+        let mut h = LatencyHistogram::new();
+        h.record(0);
+        h.record(1);
+        assert_eq!(h.quantile(1.0), Some(2)); // both in bucket 0 → bound 2
+        let mut big = LatencyHistogram::new();
+        big.record(u64::MAX);
+        assert_eq!(big.quantile(0.5), Some(u64::MAX));
+    }
+
+    #[test]
+    fn percentiles_flow_into_run_result() {
+        let mut c = collector();
+        c.on_delivered(&packet(1, true, 1100), SimTime::from_ns(1400));
+        let r = c.finish(1, 0);
+        assert_eq!(r.p50_latency_ns, Some(512)); // 300 ns → bucket [256,512)
+        assert_eq!(r.p99_latency_ns, Some(512));
+        assert_eq!(collector().finish(1, 0).p50_latency_ns, None);
+    }
+
+    #[test]
+    fn injected_tracks_queue_high_water_mark() {
+        let mut c = collector();
+        c.on_injected(3);
+        c.on_injected(10);
+        c.on_injected(5);
+        let r = c.finish(1, 0);
+        assert_eq!(r.injected, 3);
+        assert_eq!(r.max_host_queue, 10);
+    }
+}

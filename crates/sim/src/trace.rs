@@ -1,0 +1,226 @@
+//! Per-packet journey tracing.
+//!
+//! A [`Tracer`] records the life of selected packets — generation,
+//! injection, every switch hop with the read point and option class
+//! used, and delivery — so tests and tools can inspect *how* a packet
+//! crossed the fabric (did it detour through escape queues? how long did
+//! it sit in each buffer?). Tracing is sampled (1-in-`n` packets) to
+//! stay cheap, and capped so saturated runs cannot blow up memory.
+
+use iba_core::{HostId, PacketId, PortIndex, SimTime, SwitchId, VirtualLane};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One step of a packet's journey.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceStep {
+    /// Generated at the source host.
+    Generated {
+        /// Source host.
+        host: HostId,
+    },
+    /// Left the source queue onto the injection link.
+    Injected,
+    /// Header reached a switch input buffer.
+    ArrivedAt {
+        /// The switch.
+        sw: SwitchId,
+        /// Input port.
+        port: PortIndex,
+        /// Virtual lane.
+        vl: VirtualLane,
+    },
+    /// Forwarded through the crossbar.
+    Forwarded {
+        /// The switch.
+        sw: SwitchId,
+        /// Selected output port.
+        out_port: PortIndex,
+        /// Whether the escape option was used (vs an adaptive option).
+        via_escape: bool,
+        /// Whether the packet was read from the escape read point.
+        from_escape_head: bool,
+    },
+    /// Tail delivered at the destination host.
+    Delivered {
+        /// Destination host.
+        host: HostId,
+    },
+}
+
+/// A recorded journey.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct PacketTrace {
+    /// Timestamped steps, in order.
+    pub steps: Vec<(SimTime, TraceStep)>,
+}
+
+impl PacketTrace {
+    /// Number of switch hops recorded.
+    pub fn hops(&self) -> usize {
+        self.steps
+            .iter()
+            .filter(|(_, s)| matches!(s, TraceStep::Forwarded { .. }))
+            .count()
+    }
+
+    /// Number of escape-option forwards.
+    pub fn escape_hops(&self) -> usize {
+        self.steps
+            .iter()
+            .filter(|(_, s)| matches!(s, TraceStep::Forwarded { via_escape: true, .. }))
+            .count()
+    }
+
+    /// Whether the journey completed (ends with a delivery).
+    pub fn completed(&self) -> bool {
+        matches!(self.steps.last(), Some((_, TraceStep::Delivered { .. })))
+    }
+
+    /// End-to-end latency, if completed.
+    pub fn latency_ns(&self) -> Option<u64> {
+        match (self.steps.first(), self.steps.last()) {
+            (Some((start, TraceStep::Generated { .. })), Some((end, TraceStep::Delivered { .. }))) => {
+                Some(end.since(*start))
+            }
+            _ => None,
+        }
+    }
+
+    /// One-line-per-step human rendering.
+    pub fn describe(&self) -> String {
+        let mut out = String::new();
+        for (at, step) in &self.steps {
+            let line = match step {
+                TraceStep::Generated { host } => format!("{at:>12}  generated at {host}"),
+                TraceStep::Injected => format!("{at:>12}  injected"),
+                TraceStep::ArrivedAt { sw, port, vl } => {
+                    format!("{at:>12}  header at {sw} {port} {vl}")
+                }
+                TraceStep::Forwarded {
+                    sw,
+                    out_port,
+                    via_escape,
+                    from_escape_head,
+                } => format!(
+                    "{at:>12}  {sw} → {out_port} via {}{}",
+                    if *via_escape { "ESCAPE option" } else { "adaptive option" },
+                    if *from_escape_head { " (escape read point)" } else { "" },
+                ),
+                TraceStep::Delivered { host } => format!("{at:>12}  delivered at {host}"),
+            };
+            out.push_str(&line);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// The sampling trace recorder.
+#[derive(Debug)]
+pub struct Tracer {
+    sample_every: u64,
+    max_packets: usize,
+    traces: HashMap<PacketId, PacketTrace>,
+}
+
+impl Tracer {
+    /// Trace every `sample_every`-th packet (by id), keeping at most
+    /// `max_packets` journeys.
+    pub fn sampled(sample_every: u64, max_packets: usize) -> Tracer {
+        Tracer {
+            sample_every: sample_every.max(1),
+            max_packets,
+            traces: HashMap::new(),
+        }
+    }
+
+    /// Whether `id` is (or would be) traced.
+    pub fn wants(&self, id: PacketId) -> bool {
+        id.0.is_multiple_of(self.sample_every)
+            && (self.traces.contains_key(&id) || self.traces.len() < self.max_packets)
+    }
+
+    /// Record a step for `id` (no-op unless sampled).
+    pub fn record(&mut self, id: PacketId, at: SimTime, step: TraceStep) {
+        if self.wants(id) {
+            self.traces.entry(id).or_default().steps.push((at, step));
+        }
+    }
+
+    /// All recorded journeys.
+    pub fn traces(&self) -> &HashMap<PacketId, PacketTrace> {
+        &self.traces
+    }
+
+    /// A specific journey.
+    pub fn trace(&self, id: PacketId) -> Option<&PacketTrace> {
+        self.traces.get(&id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::from_ns(ns)
+    }
+
+    #[test]
+    fn sampling_and_cap() {
+        let mut tr = Tracer::sampled(10, 2);
+        assert!(tr.wants(PacketId(0)));
+        assert!(!tr.wants(PacketId(5)));
+        assert!(tr.wants(PacketId(20)));
+        tr.record(PacketId(0), t(1), TraceStep::Injected);
+        tr.record(PacketId(10), t(2), TraceStep::Injected);
+        // Cap reached: a third distinct packet is not admitted...
+        assert!(!tr.wants(PacketId(20)));
+        tr.record(PacketId(20), t(3), TraceStep::Injected);
+        assert_eq!(tr.traces().len(), 2);
+        // ...but already-admitted packets keep recording.
+        tr.record(PacketId(0), t(4), TraceStep::Delivered { host: HostId(1) });
+        assert_eq!(tr.trace(PacketId(0)).unwrap().steps.len(), 2);
+    }
+
+    #[test]
+    fn journey_metrics() {
+        let mut trace = PacketTrace::default();
+        trace.steps.push((t(100), TraceStep::Generated { host: HostId(0) }));
+        trace.steps.push((t(150), TraceStep::Injected));
+        trace.steps.push((
+            t(250),
+            TraceStep::ArrivedAt {
+                sw: SwitchId(1),
+                port: PortIndex(4),
+                vl: VirtualLane(0),
+            },
+        ));
+        trace.steps.push((
+            t(350),
+            TraceStep::Forwarded {
+                sw: SwitchId(1),
+                out_port: PortIndex(2),
+                via_escape: true,
+                from_escape_head: false,
+            },
+        ));
+        trace.steps.push((t(800), TraceStep::Delivered { host: HostId(5) }));
+        assert!(trace.completed());
+        assert_eq!(trace.hops(), 1);
+        assert_eq!(trace.escape_hops(), 1);
+        assert_eq!(trace.latency_ns(), Some(700));
+        let text = trace.describe();
+        assert!(text.contains("ESCAPE option"));
+        assert!(text.contains("delivered at h5"));
+    }
+
+    #[test]
+    fn incomplete_journey_has_no_latency() {
+        let mut trace = PacketTrace::default();
+        trace.steps.push((t(1), TraceStep::Generated { host: HostId(0) }));
+        assert!(!trace.completed());
+        assert_eq!(trace.latency_ns(), None);
+    }
+}

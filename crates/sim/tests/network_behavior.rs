@@ -1,0 +1,494 @@
+//! Behavioural tests of the network model: timing fidelity, conservation,
+//! deadlock freedom, in-order delivery, and the qualitative properties
+//! the paper's evaluation rests on.
+
+use iba_core::{Credits, PhysParams, SimTime};
+use iba_routing::{FaRouting, RoutingConfig};
+use iba_sim::{Network, RunResult, SimConfig};
+use iba_topology::{regular, IrregularConfig, Topology};
+use iba_workloads::{InjectionProcess, TrafficPattern, WorkloadSpec};
+
+fn routing(topo: &Topology, options: u16) -> FaRouting {
+    FaRouting::build(topo, RoutingConfig::with_options(options)).unwrap()
+}
+
+fn run(topo: &Topology, fa: &FaRouting, spec: WorkloadSpec, cfg: SimConfig) -> RunResult {
+    Network::new(topo, fa, spec, cfg).unwrap().run()
+}
+
+#[test]
+fn zero_load_latency_is_exact_on_a_two_switch_chain() {
+    // One host per switch; each sends to the other across 2 switch hops.
+    let topo = regular::chain(2, 1).unwrap();
+    let fa = routing(&topo, 2);
+    // One 32 B packet per ~1 ms per host: zero queueing anywhere.
+    let spec = WorkloadSpec {
+        process: InjectionProcess::Periodic,
+        ..WorkloadSpec::uniform32(32.0 / 1_000_000.0)
+    };
+    let mut cfg = SimConfig::test(3);
+    cfg.warmup = SimTime::from_ms(1);
+    cfg.measure_window = SimTime::from_ms(12);
+    let r = run(&topo, &fa, spec, cfg);
+    assert!(r.measured_packets >= 10, "expected packets, got {r:?}");
+    let expect = PhysParams::paper_1x().zero_load_latency_ns(32, 2) as f64;
+    assert!(
+        (r.avg_latency_ns - expect).abs() < 1e-9,
+        "zero-load latency {} != analytical {expect}",
+        r.avg_latency_ns
+    );
+    assert!((r.avg_hops - 2.0).abs() < 1e-9);
+    assert_eq!(r.order_violations, 0);
+}
+
+#[test]
+fn zero_load_latency_scales_with_packet_size() {
+    let topo = regular::chain(2, 1).unwrap();
+    let fa = routing(&topo, 2);
+    let spec = WorkloadSpec {
+        packet_bytes: 256,
+        process: InjectionProcess::Periodic,
+        ..WorkloadSpec::uniform32(256.0 / 1_000_000.0)
+    };
+    let mut cfg = SimConfig::test(3);
+    cfg.warmup = SimTime::from_ms(1);
+    cfg.measure_window = SimTime::from_ms(12);
+    let r = run(&topo, &fa, spec, cfg);
+    let expect = PhysParams::paper_1x().zero_load_latency_ns(256, 2) as f64;
+    assert!((r.avg_latency_ns - expect).abs() < 1e-9);
+}
+
+#[test]
+fn every_generated_packet_is_delivered_and_network_drains() {
+    let topo = IrregularConfig::paper(8, 11).generate().unwrap();
+    let fa = routing(&topo, 2);
+    let spec = WorkloadSpec::uniform32(0.02).with_adaptive_fraction(0.5);
+    let mut net = Network::new(&topo, &fa, spec, SimConfig::test(5)).unwrap();
+    let (r, drained) = net.run_until_drained(SimTime::from_us(50), SimTime::from_ms(50));
+    assert!(drained, "network failed to drain: {r:?}");
+    assert!(r.generated > 500, "workload too light: {}", r.generated);
+    assert_eq!(r.delivered, r.generated);
+    assert!(net.is_quiescent(), "credits/buffers not restored");
+}
+
+#[test]
+fn drains_under_saturating_uniform_adaptive_load() {
+    // Deadlock-freedom smoke test: drive far beyond saturation with 100 %
+    // adaptive traffic, then verify complete drainage.
+    let topo = IrregularConfig::paper(16, 3).generate().unwrap();
+    let fa = routing(&topo, 2);
+    let spec = WorkloadSpec::uniform32(0.25); // ~8 B/ns/switch offered: way past saturation
+    let mut net = Network::new(&topo, &fa, spec, SimConfig::test(7)).unwrap();
+    let (r, drained) = net.run_until_drained(SimTime::from_us(60), SimTime::from_ms(80));
+    assert!(drained, "saturated network failed to drain: {r:?}");
+    assert!(net.is_quiescent());
+    assert!(
+        r.escape_forwards > 0,
+        "saturation must force some escape-queue usage"
+    );
+}
+
+#[test]
+fn drains_under_hotspot_load() {
+    let topo = IrregularConfig::paper(8, 9).generate().unwrap();
+    let fa = routing(&topo, 2);
+    let spec = WorkloadSpec {
+        pattern: TrafficPattern::hotspot_percent(20),
+        ..WorkloadSpec::uniform32(0.1)
+    };
+    let mut net = Network::new(&topo, &fa, spec, SimConfig::test(13)).unwrap();
+    let (r, drained) = net.run_until_drained(SimTime::from_us(60), SimTime::from_ms(100));
+    assert!(drained, "hot-spot network failed to drain: {r:?}");
+    assert_eq!(r.delivered, r.generated);
+}
+
+#[test]
+fn deterministic_traffic_is_never_reordered() {
+    for seed in [1u64, 2, 3] {
+        let topo = IrregularConfig::paper(8, seed).generate().unwrap();
+        let fa = routing(&topo, 2);
+        // Mixed traffic at a stressing load: deterministic packets share
+        // buffers with adaptive ones (the §4.4 in-order hazard).
+        let spec = WorkloadSpec::uniform32(0.06).with_adaptive_fraction(0.5);
+        let r = run(&topo, &fa, spec, SimConfig::test(seed));
+        assert!(r.delivered > 1000, "load too light: {r:?}");
+        assert_eq!(r.order_violations, 0, "seed {seed}: reordering detected");
+    }
+}
+
+#[test]
+fn strict_escape_policy_also_preserves_order() {
+    let topo = IrregularConfig::paper(8, 4).generate().unwrap();
+    let fa = routing(&topo, 2);
+    let mut cfg = SimConfig::test(21);
+    cfg.escape_order = iba_sim::EscapeOrderPolicy::Strict;
+    let spec = WorkloadSpec::uniform32(0.06).with_adaptive_fraction(0.5);
+    let r = run(&topo, &fa, spec, cfg);
+    assert_eq!(r.order_violations, 0);
+    assert!(r.delivered > 1000);
+}
+
+#[test]
+fn pure_deterministic_traffic_uses_only_escape_options() {
+    let topo = IrregularConfig::paper(8, 5).generate().unwrap();
+    let fa = routing(&topo, 2);
+    let spec = WorkloadSpec::uniform32(0.01).with_adaptive_fraction(0.0);
+    let r = run(&topo, &fa, spec, SimConfig::test(2));
+    assert!(r.delivered > 0);
+    assert_eq!(r.adaptive_forwards, 0);
+    assert!(r.escape_forwards > 0);
+}
+
+#[test]
+fn fully_adaptive_traffic_mostly_uses_adaptive_options_at_low_load() {
+    let topo = IrregularConfig::paper(8, 5).generate().unwrap();
+    let fa = routing(&topo, 2);
+    let spec = WorkloadSpec::uniform32(0.01); // adaptive_fraction = 1.0
+    let r = run(&topo, &fa, spec, SimConfig::test(2));
+    assert!(r.adaptive_forwards > 0);
+    // At low load adaptive queues always have room, so nearly everything
+    // goes minimal.
+    assert!(
+        r.escape_fraction() < 0.05,
+        "escape fraction {} too high at low load",
+        r.escape_fraction()
+    );
+}
+
+#[test]
+fn same_seed_reproduces_exactly() {
+    let topo = IrregularConfig::paper(8, 8).generate().unwrap();
+    let fa = routing(&topo, 2);
+    let spec = WorkloadSpec::uniform32(0.03).with_adaptive_fraction(0.75);
+    let a = run(&topo, &fa, spec, SimConfig::test(42));
+    let b = run(&topo, &fa, spec, SimConfig::test(42));
+    assert_eq!(a, b);
+}
+
+#[test]
+fn different_seeds_differ() {
+    let topo = IrregularConfig::paper(8, 8).generate().unwrap();
+    let fa = routing(&topo, 2);
+    let spec = WorkloadSpec::uniform32(0.03);
+    let a = run(&topo, &fa, spec, SimConfig::test(1));
+    let b = run(&topo, &fa, spec, SimConfig::test(2));
+    assert_ne!(a.avg_latency_ns, b.avg_latency_ns);
+}
+
+#[test]
+fn adaptive_routing_outperforms_deterministic_under_congestion() {
+    // The paper's headline effect, in miniature: on an irregular network
+    // near saturation, 100 % adaptive traffic accepts more than 0 %.
+    let topo = IrregularConfig::paper(16, 6).generate().unwrap();
+    let fa = routing(&topo, 2);
+    let rate = 0.06; // past up*/down* saturation
+    let det = run(&topo, &fa, WorkloadSpec::uniform32(rate).with_adaptive_fraction(0.0), SimConfig::test(3));
+    let ada = run(&topo, &fa, WorkloadSpec::uniform32(rate).with_adaptive_fraction(1.0), SimConfig::test(3));
+    assert!(
+        ada.accepted_bytes_per_ns_per_switch > det.accepted_bytes_per_ns_per_switch * 1.1,
+        "adaptive {} vs deterministic {}",
+        ada.accepted_bytes_per_ns_per_switch,
+        det.accepted_bytes_per_ns_per_switch
+    );
+}
+
+#[test]
+fn accepted_traffic_saturates_with_offered_load() {
+    let topo = IrregularConfig::paper(8, 2).generate().unwrap();
+    let fa = routing(&topo, 2);
+    let mut last = 0.0;
+    let mut results = Vec::new();
+    for rate in [0.005, 0.02, 0.08, 0.32] {
+        let r = run(&topo, &fa, WorkloadSpec::uniform32(rate), SimConfig::test(9));
+        results.push(r.accepted_bytes_per_ns_per_switch);
+    }
+    // Monotone non-decreasing (within 5 % noise) and the low-load point
+    // accepts essentially the offered load (4 hosts × rate).
+    for &x in &results {
+        assert!(x >= last * 0.95, "throughput collapsed: {results:?}");
+        last = x;
+    }
+    assert!(
+        (results[0] - 0.02).abs() < 0.002,
+        "low-load accepted {} != offered 0.02",
+        results[0]
+    );
+}
+
+#[test]
+fn works_on_regular_topologies() {
+    for topo in [
+        regular::mesh2d(3, 3, 2).unwrap(),
+        regular::torus2d(3, 3, 2).unwrap(),
+        regular::hypercube(3, 2).unwrap(),
+        regular::ring(6, 2).unwrap(),
+    ] {
+        let fa = routing(&topo, 2);
+        let spec = WorkloadSpec::uniform32(0.01).with_adaptive_fraction(0.5);
+        let mut net = Network::new(&topo, &fa, spec, SimConfig::test(4)).unwrap();
+        let (r, drained) = net.run_until_drained(SimTime::from_us(40), SimTime::from_ms(40));
+        assert!(drained && r.delivered == r.generated, "{r:?}");
+    }
+}
+
+#[test]
+fn bit_reversal_traffic_runs() {
+    let topo = IrregularConfig::paper(16, 1).generate().unwrap();
+    let fa = routing(&topo, 2);
+    let spec = WorkloadSpec {
+        pattern: TrafficPattern::BitReversal,
+        ..WorkloadSpec::uniform32(0.02)
+    };
+    let r = run(&topo, &fa, spec, SimConfig::test(6));
+    assert!(r.delivered > 0);
+    assert_eq!(r.order_violations, 0);
+}
+
+#[test]
+fn larger_packets_drain_too() {
+    let topo = IrregularConfig::paper(8, 7).generate().unwrap();
+    let fa = routing(&topo, 2);
+    let spec = WorkloadSpec {
+        packet_bytes: 256,
+        ..WorkloadSpec::uniform32(0.1)
+    };
+    let mut net = Network::new(&topo, &fa, spec, SimConfig::test(8)).unwrap();
+    let (r, drained) = net.run_until_drained(SimTime::from_us(60), SimTime::from_ms(100));
+    assert!(drained, "{r:?}");
+    assert!(net.is_quiescent());
+}
+
+#[test]
+fn four_option_tables_work_on_dense_networks() {
+    let topo = IrregularConfig::paper_connected(8, 3).generate().unwrap();
+    let fa = routing(&topo, 4);
+    let spec = WorkloadSpec::uniform32(0.1);
+    let mut net = Network::new(&topo, &fa, spec, SimConfig::test(10)).unwrap();
+    let (r, drained) = net.run_until_drained(SimTime::from_us(60), SimTime::from_ms(80));
+    assert!(drained, "{r:?}");
+}
+
+#[test]
+fn selection_policies_all_run_and_credit_weighted_is_best_or_close() {
+    let topo = IrregularConfig::paper(16, 12).generate().unwrap();
+    let fa = routing(&topo, 2);
+    let spec = WorkloadSpec::uniform32(0.05);
+    let mut by_policy = Vec::new();
+    for policy in [
+        iba_sim::SelectionPolicy::CreditWeighted,
+        iba_sim::SelectionPolicy::RandomAdaptive,
+        iba_sim::SelectionPolicy::FirstFeasible,
+    ] {
+        let mut cfg = SimConfig::test(31);
+        cfg.selection = policy;
+        let r = run(&topo, &fa, spec, cfg);
+        assert!(r.delivered > 0, "{policy:?} delivered nothing");
+        by_policy.push(r.accepted_bytes_per_ns_per_switch);
+    }
+    // Credit-weighted must not be badly worse than the alternatives.
+    assert!(by_policy[0] >= by_policy[1] * 0.9);
+    assert!(by_policy[0] >= by_policy[2] * 0.9);
+}
+
+#[test]
+fn rejects_inconsistent_setups() {
+    let topo = IrregularConfig::paper(8, 1).generate().unwrap();
+    let other = IrregularConfig::paper(16, 1).generate().unwrap();
+    let fa = routing(&topo, 1);
+    // Adaptive traffic with single-option tables.
+    assert!(Network::new(
+        &topo,
+        &fa,
+        WorkloadSpec::uniform32(0.01),
+        SimConfig::test(0)
+    )
+    .is_err());
+    // Routing built for a different topology.
+    let fa16 = routing(&other, 2);
+    assert!(Network::new(
+        &topo,
+        &fa16,
+        WorkloadSpec::uniform32(0.01).with_adaptive_fraction(0.0),
+        SimConfig::test(0)
+    )
+    .is_err());
+    // Packet too large for the split buffer.
+    let fa2 = routing(&topo, 2);
+    let mut cfg = SimConfig::test(0);
+    cfg.vl_buffer_credits = Credits(4);
+    assert!(Network::new(
+        &topo,
+        &fa2,
+        WorkloadSpec {
+            packet_bytes: 256,
+            ..WorkloadSpec::uniform32(0.01)
+        },
+        cfg
+    )
+    .is_err());
+}
+
+#[test]
+fn multiple_service_levels_spread_over_multiple_vls() {
+    // 2 data VLs, traffic rotating over 2 SLs: the adaptive/escape
+    // machinery runs per VL; everything must still drain in order.
+    let topo = IrregularConfig::paper(8, 17).generate().unwrap();
+    let fa = routing(&topo, 2);
+    let spec = WorkloadSpec::uniform32(0.08)
+        .with_adaptive_fraction(0.5)
+        .with_service_levels(2);
+    let mut cfg = SimConfig::test(23);
+    cfg.data_vls = 2;
+    let mut net = Network::new(&topo, &fa, spec, cfg).unwrap();
+    let (r, drained) = net.run_until_drained(SimTime::from_us(50), SimTime::from_ms(60));
+    assert!(drained, "{r:?}");
+    assert!(net.is_quiescent());
+    assert_eq!(r.order_violations, 0);
+    assert!(r.generated > 1000);
+}
+
+#[test]
+fn two_vls_buy_throughput_on_a_bottleneck() {
+    // On a chain, a second VL doubles the buffering on the single
+    // inter-switch link and relieves head-of-line blocking: throughput
+    // must not drop, and typically improves.
+    let topo = regular::chain(2, 4).unwrap();
+    let fa = routing(&topo, 2);
+    let run_with = |vls: u8, sls: u8| {
+        let mut cfg = SimConfig::test(29);
+        cfg.data_vls = vls;
+        let spec = WorkloadSpec::uniform32(0.2).with_service_levels(sls);
+        Network::new(&topo, &fa, spec, cfg).unwrap().run()
+    };
+    let one = run_with(1, 1);
+    let two = run_with(2, 2);
+    assert!(two.delivered > 0 && one.delivered > 0);
+    assert!(
+        two.accepted_bytes_per_ns_per_switch >= one.accepted_bytes_per_ns_per_switch * 0.95,
+        "2 VLs {} vs 1 VL {}",
+        two.accepted_bytes_per_ns_per_switch,
+        one.accepted_bytes_per_ns_per_switch
+    );
+}
+
+#[test]
+fn sl_count_must_fit_iba_limits() {
+    let spec = WorkloadSpec::uniform32(0.01).with_service_levels(0);
+    assert!(spec.validate().is_err());
+    let spec = WorkloadSpec::uniform32(0.01).with_service_levels(17);
+    assert!(spec.validate().is_err());
+    let spec = WorkloadSpec::uniform32(0.01).with_service_levels(16);
+    assert!(spec.validate().is_ok());
+}
+
+#[test]
+fn finite_source_queues_drop_only_under_overload() {
+    let topo = IrregularConfig::paper(8, 19).generate().unwrap();
+    let fa = routing(&topo, 2);
+    let mut cfg = SimConfig::test(31);
+    cfg.host_queue_capacity = Some(16);
+    // Low load: the queue never fills.
+    let low = run(&topo, &fa, WorkloadSpec::uniform32(0.005), cfg);
+    assert_eq!(low.source_drops, 0);
+    assert!(low.max_host_queue <= 16);
+    // Far past saturation: drops appear, the queue caps, and the fabric
+    // still drains cleanly.
+    let mut net = Network::new(&topo, &fa, WorkloadSpec::uniform32(0.3), cfg).unwrap();
+    let (high, drained) = net.run_until_drained(SimTime::from_us(60), SimTime::from_ms(60));
+    assert!(high.source_drops > 0, "overload must drop at finite queues");
+    assert!(high.max_host_queue <= 16);
+    assert!(drained, "{high:?}");
+    assert!(net.is_quiescent());
+    assert_eq!(high.delivered, high.generated - high.source_drops);
+}
+
+mod scripted {
+    use super::*;
+    use iba_core::{HostId, ServiceLevel};
+    use iba_workloads::{ScriptedPacket, TrafficScript};
+
+    fn entry(at: u64, src: u16, dst: u16, adaptive: bool) -> ScriptedPacket {
+        ScriptedPacket {
+            at: SimTime::from_ns(at),
+            src: HostId(src),
+            dst: HostId(dst),
+            size_bytes: 32,
+            adaptive,
+            sl: ServiceLevel(0),
+            path_set: Default::default(),
+        }
+    }
+
+    #[test]
+    fn replays_exactly_the_scripted_injections() {
+        let topo = IrregularConfig::paper(8, 3).generate().unwrap();
+        let fa = routing(&topo, 2);
+        let script = TrafficScript::new(
+            (0..200u64)
+                .map(|i| entry(1_000 + i * 500, (i % 32) as u16, ((i * 7 + 1) % 32) as u16, i % 2 == 0))
+                .collect(),
+        )
+        .unwrap();
+        let mut net = Network::new_scripted(&topo, &fa, &script, SimConfig::test(5)).unwrap();
+        let (r, drained) = net.run_until_drained(SimTime::from_ms(1), SimTime::from_ms(50));
+        assert!(drained, "{r:?}");
+        assert_eq!(r.generated, 200);
+        assert_eq!(r.delivered, 200);
+        assert_eq!(r.order_violations, 0);
+        assert!(net.is_quiescent());
+    }
+
+    #[test]
+    fn scripted_replay_is_deterministic() {
+        let topo = IrregularConfig::paper(8, 4).generate().unwrap();
+        let fa = routing(&topo, 2);
+        let script = TrafficScript::new(
+            (0..100u64)
+                .map(|i| entry(i * 200, (i % 32) as u16, ((i + 5) % 32) as u16, true))
+                .collect(),
+        )
+        .unwrap();
+        let run = || {
+            Network::new_scripted(&topo, &fa, &script, SimConfig::test(9))
+                .unwrap()
+                .run()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn scripted_mode_validates_inputs() {
+        let topo = IrregularConfig::paper(8, 5).generate().unwrap();
+        // Host out of range.
+        let fa2 = routing(&topo, 2);
+        let bad = TrafficScript::new(vec![entry(1, 0, 200, false)]).unwrap();
+        assert!(Network::new_scripted(&topo, &fa2, &bad, SimConfig::test(0)).is_err());
+        // Adaptive entries against single-option tables.
+        let fa1 = routing(&topo, 1);
+        let ada = TrafficScript::new(vec![entry(1, 0, 1, true)]).unwrap();
+        assert!(Network::new_scripted(&topo, &fa1, &ada, SimConfig::test(0)).is_err());
+        // Deterministic-only scripts are fine with single-option tables.
+        let det = TrafficScript::new(vec![entry(1, 0, 1, false)]).unwrap();
+        assert!(Network::new_scripted(&topo, &fa1, &det, SimConfig::test(0)).is_ok());
+    }
+
+    #[test]
+    fn scripted_bursts_preserve_order_per_flow() {
+        // An all-at-once burst from every host to one target: massive
+        // contention, deterministic packets must stay ordered.
+        let topo = IrregularConfig::paper(8, 6).generate().unwrap();
+        let fa = routing(&topo, 2);
+        let mut entries = Vec::new();
+        for round in 0..50u64 {
+            for src in 1..32u16 {
+                entries.push(entry(round * 100, src, 0, round % 2 == 0));
+            }
+        }
+        let script = TrafficScript::new(entries).unwrap();
+        let mut net = Network::new_scripted(&topo, &fa, &script, SimConfig::test(7)).unwrap();
+        let (r, drained) = net.run_until_drained(SimTime::from_ms(1), SimTime::from_ms(100));
+        assert!(drained, "{r:?}");
+        assert_eq!(r.order_violations, 0);
+        assert_eq!(r.delivered, 50 * 31);
+    }
+}

@@ -1,0 +1,138 @@
+//! Property-based tests of the whole network model: for arbitrary small
+//! configurations, the fundamental guarantees must hold — complete
+//! drainage (deadlock freedom), credit/buffer conservation (quiescence),
+//! and in-order delivery of deterministic traffic.
+
+use iba_core::SimTime;
+use iba_routing::{FaRouting, RoutingConfig};
+use iba_sim::{EscapeOrderPolicy, Network, SelectionPolicy, SimConfig};
+use iba_topology::IrregularConfig;
+use iba_workloads::WorkloadSpec;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    /// Any (topology seed, load, adaptive mix, packet size, policy
+    /// combination) on an 8-switch fabric drains completely and
+    /// preserves deterministic ordering.
+    #[test]
+    fn prop_network_always_drains_in_order(
+        topo_seed in 0u64..1000,
+        sim_seed in any::<u64>(),
+        load_idx in 0usize..3,
+        frac_idx in 0usize..4,
+        pkt_idx in 0usize..2,
+        options_idx in 0usize..2,
+        order_strict in any::<bool>(),
+        selection_idx in 0usize..3,
+    ) {
+        let load = [0.01f64, 0.08, 0.3][load_idx];
+        let fraction = [0.0f64, 0.3, 0.7, 1.0][frac_idx];
+        let packet = [32u32, 256][pkt_idx];
+        let options = [2u16, 4][options_idx];
+
+        let topo = IrregularConfig::paper(8, topo_seed).generate().unwrap();
+        let fa = FaRouting::build(&topo, RoutingConfig::with_options(options)).unwrap();
+        let spec = WorkloadSpec {
+            packet_bytes: packet,
+            ..WorkloadSpec::uniform32(load)
+        }
+        .with_adaptive_fraction(fraction);
+
+        let mut cfg = SimConfig::test(sim_seed);
+        cfg.escape_order = if order_strict {
+            EscapeOrderPolicy::Strict
+        } else {
+            EscapeOrderPolicy::DeterministicFifo
+        };
+        cfg.selection = [
+            SelectionPolicy::CreditWeighted,
+            SelectionPolicy::RandomAdaptive,
+            SelectionPolicy::FirstFeasible,
+        ][selection_idx];
+
+        let mut net = Network::new(&topo, &fa, spec, cfg).unwrap();
+        let (r, drained) = net.run_until_drained(SimTime::from_us(25), SimTime::from_ms(80));
+        prop_assert!(drained, "not drained: {r:?}");
+        prop_assert!(net.is_quiescent(), "not quiescent after drain");
+        prop_assert_eq!(r.order_violations, 0);
+        prop_assert_eq!(r.delivered, r.generated);
+        // Deterministic packets never take adaptive options.
+        if fraction == 0.0 {
+            prop_assert_eq!(r.adaptive_forwards, 0);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    /// Mixed fabrics with arbitrary capability subsets share the same
+    /// guarantees.
+    #[test]
+    fn prop_mixed_fabrics_drain(
+        topo_seed in 0u64..100,
+        cap_mask in any::<u8>(),
+        sim_seed in any::<u64>(),
+    ) {
+        let topo = IrregularConfig::paper(8, topo_seed).generate().unwrap();
+        let caps: Vec<bool> = (0..8).map(|i| cap_mask & (1 << i) != 0).collect();
+        let fa = FaRouting::build_mixed(&topo, RoutingConfig::two_options(), &caps).unwrap();
+        let spec = WorkloadSpec::uniform32(0.15).with_adaptive_fraction(0.6);
+        let mut net = Network::new(&topo, &fa, spec, SimConfig::test(sim_seed)).unwrap();
+        let (r, drained) = net.run_until_drained(SimTime::from_us(25), SimTime::from_ms(80));
+        prop_assert!(drained, "caps {cap_mask:08b}: not drained: {r:?}");
+        prop_assert!(net.is_quiescent());
+        prop_assert_eq!(r.order_violations, 0);
+    }
+}
+
+#[test]
+fn updown_concentrates_load_near_the_root() {
+    // §5.2.1: "the up*/down* routing tends to ... congest the switches
+    // near the root". Measure per-switch link utilization under pure
+    // deterministic traffic and compare the root's neighborhood against
+    // the rest.
+    let topo = IrregularConfig::paper(32, 5).generate().unwrap();
+    let fa = FaRouting::build(&topo, RoutingConfig::two_options()).unwrap();
+    let spec = WorkloadSpec::uniform32(0.02).with_adaptive_fraction(0.0);
+    let mut net = Network::new(&topo, &fa, spec, SimConfig::test(9)).unwrap();
+    let _ = net.run();
+
+    let root = fa.updown().root();
+    let root_util = net.switch_link_utilization(root);
+    let avg_util: f64 = topo
+        .switch_ids()
+        .map(|s| net.switch_link_utilization(s))
+        .sum::<f64>()
+        / topo.num_switches() as f64;
+    assert!(
+        root_util > avg_util,
+        "root links ({root_util:.3}) should run hotter than average ({avg_util:.3})"
+    );
+}
+
+#[test]
+fn adaptivity_flattens_the_root_hotspot() {
+    // The same probe with 100 % adaptive traffic: minimal paths bypass
+    // the tree, so the root's excess utilization must shrink.
+    let topo = IrregularConfig::paper(32, 5).generate().unwrap();
+    let fa = FaRouting::build(&topo, RoutingConfig::two_options()).unwrap();
+    let ratio_for = |fraction: f64| {
+        let spec = WorkloadSpec::uniform32(0.02).with_adaptive_fraction(fraction);
+        let mut net = Network::new(&topo, &fa, spec, SimConfig::test(9)).unwrap();
+        let _ = net.run();
+        let root_util = net.switch_link_utilization(fa.updown().root());
+        let avg: f64 = topo
+            .switch_ids()
+            .map(|s| net.switch_link_utilization(s))
+            .sum::<f64>()
+            / topo.num_switches() as f64;
+        root_util / avg
+    };
+    let det = ratio_for(0.0);
+    let ada = ratio_for(1.0);
+    assert!(
+        ada < det,
+        "adaptive routing should flatten the root hotspot (det {det:.2}x vs ada {ada:.2}x)"
+    );
+}

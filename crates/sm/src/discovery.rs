@@ -1,0 +1,329 @@
+//! Directed-route subnet discovery.
+//!
+//! Before LIDs exist, the subnet manager explores the fabric with
+//! directed-route SMPs: starting at its own switch it reads `NodeInfo`,
+//! probes every port with `PortInfo`, and extends the route through
+//! every trained link, de-duplicating switches by GUID — a breadth-first
+//! sweep that reconstructs the whole graph using nothing but the
+//! management interface.
+
+use crate::mad::{DirectedRoute, NodeKind, PortState, Smp, SmpAttribute, SmpMethod, SmpResponse};
+use crate::managed::ManagedFabric;
+use iba_core::{IbaError, PortIndex, ServiceLevel, SwitchId};
+use iba_topology::{Topology, TopologyBuilder};
+use std::collections::HashMap;
+use std::collections::VecDeque;
+
+/// What discovery found behind one switch port.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PortTarget {
+    /// Link down / unwired.
+    Down,
+    /// A host with the given GUID.
+    Host(u64),
+    /// A switch with the given GUID.
+    Switch(u64),
+}
+
+/// One discovered switch.
+#[derive(Clone, Debug)]
+pub struct DiscoveredSwitch {
+    /// The switch's GUID.
+    pub guid: u64,
+    /// A shortest directed route from the SM to it.
+    pub route: DirectedRoute,
+    /// Per-port findings.
+    pub ports: Vec<PortTarget>,
+}
+
+/// The reconstructed fabric.
+#[derive(Clone, Debug, Default)]
+pub struct DiscoveredFabric {
+    /// Switches in discovery (BFS) order.
+    pub switches: Vec<DiscoveredSwitch>,
+    /// Host GUIDs in discovery order (their index becomes the HostId).
+    pub hosts: Vec<u64>,
+    /// SMPs used by the sweep.
+    pub smps_used: u64,
+}
+
+impl DiscoveredFabric {
+    /// Number of switches found.
+    pub fn switch_count(&self) -> usize {
+        self.switches.len()
+    }
+
+    /// Number of hosts found.
+    pub fn host_count(&self) -> usize {
+        self.hosts.len()
+    }
+
+    /// Number of inter-switch links found.
+    pub fn link_count(&self) -> usize {
+        self.switches
+            .iter()
+            .flat_map(|s| &s.ports)
+            .filter(|t| matches!(t, PortTarget::Switch(_)))
+            .count()
+            / 2
+    }
+
+    /// Rebuild a [`Topology`] isomorphic to the physical fabric, with
+    /// discovery order as switch/host ids and the *physical* port
+    /// numbers preserved — so routing computed on it programs correctly
+    /// onto the real switches.
+    pub fn to_topology(&self) -> Result<Topology, IbaError> {
+        let ports = self
+            .switches
+            .first()
+            .map(|s| s.ports.len() as u8)
+            .ok_or_else(|| IbaError::InvalidTopology("nothing discovered".into()))?;
+        let index_of: HashMap<u64, usize> = self
+            .switches
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.guid, i))
+            .collect();
+        let host_index: HashMap<u64, usize> = self
+            .hosts
+            .iter()
+            .enumerate()
+            .map(|(i, &g)| (g, i))
+            .collect();
+        let mut builder = TopologyBuilder::new(self.switches.len(), ports);
+        // Wire inter-switch links (each seen from both ends; connect once).
+        for (i, sw) in self.switches.iter().enumerate() {
+            for (p, target) in sw.ports.iter().enumerate() {
+                if let PortTarget::Switch(peer_guid) = target {
+                    let j = *index_of.get(peer_guid).ok_or_else(|| {
+                        IbaError::InvalidTopology("link to unknown switch".into())
+                    })?;
+                    if i < j {
+                        // Find the peer's matching port.
+                        let peer = &self.switches[j];
+                        let back = peer
+                            .ports
+                            .iter()
+                            .position(|t| *t == PortTarget::Switch(sw.guid))
+                            .ok_or_else(|| {
+                                IbaError::InvalidTopology("asymmetric discovery".into())
+                            })?;
+                        builder.connect_ports(
+                            SwitchId(i as u16),
+                            PortIndex(p as u8),
+                            SwitchId(j as u16),
+                            PortIndex(back as u8),
+                        )?;
+                    }
+                }
+            }
+        }
+        // Attach hosts in global discovery order so HostIds match the
+        // LID-assignment order.
+        let mut placements: Vec<(usize, usize, usize)> = Vec::new(); // (host idx, switch, port)
+        for (i, sw) in self.switches.iter().enumerate() {
+            for (p, target) in sw.ports.iter().enumerate() {
+                if let PortTarget::Host(g) = target {
+                    placements.push((host_index[g], i, p));
+                }
+            }
+        }
+        placements.sort();
+        for (_, sw, port) in placements {
+            builder.attach_host_at(SwitchId(sw as u16), PortIndex(port as u8))?;
+        }
+        builder.build()
+    }
+}
+
+/// The discovery engine.
+pub struct Discoverer {
+    tid: u64,
+}
+
+impl Discoverer {
+    /// Fresh engine.
+    pub fn new() -> Discoverer {
+        Discoverer { tid: 0 }
+    }
+
+    fn smp(&mut self, method: SmpMethod, attribute: SmpAttribute, route: DirectedRoute) -> Smp {
+        self.tid += 1;
+        Smp {
+            method,
+            attribute,
+            route,
+            tid: self.tid,
+            sl: ServiceLevel(0),
+        }
+    }
+
+    /// Run the breadth-first sweep over `fabric`.
+    pub fn discover(&mut self, fabric: &mut ManagedFabric) -> Result<DiscoveredFabric, IbaError> {
+        let before = fabric.smps_sent;
+        let mut out = DiscoveredFabric::default();
+        let mut seen: HashMap<u64, usize> = HashMap::new();
+        let mut queue: VecDeque<DirectedRoute> = VecDeque::from([DirectedRoute::local()]);
+        // The entry route's NodeInfo seeds the sweep.
+        while let Some(route) = queue.pop_front() {
+            let resp = fabric.send(&self.smp(SmpMethod::Get, SmpAttribute::NodeInfo, route.clone()));
+            let SmpResponse::NodeInfo {
+                kind: NodeKind::Switch { ports },
+                guid,
+            } = resp
+            else {
+                return Err(IbaError::InvalidTopology(format!(
+                    "discovery route did not end at a switch: {resp:?}"
+                )));
+            };
+            if seen.contains_key(&guid) {
+                continue; // reached an already-visited switch by another path
+            }
+            seen.insert(guid, out.switches.len());
+            let mut port_targets = vec![PortTarget::Down; ports as usize];
+            for p in 0..ports {
+                let port = PortIndex(p);
+                let resp = fabric.send(&self.smp(
+                    SmpMethod::Get,
+                    SmpAttribute::PortInfo { port },
+                    route.clone(),
+                ));
+                let SmpResponse::PortInfo { state } = resp else {
+                    return Err(IbaError::InvalidTopology("PortInfo failed".into()));
+                };
+                if state == PortState::Down {
+                    continue;
+                }
+                // Identify the peer through its own NodeInfo.
+                let peer_route = route.then(port);
+                let resp = fabric.send(&self.smp(
+                    SmpMethod::Get,
+                    SmpAttribute::NodeInfo,
+                    peer_route.clone(),
+                ));
+                match resp {
+                    SmpResponse::NodeInfo {
+                        kind: NodeKind::Host,
+                        guid: hg,
+                    } => {
+                        port_targets[p as usize] = PortTarget::Host(hg);
+                        out.hosts.push(hg);
+                    }
+                    SmpResponse::NodeInfo {
+                        kind: NodeKind::Switch { .. },
+                        guid: sg,
+                    } => {
+                        port_targets[p as usize] = PortTarget::Switch(sg);
+                        if !seen.contains_key(&sg) {
+                            queue.push_back(peer_route);
+                        }
+                    }
+                    other => {
+                        return Err(IbaError::InvalidTopology(format!(
+                            "peer NodeInfo failed: {other:?}"
+                        )))
+                    }
+                }
+            }
+            out.switches.push(DiscoveredSwitch {
+                guid,
+                route,
+                ports: port_targets,
+            });
+        }
+        out.smps_used = fabric.smps_sent - before;
+        Ok(out)
+    }
+}
+
+impl Default for Discoverer {
+    fn default() -> Self {
+        Discoverer::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iba_topology::{regular, IrregularConfig, TopologyMetrics};
+
+    fn discover(topo: &Topology) -> DiscoveredFabric {
+        let mut fabric = ManagedFabric::new(topo, 2).unwrap();
+        Discoverer::new().discover(&mut fabric).unwrap()
+    }
+
+    #[test]
+    fn sweep_finds_the_whole_ring() {
+        let topo = regular::ring(6, 2).unwrap();
+        let d = discover(&topo);
+        assert_eq!(d.switch_count(), 6);
+        assert_eq!(d.host_count(), 12);
+        assert_eq!(d.link_count(), 6);
+        assert!(d.smps_used > 0);
+    }
+
+    #[test]
+    fn sweep_finds_irregular_fabrics_of_every_size() {
+        for &n in &[8usize, 16, 32] {
+            let topo = IrregularConfig::paper(n, 5).generate().unwrap();
+            let d = discover(&topo);
+            assert_eq!(d.switch_count(), n, "{n} switches");
+            assert_eq!(d.host_count(), 4 * n);
+            assert_eq!(d.link_count(), topo.num_switch_links());
+        }
+    }
+
+    #[test]
+    fn routes_are_shortest_in_bfs_order() {
+        let topo = regular::chain(5, 1).unwrap();
+        let d = discover(&topo);
+        // BFS: route lengths are non-decreasing in discovery order, and
+        // the farthest switch of a 5-chain is 4 hops from an end.
+        let lens: Vec<usize> = d.switches.iter().map(|s| s.route.len()).collect();
+        assert!(lens.windows(2).all(|w| w[0] <= w[1]), "{lens:?}");
+        assert_eq!(*lens.last().unwrap(), 4);
+    }
+
+    #[test]
+    fn reconstructed_topology_is_isomorphic() {
+        for seed in [1u64, 2, 3] {
+            let topo = IrregularConfig::paper(16, seed).generate().unwrap();
+            let rebuilt = discover(&topo).to_topology().unwrap();
+            rebuilt.validate().unwrap();
+            let a = TopologyMetrics::compute(&topo);
+            let b = TopologyMetrics::compute(&rebuilt);
+            assert_eq!(a, b, "metric mismatch: {a:?} vs {b:?}");
+            // Degree multiset must match exactly.
+            let degrees = |t: &Topology| {
+                let mut d: Vec<usize> = t.switch_ids().map(|s| t.switch_degree(s)).collect();
+                d.sort();
+                d
+            };
+            assert_eq!(degrees(&topo), degrees(&rebuilt));
+        }
+    }
+
+    #[test]
+    fn reconstruction_preserves_physical_port_numbers() {
+        let topo = IrregularConfig::paper(8, 9).generate().unwrap();
+        let d = discover(&topo);
+        let rebuilt = d.to_topology().unwrap();
+        // For each discovered switch, the set of (port → kind) must agree
+        // with the physical one (ports are the common key between the
+        // managed fabric and the reconstruction).
+        for (i, sw) in d.switches.iter().enumerate() {
+            for (p, t) in sw.ports.iter().enumerate() {
+                let rebuilt_ep = rebuilt.endpoint(SwitchId(i as u16), PortIndex(p as u8));
+                match t {
+                    PortTarget::Down => assert!(rebuilt_ep.is_none()),
+                    PortTarget::Host(_) => {
+                        assert!(rebuilt_ep.unwrap().node.is_host())
+                    }
+                    PortTarget::Switch(_) => {
+                        assert!(rebuilt_ep.unwrap().node.is_switch())
+                    }
+                }
+            }
+        }
+    }
+}

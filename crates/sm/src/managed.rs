@@ -1,0 +1,389 @@
+//! The managed fabric: switch-resident management agents.
+//!
+//! [`ManagedFabric`] wraps a [`Topology`] and gives every switch the
+//! state a subnet manager can see and change — GUID, management LID,
+//! linear forwarding table, SLtoVL table — reachable *only* through
+//! directed-route SMPs ([`ManagedFabric::send`]). The discovery and
+//! programming layers never touch the topology object directly; they
+//! must learn and configure everything through this interface, exactly
+//! like a real SM.
+
+use crate::mad::{
+    DirectedRoute, NodeKind, PortState, Smp, SmpAttribute, SmpMethod, SmpResponse,
+};
+use iba_core::{Lid, NodeRef, ServiceLevel as Sl, SwitchId};
+use iba_routing::{InterleavedForwardingTable, SlToVlTable};
+use iba_topology::Topology;
+
+/// Entries per linear-forwarding-table block (spec value).
+pub const LFT_BLOCK: usize = 64;
+
+/// One switch's management agent state.
+#[derive(Debug)]
+pub struct ManagedSwitch {
+    /// Stable globally unique id.
+    pub guid: u64,
+    /// Management LID assigned by the SM (0 until assigned).
+    pub lid: Lid,
+    /// The linear forwarding table (interleaved internally when the
+    /// switch is an enhanced one; the SM cannot tell the difference —
+    /// that is the point of §4.1).
+    pub lft: InterleavedForwardingTable,
+    /// The SLtoVL mapping table (§4.4).
+    pub sl2vl: SlToVlTable,
+    /// SMPs this agent has processed (diagnostics).
+    pub smps_processed: u64,
+}
+
+/// A topology whose switches are reachable through SMPs.
+pub struct ManagedFabric<'a> {
+    topo: &'a Topology,
+    /// The switch the SM is attached to (via its first host).
+    sm_switch: SwitchId,
+    switches: Vec<ManagedSwitch>,
+    /// Total SMPs transported.
+    pub smps_sent: u64,
+}
+
+/// GUIDs are derived from switch ids with a fixed mix so they look
+/// opaque to discovery (which must not assume density or order).
+fn guid_of(s: SwitchId) -> u64 {
+    (s.0 as u64)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .rotate_left(17)
+        ^ 0xABCD_EF01_2345_6789
+}
+
+/// GUID of a host port.
+fn host_guid(h: iba_core::HostId) -> u64 {
+    (h.0 as u64)
+        .wrapping_mul(0xC2B2_AE3D_27D4_EB4F)
+        .rotate_left(29)
+        ^ 0x1357_9BDF_2468_ACE0
+}
+
+impl<'a> ManagedFabric<'a> {
+    /// Wrap `topo` with fresh (unprogrammed) agents. The SM console is
+    /// attached to the switch of host 0; `lft_fanout` is the interleave
+    /// factor of the enhanced switches (2^LMC).
+    pub fn new(topo: &'a Topology, lft_fanout: u16) -> Result<Self, iba_core::IbaError> {
+        let table_len = 48 * 1024; // spec: LFT covers unicast LID space
+        let switches = topo
+            .switch_ids()
+            .map(|s| {
+                Ok(ManagedSwitch {
+                    guid: guid_of(s),
+                    lid: Lid(0),
+                    lft: InterleavedForwardingTable::new(table_len, lft_fanout)?,
+                    // Power-on default: everything on VL0 until programmed.
+                    sl2vl: SlToVlTable::identity(topo.ports_per_switch(), 1)?,
+                    smps_processed: 0,
+                })
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(ManagedFabric {
+            topo,
+            sm_switch: topo.host_switch(iba_core::HostId(0)),
+            switches,
+            smps_sent: 0,
+        })
+    }
+
+    /// The switch the SM is attached to.
+    pub fn sm_switch(&self) -> SwitchId {
+        self.sm_switch
+    }
+
+    /// Read access to an agent (for verification in tests/reports).
+    pub fn agent(&self, s: SwitchId) -> &ManagedSwitch {
+        &self.switches[s.index()]
+    }
+
+    /// Walk a directed route from the SM switch. `Ok` holds the final
+    /// node; `Err(())` marks a route that fell off the fabric.
+    fn walk(&self, route: &DirectedRoute) -> Result<NodeRef, ()> {
+        let mut cur = NodeRef::Switch(self.sm_switch);
+        for &port in &route.hops {
+            let NodeRef::Switch(sw) = cur else {
+                return Err(()); // tried to hop out of a host
+            };
+            if port.index() >= self.topo.ports_per_switch() as usize {
+                return Err(());
+            }
+            let Some(ep) = self.topo.endpoint(sw, port) else {
+                return Err(()); // down port
+            };
+            cur = ep.node;
+        }
+        Ok(cur)
+    }
+
+    /// Transport and process one SMP, returning the response.
+    pub fn send(&mut self, smp: &Smp) -> SmpResponse {
+        self.smps_sent += 1;
+        let Ok(target) = self.walk(&smp.route) else {
+            return SmpResponse::BadRoute;
+        };
+        match target {
+            NodeRef::Host(h) => match (&smp.method, &smp.attribute) {
+                (SmpMethod::Get, SmpAttribute::NodeInfo) => SmpResponse::NodeInfo {
+                    kind: NodeKind::Host,
+                    guid: host_guid(h),
+                },
+                _ => SmpResponse::Unsupported,
+            },
+            NodeRef::Switch(sw) => {
+                let ports = self.topo.ports_per_switch();
+                let agent = &mut self.switches[sw.index()];
+                agent.smps_processed += 1;
+                match (&smp.method, &smp.attribute) {
+                    (SmpMethod::Get, SmpAttribute::NodeInfo) => SmpResponse::NodeInfo {
+                        kind: NodeKind::Switch { ports },
+                        guid: agent.guid,
+                    },
+                    (SmpMethod::Get, SmpAttribute::PortInfo { port }) => {
+                        if port.index() >= ports as usize {
+                            SmpResponse::Unsupported
+                        } else if self.topo.endpoint(sw, *port).is_some() {
+                            SmpResponse::PortInfo {
+                                state: PortState::Up,
+                            }
+                        } else {
+                            SmpResponse::PortInfo {
+                                state: PortState::Down,
+                            }
+                        }
+                    }
+                    (SmpMethod::Set, SmpAttribute::SwitchInfo { lid }) => {
+                        agent.lid = *lid;
+                        SmpResponse::Ok
+                    }
+                    (SmpMethod::Set, SmpAttribute::LinearForwardingTable { block, entries }) => {
+                        let base = *block as usize * LFT_BLOCK;
+                        for (i, entry) in entries.iter().enumerate().take(LFT_BLOCK) {
+                            if let Some(port) = entry {
+                                if agent.lft.set(Lid((base + i) as u16), *port).is_err() {
+                                    return SmpResponse::Unsupported;
+                                }
+                            }
+                        }
+                        SmpResponse::Ok
+                    }
+                    (SmpMethod::Get, SmpAttribute::LinearForwardingTable { block, .. }) => {
+                        let base = *block as usize * LFT_BLOCK;
+                        let entries = (0..LFT_BLOCK)
+                            .map(|i| agent.lft.get(Lid((base + i) as u16)))
+                            .collect();
+                        SmpResponse::LftBlock { entries }
+                    }
+                    (SmpMethod::Set, SmpAttribute::SlToVlMappingTable { input, output, vls }) => {
+                        if vls.len() != Sl::COUNT {
+                            return SmpResponse::Unsupported;
+                        }
+                        for (sl, vl) in vls.iter().enumerate() {
+                            if agent
+                                .sl2vl
+                                .set(*input, *output, Sl(sl as u8), *vl)
+                                .is_err()
+                            {
+                                return SmpResponse::Unsupported;
+                            }
+                        }
+                        SmpResponse::Ok
+                    }
+                    _ => SmpResponse::Unsupported,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iba_core::{PortIndex, ServiceLevel};
+    use iba_topology::regular;
+
+    fn smp(method: SmpMethod, attribute: SmpAttribute, route: DirectedRoute) -> Smp {
+        Smp {
+            method,
+            attribute,
+            route,
+            tid: 0,
+            sl: ServiceLevel(0),
+        }
+    }
+
+    #[test]
+    fn nodeinfo_of_local_switch() {
+        let topo = regular::ring(4, 1).unwrap();
+        let mut fab = ManagedFabric::new(&topo, 2).unwrap();
+        let resp = fab.send(&smp(
+            SmpMethod::Get,
+            SmpAttribute::NodeInfo,
+            DirectedRoute::local(),
+        ));
+        let SmpResponse::NodeInfo { kind, guid } = resp else {
+            panic!("unexpected response {resp:?}");
+        };
+        assert_eq!(kind, NodeKind::Switch { ports: 3 });
+        assert_eq!(guid, fab.agent(fab.sm_switch()).guid);
+    }
+
+    #[test]
+    fn directed_route_reaches_neighbors_and_hosts() {
+        let topo = regular::ring(4, 1).unwrap();
+        let sm_sw = topo.host_switch(iba_core::HostId(0));
+        let (port, peer, _) = topo.switch_neighbors(sm_sw).next().unwrap();
+        let mut fab = ManagedFabric::new(&topo, 2).unwrap();
+        let resp = fab.send(&smp(
+            SmpMethod::Get,
+            SmpAttribute::NodeInfo,
+            DirectedRoute::local().then(port),
+        ));
+        let SmpResponse::NodeInfo { kind, guid } = resp else {
+            panic!();
+        };
+        assert_eq!(kind, NodeKind::Switch { ports: 3 });
+        assert_eq!(guid, fab.agent(peer).guid);
+        // Host port.
+        let (hport, _) = topo.attached_hosts(sm_sw).next().unwrap();
+        let resp = fab.send(&smp(
+            SmpMethod::Get,
+            SmpAttribute::NodeInfo,
+            DirectedRoute::local().then(hport),
+        ));
+        assert!(matches!(
+            resp,
+            SmpResponse::NodeInfo {
+                kind: NodeKind::Host,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn bad_routes_are_rejected() {
+        let topo = regular::ring(4, 1).unwrap();
+        let mut fab = ManagedFabric::new(&topo, 2).unwrap();
+        // Port number beyond the switch.
+        let resp = fab.send(&smp(
+            SmpMethod::Get,
+            SmpAttribute::NodeInfo,
+            DirectedRoute::local().then(PortIndex(99)),
+        ));
+        assert_eq!(resp, SmpResponse::BadRoute);
+        // Routing through a host.
+        let (hport, _) = topo.attached_hosts(fab.sm_switch()).next().unwrap();
+        let resp = fab.send(&smp(
+            SmpMethod::Get,
+            SmpAttribute::NodeInfo,
+            DirectedRoute::local().then(hport).then(PortIndex(0)),
+        ));
+        assert_eq!(resp, SmpResponse::BadRoute);
+    }
+
+    #[test]
+    fn lft_blocks_write_and_read_back() {
+        let topo = regular::ring(4, 1).unwrap();
+        let mut fab = ManagedFabric::new(&topo, 2).unwrap();
+        let mut entries = vec![None; LFT_BLOCK];
+        entries[5] = Some(PortIndex(2));
+        entries[6] = Some(PortIndex(1));
+        let resp = fab.send(&smp(
+            SmpMethod::Set,
+            SmpAttribute::LinearForwardingTable { block: 1, entries },
+            DirectedRoute::local(),
+        ));
+        assert_eq!(resp, SmpResponse::Ok);
+        let resp = fab.send(&smp(
+            SmpMethod::Get,
+            SmpAttribute::LinearForwardingTable {
+                block: 1,
+                entries: vec![],
+            },
+            DirectedRoute::local(),
+        ));
+        let SmpResponse::LftBlock { entries } = resp else {
+            panic!();
+        };
+        assert_eq!(entries[5], Some(PortIndex(2)));
+        assert_eq!(entries[6], Some(PortIndex(1)));
+        assert_eq!(entries[7], None);
+        // The write landed at linear addresses 69/70 of the agent table.
+        assert_eq!(fab.agent(fab.sm_switch()).lft.get(Lid(69)), Some(PortIndex(2)));
+    }
+
+    #[test]
+    fn port_info_reports_link_state() {
+        // Ring switches have 3 ports: 2 links + 1 host — all up; a chain
+        // end has a down port.
+        let topo = regular::chain(2, 1).unwrap();
+        let mut fab = ManagedFabric::new(&topo, 2).unwrap();
+        let mut states = Vec::new();
+        for p in 0..3 {
+            let resp = fab.send(&smp(
+                SmpMethod::Get,
+                SmpAttribute::PortInfo {
+                    port: PortIndex(p),
+                },
+                DirectedRoute::local(),
+            ));
+            let SmpResponse::PortInfo { state } = resp else {
+                panic!();
+            };
+            states.push(state);
+        }
+        assert!(states.contains(&PortState::Down), "chain end must have a down port");
+        assert!(states.contains(&PortState::Up));
+    }
+
+    #[test]
+    fn sl2vl_rows_program_through_smps() {
+        use iba_core::VirtualLane;
+        let topo = regular::ring(4, 1).unwrap();
+        let mut fab = ManagedFabric::new(&topo, 2).unwrap();
+        let vls: Vec<VirtualLane> = (0..16).map(|sl| VirtualLane(sl % 2)).collect();
+        let resp = fab.send(&smp(
+            SmpMethod::Set,
+            SmpAttribute::SlToVlMappingTable {
+                input: PortIndex(0),
+                output: PortIndex(1),
+                vls: vls.clone(),
+            },
+            DirectedRoute::local(),
+        ));
+        assert_eq!(resp, SmpResponse::Ok);
+        let agent = fab.agent(fab.sm_switch());
+        assert_eq!(
+            agent.sl2vl.vl_for(PortIndex(0), PortIndex(1), iba_core::ServiceLevel(3)),
+            VirtualLane(1)
+        );
+        // Unprogrammed rows keep the power-on default (VL0).
+        assert_eq!(
+            agent.sl2vl.vl_for(PortIndex(1), PortIndex(0), iba_core::ServiceLevel(3)),
+            VirtualLane(0)
+        );
+        // Short rows are rejected.
+        let resp = fab.send(&smp(
+            SmpMethod::Set,
+            SmpAttribute::SlToVlMappingTable {
+                input: PortIndex(0),
+                output: PortIndex(1),
+                vls: vec![VirtualLane(0); 3],
+            },
+            DirectedRoute::local(),
+        ));
+        assert_eq!(resp, SmpResponse::Unsupported);
+    }
+
+    #[test]
+    fn guids_are_distinct() {
+        let topo = regular::ring(8, 1).unwrap();
+        let fab = ManagedFabric::new(&topo, 2).unwrap();
+        let mut guids: Vec<u64> = topo.switch_ids().map(|s| fab.agent(s).guid).collect();
+        guids.sort();
+        guids.dedup();
+        assert_eq!(guids.len(), 8);
+    }
+}

@@ -1,0 +1,202 @@
+//! Scalar aggregation across topology ensembles.
+//!
+//! Table 1 reports "minimum, maximum, and average factors of throughput
+//! increase" over the ten random topologies of each size; [`MinMaxAvg`]
+//! is exactly that accumulator. [`Welford`] adds a numerically stable
+//! variance for the extended reports.
+
+use serde::{Deserialize, Serialize};
+
+/// Running minimum / maximum / mean of a sequence of samples.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MinMaxAvg {
+    /// Number of samples.
+    pub count: usize,
+    /// Smallest sample (`NaN` if empty).
+    pub min: f64,
+    /// Largest sample (`NaN` if empty).
+    pub max: f64,
+    sum: f64,
+}
+
+impl MinMaxAvg {
+    /// Empty accumulator.
+    pub fn new() -> MinMaxAvg {
+        MinMaxAvg {
+            count: 0,
+            min: f64::NAN,
+            max: f64::NAN,
+            sum: 0.0,
+        }
+    }
+
+    /// Build from an iterator of samples.
+    pub fn from_samples(samples: impl IntoIterator<Item = f64>) -> MinMaxAvg {
+        samples.into_iter().collect()
+    }
+
+    /// Add a sample. Non-finite samples are a caller bug and panic in
+    /// debug builds.
+    pub fn push(&mut self, sample: f64) {
+        debug_assert!(sample.is_finite(), "non-finite sample {sample}");
+        if self.count == 0 {
+            self.min = sample;
+            self.max = sample;
+        } else {
+            self.min = self.min.min(sample);
+            self.max = self.max.max(sample);
+        }
+        self.sum += sample;
+        self.count += 1;
+    }
+
+    /// The mean (`NaN` if empty).
+    pub fn avg(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Render as the paper's `min/max/avg` triple.
+    pub fn triple(&self) -> (f64, f64, f64) {
+        (self.min, self.max, self.avg())
+    }
+}
+
+impl Default for MinMaxAvg {
+    fn default() -> Self {
+        MinMaxAvg::new()
+    }
+}
+
+impl FromIterator<f64> for MinMaxAvg {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> MinMaxAvg {
+        let mut acc = MinMaxAvg::new();
+        for s in iter {
+            acc.push(s);
+        }
+        acc
+    }
+}
+
+impl std::fmt::Display for MinMaxAvg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.2}/{:.2}/{:.2}", self.min, self.max, self.avg())
+    }
+}
+
+/// Welford's online mean/variance.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Welford {
+    /// Number of samples.
+    pub count: usize,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    /// Empty accumulator.
+    pub fn new() -> Welford {
+        Welford::default()
+    }
+
+    /// Add a sample.
+    pub fn push(&mut self, sample: f64) {
+        self.count += 1;
+        let delta = sample - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (sample - self.mean);
+    }
+
+    /// The mean (`NaN` if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.mean
+        }
+    }
+
+    /// Sample variance (`NaN` with fewer than 2 samples).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            f64::NAN
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn min_max_avg_basics() {
+        let acc = MinMaxAvg::from_samples([3.0, 1.0, 2.0]);
+        assert_eq!(acc.triple(), (1.0, 3.0, 2.0));
+        assert_eq!(acc.count, 3);
+        assert_eq!(acc.to_string(), "1.00/3.00/2.00");
+    }
+
+    #[test]
+    fn empty_accumulator_is_nan() {
+        let acc = MinMaxAvg::new();
+        assert!(acc.avg().is_nan());
+        assert!(acc.min.is_nan());
+    }
+
+    #[test]
+    fn single_sample() {
+        let acc = MinMaxAvg::from_samples([5.0]);
+        assert_eq!(acc.triple(), (5.0, 5.0, 5.0));
+    }
+
+    #[test]
+    fn welford_matches_direct_formulas() {
+        let data = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut w = Welford::new();
+        for &x in &data {
+            w.push(x);
+        }
+        assert!((w.mean() - 5.0).abs() < 1e-12);
+        // Sample variance of this classic dataset is 32/7.
+        assert!((w.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert!((w.stddev() - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn welford_degenerate_counts() {
+        let mut w = Welford::new();
+        assert!(w.mean().is_nan());
+        w.push(1.0);
+        assert_eq!(w.mean(), 1.0);
+        assert!(w.variance().is_nan());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_minmaxavg_bounds(samples in proptest::collection::vec(-1e6f64..1e6, 1..100)) {
+            let acc = MinMaxAvg::from_samples(samples.iter().copied());
+            let avg = acc.avg();
+            prop_assert!(acc.min <= avg + 1e-9 && avg <= acc.max + 1e-9);
+            prop_assert_eq!(acc.count, samples.len());
+        }
+
+        #[test]
+        fn prop_welford_mean_matches_sum(samples in proptest::collection::vec(-1e3f64..1e3, 1..100)) {
+            let mut w = Welford::new();
+            for &s in &samples { w.push(s); }
+            let direct = samples.iter().sum::<f64>() / samples.len() as f64;
+            prop_assert!((w.mean() - direct).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! # iba-stats
+//!
+//! Measurement post-processing and report formatting for the iba-far
+//! experiments.
+//!
+//! The paper reports results in two shapes:
+//!
+//! * **latency vs accepted-traffic curves** (Figure 3) — handled by
+//!   [`curve::Curve`], including saturation-throughput extraction;
+//! * **min/max/avg factors across a topology ensemble** (Table 1) —
+//!   handled by [`agg::MinMaxAvg`].
+//!
+//! [`report`] renders both as aligned-plain-text/markdown tables and CSV,
+//! which is what the experiment binaries print.
+
+#![warn(missing_docs)]
+
+pub mod agg;
+pub mod curve;
+pub mod report;
+
+pub use agg::{MinMaxAvg, Welford};
+pub use curve::{Curve, CurvePoint};
+pub use report::{csv_table, markdown_table};

@@ -1,0 +1,269 @@
+//! Scripted (trace-driven) traffic.
+//!
+//! Besides the paper's synthetic distributions, real studies replay
+//! application traces: an explicit list of `(time, source, destination,
+//! size, adaptive?)` injections. [`TrafficScript`] holds such a trace —
+//! built programmatically or parsed from CSV — and the simulator replays
+//! it exactly (`Network::new_scripted`), which is how MPI communication
+//! patterns (the paper's §2 motivation: "MPI-based parallel applications
+//! ... able to initiate many concurrent non-blocking message
+//! transmissions") can be driven through the fabric.
+
+use iba_core::{HostId, IbaError, ServiceLevel, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Which path set a scripted packet addresses (§4.1 APM coexistence).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum PathSet {
+    /// The ordinary FA group (lower LID half).
+    #[default]
+    Primary,
+    /// The Automatic-Path-Migration alternate group (upper LID half);
+    /// requires tables built with `FaRouting::build_with_apm`.
+    Alternate,
+}
+
+/// One scripted packet injection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScriptedPacket {
+    /// Generation time at the source host.
+    pub at: SimTime,
+    /// Source host.
+    pub src: HostId,
+    /// Destination host.
+    pub dst: HostId,
+    /// Total size in bytes.
+    pub size_bytes: u32,
+    /// Whether the source marks the packet adaptive.
+    pub adaptive: bool,
+    /// Service level.
+    pub sl: ServiceLevel,
+    /// Primary or APM-alternate path set.
+    pub path_set: PathSet,
+}
+
+/// An explicit injection trace, ordered by time.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct TrafficScript {
+    packets: Vec<ScriptedPacket>,
+}
+
+impl TrafficScript {
+    /// Build from a list of injections (sorted by time internally; the
+    /// relative order of same-instant entries is preserved).
+    pub fn new(mut packets: Vec<ScriptedPacket>) -> Result<TrafficScript, IbaError> {
+        for (i, p) in packets.iter().enumerate() {
+            if p.src == p.dst {
+                return Err(IbaError::InvalidConfig(format!(
+                    "script entry {i}: source equals destination ({})",
+                    p.src
+                )));
+            }
+            if p.size_bytes == 0 {
+                return Err(IbaError::InvalidConfig(format!(
+                    "script entry {i}: zero-size packet"
+                )));
+            }
+        }
+        packets.sort_by_key(|p| p.at);
+        Ok(TrafficScript { packets })
+    }
+
+    /// Parse from CSV lines of the form
+    /// `time_ns,src,dst,size_bytes,adaptive[,sl[,alternate]]` (header
+    /// lines and lines starting with `#` are skipped; `adaptive` and
+    /// `alternate` are `0`/`1`).
+    pub fn from_csv(text: &str) -> Result<TrafficScript, IbaError> {
+        let mut packets = Vec::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') || line.starts_with("time") {
+                continue;
+            }
+            let fields: Vec<&str> = line.split(',').map(str::trim).collect();
+            if fields.len() < 5 {
+                return Err(IbaError::InvalidConfig(format!(
+                    "script line {}: expected at least 5 fields, got {}",
+                    lineno + 1,
+                    fields.len()
+                )));
+            }
+            let parse = |s: &str, what: &str| -> Result<u64, IbaError> {
+                s.parse().map_err(|_| {
+                    IbaError::InvalidConfig(format!(
+                        "script line {}: bad {what} {s:?}",
+                        lineno + 1
+                    ))
+                })
+            };
+            packets.push(ScriptedPacket {
+                at: SimTime::from_ns(parse(fields[0], "time")?),
+                src: HostId(parse(fields[1], "src")? as u16),
+                dst: HostId(parse(fields[2], "dst")? as u16),
+                size_bytes: parse(fields[3], "size")? as u32,
+                adaptive: parse(fields[4], "adaptive flag")? != 0,
+                sl: ServiceLevel(if fields.len() > 5 {
+                    parse(fields[5], "sl")? as u8
+                } else {
+                    0
+                }),
+                path_set: if fields.len() > 6 && parse(fields[6], "alternate flag")? != 0 {
+                    PathSet::Alternate
+                } else {
+                    PathSet::Primary
+                },
+            });
+        }
+        TrafficScript::new(packets)
+    }
+
+    /// Render as CSV (the `from_csv` format, with header).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("time_ns,src,dst,size_bytes,adaptive,sl,alternate\n");
+        for p in &self.packets {
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{}\n",
+                p.at.as_ns(),
+                p.src.0,
+                p.dst.0,
+                p.size_bytes,
+                u8::from(p.adaptive),
+                p.sl.0,
+                u8::from(p.path_set == PathSet::Alternate)
+            ));
+        }
+        out
+    }
+
+    /// The injections, time-ordered.
+    pub fn packets(&self) -> &[ScriptedPacket] {
+        &self.packets
+    }
+
+    /// Number of injections.
+    pub fn len(&self) -> usize {
+        self.packets.len()
+    }
+
+    /// Whether the script is empty.
+    pub fn is_empty(&self) -> bool {
+        self.packets.is_empty()
+    }
+
+    /// Largest packet size (the value the buffer validation needs).
+    pub fn max_packet_bytes(&self) -> u32 {
+        self.packets.iter().map(|p| p.size_bytes).max().unwrap_or(0)
+    }
+
+    /// Whether any entry requests adaptive routing.
+    pub fn uses_adaptive(&self) -> bool {
+        self.packets.iter().any(|p| p.adaptive)
+    }
+
+    /// Whether any entry addresses the APM alternate path set.
+    pub fn uses_alternate(&self) -> bool {
+        self.packets.iter().any(|p| p.path_set == PathSet::Alternate)
+    }
+
+    /// The service levels used by each path set (primary, alternate) —
+    /// the simulator checks these map to disjoint VLs when both sets are
+    /// present (the two escape orientations must not share lanes).
+    pub fn sls_by_path_set(&self) -> (Vec<ServiceLevel>, Vec<ServiceLevel>) {
+        let mut primary = Vec::new();
+        let mut alternate = Vec::new();
+        for p in &self.packets {
+            let list = match p.path_set {
+                PathSet::Primary => &mut primary,
+                PathSet::Alternate => &mut alternate,
+            };
+            if !list.contains(&p.sl) {
+                list.push(p.sl);
+            }
+        }
+        (primary, alternate)
+    }
+
+    /// Largest host id referenced (for population validation).
+    pub fn max_host(&self) -> Option<HostId> {
+        self.packets
+            .iter()
+            .flat_map(|p| [p.src, p.dst])
+            .max()
+    }
+
+    /// Time of the last injection.
+    pub fn end_time(&self) -> SimTime {
+        self.packets.last().map(|p| p.at).unwrap_or(SimTime::ZERO)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pkt(at: u64, src: u16, dst: u16) -> ScriptedPacket {
+        ScriptedPacket {
+            at: SimTime::from_ns(at),
+            src: HostId(src),
+            dst: HostId(dst),
+            size_bytes: 32,
+            adaptive: true,
+            sl: ServiceLevel(0),
+            path_set: PathSet::Primary,
+        }
+    }
+
+    #[test]
+    fn new_sorts_and_validates() {
+        let s = TrafficScript::new(vec![pkt(300, 0, 1), pkt(100, 1, 2), pkt(200, 2, 0)]).unwrap();
+        let times: Vec<u64> = s.packets().iter().map(|p| p.at.as_ns()).collect();
+        assert_eq!(times, vec![100, 200, 300]);
+        assert_eq!(s.end_time(), SimTime::from_ns(300));
+        assert_eq!(s.max_host(), Some(HostId(2)));
+        assert!(s.uses_adaptive());
+        assert_eq!(s.max_packet_bytes(), 32);
+        assert!(TrafficScript::new(vec![pkt(1, 3, 3)]).is_err());
+        let mut zero = pkt(1, 0, 1);
+        zero.size_bytes = 0;
+        assert!(TrafficScript::new(vec![zero]).is_err());
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let s = TrafficScript::new(vec![pkt(100, 1, 2), {
+            let mut p = pkt(250, 2, 3);
+            p.adaptive = false;
+            p.size_bytes = 256;
+            p.sl = ServiceLevel(1);
+            p.path_set = PathSet::Alternate;
+            p
+        }])
+        .unwrap();
+        let csv = s.to_csv();
+        assert!(csv.starts_with("time_ns,"));
+        let back = TrafficScript::from_csv(&csv).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn csv_parsing_tolerates_comments_and_rejects_junk() {
+        let good = "# a trace\ntime_ns,src,dst,size_bytes,adaptive,sl\n10, 0, 1, 32, 1\n20,1,0,64,0,2\n";
+        let s = TrafficScript::from_csv(good).unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.packets()[0].sl, ServiceLevel(0)); // default SL
+        assert_eq!(s.packets()[1].sl, ServiceLevel(2));
+        assert!(!s.packets()[1].adaptive);
+        assert_eq!(s.packets()[0].path_set, PathSet::Primary);
+        assert!(TrafficScript::from_csv("10,0,1,32\n").is_err()); // too few fields
+        assert!(TrafficScript::from_csv("x,0,1,32,1\n").is_err()); // bad number
+    }
+
+    #[test]
+    fn empty_script() {
+        let s = TrafficScript::new(vec![]).unwrap();
+        assert!(s.is_empty());
+        assert_eq!(s.max_host(), None);
+        assert_eq!(s.max_packet_bytes(), 0);
+        assert!(!s.uses_adaptive());
+    }
+}

@@ -1,0 +1,85 @@
+//! Hot-spot traffic: why adaptivity helps less when congestion has a
+//! single cause (§5.2.1, Table 1's hot-spot columns).
+//!
+//! A randomly chosen host receives 5/10/20 % of all traffic. Congestion
+//! concentrates on the links around it and spreads backwards as a
+//! saturation tree — no alternative minimal path avoids the hot-spot's
+//! own injection link, so adaptive routing gains much less than under
+//! uniform traffic.
+//!
+//! ```text
+//! cargo run --release --example hotspot_analysis
+//! ```
+
+use iba_far::prelude::*;
+
+fn saturation(
+    topo: &Topology,
+    routing: &FaRouting,
+    pattern: TrafficPattern,
+    adaptive: f64,
+) -> Result<f64, IbaError> {
+    let mut best: f64 = 0.0;
+    // Offered load in bytes/ns/switch, geometric sweep.
+    for i in 0..9 {
+        let load = 0.02 * 1.7f64.powi(i);
+        let spec = WorkloadSpec {
+            pattern,
+            ..WorkloadSpec::uniform32(load / 4.0)
+        }
+        .with_adaptive_fraction(adaptive);
+        let mut net = Network::new(topo, routing, spec, SimConfig::paper(3))?;
+        let r = net.run();
+        best = best.max(r.accepted_bytes_per_ns_per_switch);
+    }
+    Ok(best)
+}
+
+fn main() -> Result<(), IbaError> {
+    let topo = IrregularConfig::paper(16, 21).generate()?;
+    let routing = FaRouting::build(&topo, RoutingConfig::two_options())?;
+    println!("{}\n", TopologyMetrics::compute(&topo));
+
+    println!("pattern        sat(det)   sat(adaptive)   factor");
+    let patterns = [
+        TrafficPattern::Uniform,
+        TrafficPattern::hotspot_percent(5),
+        TrafficPattern::hotspot_percent(10),
+        TrafficPattern::hotspot_percent(20),
+    ];
+    let mut factors = Vec::new();
+    for pattern in patterns {
+        let det = saturation(&topo, &routing, pattern, 0.0)?;
+        let ada = saturation(&topo, &routing, pattern, 1.0)?;
+        println!(
+            "{:<12}   {:.4}     {:.4}          {:.2}",
+            pattern.name(),
+            det,
+            ada,
+            ada / det
+        );
+        factors.push((pattern.name(), ada / det));
+    }
+
+    println!(
+        "\nExpected shape (paper Table 1): the hot-spot factors sit below the uniform\n\
+         factor, and shrink as the hot-spot percentage grows — \"traffic tends to\n\
+         concentrate around the hot-spot host, ... preventing other packets from\n\
+         taking advantage of using adaptive routing\"."
+    );
+    let uniform = factors[0].1;
+    let worst_hotspot = factors[1..].iter().map(|(_, f)| *f).fold(f64::MAX, f64::min);
+    if worst_hotspot < uniform {
+        println!(
+            "Observed: uniform factor {:.2} vs lowest hot-spot factor {:.2} — shape holds.",
+            uniform, worst_hotspot
+        );
+    } else {
+        println!(
+            "Observed: uniform {:.2}, hot-spot minimum {:.2} (single topology/seed noise —\n\
+             the ensemble experiment `table1` shows the trend).",
+            uniform, worst_hotspot
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,51 @@
+//! Per-packet adaptivity (§4.2): a sender mixes in-order deterministic
+//! streams with out-of-order-tolerant adaptive bulk traffic on the same
+//! fabric, just by choosing the destination address.
+//!
+//! Deterministic packets carry DLID `d` (LSB clear) and are pinned to the
+//! up*/down* path — the fabric guarantees their order. Adaptive packets
+//! carry `d+1` (LSB set) and may overtake anything. The simulation checks
+//! both promises under heavy congestion.
+//!
+//! ```text
+//! cargo run --release --example inorder_streams
+//! ```
+
+use iba_far::prelude::*;
+
+fn run_mix(adaptive_fraction: f64) -> Result<RunResult, IbaError> {
+    let topo = IrregularConfig::paper(16, 5).generate()?;
+    let routing = FaRouting::build(&topo, RoutingConfig::two_options())?;
+    // Past saturation: buffers fill, escape queues engage, adaptive
+    // packets detour — the worst case for ordering.
+    let spec = WorkloadSpec::uniform32(0.05).with_adaptive_fraction(adaptive_fraction);
+    let mut net = Network::new(&topo, &routing, spec, SimConfig::paper(17))?;
+    Ok(net.run())
+}
+
+fn main() -> Result<(), IbaError> {
+    println!("16-switch irregular subnet, uniform 32 B traffic at saturating load\n");
+    println!("adaptive%   delivered   avg lat ns   escape-forwards%   det. reorderings");
+    for fraction in [0.0, 0.25, 0.5, 0.75, 1.0] {
+        let r = run_mix(fraction)?;
+        println!(
+            "{:>7.0}%   {:>9}   {:>10.0}   {:>15.1}%   {:>16}",
+            fraction * 100.0,
+            r.delivered,
+            r.avg_latency_ns,
+            r.escape_fraction() * 100.0,
+            r.order_violations
+        );
+        assert_eq!(
+            r.order_violations, 0,
+            "deterministic streams must never be reordered"
+        );
+    }
+    println!(
+        "\nEvery row keeps 'det. reorderings' at 0: the §4.4 in-order guard (the\n\
+         pointer to the first deterministic packet in the adaptive queue) holds even\n\
+         while adaptive packets freely overtake through the escape read port.\n\
+         Delivered packets grow with the adaptive share — the §5.2.1 linear effect."
+    );
+    Ok(())
+}

@@ -1,0 +1,86 @@
+//! Replay an MPI-style communication trace through the fabric — the §2
+//! use case: "parallel applications ... able to initiate many concurrent
+//! non-blocking message transmissions" benefit from marking that traffic
+//! adaptive, while control messages stay deterministic and in order.
+//!
+//! The example synthesizes a classic ring-exchange phase (every rank
+//! sends a bulk payload to its neighbor rank, all at the same barrier
+//! instants) plus small deterministic control messages to rank 0, runs
+//! the trace both with bulk traffic marked adaptive and fully
+//! deterministic, and compares completion times.
+//!
+//! ```text
+//! cargo run --release --example mpi_trace_replay
+//! ```
+
+use iba_far::prelude::*;
+use iba_far::workloads::{ScriptedPacket, TrafficScript};
+
+fn ring_exchange_trace(ranks: u16, rounds: u64, bulk_adaptive: bool) -> TrafficScript {
+    let mut entries = Vec::new();
+    for round in 0..rounds {
+        let barrier = round * 20_000; // a phase every 20 µs
+        for rank in 0..ranks {
+            // Bulk payload to the next rank in the ring (256 B packets —
+            // a 1 KiB message as 4 MTU packets).
+            for k in 0..4u64 {
+                entries.push(ScriptedPacket {
+                    at: SimTime::from_ns(barrier + k * 10),
+                    src: HostId(rank),
+                    dst: HostId((rank + 1) % ranks),
+                    size_bytes: 256,
+                    adaptive: bulk_adaptive,
+                    sl: ServiceLevel(0),
+                    path_set: Default::default(),
+                });
+            }
+            // A small in-order control message to rank 0.
+            if rank != 0 {
+                entries.push(ScriptedPacket {
+                    at: SimTime::from_ns(barrier + 50),
+                    src: HostId(rank),
+                    dst: HostId(0),
+                    size_bytes: 32,
+                    adaptive: false,
+                    sl: ServiceLevel(0),
+                    path_set: Default::default(),
+                });
+            }
+        }
+    }
+    TrafficScript::new(entries).expect("valid trace")
+}
+
+fn main() -> Result<(), IbaError> {
+    let topo = IrregularConfig::paper(16, 33).generate()?;
+    let routing = FaRouting::build(&topo, RoutingConfig::two_options())?;
+    println!("{}", TopologyMetrics::compute(&topo));
+
+    let ranks = topo.num_hosts() as u16; // one MPI rank per host
+    let rounds = 40;
+    println!(
+        "trace: {ranks} ranks, {rounds} ring-exchange rounds (1 KiB bulk + control msgs)\n"
+    );
+
+    for (label, adaptive) in [("bulk deterministic", false), ("bulk adaptive", true)] {
+        let trace = ring_exchange_trace(ranks, rounds, adaptive);
+        let mut net = Network::new_scripted(&topo, &routing, &trace, SimConfig::paper(2))?;
+        let (r, drained) =
+            net.run_until_drained(SimTime::from_ms(2), SimTime::from_ms(100));
+        assert!(drained, "trace did not complete: {r:?}");
+        println!(
+            "{label:<19}: {} packets, avg latency {:.0} ns, p99 ≤ {} ns, completed at {}, {} reorderings",
+            r.delivered,
+            r.avg_latency_ns,
+            r.p99_latency_ns.unwrap_or(0),
+            net.now(),
+            r.order_violations
+        );
+    }
+    println!(
+        "\nControl messages stay deterministic (and in order) in both runs; letting\n\
+         only the bulk payloads take adaptive paths already cuts their queueing\n\
+         delay — the per-packet enable/disable of §4.2 at work on application traffic."
+    );
+    Ok(())
+}

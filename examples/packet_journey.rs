@@ -1,0 +1,95 @@
+//! Follow individual packets through the fabric: which read point served
+//! them at each switch, whether they took an adaptive (minimal) hop or
+//! detoured through an escape option, and what each stage cost.
+//!
+//! ```text
+//! cargo run --release --example packet_journey
+//! ```
+
+use iba_far::prelude::*;
+use iba_far::sim::TraceStep;
+
+fn main() -> Result<(), IbaError> {
+    let topo = IrregularConfig::paper(16, 12).generate()?;
+    let routing = FaRouting::build(&topo, RoutingConfig::two_options())?;
+    println!("{}\n", TopologyMetrics::compute(&topo));
+
+    // Drive the network past saturation so escape detours actually occur.
+    let spec = WorkloadSpec::uniform32(0.06).with_adaptive_fraction(1.0);
+    let mut net = Network::new(&topo, &routing, spec, SimConfig::paper(4))?;
+    net.enable_tracing(/*sample_every*/ 97, /*max_packets*/ 400);
+    let result = net.run();
+    println!(
+        "run: {} delivered, avg latency {:.0} ns, {:.1}% escape forwards\n",
+        result.delivered,
+        result.avg_latency_ns,
+        result.escape_fraction() * 100.0
+    );
+
+    let tracer = net.tracer().expect("tracing was enabled");
+    let mut completed: Vec<_> = tracer
+        .traces()
+        .iter()
+        .filter(|(_, t)| t.completed())
+        .collect();
+    completed.sort_by_key(|(id, _)| id.0);
+    println!("traced {} journeys ({} completed)\n", tracer.traces().len(), completed.len());
+
+    // Show the fastest all-adaptive journey and the one with the most
+    // escape detours.
+    if let Some((id, best)) = completed
+        .iter()
+        .filter(|(_, t)| t.escape_hops() == 0)
+        .min_by_key(|(_, t)| t.latency_ns().unwrap_or(u64::MAX))
+    {
+        println!("== fastest all-adaptive journey ({id}, {} ns) ==", best.latency_ns().unwrap());
+        print!("{}", best.describe());
+    }
+    if let Some((id, detoured)) = completed.iter().max_by_key(|(_, t)| t.escape_hops()) {
+        println!(
+            "\n== most escape detours ({id}: {} of {} hops via escape, {} ns) ==",
+            detoured.escape_hops(),
+            detoured.hops(),
+            detoured.latency_ns().unwrap()
+        );
+        print!("{}", detoured.describe());
+    }
+
+    // Aggregate: how much longer are journeys that needed escape hops?
+    let (mut esc_lat, mut esc_n, mut ada_lat, mut ada_n) = (0u64, 0u64, 0u64, 0u64);
+    for (_, t) in &completed {
+        if let Some(lat) = t.latency_ns() {
+            if t.escape_hops() > 0 {
+                esc_lat += lat;
+                esc_n += 1;
+            } else {
+                ada_lat += lat;
+                ada_n += 1;
+            }
+        }
+    }
+    if esc_n > 0 && ada_n > 0 {
+        println!(
+            "\nall-adaptive journeys: {} (avg {} ns)   journeys with escape detours: {} (avg {} ns)",
+            ada_n,
+            ada_lat / ada_n,
+            esc_n,
+            esc_lat / esc_n
+        );
+    }
+
+    // Count read-point usage across all traced hops.
+    let (mut from_escape_head, mut total_hops) = (0u64, 0u64);
+    for t in tracer.traces().values() {
+        for (_, step) in &t.steps {
+            if let TraceStep::Forwarded { from_escape_head: fe, .. } = step {
+                total_hops += 1;
+                from_escape_head += u64::from(*fe);
+            }
+        }
+    }
+    println!(
+        "read points: {total_hops} traced hops, {from_escape_head} served by the escape read point"
+    );
+    Ok(())
+}

@@ -1,0 +1,13 @@
+# Figure 3 reproduction — run `gnuplot fig3.gp`
+set terminal pngcairo size 900,600
+set xlabel 'Accepted traffic (bytes/ns/switch)'
+set ylabel 'Average packet latency (ns)'
+set logscale y
+set key top left
+set grid
+set output 'fig3_8sw.png'
+set title 'Figure 3 — 8 switches (uniform, 32 B)'
+plot 'fig3_8sw_0pct.dat' using 1:2 with linespoints title '0% adaptive', 'fig3_8sw_25pct.dat' using 1:2 with linespoints title '25% adaptive', 'fig3_8sw_50pct.dat' using 1:2 with linespoints title '50% adaptive', 'fig3_8sw_75pct.dat' using 1:2 with linespoints title '75% adaptive', 'fig3_8sw_100pct.dat' using 1:2 with linespoints title '100% adaptive'
+set output 'fig3_64sw.png'
+set title 'Figure 3 — 64 switches (uniform, 32 B)'
+plot 'fig3_64sw_0pct.dat' using 1:2 with linespoints title '0% adaptive', 'fig3_64sw_25pct.dat' using 1:2 with linespoints title '25% adaptive', 'fig3_64sw_50pct.dat' using 1:2 with linespoints title '50% adaptive', 'fig3_64sw_75pct.dat' using 1:2 with linespoints title '75% adaptive', 'fig3_64sw_100pct.dat' using 1:2 with linespoints title '100% adaptive'

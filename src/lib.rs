@@ -1,0 +1,105 @@
+//! # iba-far — Fully Adaptive Routing for InfiniBand Networks
+//!
+//! A from-scratch reproduction of *"Supporting Fully Adaptive Routing in
+//! InfiniBand Networks"* (Martínez, Flich, Robles, López, Duato — IPPS
+//! 2003): the LMC virtual-addressing mechanism that retrofits fully
+//! adaptive routing onto spec-conformant IBA switches, the split
+//! adaptive/escape VL buffers that make it deadlock-free, and the
+//! register-transfer-level subnet simulator used to evaluate it.
+//!
+//! This crate is the facade: it re-exports the workspace crates under
+//! stable module names and offers a [`prelude`] with the types most
+//! programs need.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use iba_far::prelude::*;
+//!
+//! // A random irregular subnet in the paper's style: 8 switches with 8
+//! // ports each — 4 inter-switch links, 4 hosts per switch.
+//! let topo = IrregularConfig::paper(8, /*seed*/ 42).generate()?;
+//!
+//! // FA routing: up*/down* escape paths + minimal adaptive options,
+//! // compiled into interleaved linear forwarding tables (2 options).
+//! let routing = FaRouting::build(&topo, RoutingConfig::two_options())?;
+//!
+//! // Uniform 32-byte traffic, every packet marked adaptive, at 0.01
+//! // bytes/ns per host.
+//! let spec = WorkloadSpec::uniform32(0.01);
+//!
+//! // Simulate with the paper's physical parameters.
+//! let mut net = Network::new(&topo, &routing, spec, SimConfig::test(7))?;
+//! let result = net.run();
+//! assert!(result.delivered > 0);
+//! assert_eq!(result.order_violations, 0);
+//! # Ok::<(), iba_far::types::IbaError>(())
+//! ```
+//!
+//! ## Crate map
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`types`] | LIDs/LMC, packets, credits, virtual lanes, time, physical constants |
+//! | [`engine`] | deterministic event queue and RNG streams |
+//! | [`topology`] | subnet graphs: random irregular + regular generators |
+//! | [`routing`] | up\*/down\*, minimal options, FA, interleaved forwarding tables, SLtoVL, Table-2 analysis |
+//! | [`sim`] | the RTL-level subnet simulator (split VL buffers, credits, VCT) |
+//! | [`sm`] | the subnet manager: directed-route discovery, MAD-based table programming, APM coexistence |
+//! | [`workloads`] | traffic patterns and injection processes |
+//! | [`stats`] | aggregation, curves, report formatting |
+//!
+//! The experiment harness that regenerates every figure and table of the
+//! paper lives in the separate `iba-experiments` crate (binaries `fig3`,
+//! `table1`, `table2`, `ablation`, `explore`).
+
+#![warn(missing_docs)]
+
+pub use iba_core as types;
+pub use iba_engine as engine;
+pub use iba_routing as routing;
+pub use iba_sim as sim;
+pub use iba_sm as sm;
+pub use iba_stats as stats;
+pub use iba_topology as topology;
+pub use iba_workloads as workloads;
+
+/// The most commonly used items, for glob import.
+pub mod prelude {
+    pub use iba_core::{
+        Credits, HostId, IbaError, Lid, LidMap, Lmc, Packet, PacketId, PhysParams, PortIndex,
+        RoutingMode, ServiceLevel, SimTime, SwitchId, VirtualLane,
+    };
+    pub use iba_routing::{
+        FaRouting, InterleavedForwardingTable, MinimalRouting, OptionDistribution,
+        PathLengthStats, RouteOptions, RoutingConfig, SlToVlTable, UpDownRouting,
+    };
+    pub use iba_sim::{EscapeOrderPolicy, Network, RunResult, SelectionPolicy, SimConfig};
+    pub use iba_sm::{ApmPlan, ManagedFabric, SubnetManager};
+    pub use iba_stats::{Curve, CurvePoint, MinMaxAvg};
+    pub use iba_topology::{regular, IrregularConfig, Topology, TopologyBuilder, TopologyMetrics};
+    pub use iba_workloads::{
+        HostGenerator, InjectionProcess, PathSet, ScriptedPacket, TrafficPattern, TrafficScript,
+        WorkloadSpec,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn prelude_covers_the_full_pipeline() {
+        let topo = IrregularConfig::paper(8, 1).generate().unwrap();
+        let routing = FaRouting::build(&topo, RoutingConfig::two_options()).unwrap();
+        let mut net = Network::new(
+            &topo,
+            &routing,
+            WorkloadSpec::uniform32(0.005),
+            SimConfig::test(1),
+        )
+        .unwrap();
+        let r = net.run();
+        assert!(r.delivered > 0);
+    }
+}

@@ -1,0 +1,293 @@
+//! Integration tests of the paper's *mechanism* (§4) across crate
+//! boundaries: the LMC addressing trick, the interleaved table's
+//! spec-compatibility, and the switch-level behaviours they produce.
+
+use iba_far::prelude::*;
+
+fn setup(options: u16) -> (Topology, FaRouting) {
+    let topo = IrregularConfig::paper(16, 77).generate().unwrap();
+    let routing = FaRouting::build(&topo, RoutingConfig::with_options(options)).unwrap();
+    (topo, routing)
+}
+
+/// §4.1: each destination port owns 2^LMC consecutive addresses; all of
+/// them are accepted by the port (the CA-side mask) and each is a
+/// distinct forwarding-table row to the switches.
+#[test]
+fn lmc_addressing_gives_each_destination_an_aligned_group() {
+    let (topo, routing) = setup(4);
+    let map = routing.lid_map();
+    assert_eq!(map.lmc().bits(), 2);
+    for h in topo.host_ids() {
+        let base = map.base_lid(h);
+        assert_eq!(base.raw() % 4, 0, "group must be aligned");
+        for off in 0..4 {
+            let lid = map.lid_for(h, off).unwrap();
+            // CA-side mask: all four addresses resolve to the same host.
+            assert_eq!(map.host_of(lid).unwrap(), h);
+        }
+    }
+}
+
+/// §4.1: the forwarding table looks linear to the subnet manager even
+/// though it is physically interleaved — reprogramming one entry through
+/// the linear interface changes exactly that routing option.
+#[test]
+fn interleaved_table_is_linear_to_the_subnet_manager() {
+    let (topo, routing) = setup(2);
+    let sw = SwitchId(3);
+    let h = topo
+        .host_ids()
+        .find(|&h| topo.host_switch(h) != sw)
+        .unwrap();
+    let mut table = routing.table(sw).clone();
+    let det_lid = routing.dlid(h, false).unwrap();
+    let ada_lid = routing.dlid(h, true).unwrap();
+
+    let before = table.lookup(ada_lid);
+    // Subnet manager rewrites the adaptive entry (a plain linear write).
+    let new_port = PortIndex(7);
+    table.set(ada_lid, new_port).unwrap();
+    let after = table.lookup(ada_lid);
+    assert_eq!(after.escape, before.escape, "escape entry untouched");
+    assert_eq!(after.adaptive, vec![new_port]);
+    // The deterministic view is untouched too.
+    assert_eq!(table.lookup(det_lid).escape, before.escape);
+    // And the linear view shows exactly the one changed row.
+    let view = table.linear_view();
+    assert_eq!(view[ada_lid.raw() as usize], Some(new_port));
+    assert_eq!(view[det_lid.raw() as usize], before.escape);
+}
+
+/// §4.2: one header bit decides — the same physical table access returns
+/// one option for even DLIDs and the full group for odd ones.
+#[test]
+fn adaptive_bit_selects_option_count() {
+    let (topo, routing) = setup(4);
+    for sw in topo.switch_ids() {
+        for h in topo.host_ids().take(8) {
+            if topo.host_switch(h) == sw {
+                continue;
+            }
+            let det = routing.route(sw, routing.dlid(h, false).unwrap()).unwrap();
+            let ada = routing.route(sw, routing.dlid(h, true).unwrap()).unwrap();
+            assert!(det.adaptive.is_empty());
+            assert!(!ada.adaptive.is_empty());
+            assert_eq!(det.escape, ada.escape, "same escape path either way");
+        }
+    }
+}
+
+/// §4.4: the escape option of every switch chains into a deadlock-free
+/// up*/down* path that reaches the destination — the guarantee the whole
+/// construction leans on.
+#[test]
+fn escape_options_chain_to_every_destination() {
+    let (topo, routing) = setup(2);
+    for s in topo.switch_ids() {
+        for h in topo.host_ids() {
+            // Walk the escape chain from s to h.
+            let mut cur = s;
+            let mut hops = 0;
+            loop {
+                let opts = routing.route(cur, routing.dlid(h, false).unwrap()).unwrap();
+                let ep = topo.endpoint(cur, opts.escape).unwrap();
+                match ep.node {
+                    NodeRef::Host(reached) => {
+                        assert_eq!(reached, h, "escape chain from {s} reached wrong host");
+                        break;
+                    }
+                    NodeRef::Switch(next) => {
+                        cur = next;
+                        hops += 1;
+                        assert!(
+                            hops <= 2 * topo.num_switches(),
+                            "escape chain from {s} to {h} does not terminate"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+use iba_far::types::NodeRef;
+
+/// §4.4 credit split: mixed traffic on a 2-switch bottleneck exercises
+/// both queues; escape forwards appear exactly when the adaptive share
+/// of the downstream buffer fills.
+#[test]
+fn escape_queue_engages_only_under_backpressure() {
+    let topo = regular::chain(2, 4).unwrap();
+    let routing = FaRouting::build(&topo, RoutingConfig::two_options()).unwrap();
+    // Low load: everything fits the adaptive queue.
+    let low = {
+        let mut net = Network::new(
+            &topo,
+            &routing,
+            WorkloadSpec::uniform32(0.002),
+            SimConfig::test(3),
+        )
+        .unwrap();
+        net.run()
+    };
+    assert_eq!(low.escape_forwards, 0, "no backpressure at trivial load");
+    // Saturating load on the single inter-switch link: adaptive credits
+    // exhaust, the escape option engages.
+    let high = {
+        let mut net = Network::new(
+            &topo,
+            &routing,
+            WorkloadSpec::uniform32(0.2),
+            SimConfig::test(3),
+        )
+        .unwrap();
+        net.run()
+    };
+    assert!(high.escape_forwards > 0, "saturation must engage escape queues");
+    assert!(high.delivered > 0);
+}
+
+/// Per-packet enable/disable is honoured end to end: a 0 %-adaptive
+/// workload never takes an adaptive option even with tables that offer
+/// them, and a 100 % workload uses them heavily at low load.
+#[test]
+fn per_packet_mode_is_honoured_end_to_end() {
+    let (topo, routing) = setup(4);
+    let det = {
+        let mut net = Network::new(
+            &topo,
+            &routing,
+            WorkloadSpec::uniform32(0.005).with_adaptive_fraction(0.0),
+            SimConfig::test(21),
+        )
+        .unwrap();
+        net.run()
+    };
+    assert_eq!(det.adaptive_forwards, 0);
+    let ada = {
+        let mut net = Network::new(
+            &topo,
+            &routing,
+            WorkloadSpec::uniform32(0.005),
+            SimConfig::test(21),
+        )
+        .unwrap();
+        net.run()
+    };
+    assert!(ada.adaptive_forwards > ada.escape_forwards);
+}
+
+/// §4.2 mixed fabrics: a subnet with both enhanced and plain switches
+/// routes correctly, drains under saturation (deadlock freedom with the
+/// capability filter), preserves order, and benefits monotonically from
+/// more adaptive switches.
+#[test]
+fn mixed_fabric_works_end_to_end() {
+    let topo = IrregularConfig::paper(16, 31).generate().unwrap();
+    let mut sats = Vec::new();
+    for adaptive_count in [0usize, 8, 16] {
+        let caps: Vec<bool> = (0..16).map(|i| i < adaptive_count).collect();
+        let routing =
+            FaRouting::build_mixed(&topo, RoutingConfig::two_options(), &caps).unwrap();
+        // Saturation probe.
+        let mut best: f64 = 0.0;
+        for load in [0.05f64, 0.11, 0.25] {
+            let spec = WorkloadSpec::uniform32(load / 4.0);
+            let mut net = Network::new(&topo, &routing, spec, SimConfig::test(3)).unwrap();
+            let r = net.run();
+            assert_eq!(r.order_violations, 0);
+            best = best.max(r.accepted_bytes_per_ns_per_switch);
+        }
+        sats.push(best);
+        // Drain check at saturating load.
+        let mut net = Network::new(
+            &topo,
+            &routing,
+            WorkloadSpec::uniform32(0.1).with_adaptive_fraction(0.5),
+            SimConfig::test(5),
+        )
+        .unwrap();
+        let (r, drained) =
+            net.run_until_drained(SimTime::from_us(40), SimTime::from_ms(60));
+        assert!(drained, "{adaptive_count} adaptive switches: no drain: {r:?}");
+        assert!(net.is_quiescent());
+    }
+    // More adaptive switches must not hurt, and a fully adaptive fabric
+    // must beat the fully deterministic one.
+    assert!(sats[1] >= sats[0] * 0.95, "{sats:?}");
+    assert!(sats[2] > sats[0] * 1.05, "{sats:?}");
+}
+
+use iba_far::workloads::{PathSet, ScriptedPacket, TrafficScript};
+
+/// §4.1 footnote: APM alternate paths coexist with adaptive routing in
+/// disjoint LID ranges. A failover scenario: half-way through, sources
+/// migrate their flows from the primary to the alternate path set (on a
+/// different SL → different VL). Everything drains, each path set stays
+/// in order, and the alternate paths genuinely differ.
+#[test]
+fn apm_failover_migrates_traffic_to_alternate_paths() {
+    let topo = IrregularConfig::paper(16, 55).generate().unwrap();
+    let routing = FaRouting::build_with_apm(&topo, RoutingConfig::two_options()).unwrap();
+    assert!(routing.has_apm());
+
+    let mut entries = Vec::new();
+    for i in 0..1200u64 {
+        let src = (i % 64) as u16;
+        let dst = ((i * 13 + 7) % 64) as u16;
+        if src == dst {
+            continue;
+        }
+        let migrated = i >= 600; // the "failure" point
+        entries.push(ScriptedPacket {
+            at: SimTime::from_ns(1_000 + i * 300),
+            src: HostId(src),
+            dst: HostId(dst),
+            size_bytes: 32,
+            adaptive: i % 2 == 0,
+            // Path sets ride disjoint VLs: SL0→VL0 primary, SL1→VL1 alternate.
+            sl: ServiceLevel(u8::from(migrated)),
+            path_set: if migrated { PathSet::Alternate } else { PathSet::Primary },
+        });
+    }
+    let script = TrafficScript::new(entries).unwrap();
+
+    let mut cfg = SimConfig::test(3);
+    cfg.data_vls = 2;
+    let mut net = Network::new_scripted(&topo, &routing, &script, cfg).unwrap();
+    let (r, drained) = net.run_until_drained(SimTime::from_ms(1), SimTime::from_ms(100));
+    assert!(drained, "{r:?}");
+    assert!(net.is_quiescent());
+    assert_eq!(r.order_violations, 0);
+    assert_eq!(r.delivered, script.len() as u64);
+}
+
+/// Sharing a VL between the two escape orientations is rejected — the
+/// discipline that keeps APM coexistence deadlock-free.
+#[test]
+fn apm_path_sets_must_ride_disjoint_vls() {
+    let topo = IrregularConfig::paper(8, 56).generate().unwrap();
+    let routing = FaRouting::build_with_apm(&topo, RoutingConfig::two_options()).unwrap();
+    let mk = |path_set: PathSet, sl: u8| ScriptedPacket {
+        at: SimTime::from_ns(10),
+        src: HostId(0),
+        dst: HostId(5),
+        size_bytes: 32,
+        adaptive: false,
+        sl: ServiceLevel(sl),
+        path_set,
+    };
+    // Same SL for both sets → rejected.
+    let bad = TrafficScript::new(vec![mk(PathSet::Primary, 0), mk(PathSet::Alternate, 0)]).unwrap();
+    let mut cfg = SimConfig::test(1);
+    cfg.data_vls = 2;
+    assert!(Network::new_scripted(&topo, &routing, &bad, cfg).is_err());
+    // Disjoint SLs → accepted.
+    let good = TrafficScript::new(vec![mk(PathSet::Primary, 0), mk(PathSet::Alternate, 1)]).unwrap();
+    assert!(Network::new_scripted(&topo, &routing, &good, cfg).is_ok());
+    // Alternate entries against non-APM tables → rejected.
+    let plain = FaRouting::build(&topo, RoutingConfig::two_options()).unwrap();
+    let alt_only = TrafficScript::new(vec![mk(PathSet::Alternate, 1)]).unwrap();
+    assert!(Network::new_scripted(&topo, &plain, &alt_only, cfg).is_err());
+}
