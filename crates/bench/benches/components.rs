@@ -6,7 +6,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use iba_bench::BenchFixture;
 use iba_core::SimTime;
 use iba_routing::{FaRouting, RoutingConfig};
-use iba_sim::SimConfig;
+use iba_sim::{Network, SimConfig};
 use iba_topology::IrregularConfig;
 use iba_workloads::WorkloadSpec;
 use std::hint::black_box;
@@ -39,10 +39,7 @@ fn bench_routing_build(c: &mut Criterion) {
 fn bench_table_lookup(c: &mut Criterion) {
     let topo = IrregularConfig::paper(64, 1).generate().unwrap();
     let fa = FaRouting::build(&topo, RoutingConfig::with_options(4)).unwrap();
-    let dlids: Vec<_> = topo
-        .host_ids()
-        .map(|h| fa.dlid(h, true).unwrap())
-        .collect();
+    let dlids: Vec<_> = topo.host_ids().map(|h| fa.dlid(h, true).unwrap()).collect();
     c.bench_function("forwarding_table_lookup_adaptive", |b| {
         let mut i = 0usize;
         b.iter(|| {
@@ -69,6 +66,25 @@ fn bench_simulation(c: &mut Criterion) {
         });
     }
     g.finish();
+}
+
+fn bench_arbitrate_pass(c: &mut Criterion) {
+    // One full §4.3 arbitration sweep over a loaded 32-switch network:
+    // advance the simulation into its steady state, then probe
+    // `arbitrate_pass` with simulated time frozen. After the first probe
+    // the reachable grants are exhausted, so the steady-state figure is
+    // the no-grant sweep — candidate collection plus feasibility checks
+    // over every occupied VL buffer — which is exactly the pass the event
+    // loop runs most often in a busy fabric. The hot-path-allocation rule
+    // (DESIGN.md) keeps this pass heap-allocation-free.
+    let topo = IrregularConfig::paper(32, 1).generate().unwrap();
+    let routing = FaRouting::build(&topo, RoutingConfig::two_options()).unwrap();
+    let spec = WorkloadSpec::uniform32(0.02);
+    let mut net = Network::new(&topo, &routing, spec, SimConfig::paper(3)).unwrap();
+    net.advance(200_000);
+    c.bench_function("arbitrate_pass_32sw", |b| {
+        b.iter(|| black_box(net.arbitrate_pass()));
+    });
 }
 
 fn bench_event_queues(c: &mut Criterion) {
@@ -124,6 +140,7 @@ criterion_group!(
     bench_routing_build,
     bench_table_lookup,
     bench_simulation,
+    bench_arbitrate_pass,
     bench_event_queues
 );
 criterion_main!(benches);

@@ -14,9 +14,13 @@ use iba_workloads::WorkloadSpec;
 use std::hint::black_box;
 
 fn bench_fig3_unit(c: &mut Criterion) {
-    let member = build_ensemble(IrregularConfig::paper(8, 5), 1, RoutingConfig::two_options())
-        .unwrap()
-        .remove(0);
+    let member = build_ensemble(
+        IrregularConfig::paper(8, 5),
+        1,
+        RoutingConfig::two_options(),
+    )
+    .unwrap()
+    .remove(0);
     let grid = geometric_grid(0.01, 0.45, 6);
     let mut cfg = SimConfig::paper(3);
     cfg.warmup = SimTime::from_us(15);

@@ -14,8 +14,12 @@ use iba_workloads::WorkloadSpec;
 use std::hint::black_box;
 
 fn bench_table1_cell(c: &mut Criterion) {
-    let ensemble =
-        build_ensemble(IrregularConfig::paper(8, 7), 2, RoutingConfig::two_options()).unwrap();
+    let ensemble = build_ensemble(
+        IrregularConfig::paper(8, 7),
+        2,
+        RoutingConfig::two_options(),
+    )
+    .unwrap();
     let grid = geometric_grid(0.02, 0.45, 5);
     let mut cfg = SimConfig::paper(9);
     cfg.warmup = SimTime::from_us(15);

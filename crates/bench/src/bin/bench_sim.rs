@@ -1,0 +1,109 @@
+//! End-to-end simulator throughput benchmark: `BENCH_sim.json`.
+//!
+//! Runs the canonical perf workload — a 32-switch irregular paper
+//! network under uniform traffic — a few times per event-queue backend
+//! and reports events/second (median over runs) as machine-readable
+//! JSON. This is the number the performance work in this repository is
+//! measured by; see DESIGN.md ("Performance") for how to read it.
+//!
+//! Usage: `cargo run --release -p iba-bench --bin bench_sim [out.json]`
+
+use iba_bench::BenchFixture;
+use iba_sim::{QueueBackend, SimConfig};
+use iba_workloads::WorkloadSpec;
+use std::time::Instant;
+
+const SWITCHES: usize = 32;
+const TOPOLOGY_SEED: u64 = 1;
+const RUNS: usize = 5;
+/// Moderate uniform load (bytes/ns/host): busy but below saturation, so
+/// the run exercises arbitration and flow control rather than queueing
+/// pathology.
+const INJECTION_RATE: f64 = 0.02;
+
+struct Sample {
+    events: u64,
+    delivered: u64,
+    wall_s: f64,
+}
+
+fn run_once(fixture: &BenchFixture, backend: QueueBackend, seed: u64) -> Sample {
+    let mut cfg = SimConfig::paper(seed);
+    cfg.queue_backend = backend;
+    let spec = WorkloadSpec::uniform32(INJECTION_RATE);
+    let t0 = Instant::now();
+    let result = fixture.simulate(spec, cfg);
+    let wall_s = t0.elapsed().as_secs_f64();
+    Sample {
+        events: result.events,
+        delivered: result.delivered,
+        wall_s,
+    }
+}
+
+fn median(xs: &mut [f64]) -> f64 {
+    xs.sort_by(|a, b| a.total_cmp(b));
+    xs[xs.len() / 2]
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_sim.json".to_string());
+    let fixture = BenchFixture::paper(SWITCHES, TOPOLOGY_SEED);
+
+    let mut backends_json = Vec::new();
+    for (backend, which) in [
+        ("binary_heap", QueueBackend::BinaryHeap),
+        ("calendar", QueueBackend::Calendar),
+    ] {
+        let mut rates = Vec::with_capacity(RUNS);
+        let mut last = None;
+        for run in 0..RUNS {
+            let s = run_once(&fixture, which, 100 + run as u64);
+            eprintln!(
+                "{backend} run {run}: {} events in {:.3}s = {:.0} events/s",
+                s.events,
+                s.wall_s,
+                s.events as f64 / s.wall_s
+            );
+            rates.push(s.events as f64 / s.wall_s);
+            last = Some(s);
+        }
+        let last = last.expect("RUNS > 0");
+        let eps = median(&mut rates);
+        backends_json.push(format!(
+            concat!(
+                "    {{\n",
+                "      \"backend\": \"{}\",\n",
+                "      \"events_per_sec\": {:.0},\n",
+                "      \"events_last_run\": {},\n",
+                "      \"delivered_last_run\": {},\n",
+                "      \"wall_s_last_run\": {:.6}\n",
+                "    }}"
+            ),
+            backend, eps, last.events, last.delivered, last.wall_s
+        ));
+    }
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"benchmark\": \"sim_events_per_sec\",\n",
+            "  \"switches\": {},\n",
+            "  \"topology_seed\": {},\n",
+            "  \"injection_rate_bytes_per_ns\": {},\n",
+            "  \"runs_per_backend\": {},\n",
+            "  \"results\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        SWITCHES,
+        TOPOLOGY_SEED,
+        INJECTION_RATE,
+        RUNS,
+        backends_json.join(",\n")
+    );
+    std::fs::write(&out_path, &json).expect("write benchmark output");
+    println!("{json}");
+    eprintln!("wrote {out_path}");
+}

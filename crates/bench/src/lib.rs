@@ -36,8 +36,8 @@ impl BenchFixture {
         let topology = IrregularConfig::paper(switches, seed)
             .generate()
             .expect("valid paper configuration");
-        let routing = FaRouting::build(&topology, RoutingConfig::two_options())
-            .expect("routable topology");
+        let routing =
+            FaRouting::build(&topology, RoutingConfig::two_options()).expect("routable topology");
         BenchFixture { topology, routing }
     }
 

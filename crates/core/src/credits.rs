@@ -162,7 +162,7 @@ mod tests {
     #[test]
     fn adaptive_escape_split_formulas() {
         let cap = Credits(16); // C_max
-        // Buffer empty: all 16 credits free; adaptive share 8, escape 8.
+                               // Buffer empty: all 16 credits free; adaptive share 8, escape 8.
         assert_eq!(Credits(16).adaptive_share(cap), Credits(8));
         assert_eq!(Credits(16).escape_share(cap), Credits(8));
         // Half full: 8 free → adaptive exhausted, escape full.

@@ -13,6 +13,8 @@
 //! * the 64-byte credit units of IBA's per-VL flow control ([`credits`]),
 //! * virtual lanes and service levels ([`vl`]),
 //! * simulated time in nanoseconds ([`time`]),
+//! * a fixed-capacity inline vector for allocation-free hot paths
+//!   ([`inline_vec`]),
 //! * the physical-layer constants of the paper's evaluation section
 //!   ([`phys`]),
 //! * shared error types ([`error`]).
@@ -25,6 +27,7 @@
 pub mod credits;
 pub mod error;
 pub mod ids;
+pub mod inline_vec;
 pub mod lid;
 pub mod packet;
 pub mod phys;
@@ -34,6 +37,7 @@ pub mod vl;
 pub use credits::{Credits, CREDIT_BYTES};
 pub use error::IbaError;
 pub use ids::{HostId, NodeRef, PortIndex, SwitchId};
+pub use inline_vec::{InlineVec, MAX_PORTS};
 pub use lid::{Lid, LidMap, Lmc};
 pub use packet::{Packet, PacketId, RoutingMode};
 pub use phys::PhysParams;

@@ -138,6 +138,9 @@ mod tests {
 
     #[test]
     fn faster_links_serialize_faster() {
-        assert!(PhysParams::link_4x().serialization_ns(256) < PhysParams::paper_1x().serialization_ns(256));
+        assert!(
+            PhysParams::link_4x().serialization_ns(256)
+                < PhysParams::paper_1x().serialization_ns(256)
+        );
     }
 }

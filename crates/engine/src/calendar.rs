@@ -19,8 +19,11 @@
 //! ~3× faster (53 µs vs 171 µs per 1 000-event hold cycle). The calendar
 //! queue's constant factors (per-pop day scans, resampling resizes) only
 //! amortize on much larger pending sets than credit-gated VCT ever
-//! produces. The simulator therefore keeps [`crate::EventQueue`]; this
-//! implementation stays as a verified, measured alternative.
+//! produces. The simulator therefore defaults to [`crate::EventQueue`],
+//! but can be switched onto this implementation through
+//! [`crate::DesQueue`] (`SimConfig::queue_backend` in `iba-sim`) — the
+//! `backend_equivalence` test over whole simulations shows the results
+//! are bit-identical.
 
 use iba_core::SimTime;
 
@@ -28,6 +31,19 @@ struct Entry<E> {
     time: SimTime,
     seq: u64,
     event: E,
+}
+
+/// Result of [`CalendarQueue::find_earliest`]: where the earliest entry
+/// sits and the day-cursor state that locates it.
+struct Found {
+    /// In-bucket index of the entry.
+    index: usize,
+    /// Day cursor positioned at the entry's bucket.
+    cur_bucket: usize,
+    /// Exclusive upper bound of that day, in ns.
+    cur_day_end: u64,
+    /// The entry's timestamp.
+    time: SimTime,
 }
 
 /// A calendar queue over events of type `E`.
@@ -50,6 +66,13 @@ impl<E> CalendarQueue<E> {
     /// An empty queue starting at time zero.
     pub fn new() -> Self {
         Self::with_layout(16, 1_000)
+    }
+
+    /// An empty queue sized for roughly `cap` pending events (the day
+    /// count is chosen so the first resize is pushed past that
+    /// population; the width still self-tunes on resize).
+    pub fn with_capacity(cap: usize) -> Self {
+        Self::with_layout(cap.next_power_of_two().max(16), 1_000)
     }
 
     fn with_layout(nbuckets: usize, width: u64) -> Self {
@@ -117,41 +140,40 @@ impl<E> CalendarQueue<E> {
         self.schedule(self.now + delay_ns, event);
     }
 
-    /// Pop the earliest event (FIFO among equal timestamps).
-    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+    /// Locate the earliest pending entry — the day scan of `pop`, run on
+    /// cursor copies so peeking does not disturb the calendar.
+    fn find_earliest(&self) -> Option<Found> {
         if self.len == 0 {
             return None;
         }
+        let mut cur_bucket = self.cur_bucket;
+        let mut cur_day_end = self.cur_day_end;
         loop {
             // Scan the current day for its earliest due entry.
-            let day_end = self.cur_day_end;
-            let bucket = &self.buckets[self.cur_bucket];
+            let bucket = &self.buckets[cur_bucket];
             let mut best: Option<(usize, SimTime, u64)> = None;
             for (i, e) in bucket.iter().enumerate() {
-                if e.time.as_ns() < day_end {
+                if e.time.as_ns() < cur_day_end {
                     let key = (e.time, e.seq);
                     if best.is_none_or(|(_, bt, bs)| key < (bt, bs)) {
                         best = Some((i, e.time, e.seq));
                     }
                 }
             }
-            if let Some((i, _, _)) = best {
-                let entry = self.buckets[self.cur_bucket].swap_remove(i);
-                self.len -= 1;
-                debug_assert!(entry.time >= self.now);
-                self.now = entry.time;
-                self.popped += 1;
-                if self.len < self.buckets.len() / 2 && self.buckets.len() > 16 {
-                    self.resize(self.buckets.len() / 2);
-                }
-                return Some((entry.time, entry.event));
+            if let Some((index, time, _)) = best {
+                return Some(Found {
+                    index,
+                    cur_bucket,
+                    cur_day_end,
+                    time,
+                });
             }
             // Advance to the next day; after a whole empty year, jump
             // directly to the earliest pending event (Brown's long-gap
             // escape).
-            self.cur_bucket = (self.cur_bucket + 1) & (self.buckets.len() - 1);
-            self.cur_day_end += self.width;
-            if self.cur_bucket == 0 {
+            cur_bucket = (cur_bucket + 1) & (self.buckets.len() - 1);
+            cur_day_end += self.width;
+            if cur_bucket == 0 {
                 // Completed a lap: check for a sparse calendar.
                 let min_time = self
                     .buckets
@@ -160,28 +182,46 @@ impl<E> CalendarQueue<E> {
                     .map(|e| e.time)
                     .min()
                     .expect("len > 0");
-                if min_time.as_ns() >= self.cur_day_end + self.width * self.buckets.len() as u64 {
+                if min_time.as_ns() >= cur_day_end + self.width * self.buckets.len() as u64 {
                     // Far in the future: re-anchor the calendar there.
-                    let b = self.bucket_of(min_time);
-                    self.cur_bucket = b;
-                    self.cur_day_end = (min_time.as_ns() / self.width + 1) * self.width;
+                    cur_bucket = self.bucket_of(min_time);
+                    cur_day_end = (min_time.as_ns() / self.width + 1) * self.width;
                 }
             }
         }
     }
 
+    /// Remove the entry `found` points at, committing its day cursor.
+    fn pop_found(&mut self, found: Found) -> (SimTime, E) {
+        self.cur_bucket = found.cur_bucket;
+        self.cur_day_end = found.cur_day_end;
+        let entry = self.buckets[found.cur_bucket].swap_remove(found.index);
+        self.len -= 1;
+        debug_assert!(entry.time >= self.now);
+        self.now = entry.time;
+        self.popped += 1;
+        if self.len < self.buckets.len() / 2 && self.buckets.len() > 16 {
+            self.resize(self.buckets.len() / 2);
+        }
+        (entry.time, entry.event)
+    }
+
+    /// Timestamp of the next event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.find_earliest().map(|f| f.time)
+    }
+
+    /// Pop the earliest event (FIFO among equal timestamps).
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let found = self.find_earliest()?;
+        Some(self.pop_found(found))
+    }
+
     /// Pop only if the earliest event is at or before `horizon`.
     pub fn pop_until(&mut self, horizon: SimTime) -> Option<(SimTime, E)> {
-        // Cheap check: peek by popping and re-inserting would break FIFO;
-        // instead find the min first.
-        let min = self
-            .buckets
-            .iter()
-            .flatten()
-            .map(|e| (e.time, e.seq))
-            .min()?;
-        if min.0 <= horizon {
-            self.pop()
+        let found = self.find_earliest()?;
+        if found.time <= horizon {
+            Some(self.pop_found(found))
         } else {
             None
         }

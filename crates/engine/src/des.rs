@@ -1,0 +1,195 @@
+//! A pluggable discrete-event queue: one front door over the two
+//! time-ordered queue implementations of this crate.
+//!
+//! The simulation loop in `iba-sim` is written against [`DesQueue`], a
+//! two-variant enum rather than a trait object, so the hot
+//! `pop_until`/`schedule` calls stay static dispatch over a small match —
+//! no vtable, no generic parameter leaking into `Network`. Both backends
+//! implement the identical `(time, insertion order)` contract, so a run
+//! is bit-reproducible regardless of which one drives it; the
+//! `backend_equivalence` integration test in `iba-sim` pins that down end
+//! to end, and property tests in [`crate::calendar`] pin the queues
+//! themselves.
+//!
+//! [`QueueBackend`] is the configuration-facing selector (carried by
+//! `iba_sim::SimConfig`).
+
+use crate::{CalendarQueue, EventQueue};
+use iba_core::SimTime;
+
+/// Which priority-queue implementation drives the simulation loop.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum QueueBackend {
+    /// [`EventQueue`]: a binary heap. The default — measured ~3× faster
+    /// on the simulator's small, time-local pending sets.
+    #[default]
+    BinaryHeap,
+    /// [`CalendarQueue`]: R. Brown's O(1) calendar queue. Amortizes on
+    /// much larger pending sets; kept as a verified alternative and a
+    /// cross-check that results do not depend on queue internals.
+    Calendar,
+}
+
+/// A deterministic event queue with a run-time selectable backend.
+pub enum DesQueue<E> {
+    /// Binary-heap backend.
+    Heap(EventQueue<E>),
+    /// Calendar-queue backend.
+    Calendar(CalendarQueue<E>),
+}
+
+impl<E> DesQueue<E> {
+    /// An empty queue on `backend`, pre-sized for roughly `cap` pending
+    /// events.
+    pub fn with_capacity(backend: QueueBackend, cap: usize) -> Self {
+        match backend {
+            QueueBackend::BinaryHeap => DesQueue::Heap(EventQueue::with_capacity(cap)),
+            QueueBackend::Calendar => DesQueue::Calendar(CalendarQueue::with_capacity(cap)),
+        }
+    }
+
+    /// An empty queue on `backend` with default sizing.
+    pub fn new(backend: QueueBackend) -> Self {
+        match backend {
+            QueueBackend::BinaryHeap => DesQueue::Heap(EventQueue::new()),
+            QueueBackend::Calendar => DesQueue::Calendar(CalendarQueue::new()),
+        }
+    }
+
+    /// Current simulated time (timestamp of the last popped event).
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        match self {
+            DesQueue::Heap(q) => q.now(),
+            DesQueue::Calendar(q) => q.now(),
+        }
+    }
+
+    /// Number of pending events.
+    #[inline]
+    pub fn len(&self) -> usize {
+        match self {
+            DesQueue::Heap(q) => q.len(),
+            DesQueue::Calendar(q) => q.len(),
+        }
+    }
+
+    /// Whether no events are pending.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        match self {
+            DesQueue::Heap(q) => q.is_empty(),
+            DesQueue::Calendar(q) => q.is_empty(),
+        }
+    }
+
+    /// Total number of events popped.
+    #[inline]
+    pub fn events_processed(&self) -> u64 {
+        match self {
+            DesQueue::Heap(q) => q.events_processed(),
+            DesQueue::Calendar(q) => q.events_processed(),
+        }
+    }
+
+    /// Schedule `event` at absolute time `at` (must not precede `now`).
+    #[inline]
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        match self {
+            DesQueue::Heap(q) => q.schedule(at, event),
+            DesQueue::Calendar(q) => q.schedule(at, event),
+        }
+    }
+
+    /// Schedule `event` `delay_ns` nanoseconds from now.
+    #[inline]
+    pub fn schedule_in(&mut self, delay_ns: u64, event: E) {
+        match self {
+            DesQueue::Heap(q) => q.schedule_in(delay_ns, event),
+            DesQueue::Calendar(q) => q.schedule_in(delay_ns, event),
+        }
+    }
+
+    /// Timestamp of the next event, if any.
+    #[inline]
+    pub fn peek_time(&self) -> Option<SimTime> {
+        match self {
+            DesQueue::Heap(q) => q.peek_time(),
+            DesQueue::Calendar(q) => q.peek_time(),
+        }
+    }
+
+    /// Pop the earliest event (FIFO among equal timestamps).
+    #[inline]
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        match self {
+            DesQueue::Heap(q) => q.pop(),
+            DesQueue::Calendar(q) => q.pop(),
+        }
+    }
+
+    /// Pop only if the earliest event is at or before `horizon`.
+    #[inline]
+    pub fn pop_until(&mut self, horizon: SimTime) -> Option<(SimTime, E)> {
+        match self {
+            DesQueue::Heap(q) => q.pop_until(horizon),
+            DesQueue::Calendar(q) => q.pop_until(horizon),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise(backend: QueueBackend) -> Vec<(u64, u32)> {
+        let mut q = DesQueue::with_capacity(backend, 8);
+        // Interleave schedules and pops, with timestamp ties.
+        let mut out = Vec::new();
+        let times = [30u64, 10, 10, 50, 10, 20, 30];
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_ns(t), i as u32);
+        }
+        assert_eq!(q.len(), times.len());
+        assert_eq!(q.peek_time(), Some(SimTime::from_ns(10)));
+        while let Some((t, e)) = q.pop_until(SimTime::from_ns(25)) {
+            out.push((t.as_ns(), e));
+        }
+        q.schedule_in(5, 99);
+        while let Some((t, e)) = q.pop() {
+            out.push((t.as_ns(), e));
+        }
+        assert!(q.is_empty());
+        assert_eq!(q.events_processed(), out.len() as u64);
+        out
+    }
+
+    #[test]
+    fn backends_agree_and_keep_fifo_ties() {
+        let heap = exercise(QueueBackend::BinaryHeap);
+        let cal = exercise(QueueBackend::Calendar);
+        assert_eq!(
+            heap,
+            vec![
+                (10, 1),
+                (10, 2),
+                (10, 4),
+                (20, 5),
+                (25, 99),
+                (30, 0),
+                (30, 6),
+                (50, 3)
+            ]
+        );
+        assert_eq!(heap, cal);
+    }
+
+    #[test]
+    fn default_backend_is_the_heap() {
+        assert_eq!(QueueBackend::default(), QueueBackend::BinaryHeap);
+        assert!(matches!(
+            DesQueue::<u32>::new(QueueBackend::default()),
+            DesQueue::Heap(_)
+        ));
+    }
+}

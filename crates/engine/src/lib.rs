@@ -11,6 +11,9 @@
 //! * [`calendar::CalendarQueue`] — R. Brown's O(1) calendar queue with
 //!   the same interface and tie-breaking, property-tested equivalent and
 //!   benchmarked against the heap;
+//! * [`des::DesQueue`] — the run-time selectable front door over the two
+//!   queues; `iba-sim` drives whichever backend
+//!   `SimConfig::queue_backend` names, with bit-identical results;
 //! * [`rng::StreamRng`] — seeded random-number streams with cheap,
 //!   collision-resistant substream derivation, so each host/component can
 //!   own an independent deterministic stream;
@@ -25,9 +28,11 @@
 #![warn(missing_docs)]
 
 pub mod calendar;
+pub mod des;
 pub mod queue;
 pub mod rng;
 
 pub use calendar::CalendarQueue;
+pub use des::{DesQueue, QueueBackend};
 pub use queue::EventQueue;
 pub use rng::StreamRng;

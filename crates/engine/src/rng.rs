@@ -84,7 +84,11 @@ impl StreamRng {
     /// Derive the `index`-th substream for `kind` (e.g. one arrival stream
     /// per host).
     pub fn derive_indexed(&self, kind: StreamKind, index: u64) -> StreamRng {
-        let mixed = splitmix64(self.seed ^ splitmix64(kind.label()) ^ splitmix64(index.wrapping_mul(0xA24B_AED4_963E_E407)));
+        let mixed = splitmix64(
+            self.seed
+                ^ splitmix64(kind.label())
+                ^ splitmix64(index.wrapping_mul(0xA24B_AED4_963E_E407)),
+        );
         StreamRng {
             rng: SmallRng::seed_from_u64(mixed),
             seed: mixed,

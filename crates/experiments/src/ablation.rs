@@ -316,7 +316,10 @@ pub fn render(title: &str, rows: &[AblationRow]) -> String {
         .iter()
         .map(|r| vec![r.label.clone(), r.saturation.to_string()])
         .collect();
-    format!("### Ablation — {title}\n\n{}", markdown_table(&header, &table_rows))
+    format!(
+        "### Ablation — {title}\n\n{}",
+        markdown_table(&header, &table_rows)
+    )
 }
 
 #[cfg(test)]
@@ -330,7 +333,10 @@ mod tests {
         let base = rows[0].saturation.avg();
         let two = rows[1].saturation.avg();
         let four = rows[2].saturation.avg();
-        assert!(two >= base * 0.95, "2 options must not lose to deterministic");
+        assert!(
+            two >= base * 0.95,
+            "2 options must not lose to deterministic"
+        );
         assert!(four >= two * 0.9, "4 options should be competitive with 2");
         // The §5.2.2 claim proper (2 options ≥ 90 % of the 4-option gain)
         // is asserted by the integration suite at higher fidelity.

@@ -19,11 +19,7 @@ fn main() {
 
 fn real_main() -> Result<(), String> {
     let args = Args::from_env()?;
-    let which = args
-        .positional
-        .first()
-        .map(String::as_str)
-        .unwrap_or("all");
+    let which = args.positional.first().map(String::as_str).unwrap_or("all");
     let fidelity = Fidelity::parse(args.get("fidelity").unwrap_or("quick"))
         .ok_or("--fidelity must be quick or full")?;
     let size = args.get_or("size", 16usize)?;
@@ -31,8 +27,7 @@ fn real_main() -> Result<(), String> {
     let err = |e: iba_core::IbaError| e.to_string();
 
     let run_options = || -> Result<(), String> {
-        let rows =
-            ablation::options_sweep(size, &[1, 2, 4], fidelity, seed).map_err(err)?;
+        let rows = ablation::options_sweep(size, &[1, 2, 4], fidelity, seed).map_err(err)?;
         println!(
             "{}",
             ablation::render(
@@ -73,8 +68,7 @@ fn real_main() -> Result<(), String> {
         Ok(())
     };
     let run_buffer = || -> Result<(), String> {
-        let rows =
-            ablation::buffer_sweep(size, &[8, 16, 32, 64], fidelity, seed).map_err(err)?;
+        let rows = ablation::buffer_sweep(size, &[8, 16, 32, 64], fidelity, seed).map_err(err)?;
         println!(
             "{}",
             ablation::render(&format!("VL buffer size, {size} switches"), &rows)
@@ -93,13 +87,8 @@ fn real_main() -> Result<(), String> {
         Ok(())
     };
     let run_mixed = || -> Result<(), String> {
-        let rows = ablation::mixed_fabric_sweep(
-            size,
-            &[0.0, 0.25, 0.5, 0.75, 1.0],
-            fidelity,
-            seed,
-        )
-        .map_err(err)?;
+        let rows = ablation::mixed_fabric_sweep(size, &[0.0, 0.25, 0.5, 0.75, 1.0], fidelity, seed)
+            .map_err(err)?;
         println!(
             "{}",
             ablation::render(
@@ -113,10 +102,7 @@ fn real_main() -> Result<(), String> {
         let rows = ablation::escape_head_sweep(size, fidelity, seed).map_err(err)?;
         println!(
             "{}",
-            ablation::render(
-                &format!("escape-head adaptivity, {size} switches"),
-                &rows
-            )
+            ablation::render(&format!("escape-head adaptivity, {size} switches"), &rows)
         );
         Ok(())
     };

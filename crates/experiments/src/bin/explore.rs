@@ -51,7 +51,10 @@ fn real_main() -> Result<(), String> {
         .map_err(|e| e.to_string())?;
     println!(
         "options per (switch, destination): {:?} % for 1..4 options",
-        dist.percent.iter().map(|p| (p * 100.0).round() / 100.0).collect::<Vec<_>>()
+        dist.percent
+            .iter()
+            .map(|p| (p * 100.0).round() / 100.0)
+            .collect::<Vec<_>>()
     );
 
     let pattern = match args.get("pattern").unwrap_or("uniform") {
@@ -79,7 +82,10 @@ fn real_main() -> Result<(), String> {
     println!(
         "\nrun: {} generated, {} delivered, avg latency {:.0} ns (max {}), \
          accepted {:.5} B/ns/switch",
-        r.generated, r.delivered, r.avg_latency_ns, r.max_latency_ns,
+        r.generated,
+        r.delivered,
+        r.avg_latency_ns,
+        r.max_latency_ns,
         r.accepted_bytes_per_ns_per_switch
     );
     println!(

@@ -56,7 +56,7 @@ fn real_main() -> Result<(), String> {
             let mut plots = Vec::new();
             for (frac, curve) in &r.curves {
                 let name = format!("fig3_{}sw_{:.0}pct.dat", r.size, frac * 100.0);
-                    let mut dat = String::from("# accepted latency_ns\n");
+                let mut dat = String::from("# accepted latency_ns\n");
                 for p in curve.points() {
                     if p.avg_latency_ns.is_finite() {
                         dat.push_str(&format!("{:.6} {:.1}\n", p.accepted, p.avg_latency_ns));
@@ -93,7 +93,13 @@ fn real_main() -> Result<(), String> {
             }
         }
         let csv = csv_table(
-            &["switches", "adaptive_fraction", "offered", "accepted", "avg_latency_ns"],
+            &[
+                "switches",
+                "adaptive_fraction",
+                "offered",
+                "accepted",
+                "avg_latency_ns",
+            ],
             &rows,
         );
         std::fs::write(path, csv).map_err(|e| e.to_string())?;

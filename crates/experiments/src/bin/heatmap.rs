@@ -66,17 +66,27 @@ fn real_main() -> Result<(), String> {
     let mut order: Vec<_> = topo.switch_ids().collect();
     order.sort_by_key(|&s| (routing.updown().level_of(s), s.0));
 
+    println!("link utilization per switch (rows: up*/down* tree level; cols: inter-switch ports)");
     println!(
-        "link utilization per switch (rows: up*/down* tree level; cols: inter-switch ports)"
+        "scale: . <10%  - <20%  = <30%  + <40%  * <50%  x <60%  X <70%  # <80%  % <90%  @ >=90%\n"
     );
-    println!("scale: . <10%  - <20%  = <30%  + <40%  * <50%  x <60%  X <70%  # <80%  % <90%  @ >=90%\n");
-    println!("{:<18}{:<16}{:<16}", "switch (level)", "deterministic", "fully adaptive");
+    println!(
+        "{:<18}{:<16}{:<16}",
+        "switch (level)", "deterministic", "fully adaptive"
+    );
     for s in order {
-        let ports: Vec<usize> = topo.switch_neighbors(s).map(|(p, _, _)| p.index()).collect();
+        let ports: Vec<usize> = topo
+            .switch_neighbors(s)
+            .map(|(p, _, _)| p.index())
+            .collect();
         let row = |util: &Vec<Vec<f64>>| -> String {
             ports.iter().map(|&p| shade(util[s.index()][p])).collect()
         };
-        let marker = if s == routing.updown().root() { " <- root" } else { "" };
+        let marker = if s == routing.updown().root() {
+            " <- root"
+        } else {
+            ""
+        };
         println!(
             "{:<18}{:<16}{:<16}{}",
             format!("{s} (L{})", routing.updown().level_of(s)),

@@ -173,8 +173,12 @@ mod tests {
 
     #[test]
     fn ensemble_builds_in_parallel() {
-        let members =
-            build_ensemble(IrregularConfig::paper(8, 42), 4, RoutingConfig::two_options()).unwrap();
+        let members = build_ensemble(
+            IrregularConfig::paper(8, 42),
+            4,
+            RoutingConfig::two_options(),
+        )
+        .unwrap();
         assert_eq!(members.len(), 4);
         let seeds: Vec<u64> = members.iter().map(|m| m.config.seed).collect();
         assert_eq!(seeds, vec![42, 43, 44, 45]);
@@ -185,8 +189,12 @@ mod tests {
 
     #[test]
     fn sweep_produces_increasing_offered_points() {
-        let m = &build_ensemble(IrregularConfig::paper(8, 1), 1, RoutingConfig::two_options())
-            .unwrap()[0];
+        let m = &build_ensemble(
+            IrregularConfig::paper(8, 1),
+            1,
+            RoutingConfig::two_options(),
+        )
+        .unwrap()[0];
         let grid = geometric_grid(0.01, 0.08, 4);
         let curve = sweep_curve(
             &m.topology,
@@ -202,8 +210,12 @@ mod tests {
 
     #[test]
     fn saturation_is_positive_and_bounded() {
-        let m = &build_ensemble(IrregularConfig::paper(8, 2), 1, RoutingConfig::two_options())
-            .unwrap()[0];
+        let m = &build_ensemble(
+            IrregularConfig::paper(8, 2),
+            1,
+            RoutingConfig::two_options(),
+        )
+        .unwrap()[0];
         let grid = geometric_grid(0.01, 0.6, 7);
         let sat = find_saturation(
             &m.topology,
@@ -220,8 +232,12 @@ mod tests {
 
     #[test]
     fn adaptive_factor_exceeds_one_on_an_ensemble() {
-        let ensemble =
-            build_ensemble(IrregularConfig::paper(8, 3), 2, RoutingConfig::two_options()).unwrap();
+        let ensemble = build_ensemble(
+            IrregularConfig::paper(8, 3),
+            2,
+            RoutingConfig::two_options(),
+        )
+        .unwrap();
         let grid = geometric_grid(0.02, 0.6, 6);
         let factors = throughput_factors(
             &ensemble,

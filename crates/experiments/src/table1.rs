@@ -145,9 +145,9 @@ pub fn render(cfg: &Table1Config, cells: &[Table1Cell]) -> String {
         for &pkt in &cfg.packet_sizes {
             let mut row = vec![size.to_string(), pkt.to_string()];
             for &pattern in &cfg.patterns {
-                let cell = cells.iter().find(|c| {
-                    c.size == size && c.packet_bytes == pkt && c.pattern == pattern
-                });
+                let cell = cells
+                    .iter()
+                    .find(|c| c.size == size && c.packet_bytes == pkt && c.pattern == pattern);
                 row.push(match cell {
                     Some(c) => c.factor.to_string(),
                     None => "-".into(),

@@ -6,8 +6,8 @@
 
 use iba_core::IbaError;
 use iba_routing::{MinimalRouting, OptionDistribution, UpDownRouting};
-use iba_topology::IrregularConfig;
 use iba_stats::markdown_table;
+use iba_topology::IrregularConfig;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
@@ -86,9 +86,7 @@ pub fn run(cfg: &Table2Config) -> Result<Vec<Table2Row>, IbaError> {
             for &mr in &cfg.max_options {
                 let dists: Vec<OptionDistribution> = members
                     .iter()
-                    .map(|(t, m, u)| {
-                        OptionDistribution::compute(t, m, u, mr, cfg.include_local)
-                    })
+                    .map(|(t, m, u)| OptionDistribution::compute(t, m, u, mr, cfg.include_local))
                     .collect::<Result<_, _>>()?;
                 rows.push(Table2Row {
                     size,

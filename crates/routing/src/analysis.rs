@@ -64,9 +64,9 @@ impl OptionDistribution {
                     // Distinct storable options: minimal next hops plus
                     // the escape hop when it is not minimal.
                     let mins = minimal.options(s, t);
-                    let escape = updown.next_hop(s, t).ok_or_else(|| {
-                        IbaError::RoutingFailed(format!("no escape hop {s}→{t}"))
-                    })?;
+                    let escape = updown
+                        .next_hop(s, t)
+                        .ok_or_else(|| IbaError::RoutingFailed(format!("no escape hop {s}→{t}")))?;
                     mins.len() + usize::from(!mins.contains(&escape))
                 };
                 let capped = options.clamp(1, max_routing_options);
@@ -95,11 +95,15 @@ impl OptionDistribution {
     /// ten topologies" of Table 2). All inputs must share the same MR.
     pub fn average(dists: &[OptionDistribution]) -> Result<OptionDistribution, IbaError> {
         let Some(first) = dists.first() else {
-            return Err(IbaError::InvalidConfig("no distributions to average".into()));
+            return Err(IbaError::InvalidConfig(
+                "no distributions to average".into(),
+            ));
         };
         let mr = first.max_routing_options;
         if dists.iter().any(|d| d.max_routing_options != mr) {
-            return Err(IbaError::InvalidConfig("mismatched MR across distributions".into()));
+            return Err(IbaError::InvalidConfig(
+                "mismatched MR across distributions".into(),
+            ));
         }
         let n = dists.len() as f64;
         let percent = (0..mr)
@@ -159,7 +163,9 @@ impl PathLengthStats {
             }
         }
         if pairs == 0 {
-            return Err(IbaError::InvalidConfig("topology has a single switch".into()));
+            return Err(IbaError::InvalidConfig(
+                "topology has a single switch".into(),
+            ));
         }
         Ok(PathLengthStats {
             avg_minimal: sum_min as f64 / pairs as f64,
@@ -227,7 +233,9 @@ mod tests {
         let mut high = Vec::new();
         for seed in 0..5 {
             let t4 = IrregularConfig::paper(32, seed).generate().unwrap();
-            let t6 = IrregularConfig::paper_connected(32, seed).generate().unwrap();
+            let t6 = IrregularConfig::paper_connected(32, seed)
+                .generate()
+                .unwrap();
             let m4 = MinimalRouting::build(&t4).unwrap();
             let m6 = MinimalRouting::build(&t6).unwrap();
             let u4 = UpDownRouting::build(&t4).unwrap();

@@ -23,7 +23,7 @@
 use crate::minimal::MinimalRouting;
 use crate::table::InterleavedForwardingTable;
 use crate::updown::UpDownRouting;
-use iba_core::{HostId, IbaError, Lid, LidMap, PortIndex, SwitchId};
+use iba_core::{HostId, IbaError, InlineVec, Lid, LidMap, PortIndex, SwitchId, MAX_PORTS};
 use iba_topology::Topology;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
@@ -68,6 +68,11 @@ impl Default for RoutingConfig {
     }
 }
 
+/// The adaptive option list of one table access, stored inline: after
+/// de-duplication it can never exceed the switch radix, which
+/// [`FaRouting`] validates against [`MAX_PORTS`] at build time.
+pub type AdaptiveOptions = InlineVec<PortIndex, MAX_PORTS>;
+
 /// The routing options a switch offers one packet — the decoded result of
 /// the forwarding-table access.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -75,7 +80,9 @@ pub struct RouteOptions {
     /// The escape (up\*/down\*) option; always present.
     pub escape: PortIndex,
     /// Adaptive (minimal) options; empty for deterministic requests.
-    pub adaptive: Vec<PortIndex>,
+    /// Inline (no heap) so the simulator's per-hop decode stays
+    /// allocation-free.
+    pub adaptive: AdaptiveOptions,
 }
 
 /// FA routing compiled for one topology: the LID assignment plus one
@@ -151,6 +158,7 @@ impl FaRouting {
                 topo.num_switches()
             )));
         }
+        ensure_radix(topo)?;
         if !config.table_options.is_power_of_two() {
             return Err(IbaError::InvalidOptionCount(config.table_options));
         }
@@ -198,8 +206,8 @@ impl FaRouting {
                     }
                     // Seed-mixed rotation balances which minimal options
                     // are stored when there are more than fit.
-                    let start = (mix(s.0 as u64, h.0 as u64, config.seed)
-                        % adaptive.len() as u64) as usize;
+                    let start =
+                        (mix(s.0 as u64, h.0 as u64, config.seed) % adaptive.len() as u64) as usize;
                     for k in 0..slots {
                         let opt = adaptive[(start + k) % adaptive.len()];
                         table.set(lid_map.lid_for(h, 1 + k as u16)?, opt)?;
@@ -243,10 +251,9 @@ impl FaRouting {
         if !config.table_options.is_power_of_two() {
             return Err(IbaError::InvalidOptionCount(config.table_options));
         }
+        ensure_radix(topo)?;
         let x = config.table_options;
-        let total = x
-            .checked_mul(2)
-            .ok_or(IbaError::InvalidOptionCount(x))?;
+        let total = x.checked_mul(2).ok_or(IbaError::InvalidOptionCount(x))?;
         let lid_map = LidMap::for_options(topo.num_hosts() as u16, total)?;
         let updown = match config.root {
             Some(root) => UpDownRouting::build_with_root(topo, root)?,
@@ -277,7 +284,11 @@ impl FaRouting {
                     table.set(lid_map.lid_for(h, half)?, escape)?;
                     let slots = x as usize - 1;
                     if slots > 0 {
-                        let adaptive = if adaptive.is_empty() { vec![escape] } else { adaptive };
+                        let adaptive = if adaptive.is_empty() {
+                            vec![escape]
+                        } else {
+                            adaptive
+                        };
                         let start = (mix(s.0 as u64, h.0 as u64 ^ half as u64, config.seed)
                             % adaptive.len() as u64) as usize;
                         for k in 0..slots {
@@ -483,7 +494,7 @@ impl FaRouting {
             let escape = lookup.escape.ok_or(IbaError::UnknownLid(dlid.raw()))?;
             Ok(RouteOptions {
                 escape,
-                adaptive: lookup.adaptive,
+                adaptive: lookup.adaptive.iter().copied().collect(),
             })
         } else {
             // A plain IBA switch forwards linearly by the exact DLID —
@@ -494,7 +505,7 @@ impl FaRouting {
                 .ok_or(IbaError::UnknownLid(dlid.raw()))?;
             Ok(RouteOptions {
                 escape,
-                adaptive: Vec::new(),
+                adaptive: AdaptiveOptions::new(),
             })
         }
     }
@@ -504,6 +515,19 @@ impl FaRouting {
     pub fn dlid(&self, host: HostId, adaptive: bool) -> Result<Lid, IbaError> {
         self.lid_map.dlid(host, adaptive)
     }
+}
+
+/// The inline option lists of [`RouteOptions`] (and the simulator's
+/// feasible-candidate sets built from them) hold one entry per port at
+/// most; reject exotic radices up front instead of overflowing later.
+fn ensure_radix(topo: &Topology) -> Result<(), IbaError> {
+    let ports = topo.ports_per_switch() as usize;
+    if ports > MAX_PORTS {
+        return Err(IbaError::InvalidConfig(format!(
+            "switch radix {ports} exceeds the supported maximum {MAX_PORTS}"
+        )));
+    }
+    Ok(())
 }
 
 fn escape_hop(updown: &UpDownRouting, s: SwitchId, t: SwitchId) -> Result<PortIndex, IbaError> {
@@ -561,7 +585,7 @@ mod tests {
                     );
                 }
                 // No duplicates.
-                let mut dedup = r.adaptive.clone();
+                let mut dedup = r.adaptive.to_vec();
                 dedup.dedup();
                 dedup.sort();
                 dedup.dedup();
@@ -630,7 +654,13 @@ mod tests {
                 let t = topo.host_switch(h);
                 if fa.minimal().option_count(s, t) >= 2 {
                     let r = fa.route(s, fa.dlid(h, true).unwrap()).unwrap();
-                    seen.insert((fa.minimal().options(s, t).iter().position(|p| *p == r.adaptive[0])).unwrap());
+                    seen.insert(
+                        (fa.minimal()
+                            .options(s, t)
+                            .iter()
+                            .position(|p| *p == r.adaptive[0]))
+                        .unwrap(),
+                    );
                 }
             }
         }
@@ -852,7 +882,10 @@ mod tests {
             for h in topo.host_ids() {
                 for off in 0..4u16 {
                     let lid = fa.lid_map().lid_for(h, off).unwrap();
-                    assert!(view[lid.raw() as usize].is_some(), "{s} lid {lid} unprogrammed");
+                    assert!(
+                        view[lid.raw() as usize].is_some(),
+                        "{s} lid {lid} unprogrammed"
+                    );
                 }
             }
         }

@@ -35,7 +35,7 @@ pub mod table;
 pub mod updown;
 
 pub use analysis::{OptionDistribution, PathLengthStats};
-pub use fa::{FaRouting, RouteOptions, RoutingConfig};
+pub use fa::{AdaptiveOptions, FaRouting, RouteOptions, RoutingConfig};
 pub use minimal::MinimalRouting;
 pub use sl2vl::SlToVlTable;
 pub use table::InterleavedForwardingTable;

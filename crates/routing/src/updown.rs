@@ -89,11 +89,8 @@ impl UpDownRouting {
             let mut hops = vec![None; n];
             for (s, hop) in hops.iter_mut().enumerate() {
                 if s != t {
-                    *hop = Some(rt.compute_next_hop(
-                        topo,
-                        SwitchId(s as u16),
-                        SwitchId(t as u16),
-                    )?);
+                    *hop =
+                        Some(rt.compute_next_hop(topo, SwitchId(s as u16), SwitchId(t as u16))?);
                 }
             }
             rt.next_hop.push(hops);
@@ -231,9 +228,8 @@ impl UpDownRouting {
                 }
             }
         }
-        best.map(|(_, _, port)| port).ok_or_else(|| {
-            IbaError::RoutingFailed(format!("no legal next hop from {s} to {t}"))
-        })
+        best.map(|(_, _, port)| port)
+            .ok_or_else(|| IbaError::RoutingFailed(format!("no legal next hop from {s} to {t}")))
     }
 
     /// The output port `s` uses towards switch `t`; `None` when `s == t`.
@@ -283,7 +279,12 @@ impl UpDownRouting {
     /// The full switch path `s → t` following the deterministic rule.
     /// Errors if the walk does not terminate within `2 × n` hops (which
     /// would indicate a broken table).
-    pub fn path(&self, topo: &Topology, s: SwitchId, t: SwitchId) -> Result<Vec<SwitchId>, IbaError> {
+    pub fn path(
+        &self,
+        topo: &Topology,
+        s: SwitchId,
+        t: SwitchId,
+    ) -> Result<Vec<SwitchId>, IbaError> {
         let mut path = vec![s];
         let mut cur = s;
         let bound = 2 * topo.num_switches() + 2;
@@ -310,7 +311,12 @@ impl UpDownRouting {
 
     /// Escape path length between the switches of two hosts (used by
     /// path-length statistics).
-    pub fn host_path_len(&self, topo: &Topology, src: HostId, dst: HostId) -> Result<usize, IbaError> {
+    pub fn host_path_len(
+        &self,
+        topo: &Topology,
+        src: HostId,
+        dst: HostId,
+    ) -> Result<usize, IbaError> {
         let s = topo.host_switch(src);
         let t = topo.host_switch(dst);
         Ok(self.path(topo, s, t)?.len() - 1)
@@ -459,7 +465,16 @@ mod tests {
         let t = SwitchId(4);
         // The route must go up towards the root first.
         let path = rt.path(&topo, s, t).unwrap();
-        assert_eq!(path, vec![SwitchId(0), SwitchId(1), SwitchId(2), SwitchId(3), SwitchId(4)]);
+        assert_eq!(
+            path,
+            vec![
+                SwitchId(0),
+                SwitchId(1),
+                SwitchId(2),
+                SwitchId(3),
+                SwitchId(4)
+            ]
+        );
         assert_legal_path(&rt, &topo, s, t);
     }
 

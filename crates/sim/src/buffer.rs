@@ -26,8 +26,20 @@
 //! deadlock-freedom induction ([`EscapeOrderPolicy`] selects between the
 //! paper's strict pointer rule and a refined rule that lets adaptive
 //! packets overtake).
+//!
+//! ## Storage layout
+//!
+//! Residencies live in fixed *slots* (pre-sized to the buffer's credit
+//! capacity — a packet occupies at least one credit, so the slot array
+//! can never overflow under correct flow control) and the FIFO is a
+//! separate list of slot indices. A [`SlotHandle`] — slot index plus a
+//! generation counter — survives compaction, so delayed events
+//! (`RouteDone`, `TxDone`) address their residency directly instead of
+//! re-scanning the buffer for a packet id, and a handle left over from a
+//! departed residency is detected rather than mis-resolved. Compaction
+//! shifts only the small index list, not the buffered packets.
 
-use iba_core::{Credits, Packet, PacketId, RoutingMode, SimTime};
+use iba_core::{Credits, InlineVec, Packet, PacketId, RoutingMode, SimTime};
 use iba_routing::RouteOptions;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
@@ -78,12 +90,45 @@ pub enum ReadPoint {
     EscapeHead,
 }
 
+/// The candidate list one arbitration look at a VL buffer can produce:
+/// the adaptive head plus at most two escape read points, stored inline
+/// so the per-event arbitration loop never allocates.
+pub type Candidates = InlineVec<(usize, ReadPoint), 4>;
+
+/// A stable, generation-checked reference to one buffer residency.
+///
+/// Returned by [`VlBuffer::push`]; stays valid across compaction and is
+/// detected (resolves to `None`) after the residency departs, even if
+/// the slot has been reused by a later packet.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SlotHandle {
+    slot: u32,
+    gen: u32,
+}
+
+/// One fixed storage slot.
+#[derive(Debug)]
+struct Slot {
+    /// Incremented on every departure; makes stale handles detectable.
+    gen: u32,
+    /// Position in the FIFO order list; only meaningful while occupied.
+    order_pos: u32,
+    packet: Option<BufferedPacket>,
+}
+
 /// The split VL buffer.
 #[derive(Debug)]
 pub struct VlBuffer {
     capacity: Credits,
-    packets: Vec<BufferedPacket>,
+    /// Fixed slot storage; `order` holds the FIFO arrangement.
+    slots: Vec<Slot>,
+    /// FIFO order of occupied slots, head first.
+    order: Vec<u32>,
+    /// Stack of unoccupied slot indices.
+    free_slots: Vec<u32>,
     occupied: Credits,
+    /// Number of residencies currently streaming out.
+    in_flight: u32,
 }
 
 impl VlBuffer {
@@ -91,10 +136,23 @@ impl VlBuffer {
     /// each logical queue (half the buffer) to hold at least one
     /// MTU-sized packet — enforced by `SimConfig::validate`.
     pub fn new(capacity: Credits) -> VlBuffer {
+        // A packet occupies at least one credit, so at most
+        // `capacity.count()` residencies can coexist; pre-sizing the slot
+        // array here means steady-state operation never allocates.
+        let nslots = capacity.count().max(1) as usize;
         VlBuffer {
             capacity,
-            packets: Vec::new(),
+            slots: (0..nslots)
+                .map(|_| Slot {
+                    gen: 0,
+                    order_pos: 0,
+                    packet: None,
+                })
+                .collect(),
+            order: Vec::with_capacity(nslots),
+            free_slots: (0..nslots as u32).rev().collect(),
             occupied: Credits::ZERO,
+            in_flight: 0,
         }
     }
 
@@ -119,13 +177,13 @@ impl VlBuffer {
     /// Number of resident packets.
     #[inline]
     pub fn len(&self) -> usize {
-        self.packets.len()
+        self.order.len()
     }
 
     /// Whether the buffer holds no packets.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.packets.is_empty()
+        self.order.is_empty()
     }
 
     /// Whether a packet of `credits` size fits.
@@ -135,13 +193,15 @@ impl VlBuffer {
     }
 
     /// Whether any resident packet is currently streaming out.
+    #[inline]
     pub fn has_in_flight(&self) -> bool {
-        self.packets.iter().any(|p| p.in_flight)
+        self.in_flight > 0
     }
 
-    /// Append an arriving packet (header arrival). The caller guarantees
-    /// space via credit flow control; violating it is an accounting bug.
-    pub fn push(&mut self, packet: Packet, ready_at: SimTime) {
+    /// Append an arriving packet (header arrival), returning the stable
+    /// handle of the new residency. The caller guarantees space via
+    /// credit flow control; violating it is an accounting bug.
+    pub fn push(&mut self, packet: Packet, ready_at: SimTime) -> SlotHandle {
         let credits = packet.credits();
         debug_assert!(
             self.can_accept(credits),
@@ -150,37 +210,99 @@ impl VlBuffer {
             self.free()
         );
         self.occupied += credits;
-        self.packets.push(BufferedPacket {
+        let slot = match self.free_slots.pop() {
+            Some(s) => s,
+            None => {
+                // Unreachable under correct credit accounting (debug
+                // builds assert above); grow rather than corrupt.
+                self.slots.push(Slot {
+                    gen: 0,
+                    order_pos: 0,
+                    packet: None,
+                });
+                (self.slots.len() - 1) as u32
+            }
+        };
+        let entry = &mut self.slots[slot as usize];
+        entry.order_pos = self.order.len() as u32;
+        entry.packet = Some(BufferedPacket {
             packet,
             route: None,
             ready_at,
             in_flight: false,
         });
+        self.order.push(slot);
+        SlotHandle {
+            slot,
+            gen: entry.gen,
+        }
     }
 
-    /// Attach the routing result to a resident packet.
+    /// The residency `handle` refers to, or `None` once it has departed
+    /// (the generation check rejects reused slots).
+    pub fn get_slot(&self, handle: SlotHandle) -> Option<&BufferedPacket> {
+        let entry = self.slots.get(handle.slot as usize)?;
+        if entry.gen != handle.gen {
+            return None;
+        }
+        entry.packet.as_ref()
+    }
+
+    /// Attach the routing result to the exact residency `handle` refers
+    /// to. Returns `false` if that residency has already departed.
     ///
     /// With cut-through a packet can re-enter a buffer (e.g. after a
     /// U-turn through a neighbor) while its previous residency is still
-    /// streaming out, so the same id may briefly appear twice; the route
-    /// belongs to the *new*, not-yet-routed residency.
+    /// streaming out, so the same packet id may briefly be resident
+    /// twice; handles make the route unambiguously reach the *new*
+    /// residency.
+    pub fn set_route_at(&mut self, handle: SlotHandle, route: Arc<RouteOptions>) -> bool {
+        let Some(entry) = self.slots.get_mut(handle.slot as usize) else {
+            return false;
+        };
+        if entry.gen != handle.gen {
+            return false;
+        }
+        let Some(p) = entry.packet.as_mut() else {
+            return false;
+        };
+        debug_assert!(p.route.is_none(), "residency routed twice");
+        p.route = Some(route);
+        true
+    }
+
+    /// Attach the routing result to the oldest not-yet-routed residency
+    /// of `id` (compatibility shim for tests; the simulator uses
+    /// [`Self::set_route_at`]).
     pub fn set_route(&mut self, id: PacketId, route: Arc<RouteOptions>) {
-        if let Some(p) = self
-            .packets
-            .iter_mut()
-            .find(|p| p.packet.id == id && p.route.is_none())
-        {
-            p.route = Some(route);
+        for i in 0..self.order.len() {
+            let slot = self.order[i] as usize;
+            let p = self.slots[slot]
+                .packet
+                .as_mut()
+                .expect("order entry occupied");
+            if p.packet.id == id && p.route.is_none() {
+                p.route = Some(route);
+                return;
+            }
         }
     }
 
     /// Starting credit offset of the packet at `index` — its physical
     /// position in the RAM, counted from the head.
     fn offset_of(&self, index: usize) -> Credits {
-        self.packets[..index]
+        self.order[..index]
             .iter()
-            .map(|p| p.packet.credits())
+            .map(|&s| self.packet_in(s).packet.credits())
             .sum()
+    }
+
+    #[inline]
+    fn packet_in(&self, slot: u32) -> &BufferedPacket {
+        self.slots[slot as usize]
+            .packet
+            .as_ref()
+            .expect("order entry occupied")
     }
 
     /// The boundary between the adaptive region (first half) and the
@@ -201,11 +323,11 @@ impl VlBuffer {
     pub fn escape_head_index(&self) -> Option<usize> {
         let boundary = self.escape_boundary();
         let mut offset = Credits::ZERO;
-        for (i, p) in self.packets.iter().enumerate() {
+        for (i, &s) in self.order.iter().enumerate() {
             if offset >= boundary {
                 return Some(i);
             }
-            offset += p.packet.credits();
+            offset += self.packet_in(s).packet.credits();
         }
         None
     }
@@ -216,9 +338,9 @@ impl VlBuffer {
     /// paper's "first deterministic packet stored in the adaptive
     /// queue" pointer.
     fn first_deterministic_index(&self) -> Option<usize> {
-        self.packets
+        self.order
             .iter()
-            .position(|p| p.packet.mode() == RoutingMode::Deterministic)
+            .position(|&s| self.packet_in(s).packet.mode() == RoutingMode::Deterministic)
     }
 
     /// The candidates arbitration may read at `now`, in priority order:
@@ -238,21 +360,16 @@ impl VlBuffer {
     /// Only one read can be in progress per VL buffer (the multiplexer of
     /// Figure 2): callers must also check [`Self::has_in_flight`] /
     /// the port's read-busy time.
-    pub fn candidates(&self, now: SimTime, policy: EscapeOrderPolicy) -> Vec<(usize, ReadPoint)> {
-        let mut out = Vec::with_capacity(3);
-        if let Some(head) = self.packets.first() {
-            if head.is_ready(now) {
-                out.push((0, ReadPoint::AdaptiveHead));
-            }
+    pub fn candidates(&self, now: SimTime, policy: EscapeOrderPolicy) -> Candidates {
+        let mut out = Candidates::new();
+        if !self.order.is_empty() && self.get(0).is_ready(now) {
+            out.push((0, ReadPoint::AdaptiveHead));
         }
         let escape_head = self.escape_head_index();
         let first_det = self.first_deterministic_index();
-        let push = |idx: Option<usize>, out: &mut Vec<(usize, ReadPoint)>| {
+        let push = |idx: Option<usize>, out: &mut Candidates| {
             if let Some(i) = idx {
-                if i != 0
-                    && self.packets[i].is_ready(now)
-                    && !out.iter().any(|&(j, _)| j == i)
-                {
+                if i != 0 && self.get(i).is_ready(now) && !out.iter().any(|&(j, _)| j == i) {
                     out.push((i, ReadPoint::EscapeHead));
                 }
             }
@@ -277,7 +394,7 @@ impl VlBuffer {
                 // deterministic packet. The pointer target is offered as a
                 // fallback candidate either way.
                 if let Some(e) = escape_head {
-                    let det = self.packets[e].packet.mode() == RoutingMode::Deterministic;
+                    let det = self.get(e).packet.mode() == RoutingMode::Deterministic;
                     let overtakes = det && first_det.is_some_and(|fd| fd < e);
                     if !overtakes {
                         push(Some(e), &mut out);
@@ -291,33 +408,77 @@ impl VlBuffer {
         out
     }
 
-    /// Access a resident packet by index.
+    /// Access a resident packet by FIFO position.
     pub fn get(&self, index: usize) -> &BufferedPacket {
-        &self.packets[index]
+        self.packet_in(self.order[index])
     }
 
-    /// Mark the packet at `index` as streaming out.
+    /// The stable handle of the residency at FIFO position `index`.
+    pub fn handle_at(&self, index: usize) -> SlotHandle {
+        let slot = self.order[index];
+        SlotHandle {
+            slot,
+            gen: self.slots[slot as usize].gen,
+        }
+    }
+
+    /// Mark the packet at FIFO position `index` as streaming out.
     pub fn mark_in_flight(&mut self, index: usize) {
-        debug_assert!(!self.packets[index].in_flight);
-        self.packets[index].in_flight = true;
+        let slot = self.order[index] as usize;
+        let p = self.slots[slot]
+            .packet
+            .as_mut()
+            .expect("order entry occupied");
+        debug_assert!(!p.in_flight);
+        p.in_flight = true;
+        self.in_flight += 1;
     }
 
-    /// Remove a packet whose tail has left the buffer; the RAM compacts
-    /// (later packets shift towards the head). Returns the packet.
-    ///
-    /// If the same id is briefly resident twice (see [`Self::set_route`])
-    /// the *oldest* residency is removed — departures complete in
-    /// arrival order, matching the order of the `TxDone` events.
-    pub fn remove(&mut self, id: PacketId) -> Option<BufferedPacket> {
-        let idx = self.packets.iter().position(|p| p.packet.id == id)?;
-        let p = self.packets.remove(idx);
+    /// Remove the residency at FIFO position `pos`; later packets shift
+    /// towards the head (the RAM compacts — only the index list moves).
+    fn remove_pos(&mut self, pos: usize) -> BufferedPacket {
+        let slot = self.order.remove(pos);
+        for i in pos..self.order.len() {
+            let s = self.order[i] as usize;
+            self.slots[s].order_pos = i as u32;
+        }
+        let entry = &mut self.slots[slot as usize];
+        let p = entry.packet.take().expect("occupied slot");
+        entry.gen = entry.gen.wrapping_add(1);
+        self.free_slots.push(slot);
         self.occupied -= p.packet.credits();
-        Some(p)
+        if p.in_flight {
+            self.in_flight -= 1;
+        }
+        p
+    }
+
+    /// Remove the exact residency `handle` refers to (its tail has left
+    /// the buffer). Returns `None` if it already departed.
+    pub fn remove_at(&mut self, handle: SlotHandle) -> Option<BufferedPacket> {
+        let entry = self.slots.get(handle.slot as usize)?;
+        if entry.gen != handle.gen || entry.packet.is_none() {
+            return None;
+        }
+        let pos = entry.order_pos as usize;
+        Some(self.remove_pos(pos))
+    }
+
+    /// Remove the *oldest* residency of `id` (compatibility shim for
+    /// tests; the simulator removes by handle, which resolves duplicate
+    /// residencies exactly — departures still complete in arrival order
+    /// because `TxDone` events are themselves ordered).
+    pub fn remove(&mut self, id: PacketId) -> Option<BufferedPacket> {
+        let pos = self
+            .order
+            .iter()
+            .position(|&s| self.packet_in(s).packet.id == id)?;
+        Some(self.remove_pos(pos))
     }
 
     /// Iterate over resident packets (head first).
     pub fn iter(&self) -> impl Iterator<Item = &BufferedPacket> {
-        self.packets.iter()
+        self.order.iter().map(move |&s| self.packet_in(s))
     }
 }
 
@@ -345,15 +506,15 @@ mod tests {
     fn route() -> Arc<RouteOptions> {
         Arc::new(RouteOptions {
             escape: PortIndex(0),
-            adaptive: vec![PortIndex(1)],
+            adaptive: [PortIndex(1)].into_iter().collect(),
         })
     }
 
     /// Push and immediately make routable.
-    fn push_ready(buf: &mut VlBuffer, p: Packet) {
-        let id = p.id;
-        buf.push(p, SimTime::ZERO);
-        buf.set_route(id, route());
+    fn push_ready(buf: &mut VlBuffer, p: Packet) -> SlotHandle {
+        let h = buf.push(p, SimTime::ZERO);
+        buf.set_route_at(h, route());
+        h
     }
 
     #[test]
@@ -435,11 +596,11 @@ mod tests {
     fn unrouted_and_future_ready_packets_are_not_candidates() {
         let mut buf = VlBuffer::new(Credits(8));
         let p = pkt(1, true, 64);
-        buf.push(p, SimTime::from_ns(100)); // routing completes at t=100
+        let h = buf.push(p, SimTime::from_ns(100)); // routing completes at t=100
         assert!(buf
             .candidates(SimTime::from_ns(50), EscapeOrderPolicy::DeterministicFifo)
             .is_empty());
-        buf.set_route(PacketId(1), route());
+        buf.set_route_at(h, route());
         assert!(buf
             .candidates(SimTime::from_ns(50), EscapeOrderPolicy::DeterministicFifo)
             .is_empty());
@@ -552,7 +713,10 @@ mod tests {
     fn deterministic_escape_head_redirects_to_older_deterministic() {
         // det escape head behind an older det: the escape port serves the
         // older one instead (both policies agree here).
-        for policy in [EscapeOrderPolicy::Strict, EscapeOrderPolicy::DeterministicFifo] {
+        for policy in [
+            EscapeOrderPolicy::Strict,
+            EscapeOrderPolicy::DeterministicFifo,
+        ] {
             let mut buf = VlBuffer::new(Credits(8));
             push_ready(&mut buf, pkt(0, true, 128));
             push_ready(&mut buf, pkt(1, false, 128));
@@ -572,7 +736,10 @@ mod tests {
         // escape read point offers at least one candidate — the property
         // deadlock freedom rests on.
         for det_mask in 0u32..8 {
-            for policy in [EscapeOrderPolicy::Strict, EscapeOrderPolicy::DeterministicFifo] {
+            for policy in [
+                EscapeOrderPolicy::Strict,
+                EscapeOrderPolicy::DeterministicFifo,
+            ] {
                 let mut buf = VlBuffer::new(Credits(8));
                 for i in 0..3 {
                     push_ready(&mut buf, pkt(i, det_mask & (1 << i) == 0, 128));
@@ -611,19 +778,66 @@ mod tests {
         // A cut-through U-turn: the packet re-enters while its old
         // residency still streams out.
         let mut buf = VlBuffer::new(Credits(8));
-        push_ready(&mut buf, pkt(7, true, 128));
+        let old = push_ready(&mut buf, pkt(7, true, 128));
         buf.mark_in_flight(0);
         // Same id arrives again (new residency, unrouted).
-        buf.push(pkt(7, true, 128), SimTime::ZERO);
+        let new = buf.push(pkt(7, true, 128), SimTime::ZERO);
+        assert_ne!(old, new);
         assert_eq!(buf.len(), 2);
-        buf.set_route(PacketId(7), route());
-        assert!(buf.get(1).route.is_some(), "new residency must get the route");
+        buf.set_route_at(new, route());
+        assert!(
+            buf.get(1).route.is_some(),
+            "new residency must get the route"
+        );
         assert!(buf.get(0).in_flight);
-        // TxDone of the old residency removes the old copy.
-        let removed = buf.remove(PacketId(7)).unwrap();
+        // TxDone of the old residency removes exactly the old copy.
+        let removed = buf.remove_at(old).unwrap();
         assert!(removed.in_flight);
         assert_eq!(buf.len(), 1);
         assert!(!buf.get(0).in_flight);
+        // The old handle is now stale, even though its slot was freed.
+        assert!(buf.get_slot(old).is_none());
+        assert!(buf.remove_at(old).is_none());
+        assert!(buf.get_slot(new).is_some());
+    }
+
+    #[test]
+    fn handles_survive_compaction_and_detect_slot_reuse() {
+        let mut buf = VlBuffer::new(Credits(8));
+        let h0 = push_ready(&mut buf, pkt(0, true, 64));
+        let h1 = push_ready(&mut buf, pkt(1, true, 64));
+        let h2 = push_ready(&mut buf, pkt(2, true, 64));
+        // Remove the head: positions shift, handles must not.
+        buf.remove_at(h0).unwrap();
+        assert_eq!(buf.get_slot(h1).unwrap().packet.id, PacketId(1));
+        assert_eq!(buf.get_slot(h2).unwrap().packet.id, PacketId(2));
+        assert_eq!(buf.get(0).packet.id, PacketId(1));
+        // A new push may reuse h0's slot; the stale handle must still
+        // resolve to None (generation check), the fresh one to pkt 3.
+        let h3 = buf.push(pkt(3, true, 64), SimTime::ZERO);
+        assert!(buf.get_slot(h0).is_none());
+        assert!(!buf.set_route_at(h0, route()));
+        assert_eq!(buf.get_slot(h3).unwrap().packet.id, PacketId(3));
+        // handle_at agrees with the handles returned by push.
+        assert_eq!(buf.handle_at(0), h1);
+        assert_eq!(buf.handle_at(2), h3);
+    }
+
+    #[test]
+    fn slot_storage_does_not_grow_in_steady_state() {
+        // Fill/drain repeatedly: the pre-sized slot array suffices.
+        let mut buf = VlBuffer::new(Credits(4));
+        for round in 0..10u64 {
+            let h: Vec<_> = (0..4)
+                .map(|i| push_ready(&mut buf, pkt(round * 4 + i, true, 64)))
+                .collect();
+            assert_eq!(buf.occupied(), Credits(4));
+            for handle in h {
+                buf.remove_at(handle).unwrap();
+            }
+            assert!(buf.is_empty());
+            assert_eq!(buf.occupied(), Credits::ZERO);
+        }
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use crate::buffer::EscapeOrderPolicy;
 use iba_core::{Credits, IbaError, PhysParams, SimTime};
+use iba_engine::QueueBackend;
 use serde::{Deserialize, Serialize};
 
 /// How the switch picks among feasible routing options at arbitration
@@ -51,6 +52,11 @@ pub struct SimConfig {
     /// queue — packets generated against a full queue are *dropped* and
     /// counted in [`crate::RunResult::source_drops`].
     pub host_queue_capacity: Option<usize>,
+    /// Which priority-queue implementation drives the event loop. The
+    /// result of a run is bit-identical across backends (both honour the
+    /// `(time, insertion order)` contract); only wall-clock speed
+    /// differs.
+    pub queue_backend: QueueBackend,
     /// Hard event-count ceiling (guards runaway configurations).
     pub max_events: u64,
     /// Experiment seed (drives topology-independent randomness: arrival
@@ -73,6 +79,7 @@ impl SimConfig {
             host_queue_capacity: None,
             warmup: SimTime::from_us(60),
             measure_window: SimTime::from_us(240),
+            queue_backend: QueueBackend::BinaryHeap,
             max_events: 400_000_000,
             seed,
         }

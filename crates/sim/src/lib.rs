@@ -39,8 +39,9 @@ pub mod network;
 pub mod stats;
 pub mod trace;
 
-pub use buffer::{BufferedPacket, EscapeOrderPolicy, ReadPoint, VlBuffer};
+pub use buffer::{BufferedPacket, Candidates, EscapeOrderPolicy, ReadPoint, SlotHandle, VlBuffer};
 pub use config::{SelectionPolicy, SimConfig};
+pub use iba_engine::QueueBackend;
 pub use network::Network;
 pub use stats::{LatencyHistogram, RunResult, StatsCollector};
 pub use trace::{PacketTrace, TraceStep, Tracer};

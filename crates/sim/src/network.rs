@@ -23,16 +23,16 @@
 //! sink buffers (the paper measures fabric performance, not end-node
 //! limits).
 
-use crate::buffer::{ReadPoint, VlBuffer};
+use crate::buffer::{ReadPoint, SlotHandle, VlBuffer};
 use crate::config::{SelectionPolicy, SimConfig};
 use crate::stats::{RunResult, StatsCollector};
 use crate::trace::{TraceStep, Tracer};
 use iba_core::{
-    Credits, HostId, IbaError, NodeRef, Packet, PacketId, PortIndex, SimTime, SwitchId,
-    VirtualLane,
+    Credits, HostId, IbaError, InlineVec, NodeRef, Packet, PacketId, PortIndex, SimTime, SwitchId,
+    VirtualLane, MAX_PORTS,
 };
 use iba_engine::rng::{StreamKind, StreamRng};
-use iba_engine::EventQueue;
+use iba_engine::DesQueue;
 use iba_routing::{FaRouting, SlToVlTable};
 use iba_topology::Topology;
 use iba_workloads::{HostGenerator, PathSet, TrafficScript, WorkloadSpec};
@@ -55,11 +55,13 @@ enum Event {
         packet: Packet,
     },
     /// The forwarding-table pipeline for a buffered packet completes.
+    /// The handle addresses the exact residency `push` created, so no
+    /// buffer scan is needed when the event fires.
     RouteDone {
         sw: SwitchId,
         port: PortIndex,
         vl: VirtualLane,
-        id: PacketId,
+        handle: SlotHandle,
     },
     /// Coalesced arbitration pass at a switch.
     Arbitrate { sw: SwitchId },
@@ -68,7 +70,7 @@ enum Event {
         sw: SwitchId,
         port: PortIndex,
         vl: VirtualLane,
-        id: PacketId,
+        handle: SlotHandle,
     },
     /// Freed credits reach the upstream sender.
     CreditReturn {
@@ -127,10 +129,17 @@ struct HostState {
     mp_cursor: u16,
 }
 
-/// A forwarding decision produced by arbitration.
+/// A forwarding decision produced by arbitration. Positions and handle
+/// are taken while the buffer is inspected and stay valid until the
+/// decision is committed (arbitration grants synchronously, and a grant
+/// marks the packet in flight rather than removing it).
 struct Decision {
     input: usize,
     vl: usize,
+    /// FIFO position of the granted packet in its VL buffer.
+    idx: usize,
+    /// Stable residency handle, carried into the `TxDone` event.
+    handle: SlotHandle,
     packet_id: PacketId,
     out_port: PortIndex,
     out_vl: VirtualLane,
@@ -144,7 +153,7 @@ pub struct Network<'a> {
     routing: &'a FaRouting,
     spec: WorkloadSpec,
     config: SimConfig,
-    queue: EventQueue<Event>,
+    queue: DesQueue<Event>,
     switches: Vec<SwitchState>,
     hosts: Vec<HostState>,
     stats: StatsCollector,
@@ -152,6 +161,8 @@ pub struct Network<'a> {
     arb_rng: StreamRng,
     /// No packets are generated at or after this time.
     gen_deadline: SimTime,
+    /// Whether the initial generation events have been scheduled.
+    primed: bool,
     tracer: Option<Tracer>,
     /// Trace-driven injections (replaces the synthetic generators).
     script: Option<&'a TrafficScript>,
@@ -245,19 +256,35 @@ impl<'a> Network<'a> {
             })
             .collect::<Result<Vec<_>, IbaError>>()?;
 
+        // Pre-size the event queue from the topology: pending events are
+        // bounded by buffered packets (each VL buffer holds at most its
+        // credit count, each buffered packet has at most one pending
+        // RouteDone/TxDone/CreditReturn) plus a few per host — so the
+        // steady state never reallocates the queue.
+        let ports = topo.ports_per_switch() as usize;
+        let est_events = (topo.num_switches() * ports * vls * cap.count() as usize / 4
+            + topo.num_hosts() * 4)
+            .max(1024);
+
         let horizon = config.horizon();
         Ok(Network {
             topo,
             routing,
             spec,
             config,
-            queue: EventQueue::with_capacity(4096),
+            queue: DesQueue::with_capacity(config.queue_backend, est_events),
             switches,
             hosts,
-            stats: StatsCollector::new(config.warmup, horizon),
+            stats: StatsCollector::new(
+                config.warmup,
+                horizon,
+                topo.num_hosts(),
+                routing.lid_map().table_len(),
+            ),
             next_packet_id: 0,
             arb_rng: root.derive(StreamKind::Arbiter),
             gen_deadline: horizon,
+            primed: false,
             tracer: None,
             script: None,
         })
@@ -361,14 +388,18 @@ impl<'a> Network<'a> {
     pub fn run(&mut self) -> RunResult {
         let horizon = self.config.horizon();
         self.prime();
+        let wall_start = std::time::Instant::now();
         while self.queue.events_processed() < self.config.max_events {
             let Some((now, ev)) = self.queue.pop_until(horizon) else {
                 break;
             };
             self.dispatch(now, ev);
         }
-        self.stats
-            .finish(self.topo.num_switches(), self.queue.events_processed())
+        self.stats.finish(
+            self.topo.num_switches(),
+            self.queue.events_processed(),
+            wall_start.elapsed(),
+        )
     }
 
     /// Run with generation stopped at `stop_generation`, continuing until
@@ -382,6 +413,7 @@ impl<'a> Network<'a> {
     ) -> (RunResult, bool) {
         self.gen_deadline = stop_generation;
         self.prime();
+        let wall_start = std::time::Instant::now();
         let mut drained = true;
         while let Some((now, ev)) = self.queue.pop_until(hard_deadline) {
             self.dispatch(now, ev);
@@ -391,12 +423,13 @@ impl<'a> Network<'a> {
             }
         }
         drained &= self.queue.is_empty();
-        let result = self
-            .stats
-            .finish(self.topo.num_switches(), self.queue.events_processed());
+        let result = self.stats.finish(
+            self.topo.num_switches(),
+            self.queue.events_processed(),
+            wall_start.elapsed(),
+        );
         // Packets dropped at full source queues never entered the fabric.
-        let fully_drained =
-            drained && result.delivered == result.generated - result.source_drops;
+        let fully_drained = drained && result.delivered == result.generated - result.source_drops;
         (result, fully_drained)
     }
 
@@ -406,14 +439,15 @@ impl<'a> Network<'a> {
     pub fn is_quiescent(&self) -> bool {
         let cap = self.config.vl_buffer_credits;
         self.switches.iter().all(|sw| {
-            sw.inputs
-                .iter()
-                .all(|ip| ip.vls.iter().all(|b| b.is_empty() && b.occupied() == Credits::ZERO))
-                && sw.outputs.iter().all(|op| {
-                    op.credits
-                        .as_ref()
-                        .is_none_or(|cs| cs.iter().all(|&c| c == cap))
-                })
+            sw.inputs.iter().all(|ip| {
+                ip.vls
+                    .iter()
+                    .all(|b| b.is_empty() && b.occupied() == Credits::ZERO)
+            }) && sw.outputs.iter().all(|op| {
+                op.credits
+                    .as_ref()
+                    .is_none_or(|cs| cs.iter().all(|&c| c == cap))
+            })
         }) && self
             .hosts
             .iter()
@@ -460,12 +494,17 @@ impl<'a> Network<'a> {
     }
 
     /// Seed the event queue: every host's first synthetic generation, or
-    /// the script's first entry in trace-driven mode.
+    /// the script's first entry in trace-driven mode. Idempotent.
     fn prime(&mut self) {
+        if self.primed {
+            return;
+        }
+        self.primed = true;
         if let Some(script) = self.script {
             if let Some(first) = script.packets().first() {
                 if first.at < self.gen_deadline {
-                    self.queue.schedule(first.at, Event::GenerateScripted { idx: 0 });
+                    self.queue
+                        .schedule(first.at, Event::GenerateScripted { idx: 0 });
                 }
             }
             return;
@@ -499,12 +538,22 @@ impl<'a> Network<'a> {
                 vl,
                 packet,
             } => self.on_header_arrive(now, sw, port, vl, packet),
-            Event::RouteDone { sw, port, vl, id } => self.on_route_done(now, sw, port, vl, id),
+            Event::RouteDone {
+                sw,
+                port,
+                vl,
+                handle,
+            } => self.on_route_done(now, sw, port, vl, handle),
             Event::Arbitrate { sw } => {
                 self.switches[sw.index()].arb_pending = false;
                 self.arbitrate(now, sw);
             }
-            Event::TxDone { sw, port, vl, id } => self.on_tx_done(now, sw, port, vl, id),
+            Event::TxDone {
+                sw,
+                port,
+                vl,
+                handle,
+            } => self.on_tx_done(now, sw, port, vl, handle),
             Event::CreditReturn {
                 target,
                 port,
@@ -657,8 +706,7 @@ impl<'a> Network<'a> {
                 packet,
             },
         );
-        self.queue
-            .schedule(now + ser, Event::TryInject { host });
+        self.queue.schedule(now + ser, Event::TryInject { host });
     }
 
     fn on_header_arrive(
@@ -672,9 +720,17 @@ impl<'a> Network<'a> {
         let id = packet.id;
         let ready_at = now + self.config.phys.routing_delay_ns;
         self.trace(id, now, TraceStep::ArrivedAt { sw, port, vl });
-        self.switches[sw.index()].inputs[port.index()].vls[vl.index()].push(packet, ready_at);
-        self.queue
-            .schedule(ready_at, Event::RouteDone { sw, port, vl, id });
+        let handle =
+            self.switches[sw.index()].inputs[port.index()].vls[vl.index()].push(packet, ready_at);
+        self.queue.schedule(
+            ready_at,
+            Event::RouteDone {
+                sw,
+                port,
+                vl,
+                handle,
+            },
+        );
     }
 
     fn on_route_done(
@@ -683,20 +739,20 @@ impl<'a> Network<'a> {
         sw: SwitchId,
         port: PortIndex,
         vl: VirtualLane,
-        id: PacketId,
+        handle: SlotHandle,
     ) {
         let dlid = {
             let buf = &self.switches[sw.index()].inputs[port.index()].vls[vl.index()];
-            buf.iter().find(|p| p.packet.id == id).map(|p| p.packet.dlid)
+            buf.get_slot(handle).map(|p| p.packet.dlid)
         };
         let Some(dlid) = dlid else {
-            return; // packet already gone (cannot happen before ready_at)
+            return; // residency already gone (cannot happen before ready_at)
         };
         let route = self
             .routing
             .route_shared(sw, dlid)
             .expect("forwarding tables are fully programmed");
-        self.switches[sw.index()].inputs[port.index()].vls[vl.index()].set_route(id, route);
+        self.switches[sw.index()].inputs[port.index()].vls[vl.index()].set_route_at(handle, route);
         self.schedule_arbitrate(now, sw);
     }
 
@@ -706,16 +762,13 @@ impl<'a> Network<'a> {
         sw: SwitchId,
         port: PortIndex,
         vl: VirtualLane,
-        id: PacketId,
+        handle: SlotHandle,
     ) {
         let removed = self.switches[sw.index()].inputs[port.index()].vls[vl.index()]
-            .remove(id)
+            .remove_at(handle)
             .expect("tx-done packet still buffered");
         // Return the freed credits to whoever feeds this input port.
-        let upstream = self
-            .topo
-            .endpoint(sw, port)
-            .expect("input port is wired");
+        let upstream = self.topo.endpoint(sw, port).expect("input port is wired");
         self.queue.schedule(
             now + self.config.phys.propagation_ns,
             Event::CreditReturn {
@@ -759,11 +812,45 @@ impl<'a> Network<'a> {
         }
     }
 
+    /// Process up to `max_events` further events (priming the generators
+    /// on first use), stopping early at the configured horizon. Returns
+    /// the number of events actually processed. A stepping hook for
+    /// benchmarks and diagnostics; [`Self::run`] and
+    /// [`Self::run_until_drained`] remain the measurement entry points.
+    pub fn advance(&mut self, max_events: u64) -> u64 {
+        self.prime();
+        let horizon = self.config.horizon();
+        let mut n = 0;
+        while n < max_events {
+            let Some((now, ev)) = self.queue.pop_until(horizon) else {
+                break;
+            };
+            self.dispatch(now, ev);
+            n += 1;
+        }
+        n
+    }
+
+    /// One §4.3 arbitration sweep over every switch at the current
+    /// simulated time, returning the total number of grants. The
+    /// microbenchmark probe for the arbitration hot path; grants made
+    /// here reserve resources and schedule downstream events exactly as
+    /// in-loop arbitration does.
+    pub fn arbitrate_pass(&mut self) -> usize {
+        let now = self.queue.now();
+        let mut grants = 0;
+        for s in 0..self.switches.len() {
+            grants += self.arbitrate(now, SwitchId(s as u16));
+        }
+        grants
+    }
+
     /// One arbitration pass: repeatedly grant feasible (input, output)
     /// matches until no further progress, with a round-robin cursor over
-    /// input ports for fairness.
-    fn arbitrate(&mut self, now: SimTime, sw: SwitchId) {
+    /// input ports for fairness. Returns the number of grants made.
+    fn arbitrate(&mut self, now: SimTime, sw: SwitchId) -> usize {
         let nports = self.topo.ports_per_switch() as usize;
+        let mut grants = 0;
         loop {
             let mut progress = false;
             for k in 0..nports {
@@ -774,6 +861,7 @@ impl<'a> Network<'a> {
                 if let Some(d) = self.pick_for_input(now, sw, ip) {
                     self.start_forward(now, sw, d);
                     progress = true;
+                    grants += 1;
                 }
             }
             let st = &mut self.switches[sw.index()];
@@ -782,6 +870,7 @@ impl<'a> Network<'a> {
                 break;
             }
         }
+        grants
     }
 
     /// Find one forwardable candidate in input port `ip`'s buffers.
@@ -804,7 +893,7 @@ impl<'a> Network<'a> {
                 }
                 cands
             };
-            for (idx, read_point) in cands {
+            for &(idx, read_point) in &cands {
                 if let Some(d) = self.pick_option(now, sw, ip, vl, idx, read_point) {
                     // Advance the VL cursor past the served lane.
                     self.switches[sw.index()].inputs[ip].vl_cursor = (vl + 1) % nvls;
@@ -835,12 +924,14 @@ impl<'a> Network<'a> {
         let sl = bp.packet.sl;
         let route = bp.route.as_ref().expect("candidate is routed");
 
-        let adaptive_allowed = read_point == ReadPoint::AdaptiveHead
-            || self.config.adaptive_from_escape_head;
+        let adaptive_allowed =
+            read_point == ReadPoint::AdaptiveHead || self.config.adaptive_from_escape_head;
 
         // Collect feasible adaptive options with their free adaptive-queue
-        // credits (host ports are infinite sinks).
-        let mut feasible: Vec<(PortIndex, VirtualLane, u32)> = Vec::new();
+        // credits (host ports are infinite sinks). At most one option per
+        // switch port, so the list lives on the stack — arbitration runs
+        // once per event and must not allocate.
+        let mut feasible: InlineVec<(PortIndex, VirtualLane, u32), MAX_PORTS> = InlineVec::new();
         if adaptive_allowed {
             for &op in &route.adaptive {
                 let out = &st.outputs[op.index()];
@@ -865,7 +956,7 @@ impl<'a> Network<'a> {
                 // Most free adaptive-queue space wins; random tie-break
                 // among equals keeps the load balanced.
                 feasible.iter().map(|f| f.2).max().map(|best| {
-                    let ties: Vec<_> =
+                    let ties: InlineVec<_, MAX_PORTS> =
                         feasible.iter().filter(|f| f.2 == best).copied().collect();
                     ties[self.arb_rng.below(ties.len())]
                 })
@@ -880,6 +971,8 @@ impl<'a> Network<'a> {
             return Some(Decision {
                 input: ip,
                 vl,
+                idx,
+                handle: st.inputs[ip].vls[vl].handle_at(idx),
                 packet_id: bp.packet.id,
                 out_port: op,
                 out_vl,
@@ -904,6 +997,8 @@ impl<'a> Network<'a> {
         ok.then_some(Decision {
             input: ip,
             vl,
+            idx,
+            handle: st.inputs[ip].vls[vl].handle_at(idx),
             packet_id: bp.packet.id,
             out_port: op,
             out_vl,
@@ -917,21 +1012,18 @@ impl<'a> Network<'a> {
     fn start_forward(&mut self, now: SimTime, sw: SwitchId, d: Decision) {
         let st = &mut self.switches[sw.index()];
         let buf = &mut st.inputs[d.input].vls[d.vl];
-        let idx = buf
-            .iter()
-            .position(|p| p.packet.id == d.packet_id)
-            .expect("decision packet resident");
 
-        // Update the packet in place before cloning it downstream.
+        // Clone the packet for the downstream hop, updating its counters.
         let (packet, ser) = {
-            let bp = buf.get(idx);
+            let bp = buf.get(d.idx);
+            debug_assert_eq!(bp.packet.id, d.packet_id);
             let mut p = bp.packet.clone();
             p.hops += 1;
             p.escape_uses += u32::from(d.via_escape);
             let ser = self.config.phys.serialization_ns(p.size_bytes);
             (p, ser)
         };
-        buf.mark_in_flight(idx);
+        buf.mark_in_flight(d.idx);
         st.inputs[d.input].read_busy_until = now + ser;
         let out = &mut st.outputs[d.out_port.index()];
         out.busy_until = now + ser;
@@ -984,7 +1076,7 @@ impl<'a> Network<'a> {
                 sw,
                 port: PortIndex(d.input as u8),
                 vl: VirtualLane(d.vl as u8),
-                id: d.packet_id,
+                handle: d.handle,
             },
         );
     }

@@ -14,7 +14,7 @@
 
 use iba_core::{HostId, Lid, Packet, RoutingMode, ServiceLevel, SimTime};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::time::Duration;
 
 /// A latency histogram with power-of-two buckets: bucket `i` counts
 /// samples in `[2^i, 2^(i+1))` nanoseconds (bucket 0 also holds 0 ns).
@@ -94,21 +94,70 @@ pub struct StatsCollector {
     max_host_queue: usize,
     /// Packets discarded at full source queues (finite-queue mode).
     pub source_drops: u64,
-    /// Per (src, DLID, SL) flow: highest sequence number delivered by a
-    /// deterministic packet, to detect ordering violations. IBA orders
-    /// traffic per path and service level: the exact DLID names the path
-    /// (both under the paper's scheme — where the low bit selects
-    /// deterministic routing — and under source-selected multipath, where
-    /// each address is a distinct fixed path); different SLs may ride
-    /// different VLs and overtake freely.
-    last_det_seq: HashMap<(HostId, Lid, ServiceLevel), u64>,
+    /// Per (src, DLID, SL) flow order tracker.
+    last_det_seq: OrderTracker,
     /// Number of deterministic packets delivered out of order.
     pub order_violations: u64,
 }
 
+/// Per-flow in-order tracker: the highest sequence number delivered by a
+/// deterministic packet of each `(src, DLID, SL)` flow. IBA orders
+/// traffic per path and service level: the exact DLID names the path
+/// (both under the paper's scheme — where the low bit selects
+/// deterministic routing — and under source-selected multipath, where
+/// each address is a distinct fixed path); different SLs may ride
+/// different VLs and overtake freely.
+///
+/// The key space is small and dense — sources × the LID table length ×
+/// 16 service levels — so the tracker is a flat array indexed by
+/// `(src, dlid, sl)` rather than a hash map: the per-delivery update is
+/// one multiply-add and one store, with no hashing in the event loop.
+/// Sequence numbers start at 0 and `0` doubles as "nothing delivered
+/// yet", exactly like the old map's `or_insert(0)`.
+#[derive(Debug)]
+struct OrderTracker {
+    /// `sources * lid_space * 16` entries, lazily grown if a flow outside
+    /// the declared dimensions ever shows up.
+    last: Vec<u64>,
+    /// LIDs per source stripe (the routing table length).
+    lid_space: usize,
+}
+
+impl OrderTracker {
+    const SLS: usize = 16;
+
+    fn new(num_hosts: usize, lid_space: usize) -> OrderTracker {
+        let lid_space = lid_space.max(1);
+        OrderTracker {
+            last: vec![0; num_hosts * lid_space * Self::SLS],
+            lid_space,
+        }
+    }
+
+    #[inline]
+    fn slot(&mut self, src: HostId, dlid: Lid, sl: ServiceLevel) -> &mut u64 {
+        let idx = (src.index() * self.lid_space + dlid.0 as usize) * Self::SLS
+            + (sl.0 as usize & (Self::SLS - 1));
+        if idx >= self.last.len() {
+            // A flow outside the declared dimensions (only reachable when
+            // the collector was built with placeholder dims, e.g. unit
+            // tests): grow instead of corrupting a neighbour's slot.
+            self.last.resize(idx + 1, 0);
+        }
+        &mut self.last[idx]
+    }
+}
+
 impl StatsCollector {
     /// Collector for a `[window_start, window_end)` measurement window.
-    pub fn new(window_start: SimTime, window_end: SimTime) -> StatsCollector {
+    /// `num_hosts` and `lid_space` (the routing-table length) size the
+    /// dense in-order tracker.
+    pub fn new(
+        window_start: SimTime,
+        window_end: SimTime,
+        num_hosts: usize,
+        lid_space: usize,
+    ) -> StatsCollector {
         StatsCollector {
             window_start,
             window_end,
@@ -126,7 +175,7 @@ impl StatsCollector {
             adaptive_forwards: 0,
             max_host_queue: 0,
             source_drops: 0,
-            last_det_seq: HashMap::new(),
+            last_det_seq: OrderTracker::new(num_hosts, lid_space),
             order_violations: 0,
         }
     }
@@ -180,8 +229,7 @@ impl StatsCollector {
             self.hops_sum += packet.hops as u64;
         }
         if packet.mode() == RoutingMode::Deterministic {
-            let key = (packet.src, packet.dlid, packet.sl);
-            let last = self.last_det_seq.entry(key).or_insert(0);
+            let last = self.last_det_seq.slot(packet.src, packet.dlid, packet.sl);
             if packet.seq < *last {
                 self.order_violations += 1;
             } else {
@@ -190,9 +238,11 @@ impl StatsCollector {
         }
     }
 
-    /// Finalize into a [`RunResult`], given the number of switches.
-    pub fn finish(&self, num_switches: usize, events: u64) -> RunResult {
+    /// Finalize into a [`RunResult`], given the number of switches, the
+    /// events processed, and the wall-clock time the event loop took.
+    pub fn finish(&self, num_switches: usize, events: u64, wall: Duration) -> RunResult {
         let window_ns = self.window_end.since(self.window_start);
+        let wall_time_s = wall.as_secs_f64();
         RunResult {
             generated: self.generated,
             injected: self.injected,
@@ -222,12 +272,23 @@ impl StatsCollector {
             max_host_queue: self.max_host_queue,
             source_drops: self.source_drops,
             events,
+            wall_time_s,
+            events_per_sec: if wall_time_s > 0.0 {
+                events as f64 / wall_time_s
+            } else {
+                0.0
+            },
         }
     }
 }
 
 /// The outcome of one simulation run.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+///
+/// Equality compares the *simulated* outcome only — [`Self::wall_time_s`]
+/// and [`Self::events_per_sec`] are host-machine measurements and are
+/// excluded, so two deterministic runs (e.g. on different event-queue
+/// backends) compare equal exactly when they simulated the same thing.
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct RunResult {
     /// Packets generated at sources.
     pub generated: u64,
@@ -262,6 +323,35 @@ pub struct RunResult {
     pub source_drops: u64,
     /// Discrete events processed.
     pub events: u64,
+    /// Wall-clock seconds the event loop ran (host-machine measurement,
+    /// excluded from equality).
+    pub wall_time_s: f64,
+    /// Events processed per wall-clock second (host-machine measurement,
+    /// excluded from equality).
+    pub events_per_sec: f64,
+}
+
+impl PartialEq for RunResult {
+    fn eq(&self, other: &Self) -> bool {
+        // Everything except the wall-clock fields; f64 semantics match
+        // what the derive would do (NaN != NaN).
+        self.generated == other.generated
+            && self.injected == other.injected
+            && self.delivered == other.delivered
+            && self.avg_latency_ns == other.avg_latency_ns
+            && self.max_latency_ns == other.max_latency_ns
+            && self.p50_latency_ns == other.p50_latency_ns
+            && self.p99_latency_ns == other.p99_latency_ns
+            && self.measured_packets == other.measured_packets
+            && self.accepted_bytes_per_ns_per_switch == other.accepted_bytes_per_ns_per_switch
+            && self.avg_hops == other.avg_hops
+            && self.escape_forwards == other.escape_forwards
+            && self.adaptive_forwards == other.adaptive_forwards
+            && self.order_violations == other.order_violations
+            && self.max_host_queue == other.max_host_queue
+            && self.source_drops == other.source_drops
+            && self.events == other.events
+    }
 }
 
 impl RunResult {
@@ -297,7 +387,7 @@ mod tests {
     }
 
     fn collector() -> StatsCollector {
-        StatsCollector::new(SimTime::from_ns(1000), SimTime::from_ns(2000))
+        StatsCollector::new(SimTime::from_ns(1000), SimTime::from_ns(2000), 4, 16)
     }
 
     #[test]
@@ -311,7 +401,7 @@ mod tests {
         // Generated inside the window: latency measured.
         c.on_generated(SimTime::from_ns(1200));
         c.on_delivered(&packet(2, true, 1200), SimTime::from_ns(1500));
-        let r = c.finish(4, 0);
+        let r = c.finish(4, 0, Duration::ZERO);
         assert_eq!(r.measured_packets, 1);
         assert!((r.avg_latency_ns - 300.0).abs() < 1e-9);
         assert_eq!(r.max_latency_ns, 300);
@@ -325,7 +415,7 @@ mod tests {
         c.on_delivered(&packet(2, true, 0), SimTime::from_ns(1000)); // inside
         c.on_delivered(&packet(3, true, 0), SimTime::from_ns(1999)); // inside
         c.on_delivered(&packet(4, true, 0), SimTime::from_ns(2000)); // after
-        let r = c.finish(2, 0);
+        let r = c.finish(2, 0, Duration::ZERO);
         // 64 bytes over 1000 ns over 2 switches.
         assert!((r.accepted_bytes_per_ns_per_switch - 0.032).abs() < 1e-12);
         assert_eq!(r.delivered, 4);
@@ -345,7 +435,7 @@ mod tests {
 
     #[test]
     fn empty_run_yields_nan_latency_and_zero_traffic() {
-        let r = collector().finish(4, 7);
+        let r = collector().finish(4, 7, Duration::ZERO);
         assert!(r.avg_latency_ns.is_nan());
         assert!(r.avg_hops.is_nan());
         assert_eq!(r.accepted_bytes_per_ns_per_switch, 0.0);
@@ -359,9 +449,12 @@ mod tests {
         c.on_adaptive_forward();
         c.on_adaptive_forward();
         c.on_adaptive_forward();
-        let r = c.finish(1, 0);
+        let r = c.finish(1, 0, Duration::ZERO);
         assert!((r.escape_fraction() - 0.25).abs() < 1e-12);
-        assert_eq!(collector().finish(1, 0).escape_fraction(), 0.0);
+        assert_eq!(
+            collector().finish(1, 0, Duration::ZERO).escape_fraction(),
+            0.0
+        );
     }
 
     #[test]
@@ -395,10 +488,13 @@ mod tests {
     fn percentiles_flow_into_run_result() {
         let mut c = collector();
         c.on_delivered(&packet(1, true, 1100), SimTime::from_ns(1400));
-        let r = c.finish(1, 0);
+        let r = c.finish(1, 0, Duration::ZERO);
         assert_eq!(r.p50_latency_ns, Some(512)); // 300 ns → bucket [256,512)
         assert_eq!(r.p99_latency_ns, Some(512));
-        assert_eq!(collector().finish(1, 0).p50_latency_ns, None);
+        assert_eq!(
+            collector().finish(1, 0, Duration::ZERO).p50_latency_ns,
+            None
+        );
     }
 
     #[test]
@@ -407,7 +503,7 @@ mod tests {
         c.on_injected(3);
         c.on_injected(10);
         c.on_injected(5);
-        let r = c.finish(1, 0);
+        let r = c.finish(1, 0, Duration::ZERO);
         assert_eq!(r.injected, 3);
         assert_eq!(r.max_host_queue, 10);
     }

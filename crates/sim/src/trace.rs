@@ -68,7 +68,15 @@ impl PacketTrace {
     pub fn escape_hops(&self) -> usize {
         self.steps
             .iter()
-            .filter(|(_, s)| matches!(s, TraceStep::Forwarded { via_escape: true, .. }))
+            .filter(|(_, s)| {
+                matches!(
+                    s,
+                    TraceStep::Forwarded {
+                        via_escape: true,
+                        ..
+                    }
+                )
+            })
             .count()
     }
 
@@ -80,9 +88,10 @@ impl PacketTrace {
     /// End-to-end latency, if completed.
     pub fn latency_ns(&self) -> Option<u64> {
         match (self.steps.first(), self.steps.last()) {
-            (Some((start, TraceStep::Generated { .. })), Some((end, TraceStep::Delivered { .. }))) => {
-                Some(end.since(*start))
-            }
+            (
+                Some((start, TraceStep::Generated { .. })),
+                Some((end, TraceStep::Delivered { .. })),
+            ) => Some(end.since(*start)),
             _ => None,
         }
     }
@@ -104,8 +113,16 @@ impl PacketTrace {
                     from_escape_head,
                 } => format!(
                     "{at:>12}  {sw} → {out_port} via {}{}",
-                    if *via_escape { "ESCAPE option" } else { "adaptive option" },
-                    if *from_escape_head { " (escape read point)" } else { "" },
+                    if *via_escape {
+                        "ESCAPE option"
+                    } else {
+                        "adaptive option"
+                    },
+                    if *from_escape_head {
+                        " (escape read point)"
+                    } else {
+                        ""
+                    },
                 ),
                 TraceStep::Delivered { host } => format!("{at:>12}  delivered at {host}"),
             };
@@ -187,7 +204,9 @@ mod tests {
     #[test]
     fn journey_metrics() {
         let mut trace = PacketTrace::default();
-        trace.steps.push((t(100), TraceStep::Generated { host: HostId(0) }));
+        trace
+            .steps
+            .push((t(100), TraceStep::Generated { host: HostId(0) }));
         trace.steps.push((t(150), TraceStep::Injected));
         trace.steps.push((
             t(250),
@@ -206,7 +225,9 @@ mod tests {
                 from_escape_head: false,
             },
         ));
-        trace.steps.push((t(800), TraceStep::Delivered { host: HostId(5) }));
+        trace
+            .steps
+            .push((t(800), TraceStep::Delivered { host: HostId(5) }));
         assert!(trace.completed());
         assert_eq!(trace.hops(), 1);
         assert_eq!(trace.escape_hops(), 1);
@@ -219,7 +240,9 @@ mod tests {
     #[test]
     fn incomplete_journey_has_no_latency() {
         let mut trace = PacketTrace::default();
-        trace.steps.push((t(1), TraceStep::Generated { host: HostId(0) }));
+        trace
+            .steps
+            .push((t(1), TraceStep::Generated { host: HostId(0) }));
         assert!(!trace.completed());
         assert_eq!(trace.latency_ns(), None);
     }

@@ -1,0 +1,108 @@
+//! Event-queue backend equivalence: the binary-heap and calendar
+//! backends must be indistinguishable from inside the simulation.
+//!
+//! Both backends promise the same contract — events pop in `(time, seq)`
+//! order, so same-time events keep schedule-order FIFO — and everything
+//! downstream (arbitration, flow control, statistics) is deterministic
+//! given that stream. Hence two runs of the same scenario that differ
+//! *only* in `SimConfig::queue_backend` must produce bit-identical
+//! [`RunResult`]s (wall-clock fields excluded by its `PartialEq`) and,
+//! stronger, an identical per-packet forwarding trace.
+
+use iba_routing::{FaRouting, RoutingConfig};
+use iba_sim::{Network, QueueBackend, RunResult, SimConfig, TraceStep};
+use iba_topology::IrregularConfig;
+use iba_workloads::WorkloadSpec;
+use proptest::prelude::*;
+
+fn run_with_backend(
+    topo_seed: u64,
+    sim_seed: u64,
+    load: f64,
+    fraction: f64,
+    backend: QueueBackend,
+) -> RunResult {
+    let topo = IrregularConfig::paper(8, topo_seed).generate().unwrap();
+    let fa = FaRouting::build(&topo, RoutingConfig::two_options()).unwrap();
+    let spec = WorkloadSpec::uniform32(load).with_adaptive_fraction(fraction);
+    let mut cfg = SimConfig::test(sim_seed);
+    cfg.queue_backend = backend;
+    let mut net = Network::new(&topo, &fa, spec, cfg).unwrap();
+    net.run()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+    /// For arbitrary small scenarios, swapping the event-queue backend
+    /// changes nothing observable about the simulation.
+    #[test]
+    fn prop_backends_produce_identical_results(
+        topo_seed in 0u64..500,
+        sim_seed in any::<u64>(),
+        load_idx in 0usize..3,
+        frac_idx in 0usize..3,
+    ) {
+        let load = [0.01f64, 0.08, 0.25][load_idx];
+        let fraction = [0.0f64, 0.5, 1.0][frac_idx];
+        let heap = run_with_backend(topo_seed, sim_seed, load, fraction, QueueBackend::BinaryHeap);
+        let cal = run_with_backend(topo_seed, sim_seed, load, fraction, QueueBackend::Calendar);
+        prop_assert_eq!(&heap, &cal);
+        // PartialEq skips the host-machine timing fields; the simulated
+        // event count must still agree exactly.
+        prop_assert_eq!(heap.events, cal.events);
+    }
+}
+
+/// Digest of every forwarding decision a run makes (same fold as the
+/// golden-trace test): packet id, time, switch, port, escape class.
+fn trace_digest(backend: QueueBackend) -> (u64, u64) {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    fn fnv(mut h: u64, x: u64) -> u64 {
+        for b in x.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        h
+    }
+
+    let topo = IrregularConfig::paper(16, 9).generate().unwrap();
+    let fa = FaRouting::build(&topo, RoutingConfig::two_options()).unwrap();
+    let spec = WorkloadSpec::uniform32(0.05).with_adaptive_fraction(0.7);
+    let mut cfg = SimConfig::test(11);
+    cfg.queue_backend = backend;
+    let mut net = Network::new(&topo, &fa, spec, cfg).unwrap();
+    net.enable_tracing(1, 1_000_000);
+    let result = net.run();
+
+    let tracer = net.tracer().expect("tracing enabled");
+    let mut ids: Vec<_> = tracer.traces().keys().copied().collect();
+    ids.sort();
+    let mut digest = FNV_OFFSET;
+    for id in ids {
+        for (at, step) in &tracer.trace(id).unwrap().steps {
+            if let TraceStep::Forwarded {
+                sw,
+                out_port,
+                via_escape,
+                from_escape_head,
+            } = step
+            {
+                digest = fnv(digest, id.0);
+                digest = fnv(digest, at.as_ns());
+                digest = fnv(digest, sw.0 as u64);
+                digest = fnv(digest, out_port.0 as u64);
+                digest = fnv(digest, *via_escape as u64);
+                digest = fnv(digest, *from_escape_head as u64);
+            }
+        }
+    }
+    (digest, result.events)
+}
+
+#[test]
+fn backends_produce_identical_forwarding_traces() {
+    let heap = trace_digest(QueueBackend::BinaryHeap);
+    let cal = trace_digest(QueueBackend::Calendar);
+    assert_eq!(heap, cal, "per-decision trace diverged between backends");
+}

@@ -182,8 +182,18 @@ fn adaptive_routing_outperforms_deterministic_under_congestion() {
     let topo = IrregularConfig::paper(16, 6).generate().unwrap();
     let fa = routing(&topo, 2);
     let rate = 0.06; // past up*/down* saturation
-    let det = run(&topo, &fa, WorkloadSpec::uniform32(rate).with_adaptive_fraction(0.0), SimConfig::test(3));
-    let ada = run(&topo, &fa, WorkloadSpec::uniform32(rate).with_adaptive_fraction(1.0), SimConfig::test(3));
+    let det = run(
+        &topo,
+        &fa,
+        WorkloadSpec::uniform32(rate).with_adaptive_fraction(0.0),
+        SimConfig::test(3),
+    );
+    let ada = run(
+        &topo,
+        &fa,
+        WorkloadSpec::uniform32(rate).with_adaptive_fraction(1.0),
+        SimConfig::test(3),
+    );
     assert!(
         ada.accepted_bytes_per_ns_per_switch > det.accepted_bytes_per_ns_per_switch * 1.1,
         "adaptive {} vs deterministic {}",
@@ -199,7 +209,12 @@ fn accepted_traffic_saturates_with_offered_load() {
     let mut last = 0.0;
     let mut results = Vec::new();
     for rate in [0.005, 0.02, 0.08, 0.32] {
-        let r = run(&topo, &fa, WorkloadSpec::uniform32(rate), SimConfig::test(9));
+        let r = run(
+            &topo,
+            &fa,
+            WorkloadSpec::uniform32(rate),
+            SimConfig::test(9),
+        );
         results.push(r.accepted_bytes_per_ns_per_switch);
     }
     // Monotone non-decreasing (within 5 % noise) and the low-load point
@@ -425,7 +440,14 @@ mod scripted {
         let fa = routing(&topo, 2);
         let script = TrafficScript::new(
             (0..200u64)
-                .map(|i| entry(1_000 + i * 500, (i % 32) as u16, ((i * 7 + 1) % 32) as u16, i % 2 == 0))
+                .map(|i| {
+                    entry(
+                        1_000 + i * 500,
+                        (i % 32) as u16,
+                        ((i * 7 + 1) % 32) as u16,
+                        i % 2 == 0,
+                    )
+                })
                 .collect(),
         )
         .unwrap();

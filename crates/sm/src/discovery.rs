@@ -166,7 +166,8 @@ impl Discoverer {
         let mut queue: VecDeque<DirectedRoute> = VecDeque::from([DirectedRoute::local()]);
         // The entry route's NodeInfo seeds the sweep.
         while let Some(route) = queue.pop_front() {
-            let resp = fabric.send(&self.smp(SmpMethod::Get, SmpAttribute::NodeInfo, route.clone()));
+            let resp =
+                fabric.send(&self.smp(SmpMethod::Get, SmpAttribute::NodeInfo, route.clone()));
             let SmpResponse::NodeInfo {
                 kind: NodeKind::Switch { ports },
                 guid,

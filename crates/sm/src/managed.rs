@@ -8,9 +8,7 @@
 //! must learn and configure everything through this interface, exactly
 //! like a real SM.
 
-use crate::mad::{
-    DirectedRoute, NodeKind, PortState, Smp, SmpAttribute, SmpMethod, SmpResponse,
-};
+use crate::mad::{DirectedRoute, NodeKind, PortState, Smp, SmpAttribute, SmpMethod, SmpResponse};
 use iba_core::{Lid, NodeRef, ServiceLevel as Sl, SwitchId};
 use iba_routing::{InterleavedForwardingTable, SlToVlTable};
 use iba_topology::Topology;
@@ -181,11 +179,7 @@ impl<'a> ManagedFabric<'a> {
                             return SmpResponse::Unsupported;
                         }
                         for (sl, vl) in vls.iter().enumerate() {
-                            if agent
-                                .sl2vl
-                                .set(*input, *output, Sl(sl as u8), *vl)
-                                .is_err()
-                            {
+                            if agent.sl2vl.set(*input, *output, Sl(sl as u8), *vl).is_err() {
                                 return SmpResponse::Unsupported;
                             }
                         }
@@ -311,7 +305,10 @@ mod tests {
         assert_eq!(entries[6], Some(PortIndex(1)));
         assert_eq!(entries[7], None);
         // The write landed at linear addresses 69/70 of the agent table.
-        assert_eq!(fab.agent(fab.sm_switch()).lft.get(Lid(69)), Some(PortIndex(2)));
+        assert_eq!(
+            fab.agent(fab.sm_switch()).lft.get(Lid(69)),
+            Some(PortIndex(2))
+        );
     }
 
     #[test]
@@ -324,9 +321,7 @@ mod tests {
         for p in 0..3 {
             let resp = fab.send(&smp(
                 SmpMethod::Get,
-                SmpAttribute::PortInfo {
-                    port: PortIndex(p),
-                },
+                SmpAttribute::PortInfo { port: PortIndex(p) },
                 DirectedRoute::local(),
             ));
             let SmpResponse::PortInfo { state } = resp else {
@@ -334,7 +329,10 @@ mod tests {
             };
             states.push(state);
         }
-        assert!(states.contains(&PortState::Down), "chain end must have a down port");
+        assert!(
+            states.contains(&PortState::Down),
+            "chain end must have a down port"
+        );
         assert!(states.contains(&PortState::Up));
     }
 
@@ -356,12 +354,16 @@ mod tests {
         assert_eq!(resp, SmpResponse::Ok);
         let agent = fab.agent(fab.sm_switch());
         assert_eq!(
-            agent.sl2vl.vl_for(PortIndex(0), PortIndex(1), iba_core::ServiceLevel(3)),
+            agent
+                .sl2vl
+                .vl_for(PortIndex(0), PortIndex(1), iba_core::ServiceLevel(3)),
             VirtualLane(1)
         );
         // Unprogrammed rows keep the power-on default (VL0).
         assert_eq!(
-            agent.sl2vl.vl_for(PortIndex(1), PortIndex(0), iba_core::ServiceLevel(3)),
+            agent
+                .sl2vl
+                .vl_for(PortIndex(1), PortIndex(0), iba_core::ServiceLevel(3)),
             VirtualLane(0)
         );
         // Short rows are rejected.

@@ -209,8 +209,7 @@ mod tests {
             let mut fabric = ManagedFabric::new(&topo, fanout).unwrap();
             let discovered = Discoverer::new().discover(&mut fabric).unwrap();
             let rebuilt = discovered.to_topology().unwrap();
-            let routing =
-                FaRouting::build(&rebuilt, RoutingConfig::with_options(4)).unwrap();
+            let routing = FaRouting::build(&rebuilt, RoutingConfig::with_options(4)).unwrap();
             let report = Programmer::new()
                 .program(&mut fabric, &discovered, &routing)
                 .unwrap();

@@ -145,7 +145,10 @@ impl Topology {
 
     /// Number of (undirected) inter-switch links.
     pub fn num_switch_links(&self) -> usize {
-        self.switch_ids().map(|s| self.switch_degree(s)).sum::<usize>() / 2
+        self.switch_ids()
+            .map(|s| self.switch_degree(s))
+            .sum::<usize>()
+            / 2
     }
 
     /// All-pairs shortest-path distances over the *switch* graph (hops
@@ -195,7 +198,9 @@ impl Topology {
         if self.switches.is_empty() {
             return true;
         }
-        self.distances_from(SwitchId(0)).iter().all(|&d| d != u32::MAX)
+        self.distances_from(SwitchId(0))
+            .iter()
+            .all(|&d| d != u32::MAX)
     }
 
     /// Render the subnet as a Graphviz DOT graph: switches as boxes
@@ -314,7 +319,9 @@ impl Topology {
             return Err(IbaError::InvalidTopology(format!("h{h} not attached")));
         }
         if !self.is_connected() {
-            return Err(IbaError::InvalidTopology("switch graph disconnected".into()));
+            return Err(IbaError::InvalidTopology(
+                "switch graph disconnected".into(),
+            ));
         }
         Ok(())
     }
@@ -361,7 +368,11 @@ impl TopologyBuilder {
 
     /// Number of free ports left on `s`.
     pub fn free_ports(&self, s: SwitchId) -> usize {
-        self.switches[s.index()].ports.iter().filter(|p| p.is_none()).count()
+        self.switches[s.index()]
+            .ports
+            .iter()
+            .filter(|p| p.is_none())
+            .count()
     }
 
     /// Wire a link between `a` and `b` on their lowest free ports.
@@ -386,7 +397,9 @@ impl TopologyBuilder {
         pb: PortIndex,
     ) -> Result<(), IbaError> {
         if a == b {
-            return Err(IbaError::InvalidTopology(format!("{a} cannot link to itself")));
+            return Err(IbaError::InvalidTopology(format!(
+                "{a} cannot link to itself"
+            )));
         }
         if self.linked(a, b) {
             return Err(IbaError::InvalidTopology(format!(
@@ -442,10 +455,14 @@ impl TopologyBuilder {
         port: PortIndex,
     ) -> Result<HostId, IbaError> {
         if port.index() >= self.ports_per_switch as usize {
-            return Err(IbaError::InvalidTopology(format!("{switch} has no port {port}")));
+            return Err(IbaError::InvalidTopology(format!(
+                "{switch} has no port {port}"
+            )));
         }
         if self.switches[switch.index()].ports[port.index()].is_some() {
-            return Err(IbaError::InvalidTopology(format!("{switch}:{port} already wired")));
+            return Err(IbaError::InvalidTopology(format!(
+                "{switch}:{port} already wired"
+            )));
         }
         let host = HostId(self.hosts.len() as u16);
         self.switches[switch.index()].ports[port.index()] = Some(Endpoint {

@@ -99,8 +99,7 @@ impl IrregularConfig {
         repair_simple(&mut edges, self.switches, &mut rng)?;
         repair_connectivity(&mut edges, self.switches, &mut rng)?;
 
-        let mut builder =
-            TopologyBuilder::new(self.switches, self.ports_per_switch() as u8);
+        let mut builder = TopologyBuilder::new(self.switches, self.ports_per_switch() as u8);
         for &(a, b) in &edges {
             builder.connect(SwitchId(a as u16), SwitchId(b as u16))?;
         }
@@ -227,8 +226,7 @@ fn repair_connectivity(
         let outside_edges: Vec<usize> = (0..edges.len())
             .filter(|&i| dsu.find(edges[i].0) == comp_out)
             .collect();
-        let (Some(&ei), Some(&eo)) = (rng.choose(&inside_edges), rng.choose(&outside_edges))
-        else {
+        let (Some(&ei), Some(&eo)) = (rng.choose(&inside_edges), rng.choose(&outside_edges)) else {
             return Err(IbaError::GenerationFailed(
                 "component without edges cannot be joined (k = 0?)".into(),
             ));
@@ -315,7 +313,9 @@ mod tests {
         // 8 switches, 6 links each: 24 edges among 28 possible pairs —
         // stress for the simple-graph repair.
         for seed in 0..10 {
-            let t = IrregularConfig::paper_connected(8, seed).generate().unwrap();
+            let t = IrregularConfig::paper_connected(8, seed)
+                .generate()
+                .unwrap();
             for s in t.switch_ids() {
                 assert_eq!(t.switch_degree(s), 6);
             }

@@ -50,7 +50,11 @@ impl TopologyMetrics {
             hosts: topo.num_hosts(),
             switch_links: topo.num_switch_links(),
             diameter,
-            avg_distance: if pairs == 0 { 0.0 } else { sum as f64 / pairs as f64 },
+            avg_distance: if pairs == 0 {
+                0.0
+            } else {
+                sum as f64 / pairs as f64
+            },
             min_degree: degrees.iter().copied().min().unwrap_or(0),
             max_degree: degrees.iter().copied().max().unwrap_or(0),
         }
@@ -107,7 +111,10 @@ mod tests {
         assert_eq!(m.min_degree, 4);
         assert_eq!(m.max_degree, 4);
         assert_eq!(m.switch_links, 64);
-        assert!(m.diameter >= 2, "a 4-regular 32-switch graph cannot have diameter 1");
+        assert!(
+            m.diameter >= 2,
+            "a 4-regular 32-switch graph cannot have diameter 1"
+        );
         assert!(m.avg_distance > 1.0 && m.avg_distance < 10.0);
     }
 

@@ -12,7 +12,9 @@ use iba_core::{IbaError, SwitchId};
 /// A bidirectional ring of `n` switches (degree 2).
 pub fn ring(n: usize, hosts_per_switch: usize) -> Result<Topology, IbaError> {
     if n < 3 {
-        return Err(IbaError::InvalidConfig("ring needs at least 3 switches".into()));
+        return Err(IbaError::InvalidConfig(
+            "ring needs at least 3 switches".into(),
+        ));
     }
     let ports = 2 + hosts_per_switch;
     let mut b = TopologyBuilder::new(n, ports as u8);
@@ -26,7 +28,9 @@ pub fn ring(n: usize, hosts_per_switch: usize) -> Result<Topology, IbaError> {
 /// A `rows × cols` 2-D mesh (degree ≤ 4).
 pub fn mesh2d(rows: usize, cols: usize, hosts_per_switch: usize) -> Result<Topology, IbaError> {
     if rows == 0 || cols == 0 || rows * cols < 2 {
-        return Err(IbaError::InvalidConfig("mesh needs at least 2 switches".into()));
+        return Err(IbaError::InvalidConfig(
+            "mesh needs at least 2 switches".into(),
+        ));
     }
     let ports = 4 + hosts_per_switch;
     let id = |r: usize, c: usize| SwitchId((r * cols + c) as u16);
@@ -69,7 +73,9 @@ pub fn torus2d(rows: usize, cols: usize, hosts_per_switch: usize) -> Result<Topo
 /// A hypercube of dimension `dim` (2^dim switches, degree `dim`).
 pub fn hypercube(dim: u32, hosts_per_switch: usize) -> Result<Topology, IbaError> {
     if dim == 0 || dim > 10 {
-        return Err(IbaError::InvalidConfig("hypercube dimension must be 1..=10".into()));
+        return Err(IbaError::InvalidConfig(
+            "hypercube dimension must be 1..=10".into(),
+        ));
     }
     let n = 1usize << dim;
     let ports = dim as usize + hosts_per_switch;
@@ -89,7 +95,9 @@ pub fn hypercube(dim: u32, hosts_per_switch: usize) -> Result<Topology, IbaError
 /// A fully connected graph of `n` switches (degree `n − 1`).
 pub fn complete(n: usize, hosts_per_switch: usize) -> Result<Topology, IbaError> {
     if n < 2 {
-        return Err(IbaError::InvalidConfig("complete graph needs >= 2 switches".into()));
+        return Err(IbaError::InvalidConfig(
+            "complete graph needs >= 2 switches".into(),
+        ));
     }
     let ports = (n - 1) + hosts_per_switch;
     if ports > u8::MAX as usize {
@@ -109,7 +117,9 @@ pub fn complete(n: usize, hosts_per_switch: usize) -> Result<Topology, IbaError>
 /// shape for congestion tests.
 pub fn chain(n: usize, hosts_per_switch: usize) -> Result<Topology, IbaError> {
     if n < 2 {
-        return Err(IbaError::InvalidConfig("chain needs at least 2 switches".into()));
+        return Err(IbaError::InvalidConfig(
+            "chain needs at least 2 switches".into(),
+        ));
     }
     let ports = 2 + hosts_per_switch;
     let mut b = TopologyBuilder::new(n, ports as u8);
@@ -141,7 +151,7 @@ mod tests {
         let t = mesh2d(3, 4, 2).unwrap();
         assert_eq!(t.num_switches(), 12);
         assert_eq!(t.num_switch_links(), 3 * 3 + 2 * 4); // rows*(cols-1) + (rows-1)*cols
-        // Corner has degree 2, center degree 4.
+                                                         // Corner has degree 2, center degree 4.
         assert_eq!(t.switch_degree(SwitchId(0)), 2);
         assert_eq!(t.switch_degree(SwitchId(5)), 4);
         // Manhattan distance between opposite corners.

@@ -89,10 +89,14 @@ impl WorkloadSpec {
     /// Validate the parameters.
     pub fn validate(&self) -> Result<(), IbaError> {
         if self.packet_bytes == 0 {
-            return Err(IbaError::InvalidConfig("packet size must be positive".into()));
+            return Err(IbaError::InvalidConfig(
+                "packet size must be positive".into(),
+            ));
         }
         if !self.injection_rate.is_finite() || self.injection_rate <= 0.0 {
-            return Err(IbaError::InvalidConfig("injection rate must be positive".into()));
+            return Err(IbaError::InvalidConfig(
+                "injection rate must be positive".into(),
+            ));
         }
         if self.service_levels == 0 || self.service_levels > 16 {
             return Err(IbaError::InvalidConfig(format!(
@@ -289,14 +293,14 @@ mod tests {
     #[test]
     fn adaptive_fraction_is_respected() {
         for frac in [0.0, 0.25, 0.75, 1.0] {
-            let mut g = gen_for(0, WorkloadSpec::uniform32(0.01).with_adaptive_fraction(frac));
+            let mut g = gen_for(
+                0,
+                WorkloadSpec::uniform32(0.01).with_adaptive_fraction(frac),
+            );
             let n = 10_000;
             let hits = (0..n).filter(|_| g.generate().adaptive).count();
             let got = hits as f64 / n as f64;
-            assert!(
-                (got - frac).abs() < 0.02,
-                "fraction {frac}: observed {got}"
-            );
+            assert!((got - frac).abs() < 0.02, "fraction {frac}: observed {got}");
         }
     }
 
@@ -353,10 +357,13 @@ mod tests {
 
     #[test]
     fn generated_packets_carry_spec_size() {
-        let mut g = gen_for(2, WorkloadSpec {
-            packet_bytes: 256,
-            ..WorkloadSpec::uniform32(0.01)
-        });
+        let mut g = gen_for(
+            2,
+            WorkloadSpec {
+                packet_bytes: 256,
+                ..WorkloadSpec::uniform32(0.01)
+            },
+        );
         assert_eq!(g.generate().size_bytes, 256);
     }
 

@@ -295,7 +295,10 @@ mod tests {
         // ~20 % plus the uniform share (1/31) of the remaining 80 %.
         let expected = 0.20 + 0.80 / 31.0;
         let got = to_hs as f64 / (n as f64 * 31.0 / 32.0);
-        assert!((got - expected).abs() < 0.02, "got {got}, expected {expected}");
+        assert!(
+            (got - expected).abs() < 0.02,
+            "got {got}, expected {expected}"
+        );
     }
 
     #[test]

@@ -90,10 +90,7 @@ impl TrafficScript {
             }
             let parse = |s: &str, what: &str| -> Result<u64, IbaError> {
                 s.parse().map_err(|_| {
-                    IbaError::InvalidConfig(format!(
-                        "script line {}: bad {what} {s:?}",
-                        lineno + 1
-                    ))
+                    IbaError::InvalidConfig(format!("script line {}: bad {what} {s:?}", lineno + 1))
                 })
             };
             packets.push(ScriptedPacket {
@@ -162,7 +159,9 @@ impl TrafficScript {
 
     /// Whether any entry addresses the APM alternate path set.
     pub fn uses_alternate(&self) -> bool {
-        self.packets.iter().any(|p| p.path_set == PathSet::Alternate)
+        self.packets
+            .iter()
+            .any(|p| p.path_set == PathSet::Alternate)
     }
 
     /// The service levels used by each path set (primary, alternate) —
@@ -185,10 +184,7 @@ impl TrafficScript {
 
     /// Largest host id referenced (for population validation).
     pub fn max_host(&self) -> Option<HostId> {
-        self.packets
-            .iter()
-            .flat_map(|p| [p.src, p.dst])
-            .max()
+        self.packets.iter().flat_map(|p| [p.src, p.dst]).max()
     }
 
     /// Time of the last injection.
@@ -247,7 +243,8 @@ mod tests {
 
     #[test]
     fn csv_parsing_tolerates_comments_and_rejects_junk() {
-        let good = "# a trace\ntime_ns,src,dst,size_bytes,adaptive,sl\n10, 0, 1, 32, 1\n20,1,0,64,0,2\n";
+        let good =
+            "# a trace\ntime_ns,src,dst,size_bytes,adaptive,sl\n10, 0, 1, 32, 1\n20,1,0,64,0,2\n";
         let s = TrafficScript::from_csv(good).unwrap();
         assert_eq!(s.len(), 2);
         assert_eq!(s.packets()[0].sl, ServiceLevel(0)); // default SL

@@ -63,6 +63,8 @@ fn main() -> Result<(), IbaError> {
             sat / sat0
         );
     }
-    println!("\nThe paper reports factors of ~1.5 (8 sw) to ~3.3 (64 sw) for this setup (Table 1).");
+    println!(
+        "\nThe paper reports factors of ~1.5 (8 sw) to ~3.3 (64 sw) for this setup (Table 1)."
+    );
     Ok(())
 }

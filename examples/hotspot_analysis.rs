@@ -68,7 +68,10 @@ fn main() -> Result<(), IbaError> {
          taking advantage of using adaptive routing\"."
     );
     let uniform = factors[0].1;
-    let worst_hotspot = factors[1..].iter().map(|(_, f)| *f).fold(f64::MAX, f64::min);
+    let worst_hotspot = factors[1..]
+        .iter()
+        .map(|(_, f)| *f)
+        .fold(f64::MAX, f64::min);
     if worst_hotspot < uniform {
         println!(
             "Observed: uniform factor {:.2} vs lowest hot-spot factor {:.2} — shape holds.",

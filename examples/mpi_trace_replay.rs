@@ -58,15 +58,12 @@ fn main() -> Result<(), IbaError> {
 
     let ranks = topo.num_hosts() as u16; // one MPI rank per host
     let rounds = 40;
-    println!(
-        "trace: {ranks} ranks, {rounds} ring-exchange rounds (1 KiB bulk + control msgs)\n"
-    );
+    println!("trace: {ranks} ranks, {rounds} ring-exchange rounds (1 KiB bulk + control msgs)\n");
 
     for (label, adaptive) in [("bulk deterministic", false), ("bulk adaptive", true)] {
         let trace = ring_exchange_trace(ranks, rounds, adaptive);
         let mut net = Network::new_scripted(&topo, &routing, &trace, SimConfig::paper(2))?;
-        let (r, drained) =
-            net.run_until_drained(SimTime::from_ms(2), SimTime::from_ms(100));
+        let (r, drained) = net.run_until_drained(SimTime::from_ms(2), SimTime::from_ms(100));
         assert!(drained, "trace did not complete: {r:?}");
         println!(
             "{label:<19}: {} packets, avg latency {:.0} ns, p99 ≤ {} ns, completed at {}, {} reorderings",

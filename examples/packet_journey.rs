@@ -33,7 +33,11 @@ fn main() -> Result<(), IbaError> {
         .filter(|(_, t)| t.completed())
         .collect();
     completed.sort_by_key(|(id, _)| id.0);
-    println!("traced {} journeys ({} completed)\n", tracer.traces().len(), completed.len());
+    println!(
+        "traced {} journeys ({} completed)\n",
+        tracer.traces().len(),
+        completed.len()
+    );
 
     // Show the fastest all-adaptive journey and the one with the most
     // escape detours.
@@ -42,7 +46,10 @@ fn main() -> Result<(), IbaError> {
         .filter(|(_, t)| t.escape_hops() == 0)
         .min_by_key(|(_, t)| t.latency_ns().unwrap_or(u64::MAX))
     {
-        println!("== fastest all-adaptive journey ({id}, {} ns) ==", best.latency_ns().unwrap());
+        println!(
+            "== fastest all-adaptive journey ({id}, {} ns) ==",
+            best.latency_ns().unwrap()
+        );
         print!("{}", best.describe());
     }
     if let Some((id, detoured)) = completed.iter().max_by_key(|(_, t)| t.escape_hops()) {
@@ -82,7 +89,11 @@ fn main() -> Result<(), IbaError> {
     let (mut from_escape_head, mut total_hops) = (0u64, 0u64);
     for t in tracer.traces().values() {
         for (_, step) in &t.steps {
-            if let TraceStep::Forwarded { from_escape_head: fe, .. } = step {
+            if let TraceStep::Forwarded {
+                from_escape_head: fe,
+                ..
+            } = step
+            {
                 total_hops += 1;
                 from_escape_head += u64::from(*fe);
             }

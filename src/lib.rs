@@ -71,10 +71,12 @@ pub mod prelude {
         RoutingMode, ServiceLevel, SimTime, SwitchId, VirtualLane,
     };
     pub use iba_routing::{
-        FaRouting, InterleavedForwardingTable, MinimalRouting, OptionDistribution,
-        PathLengthStats, RouteOptions, RoutingConfig, SlToVlTable, UpDownRouting,
+        FaRouting, InterleavedForwardingTable, MinimalRouting, OptionDistribution, PathLengthStats,
+        RouteOptions, RoutingConfig, SlToVlTable, UpDownRouting,
     };
-    pub use iba_sim::{EscapeOrderPolicy, Network, RunResult, SelectionPolicy, SimConfig};
+    pub use iba_sim::{
+        EscapeOrderPolicy, Network, QueueBackend, RunResult, SelectionPolicy, SimConfig,
+    };
     pub use iba_sm::{ApmPlan, ManagedFabric, SubnetManager};
     pub use iba_stats::{Curve, CurvePoint, MinMaxAvg};
     pub use iba_topology::{regular, IrregularConfig, Topology, TopologyBuilder, TopologyMetrics};

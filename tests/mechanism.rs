@@ -144,7 +144,10 @@ fn escape_queue_engages_only_under_backpressure() {
         .unwrap();
         net.run()
     };
-    assert!(high.escape_forwards > 0, "saturation must engage escape queues");
+    assert!(
+        high.escape_forwards > 0,
+        "saturation must engage escape queues"
+    );
     assert!(high.delivered > 0);
 }
 
@@ -188,8 +191,7 @@ fn mixed_fabric_works_end_to_end() {
     let mut sats = Vec::new();
     for adaptive_count in [0usize, 8, 16] {
         let caps: Vec<bool> = (0..16).map(|i| i < adaptive_count).collect();
-        let routing =
-            FaRouting::build_mixed(&topo, RoutingConfig::two_options(), &caps).unwrap();
+        let routing = FaRouting::build_mixed(&topo, RoutingConfig::two_options(), &caps).unwrap();
         // Saturation probe.
         let mut best: f64 = 0.0;
         for load in [0.05f64, 0.11, 0.25] {
@@ -208,9 +210,11 @@ fn mixed_fabric_works_end_to_end() {
             SimConfig::test(5),
         )
         .unwrap();
-        let (r, drained) =
-            net.run_until_drained(SimTime::from_us(40), SimTime::from_ms(60));
-        assert!(drained, "{adaptive_count} adaptive switches: no drain: {r:?}");
+        let (r, drained) = net.run_until_drained(SimTime::from_us(40), SimTime::from_ms(60));
+        assert!(
+            drained,
+            "{adaptive_count} adaptive switches: no drain: {r:?}"
+        );
         assert!(net.is_quiescent());
     }
     // More adaptive switches must not hurt, and a fully adaptive fabric
@@ -248,7 +252,11 @@ fn apm_failover_migrates_traffic_to_alternate_paths() {
             adaptive: i % 2 == 0,
             // Path sets ride disjoint VLs: SL0→VL0 primary, SL1→VL1 alternate.
             sl: ServiceLevel(u8::from(migrated)),
-            path_set: if migrated { PathSet::Alternate } else { PathSet::Primary },
+            path_set: if migrated {
+                PathSet::Alternate
+            } else {
+                PathSet::Primary
+            },
         });
     }
     let script = TrafficScript::new(entries).unwrap();
@@ -284,7 +292,8 @@ fn apm_path_sets_must_ride_disjoint_vls() {
     cfg.data_vls = 2;
     assert!(Network::new_scripted(&topo, &routing, &bad, cfg).is_err());
     // Disjoint SLs → accepted.
-    let good = TrafficScript::new(vec![mk(PathSet::Primary, 0), mk(PathSet::Alternate, 1)]).unwrap();
+    let good =
+        TrafficScript::new(vec![mk(PathSet::Primary, 0), mk(PathSet::Alternate, 1)]).unwrap();
     assert!(Network::new_scripted(&topo, &routing, &good, cfg).is_ok());
     // Alternate entries against non-APM tables → rejected.
     let plain = FaRouting::build(&topo, RoutingConfig::two_options()).unwrap();

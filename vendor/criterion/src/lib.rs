@@ -1,0 +1,215 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The hermetic build environment has no crates.io access, so this crate
+//! implements the benchmark API surface the workspace's benches use —
+//! [`criterion_group!`], [`criterion_main!`], [`Criterion`],
+//! [`BenchmarkGroup`], [`BenchmarkId`], [`Bencher::iter`] — with a
+//! simple wall-clock measurement loop: a short warm-up, then batches
+//! timed until a time budget (scaled by `sample_size`) is spent, and a
+//! `name ... time: <median> ns/iter (n samples)` line per benchmark.
+//! It has no statistical machinery, plots or baselines; numbers are
+//! indicative. The canonical perf artifact of this repository is
+//! `BENCH_sim.json` (see the `bench_sim` binary in `iba-bench`).
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Label for one benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Runs one benchmark's measurement loop.
+pub struct Bencher {
+    samples: Vec<f64>,
+    budget: Duration,
+}
+
+impl Bencher {
+    /// Measure `routine` repeatedly, recording per-iteration time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up and per-iteration cost estimate.
+        let start = Instant::now();
+        black_box(routine());
+        let first = start.elapsed();
+        let mut iters_per_batch = if first < Duration::from_millis(1) {
+            (Duration::from_millis(1).as_nanos() / first.as_nanos().max(1)).clamp(1, 1_000_000)
+                as usize
+        } else {
+            1
+        };
+        let deadline = Instant::now() + self.budget;
+        while Instant::now() < deadline {
+            let t0 = Instant::now();
+            for _ in 0..iters_per_batch {
+                black_box(routine());
+            }
+            let dt = t0.elapsed();
+            self.samples
+                .push(dt.as_nanos() as f64 / iters_per_batch as f64);
+            // Keep batches near 1 ms so the sample count stays healthy.
+            if dt < Duration::from_micros(200) {
+                iters_per_batch = iters_per_batch.saturating_mul(2).max(1);
+            }
+        }
+        if self.samples.is_empty() {
+            self.samples.push(first.as_nanos() as f64);
+        }
+    }
+}
+
+fn report(name: &str, samples: &mut [f64]) {
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let median = samples[samples.len() / 2];
+    println!(
+        "{name:<60} time: {median:>14.1} ns/iter ({} samples)",
+        samples.len()
+    );
+}
+
+fn run_bench(name: &str, budget: Duration, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher {
+        samples: Vec::new(),
+        budget,
+    };
+    f(&mut b);
+    report(name, &mut b.samples);
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    budget: Duration,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Hint for how many samples to take; mapped onto the time budget.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        // Fewer requested samples → cheaper routine budget.
+        self.budget = Duration::from_millis((n as u64 * 30).clamp(100, 3_000));
+        self
+    }
+
+    /// Benchmark `routine` against `input` under `id`.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.id);
+        run_bench(&full, self.budget, |b| routine(b, input));
+        self
+    }
+
+    /// Benchmark a plain routine under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        run_bench(&full, self.budget, |b| routine(b));
+        self
+    }
+
+    /// End the group (drop marker, mirrors criterion's API).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let ms = std::env::var("BENCH_BUDGET_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(1_000);
+        Criterion {
+            budget: Duration::from_millis(ms),
+        }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            budget: self.budget,
+            _parent: self,
+        }
+    }
+
+    /// Benchmark a single routine.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(&name.into(), self.budget, |b| routine(b));
+        self
+    }
+}
+
+/// Collect benchmark functions into one runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Entry point running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_samples() {
+        let mut ran = 0u64;
+        run_bench("self_test", Duration::from_millis(20), |b| {
+            b.iter(|| {
+                ran += 1;
+                black_box(ran)
+            })
+        });
+        assert!(ran > 0);
+    }
+}

@@ -1,0 +1,81 @@
+//! Offline stand-in for `rayon`.
+//!
+//! The hermetic build environment has no crates.io access, so this crate
+//! maps the `par_iter()` / `into_par_iter()` prelude surface onto plain
+//! sequential `std` iterators. Call sites compile unchanged and produce
+//! identical results (the experiment fan-outs are embarrassingly
+//! parallel and order-insensitive); they simply run on one core until
+//! the real rayon is restored in the workspace `Cargo.toml`.
+
+#![warn(missing_docs)]
+
+pub mod prelude {
+    //! Sequential mirrors of rayon's prelude traits.
+
+    /// `into_par_iter()` — sequential fallback to [`IntoIterator`].
+    pub trait IntoParallelIterator: IntoIterator + Sized {
+        /// The "parallel" (here: sequential) iterator type.
+        fn into_par_iter(self) -> Self::IntoIter {
+            self.into_iter()
+        }
+    }
+
+    impl<T: IntoIterator + Sized> IntoParallelIterator for T {}
+
+    /// `par_iter()` — sequential fallback to `(&collection).into_iter()`.
+    pub trait IntoParallelRefIterator<'data> {
+        /// The borrowed iterator type.
+        type Iter;
+        /// Iterate shared references "in parallel" (sequentially here).
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, C: ?Sized> IntoParallelRefIterator<'data> for C
+    where
+        &'data C: IntoIterator,
+        C: 'data,
+    {
+        type Iter = <&'data C as IntoIterator>::IntoIter;
+        fn par_iter(&'data self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    /// `par_iter_mut()` — sequential fallback to `(&mut c).into_iter()`.
+    pub trait IntoParallelRefMutIterator<'data> {
+        /// The mutable iterator type.
+        type Iter;
+        /// Iterate unique references "in parallel" (sequentially here).
+        fn par_iter_mut(&'data mut self) -> Self::Iter;
+    }
+
+    impl<'data, C: ?Sized> IntoParallelRefMutIterator<'data> for C
+    where
+        &'data mut C: IntoIterator,
+        C: 'data,
+    {
+        type Iter = <&'data mut C as IntoIterator>::IntoIter;
+        fn par_iter_mut(&'data mut self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn sequential_fallbacks_behave_like_iterators() {
+        let doubled: Vec<u32> = (0u32..5).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![0, 2, 4, 6, 8]);
+        let v = vec![1u32, 2, 3];
+        let sum: u32 = v.par_iter().sum();
+        assert_eq!(sum, 6);
+        let mut w = vec![1u32, 2];
+        for x in w.par_iter_mut() {
+            *x += 10;
+        }
+        assert_eq!(w, vec![11, 12]);
+    }
+}

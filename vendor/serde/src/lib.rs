@@ -1,0 +1,25 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace's derives of `Serialize`/`Deserialize` are forward
+//! compatibility for downstream consumers; no code in this repository
+//! serializes through serde (experiment outputs are hand-rolled JSON and
+//! TSV). The hermetic build environment has no crates.io access, so this
+//! stub supplies the two trait names as blanket-implemented markers and
+//! re-exports the no-op derives. Swapping the real serde back in is a
+//! one-line change in the workspace `Cargo.toml`.
+
+#![warn(missing_docs)]
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented for every
+/// type so derives and bounds both resolve.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented for
+/// every type so derives and bounds both resolve. (The real trait carries
+/// a deserializer lifetime; nothing in this workspace names it.)
+pub trait Deserialize {}
+impl<T: ?Sized> Deserialize for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
