@@ -102,9 +102,9 @@ fn bench_event_queues(c: &mut Criterion) {
                 while let Some((t, i)) = q.pop() {
                     done += 1;
                     if done < n {
-                        q.schedule(t + 128 + (i % 7) * 33, i + 1);
+                        q.schedule(t.plus_ns(128 + (i % 7) * 33), i + 1);
                         if i % 3 == 0 {
-                            q.schedule(t + 401, i + 2);
+                            q.schedule(t.plus_ns(401), i + 2);
                         }
                     }
                 }
@@ -121,9 +121,9 @@ fn bench_event_queues(c: &mut Criterion) {
                 while let Some((t, i)) = q.pop() {
                     done += 1;
                     if done < n {
-                        q.schedule(t + 128 + (i % 7) * 33, i + 1);
+                        q.schedule(t.plus_ns(128 + (i % 7) * 33), i + 1);
                         if i % 3 == 0 {
-                            q.schedule(t + 401, i + 2);
+                            q.schedule(t.plus_ns(401), i + 2);
                         }
                     }
                 }

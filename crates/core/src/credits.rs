@@ -80,6 +80,11 @@ impl Credits {
     /// Split of a per-VL credit count into the *escape-queue* share,
     /// per the paper's formula (§4.4):
     /// `C_XYE = min(C_max/2, C_XY)`.
+    ///
+    /// `C_max/2` is *integer* (floor) division: an odd `C_max` gives the
+    /// escape queue the smaller half and the adaptive queue the extra
+    /// credit. Configurations must therefore size the MTU against
+    /// `C_max/2` rounded *down* (`SimConfig::validate` enforces this).
     #[inline]
     pub fn escape_share(self, cap: Credits) -> Credits {
         Credits((cap.0 / 2).min(self.0))
@@ -177,6 +182,24 @@ mod tests {
     }
 
     #[test]
+    fn odd_capacity_gives_escape_the_floor_half() {
+        // C_max = 7: escape half is floor(7/2) = 3 credits, the adaptive
+        // region gets the extra credit (7 − 3 = 4).
+        let cap = Credits(7);
+        assert_eq!(Credits(7).escape_share(cap), Credits(3));
+        assert_eq!(Credits(7).adaptive_share(cap), Credits(4));
+        // Draining below the escape boundary: everything left is escape.
+        assert_eq!(Credits(3).escape_share(cap), Credits(3));
+        assert_eq!(Credits(3).adaptive_share(cap), Credits(0));
+        assert_eq!(Credits(2).escape_share(cap), Credits(2));
+        // The partition C_A + C_E == C holds at every fill level.
+        for c in 0..=7 {
+            let c = Credits(c);
+            assert_eq!(c.adaptive_share(cap) + c.escape_share(cap), c);
+        }
+    }
+
+    #[test]
     fn arithmetic() {
         let mut c = Credits(4);
         c += Credits(2);
@@ -217,6 +240,22 @@ mod tests {
             let (c, cap) = (Credits(c), Credits(cap));
             prop_assert!(c.escape_share(cap).count() <= cap.count() / 2);
             prop_assert!(c.adaptive_share(cap).count() <= cap.count() - cap.count() / 2);
+        }
+
+        /// Odd capacities specifically: the escape share is the *floor*
+        /// half and the adaptive share absorbs the extra credit.
+        #[test]
+        fn prop_split_odd_capacities(c in 0u32..256, half in 0u32..128) {
+            let cap = Credits(2 * half + 1);
+            prop_assume!(c <= cap.count());
+            let c = Credits(c);
+            prop_assert_eq!(c.adaptive_share(cap) + c.escape_share(cap), c);
+            prop_assert!(c.escape_share(cap).count() <= half);
+            prop_assert!(c.adaptive_share(cap).count() <= half + 1);
+            // A full odd buffer really does give the adaptive region one
+            // more credit than the escape region.
+            prop_assert_eq!(cap.adaptive_share(cap).count(), half + 1);
+            prop_assert_eq!(cap.escape_share(cap).count(), half);
         }
 
         #[test]

@@ -7,7 +7,7 @@
 
 use serde::{Deserialize, Serialize};
 use std::fmt;
-use std::ops::{Add, AddAssign, Sub};
+use std::ops::Sub;
 
 /// A point in simulated time, in nanoseconds since simulation start.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
@@ -55,19 +55,22 @@ impl SimTime {
     pub fn since(self, earlier: SimTime) -> u64 {
         self.0.saturating_sub(earlier.0)
     }
-}
 
-impl Add<u64> for SimTime {
-    type Output = SimTime;
+    /// The instant `ns` nanoseconds later. The *only* way to advance a
+    /// `SimTime` by a raw duration — there is deliberately no
+    /// `Add<u64>`/`AddAssign<u64>` operator, so every instant + duration
+    /// mix is spelled out at the call site instead of silently coercing
+    /// (`config.horizon()` once read `warmup + window.as_ns()`, which
+    /// type-checked only because of that escape hatch).
     #[inline]
-    fn add(self, ns: u64) -> SimTime {
+    pub fn plus_ns(self, ns: u64) -> SimTime {
         SimTime(self.0 + ns)
     }
-}
 
-impl AddAssign<u64> for SimTime {
+    /// Advance in place by `ns` nanoseconds (the `AddAssign` analogue of
+    /// [`plus_ns`](SimTime::plus_ns)).
     #[inline]
-    fn add_assign(&mut self, ns: u64) {
+    pub fn advance_ns(&mut self, ns: u64) {
         self.0 += ns;
     }
 }
@@ -113,12 +116,12 @@ mod tests {
 
     #[test]
     fn arithmetic() {
-        let t = SimTime::from_ns(100) + 50;
+        let t = SimTime::from_ns(100).plus_ns(50);
         assert_eq!(t.as_ns(), 150);
         assert_eq!(t - SimTime::from_ns(100), 50);
         assert_eq!(t.since(SimTime::from_ns(200)), 0);
         let mut u = SimTime::ZERO;
-        u += 7;
+        u.advance_ns(7);
         assert_eq!(u.as_ns(), 7);
     }
 

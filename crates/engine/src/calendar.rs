@@ -137,7 +137,7 @@ impl<E> CalendarQueue<E> {
 
     /// Schedule `delay_ns` from now.
     pub fn schedule_in(&mut self, delay_ns: u64, event: E) {
-        self.schedule(self.now + delay_ns, event);
+        self.schedule(self.now.plus_ns(delay_ns), event);
     }
 
     /// Locate the earliest pending entry — the day scan of `pop`, run on
@@ -338,10 +338,10 @@ mod tests {
         while let Some((t, _)) = q.pop() {
             popped += 1;
             if count < 2_000 {
-                q.schedule(t + 128, count);
+                q.schedule(t.plus_ns(128), count);
                 count += 1;
                 if count.is_multiple_of(3) {
-                    q.schedule(t + 100, count);
+                    q.schedule(t.plus_ns(100), count);
                     count += 1;
                 }
             }

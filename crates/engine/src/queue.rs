@@ -118,7 +118,7 @@ impl<E> EventQueue<E> {
 
     /// Schedule `event` `delay_ns` nanoseconds from now.
     pub fn schedule_in(&mut self, delay_ns: u64, event: E) {
-        self.schedule(self.now + delay_ns, event);
+        self.schedule(self.now.plus_ns(delay_ns), event);
     }
 
     /// Timestamp of the next event, if any.

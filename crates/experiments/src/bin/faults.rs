@@ -1,0 +1,95 @@
+//! Link-fault recovery sweep (DESIGN.md §8): fault count × recovery
+//! policy, delivered ratio / drop accounting / recovery time per cell.
+//!
+//! ```text
+//! cargo run --release -p iba-experiments --bin faults -- \
+//!     [--switches 32] [--faults 1,2,3] [--policies none,apm-migrate,sm-resweep] \
+//!     [--seeds 5] [--seed 200] [--rate 0.02] [--resweep-latency-ns 50000] \
+//!     [--out results/faults.json]
+//! ```
+
+use iba_experiments::cli::Args;
+use iba_experiments::faults;
+use iba_sim::RecoveryPolicy;
+
+fn main() {
+    if let Err(e) = real_main() {
+        eprintln!("faults: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn real_main() -> Result<(), String> {
+    let args = Args::from_env()?;
+    let size = args.get_or("switches", 32usize)?;
+    let fault_counts = args.get_list_or("faults", &[1usize, 2, 3])?;
+    let seeds = args.get_or("seeds", 5u64)?;
+    let base_seed = args.get_or("seed", 200u64)?;
+    let rate = args.get_or("rate", 0.02f64)?;
+    let resweep_latency_ns = args.get_or("resweep-latency-ns", 50_000u64)?;
+    let out = args.get("out").unwrap_or("results/faults.json").to_string();
+    let policies: Vec<RecoveryPolicy> = match args.get("policies") {
+        None => vec![
+            RecoveryPolicy::None,
+            RecoveryPolicy::ApmMigrate,
+            RecoveryPolicy::SmResweep,
+        ],
+        Some(list) => list
+            .split(',')
+            .map(|s| {
+                faults::parse_policy(s.trim())
+                    .ok_or_else(|| format!("unknown policy {s:?} (none|apm-migrate|sm-resweep)"))
+            })
+            .collect::<Result<_, _>>()?,
+    };
+
+    eprintln!(
+        "faults: {size} switches, faults {fault_counts:?}, {} policies, {seeds} seeds",
+        policies.len()
+    );
+    let cells = faults::sweep(
+        size,
+        &fault_counts,
+        &policies,
+        seeds,
+        base_seed,
+        rate,
+        resweep_latency_ns,
+    )
+    .map_err(|e| e.to_string())?;
+
+    println!("policy        faults  ratio(min/avg)      drops(transit/post)  recovered  avg rec µs  avg SMPs");
+    for c in &cells {
+        let (rec_us, smps) = (
+            if c.recovery_ns.count > 0 {
+                format!("{:>10.1}", c.recovery_ns.avg() / 1_000.0)
+            } else {
+                format!("{:>10}", "-")
+            },
+            if c.resweep_smps.count > 0 {
+                format!("{:>8.0}", c.resweep_smps.avg())
+            } else {
+                format!("{:>8}", "-")
+            },
+        );
+        println!(
+            "{:<13} {:>6}  {:>7.4}/{:<9.4}  {:>9}/{:<9}  {:>5}/{:<3}  {rec_us}  {smps}",
+            faults::policy_name(c.policy),
+            c.faults,
+            c.delivered_ratio.min,
+            c.delivered_ratio.avg(),
+            c.drops_in_transit,
+            c.drops_after_recovery,
+            c.recovered,
+            c.seeds,
+        );
+    }
+
+    let json = faults::to_json(size, seeds, rate, resweep_latency_ns, &cells);
+    if let Some(dir) = std::path::Path::new(&out).parent() {
+        std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+    }
+    std::fs::write(&out, json).map_err(|e| e.to_string())?;
+    eprintln!("faults: wrote {out}");
+    Ok(())
+}

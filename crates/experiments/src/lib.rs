@@ -9,6 +9,7 @@
 //! | Table 1 (throughput-increase factors) | `table1` | [`table1::run`] |
 //! | Table 2 (routing-option distribution) | `table2` | [`table2::run`] |
 //! | §5.2.2 claims + design ablations | `ablation` | [`ablation`] |
+//! | link-fault recovery sweep (DESIGN.md §8) | `faults` | [`faults::sweep`] |
 //! | ad-hoc single runs | `explore` | [`harness::run_point`] |
 //!
 //! Simulations of different topologies and injection rates are
@@ -19,6 +20,7 @@
 
 pub mod ablation;
 pub mod cli;
+pub mod faults;
 pub mod fidelity;
 pub mod fig3;
 pub mod harness;

@@ -21,9 +21,98 @@
 
 use crate::minimal::MinimalRouting;
 use crate::updown::UpDownRouting;
-use iba_core::IbaError;
+use iba_core::{HostId, IbaError, NodeRef, PortIndex, SwitchId};
 use iba_topology::Topology;
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Verify that a per-destination next-hop function — e.g. the escape
+/// entries programmed into switch LFTs, read back over SMPs — gives
+/// every switch a terminating route to every host *and* that the
+/// induced channel-dependency graph is acyclic: the deadlock-freedom
+/// condition for the escape layer (§3). The SM recovery path uses this
+/// to certify re-swept tables before trusting them.
+///
+/// `next_hop(s, h)` must return the output port switch `s` uses towards
+/// host `h`'s deterministic (escape) address, or `None` when
+/// unprogrammed. The check walks every `(switch, host)` chain —
+/// rejecting missing entries, unwired ports, mis-delivery and
+/// forwarding loops — while collecting, for each directed link, which
+/// links chains continue onto; a cycle in that dependency graph is a
+/// potential credit-wait cycle.
+pub fn check_escape_routes(
+    topo: &Topology,
+    next_hop: impl Fn(SwitchId, HostId) -> Option<PortIndex>,
+) -> Result<(), IbaError> {
+    let ports = topo.ports_per_switch() as usize;
+    let nlinks = topo.num_switches() * ports;
+    // Channel-dependency adjacency over directed links (switch, port);
+    // BTreeSet keeps insertion idempotent and iteration deterministic.
+    let mut deps: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); nlinks];
+    for h in topo.host_ids() {
+        for s in topo.switch_ids() {
+            let mut cur = s;
+            let mut prev: Option<usize> = None;
+            let mut hops = 0usize;
+            loop {
+                let p = next_hop(cur, h).ok_or_else(|| {
+                    IbaError::RoutingFailed(format!("no escape entry at {cur} towards {h}"))
+                })?;
+                let link = cur.index() * ports + p.index();
+                if let Some(prev) = prev {
+                    deps[prev].insert(link);
+                }
+                let ep = topo.endpoint(cur, p).ok_or_else(|| {
+                    IbaError::RoutingFailed(format!(
+                        "escape entry at {cur} towards {h} uses unwired {p}"
+                    ))
+                })?;
+                match ep.node {
+                    NodeRef::Host(dest) if dest == h => break,
+                    NodeRef::Host(other) => {
+                        return Err(IbaError::RoutingFailed(format!(
+                            "escape route for {h} delivers to {other}"
+                        )))
+                    }
+                    NodeRef::Switch(n) => {
+                        hops += 1;
+                        if hops > topo.num_switches() {
+                            return Err(IbaError::RoutingFailed(format!(
+                                "escape route {s}→{h} does not terminate"
+                            )));
+                        }
+                        prev = Some(link);
+                        cur = n;
+                    }
+                }
+            }
+        }
+    }
+    // Kahn peel: the dependency graph is acyclic iff every node drains.
+    let mut indeg = vec![0usize; nlinks];
+    for adj in &deps {
+        for &w in adj {
+            indeg[w] += 1;
+        }
+    }
+    let mut ready: Vec<usize> = (0..nlinks).filter(|&v| indeg[v] == 0).collect();
+    let mut drained = 0usize;
+    while let Some(v) = ready.pop() {
+        drained += 1;
+        for &w in &deps[v] {
+            indeg[w] -= 1;
+            if indeg[w] == 0 {
+                ready.push(w);
+            }
+        }
+    }
+    if drained != nlinks {
+        return Err(IbaError::RoutingFailed(
+            "escape channel-dependency graph has a cycle".into(),
+        ));
+    }
+    Ok(())
+}
 
 /// Distribution of routing-option counts over `(switch, destination)`
 /// pairs — one row of Table 2.
@@ -299,5 +388,60 @@ mod tests {
             large > small,
             "expected more path inflation at 64 switches ({large:.3}) than at 8 ({small:.3})"
         );
+    }
+
+    #[test]
+    fn updown_escape_routes_pass_the_deadlock_check() {
+        for seed in 0..3 {
+            let topo = IrregularConfig::paper(16, seed).generate().unwrap();
+            let updown = UpDownRouting::build(&topo).unwrap();
+            check_escape_routes(&topo, |s, h| {
+                let (hsw, hp) = topo.host_attachment(h);
+                if hsw == s {
+                    Some(hp)
+                } else {
+                    updown.next_hop(s, hsw)
+                }
+            })
+            .unwrap();
+        }
+    }
+
+    #[test]
+    fn clockwise_ring_routing_fails_the_deadlock_check() {
+        // Every chain terminates, yet the four directed clockwise links
+        // wait on each other — the classic ring credit cycle.
+        let topo = regular::ring(4, 1).unwrap();
+        let n = topo.num_switches();
+        let err = check_escape_routes(&topo, |s, h| {
+            let (hsw, hp) = topo.host_attachment(h);
+            if hsw == s {
+                Some(hp)
+            } else {
+                let next = iba_core::SwitchId((s.0 + 1) % n as u16);
+                topo.port_towards(s, next)
+            }
+        })
+        .unwrap_err();
+        assert!(err.to_string().contains("cycle"), "{err}");
+    }
+
+    #[test]
+    fn missing_and_misdelivering_entries_are_rejected() {
+        let topo = regular::ring(4, 1).unwrap();
+        let err = check_escape_routes(&topo, |_, _| None).unwrap_err();
+        assert!(err.to_string().contains("no escape entry"), "{err}");
+        // Routing every destination to switch 0's local host mis-delivers.
+        let updown = UpDownRouting::build(&topo).unwrap();
+        let err = check_escape_routes(&topo, |s, _| {
+            let (hsw, hp) = topo.host_attachment(iba_core::HostId(0));
+            if hsw == s {
+                Some(hp)
+            } else {
+                updown.next_hop(s, hsw)
+            }
+        })
+        .unwrap_err();
+        assert!(err.to_string().contains("delivers to"), "{err}");
     }
 }

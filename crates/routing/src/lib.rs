@@ -34,7 +34,7 @@ pub mod sl2vl;
 pub mod table;
 pub mod updown;
 
-pub use analysis::{OptionDistribution, PathLengthStats};
+pub use analysis::{check_escape_routes, OptionDistribution, PathLengthStats};
 pub use fa::{AdaptiveOptions, FaRouting, RouteOptions, RoutingConfig};
 pub use minimal::MinimalRouting;
 pub use sl2vl::SlToVlTable;

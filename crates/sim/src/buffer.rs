@@ -288,6 +288,36 @@ impl VlBuffer {
         }
     }
 
+    /// Re-resolve the route of every *routed, not in-flight* residency
+    /// against a new forwarding function — the SM re-sweep hook: packets
+    /// already buffered when recovery tables are installed were routed
+    /// against the old tables and may hold options through a dead link.
+    /// In-flight residencies are skipped (their transfer was granted
+    /// under the old tables and completes on the old route); unrouted
+    /// residencies are skipped (their pending `RouteDone` consults the
+    /// new tables anyway). Returns the number of residencies the
+    /// function could not resolve (left on their old route).
+    pub fn reroute_with(
+        &mut self,
+        mut f: impl FnMut(&Packet) -> Option<Arc<RouteOptions>>,
+    ) -> usize {
+        let mut unresolved = 0;
+        for &slot in &self.order {
+            let p = self.slots[slot as usize]
+                .packet
+                .as_mut()
+                .expect("order entry occupied");
+            if p.in_flight || p.route.is_none() {
+                continue;
+            }
+            match f(&p.packet) {
+                Some(route) => p.route = Some(route),
+                None => unresolved += 1,
+            }
+        }
+        unresolved
+    }
+
     /// Starting credit offset of the packet at `index` — its physical
     /// position in the RAM, counted from the head.
     fn offset_of(&self, index: usize) -> Credits {

@@ -22,6 +22,32 @@ pub enum SelectionPolicy {
     FirstFeasible,
 }
 
+/// How the fabric reacts to link faults injected through an
+/// [`iba_workloads::FaultSchedule`] (see DESIGN.md §8).
+///
+/// Under every policy a dead port is masked out of the feasible-option
+/// sets at arbitration time, so no packet is *granted* onto a dead link;
+/// the policies differ in what, if anything, repairs reachability for
+/// destinations whose programmed routes crossed the dead link.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RecoveryPolicy {
+    /// No reaction beyond the local masking. Packets whose every
+    /// programmed option crosses a dead link stay buffered until the
+    /// link returns (or the run ends).
+    None,
+    /// Automatic Path Migration: while any link is down, sources address
+    /// the APM alternate path set (the second up\*/down\* orientation) so
+    /// *new* traffic avoids the primary tree without SM involvement.
+    /// Requires tables built with `FaRouting::build_with_apm`.
+    ApmMigrate,
+    /// Subnet-manager re-sweep: a configurable latency after each fault
+    /// event, the SM installs routing rebuilt on the degraded topology
+    /// (re-discovery plus LFT reprogramming, modelled as one
+    /// deterministic delay) and already-buffered packets are re-routed
+    /// against the new tables.
+    SmResweep,
+}
+
 /// Full simulator configuration.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct SimConfig {
@@ -97,7 +123,7 @@ impl SimConfig {
 
     /// End of the measurement window (the simulation horizon).
     pub fn horizon(&self) -> SimTime {
-        self.warmup + self.measure_window.as_ns()
+        self.warmup.plus_ns(self.measure_window.as_ns())
     }
 
     /// Validate the configuration against `mtu` (the largest packet the
@@ -110,12 +136,17 @@ impl SimConfig {
                 self.data_vls
             )));
         }
-        let half = Credits(self.vl_buffer_credits.count() / 2);
+        // The escape queue owns the *floor* half of an odd capacity
+        // (`Credits::escape_share` uses integer division), so the packet
+        // bound must be checked against that smaller half — an odd
+        // capacity whose rounded-down escape half cannot hold one packet
+        // would deadlock the escape drain.
+        let escape_half = Credits(self.vl_buffer_credits.count() / 2);
         let pkt = Credits::for_bytes(max_packet_bytes);
-        if pkt > half {
+        if pkt > escape_half {
             return Err(IbaError::InvalidConfig(format!(
-                "each logical queue ({half}) must hold an entire packet ({pkt}); \
-                 increase vl_buffer_credits or reduce the MTU (§4.4)"
+                "each logical queue (escape half {escape_half}) must hold an entire \
+                 packet ({pkt}); increase vl_buffer_credits or reduce the MTU (§4.4)"
             )));
         }
         if max_packet_bytes > self.phys.mtu_bytes {
@@ -148,6 +179,19 @@ mod tests {
         c.vl_buffer_credits = Credits(6); // half = 3 credits = 192 B
         assert!(c.validate(256).is_err());
         assert!(c.validate(192).is_ok());
+    }
+
+    #[test]
+    fn odd_capacity_is_validated_against_the_escape_half() {
+        // C_max = 7: the escape half is floor(7/2) = 3 credits = 192 B,
+        // even though the adaptive half (4 credits) could hold 256 B.
+        let mut c = SimConfig::paper(0);
+        c.vl_buffer_credits = Credits(7);
+        assert!(c.validate(256).is_err());
+        assert!(c.validate(192).is_ok());
+        // C_max = 9: escape half 4 credits = 256 B — one MTU fits exactly.
+        c.vl_buffer_credits = Credits(9);
+        assert!(c.validate(256).is_ok());
     }
 
     #[test]

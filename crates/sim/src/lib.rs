@@ -40,7 +40,7 @@ pub mod stats;
 pub mod trace;
 
 pub use buffer::{BufferedPacket, Candidates, EscapeOrderPolicy, ReadPoint, SlotHandle, VlBuffer};
-pub use config::{SelectionPolicy, SimConfig};
+pub use config::{RecoveryPolicy, SelectionPolicy, SimConfig};
 pub use iba_engine::QueueBackend;
 pub use network::Network;
 pub use stats::{LatencyHistogram, RunResult, StatsCollector};

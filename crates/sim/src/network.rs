@@ -24,7 +24,7 @@
 //! limits).
 
 use crate::buffer::{ReadPoint, SlotHandle, VlBuffer};
-use crate::config::{SelectionPolicy, SimConfig};
+use crate::config::{RecoveryPolicy, SelectionPolicy, SimConfig};
 use crate::stats::{RunResult, StatsCollector};
 use crate::trace::{TraceStep, Tracer};
 use iba_core::{
@@ -34,8 +34,10 @@ use iba_core::{
 use iba_engine::rng::{StreamKind, StreamRng};
 use iba_engine::DesQueue;
 use iba_routing::{FaRouting, SlToVlTable};
-use iba_topology::Topology;
-use iba_workloads::{HostGenerator, PathSet, TrafficScript, WorkloadSpec};
+use iba_topology::{Topology, TopologyBuilder};
+use iba_workloads::{
+    FaultKind, FaultSchedule, HostGenerator, PathSet, TrafficScript, WorkloadSpec,
+};
 use std::collections::VecDeque;
 
 /// Discrete events of the network model.
@@ -81,6 +83,24 @@ enum Event {
     },
     /// A packet's tail reaches its destination host.
     Deliver { host: HostId, packet: Packet },
+    /// A scheduled link fault (down or up) takes effect.
+    Fault { idx: usize },
+    /// The subnet manager's re-sweep completes and recovery routing is
+    /// installed (`RecoveryPolicy::SmResweep` only).
+    ResweepDone,
+}
+
+/// A schedule entry with its endpoints resolved to concrete ports, done
+/// once at construction so fault application is O(1) and allocation-free
+/// inside the event loop.
+#[derive(Clone, Copy, Debug)]
+struct ResolvedFault {
+    at: SimTime,
+    kind: FaultKind,
+    a: SwitchId,
+    pa: PortIndex,
+    b: SwitchId,
+    pb: PortIndex,
 }
 
 /// One physical input port of a switch.
@@ -112,6 +132,10 @@ struct SwitchState {
     sl2vl: SlToVlTable,
     arb_pending: bool,
     rr_cursor: usize,
+    /// Per-port link state; `false` masks the port out of every feasible
+    /// option set at arbitration. Host-facing ports never go down (the
+    /// fault model covers switch–switch links only).
+    link_up: Vec<bool>,
 }
 
 struct HostState {
@@ -166,6 +190,18 @@ pub struct Network<'a> {
     tracer: Option<Tracer>,
     /// Trace-driven injections (replaces the synthetic generators).
     script: Option<&'a TrafficScript>,
+    /// Resolved link-fault schedule (empty without [`Self::with_faults`]).
+    faults: Vec<ResolvedFault>,
+    /// What repairs reachability after a fault.
+    recovery: RecoveryPolicy,
+    /// Modelled duration of one SM re-sweep (fault event → recovery
+    /// tables live), in nanoseconds.
+    resweep_latency_ns: u64,
+    /// Number of links currently down.
+    active_faults: usize,
+    /// Recovery tables installed by the last completed re-sweep; `None`
+    /// while the primary tables are live.
+    recovery_routing: Option<FaRouting>,
 }
 
 impl<'a> Network<'a> {
@@ -224,6 +260,7 @@ impl<'a> Network<'a> {
                     sl2vl: SlToVlTable::identity(topo.ports_per_switch(), config.data_vls)?,
                     arb_pending: false,
                     rr_cursor: 0,
+                    link_up: vec![true; ports],
                 })
             })
             .collect::<Result<Vec<_>, IbaError>>()?;
@@ -287,7 +324,86 @@ impl<'a> Network<'a> {
             primed: false,
             tracer: None,
             script: None,
+            faults: Vec::new(),
+            recovery: RecoveryPolicy::None,
+            resweep_latency_ns: 0,
+            active_faults: 0,
+            recovery_routing: None,
         })
+    }
+
+    /// Arm a link-fault schedule and the recovery policy answering it.
+    /// `resweep_latency_ns` is the modelled duration of one SM re-sweep
+    /// (ignored unless the policy is [`RecoveryPolicy::SmResweep`]);
+    /// callers wanting a grounded value can time an actual
+    /// `ManagedFabric` re-sweep and derive it from the SMP count.
+    ///
+    /// Fails when a schedule entry names a link the topology does not
+    /// have, or when `ApmMigrate` is requested without APM tables.
+    pub fn with_faults(
+        mut self,
+        schedule: &FaultSchedule,
+        policy: RecoveryPolicy,
+        resweep_latency_ns: u64,
+    ) -> Result<Network<'a>, IbaError> {
+        if self.primed {
+            return Err(IbaError::InvalidConfig(
+                "fault schedule must be armed before the simulation starts".into(),
+            ));
+        }
+        if policy == RecoveryPolicy::ApmMigrate && !self.routing.has_apm() {
+            return Err(IbaError::InvalidConfig(
+                "ApmMigrate recovery requires APM tables (FaRouting::build_with_apm)".into(),
+            ));
+        }
+        self.faults.clear();
+        for (i, e) in schedule.events().iter().enumerate() {
+            let n = self.topo.num_switches();
+            if e.a.index() >= n || e.b.index() >= n {
+                return Err(IbaError::InvalidConfig(format!(
+                    "fault entry {i}: switch out of range (topology has {n} switches)"
+                )));
+            }
+            let (Some(pa), Some(pb)) = (
+                self.topo.port_towards(e.a, e.b),
+                self.topo.port_towards(e.b, e.a),
+            ) else {
+                return Err(IbaError::InvalidConfig(format!(
+                    "fault entry {i}: no link {}–{} in the topology",
+                    e.a, e.b
+                )));
+            };
+            self.faults.push(ResolvedFault {
+                at: e.at,
+                kind: e.kind,
+                a: e.a,
+                pa,
+                b: e.b,
+                pb,
+            });
+        }
+        self.recovery = policy;
+        self.resweep_latency_ns = resweep_latency_ns;
+        Ok(self)
+    }
+
+    /// Number of links currently down.
+    pub fn active_faults(&self) -> usize {
+        self.active_faults
+    }
+
+    /// Whether SM recovery tables (rather than the primary tables) are
+    /// currently live.
+    pub fn recovery_installed(&self) -> bool {
+        self.recovery_routing.is_some()
+    }
+
+    /// The routing tables currently programmed into the fabric: the
+    /// recovery tables once an SM re-sweep has installed them, the
+    /// primary tables otherwise.
+    #[inline]
+    fn cur_routing(&self) -> &FaRouting {
+        self.recovery_routing.as_ref().unwrap_or(self.routing)
     }
 
     /// Assemble a *trace-driven* simulation: instead of synthetic
@@ -428,8 +544,11 @@ impl<'a> Network<'a> {
             self.queue.events_processed(),
             wall_start.elapsed(),
         );
-        // Packets dropped at full source queues never entered the fabric.
-        let fully_drained = drained && result.delivered == result.generated - result.source_drops;
+        // Packets dropped at full source queues never entered the fabric,
+        // and packets lost on a failed link are resolved, not in flight —
+        // every other generated packet must have been delivered.
+        let fully_drained = drained
+            && result.delivered + result.drops_in_transit == result.generated - result.source_drops;
         (result, fully_drained)
     }
 
@@ -500,6 +619,13 @@ impl<'a> Network<'a> {
             return;
         }
         self.primed = true;
+        // Faults are plain events in the queue, so their application is
+        // serialized with packet events at deterministic points — a
+        // fault-driven run stays bit-identical across queue backends.
+        for idx in 0..self.faults.len() {
+            self.queue
+                .schedule(self.faults[idx].at, Event::Fault { idx });
+        }
         if let Some(script) = self.script {
             if let Some(first) = script.packets().first() {
                 if first.at < self.gen_deadline {
@@ -564,25 +690,160 @@ impl<'a> Network<'a> {
                 self.trace(packet.id, now, TraceStep::Delivered { host });
                 self.stats.on_delivered(&packet, now);
             }
+            Event::Fault { idx } => self.on_fault(now, idx),
+            Event::ResweepDone => self.on_resweep_done(now),
+        }
+    }
+
+    /// Apply one fault-schedule entry. Downing a link masks both port
+    /// directions, upping it restores them and re-synchronizes the
+    /// sender-side credit counters from the receiver buffers (link
+    /// retraining resets flow control). Redundant events (downing a dead
+    /// link, upping a live one) are ignored.
+    fn on_fault(&mut self, now: SimTime, idx: usize) {
+        let f = self.faults[idx];
+        match f.kind {
+            FaultKind::LinkDown => {
+                if !self.switches[f.a.index()].link_up[f.pa.index()] {
+                    return;
+                }
+                self.switches[f.a.index()].link_up[f.pa.index()] = false;
+                self.switches[f.b.index()].link_up[f.pb.index()] = false;
+                self.active_faults += 1;
+                self.stats.on_fault(now);
+            }
+            FaultKind::LinkUp => {
+                if self.switches[f.a.index()].link_up[f.pa.index()] {
+                    return;
+                }
+                self.switches[f.a.index()].link_up[f.pa.index()] = true;
+                self.switches[f.b.index()].link_up[f.pb.index()] = true;
+                self.active_faults -= 1;
+                for (s, p, peer, pp) in [(f.a, f.pa, f.b, f.pb), (f.b, f.pb, f.a, f.pa)] {
+                    // Sender counters restart from the receiver's actual
+                    // free space; space held by residencies still
+                    // draining comes back through their normal
+                    // CreditReturns.
+                    let free: InlineVec<Credits, 16> = self.switches[peer.index()].inputs
+                        [pp.index()]
+                    .vls
+                    .iter()
+                    .map(|b| b.free())
+                    .collect();
+                    if let Some(cs) = self.switches[s.index()].outputs[p.index()].credits.as_mut() {
+                        for (c, f) in cs.iter_mut().zip(free.iter()) {
+                            *c = *f;
+                        }
+                    }
+                    self.schedule_arbitrate(now, s);
+                }
+            }
+        }
+        if self.recovery == RecoveryPolicy::SmResweep {
+            self.queue
+                .schedule(now.plus_ns(self.resweep_latency_ns), Event::ResweepDone);
+        }
+    }
+
+    /// The SM re-sweep completes: install routing rebuilt on the
+    /// *current* degraded topology and re-route already-buffered packets
+    /// against it. If every link is back up the primary tables are
+    /// reinstated; if the degraded fabric is disconnected the sweep
+    /// fails and the old tables stay live.
+    fn on_resweep_done(&mut self, now: SimTime) {
+        if self.active_faults == 0 {
+            self.recovery_routing = None;
+            self.stats.on_recovery_installed(now);
+        } else {
+            match self.rebuild_degraded_routing() {
+                Ok(r) => {
+                    self.recovery_routing = Some(r);
+                    self.stats.on_recovery_installed(now);
+                }
+                Err(_) => {
+                    self.stats.on_resweep_failed();
+                    return;
+                }
+            }
+        }
+        self.reroute_buffered();
+        for s in 0..self.switches.len() {
+            self.schedule_arbitrate(now, SwitchId(s as u16));
+        }
+    }
+
+    /// Rebuild routing on the degraded topology, in *physical* id order
+    /// so the LID space is unchanged and DLIDs of in-flight packets stay
+    /// valid (the SMP-level SM pipeline discovers in BFS order and
+    /// correlates by GUID; the in-sim re-sweep models its outcome, not
+    /// its numbering).
+    fn rebuild_degraded_routing(&self) -> Result<FaRouting, IbaError> {
+        let mut b = TopologyBuilder::new(self.topo.num_switches(), self.topo.ports_per_switch());
+        for s in self.topo.switch_ids() {
+            for (p, peer, pp) in self.topo.switch_neighbors(s) {
+                if peer.0 > s.0 && self.switches[s.index()].link_up[p.index()] {
+                    b.connect_ports(s, p, peer, pp)?;
+                }
+            }
+        }
+        for h in self.topo.host_ids() {
+            let (sw, port) = self.topo.host_attachment(h);
+            b.attach_host_at(sw, port)?;
+        }
+        let degraded = b.build()?; // errors when the dead link disconnected the fabric
+        let cfg = *self.routing.config();
+        if self.routing.has_apm() {
+            FaRouting::build_with_apm(&degraded, cfg)
+        } else if self.routing.source_multipath().is_some() {
+            FaRouting::build_source_multipath(&degraded, cfg)
+        } else {
+            let caps: Vec<bool> = self
+                .topo
+                .switch_ids()
+                .map(|s| self.routing.switch_adaptive(s))
+                .collect();
+            FaRouting::build_mixed(&degraded, cfg, &caps)
+        }
+    }
+
+    /// Point every routed, not-in-flight buffered packet at the freshly
+    /// installed tables (packets routed before the sweep may hold
+    /// options through a dead link and would stall forever).
+    fn reroute_buffered(&mut self) {
+        let routing = self.recovery_routing.as_ref().unwrap_or(self.routing);
+        for (si, st) in self.switches.iter_mut().enumerate() {
+            let sw = SwitchId(si as u16);
+            for input in st.inputs.iter_mut() {
+                for buf in input.vls.iter_mut() {
+                    buf.reroute_with(|p| routing.route_shared(sw, p.dlid).ok());
+                }
+            }
         }
     }
 
     fn on_generate(&mut self, now: SimTime, host: HostId) {
+        // APM migration: while any link is down, new packets address the
+        // alternate path set, steering them off the primary tree without
+        // waiting for the SM.
+        let migrate = self.recovery == RecoveryPolicy::ApmMigrate && self.active_faults > 0;
+        let routing = self.recovery_routing.as_ref().unwrap_or(self.routing);
         let h = &mut self.hosts[host.index()];
         let gp = h.gen.as_mut().expect("synthetic mode").generate();
-        let dlid = match self.routing.source_multipath() {
+        let dlid = match routing.source_multipath() {
             // Source-selected multipath: rotate over the destination's
             // whole address range; each address is a distinct fixed path.
             Some(x) => {
                 let offset = h.mp_cursor % x;
                 h.mp_cursor = (h.mp_cursor + 1) % x;
-                self.routing
+                routing
                     .lid_map()
                     .lid_for(gp.dst, offset)
                     .expect("offset within the LMC range")
             }
-            None => self
-                .routing
+            None if migrate => routing
+                .apm_dlid(gp.dst, gp.adaptive)
+                .expect("APM tables checked in with_faults"),
+            None => routing
                 .dlid(gp.dst, gp.adaptive)
                 .expect("validated at construction"),
         };
@@ -593,8 +854,9 @@ impl<'a> Network<'a> {
             .as_mut()
             .expect("synthetic mode")
             .next_interarrival_ns();
-        if now + dt < self.gen_deadline {
-            self.queue.schedule(now + dt, Event::Generate { host });
+        if now.plus_ns(dt) < self.gen_deadline {
+            self.queue
+                .schedule(now.plus_ns(dt), Event::Generate { host });
         }
         self.try_inject(now, host);
     }
@@ -602,22 +864,24 @@ impl<'a> Network<'a> {
     fn on_generate_scripted(&mut self, now: SimTime, idx: usize) {
         let script = self.script.expect("scripted mode");
         let entry = script.packets()[idx];
-        let dlid = match (self.routing.source_multipath(), entry.path_set) {
+        // Scripted path sets are explicit traces and are honoured as
+        // written even under ApmMigrate; only the tables may be swapped
+        // by an SM re-sweep.
+        let routing = self.recovery_routing.as_ref().unwrap_or(self.routing);
+        let dlid = match (routing.source_multipath(), entry.path_set) {
             (Some(x), _) => {
                 let h = &mut self.hosts[entry.src.index()];
                 let offset = h.mp_cursor % x;
                 h.mp_cursor = (h.mp_cursor + 1) % x;
-                self.routing
+                routing
                     .lid_map()
                     .lid_for(entry.dst, offset)
                     .expect("offset within the LMC range")
             }
-            (None, PathSet::Primary) => self
-                .routing
+            (None, PathSet::Primary) => routing
                 .dlid(entry.dst, entry.adaptive)
                 .expect("validated at construction"),
-            (None, PathSet::Alternate) => self
-                .routing
+            (None, PathSet::Alternate) => routing
                 .apm_dlid(entry.dst, entry.adaptive)
                 .expect("validated at construction"),
         };
@@ -691,14 +955,14 @@ impl<'a> Network<'a> {
         let traced_id = packet.id;
         h.credits[vl.index()] -= need;
         let ser = self.config.phys.serialization_ns(packet.size_bytes);
-        h.tx_busy_until = now + ser;
+        h.tx_busy_until = now.plus_ns(ser);
         let queue_len = h.queue.len();
         let sw = h.attached_switch;
         let (_, port) = self.topo.host_attachment(host);
         self.stats.on_injected(queue_len);
         self.trace(traced_id, now, TraceStep::Injected);
         self.queue.schedule(
-            now + self.config.phys.propagation_ns,
+            now.plus_ns(self.config.phys.propagation_ns),
             Event::HeaderArrive {
                 sw,
                 port,
@@ -706,7 +970,8 @@ impl<'a> Network<'a> {
                 packet,
             },
         );
-        self.queue.schedule(now + ser, Event::TryInject { host });
+        self.queue
+            .schedule(now.plus_ns(ser), Event::TryInject { host });
     }
 
     fn on_header_arrive(
@@ -717,8 +982,17 @@ impl<'a> Network<'a> {
         vl: VirtualLane,
         packet: Packet,
     ) {
+        if !self.switches[sw.index()].link_up[port.index()] {
+            // The link died while the packet was on the wire: with no
+            // receiver it is lost — virtual cut-through has no
+            // retransmission below the transport layer. The sender's
+            // stale credit counter is re-synchronized at link-up.
+            self.stats.on_transit_drop(now);
+            self.trace(packet.id, now, TraceStep::Dropped { sw });
+            return;
+        }
         let id = packet.id;
-        let ready_at = now + self.config.phys.routing_delay_ns;
+        let ready_at = now.plus_ns(self.config.phys.routing_delay_ns);
         self.trace(id, now, TraceStep::ArrivedAt { sw, port, vl });
         let handle =
             self.switches[sw.index()].inputs[port.index()].vls[vl.index()].push(packet, ready_at);
@@ -749,7 +1023,7 @@ impl<'a> Network<'a> {
             return; // residency already gone (cannot happen before ready_at)
         };
         let route = self
-            .routing
+            .cur_routing()
             .route_shared(sw, dlid)
             .expect("forwarding tables are fully programmed");
         self.switches[sw.index()].inputs[port.index()].vls[vl.index()].set_route_at(handle, route);
@@ -770,7 +1044,7 @@ impl<'a> Network<'a> {
         // Return the freed credits to whoever feeds this input port.
         let upstream = self.topo.endpoint(sw, port).expect("input port is wired");
         self.queue.schedule(
-            now + self.config.phys.propagation_ns,
+            now.plus_ns(self.config.phys.propagation_ns),
             Event::CreditReturn {
                 target: upstream.node,
                 port: upstream.port,
@@ -791,9 +1065,16 @@ impl<'a> Network<'a> {
     ) {
         match target {
             NodeRef::Switch(s) => {
-                let out = &mut self.switches[s.index()].outputs[port.index()];
-                if let Some(cs) = out.credits.as_mut() {
-                    cs[vl.index()] += credits;
+                let st = &mut self.switches[s.index()];
+                if !st.link_up[port.index()] {
+                    return; // the return was on the wire of a dead link
+                }
+                let cap = self.config.vl_buffer_credits;
+                if let Some(cs) = st.outputs[port.index()].credits.as_mut() {
+                    // Clamp at capacity: after a link-up credit reset, a
+                    // return already in flight before the fault could
+                    // otherwise overshoot. A no-op in fault-free runs.
+                    cs[vl.index()] = (cs[vl.index()] + credits).min(cap);
                 }
                 self.schedule_arbitrate(now, s);
             }
@@ -934,6 +1215,9 @@ impl<'a> Network<'a> {
         let mut feasible: InlineVec<(PortIndex, VirtualLane, u32), MAX_PORTS> = InlineVec::new();
         if adaptive_allowed {
             for &op in &route.adaptive {
+                if !st.link_up[op.index()] {
+                    continue; // dead port: graceful degradation (§4.3)
+                }
                 let out = &st.outputs[op.index()];
                 if out.busy_until > now {
                     continue;
@@ -985,6 +1269,12 @@ impl<'a> Network<'a> {
         // the packet — it lands in the adaptive or escape region of the
         // downstream buffer depending on occupancy (§4.4).
         let op = route.escape;
+        if !st.link_up[op.index()] {
+            // Escape path severed: the packet waits for recovery (an SM
+            // re-sweep re-routes it; under other policies it stays until
+            // the link returns).
+            return None;
+        }
         let out = &st.outputs[op.index()];
         if out.busy_until > now {
             return None;
@@ -1024,9 +1314,9 @@ impl<'a> Network<'a> {
             (p, ser)
         };
         buf.mark_in_flight(d.idx);
-        st.inputs[d.input].read_busy_until = now + ser;
+        st.inputs[d.input].read_busy_until = now.plus_ns(ser);
         let out = &mut st.outputs[d.out_port.index()];
-        out.busy_until = now + ser;
+        out.busy_until = now.plus_ns(ser);
         out.busy_ns_total += ser;
         if let Some(cs) = out.credits.as_mut() {
             cs[d.out_vl.index()] -= packet.credits();
@@ -1056,7 +1346,7 @@ impl<'a> Network<'a> {
         match ep.node {
             NodeRef::Switch(n) => {
                 self.queue.schedule(
-                    now + prop,
+                    now.plus_ns(prop),
                     Event::HeaderArrive {
                         sw: n,
                         port: ep.port,
@@ -1067,11 +1357,11 @@ impl<'a> Network<'a> {
             }
             NodeRef::Host(h) => {
                 self.queue
-                    .schedule(now + ser + prop, Event::Deliver { host: h, packet });
+                    .schedule(now.plus_ns(ser + prop), Event::Deliver { host: h, packet });
             }
         }
         self.queue.schedule(
-            now + ser,
+            now.plus_ns(ser),
             Event::TxDone {
                 sw,
                 port: PortIndex(d.input as u8),

@@ -98,6 +98,15 @@ pub struct StatsCollector {
     last_det_seq: OrderTracker,
     /// Number of deterministic packets delivered out of order.
     pub order_violations: u64,
+    /// Link-down fault events applied to the fabric.
+    pub faults: u64,
+    first_fault_at: Option<SimTime>,
+    recovery_installed_at: Option<SimTime>,
+    resweeps: u64,
+    resweeps_failed: u64,
+    transit_drops: u64,
+    transit_drops_after_recovery: u64,
+    recovery_ns: Option<u64>,
 }
 
 /// Per-flow in-order tracker: the highest sequence number delivered by a
@@ -177,6 +186,14 @@ impl StatsCollector {
             source_drops: 0,
             last_det_seq: OrderTracker::new(num_hosts, lid_space),
             order_violations: 0,
+            faults: 0,
+            first_fault_at: None,
+            recovery_installed_at: None,
+            resweeps: 0,
+            resweeps_failed: 0,
+            transit_drops: 0,
+            transit_drops_after_recovery: 0,
+            recovery_ns: None,
         }
     }
 
@@ -214,9 +231,49 @@ impl StatsCollector {
         self.escape_forwards += 1;
     }
 
+    /// A link-down fault took effect in the fabric.
+    pub fn on_fault(&mut self, at: SimTime) {
+        self.faults += 1;
+        if self.first_fault_at.is_none() {
+            self.first_fault_at = Some(at);
+        }
+    }
+
+    /// The SM re-sweep installed recovery routing tables.
+    pub fn on_recovery_installed(&mut self, at: SimTime) {
+        self.resweeps += 1;
+        if self.recovery_installed_at.is_none() {
+            self.recovery_installed_at = Some(at);
+        }
+    }
+
+    /// An SM re-sweep was abandoned (degraded fabric disconnected).
+    pub fn on_resweep_failed(&mut self) {
+        self.resweeps_failed += 1;
+    }
+
+    /// A packet was lost in transit on a failed link.
+    pub fn on_transit_drop(&mut self, at: SimTime) {
+        self.transit_drops += 1;
+        if self.recovery_installed_at.is_some_and(|t| at >= t) {
+            self.transit_drops_after_recovery += 1;
+        }
+    }
+
     /// A packet's tail reached its destination host.
     pub fn on_delivered(&mut self, packet: &Packet, at: SimTime) {
         self.delivered += 1;
+        // Recovery time: first fault → first delivery at or after the
+        // recovery tables went live.
+        if self.recovery_ns.is_none() {
+            if let (Some(fault), Some(installed)) =
+                (self.first_fault_at, self.recovery_installed_at)
+            {
+                if at >= installed {
+                    self.recovery_ns = Some(at.since(fault));
+                }
+            }
+        }
         if self.in_window(at) {
             self.delivered_bytes_window += packet.size_bytes as u64;
         }
@@ -271,6 +328,20 @@ impl StatsCollector {
             order_violations: self.order_violations,
             max_host_queue: self.max_host_queue,
             source_drops: self.source_drops,
+            faults_injected: self.faults,
+            drops_in_transit: self.transit_drops,
+            drops_after_recovery: self.transit_drops_after_recovery,
+            delivered_ratio: {
+                let entered = self.generated - self.source_drops;
+                if entered == 0 {
+                    1.0
+                } else {
+                    self.delivered as f64 / entered as f64
+                }
+            },
+            recovery_time_ns: self.recovery_ns,
+            resweeps: self.resweeps,
+            resweeps_failed: self.resweeps_failed,
             events,
             wall_time_s,
             events_per_sec: if wall_time_s > 0.0 {
@@ -321,6 +392,29 @@ pub struct RunResult {
     pub max_host_queue: usize,
     /// Packets discarded at full source queues (0 in open-loop mode).
     pub source_drops: u64,
+    /// Link-down fault events applied (0 without a fault schedule).
+    pub faults_injected: u64,
+    /// Packets lost in transit on a link that went down under them.
+    pub drops_in_transit: u64,
+    /// Of [`Self::drops_in_transit`], those lost at or after the first
+    /// recovery-routing installation (must be 0 for a single-fault
+    /// SM-resweep run: nothing is routed onto a dead link once the
+    /// recovery tables are live).
+    pub drops_after_recovery: u64,
+    /// Delivered packets over packets that entered the fabric
+    /// (`delivered / (generated − source_drops)`; 1.0 for an empty run).
+    /// Strictly below 1 even without faults — packets still in flight at
+    /// the horizon are not delivered.
+    pub delivered_ratio: f64,
+    /// Nanoseconds from the first fault to the first delivery at or
+    /// after recovery tables were installed; `None` when no fault
+    /// occurred or no recovery completed.
+    pub recovery_time_ns: Option<u64>,
+    /// SM re-sweeps that installed recovery tables.
+    pub resweeps: u64,
+    /// SM re-sweeps abandoned because the degraded fabric was
+    /// disconnected.
+    pub resweeps_failed: u64,
     /// Discrete events processed.
     pub events: u64,
     /// Wall-clock seconds the event loop ran (host-machine measurement,
@@ -350,6 +444,13 @@ impl PartialEq for RunResult {
             && self.order_violations == other.order_violations
             && self.max_host_queue == other.max_host_queue
             && self.source_drops == other.source_drops
+            && self.faults_injected == other.faults_injected
+            && self.drops_in_transit == other.drops_in_transit
+            && self.drops_after_recovery == other.drops_after_recovery
+            && self.delivered_ratio == other.delivered_ratio
+            && self.recovery_time_ns == other.recovery_time_ns
+            && self.resweeps == other.resweeps
+            && self.resweeps_failed == other.resweeps_failed
             && self.events == other.events
     }
 }
@@ -495,6 +596,41 @@ mod tests {
             collector().finish(1, 0, Duration::ZERO).p50_latency_ns,
             None
         );
+    }
+
+    #[test]
+    fn fault_accounting_and_recovery_time() {
+        let mut c = collector();
+        c.on_generated(SimTime::from_ns(100));
+        c.on_generated(SimTime::from_ns(150));
+        // Fault at t=1100; a packet on the dead wire is lost.
+        c.on_fault(SimTime::from_ns(1100));
+        c.on_transit_drop(SimTime::from_ns(1150));
+        // A delivery before the recovery tables are live does not close
+        // the recovery window...
+        c.on_delivered(&packet(1, true, 1000), SimTime::from_ns(1200));
+        c.on_recovery_installed(SimTime::from_ns(1500));
+        // ...but the first one after does: 1600 − 1100 = 500 ns.
+        c.on_delivered(&packet(2, true, 1000), SimTime::from_ns(1600));
+        c.on_delivered(&packet(3, true, 1000), SimTime::from_ns(1900));
+        let r = c.finish(4, 0, Duration::ZERO);
+        assert_eq!(r.faults_injected, 1);
+        assert_eq!(r.drops_in_transit, 1);
+        assert_eq!(r.drops_after_recovery, 0);
+        assert_eq!(r.recovery_time_ns, Some(500));
+        assert_eq!(r.resweeps, 1);
+        assert!((r.delivered_ratio - 1.5).abs() < 1e-12); // 3 of 2 generated (toy numbers)
+                                                          // Drops after installation are flagged separately.
+        c.on_transit_drop(SimTime::from_ns(1700));
+        assert_eq!(c.finish(4, 0, Duration::ZERO).drops_after_recovery, 1);
+    }
+
+    #[test]
+    fn faultless_run_reports_no_recovery() {
+        let r = collector().finish(4, 0, Duration::ZERO);
+        assert_eq!(r.faults_injected, 0);
+        assert_eq!(r.recovery_time_ns, None);
+        assert_eq!(r.delivered_ratio, 1.0); // empty run: vacuously whole
     }
 
     #[test]

@@ -46,6 +46,13 @@ pub enum TraceStep {
         /// Destination host.
         host: HostId,
     },
+    /// Lost in transit: the link went down while the packet was on the
+    /// wire towards this switch.
+    Dropped {
+        /// The switch whose (now dead) input port the packet was
+        /// heading for.
+        sw: SwitchId,
+    },
 }
 
 /// A recorded journey.
@@ -125,6 +132,9 @@ impl PacketTrace {
                     },
                 ),
                 TraceStep::Delivered { host } => format!("{at:>12}  delivered at {host}"),
+                TraceStep::Dropped { sw } => {
+                    format!("{at:>12}  DROPPED on the dead link into {sw}")
+                }
             };
             out.push_str(&line);
             out.push('\n');

@@ -39,6 +39,11 @@ pub struct ManagedFabric<'a> {
     /// The switch the SM is attached to (via its first host).
     sm_switch: SwitchId,
     switches: Vec<ManagedSwitch>,
+    /// Per-switch, per-port failed-link overlay: `true` masks a wired
+    /// port as dead. Both the SMP transport (directed routes cannot
+    /// cross a dead link) and `PortInfo` (reports `Down`, so a re-sweep
+    /// discovers the degraded fabric) consult it.
+    down: Vec<Vec<bool>>,
     /// Total SMPs transported.
     pub smps_sent: u64,
 }
@@ -79,12 +84,56 @@ impl<'a> ManagedFabric<'a> {
                 })
             })
             .collect::<Result<Vec<_>, _>>()?;
+        let down = topo
+            .switch_ids()
+            .map(|_| vec![false; topo.ports_per_switch() as usize])
+            .collect();
         Ok(ManagedFabric {
             topo,
             sm_switch: topo.host_switch(iba_core::HostId(0)),
             switches,
+            down,
             smps_sent: 0,
         })
+    }
+
+    /// Fail the physical link between switches `a` and `b`: SMPs can no
+    /// longer cross it and both ends report [`PortState::Down`] — exactly
+    /// what the SM observes after a cable pull. Agent state (LFTs,
+    /// SLtoVL) is untouched; only a re-sweep reprograms it. Errors when
+    /// the topology has no such link.
+    pub fn fail_link(&mut self, a: SwitchId, b: SwitchId) -> Result<(), iba_core::IbaError> {
+        let (pa, pb) = self.link_ports(a, b)?;
+        self.down[a.index()][pa.index()] = true;
+        self.down[b.index()][pb.index()] = true;
+        Ok(())
+    }
+
+    /// Undo [`Self::fail_link`] for the link between `a` and `b`.
+    pub fn restore_link(&mut self, a: SwitchId, b: SwitchId) -> Result<(), iba_core::IbaError> {
+        let (pa, pb) = self.link_ports(a, b)?;
+        self.down[a.index()][pa.index()] = false;
+        self.down[b.index()][pb.index()] = false;
+        Ok(())
+    }
+
+    fn link_ports(
+        &self,
+        a: SwitchId,
+        b: SwitchId,
+    ) -> Result<(iba_core::PortIndex, iba_core::PortIndex), iba_core::IbaError> {
+        let n = self.topo.num_switches();
+        if a.index() >= n || b.index() >= n {
+            return Err(iba_core::IbaError::InvalidConfig(format!(
+                "switch out of range (topology has {n} switches)"
+            )));
+        }
+        match (self.topo.port_towards(a, b), self.topo.port_towards(b, a)) {
+            (Some(pa), Some(pb)) => Ok((pa, pb)),
+            _ => Err(iba_core::IbaError::InvalidConfig(format!(
+                "no link {a}–{b} in the topology"
+            ))),
+        }
     }
 
     /// The switch the SM is attached to.
@@ -107,6 +156,9 @@ impl<'a> ManagedFabric<'a> {
             };
             if port.index() >= self.topo.ports_per_switch() as usize {
                 return Err(());
+            }
+            if self.down[sw.index()][port.index()] {
+                return Err(()); // failed link: nothing crosses, SMPs included
             }
             let Some(ep) = self.topo.endpoint(sw, port) else {
                 return Err(()); // down port
@@ -142,6 +194,10 @@ impl<'a> ManagedFabric<'a> {
                     (SmpMethod::Get, SmpAttribute::PortInfo { port }) => {
                         if port.index() >= ports as usize {
                             SmpResponse::Unsupported
+                        } else if self.down[sw.index()][port.index()] {
+                            SmpResponse::PortInfo {
+                                state: PortState::Down,
+                            }
                         } else if self.topo.endpoint(sw, *port).is_some() {
                             SmpResponse::PortInfo {
                                 state: PortState::Up,
@@ -377,6 +433,47 @@ mod tests {
             DirectedRoute::local(),
         ));
         assert_eq!(resp, SmpResponse::Unsupported);
+    }
+
+    #[test]
+    fn failed_links_block_smps_and_report_down() {
+        let topo = regular::ring(4, 1).unwrap();
+        let sm_sw = topo.host_switch(iba_core::HostId(0));
+        let (port, peer, _) = topo.switch_neighbors(sm_sw).next().unwrap();
+        let mut fab = ManagedFabric::new(&topo, 2).unwrap();
+        fab.fail_link(sm_sw, peer).unwrap();
+        // The directed route over the dead link falls off the fabric...
+        let resp = fab.send(&smp(
+            SmpMethod::Get,
+            SmpAttribute::NodeInfo,
+            DirectedRoute::local().then(port),
+        ));
+        assert_eq!(resp, SmpResponse::BadRoute);
+        // ...and PortInfo on the local end reports Down.
+        let resp = fab.send(&smp(
+            SmpMethod::Get,
+            SmpAttribute::PortInfo { port },
+            DirectedRoute::local(),
+        ));
+        assert_eq!(
+            resp,
+            SmpResponse::PortInfo {
+                state: PortState::Down
+            }
+        );
+        // Restoring the link brings both back.
+        fab.restore_link(sm_sw, peer).unwrap();
+        assert!(matches!(
+            fab.send(&smp(
+                SmpMethod::Get,
+                SmpAttribute::NodeInfo,
+                DirectedRoute::local().then(port),
+            )),
+            SmpResponse::NodeInfo { .. }
+        ));
+        // Unknown links are rejected.
+        assert!(fab.fail_link(sm_sw, sm_sw).is_err());
+        assert!(fab.fail_link(SwitchId(99), peer).is_err());
     }
 
     #[test]

@@ -1,0 +1,144 @@
+//! Golden end-to-end test for SM fault recovery.
+//!
+//! A switch–switch link fails; the subnet manager re-sweeps the fabric
+//! **purely over directed-route SMPs** — it never peeks at the physical
+//! topology — and the reprogrammed forwarding tables must (a) describe a
+//! connected fabric that simply lacks the dead link, (b) never forward
+//! over the dead ports, and (c) keep the escape layer deadlock-free, as
+//! certified by the channel-dependency check in `iba_routing::analysis`.
+
+use iba_core::{PortIndex, SwitchId};
+use iba_routing::{check_escape_routes, RoutingConfig};
+use iba_sm::sm::BringUp;
+use iba_sm::{ManagedFabric, SubnetManager};
+use iba_topology::{Topology, TopologyBuilder};
+use std::collections::HashMap;
+
+/// First switch–switch link whose removal keeps the fabric connected,
+/// as `(a, port-on-a, b, port-on-b)`.
+fn removable_link(topo: &Topology) -> (SwitchId, PortIndex, SwitchId, PortIndex) {
+    for a in topo.switch_ids() {
+        for (pa, b, pb) in topo.switch_neighbors(a) {
+            if b.0 <= a.0 {
+                continue;
+            }
+            if degraded(topo, a, b).is_ok() {
+                return (a, pa, b, pb);
+            }
+        }
+    }
+    panic!("topology has no removable link");
+}
+
+/// Rebuild `topo` without the `a`–`b` link; errors when that would
+/// disconnect the fabric.
+fn degraded(topo: &Topology, a: SwitchId, b: SwitchId) -> Result<Topology, iba_core::IbaError> {
+    let mut bld = TopologyBuilder::new(topo.num_switches(), topo.ports_per_switch());
+    for s in topo.switch_ids() {
+        for (p, peer, pp) in topo.switch_neighbors(s) {
+            if peer.0 > s.0 && !(s == a && peer == b) {
+                bld.connect_ports(s, p, peer, pp)?;
+            }
+        }
+    }
+    for h in topo.host_ids() {
+        let (sw, port) = topo.host_attachment(h);
+        bld.attach_host_at(sw, port)?;
+    }
+    bld.build()
+}
+
+/// Assert the re-swept, SMP-programmed tables route every pair without
+/// the dead link and pass the escape deadlock check. All assertions read
+/// the *agents'* LFTs (what the SMPs actually wrote), correlated to the
+/// discovered topology by GUID.
+fn assert_tables_sound(
+    physical: &Topology,
+    fabric: &ManagedFabric,
+    up: &BringUp,
+    dead: &[(SwitchId, PortIndex)],
+) {
+    // Discovered switch id -> physical agent, correlated by GUID.
+    let mut agent_of = HashMap::new();
+    for s in up.topology.switch_ids() {
+        let guid = up.discovered.switches[s.index()].guid;
+        let phys = physical
+            .switch_ids()
+            .find(|&p| fabric.agent(p).guid == guid)
+            .expect("discovered GUID must belong to a physical agent");
+        agent_of.insert(s, phys);
+    }
+
+    // (b) no LFT entry on the dead link's endpoints uses the dead port.
+    for &(phys, port) in dead {
+        let view = fabric.agent(phys).lft.linear_view();
+        assert!(
+            !view.contains(&Some(port)),
+            "agent {phys} still forwards over dead {port}"
+        );
+    }
+
+    // (c) every escape chain terminates and the dependency graph is
+    // acyclic — read back from the programmed LFTs, not the SM's own
+    // route computation.
+    check_escape_routes(&up.topology, |s, h| {
+        let dlid = up.routing.dlid(h, false).ok()?;
+        fabric.agent(agent_of[&s]).lft.get(dlid)
+    })
+    .unwrap();
+}
+
+#[test]
+fn resweep_after_link_failure_reprograms_sound_tables() {
+    let physical = iba_topology::IrregularConfig::paper(16, 4)
+        .generate()
+        .unwrap();
+    let mut fabric = ManagedFabric::new(&physical, 2).unwrap();
+    let sm = SubnetManager::new(RoutingConfig::two_options());
+
+    let up1 = sm.initialize(&mut fabric).unwrap();
+    assert!(up1.report.verified);
+    let links_before = up1.discovered.link_count();
+
+    // Kill a connectivity-preserving link, then re-sweep over SMPs only.
+    let (a, pa, b, pb) = removable_link(&physical);
+    fabric.fail_link(a, b).unwrap();
+    let smps_before = fabric.smps_sent;
+    let up2 = sm.initialize(&mut fabric).unwrap();
+    assert!(up2.report.verified);
+    assert!(fabric.smps_sent > smps_before, "re-sweep must use SMPs");
+
+    // (a) same fabric minus exactly the dead link, still connected.
+    assert_eq!(up2.topology.num_switches(), physical.num_switches());
+    assert_eq!(up2.topology.num_hosts(), physical.num_hosts());
+    assert_eq!(up2.discovered.link_count(), links_before - 1);
+    assert!(up2.topology.is_connected());
+
+    assert_tables_sound(&physical, &fabric, &up2, &[(a, pa), (b, pb)]);
+
+    // Repair: restoring the link and sweeping again finds it back.
+    fabric.restore_link(a, b).unwrap();
+    let up3 = sm.initialize(&mut fabric).unwrap();
+    assert_eq!(up3.discovered.link_count(), links_before);
+    assert_tables_sound(&physical, &fabric, &up3, &[]);
+}
+
+#[test]
+fn resweep_of_partitioning_failure_programs_reachable_half() {
+    // chain(4): killing the middle link splits the fabric. The SM's
+    // directed-route sweep can only reach its own partition, so the
+    // re-sweep brings up a *smaller* but still sound subnet — it must
+    // not invent routes across the dead link.
+    let physical = iba_topology::regular::chain(4, 1).unwrap();
+    let mut fabric = ManagedFabric::new(&physical, 2).unwrap();
+    let sm = SubnetManager::new(RoutingConfig::two_options());
+    let up1 = sm.initialize(&mut fabric).unwrap();
+    assert_eq!(up1.topology.num_switches(), 4);
+
+    fabric.fail_link(SwitchId(1), SwitchId(2)).unwrap();
+    let up2 = sm.initialize(&mut fabric).unwrap();
+    assert_eq!(up2.topology.num_switches(), 2);
+    assert_eq!(up2.topology.num_hosts(), 2);
+    assert!(up2.report.verified);
+    assert_tables_sound(&physical, &fabric, &up2, &[]);
+}

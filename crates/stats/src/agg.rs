@@ -8,14 +8,21 @@
 use serde::{Deserialize, Serialize};
 
 /// Running minimum / maximum / mean of a sequence of samples.
+///
+/// Non-finite samples (NaN, ±∞) are *rejected and counted* rather than
+/// mixed in: a single NaN would otherwise poison `sum`, `min` and `max`
+/// for the rest of the accumulator's life (NaN propagates through both
+/// `+` and `f64::min`/`max` once it is the accumulated value).
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct MinMaxAvg {
-    /// Number of samples.
+    /// Number of finite samples accumulated.
     pub count: usize,
     /// Smallest sample (`NaN` if empty).
     pub min: f64,
     /// Largest sample (`NaN` if empty).
     pub max: f64,
+    /// Number of non-finite samples rejected.
+    pub non_finite: usize,
     sum: f64,
 }
 
@@ -26,6 +33,7 @@ impl MinMaxAvg {
             count: 0,
             min: f64::NAN,
             max: f64::NAN,
+            non_finite: 0,
             sum: 0.0,
         }
     }
@@ -35,10 +43,15 @@ impl MinMaxAvg {
         samples.into_iter().collect()
     }
 
-    /// Add a sample. Non-finite samples are a caller bug and panic in
-    /// debug builds.
+    /// Add a sample. Non-finite samples are skipped and counted in
+    /// [`non_finite`](MinMaxAvg::non_finite) (and still panic in debug
+    /// builds, where they indicate a caller bug worth catching early).
     pub fn push(&mut self, sample: f64) {
         debug_assert!(sample.is_finite(), "non-finite sample {sample}");
+        if !sample.is_finite() {
+            self.non_finite += 1;
+            return;
+        }
         if self.count == 0 {
             self.min = sample;
             self.max = sample;
@@ -59,9 +72,10 @@ impl MinMaxAvg {
         }
     }
 
-    /// Render as the paper's `min/max/avg` triple.
-    pub fn triple(&self) -> (f64, f64, f64) {
-        (self.min, self.max, self.avg())
+    /// The paper's `(min, max, avg)` triple, or `None` when no finite
+    /// sample was accumulated (instead of a silent NaN triple).
+    pub fn triple(&self) -> Option<(f64, f64, f64)> {
+        (self.count > 0).then(|| (self.min, self.max, self.avg()))
     }
 }
 
@@ -90,8 +104,10 @@ impl std::fmt::Display for MinMaxAvg {
 /// Welford's online mean/variance.
 #[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct Welford {
-    /// Number of samples.
+    /// Number of finite samples accumulated.
     pub count: usize,
+    /// Number of non-finite samples rejected.
+    pub non_finite: usize,
     mean: f64,
     m2: f64,
 }
@@ -102,8 +118,16 @@ impl Welford {
         Welford::default()
     }
 
-    /// Add a sample.
+    /// Add a sample. Non-finite samples are skipped and counted in
+    /// [`non_finite`](Welford::non_finite), mirroring
+    /// [`MinMaxAvg::push`] — one NaN would otherwise corrupt `mean` and
+    /// `m2` permanently.
     pub fn push(&mut self, sample: f64) {
+        debug_assert!(sample.is_finite(), "non-finite sample {sample}");
+        if !sample.is_finite() {
+            self.non_finite += 1;
+            return;
+        }
         self.count += 1;
         let delta = sample - self.mean;
         self.mean += delta / self.count as f64;
@@ -142,7 +166,7 @@ mod tests {
     #[test]
     fn min_max_avg_basics() {
         let acc = MinMaxAvg::from_samples([3.0, 1.0, 2.0]);
-        assert_eq!(acc.triple(), (1.0, 3.0, 2.0));
+        assert_eq!(acc.triple(), Some((1.0, 3.0, 2.0)));
         assert_eq!(acc.count, 3);
         assert_eq!(acc.to_string(), "1.00/3.00/2.00");
     }
@@ -152,12 +176,47 @@ mod tests {
         let acc = MinMaxAvg::new();
         assert!(acc.avg().is_nan());
         assert!(acc.min.is_nan());
+        assert_eq!(acc.triple(), None);
     }
 
     #[test]
     fn single_sample() {
         let acc = MinMaxAvg::from_samples([5.0]);
-        assert_eq!(acc.triple(), (5.0, 5.0, 5.0));
+        assert_eq!(acc.triple(), Some((5.0, 5.0, 5.0)));
+    }
+
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn non_finite_samples_are_skipped_and_counted() {
+        // Release-only: in debug builds push() debug_asserts instead.
+        let mut acc = MinMaxAvg::new();
+        acc.push(1.0);
+        acc.push(f64::NAN);
+        acc.push(f64::INFINITY);
+        acc.push(3.0);
+        assert_eq!(acc.triple(), Some((1.0, 3.0, 2.0)));
+        assert_eq!(acc.count, 2);
+        assert_eq!(acc.non_finite, 2);
+
+        let mut w = Welford::new();
+        w.push(2.0);
+        w.push(f64::NAN);
+        w.push(4.0);
+        assert_eq!(w.count, 2);
+        assert_eq!(w.non_finite, 1);
+        assert!((w.mean() - 3.0).abs() < 1e-12);
+
+        // All-non-finite input leaves the accumulator empty, not poisoned.
+        let acc = MinMaxAvg::from_samples([f64::NAN, f64::NEG_INFINITY]);
+        assert_eq!(acc.triple(), None);
+        assert_eq!(acc.non_finite, 2);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "non-finite sample")]
+    fn non_finite_samples_panic_in_debug() {
+        MinMaxAvg::new().push(f64::NAN);
     }
 
     #[test]

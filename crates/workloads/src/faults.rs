@@ -1,0 +1,218 @@
+//! Link-fault schedules.
+//!
+//! The paper evaluates a fault-free steady state, but its whole premise —
+//! independently deadlock-free escape and APM-alternate path sets — only
+//! pays off when links *break*. A [`FaultSchedule`] carries timed
+//! `LinkDown`/`LinkUp` events on switch–switch links, built
+//! programmatically or parsed from CSV exactly like [`TrafficScript`]
+//! (crate::TrafficScript); the simulator replays it
+//! (`Network::with_faults`), dropping in-transit packets, masking dead
+//! ports out of the routing options, and optionally triggering an SM
+//! re-sweep or APM migration.
+
+use iba_core::{IbaError, SimTime, SwitchId};
+use serde::{Deserialize, Serialize};
+
+/// What happens to the link.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// The link goes dead: in-buffer packets routed over it are flushed,
+    /// packets on the wire are lost, and the port stops being a feasible
+    /// routing option.
+    LinkDown,
+    /// The link comes back: ports are unmasked and credits restored.
+    LinkUp,
+}
+
+/// One timed link event on the switch–switch link `a`–`b`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultEvent {
+    /// When the event takes effect.
+    pub at: SimTime,
+    /// Down or up.
+    pub kind: FaultKind,
+    /// One endpoint switch.
+    pub a: SwitchId,
+    /// The other endpoint switch.
+    pub b: SwitchId,
+}
+
+/// A time-ordered list of link faults.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultSchedule {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultSchedule {
+    /// Build from a list of events (sorted by time internally; the
+    /// relative order of same-instant entries is preserved).
+    pub fn new(mut events: Vec<FaultEvent>) -> Result<FaultSchedule, IbaError> {
+        for (i, e) in events.iter().enumerate() {
+            if e.a == e.b {
+                return Err(IbaError::InvalidConfig(format!(
+                    "fault entry {i}: link endpoints are the same switch ({})",
+                    e.a
+                )));
+            }
+        }
+        events.sort_by_key(|e| e.at);
+        Ok(FaultSchedule { events })
+    }
+
+    /// A single permanent link failure at `at`.
+    pub fn single(at: SimTime, a: SwitchId, b: SwitchId) -> Result<FaultSchedule, IbaError> {
+        FaultSchedule::new(vec![FaultEvent {
+            at,
+            kind: FaultKind::LinkDown,
+            a,
+            b,
+        }])
+    }
+
+    /// Parse from CSV lines of the form `time_ns,kind,switch_a,switch_b`
+    /// where `kind` is `down`/`up` (or `0`/`1`). Header lines and lines
+    /// starting with `#` are skipped.
+    pub fn from_csv(text: &str) -> Result<FaultSchedule, IbaError> {
+        let mut events = Vec::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') || line.starts_with("time") {
+                continue;
+            }
+            let fields: Vec<&str> = line.split(',').map(str::trim).collect();
+            if fields.len() < 4 {
+                return Err(IbaError::InvalidConfig(format!(
+                    "fault line {}: expected 4 fields, got {}",
+                    lineno + 1,
+                    fields.len()
+                )));
+            }
+            let parse = |s: &str, what: &str| -> Result<u64, IbaError> {
+                s.parse().map_err(|_| {
+                    IbaError::InvalidConfig(format!("fault line {}: bad {what} {s:?}", lineno + 1))
+                })
+            };
+            let kind = match fields[1] {
+                "down" | "0" => FaultKind::LinkDown,
+                "up" | "1" => FaultKind::LinkUp,
+                other => {
+                    return Err(IbaError::InvalidConfig(format!(
+                        "fault line {}: bad kind {other:?} (want down/up)",
+                        lineno + 1
+                    )))
+                }
+            };
+            events.push(FaultEvent {
+                at: SimTime::from_ns(parse(fields[0], "time")?),
+                kind,
+                a: SwitchId(parse(fields[2], "switch_a")? as u16),
+                b: SwitchId(parse(fields[3], "switch_b")? as u16),
+            });
+        }
+        FaultSchedule::new(events)
+    }
+
+    /// Render as CSV (the `from_csv` format, with header).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("time_ns,kind,switch_a,switch_b\n");
+        for e in &self.events {
+            out.push_str(&format!(
+                "{},{},{},{}\n",
+                e.at.as_ns(),
+                match e.kind {
+                    FaultKind::LinkDown => "down",
+                    FaultKind::LinkUp => "up",
+                },
+                e.a.0,
+                e.b.0
+            ));
+        }
+        out
+    }
+
+    /// The events, time-ordered.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the schedule is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Time of the first event, if any.
+    pub fn first_time(&self) -> Option<SimTime> {
+        self.events.first().map(|e| e.at)
+    }
+
+    /// Largest switch id referenced (for population validation).
+    pub fn max_switch(&self) -> Option<SwitchId> {
+        self.events.iter().flat_map(|e| [e.a, e.b]).max()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(at: u64, kind: FaultKind, a: u16, b: u16) -> FaultEvent {
+        FaultEvent {
+            at: SimTime::from_ns(at),
+            kind,
+            a: SwitchId(a),
+            b: SwitchId(b),
+        }
+    }
+
+    #[test]
+    fn new_sorts_and_validates() {
+        let s = FaultSchedule::new(vec![
+            ev(300, FaultKind::LinkUp, 0, 1),
+            ev(100, FaultKind::LinkDown, 0, 1),
+        ])
+        .unwrap();
+        let times: Vec<u64> = s.events().iter().map(|e| e.at.as_ns()).collect();
+        assert_eq!(times, vec![100, 300]);
+        assert_eq!(s.first_time(), Some(SimTime::from_ns(100)));
+        assert_eq!(s.max_switch(), Some(SwitchId(1)));
+        assert!(FaultSchedule::new(vec![ev(1, FaultKind::LinkDown, 2, 2)]).is_err());
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let s = FaultSchedule::new(vec![
+            ev(1000, FaultKind::LinkDown, 3, 7),
+            ev(5000, FaultKind::LinkUp, 3, 7),
+        ])
+        .unwrap();
+        let csv = s.to_csv();
+        assert!(csv.starts_with("time_ns,"));
+        let back = FaultSchedule::from_csv(&csv).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn csv_parsing_tolerates_comments_and_rejects_junk() {
+        let good = "# faults\ntime_ns,kind,switch_a,switch_b\n10, down, 0, 1\n20,1,1,2\n";
+        let s = FaultSchedule::from_csv(good).unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.events()[0].kind, FaultKind::LinkDown);
+        assert_eq!(s.events()[1].kind, FaultKind::LinkUp);
+        assert!(FaultSchedule::from_csv("10,down,0\n").is_err()); // too few fields
+        assert!(FaultSchedule::from_csv("10,sideways,0,1\n").is_err()); // bad kind
+        assert!(FaultSchedule::from_csv("x,down,0,1\n").is_err()); // bad number
+    }
+
+    #[test]
+    fn single_helper() {
+        let s = FaultSchedule::single(SimTime::from_us(50), SwitchId(2), SwitchId(5)).unwrap();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.events()[0].kind, FaultKind::LinkDown);
+        assert!(FaultSchedule::single(SimTime::ZERO, SwitchId(1), SwitchId(1)).is_err());
+    }
+}

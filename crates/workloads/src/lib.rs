@@ -14,14 +14,18 @@
 //! * [`injection`] — open-loop injection processes (Poisson or periodic)
 //!   parameterized by a byte rate, plus the per-packet adaptive marking;
 //! * [`script`] — explicit trace-driven injection (CSV-parsable), for
-//!   replaying application communication patterns.
+//!   replaying application communication patterns;
+//! * [`faults`] — timed link-down/link-up schedules (CSV-parsable) for
+//!   fault-injection and recovery experiments.
 
 #![warn(missing_docs)]
 
+pub mod faults;
 pub mod injection;
 pub mod patterns;
 pub mod script;
 
+pub use faults::{FaultEvent, FaultKind, FaultSchedule};
 pub use injection::{GeneratedPacket, HostGenerator, InjectionProcess, WorkloadSpec};
 pub use patterns::{DestinationSampler, TrafficPattern};
 pub use script::{PathSet, ScriptedPacket, TrafficScript};

@@ -71,18 +71,20 @@ pub mod prelude {
         RoutingMode, ServiceLevel, SimTime, SwitchId, VirtualLane,
     };
     pub use iba_routing::{
-        FaRouting, InterleavedForwardingTable, MinimalRouting, OptionDistribution, PathLengthStats,
-        RouteOptions, RoutingConfig, SlToVlTable, UpDownRouting,
+        check_escape_routes, FaRouting, InterleavedForwardingTable, MinimalRouting,
+        OptionDistribution, PathLengthStats, RouteOptions, RoutingConfig, SlToVlTable,
+        UpDownRouting,
     };
     pub use iba_sim::{
-        EscapeOrderPolicy, Network, QueueBackend, RunResult, SelectionPolicy, SimConfig,
+        EscapeOrderPolicy, Network, QueueBackend, RecoveryPolicy, RunResult, SelectionPolicy,
+        SimConfig,
     };
     pub use iba_sm::{ApmPlan, ManagedFabric, SubnetManager};
     pub use iba_stats::{Curve, CurvePoint, MinMaxAvg};
     pub use iba_topology::{regular, IrregularConfig, Topology, TopologyBuilder, TopologyMetrics};
     pub use iba_workloads::{
-        HostGenerator, InjectionProcess, PathSet, ScriptedPacket, TrafficPattern, TrafficScript,
-        WorkloadSpec,
+        FaultEvent, FaultKind, FaultSchedule, HostGenerator, InjectionProcess, PathSet,
+        ScriptedPacket, TrafficPattern, TrafficScript, WorkloadSpec,
     };
 }
 
