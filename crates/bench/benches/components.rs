@@ -80,7 +80,11 @@ fn bench_arbitrate_pass(c: &mut Criterion) {
     let topo = IrregularConfig::paper(32, 1).generate().unwrap();
     let routing = FaRouting::build(&topo, RoutingConfig::two_options()).unwrap();
     let spec = WorkloadSpec::uniform32(0.02);
-    let mut net = Network::new(&topo, &routing, spec, SimConfig::paper(3)).unwrap();
+    let mut net = Network::builder(&topo, &routing)
+        .workload(spec)
+        .config(SimConfig::paper(3))
+        .build()
+        .unwrap();
     net.advance(200_000);
     c.bench_function("arbitrate_pass_32sw", |b| {
         b.iter(|| black_box(net.arbitrate_pass()));

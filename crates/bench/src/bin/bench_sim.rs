@@ -1,15 +1,19 @@
 //! End-to-end simulator throughput benchmark: `BENCH_sim.json`.
 //!
 //! Runs the canonical perf workload — a 32-switch irregular paper
-//! network under uniform traffic — a few times per event-queue backend
-//! and reports events/second (median over runs) as machine-readable
-//! JSON. This is the number the performance work in this repository is
-//! measured by; see DESIGN.md ("Performance") for how to read it.
+//! network under uniform traffic — a few times per event-queue backend,
+//! both with telemetry disabled (the default, and the number the
+//! performance work in this repository is measured by) and with the
+//! telemetry probes armed at the default 1 µs cadence (bounding the
+//! instrumentation overhead). Reports events/second (median over runs)
+//! as machine-readable JSON; see DESIGN.md ("Performance") for how to
+//! read it.
 //!
 //! Usage: `cargo run --release -p iba-bench --bin bench_sim [out.json]`
 
 use iba_bench::BenchFixture;
-use iba_sim::{QueueBackend, SimConfig};
+use iba_core::Json;
+use iba_sim::{QueueBackend, SimConfig, TelemetryOpts};
 use iba_workloads::WorkloadSpec;
 use std::time::Instant;
 
@@ -27,12 +31,16 @@ struct Sample {
     wall_s: f64,
 }
 
-fn run_once(fixture: &BenchFixture, backend: QueueBackend, seed: u64) -> Sample {
+fn run_once(fixture: &BenchFixture, backend: QueueBackend, seed: u64, telemetry: bool) -> Sample {
     let mut cfg = SimConfig::paper(seed);
     cfg.queue_backend = backend;
     let spec = WorkloadSpec::uniform32(INJECTION_RATE);
     let t0 = Instant::now();
-    let result = fixture.simulate(spec, cfg);
+    let result = if telemetry {
+        fixture.simulate_instrumented(spec, cfg, TelemetryOpts::default())
+    } else {
+        fixture.simulate(spec, cfg)
+    };
     let wall_s = t0.elapsed().as_secs_f64();
     Sample {
         events: result.events,
@@ -52,57 +60,48 @@ fn main() {
         .unwrap_or_else(|| "BENCH_sim.json".to_string());
     let fixture = BenchFixture::paper(SWITCHES, TOPOLOGY_SEED);
 
-    let mut backends_json = Vec::new();
+    let mut results = Vec::new();
     for (backend, which) in [
         ("binary_heap", QueueBackend::BinaryHeap),
         ("calendar", QueueBackend::Calendar),
     ] {
-        let mut rates = Vec::with_capacity(RUNS);
-        let mut last = None;
-        for run in 0..RUNS {
-            let s = run_once(&fixture, which, 100 + run as u64);
-            eprintln!(
-                "{backend} run {run}: {} events in {:.3}s = {:.0} events/s",
-                s.events,
-                s.wall_s,
-                s.events as f64 / s.wall_s
-            );
-            rates.push(s.events as f64 / s.wall_s);
-            last = Some(s);
+        for telemetry in [false, true] {
+            let mode = if telemetry { "enabled" } else { "disabled" };
+            let mut rates = Vec::with_capacity(RUNS);
+            let mut last = None;
+            for run in 0..RUNS {
+                let s = run_once(&fixture, which, 100 + run as u64, telemetry);
+                eprintln!(
+                    "{backend} (telemetry {mode}) run {run}: {} events in {:.3}s = {:.0} events/s",
+                    s.events,
+                    s.wall_s,
+                    s.events as f64 / s.wall_s
+                );
+                rates.push(s.events as f64 / s.wall_s);
+                last = Some(s);
+            }
+            let last = last.expect("RUNS > 0");
+            let eps = median(&mut rates);
+            results.push(Json::obj([
+                ("backend", Json::from(backend)),
+                ("telemetry", Json::from(mode)),
+                ("events_per_sec", Json::from(eps.round())),
+                ("events_last_run", Json::from(last.events)),
+                ("delivered_last_run", Json::from(last.delivered)),
+                ("wall_s_last_run", Json::from(last.wall_s)),
+            ]));
         }
-        let last = last.expect("RUNS > 0");
-        let eps = median(&mut rates);
-        backends_json.push(format!(
-            concat!(
-                "    {{\n",
-                "      \"backend\": \"{}\",\n",
-                "      \"events_per_sec\": {:.0},\n",
-                "      \"events_last_run\": {},\n",
-                "      \"delivered_last_run\": {},\n",
-                "      \"wall_s_last_run\": {:.6}\n",
-                "    }}"
-            ),
-            backend, eps, last.events, last.delivered, last.wall_s
-        ));
     }
 
-    let json = format!(
-        concat!(
-            "{{\n",
-            "  \"benchmark\": \"sim_events_per_sec\",\n",
-            "  \"switches\": {},\n",
-            "  \"topology_seed\": {},\n",
-            "  \"injection_rate_bytes_per_ns\": {},\n",
-            "  \"runs_per_backend\": {},\n",
-            "  \"results\": [\n{}\n  ]\n",
-            "}}\n"
-        ),
-        SWITCHES,
-        TOPOLOGY_SEED,
-        INJECTION_RATE,
-        RUNS,
-        backends_json.join(",\n")
-    );
+    let json = Json::obj([
+        ("benchmark", Json::from("sim_events_per_sec")),
+        ("switches", Json::from(SWITCHES)),
+        ("topology_seed", Json::from(TOPOLOGY_SEED)),
+        ("injection_rate_bytes_per_ns", Json::from(INJECTION_RATE)),
+        ("runs_per_backend", Json::from(RUNS)),
+        ("results", Json::Arr(results)),
+    ])
+    .to_string_pretty();
     std::fs::write(&out_path, &json).expect("write benchmark output");
     println!("{json}");
     eprintln!("wrote {out_path}");

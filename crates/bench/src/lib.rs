@@ -18,7 +18,7 @@
 #![warn(missing_docs)]
 
 use iba_routing::{FaRouting, RoutingConfig};
-use iba_sim::{Network, RunResult, SimConfig};
+use iba_sim::{Network, RunResult, SimConfig, TelemetryOpts};
 use iba_topology::{IrregularConfig, Topology};
 use iba_workloads::WorkloadSpec;
 
@@ -43,7 +43,27 @@ impl BenchFixture {
 
     /// Run one simulation on the fixture.
     pub fn simulate(&self, spec: WorkloadSpec, cfg: SimConfig) -> RunResult {
-        Network::new(&self.topology, &self.routing, spec, cfg)
+        Network::builder(&self.topology, &self.routing)
+            .workload(spec)
+            .config(cfg)
+            .build()
+            .expect("consistent setup")
+            .run()
+    }
+
+    /// Run one simulation with the telemetry probes armed (in-memory
+    /// sink) — the instrumented side of the hook-overhead benchmark.
+    pub fn simulate_instrumented(
+        &self,
+        spec: WorkloadSpec,
+        cfg: SimConfig,
+        opts: TelemetryOpts,
+    ) -> RunResult {
+        Network::builder(&self.topology, &self.routing)
+            .workload(spec)
+            .config(cfg)
+            .telemetry(opts)
+            .build()
             .expect("consistent setup")
             .run()
     }

@@ -1,0 +1,324 @@
+//! A minimal JSON document model and writer.
+//!
+//! Every artifact this workspace emits (`results/*.json`,
+//! `BENCH_sim.json`, telemetry sink lines) is JSON, but the vendored
+//! `serde` is a no-op stub with no serializer behind it. Instead of each
+//! experiment bin hand-assembling strings with `format!`, this module
+//! gives them one tree type ([`Json`]) and one writer, so escaping,
+//! float formatting and nesting are correct in a single place.
+//!
+//! The model is write-only by design: nothing in the workspace parses
+//! JSON back, so there is no parser to maintain. Object members keep
+//! their insertion order — outputs are deterministic and diffable.
+
+use std::fmt;
+
+/// A JSON value.
+///
+/// Numbers are split by source type so integers render exactly
+/// (`u64`/`i64` never round-trip through `f64`). Non-finite floats have
+/// no JSON representation and render as `null`, matching what the
+/// hand-rolled writers did for NaN latencies.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A signed integer.
+    Int(i64),
+    /// An unsigned integer.
+    UInt(u64),
+    /// A float (`NaN`/`±inf` render as `null`).
+    Num(f64),
+    /// A string (escaped on render).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; members render in insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// An empty object, ready for [`Json::push`].
+    pub fn object() -> Json {
+        Json::Obj(Vec::new())
+    }
+
+    /// An object built from `(key, value)` pairs.
+    pub fn obj<K: Into<String>, V: Into<Json>>(pairs: impl IntoIterator<Item = (K, V)>) -> Json {
+        Json::Obj(
+            pairs
+                .into_iter()
+                .map(|(k, v)| (k.into(), v.into()))
+                .collect(),
+        )
+    }
+
+    /// An array built from values.
+    pub fn arr<V: Into<Json>>(items: impl IntoIterator<Item = V>) -> Json {
+        Json::Arr(items.into_iter().map(Into::into).collect())
+    }
+
+    /// Append a member to an object (panics on non-objects — a misuse of
+    /// the builder, not a data condition).
+    pub fn push(&mut self, key: impl Into<String>, value: impl Into<Json>) -> &mut Json {
+        match self {
+            Json::Obj(m) => m.push((key.into(), value.into())),
+            other => panic!("Json::push on non-object {other:?}"),
+        }
+        self
+    }
+
+    /// Render compactly (no whitespace).
+    pub fn to_string_compact(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Render with 2-space indentation and a trailing newline — the
+    /// layout of the committed `results/*.json` artifacts.
+    pub fn to_string_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(i) => {
+                let mut buf = itoa_buf();
+                out.push_str(write_display(&mut buf, i));
+            }
+            Json::UInt(u) => {
+                let mut buf = itoa_buf();
+                out.push_str(write_display(&mut buf, u));
+            }
+            Json::Num(f) => write_f64(out, *f),
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => write_seq(out, indent, depth, '[', ']', items.len(), |out, i| {
+                items[i].write(out, indent, depth + 1);
+            }),
+            Json::Obj(members) => {
+                write_seq(out, indent, depth, '{', '}', members.len(), |out, i| {
+                    let (k, v) = &members[i];
+                    write_escaped(out, k);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    v.write(out, indent, depth + 1);
+                })
+            }
+        }
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_string_compact())
+    }
+}
+
+fn itoa_buf() -> String {
+    String::with_capacity(20)
+}
+
+fn write_display<T: fmt::Display>(buf: &mut String, v: T) -> &str {
+    use fmt::Write;
+    buf.clear();
+    write!(buf, "{v}").expect("writing to a String cannot fail");
+    buf
+}
+
+/// Floats: `Display` prints the shortest digits that round-trip, which
+/// is valid JSON (`1` is a legal number); non-finite values become
+/// `null`.
+fn write_f64(out: &mut String, f: f64) {
+    use fmt::Write;
+    if f.is_finite() {
+        write!(out, "{f}").expect("writing to a String cannot fail");
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    use fmt::Write;
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                write!(out, "\\u{:04x}", c as u32).expect("writing to a String cannot fail")
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_seq(
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    open: char,
+    close: char,
+    len: usize,
+    mut item: impl FnMut(&mut String, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(w) = indent {
+            out.push('\n');
+            for _ in 0..w * (depth + 1) {
+                out.push(' ');
+            }
+        }
+        item(out, i);
+    }
+    if let Some(w) = indent {
+        out.push('\n');
+        for _ in 0..w * depth {
+            out.push(' ');
+        }
+    }
+    out.push(close);
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Json {
+        Json::Bool(v)
+    }
+}
+impl From<i64> for Json {
+    fn from(v: i64) -> Json {
+        Json::Int(v)
+    }
+}
+impl From<i32> for Json {
+    fn from(v: i32) -> Json {
+        Json::Int(v as i64)
+    }
+}
+impl From<u64> for Json {
+    fn from(v: u64) -> Json {
+        Json::UInt(v)
+    }
+}
+impl From<u32> for Json {
+    fn from(v: u32) -> Json {
+        Json::UInt(v as u64)
+    }
+}
+impl From<usize> for Json {
+    fn from(v: usize) -> Json {
+        Json::UInt(v as u64)
+    }
+}
+impl From<f64> for Json {
+    fn from(v: f64) -> Json {
+        Json::Num(v)
+    }
+}
+impl From<&str> for Json {
+    fn from(v: &str) -> Json {
+        Json::Str(v.to_owned())
+    }
+}
+impl From<String> for Json {
+    fn from(v: String) -> Json {
+        Json::Str(v)
+    }
+}
+impl<T: Into<Json>> From<Option<T>> for Json {
+    fn from(v: Option<T>) -> Json {
+        v.map_or(Json::Null, Into::into)
+    }
+}
+impl<T: Into<Json>> From<Vec<T>> for Json {
+    fn from(v: Vec<T>) -> Json {
+        Json::arr(v)
+    }
+}
+impl<T: Into<Json>> FromIterator<T> for Json {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Json {
+        Json::arr(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render() {
+        assert_eq!(Json::Null.to_string_compact(), "null");
+        assert_eq!(Json::from(true).to_string_compact(), "true");
+        assert_eq!(Json::from(-3i64).to_string_compact(), "-3");
+        assert_eq!(
+            Json::from(u64::MAX).to_string_compact(),
+            "18446744073709551615"
+        );
+        assert_eq!(Json::from(0.25).to_string_compact(), "0.25");
+        assert_eq!(Json::from("hi").to_string_compact(), "\"hi\"");
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(Json::from(f64::NAN).to_string_compact(), "null");
+        assert_eq!(Json::from(f64::INFINITY).to_string_compact(), "null");
+        assert_eq!(Json::from(f64::NEG_INFINITY).to_string_compact(), "null");
+    }
+
+    #[test]
+    fn none_becomes_null() {
+        assert_eq!(Json::from(None::<u64>).to_string_compact(), "null");
+        assert_eq!(Json::from(Some(7u64)).to_string_compact(), "7");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let s = Json::from("a\"b\\c\nd\u{1}");
+        assert_eq!(s.to_string_compact(), "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn objects_keep_insertion_order() {
+        let mut o = Json::object();
+        o.push("z", 1u64).push("a", 2u64);
+        assert_eq!(o.to_string_compact(), r#"{"z":1,"a":2}"#);
+    }
+
+    #[test]
+    fn nested_compact_and_pretty() {
+        let doc = Json::obj([("xs", Json::arr([1u64, 2])), ("empty", Json::Arr(vec![]))]);
+        assert_eq!(doc.to_string_compact(), r#"{"xs":[1,2],"empty":[]}"#);
+        let pretty = doc.to_string_pretty();
+        assert!(pretty.contains("  \"xs\": [\n    1,\n    2\n  ]"));
+        assert!(pretty.ends_with("}\n"));
+    }
+
+    #[test]
+    fn floats_round_trip_shortest() {
+        // Display prints shortest round-trip digits; whole floats print
+        // without a fraction, which is still a valid JSON number.
+        assert_eq!(Json::from(1.0f64).to_string_compact(), "1");
+        assert_eq!(Json::from(0.1f64).to_string_compact(), "0.1");
+    }
+}

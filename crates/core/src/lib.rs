@@ -15,6 +15,10 @@
 //! * simulated time in nanoseconds ([`time`]),
 //! * a fixed-capacity inline vector for allocation-free hot paths
 //!   ([`inline_vec`]),
+//! * counter and power-of-two-histogram primitives shared by run
+//!   statistics and telemetry ([`metrics`]),
+//! * a minimal JSON document model and writer for experiment artifacts
+//!   and telemetry sinks ([`json`]),
 //! * the physical-layer constants of the paper's evaluation section
 //!   ([`phys`]),
 //! * shared error types ([`error`]).
@@ -28,7 +32,9 @@ pub mod credits;
 pub mod error;
 pub mod ids;
 pub mod inline_vec;
+pub mod json;
 pub mod lid;
+pub mod metrics;
 pub mod packet;
 pub mod phys;
 pub mod time;
@@ -38,7 +44,9 @@ pub use credits::{Credits, CREDIT_BYTES};
 pub use error::IbaError;
 pub use ids::{HostId, NodeRef, PortIndex, SwitchId};
 pub use inline_vec::{InlineVec, MAX_PORTS};
+pub use json::Json;
 pub use lid::{Lid, LidMap, Lmc};
+pub use metrics::{Counter, Pow2Histogram};
 pub use packet::{Packet, PacketId, RoutingMode};
 pub use phys::PhysParams;
 pub use time::SimTime;

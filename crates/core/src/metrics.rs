@@ -1,0 +1,214 @@
+//! Counter and histogram primitives for measurement and telemetry.
+//!
+//! These sit next to [`crate::credits`] for the same reason credits do:
+//! they are plain value types shared across layers. The simulator's
+//! run statistics and the telemetry subsystem both record latencies into
+//! [`Pow2Histogram`]s and tally events into [`Counter`]s; keeping the
+//! primitives here means `iba-sim`, `iba-stats` and the experiment
+//! harness agree on bucket layout and quantile semantics.
+
+use crate::json::Json;
+use serde::{Deserialize, Serialize};
+
+/// A monotonically increasing event tally.
+///
+/// A newtype over `u64` so telemetry arrays read as what they are
+/// (counts, not arbitrary numbers) and so saturating arithmetic is the
+/// only arithmetic: a counter never wraps, even in a pathological run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// A zeroed counter.
+    pub const ZERO: Counter = Counter(0);
+
+    /// Increment by one.
+    #[inline]
+    pub fn incr(&mut self) {
+        self.0 = self.0.saturating_add(1);
+    }
+
+    /// Increment by `n`.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.0 = self.0.saturating_add(n);
+    }
+
+    /// The current tally.
+    #[inline]
+    pub fn get(self) -> u64 {
+        self.0
+    }
+}
+
+impl From<Counter> for u64 {
+    fn from(c: Counter) -> u64 {
+        c.0
+    }
+}
+
+impl From<Counter> for Json {
+    fn from(c: Counter) -> Json {
+        Json::UInt(c.0)
+    }
+}
+
+/// A histogram with power-of-two buckets: bucket `i` counts samples in
+/// `[2^i, 2^(i+1))` (bucket 0 also holds the value 0). Covers the full
+/// `u64` range at ~2× resolution in 64 fixed buckets — recording is two
+/// instructions and never allocates, which is what lets the telemetry
+/// layer keep one histogram per switch on the arbitration hot path.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Pow2Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+}
+
+impl Pow2Histogram {
+    /// An empty histogram.
+    pub fn new() -> Pow2Histogram {
+        Pow2Histogram {
+            buckets: vec![0; 64],
+            count: 0,
+        }
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        let bucket = 63u32.saturating_sub(value.max(1).leading_zeros()) as usize;
+        self.buckets[bucket] += 1;
+        self.count += 1;
+    }
+
+    /// Number of samples recorded.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether no samples have been recorded.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Approximate `q`-quantile (`0 < q <= 1`): the upper bound of the
+    /// bucket containing the quantile rank. `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(if i >= 63 { u64::MAX } else { 1u64 << (i + 1) });
+            }
+        }
+        None
+    }
+
+    /// Merge another histogram into this one (bucket-wise sum).
+    pub fn merge(&mut self, other: &Pow2Histogram) {
+        for (b, o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+        self.count += other.count;
+    }
+
+    /// The non-empty buckets as `(lower_bound, upper_bound, count)`
+    /// triples, lowest bucket first. `upper_bound` is exclusive except
+    /// for the top bucket, which is clamped to `u64::MAX`.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(i, &c)| {
+                let lo = if i == 0 { 0 } else { 1u64 << i };
+                let hi = if i >= 63 { u64::MAX } else { 1u64 << (i + 1) };
+                (lo, hi, c)
+            })
+    }
+
+    /// Sparse JSON rendering: `[[upper_bound, count], ...]` for the
+    /// non-empty buckets — the telemetry sink schema for histograms.
+    pub fn to_json(&self) -> Json {
+        Json::arr(
+            self.nonzero_buckets()
+                .map(|(_, hi, c)| Json::arr([Json::UInt(hi), Json::UInt(c)])),
+        )
+    }
+}
+
+impl Default for Pow2Histogram {
+    fn default() -> Self {
+        Pow2Histogram::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_saturates() {
+        let mut c = Counter::ZERO;
+        c.incr();
+        c.add(5);
+        assert_eq!(c.get(), 6);
+        c.add(u64::MAX);
+        assert_eq!(c.get(), u64::MAX);
+        c.incr();
+        assert_eq!(c.get(), u64::MAX);
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let mut h = Pow2Histogram::new();
+        assert!(h.quantile(0.5).is_none());
+        for v in [100u64, 200, 400, 800, 100_000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        // Median sample is 400 → bucket [256, 512) → upper bound 512.
+        assert_eq!(h.quantile(0.5), Some(512));
+        assert_eq!(h.quantile(1.0), Some(131_072));
+        assert!(h.quantile(0.2) <= h.quantile(0.9));
+    }
+
+    #[test]
+    fn histogram_edges() {
+        let mut h = Pow2Histogram::new();
+        h.record(0);
+        h.record(1);
+        assert_eq!(h.quantile(1.0), Some(2)); // both land in bucket 0
+        let mut big = Pow2Histogram::new();
+        big.record(u64::MAX);
+        assert_eq!(big.quantile(0.5), Some(u64::MAX));
+    }
+
+    #[test]
+    fn merge_sums_bucketwise() {
+        let mut a = Pow2Histogram::new();
+        let mut b = Pow2Histogram::new();
+        a.record(10);
+        b.record(10);
+        b.record(1000);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.quantile(0.5), Some(16));
+    }
+
+    #[test]
+    fn nonzero_buckets_and_json() {
+        let mut h = Pow2Histogram::new();
+        h.record(0);
+        h.record(3);
+        let buckets: Vec<_> = h.nonzero_buckets().collect();
+        assert_eq!(buckets, vec![(0, 2, 1), (2, 4, 1)]);
+        assert_eq!(h.to_json().to_string_compact(), "[[2,1],[4,1]]");
+    }
+}

@@ -54,7 +54,10 @@ fn real_main() -> Result<(), String> {
 
     let utilization = |fraction: f64| -> Result<Vec<Vec<f64>>, String> {
         let spec = WorkloadSpec::uniform32(rate).with_adaptive_fraction(fraction);
-        let mut net = Network::new(&topo, &routing, spec, SimConfig::paper(seed))
+        let mut net = Network::builder(&topo, &routing)
+            .workload(spec)
+            .config(SimConfig::paper(seed))
+            .build()
             .map_err(|e| e.to_string())?;
         let _ = net.run();
         Ok(net.port_utilization())

@@ -1,0 +1,72 @@
+//! Telemetry load sweep: occupancy, stalls and escape usage vs load.
+//!
+//! ```text
+//! cargo run --release -p iba-experiments --bin telemetry -- \
+//!     [--switches 8] [--seed 42] [--grid 0.05,0.1,0.2,0.3,0.5,0.8] \
+//!     [--sample-every-ns 1000] [--out results/telemetry.json]
+//! ```
+
+use iba_experiments::cli::Args;
+use iba_experiments::telemetry;
+use iba_sim::StallCause;
+use iba_stats::timeseries_table;
+
+fn main() {
+    if let Err(e) = real_main() {
+        eprintln!("telemetry: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn real_main() -> Result<(), String> {
+    let args = Args::from_env()?;
+    let size = args.get_or("switches", 8usize)?;
+    let seed = args.get_or("seed", 42u64)?;
+    let grid = args.get_list_or("grid", &[0.05f64, 0.1, 0.2, 0.3, 0.5, 0.8])?;
+    let sample_every_ns = args.get_or("sample-every-ns", 1_000u64)?;
+    let out = args
+        .get("out")
+        .unwrap_or("results/telemetry.json")
+        .to_string();
+
+    eprintln!(
+        "telemetry: {size} switches, seed {seed}, {} load points",
+        grid.len()
+    );
+    let points =
+        telemetry::run_sweep(size, seed, &grid, sample_every_ns).map_err(|e| e.to_string())?;
+
+    println!(
+        "offered  accepted  avg lat ns  escape%  adaptive-stalls  escape-stalls  p99 arb wait ns"
+    );
+    for p in &points {
+        println!(
+            "{:>7.3}  {:>8.4}  {:>10.0}  {:>6.2}  {:>15}  {:>13}  {:>15}",
+            p.offered,
+            p.result.accepted_bytes_per_ns_per_switch,
+            p.result.avg_latency_ns,
+            p.result.escape_fraction() * 100.0,
+            p.report.total_stalls(StallCause::NoAdaptiveCredit),
+            p.report.total_stalls(StallCause::NoEscapeCredit),
+            p.report
+                .arb_wait_quantile(0.99)
+                .map_or_else(|| "-".into(), |q| q.to_string()),
+        );
+    }
+
+    println!("\nfabric-total escape-region occupancy (credits) over simulated time:");
+    let named: Vec<(String, _)> = points
+        .iter()
+        .map(|p| (format!("escape @ {:.3}", p.offered), &p.escape_occupancy))
+        .collect();
+    let rows: Vec<(&str, _)> = named.iter().map(|(n, ts)| (n.as_str(), *ts)).collect();
+    println!("{}", timeseries_table(&rows));
+
+    let json = telemetry::to_json(size, seed, sample_every_ns, &points);
+    if let Some(dir) = std::path::Path::new(&out).parent() {
+        std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+    }
+    std::fs::write(&out, json).map_err(|e| e.to_string())?;
+    eprintln!("telemetry: wrote {out}");
+    Ok(())
+}

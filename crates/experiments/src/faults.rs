@@ -9,7 +9,7 @@
 //! subnet manager ([`iba_sm::SubnetManager`]) to count how many SMPs
 //! the re-sweep would cost on the wire.
 
-use iba_core::{IbaError, SwitchId};
+use iba_core::{IbaError, Json, SwitchId};
 use iba_routing::{FaRouting, RoutingConfig};
 use iba_sim::{Network, RecoveryPolicy, SimConfig};
 use iba_sm::{ManagedFabric, SubnetManager};
@@ -141,8 +141,11 @@ pub fn run_cell(
                     })
                     .collect(),
             )?;
-            let mut net = Network::new(&topo, &routing, WorkloadSpec::uniform32(rate), cfg)?
-                .with_faults(&schedule, policy, resweep_latency_ns)?;
+            let mut net = Network::builder(&topo, &routing)
+                .workload(WorkloadSpec::uniform32(rate))
+                .config(cfg)
+                .faults(&schedule, policy, resweep_latency_ns)
+                .build()?;
             let (result, drained) = net.run_until_drained(horizon, horizon.plus_ns(500_000));
             let smps = if policy == RecoveryPolicy::SmResweep {
                 Some(resweep_smp_cost(&topo, &dead)?)
@@ -227,8 +230,9 @@ pub fn parse_policy(s: &str) -> Option<RecoveryPolicy> {
     }
 }
 
-/// Render the sweep as a JSON document (hand-rolled: the vendored serde
-/// stub has no serializer). Layout documented in EXPERIMENTS.md.
+/// Render the sweep as a JSON document (via [`iba_core::Json`] — the
+/// vendored serde stub has no serializer). Layout documented in
+/// EXPERIMENTS.md.
 pub fn to_json(
     size: usize,
     seeds: u64,
@@ -236,42 +240,41 @@ pub fn to_json(
     resweep_latency_ns: u64,
     cells: &[FaultCell],
 ) -> String {
-    fn mma(m: &MinMaxAvg) -> String {
+    fn mma(m: &MinMaxAvg) -> Json {
         if m.count == 0 {
-            "null".to_string()
+            Json::Null
         } else {
-            format!(
-                "{{\"min\": {}, \"max\": {}, \"avg\": {}}}",
-                m.min,
-                m.max,
-                m.avg()
-            )
+            Json::obj([
+                ("min", Json::from(m.min)),
+                ("max", Json::from(m.max)),
+                ("avg", Json::from(m.avg())),
+            ])
         }
     }
-    let mut out = String::from("{\n");
-    out.push_str(&format!(
-        "  \"experiment\": \"faults\",\n  \"switches\": {size},\n  \"seeds\": {seeds},\n  \
-         \"rate_bytes_per_ns\": {rate},\n  \"resweep_latency_ns\": {resweep_latency_ns},\n  \"cells\": [\n"
-    ));
-    for (i, c) in cells.iter().enumerate() {
-        out.push_str(&format!(
-            "    {{\"policy\": \"{}\", \"faults\": {}, \"delivered_ratio\": {}, \
-             \"drops_in_transit\": {}, \"drops_after_recovery\": {}, \"drained\": {}, \
-             \"recovered\": {}, \"recovery_ns\": {}, \"resweep_smps\": {}}}{}\n",
-            policy_name(c.policy),
-            c.faults,
-            mma(&c.delivered_ratio),
-            c.drops_in_transit,
-            c.drops_after_recovery,
-            c.drained,
-            c.recovered,
-            mma(&c.recovery_ns),
-            mma(&c.resweep_smps),
-            if i + 1 == cells.len() { "" } else { "," }
-        ));
-    }
-    out.push_str("  ]\n}\n");
-    out
+    Json::obj([
+        ("experiment", Json::from("faults")),
+        ("switches", Json::from(size)),
+        ("seeds", Json::from(seeds)),
+        ("rate_bytes_per_ns", Json::from(rate)),
+        ("resweep_latency_ns", Json::from(resweep_latency_ns)),
+        (
+            "cells",
+            Json::arr(cells.iter().map(|c| {
+                Json::obj([
+                    ("policy", Json::from(policy_name(c.policy))),
+                    ("faults", Json::from(c.faults)),
+                    ("delivered_ratio", mma(&c.delivered_ratio)),
+                    ("drops_in_transit", Json::from(c.drops_in_transit)),
+                    ("drops_after_recovery", Json::from(c.drops_after_recovery)),
+                    ("drained", Json::from(c.drained)),
+                    ("recovered", Json::from(c.recovered)),
+                    ("recovery_ns", mma(&c.recovery_ns)),
+                    ("resweep_smps", mma(&c.resweep_smps)),
+                ])
+            })),
+        ),
+    ])
+    .to_string_pretty()
 }
 
 #[cfg(test)]

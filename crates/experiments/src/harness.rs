@@ -50,7 +50,11 @@ pub fn run_point(
     spec: WorkloadSpec,
     cfg: SimConfig,
 ) -> Result<RunResult, IbaError> {
-    Ok(Network::new(topo, routing, spec, cfg)?.run())
+    Ok(Network::builder(topo, routing)
+        .workload(spec)
+        .config(cfg)
+        .build()?
+        .run())
 }
 
 /// Per-host injection rate for a target *offered* load in

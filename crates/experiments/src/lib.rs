@@ -10,6 +10,7 @@
 //! | Table 2 (routing-option distribution) | `table2` | [`table2::run`] |
 //! | §5.2.2 claims + design ablations | `ablation` | [`ablation`] |
 //! | link-fault recovery sweep (DESIGN.md §8) | `faults` | [`faults::sweep`] |
+//! | telemetry load sweep (occupancy / stalls vs load, DESIGN.md §9) | `telemetry` | [`telemetry::run_sweep`] |
 //! | ad-hoc single runs | `explore` | [`harness::run_point`] |
 //!
 //! Simulations of different topologies and injection rates are
@@ -26,6 +27,7 @@ pub mod fig3;
 pub mod harness;
 pub mod table1;
 pub mod table2;
+pub mod telemetry;
 
 pub use fidelity::Fidelity;
 pub use harness::{build_ensemble, find_saturation, run_point, sweep_curve, EnsembleMember};

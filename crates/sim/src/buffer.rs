@@ -348,6 +348,17 @@ impl VlBuffer {
         self.offset_of(index) < self.escape_boundary()
     }
 
+    /// Occupied credits split at the §4.4 adaptive/escape boundary:
+    /// `(adaptive, escape)`. Packets compact towards offset 0, so the
+    /// occupied credits are contiguous from the head — the adaptive
+    /// region holds `min(occupied, ⌊C_max/2⌋)` and the escape region
+    /// the rest. The telemetry occupancy probe.
+    #[inline]
+    pub fn region_occupancy(&self) -> (Credits, Credits) {
+        let adaptive = self.occupied.min(self.escape_boundary());
+        (adaptive, self.occupied - adaptive)
+    }
+
     /// Index of the escape-queue head: the first packet whose start
     /// offset lies in the escape region.
     pub fn escape_head_index(&self) -> Option<usize> {

@@ -12,9 +12,18 @@
 //! * [`network`] — the event-driven subnet model: hosts, switches, serial
 //!   links, per-VL credit flow control, virtual cut-through forwarding
 //!   and the §4.3 arbitration-time output selection;
-//! * [`stats`] — latency and accepted-traffic measurement.
+//! * [`stats`] — latency and accepted-traffic measurement;
+//! * [`telemetry`] — the sampling probe layer: per-VL occupancy
+//!   timeseries, cause-tagged credit-stall counters, escape-vs-adaptive
+//!   forwarding counters and arbitration-wait histograms, flushed
+//!   through a pluggable [`TelemetrySink`];
+//! * [`trace`] — per-packet journey recording.
 //!
 //! ## Quick tour
+//!
+//! Simulations are assembled through the builder: topology and routing
+//! up front, then a traffic source, a config, and any optional
+//! subsystems (faults, tracing, telemetry).
 //!
 //! ```
 //! use iba_topology::IrregularConfig;
@@ -24,8 +33,11 @@
 //!
 //! let topo = IrregularConfig::paper(8, 1).generate().unwrap();
 //! let routing = FaRouting::build(&topo, RoutingConfig::two_options()).unwrap();
-//! let spec = WorkloadSpec::uniform32(0.005); // bytes/ns per host
-//! let mut net = Network::new(&topo, &routing, spec, SimConfig::test(7)).unwrap();
+//! let mut net = Network::builder(&topo, &routing)
+//!     .workload(WorkloadSpec::uniform32(0.005)) // bytes/ns per host
+//!     .config(SimConfig::test(7))
+//!     .build()
+//!     .unwrap();
 //! let result = net.run();
 //! assert!(result.delivered > 0);
 //! assert_eq!(result.order_violations, 0);
@@ -37,11 +49,16 @@ pub mod buffer;
 pub mod config;
 pub mod network;
 pub mod stats;
+pub mod telemetry;
 pub mod trace;
 
 pub use buffer::{BufferedPacket, Candidates, EscapeOrderPolicy, ReadPoint, SlotHandle, VlBuffer};
-pub use config::{RecoveryPolicy, SelectionPolicy, SimConfig};
+pub use config::{RecoveryPolicy, SelectionPolicy, SimConfig, SimConfigBuilder};
 pub use iba_engine::QueueBackend;
-pub use network::Network;
-pub use stats::{LatencyHistogram, RunResult, StatsCollector};
-pub use trace::{PacketTrace, TraceStep, Tracer};
+pub use network::{Network, NetworkBuilder};
+pub use stats::{LatencyHistogram, RunResult, StatsCollector, RUN_RESULT_SCHEMA_VERSION};
+pub use telemetry::{
+    JsonLinesSink, MemorySink, PortStalls, StallCause, SwitchTelemetry, TelemetryOpts,
+    TelemetryReport, TelemetrySample, TelemetrySink, VlOccupancy, TELEMETRY_SCHEMA_VERSION,
+};
+pub use trace::{PacketTrace, TraceOpts, TraceStep, Tracer};

@@ -26,7 +26,8 @@
 use crate::buffer::{ReadPoint, SlotHandle, VlBuffer};
 use crate::config::{RecoveryPolicy, SelectionPolicy, SimConfig};
 use crate::stats::{RunResult, StatsCollector};
-use crate::trace::{TraceStep, Tracer};
+use crate::telemetry::{MemorySink, StallCause, TelemetryOpts, TelemetrySink, TelemetryState};
+use crate::trace::{TraceOpts, TraceStep, Tracer};
 use iba_core::{
     Credits, HostId, IbaError, InlineVec, NodeRef, Packet, PacketId, PortIndex, SimTime, SwitchId,
     VirtualLane, MAX_PORTS,
@@ -88,6 +89,9 @@ enum Event {
     /// The subnet manager's re-sweep completes and recovery routing is
     /// installed (`RecoveryPolicy::SmResweep` only).
     ResweepDone,
+    /// The telemetry probe samples buffer occupancy (instrumented runs
+    /// only; reschedules itself at the configured cadence).
+    TelemetrySample,
 }
 
 /// A schedule entry with its endpoints resolved to concrete ports, done
@@ -202,13 +206,180 @@ pub struct Network<'a> {
     /// Recovery tables installed by the last completed re-sweep; `None`
     /// while the primary tables are live.
     recovery_routing: Option<FaRouting>,
+    /// Telemetry probe state; `None` (the default) keeps every hook a
+    /// single pointer-null check and schedules no sampling events.
+    telemetry: Option<Box<TelemetryState>>,
+}
+
+/// The one construction path for [`Network`]: topology and routing up
+/// front, then a traffic source (synthetic [`WorkloadSpec`] or replayed
+/// [`TrafficScript`]), a [`SimConfig`], and the optional subsystems —
+/// faults, journey tracing, telemetry — as builder options instead of
+/// bolted-on constructors and post-construction mutators.
+///
+/// ```
+/// # use iba_topology::IrregularConfig;
+/// # use iba_routing::{FaRouting, RoutingConfig};
+/// # use iba_sim::{Network, SimConfig, TelemetryOpts};
+/// # use iba_workloads::WorkloadSpec;
+/// let topo = IrregularConfig::paper(8, 1).generate().unwrap();
+/// let routing = FaRouting::build(&topo, RoutingConfig::two_options()).unwrap();
+/// let mut net = Network::builder(&topo, &routing)
+///     .workload(WorkloadSpec::uniform32(0.005))
+///     .config(SimConfig::test(7))
+///     .telemetry(TelemetryOpts::every_ns(1_000))
+///     .build()
+///     .unwrap();
+/// let result = net.run();
+/// assert!(result.delivered > 0);
+/// ```
+pub struct NetworkBuilder<'a> {
+    topo: &'a Topology,
+    routing: &'a FaRouting,
+    workload: Option<WorkloadSpec>,
+    script: Option<&'a TrafficScript>,
+    config: Option<SimConfig>,
+    faults: Option<(&'a FaultSchedule, RecoveryPolicy, u64)>,
+    trace: Option<TraceOpts>,
+    telemetry: Option<(TelemetryOpts, Box<dyn TelemetrySink>)>,
+}
+
+impl<'a> NetworkBuilder<'a> {
+    /// Drive the simulation with synthetic generators (mutually
+    /// exclusive with [`Self::script`]).
+    pub fn workload(mut self, spec: WorkloadSpec) -> Self {
+        self.workload = Some(spec);
+        self
+    }
+
+    /// Replay the exact injections of `script` instead of synthetic
+    /// generators (mutually exclusive with [`Self::workload`]).
+    pub fn script(mut self, script: &'a TrafficScript) -> Self {
+        self.script = Some(script);
+        self
+    }
+
+    /// The simulator configuration (required; see
+    /// [`SimConfig::builder`] for validated construction).
+    pub fn config(mut self, config: SimConfig) -> Self {
+        self.config = Some(config);
+        self
+    }
+
+    /// Arm a link-fault schedule with the recovery policy answering it.
+    /// `resweep_latency_ns` is the modelled duration of one SM re-sweep
+    /// (ignored unless the policy is [`RecoveryPolicy::SmResweep`]);
+    /// callers wanting a grounded value can time an actual
+    /// `ManagedFabric` re-sweep and derive it from the SMP count.
+    pub fn faults(
+        mut self,
+        schedule: &'a FaultSchedule,
+        policy: RecoveryPolicy,
+        resweep_latency_ns: u64,
+    ) -> Self {
+        self.faults = Some((schedule, policy, resweep_latency_ns));
+        self
+    }
+
+    /// Record per-packet journeys (see [`crate::Tracer`]).
+    pub fn trace(mut self, opts: TraceOpts) -> Self {
+        self.trace = Some(opts);
+        self
+    }
+
+    /// Arm the telemetry probes with an in-memory sink (retrieve it
+    /// after the run through [`Network::telemetry_sink`]).
+    pub fn telemetry(self, opts: TelemetryOpts) -> Self {
+        self.telemetry_sink(opts, Box::new(MemorySink::new()))
+    }
+
+    /// Arm the telemetry probes flushing into `sink` (e.g. a
+    /// [`crate::JsonLinesSink`] over a file for experiments).
+    pub fn telemetry_sink(mut self, opts: TelemetryOpts, sink: Box<dyn TelemetrySink>) -> Self {
+        self.telemetry = Some((opts, sink));
+        self
+    }
+
+    /// Assemble the simulation. Fails on a missing config or traffic
+    /// source, on both traffic sources at once, and on every
+    /// inconsistency the individual subsystems check (workload vs
+    /// routing tables, fault schedule vs topology, config invariants).
+    pub fn build(self) -> Result<Network<'a>, IbaError> {
+        let config = self.config.ok_or_else(|| {
+            IbaError::InvalidConfig(
+                "NetworkBuilder: a SimConfig is required (use .config(...))".into(),
+            )
+        })?;
+        let mut net = match (self.workload, self.script) {
+            (Some(spec), None) => Network::assemble(self.topo, self.routing, spec, config)?,
+            (None, Some(script)) => {
+                Network::assemble_scripted(self.topo, self.routing, script, config)?
+            }
+            (Some(_), Some(_)) => {
+                return Err(IbaError::InvalidConfig(
+                    "NetworkBuilder: .workload(...) and .script(...) are mutually exclusive".into(),
+                ))
+            }
+            (None, None) => {
+                return Err(IbaError::InvalidConfig(
+                    "NetworkBuilder: a traffic source is required \
+                     (use .workload(...) or .script(...))"
+                        .into(),
+                ))
+            }
+        };
+        if let Some((schedule, policy, resweep_latency_ns)) = self.faults {
+            net.arm_faults(schedule, policy, resweep_latency_ns)?;
+        }
+        if let Some(opts) = self.trace {
+            net.tracer = Some(Tracer::with_opts(opts));
+        }
+        if let Some((opts, sink)) = self.telemetry {
+            net.telemetry = Some(Box::new(TelemetryState::new(
+                opts,
+                sink,
+                net.topo.num_switches(),
+                net.topo.ports_per_switch() as usize,
+            )));
+        }
+        Ok(net)
+    }
 }
 
 impl<'a> Network<'a> {
-    /// Assemble a simulation. Fails on inconsistent configuration (e.g. a
-    /// workload requesting adaptive marking when the routing tables have
-    /// no adaptive addresses).
+    /// Start building a simulation over `topo` with `routing` tables —
+    /// see [`NetworkBuilder`] for the options.
+    pub fn builder(topo: &'a Topology, routing: &'a FaRouting) -> NetworkBuilder<'a> {
+        NetworkBuilder {
+            topo,
+            routing,
+            workload: None,
+            script: None,
+            config: None,
+            faults: None,
+            trace: None,
+            telemetry: None,
+        }
+    }
+
+    /// Assemble a simulation (compatibility shim).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use Network::builder(topo, routing).workload(spec).config(config).build()"
+    )]
     pub fn new(
+        topo: &'a Topology,
+        routing: &'a FaRouting,
+        spec: WorkloadSpec,
+        config: SimConfig,
+    ) -> Result<Network<'a>, IbaError> {
+        Network::assemble(topo, routing, spec, config)
+    }
+
+    /// Assemble a synthetic-workload simulation. Fails on inconsistent
+    /// configuration (e.g. a workload requesting adaptive marking when
+    /// the routing tables have no adaptive addresses).
+    fn assemble(
         topo: &'a Topology,
         routing: &'a FaRouting,
         spec: WorkloadSpec,
@@ -329,23 +500,36 @@ impl<'a> Network<'a> {
             resweep_latency_ns: 0,
             active_faults: 0,
             recovery_routing: None,
+            telemetry: None,
         })
     }
 
-    /// Arm a link-fault schedule and the recovery policy answering it.
-    /// `resweep_latency_ns` is the modelled duration of one SM re-sweep
-    /// (ignored unless the policy is [`RecoveryPolicy::SmResweep`]);
-    /// callers wanting a grounded value can time an actual
-    /// `ManagedFabric` re-sweep and derive it from the SMP count.
-    ///
-    /// Fails when a schedule entry names a link the topology does not
-    /// have, or when `ApmMigrate` is requested without APM tables.
+    /// Arm a link-fault schedule (compatibility shim).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use Network::builder(..).faults(schedule, policy, resweep_latency_ns)"
+    )]
     pub fn with_faults(
         mut self,
         schedule: &FaultSchedule,
         policy: RecoveryPolicy,
         resweep_latency_ns: u64,
     ) -> Result<Network<'a>, IbaError> {
+        self.arm_faults(schedule, policy, resweep_latency_ns)?;
+        Ok(self)
+    }
+
+    /// Arm a link-fault schedule and the recovery policy answering it
+    /// (the working half of `NetworkBuilder::faults`).
+    ///
+    /// Fails when a schedule entry names a link the topology does not
+    /// have, or when `ApmMigrate` is requested without APM tables.
+    fn arm_faults(
+        &mut self,
+        schedule: &FaultSchedule,
+        policy: RecoveryPolicy,
+        resweep_latency_ns: u64,
+    ) -> Result<(), IbaError> {
         if self.primed {
             return Err(IbaError::InvalidConfig(
                 "fault schedule must be armed before the simulation starts".into(),
@@ -384,7 +568,7 @@ impl<'a> Network<'a> {
         }
         self.recovery = policy;
         self.resweep_latency_ns = resweep_latency_ns;
-        Ok(self)
+        Ok(())
     }
 
     /// Number of links currently down.
@@ -406,9 +590,23 @@ impl<'a> Network<'a> {
         self.recovery_routing.as_ref().unwrap_or(self.routing)
     }
 
+    /// Assemble a trace-driven simulation (compatibility shim).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use Network::builder(topo, routing).script(script).config(config).build()"
+    )]
+    pub fn new_scripted(
+        topo: &'a Topology,
+        routing: &'a FaRouting,
+        script: &'a TrafficScript,
+        config: SimConfig,
+    ) -> Result<Network<'a>, IbaError> {
+        Network::assemble_scripted(topo, routing, script, config)
+    }
+
     /// Assemble a *trace-driven* simulation: instead of synthetic
     /// generators, the exact injections of `script` are replayed.
-    pub fn new_scripted(
+    fn assemble_scripted(
         topo: &'a Topology,
         routing: &'a FaRouting,
         script: &'a TrafficScript,
@@ -459,7 +657,7 @@ impl<'a> Network<'a> {
             adaptive_fraction: 0.0,
             ..WorkloadSpec::uniform32(1e-6)
         };
-        let mut net = Network::new(topo, routing, spec, config)?;
+        let mut net = Network::assemble(topo, routing, spec, config)?;
         for h in &mut net.hosts {
             h.gen = None;
         }
@@ -482,15 +680,34 @@ impl<'a> Network<'a> {
         self.queue.now()
     }
 
-    /// Enable journey tracing before running: every `sample_every`-th
-    /// packet is recorded, up to `max_packets` journeys.
+    /// Enable journey tracing before running (compatibility shim).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use Network::builder(..).trace(TraceOpts::sampled(sample_every, max_packets))"
+    )]
     pub fn enable_tracing(&mut self, sample_every: u64, max_packets: usize) {
-        self.tracer = Some(Tracer::sampled(sample_every, max_packets));
+        self.tracer = Some(Tracer::with_opts(TraceOpts::sampled(
+            sample_every,
+            max_packets,
+        )));
     }
 
     /// Recorded journeys (empty unless tracing was enabled).
     pub fn tracer(&self) -> Option<&Tracer> {
         self.tracer.as_ref()
+    }
+
+    /// Whether the telemetry probes are armed.
+    pub fn telemetry_enabled(&self) -> bool {
+        self.telemetry.is_some()
+    }
+
+    /// The telemetry sink, once armed through the builder. The report is
+    /// flushed into it when the run ends; with the default
+    /// [`MemorySink`], downcast through
+    /// [`TelemetrySink::as_memory`] to read the recorded samples.
+    pub fn telemetry_sink(&self) -> Option<&dyn TelemetrySink> {
+        self.telemetry.as_deref().map(|t| t.sink())
     }
 
     #[inline]
@@ -510,6 +727,9 @@ impl<'a> Network<'a> {
                 break;
             };
             self.dispatch(now, ev);
+        }
+        if let Some(t) = self.telemetry.as_deref_mut() {
+            t.flush();
         }
         self.stats.finish(
             self.topo.num_switches(),
@@ -539,6 +759,9 @@ impl<'a> Network<'a> {
             }
         }
         drained &= self.queue.is_empty();
+        if let Some(t) = self.telemetry.as_deref_mut() {
+            t.flush();
+        }
         let result = self.stats.finish(
             self.topo.num_switches(),
             self.queue.events_processed(),
@@ -626,6 +849,15 @@ impl<'a> Network<'a> {
             self.queue
                 .schedule(self.faults[idx].at, Event::Fault { idx });
         }
+        // The telemetry probe rides the event queue like everything else,
+        // so sampling points are serialized deterministically across
+        // backends. Disabled runs schedule nothing.
+        if let Some(t) = self.telemetry.as_deref() {
+            let at = SimTime::from_ns(t.cadence_ns());
+            if at <= self.config.horizon() {
+                self.queue.schedule(at, Event::TelemetrySample);
+            }
+        }
         if let Some(script) = self.script {
             if let Some(first) = script.packets().first() {
                 if first.at < self.gen_deadline {
@@ -692,6 +924,31 @@ impl<'a> Network<'a> {
             }
             Event::Fault { idx } => self.on_fault(now, idx),
             Event::ResweepDone => self.on_resweep_done(now),
+            Event::TelemetrySample => self.on_telemetry_sample(now),
+        }
+    }
+
+    /// Take one telemetry sample of every VL buffer in the fabric, hand
+    /// it to the sink, and reschedule the probe one cadence later (while
+    /// the horizon allows).
+    fn on_telemetry_sample(&mut self, now: SimTime) {
+        let nvls = self.config.data_vls as usize;
+        let nports = self.topo.ports_per_switch() as usize;
+        let nsw = self.switches.len();
+        let Some(t) = self.telemetry.as_deref_mut() else {
+            return;
+        };
+        let switches = &self.switches;
+        t.record_sample(
+            now,
+            nvls,
+            |s, p, v| &switches[s].inputs[p].vls[v],
+            nsw,
+            nports,
+        );
+        let next = now.plus_ns(t.cadence_ns());
+        if next <= self.config.horizon() {
+            self.queue.schedule(next, Event::TelemetrySample);
         }
     }
 
@@ -1216,7 +1473,11 @@ impl<'a> Network<'a> {
         if adaptive_allowed {
             for &op in &route.adaptive {
                 if !st.link_up[op.index()] {
-                    continue; // dead port: graceful degradation (§4.3)
+                    // Dead port: graceful degradation (§4.3).
+                    if let Some(t) = self.telemetry.as_deref_mut() {
+                        t.note_stall(sw, op, StallCause::DeadPort);
+                    }
+                    continue;
                 }
                 let out = &st.outputs[op.index()];
                 if out.busy_until > now {
@@ -1229,6 +1490,8 @@ impl<'a> Network<'a> {
                         let avail = cs[out_vl.index()].adaptive_share(cap);
                         if avail >= need {
                             feasible.push((op, out_vl, avail.count()));
+                        } else if let Some(t) = self.telemetry.as_deref_mut() {
+                            t.note_stall(sw, op, StallCause::NoAdaptiveCredit);
                         }
                     }
                 }
@@ -1273,6 +1536,9 @@ impl<'a> Network<'a> {
             // Escape path severed: the packet waits for recovery (an SM
             // re-sweep re-routes it; under other policies it stays until
             // the link returns).
+            if let Some(t) = self.telemetry.as_deref_mut() {
+                t.note_stall(sw, op, StallCause::DeadPort);
+            }
             return None;
         }
         let out = &st.outputs[op.index()];
@@ -1284,6 +1550,11 @@ impl<'a> Network<'a> {
             None => true,
             Some(cs) => cs[out_vl.index()] >= need,
         };
+        if !ok {
+            if let Some(t) = self.telemetry.as_deref_mut() {
+                t.note_stall(sw, op, StallCause::NoEscapeCredit);
+            }
+        }
         ok.then_some(Decision {
             input: ip,
             vl,
@@ -1300,6 +1571,17 @@ impl<'a> Network<'a> {
     /// Commit a forwarding decision: reserve the resources, update the
     /// packet, and schedule the downstream events.
     fn start_forward(&mut self, now: SimTime, sw: SwitchId, d: Decision) {
+        if self.telemetry.is_some() {
+            // Arbitration-pass latency: how long the packet sat routed in
+            // the input buffer before the crossbar granted it.
+            let ready_at = self.switches[sw.index()].inputs[d.input].vls[d.vl]
+                .get(d.idx)
+                .ready_at;
+            let wait = now.since(ready_at);
+            if let Some(t) = self.telemetry.as_deref_mut() {
+                t.note_forward(sw, d.via_escape, wait);
+            }
+        }
         let st = &mut self.switches[sw.index()];
         let buf = &mut st.inputs[d.input].vls[d.vl];
 

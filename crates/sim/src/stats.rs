@@ -12,64 +12,17 @@
 //! window (after warm-up) and delivered before the horizon; accepted
 //! traffic counts all bytes delivered inside the window.
 
-use iba_core::{HostId, Lid, Packet, RoutingMode, ServiceLevel, SimTime};
+use iba_core::{HostId, Json, Lid, Packet, Pow2Histogram, RoutingMode, ServiceLevel, SimTime};
 use serde::{Deserialize, Serialize};
 use std::time::Duration;
 
 /// A latency histogram with power-of-two buckets: bucket `i` counts
 /// samples in `[2^i, 2^(i+1))` nanoseconds (bucket 0 also holds 0 ns).
-/// Good to ~2× resolution over the full `u64` range at 64 × 8 bytes —
-/// enough for the percentile columns of the extended reports.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
-pub struct LatencyHistogram {
-    buckets: Vec<u64>,
-    count: u64,
-}
-
-impl LatencyHistogram {
-    /// Empty histogram.
-    pub fn new() -> LatencyHistogram {
-        LatencyHistogram {
-            buckets: vec![0; 64],
-            count: 0,
-        }
-    }
-
-    /// Record one latency sample.
-    pub fn record(&mut self, latency_ns: u64) {
-        let bucket = 63u32.saturating_sub(latency_ns.max(1).leading_zeros()) as usize;
-        self.buckets[bucket] += 1;
-        self.count += 1;
-    }
-
-    /// Number of samples.
-    pub fn count(&self) -> u64 {
-        self.count
-    }
-
-    /// Approximate `q`-quantile (`0 < q <= 1`): the upper bound of the
-    /// bucket containing the quantile rank. `None` when empty.
-    pub fn quantile(&self, q: f64) -> Option<u64> {
-        if self.count == 0 {
-            return None;
-        }
-        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
-        let mut seen = 0;
-        for (i, &c) in self.buckets.iter().enumerate() {
-            seen += c;
-            if seen >= rank {
-                return Some(if i >= 63 { u64::MAX } else { 1u64 << (i + 1) });
-            }
-        }
-        None
-    }
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        LatencyHistogram::new()
-    }
-}
+///
+/// Since the primitives moved to `iba-core` (the telemetry layer shares
+/// them), this is the shared [`Pow2Histogram`] under its historical
+/// name.
+pub type LatencyHistogram = Pow2Histogram;
 
 /// Live accumulator updated by the simulator.
 #[derive(Debug)]
@@ -301,6 +254,7 @@ impl StatsCollector {
         let window_ns = self.window_end.since(self.window_start);
         let wall_time_s = wall.as_secs_f64();
         RunResult {
+            schema_version: RUN_RESULT_SCHEMA_VERSION,
             generated: self.generated,
             injected: self.injected,
             delivered: self.delivered,
@@ -353,6 +307,11 @@ impl StatsCollector {
     }
 }
 
+/// Version stamp of the [`RunResult`] field set, carried in
+/// [`RunResult::schema_version`] and into every JSON artifact derived
+/// from it. Bump whenever a field is added, removed or re-interpreted.
+pub const RUN_RESULT_SCHEMA_VERSION: u32 = 1;
+
 /// The outcome of one simulation run.
 ///
 /// Equality compares the *simulated* outcome only — [`Self::wall_time_s`]
@@ -361,6 +320,9 @@ impl StatsCollector {
 /// backends) compare equal exactly when they simulated the same thing.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct RunResult {
+    /// Field-set version ([`RUN_RESULT_SCHEMA_VERSION`]) — lets
+    /// consumers of `results/*.json` detect layout changes.
+    pub schema_version: u32,
     /// Packets generated at sources.
     pub generated: u64,
     /// Packets injected into the fabric.
@@ -429,7 +391,8 @@ impl PartialEq for RunResult {
     fn eq(&self, other: &Self) -> bool {
         // Everything except the wall-clock fields; f64 semantics match
         // what the derive would do (NaN != NaN).
-        self.generated == other.generated
+        self.schema_version == other.schema_version
+            && self.generated == other.generated
             && self.injected == other.injected
             && self.delivered == other.delivered
             && self.avg_latency_ns == other.avg_latency_ns
@@ -464,6 +427,47 @@ impl RunResult {
         } else {
             self.escape_forwards as f64 / total as f64
         }
+    }
+
+    /// Render every field as a JSON object (field names as keys, NaN
+    /// latencies as `null`) — what the experiment bins embed in their
+    /// `results/*.json` artifacts instead of hand-assembling the
+    /// layout.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("schema_version", Json::from(self.schema_version)),
+            ("generated", Json::from(self.generated)),
+            ("injected", Json::from(self.injected)),
+            ("delivered", Json::from(self.delivered)),
+            ("avg_latency_ns", Json::from(self.avg_latency_ns)),
+            ("max_latency_ns", Json::from(self.max_latency_ns)),
+            ("p50_latency_ns", Json::from(self.p50_latency_ns)),
+            ("p99_latency_ns", Json::from(self.p99_latency_ns)),
+            ("measured_packets", Json::from(self.measured_packets)),
+            (
+                "accepted_bytes_per_ns_per_switch",
+                Json::from(self.accepted_bytes_per_ns_per_switch),
+            ),
+            ("avg_hops", Json::from(self.avg_hops)),
+            ("escape_forwards", Json::from(self.escape_forwards)),
+            ("adaptive_forwards", Json::from(self.adaptive_forwards)),
+            ("order_violations", Json::from(self.order_violations)),
+            ("max_host_queue", Json::from(self.max_host_queue)),
+            ("source_drops", Json::from(self.source_drops)),
+            ("faults_injected", Json::from(self.faults_injected)),
+            ("drops_in_transit", Json::from(self.drops_in_transit)),
+            (
+                "drops_after_recovery",
+                Json::from(self.drops_after_recovery),
+            ),
+            ("delivered_ratio", Json::from(self.delivered_ratio)),
+            ("recovery_time_ns", Json::from(self.recovery_time_ns)),
+            ("resweeps", Json::from(self.resweeps)),
+            ("resweeps_failed", Json::from(self.resweeps_failed)),
+            ("events", Json::from(self.events)),
+            ("wall_time_s", Json::from(self.wall_time_s)),
+            ("events_per_sec", Json::from(self.events_per_sec)),
+        ])
     }
 }
 
@@ -631,6 +635,24 @@ mod tests {
         assert_eq!(r.faults_injected, 0);
         assert_eq!(r.recovery_time_ns, None);
         assert_eq!(r.delivered_ratio, 1.0); // empty run: vacuously whole
+    }
+
+    #[test]
+    fn run_result_is_versioned_and_renders_json() {
+        let mut c = collector();
+        c.on_generated(SimTime::from_ns(1200));
+        c.on_delivered(&packet(1, true, 1200), SimTime::from_ns(1500));
+        let r = c.finish(4, 10, Duration::ZERO);
+        assert_eq!(r.schema_version, RUN_RESULT_SCHEMA_VERSION);
+        let json = r.to_json().to_string_compact();
+        assert!(json.starts_with(r#"{"schema_version":1,"#));
+        assert!(json.contains(r#""delivered":1"#));
+        assert!(json.contains(r#""events":10"#));
+        // NaN-valued aggregates render as null, not as invalid JSON.
+        let empty = collector().finish(4, 0, Duration::ZERO).to_json();
+        assert!(empty
+            .to_string_compact()
+            .contains(r#""avg_latency_ns":null"#));
     }
 
     #[test]

@@ -1,0 +1,665 @@
+//! The telemetry probe layer.
+//!
+//! [`crate::RunResult`] reports end-of-run aggregates; the paper's core
+//! claims, though, live in *where packets wait* — how full the adaptive
+//! and escape regions of each VL buffer are over time, how often an
+//! output is skipped for lack of adaptive (`C_A`) or total credits, and
+//! how long granted packets sat between routing-pipeline completion and
+//! their crossbar grant. This module records exactly that transient
+//! behavior:
+//!
+//! * **occupancy timeseries** — on a configurable simulated-time cadence
+//!   ([`TelemetryOpts::sample_every_ns`]) the simulator snapshots every
+//!   switch's per-VL buffer occupancy, split at the §4.4 adaptive/escape
+//!   boundary and aggregated over input ports ([`VlOccupancy`]);
+//! * **credit-stall counters** — each time arbitration skips a feasible
+//!   route option, the skip is tallied per (switch, output port) and
+//!   tagged with its cause ([`StallCause`]): adaptive share below the
+//!   packet size, escape (total) credits below the packet size, or a
+//!   dead port;
+//! * **forwarding counters** — adaptive- vs escape-option grants per
+//!   switch (the per-switch refinement of
+//!   [`crate::RunResult::escape_fraction`]);
+//! * **arbitration-wait histograms** — per switch, the simulated
+//!   nanoseconds from a packet becoming arbitration-eligible
+//!   (`ready_at`) to its crossbar grant, in power-of-two buckets.
+//!
+//! Samples and the final report flow through a pluggable
+//! [`TelemetrySink`]: [`MemorySink`] keeps everything in memory for
+//! tests and in-process analysis, [`JsonLinesSink`] streams
+//! JSON-lines with a versioned schema ([`TELEMETRY_SCHEMA_VERSION`])
+//! for experiments. Sampling rides the ordinary event queue, so an
+//! instrumented run is bit-identical across event-queue backends; with
+//! telemetry disabled the simulator carries a single `Option` check per
+//! hook and schedules no extra events.
+
+use crate::buffer::VlBuffer;
+use iba_core::{Credits, Json, PortIndex, Pow2Histogram, SimTime, SwitchId, VirtualLane};
+
+/// Version stamp of the telemetry sink schema. Bump on any change to
+/// the JSON layout emitted by [`TelemetrySample::to_json`] /
+/// [`TelemetryReport::to_json`].
+pub const TELEMETRY_SCHEMA_VERSION: u32 = 1;
+
+/// Telemetry configuration: what cadence to sample occupancy at and how
+/// many samples to keep.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TelemetryOpts {
+    /// Simulated-time distance between occupancy samples, in
+    /// nanoseconds (clamped to ≥ 1 at use).
+    pub sample_every_ns: u64,
+    /// Occupancy samples delivered to the sink before further samples
+    /// are dropped (counted in [`TelemetryReport::samples_dropped`]) —
+    /// bounds memory and artifact size on long runs. Counters and
+    /// histograms keep accumulating regardless.
+    pub max_samples: usize,
+}
+
+impl TelemetryOpts {
+    /// Sample every `sample_every_ns` simulated nanoseconds, with the
+    /// default sample cap.
+    pub fn every_ns(sample_every_ns: u64) -> TelemetryOpts {
+        TelemetryOpts {
+            sample_every_ns,
+            ..TelemetryOpts::default()
+        }
+    }
+}
+
+impl Default for TelemetryOpts {
+    /// 1 µs cadence (300 samples over the paper's 300 µs horizon),
+    /// capped at 65 536 samples.
+    fn default() -> TelemetryOpts {
+        TelemetryOpts {
+            sample_every_ns: 1_000,
+            max_samples: 1 << 16,
+        }
+    }
+}
+
+/// Why arbitration skipped an output option for a routed, ready packet.
+///
+/// Link-busy skips are deliberately *not* a stall cause: a streaming
+/// output is the link doing useful work, not starvation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StallCause {
+    /// An adaptive option's free adaptive share (`C_A = max(0, C −
+    /// C_max/2)`) was below the packet size.
+    NoAdaptiveCredit,
+    /// The escape option's total free credits were below the packet
+    /// size.
+    NoEscapeCredit,
+    /// The option's port is masked out by a link fault.
+    DeadPort,
+}
+
+impl StallCause {
+    /// Every cause, in schema order.
+    pub const ALL: [StallCause; 3] = [
+        StallCause::NoAdaptiveCredit,
+        StallCause::NoEscapeCredit,
+        StallCause::DeadPort,
+    ];
+
+    /// Schema field name.
+    pub fn name(self) -> &'static str {
+        match self {
+            StallCause::NoAdaptiveCredit => "no_adaptive_credit",
+            StallCause::NoEscapeCredit => "no_escape_credit",
+            StallCause::DeadPort => "dead_port",
+        }
+    }
+}
+
+/// One switch's occupancy of one virtual lane at a sample instant,
+/// aggregated over the switch's input ports.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct VlOccupancy {
+    /// The switch.
+    pub sw: SwitchId,
+    /// The virtual lane.
+    pub vl: VirtualLane,
+    /// Credits occupied in the adaptive region (first half), summed
+    /// over the switch's input-port buffers of this VL.
+    pub adaptive: Credits,
+    /// Credits occupied in the escape region (second half), summed over
+    /// the same buffers.
+    pub escape: Credits,
+    /// Largest single-buffer occupancy among those buffers — never
+    /// exceeds `C_max` under correct flow control.
+    pub peak: Credits,
+}
+
+impl VlOccupancy {
+    /// Total occupied credits (adaptive + escape regions).
+    pub fn total(&self) -> Credits {
+        self.adaptive + self.escape
+    }
+}
+
+/// One occupancy snapshot: every (switch, VL) at a sample instant.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TelemetrySample {
+    /// Simulated time of the snapshot.
+    pub at: SimTime,
+    /// One entry per (switch, VL), switches ascending, VLs ascending
+    /// within a switch.
+    pub occupancy: Vec<VlOccupancy>,
+}
+
+impl TelemetrySample {
+    /// The JSON-lines rendering of this sample: time plus one
+    /// `[sw, vl, adaptive, escape, peak]` tuple per entry.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("kind", Json::from("sample")),
+            ("at_ns", Json::from(self.at.as_ns())),
+            (
+                "occupancy",
+                Json::arr(self.occupancy.iter().map(|o| {
+                    Json::arr([
+                        Json::from(o.sw.0 as u64),
+                        Json::from(o.vl.0 as u64),
+                        Json::from(o.adaptive.count()),
+                        Json::from(o.escape.count()),
+                        Json::from(o.peak.count()),
+                    ])
+                })),
+            ),
+        ])
+    }
+
+    /// Summed adaptive-region occupancy across every (switch, VL).
+    pub fn total_adaptive(&self) -> u64 {
+        self.occupancy
+            .iter()
+            .map(|o| o.adaptive.count() as u64)
+            .sum()
+    }
+
+    /// Summed escape-region occupancy across every (switch, VL).
+    pub fn total_escape(&self) -> u64 {
+        self.occupancy.iter().map(|o| o.escape.count() as u64).sum()
+    }
+}
+
+/// Cause-tagged stall counters for one (switch, output port).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PortStalls {
+    /// Adaptive options skipped for lack of adaptive-share credits.
+    pub no_adaptive_credit: u64,
+    /// Escape options skipped for lack of total credits.
+    pub no_escape_credit: u64,
+    /// Options skipped because the port's link is down.
+    pub dead_port: u64,
+}
+
+impl PortStalls {
+    /// Total stalls of every cause.
+    pub fn total(&self) -> u64 {
+        self.no_adaptive_credit + self.no_escape_credit + self.dead_port
+    }
+
+    #[inline]
+    fn count(&mut self, cause: StallCause) {
+        match cause {
+            StallCause::NoAdaptiveCredit => self.no_adaptive_credit += 1,
+            StallCause::NoEscapeCredit => self.no_escape_credit += 1,
+            StallCause::DeadPort => self.dead_port += 1,
+        }
+    }
+
+    /// Tally of one cause.
+    pub fn by_cause(&self, cause: StallCause) -> u64 {
+        match cause {
+            StallCause::NoAdaptiveCredit => self.no_adaptive_credit,
+            StallCause::NoEscapeCredit => self.no_escape_credit,
+            StallCause::DeadPort => self.dead_port,
+        }
+    }
+}
+
+/// One switch's accumulated telemetry over a whole run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SwitchTelemetry {
+    /// The switch.
+    pub sw: SwitchId,
+    /// Crossbar grants through adaptive (minimal) options.
+    pub adaptive_forwards: u64,
+    /// Crossbar grants through the escape option.
+    pub escape_forwards: u64,
+    /// Stall counters per output port.
+    pub stalls: Vec<PortStalls>,
+    /// Ready-to-grant wait in simulated nanoseconds, over every grant
+    /// this switch made.
+    pub arb_wait_ns: Pow2Histogram,
+}
+
+impl SwitchTelemetry {
+    fn new(sw: SwitchId, ports: usize) -> SwitchTelemetry {
+        SwitchTelemetry {
+            sw,
+            adaptive_forwards: 0,
+            escape_forwards: 0,
+            stalls: vec![PortStalls::default(); ports],
+            arb_wait_ns: Pow2Histogram::new(),
+        }
+    }
+
+    /// Stalls of `cause` summed over this switch's ports.
+    pub fn stalls_by_cause(&self, cause: StallCause) -> u64 {
+        self.stalls.iter().map(|p| p.by_cause(cause)).sum()
+    }
+}
+
+/// The end-of-run telemetry report: accumulated counters and
+/// histograms, plus sampling bookkeeping.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TelemetryReport {
+    /// Schema version ([`TELEMETRY_SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// The cadence the run sampled at, in nanoseconds.
+    pub sample_every_ns: u64,
+    /// Occupancy samples delivered to the sink.
+    pub samples_taken: u64,
+    /// Samples dropped after [`TelemetryOpts::max_samples`].
+    pub samples_dropped: u64,
+    /// Per-switch accumulations, switches ascending.
+    pub switches: Vec<SwitchTelemetry>,
+}
+
+impl TelemetryReport {
+    /// Stalls of `cause` summed over the whole fabric.
+    pub fn total_stalls(&self, cause: StallCause) -> u64 {
+        self.switches.iter().map(|s| s.stalls_by_cause(cause)).sum()
+    }
+
+    /// Fabric-wide arbitration-wait quantile (merged over switches).
+    pub fn arb_wait_quantile(&self, q: f64) -> Option<u64> {
+        let mut merged = Pow2Histogram::new();
+        for s in &self.switches {
+            merged.merge(&s.arb_wait_ns);
+        }
+        merged.quantile(q)
+    }
+
+    /// Fabric-wide adaptive and escape grant totals.
+    pub fn total_forwards(&self) -> (u64, u64) {
+        self.switches.iter().fold((0, 0), |(a, e), s| {
+            (a + s.adaptive_forwards, e + s.escape_forwards)
+        })
+    }
+
+    /// The JSON rendering of the report (one line in a JSON-lines
+    /// sink; also embeddable in larger result documents).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("kind", Json::from("report")),
+            ("schema_version", Json::from(self.schema_version)),
+            ("sample_every_ns", Json::from(self.sample_every_ns)),
+            ("samples_taken", Json::from(self.samples_taken)),
+            ("samples_dropped", Json::from(self.samples_dropped)),
+            (
+                "switches",
+                Json::arr(self.switches.iter().map(|s| {
+                    Json::obj([
+                        ("sw", Json::from(s.sw.0 as u64)),
+                        ("adaptive_forwards", Json::from(s.adaptive_forwards)),
+                        ("escape_forwards", Json::from(s.escape_forwards)),
+                        (
+                            "stalls",
+                            Json::arr(s.stalls.iter().map(|p| {
+                                Json::obj([
+                                    ("no_adaptive_credit", Json::from(p.no_adaptive_credit)),
+                                    ("no_escape_credit", Json::from(p.no_escape_credit)),
+                                    ("dead_port", Json::from(p.dead_port)),
+                                ])
+                            })),
+                        ),
+                        ("arb_wait_ns", s.arb_wait_ns.to_json()),
+                    ])
+                })),
+            ),
+        ])
+    }
+}
+
+/// Where telemetry flows. Implementations receive every occupancy
+/// sample as it is taken and the accumulated report once at the end of
+/// the run.
+pub trait TelemetrySink {
+    /// An occupancy snapshot was taken.
+    fn on_sample(&mut self, sample: &TelemetrySample);
+    /// The run ended; `report` holds the accumulated counters.
+    fn on_report(&mut self, report: &TelemetryReport);
+    /// Downcast hook: `Some` when this sink is a [`MemorySink`] (how
+    /// tests retrieve recorded samples without `dyn Any`).
+    fn as_memory(&self) -> Option<&MemorySink> {
+        None
+    }
+}
+
+/// A sink that keeps everything in memory — the test and in-process
+/// analysis backend.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    samples: Vec<TelemetrySample>,
+    report: Option<TelemetryReport>,
+}
+
+impl MemorySink {
+    /// An empty sink.
+    pub fn new() -> MemorySink {
+        MemorySink::default()
+    }
+
+    /// Every sample received, in order.
+    pub fn samples(&self) -> &[TelemetrySample] {
+        &self.samples
+    }
+
+    /// The end-of-run report, once flushed.
+    pub fn report(&self) -> Option<&TelemetryReport> {
+        self.report.as_ref()
+    }
+}
+
+impl TelemetrySink for MemorySink {
+    fn on_sample(&mut self, sample: &TelemetrySample) {
+        self.samples.push(sample.clone());
+    }
+
+    fn on_report(&mut self, report: &TelemetryReport) {
+        self.report = Some(report.clone());
+    }
+
+    fn as_memory(&self) -> Option<&MemorySink> {
+        Some(self)
+    }
+}
+
+/// A sink that streams JSON lines to a writer — the experiment backend.
+///
+/// The first line is a header object carrying the schema version; each
+/// sample and the final report follow as one self-describing object per
+/// line (`"kind": "header" | "sample" | "report"`).
+pub struct JsonLinesSink<W: std::io::Write> {
+    w: W,
+    wrote_header: bool,
+}
+
+impl<W: std::io::Write> JsonLinesSink<W> {
+    /// Wrap a writer.
+    pub fn new(w: W) -> JsonLinesSink<W> {
+        JsonLinesSink {
+            w,
+            wrote_header: false,
+        }
+    }
+
+    fn write_line(&mut self, json: &Json) {
+        if !self.wrote_header {
+            self.wrote_header = true;
+            let header = Json::obj([
+                ("kind", Json::from("header")),
+                ("schema_version", Json::from(TELEMETRY_SCHEMA_VERSION)),
+            ]);
+            writeln!(self.w, "{}", header.to_string_compact())
+                .expect("telemetry sink write failed");
+        }
+        writeln!(self.w, "{}", json.to_string_compact()).expect("telemetry sink write failed");
+    }
+
+    /// Unwrap the writer (flushing is the writer's business).
+    pub fn into_inner(self) -> W {
+        self.w
+    }
+}
+
+impl<W: std::io::Write> TelemetrySink for JsonLinesSink<W> {
+    fn on_sample(&mut self, sample: &TelemetrySample) {
+        self.write_line(&sample.to_json());
+    }
+
+    fn on_report(&mut self, report: &TelemetryReport) {
+        self.write_line(&report.to_json());
+    }
+}
+
+/// The live telemetry state a [`crate::Network`] carries when
+/// instrumented: accumulation arrays pre-sized at construction so the
+/// hot-path hooks are array indexing plus an increment, never an
+/// allocation.
+pub(crate) struct TelemetryState {
+    opts: TelemetryOpts,
+    sink: Box<dyn TelemetrySink>,
+    samples_taken: u64,
+    samples_dropped: u64,
+    switches: Vec<SwitchTelemetry>,
+    flushed: bool,
+}
+
+impl TelemetryState {
+    pub(crate) fn new(
+        opts: TelemetryOpts,
+        sink: Box<dyn TelemetrySink>,
+        num_switches: usize,
+        ports: usize,
+    ) -> TelemetryState {
+        TelemetryState {
+            opts,
+            sink,
+            samples_taken: 0,
+            samples_dropped: 0,
+            switches: (0..num_switches)
+                .map(|s| SwitchTelemetry::new(SwitchId(s as u16), ports))
+                .collect(),
+            flushed: false,
+        }
+    }
+
+    /// Sampling cadence in nanoseconds (≥ 1).
+    #[inline]
+    pub(crate) fn cadence_ns(&self) -> u64 {
+        self.opts.sample_every_ns.max(1)
+    }
+
+    /// Whether the next sample would still be delivered (false once the
+    /// cap is reached — the caller may then skip the collection sweep).
+    #[inline]
+    pub(crate) fn wants_sample(&self) -> bool {
+        (self.samples_taken as usize) < self.opts.max_samples
+    }
+
+    #[inline]
+    pub(crate) fn note_stall(&mut self, sw: SwitchId, port: PortIndex, cause: StallCause) {
+        self.switches[sw.index()].stalls[port.index()].count(cause);
+    }
+
+    #[inline]
+    pub(crate) fn note_forward(&mut self, sw: SwitchId, via_escape: bool, wait_ns: u64) {
+        let s = &mut self.switches[sw.index()];
+        if via_escape {
+            s.escape_forwards += 1;
+        } else {
+            s.adaptive_forwards += 1;
+        }
+        s.arb_wait_ns.record(wait_ns);
+    }
+
+    /// Take one occupancy snapshot at `at` over `switch_vls`, an
+    /// iterator of each switch's per-input-port VL buffers.
+    pub(crate) fn record_sample<'b>(
+        &mut self,
+        at: SimTime,
+        num_vls: usize,
+        mut buffers: impl FnMut(usize, usize, usize) -> &'b VlBuffer,
+        num_switches: usize,
+        ports: usize,
+    ) {
+        if !self.wants_sample() {
+            self.samples_dropped += 1;
+            return;
+        }
+        let mut occupancy = Vec::with_capacity(num_switches * num_vls);
+        for sw in 0..num_switches {
+            for vl in 0..num_vls {
+                let mut adaptive = Credits::ZERO;
+                let mut escape = Credits::ZERO;
+                let mut peak = Credits::ZERO;
+                for port in 0..ports {
+                    let buf = buffers(sw, port, vl);
+                    let (a, e) = buf.region_occupancy();
+                    adaptive += a;
+                    escape += e;
+                    peak = peak.max(buf.occupied());
+                }
+                occupancy.push(VlOccupancy {
+                    sw: SwitchId(sw as u16),
+                    vl: VirtualLane(vl as u8),
+                    adaptive,
+                    escape,
+                    peak,
+                });
+            }
+        }
+        let sample = TelemetrySample { at, occupancy };
+        self.samples_taken += 1;
+        self.sink.on_sample(&sample);
+    }
+
+    /// Build the report and hand it to the sink. Idempotent — only the
+    /// first call flushes.
+    pub(crate) fn flush(&mut self) {
+        if self.flushed {
+            return;
+        }
+        self.flushed = true;
+        let report = TelemetryReport {
+            schema_version: TELEMETRY_SCHEMA_VERSION,
+            sample_every_ns: self.cadence_ns(),
+            samples_taken: self.samples_taken,
+            samples_dropped: self.samples_dropped,
+            switches: self.switches.clone(),
+        };
+        self.sink.on_report(&report);
+    }
+
+    pub(crate) fn sink(&self) -> &dyn TelemetrySink {
+        self.sink.as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn occupancy(sw: u16, adaptive: u32, escape: u32) -> VlOccupancy {
+        VlOccupancy {
+            sw: SwitchId(sw),
+            vl: VirtualLane(0),
+            adaptive: Credits(adaptive),
+            escape: Credits(escape),
+            peak: Credits(adaptive + escape),
+        }
+    }
+
+    #[test]
+    fn sample_json_is_one_self_describing_object() {
+        let s = TelemetrySample {
+            at: SimTime::from_ns(500),
+            occupancy: vec![occupancy(0, 3, 1)],
+        };
+        assert_eq!(
+            s.to_json().to_string_compact(),
+            r#"{"kind":"sample","at_ns":500,"occupancy":[[0,0,3,1,4]]}"#
+        );
+        assert_eq!(s.total_adaptive(), 3);
+        assert_eq!(s.total_escape(), 1);
+    }
+
+    #[test]
+    fn jsonl_sink_emits_header_then_lines() {
+        let mut sink = JsonLinesSink::new(Vec::new());
+        let s = TelemetrySample {
+            at: SimTime::from_ns(1),
+            occupancy: vec![],
+        };
+        sink.on_sample(&s);
+        sink.on_sample(&s);
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains(r#""kind":"header""#));
+        assert!(lines[0].contains(r#""schema_version":1"#));
+        assert!(lines[1].contains(r#""kind":"sample""#));
+    }
+
+    #[test]
+    fn memory_sink_retrieves_through_trait_object() {
+        let mut sink: Box<dyn TelemetrySink> = Box::new(MemorySink::new());
+        sink.on_sample(&TelemetrySample {
+            at: SimTime::ZERO,
+            occupancy: vec![],
+        });
+        let mem = sink.as_memory().expect("memory sink");
+        assert_eq!(mem.samples().len(), 1);
+        assert!(mem.report().is_none());
+    }
+
+    #[test]
+    fn report_aggregates_over_switches() {
+        let mut a = SwitchTelemetry::new(SwitchId(0), 2);
+        a.adaptive_forwards = 10;
+        a.escape_forwards = 2;
+        a.stalls[0].no_adaptive_credit = 5;
+        a.stalls[1].dead_port = 1;
+        a.arb_wait_ns.record(100);
+        let mut b = SwitchTelemetry::new(SwitchId(1), 2);
+        b.escape_forwards = 3;
+        b.stalls[0].no_escape_credit = 7;
+        b.arb_wait_ns.record(1000);
+        let report = TelemetryReport {
+            schema_version: TELEMETRY_SCHEMA_VERSION,
+            sample_every_ns: 1000,
+            samples_taken: 4,
+            samples_dropped: 0,
+            switches: vec![a, b],
+        };
+        assert_eq!(report.total_stalls(StallCause::NoAdaptiveCredit), 5);
+        assert_eq!(report.total_stalls(StallCause::NoEscapeCredit), 7);
+        assert_eq!(report.total_stalls(StallCause::DeadPort), 1);
+        assert_eq!(report.total_forwards(), (10, 5));
+        assert_eq!(report.arb_wait_quantile(1.0), Some(1024));
+        let json = report.to_json().to_string_compact();
+        assert!(json.contains(r#""schema_version":1"#));
+        assert!(json.contains(r#""no_escape_credit":7"#));
+    }
+
+    #[test]
+    fn state_drops_samples_past_the_cap() {
+        let buf = VlBuffer::new(Credits(8));
+        let opts = TelemetryOpts {
+            sample_every_ns: 10,
+            max_samples: 2,
+        };
+        let mut st = TelemetryState::new(opts, Box::new(MemorySink::new()), 1, 1);
+        for i in 0..4u64 {
+            st.record_sample(SimTime::from_ns(i * 10), 1, |_, _, _| &buf, 1, 1);
+        }
+        st.flush();
+        st.flush(); // idempotent
+        let mem = st.sink().as_memory().unwrap();
+        assert_eq!(mem.samples().len(), 2);
+        let report = mem.report().unwrap();
+        assert_eq!(report.samples_taken, 2);
+        assert_eq!(report.samples_dropped, 2);
+    }
+
+    #[test]
+    fn stall_cause_names_cover_all() {
+        for c in StallCause::ALL {
+            assert!(!c.name().is_empty());
+        }
+    }
+}

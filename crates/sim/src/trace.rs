@@ -143,6 +143,47 @@ impl PacketTrace {
     }
 }
 
+/// Journey-tracing configuration, as accepted by
+/// `NetworkBuilder::trace`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceOpts {
+    /// Trace every `sample_every`-th packet, by packet id (clamped to
+    /// ≥ 1 at use).
+    pub sample_every: u64,
+    /// Keep at most this many journeys (saturated runs cannot blow up
+    /// memory).
+    pub max_packets: usize,
+}
+
+impl TraceOpts {
+    /// Trace every packet, up to `max_packets` journeys.
+    pub fn all(max_packets: usize) -> TraceOpts {
+        TraceOpts {
+            sample_every: 1,
+            max_packets,
+        }
+    }
+
+    /// Trace every `sample_every`-th packet, up to `max_packets`
+    /// journeys.
+    pub fn sampled(sample_every: u64, max_packets: usize) -> TraceOpts {
+        TraceOpts {
+            sample_every,
+            max_packets,
+        }
+    }
+}
+
+impl Default for TraceOpts {
+    /// Every 64th packet, at most 4096 journeys.
+    fn default() -> TraceOpts {
+        TraceOpts {
+            sample_every: 64,
+            max_packets: 4096,
+        }
+    }
+}
+
 /// The sampling trace recorder.
 #[derive(Debug)]
 pub struct Tracer {
@@ -152,14 +193,19 @@ pub struct Tracer {
 }
 
 impl Tracer {
+    /// A recorder honouring `opts`.
+    pub fn with_opts(opts: TraceOpts) -> Tracer {
+        Tracer {
+            sample_every: opts.sample_every.max(1),
+            max_packets: opts.max_packets,
+            traces: HashMap::new(),
+        }
+    }
+
     /// Trace every `sample_every`-th packet (by id), keeping at most
     /// `max_packets` journeys.
     pub fn sampled(sample_every: u64, max_packets: usize) -> Tracer {
-        Tracer {
-            sample_every: sample_every.max(1),
-            max_packets,
-            traces: HashMap::new(),
-        }
+        Tracer::with_opts(TraceOpts::sampled(sample_every, max_packets))
     }
 
     /// Whether `id` is (or would be) traced.

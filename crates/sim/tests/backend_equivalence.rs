@@ -10,7 +10,7 @@
 //! stronger, an identical per-packet forwarding trace.
 
 use iba_routing::{FaRouting, RoutingConfig};
-use iba_sim::{Network, QueueBackend, RunResult, SimConfig, TraceStep};
+use iba_sim::{Network, QueueBackend, RunResult, SimConfig, TraceOpts, TraceStep};
 use iba_topology::IrregularConfig;
 use iba_workloads::WorkloadSpec;
 use proptest::prelude::*;
@@ -27,7 +27,11 @@ fn run_with_backend(
     let spec = WorkloadSpec::uniform32(load).with_adaptive_fraction(fraction);
     let mut cfg = SimConfig::test(sim_seed);
     cfg.queue_backend = backend;
-    let mut net = Network::new(&topo, &fa, spec, cfg).unwrap();
+    let mut net = Network::builder(&topo, &fa)
+        .workload(spec)
+        .config(cfg)
+        .build()
+        .unwrap();
     net.run()
 }
 
@@ -71,8 +75,12 @@ fn trace_digest(backend: QueueBackend) -> (u64, u64) {
     let spec = WorkloadSpec::uniform32(0.05).with_adaptive_fraction(0.7);
     let mut cfg = SimConfig::test(11);
     cfg.queue_backend = backend;
-    let mut net = Network::new(&topo, &fa, spec, cfg).unwrap();
-    net.enable_tracing(1, 1_000_000);
+    let mut net = Network::builder(&topo, &fa)
+        .workload(spec)
+        .config(cfg)
+        .trace(TraceOpts::all(1_000_000))
+        .build()
+        .unwrap();
     let result = net.run();
 
     let tracer = net.tracer().expect("tracing enabled");

@@ -1,0 +1,160 @@
+//! `NetworkBuilder` / `SimConfigBuilder` API behavior, and the
+//! deprecated constructor shims' equivalence to the builder path.
+
+use iba_core::SimTime;
+use iba_routing::{FaRouting, RoutingConfig};
+use iba_sim::{JsonLinesSink, Network, SimConfig, TelemetryOpts, TraceOpts};
+use iba_topology::{IrregularConfig, Topology};
+use iba_workloads::{ScriptedPacket, TrafficScript, WorkloadSpec};
+
+fn fixture() -> (Topology, FaRouting) {
+    let topo = IrregularConfig::paper(8, 1).generate().unwrap();
+    let fa = FaRouting::build(&topo, RoutingConfig::two_options()).unwrap();
+    (topo, fa)
+}
+
+#[test]
+fn builder_requires_a_config() {
+    let (topo, fa) = fixture();
+    let err = Network::builder(&topo, &fa)
+        .workload(WorkloadSpec::uniform32(0.01))
+        .build();
+    let msg = err.err().expect("config is required").to_string();
+    assert!(msg.contains("SimConfig"));
+}
+
+#[test]
+fn builder_requires_exactly_one_traffic_source() {
+    let (topo, fa) = fixture();
+    let none = Network::builder(&topo, &fa)
+        .config(SimConfig::test(1))
+        .build();
+    let msg = none
+        .err()
+        .expect("a traffic source is required")
+        .to_string();
+    assert!(msg.contains("traffic source"));
+
+    let script = TrafficScript::new(vec![ScriptedPacket {
+        at: SimTime::from_ns(100),
+        src: iba_core::HostId(0),
+        dst: iba_core::HostId(1),
+        size_bytes: 32,
+        sl: iba_core::ServiceLevel(0),
+        adaptive: false,
+        path_set: iba_workloads::PathSet::Primary,
+    }])
+    .unwrap();
+    let both = Network::builder(&topo, &fa)
+        .workload(WorkloadSpec::uniform32(0.01))
+        .script(&script)
+        .config(SimConfig::test(1))
+        .build();
+    let msg = both
+        .err()
+        .expect("two traffic sources must be rejected")
+        .to_string();
+    assert!(msg.contains("mutually exclusive"));
+
+    let scripted = Network::builder(&topo, &fa)
+        .script(&script)
+        .config(SimConfig::test(1))
+        .build();
+    assert!(scripted.is_ok());
+}
+
+#[test]
+fn builder_wires_every_option() {
+    let (topo, fa) = fixture();
+    let mut net = Network::builder(&topo, &fa)
+        .workload(WorkloadSpec::uniform32(0.01))
+        .config(SimConfig::test(2))
+        .trace(TraceOpts::all(64))
+        .telemetry_sink(
+            TelemetryOpts::every_ns(2_000),
+            Box::new(JsonLinesSink::new(Vec::new())),
+        )
+        .build()
+        .unwrap();
+    assert!(net.telemetry_enabled());
+    let r = net.run();
+    assert!(r.delivered > 0);
+    assert!(!net.tracer().unwrap().traces().is_empty());
+    // The JSON-lines sink received a header, samples and a report.
+    let sink = net.telemetry_sink().unwrap();
+    assert!(sink.as_memory().is_none());
+}
+
+#[test]
+fn json_lines_sink_streams_versioned_lines() {
+    let (topo, fa) = fixture();
+    let mut net = Network::builder(&topo, &fa)
+        .workload(WorkloadSpec::uniform32(0.02))
+        .config(SimConfig::test(4))
+        .telemetry_sink(
+            TelemetryOpts::every_ns(10_000),
+            Box::new(JsonLinesSink::new(Vec::new())),
+        )
+        .build()
+        .unwrap();
+    net.run();
+    // The sink is type-erased behind the trait; rendering behavior is
+    // covered by unit tests — here we only assert the wiring held.
+    assert!(net.telemetry_enabled());
+}
+
+#[test]
+#[allow(deprecated)]
+fn deprecated_shims_match_the_builder() {
+    let (topo, fa) = fixture();
+    let spec = WorkloadSpec::uniform32(0.02);
+
+    let r_old = Network::new(&topo, &fa, spec, SimConfig::test(9))
+        .unwrap()
+        .run();
+    let r_new = Network::builder(&topo, &fa)
+        .workload(spec)
+        .config(SimConfig::test(9))
+        .build()
+        .unwrap()
+        .run();
+    assert_eq!(r_old, r_new, "shim and builder must be bit-identical");
+}
+
+#[test]
+fn sim_config_builder_validates_at_build_time() {
+    let cfg = SimConfig::builder(7)
+        .data_vls(2)
+        .vl_buffer_credits(iba_core::Credits(8))
+        .build()
+        .unwrap();
+    assert_eq!(cfg.data_vls, 2);
+
+    assert!(SimConfig::builder(7).data_vls(0).build().is_err());
+}
+
+#[test]
+fn telemetry_disabled_runs_are_unaffected() {
+    let (topo, fa) = fixture();
+    let spec = WorkloadSpec::uniform32(0.05);
+    let run = |telemetry: bool| {
+        let b = Network::builder(&topo, &fa)
+            .workload(spec)
+            .config(SimConfig::test(11));
+        let b = if telemetry {
+            b.telemetry(TelemetryOpts::every_ns(1_000))
+        } else {
+            b
+        };
+        b.build().unwrap().run()
+    };
+    let plain = run(false);
+    let instrumented = run(true);
+    // Sampling rides the queue but must not perturb the simulation:
+    // packet-level outcomes are identical (event counts differ by the
+    // sample events themselves).
+    assert_eq!(plain.delivered, instrumented.delivered);
+    assert_eq!(plain.avg_latency_ns, instrumented.avg_latency_ns);
+    assert_eq!(plain.escape_forwards, instrumented.escape_forwards);
+    assert!(instrumented.events > plain.events);
+}

@@ -55,9 +55,11 @@ fn single_fault_mid_window_recovers_under_sm_resweep() {
         let cfg = SimConfig::test(seed);
         let horizon = cfg.horizon();
         let spec = WorkloadSpec::uniform32(0.02);
-        let mut net = Network::new(&topo, &fa, spec, cfg)
-            .unwrap()
-            .with_faults(&schedule, RecoveryPolicy::SmResweep, 2_000)
+        let mut net = Network::builder(&topo, &fa)
+            .workload(spec)
+            .config(cfg)
+            .faults(&schedule, RecoveryPolicy::SmResweep, 2_000)
+            .build()
             .unwrap();
         let (result, drained) = net.run_until_drained(horizon, horizon.plus_ns(200_000));
 
@@ -91,9 +93,11 @@ fn no_recovery_policy_leaves_packets_stranded() {
     let schedule = FaultSchedule::single(SimTime::from_us(25), a, b).unwrap();
     let cfg = SimConfig::test(3);
     let horizon = cfg.horizon();
-    let mut net = Network::new(&topo, &fa, WorkloadSpec::uniform32(0.02), cfg)
-        .unwrap()
-        .with_faults(&schedule, RecoveryPolicy::None, 0)
+    let mut net = Network::builder(&topo, &fa)
+        .workload(WorkloadSpec::uniform32(0.02))
+        .config(cfg)
+        .faults(&schedule, RecoveryPolicy::None, 0)
+        .build()
         .unwrap();
     let (result, drained) = net.run_until_drained(horizon, horizon.plus_ns(200_000));
 
@@ -129,9 +133,11 @@ fn transient_fault_heals_on_link_up_even_without_recovery() {
     .unwrap();
     let cfg = SimConfig::test(5);
     let horizon = cfg.horizon();
-    let mut net = Network::new(&topo, &fa, WorkloadSpec::uniform32(0.02), cfg)
-        .unwrap()
-        .with_faults(&schedule, RecoveryPolicy::None, 0)
+    let mut net = Network::builder(&topo, &fa)
+        .workload(WorkloadSpec::uniform32(0.02))
+        .config(cfg)
+        .faults(&schedule, RecoveryPolicy::None, 0)
+        .build()
         .unwrap();
     let (result, drained) = net.run_until_drained(horizon, horizon.plus_ns(200_000));
 
@@ -149,9 +155,11 @@ fn apm_migration_keeps_traffic_moving_during_repair() {
     let schedule = FaultSchedule::single(SimTime::from_us(20), a, b).unwrap();
     let cfg = SimConfig::test(5);
     let horizon = cfg.horizon();
-    let mut net = Network::new(&topo, &fa, WorkloadSpec::uniform32(0.02), cfg)
-        .unwrap()
-        .with_faults(&schedule, RecoveryPolicy::ApmMigrate, 0)
+    let mut net = Network::builder(&topo, &fa)
+        .workload(WorkloadSpec::uniform32(0.02))
+        .config(cfg)
+        .faults(&schedule, RecoveryPolicy::ApmMigrate, 0)
+        .build()
         .unwrap();
     let (result, _) = net.run_until_drained(horizon, horizon.plus_ns(200_000));
 
@@ -166,14 +174,11 @@ fn apm_migrate_requires_apm_tables() {
     let fa = FaRouting::build(&topo, RoutingConfig::two_options()).unwrap();
     let (a, b) = removable_link(&topo);
     let schedule = FaultSchedule::single(SimTime::from_us(20), a, b).unwrap();
-    let err = Network::new(
-        &topo,
-        &fa,
-        WorkloadSpec::uniform32(0.02),
-        SimConfig::test(1),
-    )
-    .unwrap()
-    .with_faults(&schedule, RecoveryPolicy::ApmMigrate, 0);
+    let err = Network::builder(&topo, &fa)
+        .workload(WorkloadSpec::uniform32(0.02))
+        .config(SimConfig::test(1))
+        .faults(&schedule, RecoveryPolicy::ApmMigrate, 0)
+        .build();
     assert!(err.is_err());
 }
 
@@ -200,9 +205,11 @@ fn fault_runs_are_bit_identical_across_backends() {
         .unwrap();
         let mut cfg = SimConfig::test(13);
         cfg.queue_backend = backend;
-        let mut net = Network::new(&topo, &fa, WorkloadSpec::uniform32(0.08), cfg)
-            .unwrap()
-            .with_faults(&schedule, RecoveryPolicy::SmResweep, 2_000)
+        let mut net = Network::builder(&topo, &fa)
+            .workload(WorkloadSpec::uniform32(0.08))
+            .config(cfg)
+            .faults(&schedule, RecoveryPolicy::SmResweep, 2_000)
+            .build()
             .unwrap();
         net.run()
     };

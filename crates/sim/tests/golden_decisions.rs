@@ -11,7 +11,7 @@
 //! implementation and must stay fixed.
 
 use iba_routing::{FaRouting, RoutingConfig};
-use iba_sim::{Network, SimConfig, TraceStep};
+use iba_sim::{Network, SimConfig, TraceOpts, TraceStep};
 use iba_topology::IrregularConfig;
 use iba_workloads::WorkloadSpec;
 
@@ -42,8 +42,12 @@ fn run_scenario() -> Golden {
     let routing = FaRouting::build(&topo, RoutingConfig::two_options()).unwrap();
     let spec = WorkloadSpec::uniform32(0.02);
     let cfg = SimConfig::test(7);
-    let mut net = Network::new(&topo, &routing, spec, cfg).unwrap();
-    net.enable_tracing(1, 1_000_000);
+    let mut net = Network::builder(&topo, &routing)
+        .workload(spec)
+        .config(cfg)
+        .trace(TraceOpts::all(1_000_000))
+        .build()
+        .unwrap();
     let result = net.run();
 
     let tracer = net.tracer().expect("tracing enabled");

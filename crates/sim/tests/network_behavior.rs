@@ -13,7 +13,12 @@ fn routing(topo: &Topology, options: u16) -> FaRouting {
 }
 
 fn run(topo: &Topology, fa: &FaRouting, spec: WorkloadSpec, cfg: SimConfig) -> RunResult {
-    Network::new(topo, fa, spec, cfg).unwrap().run()
+    Network::builder(topo, fa)
+        .workload(spec)
+        .config(cfg)
+        .build()
+        .unwrap()
+        .run()
 }
 
 #[test]
@@ -63,7 +68,11 @@ fn every_generated_packet_is_delivered_and_network_drains() {
     let topo = IrregularConfig::paper(8, 11).generate().unwrap();
     let fa = routing(&topo, 2);
     let spec = WorkloadSpec::uniform32(0.02).with_adaptive_fraction(0.5);
-    let mut net = Network::new(&topo, &fa, spec, SimConfig::test(5)).unwrap();
+    let mut net = Network::builder(&topo, &fa)
+        .workload(spec)
+        .config(SimConfig::test(5))
+        .build()
+        .unwrap();
     let (r, drained) = net.run_until_drained(SimTime::from_us(50), SimTime::from_ms(50));
     assert!(drained, "network failed to drain: {r:?}");
     assert!(r.generated > 500, "workload too light: {}", r.generated);
@@ -78,7 +87,11 @@ fn drains_under_saturating_uniform_adaptive_load() {
     let topo = IrregularConfig::paper(16, 3).generate().unwrap();
     let fa = routing(&topo, 2);
     let spec = WorkloadSpec::uniform32(0.25); // ~8 B/ns/switch offered: way past saturation
-    let mut net = Network::new(&topo, &fa, spec, SimConfig::test(7)).unwrap();
+    let mut net = Network::builder(&topo, &fa)
+        .workload(spec)
+        .config(SimConfig::test(7))
+        .build()
+        .unwrap();
     let (r, drained) = net.run_until_drained(SimTime::from_us(60), SimTime::from_ms(80));
     assert!(drained, "saturated network failed to drain: {r:?}");
     assert!(net.is_quiescent());
@@ -96,7 +109,11 @@ fn drains_under_hotspot_load() {
         pattern: TrafficPattern::hotspot_percent(20),
         ..WorkloadSpec::uniform32(0.1)
     };
-    let mut net = Network::new(&topo, &fa, spec, SimConfig::test(13)).unwrap();
+    let mut net = Network::builder(&topo, &fa)
+        .workload(spec)
+        .config(SimConfig::test(13))
+        .build()
+        .unwrap();
     let (r, drained) = net.run_until_drained(SimTime::from_us(60), SimTime::from_ms(100));
     assert!(drained, "hot-spot network failed to drain: {r:?}");
     assert_eq!(r.delivered, r.generated);
@@ -240,7 +257,11 @@ fn works_on_regular_topologies() {
     ] {
         let fa = routing(&topo, 2);
         let spec = WorkloadSpec::uniform32(0.01).with_adaptive_fraction(0.5);
-        let mut net = Network::new(&topo, &fa, spec, SimConfig::test(4)).unwrap();
+        let mut net = Network::builder(&topo, &fa)
+            .workload(spec)
+            .config(SimConfig::test(4))
+            .build()
+            .unwrap();
         let (r, drained) = net.run_until_drained(SimTime::from_us(40), SimTime::from_ms(40));
         assert!(drained && r.delivered == r.generated, "{r:?}");
     }
@@ -267,7 +288,11 @@ fn larger_packets_drain_too() {
         packet_bytes: 256,
         ..WorkloadSpec::uniform32(0.1)
     };
-    let mut net = Network::new(&topo, &fa, spec, SimConfig::test(8)).unwrap();
+    let mut net = Network::builder(&topo, &fa)
+        .workload(spec)
+        .config(SimConfig::test(8))
+        .build()
+        .unwrap();
     let (r, drained) = net.run_until_drained(SimTime::from_us(60), SimTime::from_ms(100));
     assert!(drained, "{r:?}");
     assert!(net.is_quiescent());
@@ -278,7 +303,11 @@ fn four_option_tables_work_on_dense_networks() {
     let topo = IrregularConfig::paper_connected(8, 3).generate().unwrap();
     let fa = routing(&topo, 4);
     let spec = WorkloadSpec::uniform32(0.1);
-    let mut net = Network::new(&topo, &fa, spec, SimConfig::test(10)).unwrap();
+    let mut net = Network::builder(&topo, &fa)
+        .workload(spec)
+        .config(SimConfig::test(10))
+        .build()
+        .unwrap();
     let (r, drained) = net.run_until_drained(SimTime::from_us(60), SimTime::from_ms(80));
     assert!(drained, "{r:?}");
 }
@@ -311,36 +340,30 @@ fn rejects_inconsistent_setups() {
     let other = IrregularConfig::paper(16, 1).generate().unwrap();
     let fa = routing(&topo, 1);
     // Adaptive traffic with single-option tables.
-    assert!(Network::new(
-        &topo,
-        &fa,
-        WorkloadSpec::uniform32(0.01),
-        SimConfig::test(0)
-    )
-    .is_err());
+    assert!(Network::builder(&topo, &fa)
+        .workload(WorkloadSpec::uniform32(0.01))
+        .config(SimConfig::test(0))
+        .build()
+        .is_err());
     // Routing built for a different topology.
     let fa16 = routing(&other, 2);
-    assert!(Network::new(
-        &topo,
-        &fa16,
-        WorkloadSpec::uniform32(0.01).with_adaptive_fraction(0.0),
-        SimConfig::test(0)
-    )
-    .is_err());
+    assert!(Network::builder(&topo, &fa16)
+        .workload(WorkloadSpec::uniform32(0.01).with_adaptive_fraction(0.0))
+        .config(SimConfig::test(0))
+        .build()
+        .is_err());
     // Packet too large for the split buffer.
     let fa2 = routing(&topo, 2);
     let mut cfg = SimConfig::test(0);
     cfg.vl_buffer_credits = Credits(4);
-    assert!(Network::new(
-        &topo,
-        &fa2,
-        WorkloadSpec {
+    assert!(Network::builder(&topo, &fa2)
+        .workload(WorkloadSpec {
             packet_bytes: 256,
             ..WorkloadSpec::uniform32(0.01)
-        },
-        cfg
-    )
-    .is_err());
+        })
+        .config(cfg)
+        .build()
+        .is_err());
 }
 
 #[test]
@@ -354,7 +377,11 @@ fn multiple_service_levels_spread_over_multiple_vls() {
         .with_service_levels(2);
     let mut cfg = SimConfig::test(23);
     cfg.data_vls = 2;
-    let mut net = Network::new(&topo, &fa, spec, cfg).unwrap();
+    let mut net = Network::builder(&topo, &fa)
+        .workload(spec)
+        .config(cfg)
+        .build()
+        .unwrap();
     let (r, drained) = net.run_until_drained(SimTime::from_us(50), SimTime::from_ms(60));
     assert!(drained, "{r:?}");
     assert!(net.is_quiescent());
@@ -373,7 +400,12 @@ fn two_vls_buy_throughput_on_a_bottleneck() {
         let mut cfg = SimConfig::test(29);
         cfg.data_vls = vls;
         let spec = WorkloadSpec::uniform32(0.2).with_service_levels(sls);
-        Network::new(&topo, &fa, spec, cfg).unwrap().run()
+        Network::builder(&topo, &fa)
+            .workload(spec)
+            .config(cfg)
+            .build()
+            .unwrap()
+            .run()
     };
     let one = run_with(1, 1);
     let two = run_with(2, 2);
@@ -408,7 +440,11 @@ fn finite_source_queues_drop_only_under_overload() {
     assert!(low.max_host_queue <= 16);
     // Far past saturation: drops appear, the queue caps, and the fabric
     // still drains cleanly.
-    let mut net = Network::new(&topo, &fa, WorkloadSpec::uniform32(0.3), cfg).unwrap();
+    let mut net = Network::builder(&topo, &fa)
+        .workload(WorkloadSpec::uniform32(0.3))
+        .config(cfg)
+        .build()
+        .unwrap();
     let (high, drained) = net.run_until_drained(SimTime::from_us(60), SimTime::from_ms(60));
     assert!(high.source_drops > 0, "overload must drop at finite queues");
     assert!(high.max_host_queue <= 16);
@@ -451,7 +487,11 @@ mod scripted {
                 .collect(),
         )
         .unwrap();
-        let mut net = Network::new_scripted(&topo, &fa, &script, SimConfig::test(5)).unwrap();
+        let mut net = Network::builder(&topo, &fa)
+            .script(&script)
+            .config(SimConfig::test(5))
+            .build()
+            .unwrap();
         let (r, drained) = net.run_until_drained(SimTime::from_ms(1), SimTime::from_ms(50));
         assert!(drained, "{r:?}");
         assert_eq!(r.generated, 200);
@@ -471,7 +511,10 @@ mod scripted {
         )
         .unwrap();
         let run = || {
-            Network::new_scripted(&topo, &fa, &script, SimConfig::test(9))
+            Network::builder(&topo, &fa)
+                .script(&script)
+                .config(SimConfig::test(9))
+                .build()
                 .unwrap()
                 .run()
         };
@@ -484,14 +527,26 @@ mod scripted {
         // Host out of range.
         let fa2 = routing(&topo, 2);
         let bad = TrafficScript::new(vec![entry(1, 0, 200, false)]).unwrap();
-        assert!(Network::new_scripted(&topo, &fa2, &bad, SimConfig::test(0)).is_err());
+        assert!(Network::builder(&topo, &fa2)
+            .script(&bad)
+            .config(SimConfig::test(0))
+            .build()
+            .is_err());
         // Adaptive entries against single-option tables.
         let fa1 = routing(&topo, 1);
         let ada = TrafficScript::new(vec![entry(1, 0, 1, true)]).unwrap();
-        assert!(Network::new_scripted(&topo, &fa1, &ada, SimConfig::test(0)).is_err());
+        assert!(Network::builder(&topo, &fa1)
+            .script(&ada)
+            .config(SimConfig::test(0))
+            .build()
+            .is_err());
         // Deterministic-only scripts are fine with single-option tables.
         let det = TrafficScript::new(vec![entry(1, 0, 1, false)]).unwrap();
-        assert!(Network::new_scripted(&topo, &fa1, &det, SimConfig::test(0)).is_ok());
+        assert!(Network::builder(&topo, &fa1)
+            .script(&det)
+            .config(SimConfig::test(0))
+            .build()
+            .is_ok());
     }
 
     #[test]
@@ -507,7 +562,11 @@ mod scripted {
             }
         }
         let script = TrafficScript::new(entries).unwrap();
-        let mut net = Network::new_scripted(&topo, &fa, &script, SimConfig::test(7)).unwrap();
+        let mut net = Network::builder(&topo, &fa)
+            .script(&script)
+            .config(SimConfig::test(7))
+            .build()
+            .unwrap();
         let (r, drained) = net.run_until_drained(SimTime::from_ms(1), SimTime::from_ms(100));
         assert!(drained, "{r:?}");
         assert_eq!(r.order_violations, 0);

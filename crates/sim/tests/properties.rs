@@ -51,7 +51,7 @@ proptest! {
             SelectionPolicy::FirstFeasible,
         ][selection_idx];
 
-        let mut net = Network::new(&topo, &fa, spec, cfg).unwrap();
+        let mut net = Network::builder(&topo, &fa).workload(spec).config(cfg).build().unwrap();
         let (r, drained) = net.run_until_drained(SimTime::from_us(25), SimTime::from_ms(80));
         prop_assert!(drained, "not drained: {r:?}");
         prop_assert!(net.is_quiescent(), "not quiescent after drain");
@@ -78,7 +78,7 @@ proptest! {
         let caps: Vec<bool> = (0..8).map(|i| cap_mask & (1 << i) != 0).collect();
         let fa = FaRouting::build_mixed(&topo, RoutingConfig::two_options(), &caps).unwrap();
         let spec = WorkloadSpec::uniform32(0.15).with_adaptive_fraction(0.6);
-        let mut net = Network::new(&topo, &fa, spec, SimConfig::test(sim_seed)).unwrap();
+        let mut net = Network::builder(&topo, &fa).workload(spec).config(SimConfig::test(sim_seed)).build().unwrap();
         let (r, drained) = net.run_until_drained(SimTime::from_us(25), SimTime::from_ms(80));
         prop_assert!(drained, "caps {cap_mask:08b}: not drained: {r:?}");
         prop_assert!(net.is_quiescent());
@@ -95,7 +95,11 @@ fn updown_concentrates_load_near_the_root() {
     let topo = IrregularConfig::paper(32, 5).generate().unwrap();
     let fa = FaRouting::build(&topo, RoutingConfig::two_options()).unwrap();
     let spec = WorkloadSpec::uniform32(0.02).with_adaptive_fraction(0.0);
-    let mut net = Network::new(&topo, &fa, spec, SimConfig::test(9)).unwrap();
+    let mut net = Network::builder(&topo, &fa)
+        .workload(spec)
+        .config(SimConfig::test(9))
+        .build()
+        .unwrap();
     let _ = net.run();
 
     let root = fa.updown().root();
@@ -119,7 +123,11 @@ fn adaptivity_flattens_the_root_hotspot() {
     let fa = FaRouting::build(&topo, RoutingConfig::two_options()).unwrap();
     let ratio_for = |fraction: f64| {
         let spec = WorkloadSpec::uniform32(0.02).with_adaptive_fraction(fraction);
-        let mut net = Network::new(&topo, &fa, spec, SimConfig::test(9)).unwrap();
+        let mut net = Network::builder(&topo, &fa)
+            .workload(spec)
+            .config(SimConfig::test(9))
+            .build()
+            .unwrap();
         let _ = net.run();
         let root_util = net.switch_link_utilization(fa.updown().root());
         let avg: f64 = topo

@@ -101,6 +101,87 @@ impl std::fmt::Display for MinMaxAvg {
     }
 }
 
+/// A `(time, value)` timeseries with scalar summaries — the aggregation
+/// side of the simulator's telemetry samples (per-VL occupancy over
+/// simulated time, stall rates, and so on).
+///
+/// Points are expected in nondecreasing time order (how a sampling probe
+/// naturally produces them); [`push`](Timeseries::push) debug-asserts
+/// that, and the summaries are order-independent anyway.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Timeseries {
+    points: Vec<(u64, f64)>,
+}
+
+impl Timeseries {
+    /// Empty series.
+    pub fn new() -> Timeseries {
+        Timeseries::default()
+    }
+
+    /// Append a point at time `at_ns`.
+    pub fn push(&mut self, at_ns: u64, value: f64) {
+        debug_assert!(
+            self.points.last().is_none_or(|&(t, _)| t <= at_ns),
+            "timeseries points must be pushed in nondecreasing time order"
+        );
+        self.points.push((at_ns, value));
+    }
+
+    /// The recorded `(time_ns, value)` points, in push order.
+    pub fn points(&self) -> &[(u64, f64)] {
+        &self.points
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the series is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Smallest value (`None` if empty).
+    pub fn min(&self) -> Option<f64> {
+        self.points.iter().map(|&(_, v)| v).reduce(f64::min)
+    }
+
+    /// Largest value (`None` if empty).
+    pub fn max(&self) -> Option<f64> {
+        self.points.iter().map(|&(_, v)| v).reduce(f64::max)
+    }
+
+    /// Mean value (`None` if empty).
+    pub fn mean(&self) -> Option<f64> {
+        (!self.points.is_empty())
+            .then(|| self.points.iter().map(|&(_, v)| v).sum::<f64>() / self.points.len() as f64)
+    }
+
+    /// The `(time_ns, value)` of the largest value, earliest such point
+    /// on ties (`None` if empty) — "when did the escape queues spike".
+    pub fn peak(&self) -> Option<(u64, f64)> {
+        let mut best: Option<(u64, f64)> = None;
+        for &(t, v) in &self.points {
+            if best.is_none_or(|(_, bv)| v > bv) {
+                best = Some((t, v));
+            }
+        }
+        best
+    }
+}
+
+impl FromIterator<(u64, f64)> for Timeseries {
+    fn from_iter<T: IntoIterator<Item = (u64, f64)>>(iter: T) -> Timeseries {
+        let mut s = Timeseries::new();
+        for (t, v) in iter {
+            s.push(t, v);
+        }
+        s
+    }
+}
+
 /// Welford's online mean/variance.
 #[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct Welford {
@@ -239,6 +320,24 @@ mod tests {
         w.push(1.0);
         assert_eq!(w.mean(), 1.0);
         assert!(w.variance().is_nan());
+    }
+
+    #[test]
+    fn timeseries_summaries() {
+        let ts: Timeseries = [(0, 2.0), (1_000, 5.0), (2_000, 5.0), (3_000, 1.0)]
+            .into_iter()
+            .collect();
+        assert_eq!(ts.len(), 4);
+        assert_eq!(ts.min(), Some(1.0));
+        assert_eq!(ts.max(), Some(5.0));
+        assert_eq!(ts.mean(), Some(13.0 / 4.0));
+        // Earliest point wins the tie at the maximum.
+        assert_eq!(ts.peak(), Some((1_000, 5.0)));
+
+        let empty = Timeseries::new();
+        assert!(empty.is_empty());
+        assert_eq!(empty.min(), None);
+        assert_eq!(empty.peak(), None);
     }
 
     proptest! {

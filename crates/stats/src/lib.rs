@@ -19,6 +19,6 @@ pub mod agg;
 pub mod curve;
 pub mod report;
 
-pub use agg::{MinMaxAvg, Welford};
+pub use agg::{MinMaxAvg, Timeseries, Welford};
 pub use curve::{Curve, CurvePoint};
-pub use report::{csv_table, markdown_table};
+pub use report::{csv_table, markdown_table, timeseries_table};

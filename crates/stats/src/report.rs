@@ -1,5 +1,32 @@
 //! Plain-text table rendering for the experiment binaries.
 
+use crate::agg::Timeseries;
+
+/// Render one summary row per named [`Timeseries`]: point count, min,
+/// mean, max, and the time (µs) of the peak value — the quick-look
+/// companion to the full JSON timeseries artifacts.
+pub fn timeseries_table(series: &[(&str, &Timeseries)]) -> String {
+    let rows: Vec<Vec<String>> = series
+        .iter()
+        .map(|(name, ts)| {
+            let fmt = |v: Option<f64>| v.map_or_else(|| "-".into(), |v| format!("{v:.1}"));
+            vec![
+                (*name).to_string(),
+                ts.len().to_string(),
+                fmt(ts.min()),
+                fmt(ts.mean()),
+                fmt(ts.max()),
+                ts.peak()
+                    .map_or_else(|| "-".into(), |(t, _)| format!("{:.1}", t as f64 / 1_000.0)),
+            ]
+        })
+        .collect();
+    markdown_table(
+        &["series", "points", "min", "mean", "max", "peak at (us)"],
+        &rows,
+    )
+}
+
 /// Render rows as a GitHub-flavoured markdown table with right-aligned
 /// numeric look. `header.len()` must equal every row's length.
 pub fn markdown_table(header: &[&str], rows: &[Vec<String>]) -> String {
@@ -84,6 +111,17 @@ mod tests {
     #[should_panic(expected = "ragged")]
     fn ragged_rows_panic() {
         markdown_table(&["a"], &[vec!["1".into(), "2".into()]]);
+    }
+
+    #[test]
+    fn timeseries_table_summarizes() {
+        let ts: Timeseries = [(0, 1.0), (2_000, 4.0)].into_iter().collect();
+        let empty = Timeseries::new();
+        let t = timeseries_table(&[("escape", &ts), ("adaptive", &empty)]);
+        assert!(t.contains("escape"));
+        assert!(t.contains("4.0"));
+        assert!(t.contains("2.0")); // peak at 2 µs
+        assert!(t.contains('-')); // empty series renders dashes
     }
 
     #[test]

@@ -26,7 +26,10 @@ fn main() -> Result<(), IbaError> {
         let mut curve = Curve::new();
         for &load in &offered {
             let spec = WorkloadSpec::uniform32(load / 4.0).with_adaptive_fraction(frac);
-            let mut net = Network::new(&topo, &routing, spec, SimConfig::paper(11))?;
+            let mut net = Network::builder(&topo, &routing)
+                .workload(spec)
+                .config(SimConfig::paper(11))
+                .build()?;
             let r = net.run();
             curve.push(CurvePoint {
                 offered: load,

@@ -28,7 +28,10 @@ fn saturation(
             ..WorkloadSpec::uniform32(load / 4.0)
         }
         .with_adaptive_fraction(adaptive);
-        let mut net = Network::new(topo, routing, spec, SimConfig::paper(3))?;
+        let mut net = Network::builder(topo, routing)
+            .workload(spec)
+            .config(SimConfig::paper(3))
+            .build()?;
         let r = net.run();
         best = best.max(r.accepted_bytes_per_ns_per_switch);
     }

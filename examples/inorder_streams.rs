@@ -19,7 +19,10 @@ fn run_mix(adaptive_fraction: f64) -> Result<RunResult, IbaError> {
     // Past saturation: buffers fill, escape queues engage, adaptive
     // packets detour — the worst case for ordering.
     let spec = WorkloadSpec::uniform32(0.05).with_adaptive_fraction(adaptive_fraction);
-    let mut net = Network::new(&topo, &routing, spec, SimConfig::paper(17))?;
+    let mut net = Network::builder(&topo, &routing)
+        .workload(spec)
+        .config(SimConfig::paper(17))
+        .build()?;
     Ok(net.run())
 }
 

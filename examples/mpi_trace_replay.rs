@@ -62,7 +62,10 @@ fn main() -> Result<(), IbaError> {
 
     for (label, adaptive) in [("bulk deterministic", false), ("bulk adaptive", true)] {
         let trace = ring_exchange_trace(ranks, rounds, adaptive);
-        let mut net = Network::new_scripted(&topo, &routing, &trace, SimConfig::paper(2))?;
+        let mut net = Network::builder(&topo, &routing)
+            .script(&trace)
+            .config(SimConfig::paper(2))
+            .build()?;
         let (r, drained) = net.run_until_drained(SimTime::from_ms(2), SimTime::from_ms(100));
         assert!(drained, "trace did not complete: {r:?}");
         println!(

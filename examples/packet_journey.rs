@@ -16,8 +16,13 @@ fn main() -> Result<(), IbaError> {
 
     // Drive the network past saturation so escape detours actually occur.
     let spec = WorkloadSpec::uniform32(0.06).with_adaptive_fraction(1.0);
-    let mut net = Network::new(&topo, &routing, spec, SimConfig::paper(4))?;
-    net.enable_tracing(/*sample_every*/ 97, /*max_packets*/ 400);
+    let mut net = Network::builder(&topo, &routing)
+        .workload(spec)
+        .config(SimConfig::paper(4))
+        .trace(TraceOpts::sampled(
+            /*sample_every*/ 97, /*max_packets*/ 400,
+        ))
+        .build()?;
     let result = net.run();
     println!(
         "run: {} delivered, avg latency {:.0} ns, {:.1}% escape forwards\n",

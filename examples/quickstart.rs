@@ -36,7 +36,10 @@ fn main() -> Result<(), IbaError> {
     //    load, using the paper's physical parameters (1X links, 100 ns
     //    routing time, 64 B credits, MTU 256).
     let spec = WorkloadSpec::uniform32(0.02);
-    let mut net = Network::new(&topo, &routing, spec, SimConfig::paper(7))?;
+    let mut net = Network::builder(&topo, &routing)
+        .workload(spec)
+        .config(SimConfig::paper(7))
+        .build()?;
     let r = net.run();
 
     println!("\nworkload : uniform, 32 B packets, 100% adaptive, 0.02 B/ns/host");

@@ -58,7 +58,10 @@ fn main() -> Result<(), IbaError> {
     // SM reconstructed (isomorphic to the physical one, with physical
     // port numbers — exactly what the uploaded tables were computed for).
     let spec = WorkloadSpec::uniform32(0.02);
-    let mut net = Network::new(&up.topology, &up.routing, spec, SimConfig::paper(1))?;
+    let mut net = Network::builder(&up.topology, &up.routing)
+        .workload(spec)
+        .config(SimConfig::paper(1))
+        .build()?;
     let r = net.run();
     println!(
         "\ntraffic check   : {} delivered, avg latency {:.0} ns (p50 ≤ {} ns, p99 ≤ {} ns), {} reorderings",

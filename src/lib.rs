@@ -29,7 +29,7 @@
 //! let spec = WorkloadSpec::uniform32(0.01);
 //!
 //! // Simulate with the paper's physical parameters.
-//! let mut net = Network::new(&topo, &routing, spec, SimConfig::test(7))?;
+//! let mut net = Network::builder(&topo, &routing).workload(spec).config(SimConfig::test(7)).build()?;
 //! let result = net.run();
 //! assert!(result.delivered > 0);
 //! assert_eq!(result.order_violations, 0);
@@ -76,8 +76,9 @@ pub mod prelude {
         UpDownRouting,
     };
     pub use iba_sim::{
-        EscapeOrderPolicy, Network, QueueBackend, RecoveryPolicy, RunResult, SelectionPolicy,
-        SimConfig,
+        EscapeOrderPolicy, JsonLinesSink, MemorySink, Network, NetworkBuilder, QueueBackend,
+        RecoveryPolicy, RunResult, SelectionPolicy, SimConfig, SimConfigBuilder, StallCause,
+        TelemetryOpts, TelemetryReport, TelemetrySample, TelemetrySink, TraceOpts,
     };
     pub use iba_sm::{ApmPlan, ManagedFabric, SubnetManager};
     pub use iba_stats::{Curve, CurvePoint, MinMaxAvg};
@@ -96,13 +97,11 @@ mod tests {
     fn prelude_covers_the_full_pipeline() {
         let topo = IrregularConfig::paper(8, 1).generate().unwrap();
         let routing = FaRouting::build(&topo, RoutingConfig::two_options()).unwrap();
-        let mut net = Network::new(
-            &topo,
-            &routing,
-            WorkloadSpec::uniform32(0.005),
-            SimConfig::test(1),
-        )
-        .unwrap();
+        let mut net = Network::builder(&topo, &routing)
+            .workload(WorkloadSpec::uniform32(0.005))
+            .config(SimConfig::test(1))
+            .build()
+            .unwrap();
         let r = net.run();
         assert!(r.delivered > 0);
     }

@@ -122,26 +122,22 @@ fn escape_queue_engages_only_under_backpressure() {
     let routing = FaRouting::build(&topo, RoutingConfig::two_options()).unwrap();
     // Low load: everything fits the adaptive queue.
     let low = {
-        let mut net = Network::new(
-            &topo,
-            &routing,
-            WorkloadSpec::uniform32(0.002),
-            SimConfig::test(3),
-        )
-        .unwrap();
+        let mut net = Network::builder(&topo, &routing)
+            .workload(WorkloadSpec::uniform32(0.002))
+            .config(SimConfig::test(3))
+            .build()
+            .unwrap();
         net.run()
     };
     assert_eq!(low.escape_forwards, 0, "no backpressure at trivial load");
     // Saturating load on the single inter-switch link: adaptive credits
     // exhaust, the escape option engages.
     let high = {
-        let mut net = Network::new(
-            &topo,
-            &routing,
-            WorkloadSpec::uniform32(0.2),
-            SimConfig::test(3),
-        )
-        .unwrap();
+        let mut net = Network::builder(&topo, &routing)
+            .workload(WorkloadSpec::uniform32(0.2))
+            .config(SimConfig::test(3))
+            .build()
+            .unwrap();
         net.run()
     };
     assert!(
@@ -158,24 +154,20 @@ fn escape_queue_engages_only_under_backpressure() {
 fn per_packet_mode_is_honoured_end_to_end() {
     let (topo, routing) = setup(4);
     let det = {
-        let mut net = Network::new(
-            &topo,
-            &routing,
-            WorkloadSpec::uniform32(0.005).with_adaptive_fraction(0.0),
-            SimConfig::test(21),
-        )
-        .unwrap();
+        let mut net = Network::builder(&topo, &routing)
+            .workload(WorkloadSpec::uniform32(0.005).with_adaptive_fraction(0.0))
+            .config(SimConfig::test(21))
+            .build()
+            .unwrap();
         net.run()
     };
     assert_eq!(det.adaptive_forwards, 0);
     let ada = {
-        let mut net = Network::new(
-            &topo,
-            &routing,
-            WorkloadSpec::uniform32(0.005),
-            SimConfig::test(21),
-        )
-        .unwrap();
+        let mut net = Network::builder(&topo, &routing)
+            .workload(WorkloadSpec::uniform32(0.005))
+            .config(SimConfig::test(21))
+            .build()
+            .unwrap();
         net.run()
     };
     assert!(ada.adaptive_forwards > ada.escape_forwards);
@@ -196,20 +188,22 @@ fn mixed_fabric_works_end_to_end() {
         let mut best: f64 = 0.0;
         for load in [0.05f64, 0.11, 0.25] {
             let spec = WorkloadSpec::uniform32(load / 4.0);
-            let mut net = Network::new(&topo, &routing, spec, SimConfig::test(3)).unwrap();
+            let mut net = Network::builder(&topo, &routing)
+                .workload(spec)
+                .config(SimConfig::test(3))
+                .build()
+                .unwrap();
             let r = net.run();
             assert_eq!(r.order_violations, 0);
             best = best.max(r.accepted_bytes_per_ns_per_switch);
         }
         sats.push(best);
         // Drain check at saturating load.
-        let mut net = Network::new(
-            &topo,
-            &routing,
-            WorkloadSpec::uniform32(0.1).with_adaptive_fraction(0.5),
-            SimConfig::test(5),
-        )
-        .unwrap();
+        let mut net = Network::builder(&topo, &routing)
+            .workload(WorkloadSpec::uniform32(0.1).with_adaptive_fraction(0.5))
+            .config(SimConfig::test(5))
+            .build()
+            .unwrap();
         let (r, drained) = net.run_until_drained(SimTime::from_us(40), SimTime::from_ms(60));
         assert!(
             drained,
@@ -263,7 +257,11 @@ fn apm_failover_migrates_traffic_to_alternate_paths() {
 
     let mut cfg = SimConfig::test(3);
     cfg.data_vls = 2;
-    let mut net = Network::new_scripted(&topo, &routing, &script, cfg).unwrap();
+    let mut net = Network::builder(&topo, &routing)
+        .script(&script)
+        .config(cfg)
+        .build()
+        .unwrap();
     let (r, drained) = net.run_until_drained(SimTime::from_ms(1), SimTime::from_ms(100));
     assert!(drained, "{r:?}");
     assert!(net.is_quiescent());
@@ -290,13 +288,25 @@ fn apm_path_sets_must_ride_disjoint_vls() {
     let bad = TrafficScript::new(vec![mk(PathSet::Primary, 0), mk(PathSet::Alternate, 0)]).unwrap();
     let mut cfg = SimConfig::test(1);
     cfg.data_vls = 2;
-    assert!(Network::new_scripted(&topo, &routing, &bad, cfg).is_err());
+    assert!(Network::builder(&topo, &routing)
+        .script(&bad)
+        .config(cfg)
+        .build()
+        .is_err());
     // Disjoint SLs → accepted.
     let good =
         TrafficScript::new(vec![mk(PathSet::Primary, 0), mk(PathSet::Alternate, 1)]).unwrap();
-    assert!(Network::new_scripted(&topo, &routing, &good, cfg).is_ok());
+    assert!(Network::builder(&topo, &routing)
+        .script(&good)
+        .config(cfg)
+        .build()
+        .is_ok());
     // Alternate entries against non-APM tables → rejected.
     let plain = FaRouting::build(&topo, RoutingConfig::two_options()).unwrap();
     let alt_only = TrafficScript::new(vec![mk(PathSet::Alternate, 1)]).unwrap();
-    assert!(Network::new_scripted(&topo, &plain, &alt_only, cfg).is_err());
+    assert!(Network::builder(&topo, &plain)
+        .script(&alt_only)
+        .config(cfg)
+        .build()
+        .is_err());
 }

@@ -29,7 +29,11 @@ fn sm_bringup_then_traffic() {
 
     // The SM-computed fabric carries traffic with the usual guarantees.
     let spec = WorkloadSpec::uniform32(0.05).with_adaptive_fraction(0.5);
-    let mut net = Network::new(&up.topology, &up.routing, spec, SimConfig::test(7)).unwrap();
+    let mut net = Network::builder(&up.topology, &up.routing)
+        .workload(spec)
+        .config(SimConfig::test(7))
+        .build()
+        .unwrap();
     let (r, drained) = net.run_until_drained(SimTime::from_us(40), SimTime::from_ms(60));
     assert!(drained, "{r:?}");
     assert_eq!(r.order_violations, 0);
@@ -47,13 +51,11 @@ fn sm_bringup_supports_four_option_tables() {
     // LMC 2: four addresses per destination.
     assert_eq!(up.routing.lid_map().lmc().addresses_per_port(), 4);
     let r = {
-        let mut net = Network::new(
-            &up.topology,
-            &up.routing,
-            WorkloadSpec::uniform32(0.02),
-            SimConfig::test(3),
-        )
-        .unwrap();
+        let mut net = Network::builder(&up.topology, &up.routing)
+            .workload(WorkloadSpec::uniform32(0.02))
+            .config(SimConfig::test(3))
+            .build()
+            .unwrap();
         net.run()
     };
     assert!(r.delivered > 0);
