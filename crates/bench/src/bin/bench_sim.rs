@@ -2,18 +2,19 @@
 //!
 //! Runs the canonical perf workload — a 32-switch irregular paper
 //! network under uniform traffic — a few times per event-queue backend,
-//! both with telemetry disabled (the default, and the number the
-//! performance work in this repository is measured by) and with the
-//! telemetry probes armed at the default 1 µs cadence (bounding the
-//! instrumentation overhead). Reports events/second (median over runs)
-//! as machine-readable JSON; see DESIGN.md ("Performance") for how to
-//! read it.
+//! in three instrumentation modes: everything off (the default, and the
+//! number the performance work in this repository is measured by), the
+//! telemetry probes armed at the default 1 µs cadence, and the flight
+//! recorder armed with default rings + watchdog (bounding each hook
+//! family's overhead separately). Reports events/second (median over
+//! runs) as machine-readable JSON; see DESIGN.md ("Performance") for
+//! how to read it.
 //!
 //! Usage: `cargo run --release -p iba-bench --bin bench_sim [out.json]`
 
 use iba_bench::BenchFixture;
 use iba_core::Json;
-use iba_sim::{QueueBackend, SimConfig, TelemetryOpts};
+use iba_sim::{QueueBackend, RecorderOpts, SimConfig, TelemetryOpts};
 use iba_workloads::WorkloadSpec;
 use std::time::Instant;
 
@@ -31,15 +32,39 @@ struct Sample {
     wall_s: f64,
 }
 
-fn run_once(fixture: &BenchFixture, backend: QueueBackend, seed: u64, telemetry: bool) -> Sample {
+/// One (telemetry, recorder) instrumentation combination of the sweep.
+#[derive(Clone, Copy)]
+enum Mode {
+    Bare,
+    Telemetry,
+    Recorder,
+}
+
+impl Mode {
+    fn telemetry(self) -> &'static str {
+        match self {
+            Mode::Telemetry => "enabled",
+            _ => "disabled",
+        }
+    }
+
+    fn recorder(self) -> &'static str {
+        match self {
+            Mode::Recorder => "enabled",
+            _ => "disabled",
+        }
+    }
+}
+
+fn run_once(fixture: &BenchFixture, backend: QueueBackend, seed: u64, mode: Mode) -> Sample {
     let mut cfg = SimConfig::paper(seed);
     cfg.queue_backend = backend;
     let spec = WorkloadSpec::uniform32(INJECTION_RATE);
     let t0 = Instant::now();
-    let result = if telemetry {
-        fixture.simulate_instrumented(spec, cfg, TelemetryOpts::default())
-    } else {
-        fixture.simulate(spec, cfg)
+    let result = match mode {
+        Mode::Bare => fixture.simulate(spec, cfg),
+        Mode::Telemetry => fixture.simulate_instrumented(spec, cfg, TelemetryOpts::default()),
+        Mode::Recorder => fixture.simulate_recorded(spec, cfg, RecorderOpts::default()),
     };
     let wall_s = t0.elapsed().as_secs_f64();
     Sample {
@@ -65,14 +90,15 @@ fn main() {
         ("binary_heap", QueueBackend::BinaryHeap),
         ("calendar", QueueBackend::Calendar),
     ] {
-        for telemetry in [false, true] {
-            let mode = if telemetry { "enabled" } else { "disabled" };
+        for mode in [Mode::Bare, Mode::Telemetry, Mode::Recorder] {
             let mut rates = Vec::with_capacity(RUNS);
             let mut last = None;
             for run in 0..RUNS {
-                let s = run_once(&fixture, which, 100 + run as u64, telemetry);
+                let s = run_once(&fixture, which, 100 + run as u64, mode);
                 eprintln!(
-                    "{backend} (telemetry {mode}) run {run}: {} events in {:.3}s = {:.0} events/s",
+                    "{backend} (telemetry {}, recorder {}) run {run}: {} events in {:.3}s = {:.0} events/s",
+                    mode.telemetry(),
+                    mode.recorder(),
                     s.events,
                     s.wall_s,
                     s.events as f64 / s.wall_s
@@ -84,7 +110,8 @@ fn main() {
             let eps = median(&mut rates);
             results.push(Json::obj([
                 ("backend", Json::from(backend)),
-                ("telemetry", Json::from(mode)),
+                ("telemetry", Json::from(mode.telemetry())),
+                ("recorder", Json::from(mode.recorder())),
                 ("events_per_sec", Json::from(eps.round())),
                 ("events_last_run", Json::from(last.events)),
                 ("delivered_last_run", Json::from(last.delivered)),

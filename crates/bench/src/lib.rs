@@ -18,7 +18,7 @@
 #![warn(missing_docs)]
 
 use iba_routing::{FaRouting, RoutingConfig};
-use iba_sim::{Network, RunResult, SimConfig, TelemetryOpts};
+use iba_sim::{Network, RecorderOpts, RunResult, SimConfig, TelemetryOpts};
 use iba_topology::{IrregularConfig, Topology};
 use iba_workloads::WorkloadSpec;
 
@@ -63,6 +63,23 @@ impl BenchFixture {
             .workload(spec)
             .config(cfg)
             .telemetry(opts)
+            .build()
+            .expect("consistent setup")
+            .run()
+    }
+
+    /// Run one simulation with the flight recorder armed — the
+    /// always-on-capture side of the hook-overhead benchmark.
+    pub fn simulate_recorded(
+        &self,
+        spec: WorkloadSpec,
+        cfg: SimConfig,
+        opts: RecorderOpts,
+    ) -> RunResult {
+        Network::builder(&self.topology, &self.routing)
+            .workload(spec)
+            .config(cfg)
+            .recorder(opts)
             .build()
             .expect("consistent setup")
             .run()

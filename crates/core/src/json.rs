@@ -1,15 +1,21 @@
-//! A minimal JSON document model and writer.
+//! A minimal JSON document model, writer and parser.
 //!
 //! Every artifact this workspace emits (`results/*.json`,
-//! `BENCH_sim.json`, telemetry sink lines) is JSON, but the vendored
-//! `serde` is a no-op stub with no serializer behind it. Instead of each
-//! experiment bin hand-assembling strings with `format!`, this module
-//! gives them one tree type ([`Json`]) and one writer, so escaping,
-//! float formatting and nesting are correct in a single place.
+//! `BENCH_sim.json`, telemetry sink lines, flight-recorder dumps) is
+//! JSON, but the vendored `serde` is a no-op stub with no serializer
+//! behind it. Instead of each experiment bin hand-assembling strings
+//! with `format!`, this module gives them one tree type ([`Json`]) and
+//! one writer, so escaping, float formatting and nesting are correct in
+//! a single place.
 //!
-//! The model is write-only by design: nothing in the workspace parses
-//! JSON back, so there is no parser to maintain. Object members keep
-//! their insertion order — outputs are deterministic and diffable.
+//! The model started write-only; the flight-recorder work added a
+//! reader, because `iba-trace` loads dumps back for offline queries.
+//! [`Json::parse`] is a strict recursive-descent parser over the same
+//! tree type, and the `as_*`/[`Json::get`] accessors walk a parsed
+//! document without pattern-matching boilerplate at every call site.
+//! Object members keep their insertion order — outputs are
+//! deterministic and diffable, and a parse → render round trip is
+//! structure-preserving.
 
 use std::fmt;
 
@@ -121,6 +127,359 @@ impl Json {
 impl fmt::Display for Json {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(&self.to_string_compact())
+    }
+}
+
+/// Why [`Json::parse`] rejected a document, with the byte offset of the
+/// first offending character.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JsonParseError {
+    /// Byte offset into the input where parsing failed.
+    pub offset: usize,
+    /// Human-readable description of the failure.
+    pub msg: String,
+}
+
+impl fmt::Display for JsonParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON parse error at byte {}: {}", self.offset, self.msg)
+    }
+}
+
+impl std::error::Error for JsonParseError {}
+
+impl Json {
+    /// Parse a complete JSON document.
+    ///
+    /// Strict: exactly one value, no trailing garbage, no comments, no
+    /// trailing commas. Integral numbers without fraction/exponent come
+    /// back as [`Json::UInt`]/[`Json::Int`] (matching how the writer
+    /// emits them) so counters survive a round trip exactly; everything
+    /// else becomes [`Json::Num`].
+    pub fn parse(input: &str) -> Result<Json, JsonParseError> {
+        let mut p = Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters after value"));
+        }
+        Ok(v)
+    }
+
+    /// Look up an object member by key (`None` on non-objects).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(m) => m.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// `true` for `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Json::Null)
+    }
+
+    /// The boolean payload, if this is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::UInt(u) => Some(*u),
+            Json::Int(i) if *i >= 0 => Some(*i as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as an `i64`, if it is an integer in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Json::Int(i) => Some(*i),
+            Json::UInt(u) => i64::try_from(*u).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64`, if it is any numeric variant.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(f) => Some(*f),
+            Json::Int(i) => Some(*i as f64),
+            Json::UInt(u) => Some(*u as f64),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The members in insertion order, if this is an object.
+    pub fn members(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: impl Into<String>) -> JsonParseError {
+        JsonParseError {
+            offset: self.pos,
+            msg: msg.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonParseError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Json) -> Result<Json, JsonParseError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(self.err(format!("expected '{word}'")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonParseError> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(c) => Err(self.err(format!("unexpected character '{}'", c as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, JsonParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JsonParseError> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            members.push((key, self.value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(members));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let code = if (0xD800..0xDC00).contains(&hi) {
+                                // High surrogate: require the paired
+                                // \uXXXX low surrogate.
+                                if self.peek() == Some(b'\\') {
+                                    self.pos += 1;
+                                    self.expect(b'u')?;
+                                    let lo = self.hex4()?;
+                                    if !(0xDC00..0xE000).contains(&lo) {
+                                        return Err(self.err("invalid low surrogate"));
+                                    }
+                                    0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                                } else {
+                                    return Err(self.err("unpaired high surrogate"));
+                                }
+                            } else {
+                                hi
+                            };
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.err("invalid unicode escape"))?,
+                            );
+                        }
+                        c => return Err(self.err(format!("invalid escape '\\{}'", c as char))),
+                    }
+                }
+                Some(c) if c < 0x20 => return Err(self.err("raw control character in string")),
+                Some(_) => {
+                    // Consume one whole UTF-8 scalar; the input is a
+                    // &str, so slicing at char boundaries is safe.
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|_| self.err("invalid UTF-8"))?;
+                    let ch = s.chars().next().expect("peeked non-empty");
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonParseError> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let d = self
+                .peek()
+                .ok_or_else(|| self.err("truncated \\u escape"))?;
+            let digit = match d {
+                b'0'..=b'9' => (d - b'0') as u32,
+                b'a'..=b'f' => (d - b'a' + 10) as u32,
+                b'A'..=b'F' => (d - b'A' + 10) as u32,
+                _ => return Err(self.err("non-hex digit in \\u escape")),
+            };
+            v = v * 16 + digit;
+            self.pos += 1;
+        }
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Json, JsonParseError> {
+        let start = self.pos;
+        let negative = self.peek() == Some(b'-');
+        if negative {
+            self.pos += 1;
+        }
+        let int_digits = self.digits()?;
+        if int_digits > 1 && self.bytes[start + usize::from(negative)] == b'0' {
+            return Err(self.err("leading zero in number"));
+        }
+        let mut integral = true;
+        if self.peek() == Some(b'.') {
+            integral = false;
+            self.pos += 1;
+            self.digits()?;
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            integral = false;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            self.digits()?;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII number");
+        if integral {
+            if negative {
+                if let Ok(i) = text.parse::<i64>() {
+                    return Ok(Json::Int(i));
+                }
+            } else if let Ok(u) = text.parse::<u64>() {
+                return Ok(Json::UInt(u));
+            }
+            // Integer literal wider than 64 bits: fall back to f64.
+        }
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| self.err("invalid number"))
+    }
+
+    fn digits(&mut self) -> Result<usize, JsonParseError> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(self.err("expected digit"));
+        }
+        Ok(self.pos - start)
     }
 }
 
@@ -320,5 +679,104 @@ mod tests {
         // without a fraction, which is still a valid JSON number.
         assert_eq!(Json::from(1.0f64).to_string_compact(), "1");
         assert_eq!(Json::from(0.1f64).to_string_compact(), "0.1");
+    }
+
+    #[test]
+    fn parse_scalars() {
+        assert_eq!(Json::parse("null").unwrap(), Json::Null);
+        assert_eq!(Json::parse(" true ").unwrap(), Json::Bool(true));
+        assert_eq!(Json::parse("false").unwrap(), Json::Bool(false));
+        assert_eq!(Json::parse("42").unwrap(), Json::UInt(42));
+        assert_eq!(Json::parse("-7").unwrap(), Json::Int(-7));
+        assert_eq!(Json::parse("0.5").unwrap(), Json::Num(0.5));
+        assert_eq!(Json::parse("1e3").unwrap(), Json::Num(1000.0));
+        assert_eq!(Json::parse("\"hi\"").unwrap(), Json::Str("hi".into()));
+    }
+
+    #[test]
+    fn parse_nested_document() {
+        let doc = Json::parse(r#"{"xs":[1,2,{"k":null}],"s":"a\nb","f":-0.25}"#).unwrap();
+        assert_eq!(doc.get("xs").unwrap().as_arr().unwrap().len(), 3);
+        assert_eq!(
+            doc.get("xs").unwrap().as_arr().unwrap()[0].as_u64(),
+            Some(1)
+        );
+        assert!(doc.get("xs").unwrap().as_arr().unwrap()[2]
+            .get("k")
+            .unwrap()
+            .is_null());
+        assert_eq!(doc.get("s").unwrap().as_str(), Some("a\nb"));
+        assert_eq!(doc.get("f").unwrap().as_f64(), Some(-0.25));
+        assert_eq!(doc.get("missing"), None);
+    }
+
+    #[test]
+    fn parse_string_escapes() {
+        let s = Json::parse(r#""a\"b\\c\u0041\u00e9\ud83d\ude00""#).unwrap();
+        assert_eq!(s.as_str(), Some("a\"b\\cA\u{e9}\u{1f600}"));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        for bad in [
+            "",
+            "tru",
+            "[1,]",
+            "{\"a\":}",
+            "{a:1}",
+            "1 2",
+            "01",
+            "\"\\x\"",
+            "\"",
+            "[1",
+            "- 1",
+            "\"\\ud800\"",
+        ] {
+            assert!(Json::parse(bad).is_err(), "accepted malformed {bad:?}");
+        }
+    }
+
+    #[test]
+    fn render_parse_round_trip() {
+        let doc = Json::obj([
+            ("u", Json::from(u64::MAX)),
+            ("i", Json::from(-5i64)),
+            ("f", Json::from(0.125)),
+            ("s", Json::from("line\nbreak \"q\"")),
+            ("xs", Json::arr([Json::Null, Json::Bool(true)])),
+            ("o", Json::obj([("nested", 1u64)])),
+        ]);
+        for rendered in [doc.to_string_compact(), doc.to_string_pretty()] {
+            assert_eq!(Json::parse(&rendered).unwrap(), doc);
+        }
+    }
+
+    #[test]
+    fn integral_typing_survives_round_trip() {
+        // u64 counters must not silently become floats on re-read.
+        assert_eq!(
+            Json::parse("18446744073709551615").unwrap(),
+            Json::UInt(u64::MAX)
+        );
+        assert_eq!(
+            Json::parse("-9223372036854775808").unwrap(),
+            Json::Int(i64::MIN)
+        );
+        // Wider than 64 bits: degrade to f64 rather than error.
+        assert!(matches!(
+            Json::parse("18446744073709551616").unwrap(),
+            Json::Num(_)
+        ));
+    }
+
+    #[test]
+    fn accessor_coercions() {
+        assert_eq!(Json::Int(3).as_u64(), Some(3));
+        assert_eq!(Json::Int(-3).as_u64(), None);
+        assert_eq!(Json::UInt(3).as_i64(), Some(3));
+        assert_eq!(Json::UInt(u64::MAX).as_i64(), None);
+        assert_eq!(Json::UInt(2).as_f64(), Some(2.0));
+        assert_eq!(Json::Str("2".into()).as_f64(), None);
+        assert_eq!(Json::obj([("a", 1u64)]).members().map(<[_]>::len), Some(1));
     }
 }

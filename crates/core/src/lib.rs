@@ -17,8 +17,10 @@
 //!   ([`inline_vec`]),
 //! * counter and power-of-two-histogram primitives shared by run
 //!   statistics and telemetry ([`metrics`]),
-//! * a minimal JSON document model and writer for experiment artifacts
-//!   and telemetry sinks ([`json`]),
+//! * a minimal JSON document model, writer and parser for experiment
+//!   artifacts, telemetry sinks and flight-recorder dumps ([`json`]),
+//! * the structured flight-recorder event vocabulary shared by the
+//!   simulator and the offline `iba-trace` tooling ([`events`]),
 //! * the physical-layer constants of the paper's evaluation section
 //!   ([`phys`]),
 //! * shared error types ([`error`]).
@@ -30,6 +32,7 @@
 
 pub mod credits;
 pub mod error;
+pub mod events;
 pub mod ids;
 pub mod inline_vec;
 pub mod json;
@@ -42,6 +45,10 @@ pub mod vl;
 
 pub use credits::{Credits, CREDIT_BYTES};
 pub use error::IbaError;
+pub use events::{
+    DropCause, FlightEvent, OptionOutcome, OptionOutcomes, OptionVerdict, StallClass, StampedEvent,
+    FLIGHT_SCHEMA_VERSION,
+};
 pub use ids::{HostId, NodeRef, PortIndex, SwitchId};
 pub use inline_vec::{InlineVec, MAX_PORTS};
 pub use json::Json;

@@ -94,13 +94,16 @@ impl fmt::Debug for SimTime {
 
 impl fmt::Display for SimTime {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.0 >= 1_000_000 {
-            write!(f, "{:.3}ms", self.0 as f64 / 1e6)
+        let text = if self.0 >= 1_000_000 {
+            format!("{:.3}ms", self.0 as f64 / 1e6)
         } else if self.0 >= 1_000 {
-            write!(f, "{:.3}us", self.0 as f64 / 1e3)
+            format!("{:.3}us", self.0 as f64 / 1e3)
         } else {
-            write!(f, "{}ns", self.0)
-        }
+            format!("{}ns", self.0)
+        };
+        // Through `pad` so callers' width/alignment specs (e.g. the
+        // `{:>12}` timestamp column in trace renderings) are honoured.
+        f.pad(&text)
     }
 }
 

@@ -1,0 +1,81 @@
+//! Run a simulation with the flight recorder armed and write its dump
+//! as JSONL (for `iba-trace`) plus a Chrome trace-event / Perfetto
+//! document (for `ui.perfetto.dev` / `chrome://tracing`).
+//!
+//! ```text
+//! cargo run --release -p iba-experiments --bin flightrec -- \
+//!     [--switches 16] [--seed 3] [--rate 0.02] \
+//!     [--fault-at-us 20]            # 0 disables the fault \
+//!     [--stall-after-ns 10000] [--check-every-ns 2000] \
+//!     [--out-dir results/flight]
+//! ```
+//!
+//! The default configuration reproduces the wedge scenario: one link
+//! dies mid-window with no recovery, the stall watchdog flags the
+//! stranded buffers as a suspected wedge, and the recorder freezes
+//! around the evidence.
+
+use iba_experiments::cli::Args;
+use iba_experiments::flightrec::{perfetto_text, run_recorded, validate_perfetto, FlightRunSpec};
+use iba_experiments::tracequery;
+use iba_sim::{RecorderOpts, WatchdogOpts};
+
+fn main() {
+    if let Err(e) = real_main() {
+        eprintln!("flightrec: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn real_main() -> Result<(), String> {
+    let args = Args::from_env()?;
+    let defaults = FlightRunSpec::default();
+    let fault_at_us = args.get_or("fault-at-us", 20u64)?;
+    let spec = FlightRunSpec {
+        size: args.get_or("switches", defaults.size)?,
+        seed: args.get_or("seed", defaults.seed)?,
+        rate: args.get_or("rate", defaults.rate)?,
+        fault_at_us: (fault_at_us > 0).then_some(fault_at_us),
+        recorder: RecorderOpts {
+            capacity_per_switch: args.get_or("capacity", 1024usize)?,
+            watchdog: Some(WatchdogOpts {
+                check_every_ns: args.get_or("check-every-ns", 2_000u64)?,
+                stall_after_ns: args.get_or("stall-after-ns", 10_000u64)?,
+            }),
+            ..defaults.recorder
+        },
+    };
+    let out_dir = args.get("out-dir").unwrap_or("results/flight").to_string();
+
+    eprintln!(
+        "flightrec: {} switches, seed {}, rate {}, fault {}",
+        spec.size,
+        spec.seed,
+        spec.rate,
+        spec.fault_at_us.map_or_else(
+            || "none".to_string(),
+            |us| format!("at {us}us (no recovery)")
+        ),
+    );
+    let (result, dump) = run_recorded(&spec).map_err(|e| e.to_string())?;
+
+    print!("{}", tracequery::describe(&dump));
+    println!(
+        "run: {} generated, {} delivered, {} in-transit drops",
+        result.generated, result.delivered, result.drops_in_transit
+    );
+
+    std::fs::create_dir_all(&out_dir).map_err(|e| e.to_string())?;
+    let jsonl_path = format!("{out_dir}/flight.jsonl");
+    std::fs::write(&jsonl_path, dump.to_jsonl()).map_err(|e| e.to_string())?;
+    let perfetto = perfetto_text(&dump);
+    let n = validate_perfetto(&perfetto)?;
+    let perfetto_path = format!("{out_dir}/flight.perfetto.json");
+    std::fs::write(&perfetto_path, perfetto).map_err(|e| e.to_string())?;
+    eprintln!(
+        "flightrec: wrote {jsonl_path} ({} events)",
+        dump.events.len()
+    );
+    eprintln!("flightrec: wrote {perfetto_path} ({n} trace events, validated)");
+    Ok(())
+}

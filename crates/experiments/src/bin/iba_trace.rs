@@ -1,0 +1,106 @@
+//! `iba-trace` — query flight-recorder dumps from the terminal.
+//!
+//! ```text
+//! iba-trace summary --in results/flight/flight.jsonl
+//! iba-trace slice  --in flight.jsonl [--packet N] [--switch N] [--port N]
+//!                  [--vl N] [--from-ns N] [--to-ns N] [--limit N]
+//! iba-trace chain  --in flight.jsonl --packet N
+//! iba-trace stalls --in flight.jsonl
+//! ```
+//!
+//! `summary` prints the dump header, triggers and a per-kind census;
+//! `slice` prints matching events in recording order; `chain`
+//! reconstructs one packet's causal chain across switches; `stalls`
+//! aggregates the top stall causes (candidate rejections, watchdog
+//! verdicts, drops).
+
+use iba_core::PacketId;
+use iba_experiments::cli::Args;
+use iba_experiments::tracequery::{
+    causal_chain, describe, render_event, slice, stall_summary, Filter,
+};
+use iba_sim::FlightDump;
+
+const USAGE: &str = "usage: iba-trace <summary|slice|chain|stalls> --in <flight.jsonl> \
+    [--packet N] [--switch N] [--port N] [--vl N] [--from-ns N] [--to-ns N] [--limit N]";
+
+fn main() {
+    if let Err(e) = real_main() {
+        eprintln!("iba-trace: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn opt<T: std::str::FromStr>(args: &Args, key: &str) -> Result<Option<T>, String> {
+    match args.get(key) {
+        None => Ok(None),
+        Some(v) => v
+            .parse()
+            .map(Some)
+            .map_err(|_| format!("invalid value {v:?} for --{key}")),
+    }
+}
+
+fn real_main() -> Result<(), String> {
+    let args = Args::from_env()?;
+    let command = args.positional.first().map(String::as_str).ok_or(USAGE)?;
+    let path = args.get("in").ok_or("missing --in <flight.jsonl>")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let dump = FlightDump::from_jsonl(&text).map_err(|e| format!("{path}: {e}"))?;
+
+    match command {
+        "summary" => print!("{}", describe(&dump)),
+        "slice" => {
+            let filter = Filter {
+                packet: opt(&args, "packet")?,
+                switch: opt(&args, "switch")?,
+                port: opt(&args, "port")?,
+                vl: opt(&args, "vl")?,
+                from_ns: opt(&args, "from-ns")?,
+                to_ns: opt(&args, "to-ns")?,
+            };
+            let events = slice(&dump, &filter);
+            let limit = args.get_or("limit", usize::MAX)?;
+            for e in events.iter().take(limit) {
+                println!("{}", render_event(e));
+            }
+            if events.len() > limit {
+                println!("... {} more (raise --limit)", events.len() - limit);
+            }
+            eprintln!("{} of {} events matched", events.len(), dump.events.len());
+        }
+        "chain" => {
+            let packet: u64 = opt(&args, "packet")?.ok_or("chain needs --packet N")?;
+            let chain = causal_chain(&dump, PacketId(packet));
+            if chain.is_empty() {
+                return Err(format!("no events for pkt#{packet} in {path}"));
+            }
+            for e in &chain {
+                println!("{}", render_event(e));
+            }
+        }
+        "stalls" => {
+            let s = stall_summary(&dump);
+            println!(
+                "{} blocked events, {} watchdog verdicts",
+                s.blocked_events, s.stall_events
+            );
+            println!("top rejection reasons:");
+            for (name, n) in &s.rejections {
+                println!("  {n:>8} {name}");
+            }
+            println!("watchdog classes:");
+            for (name, n) in &s.classes {
+                println!("  {n:>8} {name}");
+            }
+            if !s.drops.is_empty() {
+                println!("drops:");
+                for (name, n) in &s.drops {
+                    println!("  {n:>8} {name}");
+                }
+            }
+        }
+        other => return Err(format!("unknown command {other:?}\n{USAGE}")),
+    }
+    Ok(())
+}

@@ -11,6 +11,8 @@
 //! | §5.2.2 claims + design ablations | `ablation` | [`ablation`] |
 //! | link-fault recovery sweep (DESIGN.md §8) | `faults` | [`faults::sweep`] |
 //! | telemetry load sweep (occupancy / stalls vs load, DESIGN.md §9) | `telemetry` | [`telemetry::run_sweep`] |
+//! | flight-recorder demo run + dump artifacts (DESIGN.md §10) | `flightrec` | [`flightrec::run_recorded`] |
+//! | flight-dump queries: slice / causal chain / stall causes | `iba-trace` | [`tracequery`] |
 //! | ad-hoc single runs | `explore` | [`harness::run_point`] |
 //!
 //! Simulations of different topologies and injection rates are
@@ -24,10 +26,12 @@ pub mod cli;
 pub mod faults;
 pub mod fidelity;
 pub mod fig3;
+pub mod flightrec;
 pub mod harness;
 pub mod table1;
 pub mod table2;
 pub mod telemetry;
+pub mod tracequery;
 
 pub use fidelity::Fidelity;
 pub use harness::{build_ensemble, find_saturation, run_point, sweep_curve, EnsembleMember};

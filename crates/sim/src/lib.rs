@@ -17,7 +17,13 @@
 //!   timeseries, cause-tagged credit-stall counters, escape-vs-adaptive
 //!   forwarding counters and arbitration-wait histograms, flushed
 //!   through a pluggable [`TelemetrySink`];
-//! * [`trace`] — per-packet journey recording.
+//! * [`trace`] — per-packet journey recording;
+//! * [`recorder`] — the fabric flight recorder: bounded per-switch rings
+//!   of structured events (routing decisions with full candidate sets,
+//!   credit returns, blocks, drops, stalls), anomaly triggers that
+//!   freeze the rings, and the stall/deadlock watchdog;
+//! * [`perfetto`] — Chrome trace-event / Perfetto export of flight
+//!   dumps.
 //!
 //! ## Quick tour
 //!
@@ -48,6 +54,8 @@
 pub mod buffer;
 pub mod config;
 pub mod network;
+pub mod perfetto;
+pub mod recorder;
 pub mod stats;
 pub mod telemetry;
 pub mod trace;
@@ -56,6 +64,10 @@ pub use buffer::{BufferedPacket, Candidates, EscapeOrderPolicy, ReadPoint, SlotH
 pub use config::{RecoveryPolicy, SelectionPolicy, SimConfig, SimConfigBuilder};
 pub use iba_engine::QueueBackend;
 pub use network::{Network, NetworkBuilder};
+pub use perfetto::perfetto_trace;
+pub use recorder::{
+    classify_stall, FlightDump, FlightRecorder, RecorderOpts, Trigger, TriggerCause, WatchdogOpts,
+};
 pub use stats::{LatencyHistogram, RunResult, StatsCollector, RUN_RESULT_SCHEMA_VERSION};
 pub use telemetry::{
     JsonLinesSink, MemorySink, PortStalls, StallCause, SwitchTelemetry, TelemetryOpts,

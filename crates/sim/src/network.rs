@@ -25,11 +25,13 @@
 
 use crate::buffer::{ReadPoint, SlotHandle, VlBuffer};
 use crate::config::{RecoveryPolicy, SelectionPolicy, SimConfig};
+use crate::recorder::{classify_stall, FlightDump, FlightRecorder, RecorderOpts, TriggerCause};
 use crate::stats::{RunResult, StatsCollector};
 use crate::telemetry::{MemorySink, StallCause, TelemetryOpts, TelemetrySink, TelemetryState};
 use crate::trace::{TraceOpts, TraceStep, Tracer};
 use iba_core::{
-    Credits, HostId, IbaError, InlineVec, NodeRef, Packet, PacketId, PortIndex, SimTime, SwitchId,
+    Credits, DropCause, FlightEvent, HostId, IbaError, InlineVec, NodeRef, OptionOutcome,
+    OptionOutcomes, OptionVerdict, Packet, PacketId, PortIndex, SimTime, StallClass, SwitchId,
     VirtualLane, MAX_PORTS,
 };
 use iba_engine::rng::{StreamKind, StreamRng};
@@ -92,6 +94,10 @@ enum Event {
     /// The telemetry probe samples buffer occupancy (instrumented runs
     /// only; reschedules itself at the configured cadence).
     TelemetrySample,
+    /// The flight recorder's stall watchdog inspects every VL buffer for
+    /// forward progress (recorded runs with a watchdog only; reschedules
+    /// itself at the configured cadence).
+    WatchdogCheck,
 }
 
 /// A schedule entry with its endpoints resolved to concrete ports, done
@@ -209,6 +215,15 @@ pub struct Network<'a> {
     /// Telemetry probe state; `None` (the default) keeps every hook a
     /// single pointer-null check and schedules no sampling events.
     telemetry: Option<Box<TelemetryState>>,
+    /// Flight-recorder state; `None` (the default) keeps every hook a
+    /// single pointer-null check and schedules no watchdog events.
+    recorder: Option<Box<FlightRecorder>>,
+    /// Candidate-option verdicts of the most recent arbitration grant.
+    /// Scratch reused across grants so `Decision` stays small — the
+    /// ~100-byte option set is only written (and read back by
+    /// `start_forward`) while the recorder is capturing; with it off or
+    /// frozen the field is never touched on the hot path.
+    decision_options: OptionOutcomes,
 }
 
 /// The one construction path for [`Network`]: topology and routing up
@@ -242,6 +257,7 @@ pub struct NetworkBuilder<'a> {
     faults: Option<(&'a FaultSchedule, RecoveryPolicy, u64)>,
     trace: Option<TraceOpts>,
     telemetry: Option<(TelemetryOpts, Box<dyn TelemetrySink>)>,
+    recorder: Option<RecorderOpts>,
 }
 
 impl<'a> NetworkBuilder<'a> {
@@ -300,6 +316,14 @@ impl<'a> NetworkBuilder<'a> {
         self
     }
 
+    /// Arm the flight recorder: bounded per-switch event rings, anomaly
+    /// triggers, and the stall watchdog (see [`crate::FlightRecorder`]).
+    /// Retrieve the dump after the run through [`Network::flight_dump`].
+    pub fn recorder(mut self, opts: RecorderOpts) -> Self {
+        self.recorder = Some(opts);
+        self
+    }
+
     /// Assemble the simulation. Fails on a missing config or traffic
     /// source, on both traffic sources at once, and on every
     /// inconsistency the individual subsystems check (workload vs
@@ -342,6 +366,14 @@ impl<'a> NetworkBuilder<'a> {
                 net.topo.ports_per_switch() as usize,
             )));
         }
+        if let Some(opts) = self.recorder {
+            net.recorder = Some(Box::new(FlightRecorder::new(
+                opts,
+                net.topo.num_switches(),
+                net.topo.ports_per_switch() as usize,
+                net.config.data_vls as usize,
+            )));
+        }
         Ok(net)
     }
 }
@@ -359,6 +391,7 @@ impl<'a> Network<'a> {
             faults: None,
             trace: None,
             telemetry: None,
+            recorder: None,
         }
     }
 
@@ -501,6 +534,8 @@ impl<'a> Network<'a> {
             active_faults: 0,
             recovery_routing: None,
             telemetry: None,
+            recorder: None,
+            decision_options: OptionOutcomes::new(),
         })
     }
 
@@ -710,6 +745,46 @@ impl<'a> Network<'a> {
         self.telemetry.as_deref().map(|t| t.sink())
     }
 
+    /// Whether the flight recorder is armed.
+    pub fn recorder_enabled(&self) -> bool {
+        self.recorder.is_some()
+    }
+
+    /// The flight recorder, once armed through the builder.
+    pub fn recorder(&self) -> Option<&FlightRecorder> {
+        self.recorder.as_deref()
+    }
+
+    /// Drain the flight recorder into an exportable [`FlightDump`]
+    /// (`None` unless the recorder was armed through the builder).
+    pub fn flight_dump(&self) -> Option<FlightDump> {
+        self.recorder.as_deref().map(|r| {
+            r.dump(
+                self.topo.num_switches(),
+                self.topo.ports_per_switch() as usize,
+                self.config.data_vls as usize,
+            )
+        })
+    }
+
+    /// Test hook: zero the sender-side credit counters of one output
+    /// port without marking the link down. Nothing can be forwarded
+    /// through the port (and, with nothing in flight, no credits ever
+    /// return), which wedges any buffer whose packets have no other
+    /// feasible option — the credit-withholding flavour of a fabric
+    /// wedge, as opposed to the dead-escape-link flavour.
+    #[doc(hidden)]
+    pub fn debug_block_output(&mut self, sw: SwitchId, port: PortIndex) {
+        if let Some(cs) = self.switches[sw.index()].outputs[port.index()]
+            .credits
+            .as_mut()
+        {
+            for c in cs.iter_mut() {
+                *c = Credits::ZERO;
+            }
+        }
+    }
+
     #[inline]
     fn trace(&mut self, id: PacketId, at: SimTime, step: TraceStep) {
         if let Some(tr) = self.tracer.as_mut() {
@@ -858,6 +933,15 @@ impl<'a> Network<'a> {
                 self.queue.schedule(at, Event::TelemetrySample);
             }
         }
+        // Likewise the stall watchdog: its checks are ordinary events at
+        // deterministic times, so recorded runs stay bit-identical across
+        // queue backends.
+        if let Some(wd) = self.recorder.as_deref().and_then(|r| r.opts().watchdog) {
+            let at = SimTime::from_ns(wd.check_every_ns);
+            if at <= self.config.horizon() {
+                self.queue.schedule(at, Event::WatchdogCheck);
+            }
+        }
         if let Some(script) = self.script {
             if let Some(first) = script.packets().first() {
                 if first.at < self.gen_deadline {
@@ -920,11 +1004,27 @@ impl<'a> Network<'a> {
             } => self.on_credit_return(now, target, port, vl, credits),
             Event::Deliver { host, packet } => {
                 self.trace(packet.id, now, TraceStep::Delivered { host });
+                if let Some(r) = self.recorder.as_deref_mut() {
+                    let latency_ns = now.since(packet.generated_at);
+                    r.record(
+                        None,
+                        now,
+                        FlightEvent::Delivered {
+                            packet: packet.id,
+                            host,
+                            latency_ns,
+                        },
+                    );
+                    if r.wants_latency_trigger(latency_ns) {
+                        r.trigger(now, TriggerCause::LatencyThreshold, None, Some(packet.id));
+                    }
+                }
                 self.stats.on_delivered(&packet, now);
             }
             Event::Fault { idx } => self.on_fault(now, idx),
             Event::ResweepDone => self.on_resweep_done(now),
             Event::TelemetrySample => self.on_telemetry_sample(now),
+            Event::WatchdogCheck => self.on_watchdog_check(now),
         }
     }
 
@@ -952,6 +1052,110 @@ impl<'a> Network<'a> {
         }
     }
 
+    /// One stall-watchdog pass: check every (switch, input port, VL)
+    /// buffer for forward progress, classify stalled buffers by the
+    /// liveness of their escape path, and reschedule one cadence later
+    /// (while the horizon allows).
+    fn on_watchdog_check(&mut self, now: SimTime) {
+        let Some(wd) = self.recorder.as_deref().and_then(|r| r.opts().watchdog) else {
+            return;
+        };
+        if !self.recorder.as_deref().is_some_and(|r| r.frozen()) {
+            let nports = self.topo.ports_per_switch() as usize;
+            let nvls = self.config.data_vls as usize;
+            for si in 0..self.switches.len() {
+                for ip in 0..nports {
+                    for vl in 0..nvls {
+                        self.watchdog_check_buffer(
+                            now,
+                            SwitchId(si as u16),
+                            ip,
+                            vl,
+                            wd.stall_after_ns,
+                        );
+                    }
+                }
+            }
+        }
+        let next = now.plus_ns(wd.check_every_ns);
+        if next <= self.config.horizon() {
+            self.queue.schedule(next, Event::WatchdogCheck);
+        }
+    }
+
+    /// Check one buffer: stalled means occupied, not mid-transmission,
+    /// head routed, and no forward progress for `stall_after_ns`. A
+    /// stalled buffer is classified by its head packet's *escape* path
+    /// (the deadlock-freedom invariant guarantees escape queues drain,
+    /// so a lively escape path means the stall resolves); a suspected
+    /// wedge logs a [`FlightEvent::Stall`] and fires the freeze trigger.
+    fn watchdog_check_buffer(
+        &mut self,
+        now: SimTime,
+        sw: SwitchId,
+        ip: usize,
+        vl: usize,
+        stall_after_ns: u64,
+    ) {
+        let st = &self.switches[sw.index()];
+        let buf = &st.inputs[ip].vls[vl];
+        if buf.is_empty() || buf.has_in_flight() {
+            return;
+        }
+        let head = buf.get(0);
+        let Some(route) = head.route.as_ref() else {
+            return; // still in the routing pipeline: not stall-eligible
+        };
+        let waited = self
+            .recorder
+            .as_deref()
+            .map_or(0, |r| r.stalled_for(sw, ip, vl, now));
+        if waited < stall_after_ns {
+            return;
+        }
+        let op = route.escape;
+        let escape_link_up = st.link_up[op.index()];
+        let out = &st.outputs[op.index()];
+        let escape_streaming = out.busy_until > now;
+        let out_vl = st.sl2vl.vl_for(PortIndex(ip as u8), op, head.packet.sl);
+        let escape_credits_ok = match out.credits.as_ref() {
+            None => true,
+            Some(cs) => cs[out_vl.index()] >= head.packet.credits(),
+        };
+        let packet_id = head.packet.id;
+        let since_return = self
+            .recorder
+            .as_deref()
+            .and_then(|r| r.last_credit_return_at(sw, op))
+            .map(|t| now.since(t));
+        let class = classify_stall(
+            escape_link_up,
+            escape_streaming,
+            escape_credits_ok,
+            since_return,
+            stall_after_ns,
+        );
+        let Some(r) = self.recorder.as_deref_mut() else {
+            return;
+        };
+        if r.should_log_stall(sw, ip, vl, class) {
+            r.record(
+                Some(sw),
+                now,
+                FlightEvent::Stall {
+                    port: PortIndex(ip as u8),
+                    vl: VirtualLane(vl as u8),
+                    packet: packet_id,
+                    waited_ns: waited,
+                    class,
+                },
+            );
+            if class == StallClass::SuspectedWedge {
+                r.trigger(now, TriggerCause::SuspectedWedge, Some(sw), Some(packet_id));
+            }
+        }
+    }
+
     /// Apply one fault-schedule entry. Downing a link masks both port
     /// directions, upping it restores them and re-synchronizes the
     /// sender-side credit counters from the receiver buffers (link
@@ -968,6 +1172,10 @@ impl<'a> Network<'a> {
                 self.switches[f.b.index()].link_up[f.pb.index()] = false;
                 self.active_faults += 1;
                 self.stats.on_fault(now);
+                if let Some(r) = self.recorder.as_deref_mut() {
+                    r.record(Some(f.a), now, FlightEvent::LinkDown { port: f.pa });
+                    r.record(Some(f.b), now, FlightEvent::LinkDown { port: f.pb });
+                }
             }
             FaultKind::LinkUp => {
                 if self.switches[f.a.index()].link_up[f.pa.index()] {
@@ -976,6 +1184,10 @@ impl<'a> Network<'a> {
                 self.switches[f.a.index()].link_up[f.pa.index()] = true;
                 self.switches[f.b.index()].link_up[f.pb.index()] = true;
                 self.active_faults -= 1;
+                if let Some(r) = self.recorder.as_deref_mut() {
+                    r.record(Some(f.a), now, FlightEvent::LinkUp { port: f.pa });
+                    r.record(Some(f.b), now, FlightEvent::LinkUp { port: f.pb });
+                }
                 for (s, p, peer, pp) in [(f.a, f.pa, f.b, f.pb), (f.b, f.pb, f.a, f.pa)] {
                     // Sender counters restart from the receiver's actual
                     // free space; space held by residencies still
@@ -1179,6 +1391,7 @@ impl<'a> Network<'a> {
             escape_uses: 0,
         };
         h.next_seq += 1;
+        let attached = h.attached_switch;
         let queue_full = self
             .config
             .host_queue_capacity
@@ -1190,6 +1403,27 @@ impl<'a> Network<'a> {
         if queue_full {
             // Finite CA send queue: the new packet is discarded.
             self.stats.on_source_drop();
+            self.trace(
+                id,
+                now,
+                TraceStep::Dropped {
+                    sw: attached,
+                    cause: DropCause::SourceQueueFull,
+                },
+            );
+            if let Some(r) = self.recorder.as_deref_mut() {
+                r.record(
+                    None,
+                    now,
+                    FlightEvent::Dropped {
+                        packet: id,
+                        cause: DropCause::SourceQueueFull,
+                    },
+                );
+                if r.wants_drop_trigger() {
+                    r.trigger(now, TriggerCause::Drop, None, Some(id));
+                }
+            }
         } else {
             self.trace(id, now, TraceStep::Generated { host });
         }
@@ -1218,6 +1452,16 @@ impl<'a> Network<'a> {
         let (_, port) = self.topo.host_attachment(host);
         self.stats.on_injected(queue_len);
         self.trace(traced_id, now, TraceStep::Injected);
+        if let Some(r) = self.recorder.as_deref_mut() {
+            r.record(
+                None,
+                now,
+                FlightEvent::Injected {
+                    packet: traced_id,
+                    host,
+                },
+            );
+        }
         self.queue.schedule(
             now.plus_ns(self.config.phys.propagation_ns),
             Event::HeaderArrive {
@@ -1245,12 +1489,48 @@ impl<'a> Network<'a> {
             // retransmission below the transport layer. The sender's
             // stale credit counter is re-synchronized at link-up.
             self.stats.on_transit_drop(now);
-            self.trace(packet.id, now, TraceStep::Dropped { sw });
+            self.trace(
+                packet.id,
+                now,
+                TraceStep::Dropped {
+                    sw,
+                    cause: DropCause::LinkDown,
+                },
+            );
+            if let Some(r) = self.recorder.as_deref_mut() {
+                r.record(
+                    Some(sw),
+                    now,
+                    FlightEvent::Dropped {
+                        packet: packet.id,
+                        cause: DropCause::LinkDown,
+                    },
+                );
+                if r.wants_drop_trigger() {
+                    r.trigger(now, TriggerCause::Drop, Some(sw), Some(packet.id));
+                }
+            }
             return;
         }
         let id = packet.id;
         let ready_at = now.plus_ns(self.config.phys.routing_delay_ns);
         self.trace(id, now, TraceStep::ArrivedAt { sw, port, vl });
+        if let Some(r) = self.recorder.as_deref_mut() {
+            r.record(
+                Some(sw),
+                now,
+                FlightEvent::Arrived {
+                    packet: id,
+                    port,
+                    vl,
+                },
+            );
+            // A packet landing in an empty buffer starts a fresh
+            // forward-progress clock for the watchdog.
+            if self.switches[sw.index()].inputs[port.index()].vls[vl.index()].is_empty() {
+                r.note_progress(sw, port.index(), vl.index(), now);
+            }
+        }
         let handle =
             self.switches[sw.index()].inputs[port.index()].vls[vl.index()].push(packet, ready_at);
         self.queue.schedule(
@@ -1298,6 +1578,19 @@ impl<'a> Network<'a> {
         let removed = self.switches[sw.index()].inputs[port.index()].vls[vl.index()]
             .remove_at(handle)
             .expect("tx-done packet still buffered");
+        if let Some(r) = self.recorder.as_deref_mut() {
+            r.record(
+                Some(sw),
+                now,
+                FlightEvent::TailLeft {
+                    packet: removed.packet.id,
+                    port,
+                    vl,
+                },
+            );
+            // A freed slot is forward progress for this buffer.
+            r.note_progress(sw, port.index(), vl.index(), now);
+        }
         // Return the freed credits to whoever feeds this input port.
         let upstream = self.topo.endpoint(sw, port).expect("input port is wired");
         self.queue.schedule(
@@ -1332,6 +1625,18 @@ impl<'a> Network<'a> {
                     // return already in flight before the fault could
                     // otherwise overshoot. A no-op in fault-free runs.
                     cs[vl.index()] = (cs[vl.index()] + credits).min(cap);
+                }
+                if let Some(r) = self.recorder.as_deref_mut() {
+                    r.record(
+                        Some(s),
+                        now,
+                        FlightEvent::CreditReturned {
+                            port,
+                            vl,
+                            credits: credits.count(),
+                        },
+                    );
+                    r.note_credit_return(s, port, now);
                 }
                 self.schedule_arbitrate(now, s);
             }
@@ -1431,11 +1736,39 @@ impl<'a> Network<'a> {
                 }
                 cands
             };
+            let record = self.recorder.as_deref().is_some_and(|r| !r.frozen());
             for &(idx, read_point) in &cands {
-                if let Some(d) = self.pick_option(now, sw, ip, vl, idx, read_point) {
+                let mut scratch = OptionOutcomes::new();
+                if let Some(d) = self.pick_option(
+                    now,
+                    sw,
+                    ip,
+                    vl,
+                    idx,
+                    read_point,
+                    record.then_some(&mut scratch),
+                ) {
+                    if record {
+                        // Park the granted candidate's option verdicts for
+                        // `start_forward` to attach to the RouteDecision
+                        // event; keeping them out of `Decision` spares the
+                        // recorder-off path the ~100-byte copy per grant.
+                        self.decision_options = scratch;
+                    }
                     // Advance the VL cursor past the served lane.
                     self.switches[sw.index()].inputs[ip].vl_cursor = (vl + 1) % nvls;
                     return Some(d);
+                }
+                if record && !scratch.is_empty() {
+                    // Every candidate option was rejected: log the full
+                    // reason set (deduplicated per buffer).
+                    let packet = self.switches[sw.index()].inputs[ip].vls[vl]
+                        .get(idx)
+                        .packet
+                        .id;
+                    if let Some(r) = self.recorder.as_deref_mut() {
+                        r.record_blocked(sw, now, ip, vl, packet, &scratch);
+                    }
                 }
             }
         }
@@ -1446,6 +1779,14 @@ impl<'a> Network<'a> {
     /// options first (minimal paths — the livelock-avoidance preference),
     /// gated by adaptive-queue credits; the escape option as fallback,
     /// gated by total credits.
+    ///
+    /// With the flight recorder armed, `rec` collects one
+    /// [`OptionOutcome`] per candidate — including, when an adaptive
+    /// option wins, the *observed* fate the escape option would have had
+    /// — so recorded routing decisions carry their full alternative set.
+    /// The observation never touches the RNG or any control flow, so
+    /// recorded runs stay bit-identical to unrecorded ones.
+    #[allow(clippy::too_many_arguments)]
     fn pick_option(
         &mut self,
         now: SimTime,
@@ -1454,6 +1795,7 @@ impl<'a> Network<'a> {
         vl: usize,
         idx: usize,
         read_point: ReadPoint,
+        mut rec: Option<&mut OptionOutcomes>,
     ) -> Option<Decision> {
         let cap = self.config.vl_buffer_credits;
         let st = &self.switches[sw.index()];
@@ -1464,6 +1806,17 @@ impl<'a> Network<'a> {
 
         let adaptive_allowed =
             read_point == ReadPoint::AdaptiveHead || self.config.adaptive_from_escape_head;
+        if !adaptive_allowed {
+            if let Some(o) = rec.as_deref_mut() {
+                for &op in &route.adaptive {
+                    o.push(OptionOutcome {
+                        port: op,
+                        escape: false,
+                        verdict: OptionVerdict::AdaptiveRestricted,
+                    });
+                }
+            }
+        }
 
         // Collect feasible adaptive options with their free adaptive-queue
         // credits (host ports are infinite sinks). At most one option per
@@ -1477,10 +1830,24 @@ impl<'a> Network<'a> {
                     if let Some(t) = self.telemetry.as_deref_mut() {
                         t.note_stall(sw, op, StallCause::DeadPort);
                     }
+                    if let Some(o) = rec.as_deref_mut() {
+                        o.push(OptionOutcome {
+                            port: op,
+                            escape: false,
+                            verdict: OptionVerdict::DeadPort,
+                        });
+                    }
                     continue;
                 }
                 let out = &st.outputs[op.index()];
                 if out.busy_until > now {
+                    if let Some(o) = rec.as_deref_mut() {
+                        o.push(OptionOutcome {
+                            port: op,
+                            escape: false,
+                            verdict: OptionVerdict::LinkBusy,
+                        });
+                    }
                     continue;
                 }
                 let out_vl = st.sl2vl.vl_for(PortIndex(ip as u8), op, sl);
@@ -1490,8 +1857,17 @@ impl<'a> Network<'a> {
                         let avail = cs[out_vl.index()].adaptive_share(cap);
                         if avail >= need {
                             feasible.push((op, out_vl, avail.count()));
-                        } else if let Some(t) = self.telemetry.as_deref_mut() {
-                            t.note_stall(sw, op, StallCause::NoAdaptiveCredit);
+                        } else {
+                            if let Some(t) = self.telemetry.as_deref_mut() {
+                                t.note_stall(sw, op, StallCause::NoAdaptiveCredit);
+                            }
+                            if let Some(o) = rec.as_deref_mut() {
+                                o.push(OptionOutcome {
+                                    port: op,
+                                    escape: false,
+                                    verdict: OptionVerdict::NoAdaptiveCredit,
+                                });
+                            }
                         }
                     }
                 }
@@ -1514,7 +1890,49 @@ impl<'a> Network<'a> {
             SelectionPolicy::FirstFeasible => feasible.iter().min_by_key(|f| f.0).copied(),
         };
 
+        if let Some(o) = rec.as_deref_mut() {
+            for f in feasible.iter() {
+                o.push(OptionOutcome {
+                    port: f.0,
+                    escape: false,
+                    verdict: if adaptive_pick.map(|p| p.0) == Some(f.0) {
+                        OptionVerdict::Selected
+                    } else {
+                        OptionVerdict::LostArbitration
+                    },
+                });
+            }
+        }
+
         if let Some((op, out_vl, _)) = adaptive_pick {
+            if let Some(o) = rec.as_deref_mut() {
+                // The escape option was never consulted (an adaptive
+                // option won); observe the fate it *would* have had so
+                // the recorded candidate set is complete. Observation
+                // only — no RNG, no control flow.
+                let ep = route.escape;
+                let verdict = if !st.link_up[ep.index()] {
+                    OptionVerdict::DeadPort
+                } else if st.outputs[ep.index()].busy_until > now {
+                    OptionVerdict::LinkBusy
+                } else {
+                    let evl = st.sl2vl.vl_for(PortIndex(ip as u8), ep, sl);
+                    let fits = match st.outputs[ep.index()].credits.as_ref() {
+                        None => true,
+                        Some(cs) => cs[evl.index()] >= need,
+                    };
+                    if fits {
+                        OptionVerdict::LostArbitration
+                    } else {
+                        OptionVerdict::NoEscapeCredit
+                    }
+                };
+                o.push(OptionOutcome {
+                    port: ep,
+                    escape: true,
+                    verdict,
+                });
+            }
             return Some(Decision {
                 input: ip,
                 vl,
@@ -1539,10 +1957,24 @@ impl<'a> Network<'a> {
             if let Some(t) = self.telemetry.as_deref_mut() {
                 t.note_stall(sw, op, StallCause::DeadPort);
             }
+            if let Some(o) = rec.as_deref_mut() {
+                o.push(OptionOutcome {
+                    port: op,
+                    escape: true,
+                    verdict: OptionVerdict::DeadPort,
+                });
+            }
             return None;
         }
         let out = &st.outputs[op.index()];
         if out.busy_until > now {
+            if let Some(o) = rec.as_deref_mut() {
+                o.push(OptionOutcome {
+                    port: op,
+                    escape: true,
+                    verdict: OptionVerdict::LinkBusy,
+                });
+            }
             return None;
         }
         let out_vl = st.sl2vl.vl_for(PortIndex(ip as u8), op, sl);
@@ -1554,8 +1986,23 @@ impl<'a> Network<'a> {
             if let Some(t) = self.telemetry.as_deref_mut() {
                 t.note_stall(sw, op, StallCause::NoEscapeCredit);
             }
+            if let Some(o) = rec.as_deref_mut() {
+                o.push(OptionOutcome {
+                    port: op,
+                    escape: true,
+                    verdict: OptionVerdict::NoEscapeCredit,
+                });
+            }
+            return None;
         }
-        ok.then_some(Decision {
+        if let Some(o) = rec {
+            o.push(OptionOutcome {
+                port: op,
+                escape: true,
+                verdict: OptionVerdict::Selected,
+            });
+        }
+        Some(Decision {
             input: ip,
             vl,
             idx,
@@ -1571,7 +2018,7 @@ impl<'a> Network<'a> {
     /// Commit a forwarding decision: reserve the resources, update the
     /// packet, and schedule the downstream events.
     fn start_forward(&mut self, now: SimTime, sw: SwitchId, d: Decision) {
-        if self.telemetry.is_some() {
+        if self.telemetry.is_some() || self.recorder.is_some() {
             // Arbitration-pass latency: how long the packet sat routed in
             // the input buffer before the crossbar granted it.
             let ready_at = self.switches[sw.index()].inputs[d.input].vls[d.vl]
@@ -1580,6 +2027,27 @@ impl<'a> Network<'a> {
             let wait = now.since(ready_at);
             if let Some(t) = self.telemetry.as_deref_mut() {
                 t.note_forward(sw, d.via_escape, wait);
+            }
+            if let Some(r) = self.recorder.as_deref_mut() {
+                // `decision_options` holds the verdict set `pick_for_input`
+                // parked for this grant (stale contents are possible only
+                // when frozen, where `record` discards the event anyway).
+                r.record(
+                    Some(sw),
+                    now,
+                    FlightEvent::RouteDecision {
+                        packet: d.packet_id,
+                        in_port: PortIndex(d.input as u8),
+                        vl: VirtualLane(d.vl as u8),
+                        out_port: d.out_port,
+                        via_escape: d.via_escape,
+                        from_escape_head: d.read_point == ReadPoint::EscapeHead,
+                        waited_ns: wait,
+                        options: self.decision_options.clone(),
+                    },
+                );
+                // Winning arbitration is forward progress.
+                r.note_progress(sw, d.input, d.vl, now);
             }
         }
         let st = &mut self.switches[sw.index()];

@@ -6,8 +6,15 @@
 //! crossed the fabric (did it detour through escape queues? how long did
 //! it sit in each buffer?). Tracing is sampled (1-in-`n` packets) to
 //! stay cheap, and capped so saturated runs cannot blow up memory.
+//!
+//! Sampling selects by [`PacketId::stable_hash`], not by raw id: ids are
+//! assigned in generation order, so `id % n` would stripe the sample
+//! across sources and streams (with per-source round-robin generation,
+//! "every 64th id" can mean "only packets from one host"). The hash
+//! decorrelates selection from generation order while staying fully
+//! deterministic.
 
-use iba_core::{HostId, PacketId, PortIndex, SimTime, SwitchId, VirtualLane};
+use iba_core::{DropCause, HostId, Json, PacketId, PortIndex, SimTime, SwitchId, VirtualLane};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -52,6 +59,9 @@ pub enum TraceStep {
         /// The switch whose (now dead) input port the packet was
         /// heading for.
         sw: SwitchId,
+        /// Why the packet died (same vocabulary as the run statistics
+        /// and the flight recorder).
+        cause: DropCause,
     },
 }
 
@@ -132,14 +142,113 @@ impl PacketTrace {
                     },
                 ),
                 TraceStep::Delivered { host } => format!("{at:>12}  delivered at {host}"),
-                TraceStep::Dropped { sw } => {
-                    format!("{at:>12}  DROPPED on the dead link into {sw}")
-                }
+                TraceStep::Dropped { sw, cause } => match cause {
+                    DropCause::LinkDown => {
+                        format!("{at:>12}  DROPPED on the dead link into {sw}")
+                    }
+                    DropCause::SourceQueueFull => {
+                        format!("{at:>12}  DROPPED before {sw}: source queue full")
+                    }
+                },
             };
             out.push_str(&line);
             out.push('\n');
         }
         out
+    }
+
+    /// The journey as a JSON document: `{"steps": [{"at_ns", "step",
+    /// ...fields}, ...]}` — the format `iba-trace` and the dump tooling
+    /// consume.
+    pub fn to_json(&self) -> Json {
+        let steps: Json = self
+            .steps
+            .iter()
+            .map(|(at, step)| {
+                let mut o = Json::object();
+                o.push("at_ns", at.as_ns());
+                match step {
+                    TraceStep::Generated { host } => {
+                        o.push("step", "generated").push("host", u64::from(host.0));
+                    }
+                    TraceStep::Injected => {
+                        o.push("step", "injected");
+                    }
+                    TraceStep::ArrivedAt { sw, port, vl } => {
+                        o.push("step", "arrived_at")
+                            .push("sw", u64::from(sw.0))
+                            .push("port", u64::from(port.0))
+                            .push("vl", u64::from(vl.0));
+                    }
+                    TraceStep::Forwarded {
+                        sw,
+                        out_port,
+                        via_escape,
+                        from_escape_head,
+                    } => {
+                        o.push("step", "forwarded")
+                            .push("sw", u64::from(sw.0))
+                            .push("out_port", u64::from(out_port.0))
+                            .push("via_escape", *via_escape)
+                            .push("from_escape_head", *from_escape_head);
+                    }
+                    TraceStep::Delivered { host } => {
+                        o.push("step", "delivered").push("host", u64::from(host.0));
+                    }
+                    TraceStep::Dropped { sw, cause } => {
+                        o.push("step", "dropped")
+                            .push("sw", u64::from(sw.0))
+                            .push("cause", cause.name());
+                    }
+                }
+                o
+            })
+            .collect();
+        Json::obj([("steps", steps)])
+    }
+
+    /// Inverse of [`PacketTrace::to_json`]; `None` on any shape or
+    /// vocabulary mismatch.
+    pub fn from_json(v: &Json) -> Option<PacketTrace> {
+        let sw = |o: &Json| {
+            o.get("sw")
+                .and_then(Json::as_u64)
+                .and_then(|s| u16::try_from(s).ok())
+                .map(SwitchId)
+        };
+        let host = |o: &Json| {
+            o.get("host")
+                .and_then(Json::as_u64)
+                .and_then(|h| u16::try_from(h).ok())
+                .map(HostId)
+        };
+        let mut steps = Vec::new();
+        for o in v.get("steps")?.as_arr()? {
+            let at = SimTime::from_ns(o.get("at_ns")?.as_u64()?);
+            let step = match o.get("step")?.as_str()? {
+                "generated" => TraceStep::Generated { host: host(o)? },
+                "injected" => TraceStep::Injected,
+                "arrived_at" => TraceStep::ArrivedAt {
+                    sw: sw(o)?,
+                    port: PortIndex(u8::try_from(o.get("port")?.as_u64()?).ok()?),
+                    vl: VirtualLane(u8::try_from(o.get("vl")?.as_u64()?).ok()?),
+                },
+                "forwarded" => TraceStep::Forwarded {
+                    sw: sw(o)?,
+                    out_port: PortIndex(u8::try_from(o.get("out_port")?.as_u64()?).ok()?),
+                    via_escape: o.get("via_escape")?.as_bool()?,
+                    from_escape_head: o.get("from_escape_head")?.as_bool()?,
+                },
+                "delivered" => TraceStep::Delivered { host: host(o)? },
+                "dropped" => TraceStep::Dropped {
+                    sw: sw(o)?,
+                    cause: DropCause::from_name(o.get("cause")?.as_str()?)?,
+                },
+                _ => return None,
+            };
+            steps.push((at, step));
+        }
+        Some(PacketTrace { steps })
     }
 }
 
@@ -209,8 +318,14 @@ impl Tracer {
     }
 
     /// Whether `id` is (or would be) traced.
+    ///
+    /// Selection hashes the id first ([`PacketId::stable_hash`]) so the
+    /// 1-in-`n` sample is spread across sources and streams instead of
+    /// striding raw generation order; `sample_every == 1` still means
+    /// "every packet". The cap admits the first `max_packets` distinct
+    /// sampled packets and keeps recording those afterwards.
     pub fn wants(&self, id: PacketId) -> bool {
-        id.0.is_multiple_of(self.sample_every)
+        id.stable_hash().is_multiple_of(self.sample_every)
             && (self.traces.contains_key(&id) || self.traces.len() < self.max_packets)
     }
 
@@ -243,18 +358,51 @@ mod tests {
     #[test]
     fn sampling_and_cap() {
         let mut tr = Tracer::sampled(10, 2);
-        assert!(tr.wants(PacketId(0)));
-        assert!(!tr.wants(PacketId(5)));
-        assert!(tr.wants(PacketId(20)));
-        tr.record(PacketId(0), t(1), TraceStep::Injected);
-        tr.record(PacketId(10), t(2), TraceStep::Injected);
+        // Selection is by hashed id; derive sampled/unsampled ids with
+        // the same rule the tracer applies.
+        let sampled: Vec<PacketId> = (0..1000)
+            .map(PacketId)
+            .filter(|id| id.stable_hash().is_multiple_of(10))
+            .collect();
+        let skipped = (0..1000)
+            .map(PacketId)
+            .find(|id| !id.stable_hash().is_multiple_of(10))
+            .unwrap();
+        assert!(sampled.len() >= 3, "expected ~100 sampled ids in 1000");
+        assert!(tr.wants(sampled[0]));
+        assert!(!tr.wants(skipped));
+        tr.record(sampled[0], t(1), TraceStep::Injected);
+        tr.record(sampled[1], t(2), TraceStep::Injected);
         // Cap reached: a third distinct packet is not admitted...
-        assert!(!tr.wants(PacketId(20)));
-        tr.record(PacketId(20), t(3), TraceStep::Injected);
+        assert!(!tr.wants(sampled[2]));
+        tr.record(sampled[2], t(3), TraceStep::Injected);
         assert_eq!(tr.traces().len(), 2);
         // ...but already-admitted packets keep recording.
-        tr.record(PacketId(0), t(4), TraceStep::Delivered { host: HostId(1) });
-        assert_eq!(tr.trace(PacketId(0)).unwrap().steps.len(), 2);
+        tr.record(sampled[0], t(4), TraceStep::Delivered { host: HostId(1) });
+        assert_eq!(tr.trace(sampled[0]).unwrap().steps.len(), 2);
+    }
+
+    #[test]
+    fn sampling_is_not_striped_by_source() {
+        // With k sources generating round-robin, packets from source s
+        // have ids ≡ s (mod k). Raw `id % n` sampling with n a multiple
+        // of k would trace only source 0's packets; hash selection must
+        // reach every source stripe.
+        let tr = Tracer::sampled(8, usize::MAX);
+        let mut sources_hit = [false; 8];
+        let mut picked = 0usize;
+        for id in 0..4000u64 {
+            if tr.wants(PacketId(id)) {
+                sources_hit[(id % 8) as usize] = true;
+                picked += 1;
+            }
+        }
+        assert!(
+            sources_hit.iter().all(|&h| h),
+            "hash sampling should reach every source stripe: {sources_hit:?}"
+        );
+        // Density stays roughly 1-in-8 (loose 3x bounds).
+        assert!((166..1500).contains(&picked), "picked {picked} of 4000");
     }
 
     #[test]

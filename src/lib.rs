@@ -76,9 +76,10 @@ pub mod prelude {
         UpDownRouting,
     };
     pub use iba_sim::{
-        EscapeOrderPolicy, JsonLinesSink, MemorySink, Network, NetworkBuilder, QueueBackend,
-        RecoveryPolicy, RunResult, SelectionPolicy, SimConfig, SimConfigBuilder, StallCause,
-        TelemetryOpts, TelemetryReport, TelemetrySample, TelemetrySink, TraceOpts,
+        perfetto_trace, EscapeOrderPolicy, FlightDump, FlightRecorder, JsonLinesSink, MemorySink,
+        Network, NetworkBuilder, QueueBackend, RecorderOpts, RecoveryPolicy, RunResult,
+        SelectionPolicy, SimConfig, SimConfigBuilder, StallCause, TelemetryOpts, TelemetryReport,
+        TelemetrySample, TelemetrySink, TraceOpts, Trigger, TriggerCause, WatchdogOpts,
     };
     pub use iba_sm::{ApmPlan, ManagedFabric, SubnetManager};
     pub use iba_stats::{Curve, CurvePoint, MinMaxAvg};
