@@ -2,11 +2,14 @@
 //!
 //! Runs the canonical perf workload — a 32-switch irregular paper
 //! network under uniform traffic — a few times per event-queue backend,
-//! in three instrumentation modes: everything off (the default, and the
+//! in four instrumentation modes: everything off (the default, and the
 //! number the performance work in this repository is measured by), the
-//! telemetry probes armed at the default 1 µs cadence, and the flight
-//! recorder armed with default rings + watchdog (bounding each hook
-//! family's overhead separately). Reports events/second (median over
+//! telemetry probes armed at the default 1 µs cadence, the flight
+//! recorder armed with default rings + watchdog, and the fault
+//! machinery armed with an empty schedule plus a zero-probability
+//! corruption hook (bounding each hook family's overhead separately —
+//! the armed-but-empty fault row must match the bare row). Reports
+//! events/second (median over
 //! runs) as machine-readable JSON; see DESIGN.md ("Performance") for
 //! how to read it.
 //!
@@ -38,6 +41,7 @@ enum Mode {
     Bare,
     Telemetry,
     Recorder,
+    FaultsArmed,
 }
 
 impl Mode {
@@ -54,6 +58,13 @@ impl Mode {
             _ => "disabled",
         }
     }
+
+    fn faults(self) -> &'static str {
+        match self {
+            Mode::FaultsArmed => "armed-empty",
+            _ => "disabled",
+        }
+    }
 }
 
 fn run_once(fixture: &BenchFixture, backend: QueueBackend, seed: u64, mode: Mode) -> Sample {
@@ -65,6 +76,7 @@ fn run_once(fixture: &BenchFixture, backend: QueueBackend, seed: u64, mode: Mode
         Mode::Bare => fixture.simulate(spec, cfg),
         Mode::Telemetry => fixture.simulate_instrumented(spec, cfg, TelemetryOpts::default()),
         Mode::Recorder => fixture.simulate_recorded(spec, cfg, RecorderOpts::default()),
+        Mode::FaultsArmed => fixture.simulate_fault_armed(spec, cfg),
     };
     let wall_s = t0.elapsed().as_secs_f64();
     Sample {
@@ -90,15 +102,21 @@ fn main() {
         ("binary_heap", QueueBackend::BinaryHeap),
         ("calendar", QueueBackend::Calendar),
     ] {
-        for mode in [Mode::Bare, Mode::Telemetry, Mode::Recorder] {
+        for mode in [
+            Mode::Bare,
+            Mode::Telemetry,
+            Mode::Recorder,
+            Mode::FaultsArmed,
+        ] {
             let mut rates = Vec::with_capacity(RUNS);
             let mut last = None;
             for run in 0..RUNS {
                 let s = run_once(&fixture, which, 100 + run as u64, mode);
                 eprintln!(
-                    "{backend} (telemetry {}, recorder {}) run {run}: {} events in {:.3}s = {:.0} events/s",
+                    "{backend} (telemetry {}, recorder {}, faults {}) run {run}: {} events in {:.3}s = {:.0} events/s",
                     mode.telemetry(),
                     mode.recorder(),
+                    mode.faults(),
                     s.events,
                     s.wall_s,
                     s.events as f64 / s.wall_s
@@ -112,6 +130,7 @@ fn main() {
                 ("backend", Json::from(backend)),
                 ("telemetry", Json::from(mode.telemetry())),
                 ("recorder", Json::from(mode.recorder())),
+                ("faults", Json::from(mode.faults())),
                 ("events_per_sec", Json::from(eps.round())),
                 ("events_last_run", Json::from(last.events)),
                 ("delivered_last_run", Json::from(last.delivered)),

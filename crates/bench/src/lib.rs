@@ -18,9 +18,9 @@
 #![warn(missing_docs)]
 
 use iba_routing::{FaRouting, RoutingConfig};
-use iba_sim::{Network, RecorderOpts, RunResult, SimConfig, TelemetryOpts};
+use iba_sim::{Network, RecorderOpts, RecoveryPolicy, RunResult, SimConfig, TelemetryOpts};
 use iba_topology::{IrregularConfig, Topology};
-use iba_workloads::WorkloadSpec;
+use iba_workloads::{FaultSchedule, WorkloadSpec};
 
 /// A prepared (topology, routing) pair for simulation benches.
 pub struct BenchFixture {
@@ -63,6 +63,22 @@ impl BenchFixture {
             .workload(spec)
             .config(cfg)
             .telemetry(opts)
+            .build()
+            .expect("consistent setup")
+            .run()
+    }
+
+    /// Run one simulation with the fault machinery armed but idle: an
+    /// empty fault schedule plus a zero-probability corruption hook.
+    /// Nothing ever fires, so this must match the bare run's throughput
+    /// — the armed-but-empty-hooks side of the overhead benchmark.
+    pub fn simulate_fault_armed(&self, spec: WorkloadSpec, cfg: SimConfig) -> RunResult {
+        let schedule = FaultSchedule::new(Vec::new()).expect("empty schedule is valid");
+        Network::builder(&self.topology, &self.routing)
+            .workload(spec)
+            .config(cfg)
+            .faults(&schedule, RecoveryPolicy::SmResweep, 2_000)
+            .corruption(0.0)
             .build()
             .expect("consistent setup")
             .run()

@@ -24,7 +24,12 @@ use crate::vl::VirtualLane;
 ///
 /// Bump on any change to the event vocabulary or dump framing so
 /// `iba-trace` can refuse files it does not understand.
-pub const FLIGHT_SCHEMA_VERSION: u32 = 1;
+///
+/// Version history:
+/// - 1: initial vocabulary (PR 4).
+/// - 2: chaos campaign — `switch_down`/`switch_up` drop causes and
+///   fabric events, `corrupted` drop cause, `smp_retransmit` events.
+pub const FLIGHT_SCHEMA_VERSION: u32 = 2;
 
 /// Why a packet was lost.
 ///
@@ -39,17 +44,30 @@ pub enum DropCause {
     /// Lost in transit: the link went down while the packet was on the
     /// wire.
     LinkDown,
+    /// Lost in transit: the receiving switch died while the packet was
+    /// on the wire (every port of a dead switch drops atomically).
+    SwitchDown,
+    /// Lost in transit: the packet arrived, but its CRC check failed —
+    /// a transient bit error on an otherwise healthy link.
+    Corrupted,
 }
 
 impl DropCause {
     /// All causes, in serialization order.
-    pub const ALL: [DropCause; 2] = [DropCause::SourceQueueFull, DropCause::LinkDown];
+    pub const ALL: [DropCause; 4] = [
+        DropCause::SourceQueueFull,
+        DropCause::LinkDown,
+        DropCause::SwitchDown,
+        DropCause::Corrupted,
+    ];
 
     /// Stable lower-snake name used in JSON and report tables.
     pub fn name(self) -> &'static str {
         match self {
             DropCause::SourceQueueFull => "source_queue_full",
             DropCause::LinkDown => "link_down",
+            DropCause::SwitchDown => "switch_down",
+            DropCause::Corrupted => "corrupted",
         }
     }
 
@@ -268,6 +286,27 @@ pub enum FlightEvent {
         /// The local port whose link recovered.
         port: PortIndex,
     },
+    /// A whole switch died: every attached port went down atomically.
+    SwitchDown {
+        /// The dead switch.
+        sw: SwitchId,
+    },
+    /// A dead switch came back.
+    SwitchUp {
+        /// The recovered switch.
+        sw: SwitchId,
+    },
+    /// The subnet manager retransmitted an SMP after a VL15 timeout
+    /// (control-plane loss, not a data-path event; `sw` in the stamp is
+    /// `None`).
+    SmpRetransmit {
+        /// Transaction id of the retried SMP.
+        tid: u64,
+        /// Retransmission attempt number (1 = first retry).
+        attempt: u32,
+        /// Directed-route length of the SMP, in switch hops.
+        hops: u8,
+    },
     /// The stall watchdog classified a no-progress interval on one
     /// (port, VL).
     Stall {
@@ -327,6 +366,9 @@ impl FlightEvent {
             FlightEvent::Delivered { .. } => "delivered",
             FlightEvent::LinkDown { .. } => "link_down",
             FlightEvent::LinkUp { .. } => "link_up",
+            FlightEvent::SwitchDown { .. } => "switch_down",
+            FlightEvent::SwitchUp { .. } => "switch_up",
+            FlightEvent::SmpRetransmit { .. } => "smp_retransmit",
             FlightEvent::Stall { .. } => "stall",
         }
     }
@@ -344,7 +386,10 @@ impl FlightEvent {
             | FlightEvent::Stall { packet, .. } => Some(*packet),
             FlightEvent::CreditReturned { .. }
             | FlightEvent::LinkDown { .. }
-            | FlightEvent::LinkUp { .. } => None,
+            | FlightEvent::LinkUp { .. }
+            | FlightEvent::SwitchDown { .. }
+            | FlightEvent::SwitchUp { .. }
+            | FlightEvent::SmpRetransmit { .. } => None,
         }
     }
 
@@ -362,7 +407,10 @@ impl FlightEvent {
             FlightEvent::Blocked { in_port, .. } => Some(*in_port),
             FlightEvent::Injected { .. }
             | FlightEvent::Dropped { .. }
-            | FlightEvent::Delivered { .. } => None,
+            | FlightEvent::Delivered { .. }
+            | FlightEvent::SwitchDown { .. }
+            | FlightEvent::SwitchUp { .. }
+            | FlightEvent::SmpRetransmit { .. } => None,
         }
     }
 
@@ -449,6 +497,20 @@ impl FlightEvent {
             }
             FlightEvent::LinkUp { port } => {
                 o.push("port", u64::from(port.0));
+            }
+            // The member is "switch", not "sw": stamped events flatten the
+            // payload into the same object as the stamp, whose logging-switch
+            // member already owns the "sw" key.
+            FlightEvent::SwitchDown { sw } => {
+                o.push("switch", u64::from(sw.0));
+            }
+            FlightEvent::SwitchUp { sw } => {
+                o.push("switch", u64::from(sw.0));
+            }
+            FlightEvent::SmpRetransmit { tid, attempt, hops } => {
+                o.push("tid", *tid)
+                    .push("attempt", u64::from(*attempt))
+                    .push("hops", u64::from(*hops));
             }
             FlightEvent::Stall {
                 port,
@@ -539,6 +601,17 @@ impl FlightEvent {
             },
             "link_up" => FlightEvent::LinkUp {
                 port: port("port")?,
+            },
+            "switch_down" => FlightEvent::SwitchDown {
+                sw: SwitchId(u16::try_from(v.get("switch")?.as_u64()?).ok()?),
+            },
+            "switch_up" => FlightEvent::SwitchUp {
+                sw: SwitchId(u16::try_from(v.get("switch")?.as_u64()?).ok()?),
+            },
+            "smp_retransmit" => FlightEvent::SmpRetransmit {
+                tid: v.get("tid")?.as_u64()?,
+                attempt: u32::try_from(v.get("attempt")?.as_u64()?).ok()?,
+                hops: u8::try_from(v.get("hops")?.as_u64()?).ok()?,
             },
             "stall" => FlightEvent::Stall {
                 port: port("port")?,
@@ -662,6 +735,21 @@ mod tests {
             },
             FlightEvent::LinkDown { port: PortIndex(6) },
             FlightEvent::LinkUp { port: PortIndex(6) },
+            FlightEvent::SwitchDown { sw: SwitchId(11) },
+            FlightEvent::SwitchUp { sw: SwitchId(11) },
+            FlightEvent::SmpRetransmit {
+                tid: 4242,
+                attempt: 3,
+                hops: 5,
+            },
+            FlightEvent::Dropped {
+                packet: PacketId(10),
+                cause: DropCause::SwitchDown,
+            },
+            FlightEvent::Dropped {
+                packet: PacketId(11),
+                cause: DropCause::Corrupted,
+            },
             FlightEvent::Stall {
                 port: PortIndex(4),
                 vl: VirtualLane(1),
@@ -728,6 +816,8 @@ mod tests {
             r#"{"ev":"nope"}"#,
             r#"{"ev":"arrived","packet":1,"port":999,"vl":0}"#,
             r#"{"ev":"dropped","packet":1,"cause":"gremlins"}"#,
+            r#"{"ev":"switch_down","switch":70000}"#,
+            r#"{"ev":"smp_retransmit","tid":1}"#,
             r#"{"packet":1}"#,
         ] {
             let j = Json::parse(bad).unwrap();

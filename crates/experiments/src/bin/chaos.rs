@@ -1,0 +1,93 @@
+//! Chaos campaign (DESIGN.md §11): sampled fault schedules — link
+//! faults, switch deaths, flapping, packet corruption, SMP loss — each
+//! simulated to full drain on both queue backends and machine-checked
+//! against the conservation / duplicate / credit / escape-acyclicity /
+//! no-wedge invariants, plus an SMP-level bring-up convergence check.
+//!
+//! Exits non-zero when any invariant is violated.
+//!
+//! ```text
+//! cargo run --release -p iba-experiments --bin chaos -- \
+//!     [--sizes 8,16] [--seeds 15] [--seed 100] [--out results/chaos.json]
+//! ```
+
+use iba_experiments::chaos;
+
+fn main() {
+    match real_main() {
+        Err(e) => {
+            eprintln!("chaos: {e}");
+            std::process::exit(1);
+        }
+        Ok(violations) if violations > 0 => std::process::exit(1),
+        Ok(_) => {}
+    }
+}
+
+fn real_main() -> Result<usize, String> {
+    let args = iba_experiments::cli::Args::from_env()?;
+    let sizes = args.get_list_or("sizes", &[8usize, 16])?;
+    let seeds = args.get_or("seeds", 15u64)?;
+    let base_seed = args.get_or("seed", 100u64)?;
+    let out = args.get("out").unwrap_or("results/chaos.json").to_string();
+
+    eprintln!(
+        "chaos: sizes {sizes:?} × {} mixes × {seeds} seeds = {} runs (each on both queue backends)",
+        chaos::MIXES.len(),
+        sizes.len() * chaos::MIXES.len() * seeds as usize
+    );
+    let runs = chaos::run_campaign(&sizes, seeds, base_seed).map_err(|e| e.to_string())?;
+
+    println!(
+        "{:<14} {:>4} {:>6} {:>9} {:>7} {:>7} {:>7} {:>8} {:>9} {:>5}",
+        "mix",
+        "runs",
+        "faults",
+        "delivered",
+        "d.link",
+        "d.sw",
+        "d.crc",
+        "resweeps",
+        "sm.retx",
+        "viol"
+    );
+    for mix in &chaos::MIXES {
+        let cell: Vec<_> = runs.iter().filter(|r| r.mix == mix.name).collect();
+        println!(
+            "{:<14} {:>4} {:>6} {:>9} {:>7} {:>7} {:>7} {:>8} {:>9} {:>5}",
+            mix.name,
+            cell.len(),
+            cell.iter().map(|r| r.result.faults_injected).sum::<u64>(),
+            cell.iter().map(|r| r.result.delivered).sum::<u64>(),
+            cell.iter().map(|r| r.result.drops_link_down).sum::<u64>(),
+            cell.iter().map(|r| r.result.drops_switch_down).sum::<u64>(),
+            cell.iter().map(|r| r.result.drops_corrupted).sum::<u64>(),
+            cell.iter().map(|r| r.result.resweeps).sum::<u64>(),
+            cell.iter().map(|r| r.sm_retransmits).sum::<u64>(),
+            cell.iter().map(|r| r.violations.len()).sum::<usize>(),
+        );
+    }
+    let violations = chaos::total_violations(&runs);
+    let wedges: usize = runs.iter().map(|r| r.wedges).sum();
+    let identical = runs.iter().all(|r| r.backends_identical);
+    println!(
+        "chaos: {} runs, {violations} violations, {wedges} suspected wedges, backends identical: {identical}",
+        runs.len()
+    );
+    for r in &runs {
+        for v in &r.violations {
+            eprintln!(
+                "chaos: VIOLATION [{} n={} seed={}]: {v}",
+                r.mix, r.size, r.seed
+            );
+        }
+    }
+
+    let json = chaos::to_json(&sizes, seeds, base_seed, &runs);
+    if let Some(dir) = std::path::Path::new(&out).parent() {
+        std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+    }
+    std::fs::write(&out, json).map_err(|e| e.to_string())?;
+    eprintln!("chaos: wrote {out}");
+    Ok(violations)
+}

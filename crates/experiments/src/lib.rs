@@ -10,6 +10,7 @@
 //! | Table 2 (routing-option distribution) | `table2` | [`table2::run`] |
 //! | §5.2.2 claims + design ablations | `ablation` | [`ablation`] |
 //! | link-fault recovery sweep (DESIGN.md §8) | `faults` | [`faults::sweep`] |
+//! | chaos campaign: sampled fault schedules × invariant checks (DESIGN.md §11) | `chaos` | [`chaos::run_campaign`] |
 //! | telemetry load sweep (occupancy / stalls vs load, DESIGN.md §9) | `telemetry` | [`telemetry::run_sweep`] |
 //! | flight-recorder demo run + dump artifacts (DESIGN.md §10) | `flightrec` | [`flightrec::run_recorded`] |
 //! | flight-dump queries: slice / causal chain / stall causes | `iba-trace` | [`tracequery`] |
@@ -22,6 +23,7 @@
 #![warn(missing_docs)]
 
 pub mod ablation;
+pub mod chaos;
 pub mod cli;
 pub mod faults;
 pub mod fidelity;

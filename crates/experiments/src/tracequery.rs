@@ -210,6 +210,11 @@ pub fn render_event(e: &StampedEvent) -> String {
         } => format!("{packet} delivered to {host} after {latency_ns}ns"),
         FlightEvent::LinkDown { port } => format!("link DOWN on {port}"),
         FlightEvent::LinkUp { port } => format!("link UP on {port}"),
+        FlightEvent::SwitchDown { sw } => format!("switch {sw} DOWN"),
+        FlightEvent::SwitchUp { sw } => format!("switch {sw} UP"),
+        FlightEvent::SmpRetransmit { tid, attempt, hops } => {
+            format!("SMP tid {tid} retransmit #{attempt} ({hops} hops)")
+        }
         FlightEvent::Stall {
             port,
             vl,

@@ -36,7 +36,7 @@ use iba_core::{
 };
 use iba_engine::rng::{StreamKind, StreamRng};
 use iba_engine::DesQueue;
-use iba_routing::{FaRouting, SlToVlTable};
+use iba_routing::{check_escape_routes, FaRouting, SlToVlTable};
 use iba_topology::{Topology, TopologyBuilder};
 use iba_workloads::{
     FaultKind, FaultSchedule, HostGenerator, PathSet, TrafficScript, WorkloadSpec,
@@ -102,7 +102,8 @@ enum Event {
 
 /// A schedule entry with its endpoints resolved to concrete ports, done
 /// once at construction so fault application is O(1) and allocation-free
-/// inside the event loop.
+/// inside the event loop. For switch faults only `a` is meaningful; the
+/// affected ports are enumerated from the topology at apply time.
 #[derive(Clone, Copy, Debug)]
 struct ResolvedFault {
     at: SimTime,
@@ -143,9 +144,23 @@ struct SwitchState {
     arb_pending: bool,
     rr_cursor: usize,
     /// Per-port link state; `false` masks the port out of every feasible
-    /// option set at arbitration. Host-facing ports never go down (the
-    /// fault model covers switch–switch links only).
+    /// option set at arbitration. Derived cache of `down_depth == 0` so
+    /// the hot path stays a single bool load. A host-facing port goes
+    /// down only when its own switch dies.
     link_up: Vec<bool>,
+    /// How many active faults currently mask each port: a link fault
+    /// contributes 1 to both endpoints, a switch fault contributes 1 to
+    /// every wired port of the dead switch *and* the peer-side port of
+    /// each of its inter-switch links — so two overlapping switch deaths
+    /// on adjacent switches stack on the shared link and the port only
+    /// revives when both have recovered.
+    down_depth: Vec<u8>,
+    /// The portion of `down_depth` owed to switch deaths; used to
+    /// attribute wire drops at a masked port to [`DropCause::SwitchDown`]
+    /// rather than [`DropCause::LinkDown`]. Schedule validation forbids
+    /// link and switch windows overlapping on a shared endpoint, so a
+    /// nonzero value is unambiguous.
+    switch_down_depth: Vec<u8>,
 }
 
 struct HostState {
@@ -207,8 +222,20 @@ pub struct Network<'a> {
     /// Modelled duration of one SM re-sweep (fault event → recovery
     /// tables live), in nanoseconds.
     resweep_latency_ns: u64,
-    /// Number of links currently down.
+    /// Number of faults (links *or* switches) currently down.
     active_faults: usize,
+    /// Which switches are currently dead (switch-fault windows).
+    dead_switches: Vec<bool>,
+    /// Per-link bit-error probability folded to a per-packet CRC-failure
+    /// probability at the receiving input port; 0.0 (the default) keeps
+    /// the hot-path hook a single float compare.
+    corrupt_prob: f64,
+    /// Dedicated substream for corruption draws, so armed corruption
+    /// never perturbs arbitration tie-breaks or generator schedules.
+    corrupt_rng: StreamRng,
+    /// Whether the APM alternate escape tables have been certified
+    /// acyclic (done lazily at the first migration activation).
+    apm_certified: bool,
     /// Recovery tables installed by the last completed re-sweep; `None`
     /// while the primary tables are live.
     recovery_routing: Option<FaRouting>,
@@ -255,6 +282,7 @@ pub struct NetworkBuilder<'a> {
     script: Option<&'a TrafficScript>,
     config: Option<SimConfig>,
     faults: Option<(&'a FaultSchedule, RecoveryPolicy, u64)>,
+    corruption: Option<f64>,
     trace: Option<TraceOpts>,
     telemetry: Option<(TelemetryOpts, Box<dyn TelemetrySink>)>,
     recorder: Option<RecorderOpts>,
@@ -294,6 +322,18 @@ impl<'a> NetworkBuilder<'a> {
         resweep_latency_ns: u64,
     ) -> Self {
         self.faults = Some((schedule, policy, resweep_latency_ns));
+        self
+    }
+
+    /// Arm transient packet corruption: every packet arriving at a
+    /// switch input port independently fails its CRC check with
+    /// probability `per_packet_prob` and is dropped (the IBA link layer
+    /// has no retransmission; reliability lives in the transport). The
+    /// receiver still advertises the freed space back, so corruption
+    /// never leaks credits. Draws come from a dedicated RNG substream —
+    /// arming corruption does not perturb arbitration or generation.
+    pub fn corruption(mut self, per_packet_prob: f64) -> Self {
+        self.corruption = Some(per_packet_prob);
         self
     }
 
@@ -355,6 +395,14 @@ impl<'a> NetworkBuilder<'a> {
         if let Some((schedule, policy, resweep_latency_ns)) = self.faults {
             net.arm_faults(schedule, policy, resweep_latency_ns)?;
         }
+        if let Some(p) = self.corruption {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(IbaError::InvalidConfig(format!(
+                    "corruption probability {p} outside [0, 1]"
+                )));
+            }
+            net.corrupt_prob = p;
+        }
         if let Some(opts) = self.trace {
             net.tracer = Some(Tracer::with_opts(opts));
         }
@@ -389,6 +437,7 @@ impl<'a> Network<'a> {
             script: None,
             config: None,
             faults: None,
+            corruption: None,
             trace: None,
             telemetry: None,
             recorder: None,
@@ -465,6 +514,8 @@ impl<'a> Network<'a> {
                     arb_pending: false,
                     rr_cursor: 0,
                     link_up: vec![true; ports],
+                    down_depth: vec![0; ports],
+                    switch_down_depth: vec![0; ports],
                 })
             })
             .collect::<Result<Vec<_>, IbaError>>()?;
@@ -532,6 +583,10 @@ impl<'a> Network<'a> {
             recovery: RecoveryPolicy::None,
             resweep_latency_ns: 0,
             active_faults: 0,
+            dead_switches: vec![false; topo.num_switches()],
+            corrupt_prob: 0.0,
+            corrupt_rng: root.derive(StreamKind::Custom(0xC0DE)),
+            apm_certified: false,
             recovery_routing: None,
             telemetry: None,
             recorder: None,
@@ -583,14 +638,22 @@ impl<'a> Network<'a> {
                     "fault entry {i}: switch out of range (topology has {n} switches)"
                 )));
             }
-            let (Some(pa), Some(pb)) = (
-                self.topo.port_towards(e.a, e.b),
-                self.topo.port_towards(e.b, e.a),
-            ) else {
-                return Err(IbaError::InvalidConfig(format!(
-                    "fault entry {i}: no link {}–{} in the topology",
-                    e.a, e.b
-                )));
+            let (pa, pb) = match e.kind {
+                // A switch fault names no link; the affected ports are
+                // enumerated from the topology when the fault fires.
+                FaultKind::SwitchDown | FaultKind::SwitchUp => (PortIndex(0), PortIndex(0)),
+                FaultKind::LinkDown | FaultKind::LinkUp => {
+                    let (Some(pa), Some(pb)) = (
+                        self.topo.port_towards(e.a, e.b),
+                        self.topo.port_towards(e.b, e.a),
+                    ) else {
+                        return Err(IbaError::InvalidConfig(format!(
+                            "fault entry {i}: no link {}–{} in the topology",
+                            e.a, e.b
+                        )));
+                    };
+                    (pa, pb)
+                }
             };
             self.faults.push(ResolvedFault {
                 at: e.at,
@@ -869,6 +932,67 @@ impl<'a> Network<'a> {
             .hosts
             .iter()
             .all(|h| h.queue.is_empty() && h.credits.iter().all(|&c| c == cap))
+    }
+
+    /// Packets still resident in the fabric: everything buffered in
+    /// switch VL buffers plus everything waiting in host source queues.
+    /// After a drain this is exactly the `in-flight` term of the
+    /// conservation invariant `generated = delivered + dropped +
+    /// in-flight`.
+    pub fn residual_packets(&self) -> usize {
+        self.switches
+            .iter()
+            .flat_map(|sw| sw.inputs.iter())
+            .flat_map(|ip| ip.vls.iter())
+            .map(|b| b.len())
+            .sum::<usize>()
+            + self.hosts.iter().map(|h| h.queue.len()).sum::<usize>()
+    }
+
+    /// Per-VL credit-conservation audit: after a full drain every
+    /// sender-side counter on a *live* link and every host counter on a
+    /// live attachment must be back at capacity. Returns one
+    /// human-readable line per violation (empty means conserved); ports
+    /// still masked by an open fault window are skipped, since their
+    /// counters are only re-synchronized when the link retrains.
+    pub fn credit_audit(&self) -> Vec<String> {
+        let cap = self.config.vl_buffer_credits;
+        let mut out = Vec::new();
+        for (si, sw) in self.switches.iter().enumerate() {
+            for (p, op) in sw.outputs.iter().enumerate() {
+                if !sw.link_up[p] {
+                    continue;
+                }
+                let Some(cs) = op.credits.as_ref() else {
+                    continue;
+                };
+                for (v, &c) in cs.iter().enumerate() {
+                    if c != cap {
+                        out.push(format!(
+                            "switch {si} port {p} vl {v}: {}/{} credits",
+                            c.count(),
+                            cap.count()
+                        ));
+                    }
+                }
+            }
+        }
+        for (hi, h) in self.hosts.iter().enumerate() {
+            let (sw, port) = self.topo.host_attachment(HostId(hi as u16));
+            if !self.switches[sw.index()].link_up[port.index()] {
+                continue;
+            }
+            for (v, &c) in h.credits.iter().enumerate() {
+                if c != cap {
+                    out.push(format!(
+                        "host {hi} vl {v}: {}/{} credits",
+                        c.count(),
+                        cap.count()
+                    ));
+                }
+            }
+        }
+        out
     }
 
     /// Per-(switch, output port) link utilization: cumulative
@@ -1156,11 +1280,72 @@ impl<'a> Network<'a> {
         }
     }
 
+    /// Raise the fault-mask depth of one port. Returns `true` when the
+    /// port transitioned from live to masked.
+    fn mask_port(&mut self, s: SwitchId, p: PortIndex, by_switch: bool) -> bool {
+        let st = &mut self.switches[s.index()];
+        st.down_depth[p.index()] += 1;
+        if by_switch {
+            st.switch_down_depth[p.index()] += 1;
+        }
+        let transitioned = st.down_depth[p.index()] == 1;
+        if transitioned {
+            st.link_up[p.index()] = false;
+        }
+        transitioned
+    }
+
+    /// Lower the fault-mask depth of one port. Returns `true` when the
+    /// port transitioned from masked back to live (overlapping faults
+    /// keep it masked until the last one clears).
+    fn unmask_port(&mut self, s: SwitchId, p: PortIndex, by_switch: bool) -> bool {
+        let st = &mut self.switches[s.index()];
+        let was = st.down_depth[p.index()];
+        st.down_depth[p.index()] = was.saturating_sub(1);
+        if by_switch {
+            st.switch_down_depth[p.index()] = st.switch_down_depth[p.index()].saturating_sub(1);
+        }
+        let live = was == 1;
+        if live {
+            st.link_up[p.index()] = true;
+        }
+        live
+    }
+
+    /// Re-synchronize the `s → peer` sender-side credit counters from the
+    /// receiver's actual free space (link retraining resets flow
+    /// control); space held by residencies still draining comes back
+    /// through their normal CreditReturns.
+    fn resync_link_credits(
+        &mut self,
+        now: SimTime,
+        s: SwitchId,
+        p: PortIndex,
+        peer: SwitchId,
+        pp: PortIndex,
+    ) {
+        let free: InlineVec<Credits, 16> = self.switches[peer.index()].inputs[pp.index()]
+            .vls
+            .iter()
+            .map(|b| b.free())
+            .collect();
+        if let Some(cs) = self.switches[s.index()].outputs[p.index()].credits.as_mut() {
+            for (c, f) in cs.iter_mut().zip(free.iter()) {
+                *c = *f;
+            }
+        }
+        self.schedule_arbitrate(now, s);
+    }
+
     /// Apply one fault-schedule entry. Downing a link masks both port
-    /// directions, upping it restores them and re-synchronizes the
-    /// sender-side credit counters from the receiver buffers (link
-    /// retraining resets flow control). Redundant events (downing a dead
-    /// link, upping a live one) are ignored.
+    /// directions; downing a switch atomically masks every wired port of
+    /// the switch in both directions (in-flight packets toward it are
+    /// lost, its own buffered packets are stranded until it returns — a
+    /// power-cycled switch that kept its buffer RAM, chosen so pending
+    /// buffer residencies stay valid). The matching up event restores the
+    /// ports and re-synchronizes sender-side credit counters from the
+    /// receiver buffers. Redundant events (downing a dead link, upping a
+    /// live one) are ignored.
     fn on_fault(&mut self, now: SimTime, idx: usize) {
         let f = self.faults[idx];
         match f.kind {
@@ -1168,8 +1353,8 @@ impl<'a> Network<'a> {
                 if !self.switches[f.a.index()].link_up[f.pa.index()] {
                     return;
                 }
-                self.switches[f.a.index()].link_up[f.pa.index()] = false;
-                self.switches[f.b.index()].link_up[f.pb.index()] = false;
+                self.mask_port(f.a, f.pa, false);
+                self.mask_port(f.b, f.pb, false);
                 self.active_faults += 1;
                 self.stats.on_fault(now);
                 if let Some(r) = self.recorder.as_deref_mut() {
@@ -1181,36 +1366,95 @@ impl<'a> Network<'a> {
                 if self.switches[f.a.index()].link_up[f.pa.index()] {
                     return;
                 }
-                self.switches[f.a.index()].link_up[f.pa.index()] = true;
-                self.switches[f.b.index()].link_up[f.pb.index()] = true;
+                self.unmask_port(f.a, f.pa, false);
+                self.unmask_port(f.b, f.pb, false);
                 self.active_faults -= 1;
                 if let Some(r) = self.recorder.as_deref_mut() {
                     r.record(Some(f.a), now, FlightEvent::LinkUp { port: f.pa });
                     r.record(Some(f.b), now, FlightEvent::LinkUp { port: f.pb });
                 }
                 for (s, p, peer, pp) in [(f.a, f.pa, f.b, f.pb), (f.b, f.pb, f.a, f.pa)] {
-                    // Sender counters restart from the receiver's actual
-                    // free space; space held by residencies still
-                    // draining comes back through their normal
-                    // CreditReturns.
-                    let free: InlineVec<Credits, 16> = self.switches[peer.index()].inputs
-                        [pp.index()]
-                    .vls
-                    .iter()
-                    .map(|b| b.free())
-                    .collect();
-                    if let Some(cs) = self.switches[s.index()].outputs[p.index()].credits.as_mut() {
-                        for (c, f) in cs.iter_mut().zip(free.iter()) {
-                            *c = *f;
-                        }
-                    }
-                    self.schedule_arbitrate(now, s);
+                    self.resync_link_credits(now, s, p, peer, pp);
                 }
             }
+            FaultKind::SwitchDown => self.apply_switch_fault(now, f.a, true),
+            FaultKind::SwitchUp => self.apply_switch_fault(now, f.a, false),
         }
         if self.recovery == RecoveryPolicy::SmResweep {
             self.queue
                 .schedule(now.plus_ns(self.resweep_latency_ns), Event::ResweepDone);
+        }
+    }
+
+    /// Down or up a whole switch: every inter-switch link is masked or
+    /// unmasked in both directions, every host-facing port on the switch
+    /// side. At switch-up, each link whose two sides both came back live
+    /// gets its sender credits re-synchronized; attached hosts get their
+    /// credit counters rebuilt from the receiver's free space — credits
+    /// they spent on packets that died at the masked port never return,
+    /// and without the resync they would be leaked forever.
+    fn apply_switch_fault(&mut self, now: SimTime, s: SwitchId, down: bool) {
+        if self.dead_switches[s.index()] == down {
+            return; // redundant (already in the requested state)
+        }
+        self.dead_switches[s.index()] = down;
+        if down {
+            self.active_faults += 1;
+            self.stats.on_fault(now);
+        } else {
+            self.active_faults -= 1;
+        }
+        if let Some(r) = self.recorder.as_deref_mut() {
+            let ev = if down {
+                FlightEvent::SwitchDown { sw: s }
+            } else {
+                FlightEvent::SwitchUp { sw: s }
+            };
+            r.record(Some(s), now, ev);
+        }
+        let neighbors: InlineVec<(PortIndex, SwitchId, PortIndex), MAX_PORTS> =
+            self.topo.switch_neighbors(s).collect();
+        for &(p, peer, pp) in neighbors.iter() {
+            if down {
+                self.mask_port(s, p, true);
+                if self.mask_port(peer, pp, true) {
+                    if let Some(r) = self.recorder.as_deref_mut() {
+                        r.record(Some(peer), now, FlightEvent::LinkDown { port: pp });
+                    }
+                }
+            } else {
+                let live_s = self.unmask_port(s, p, true);
+                let live_peer = self.unmask_port(peer, pp, true);
+                if live_peer {
+                    if let Some(r) = self.recorder.as_deref_mut() {
+                        r.record(Some(peer), now, FlightEvent::LinkUp { port: pp });
+                    }
+                }
+                if live_s && live_peer {
+                    self.resync_link_credits(now, s, p, peer, pp);
+                    self.resync_link_credits(now, peer, pp, s, p);
+                }
+            }
+        }
+        let attached: InlineVec<(PortIndex, HostId), MAX_PORTS> =
+            self.topo.attached_hosts(s).collect();
+        for &(p, h) in attached.iter() {
+            if down {
+                self.mask_port(s, p, true);
+            } else if self.unmask_port(s, p, true) {
+                let free: InlineVec<Credits, 16> = self.switches[s.index()].inputs[p.index()]
+                    .vls
+                    .iter()
+                    .map(|b| b.free())
+                    .collect();
+                for (c, f) in self.hosts[h.index()].credits.iter_mut().zip(free.iter()) {
+                    *c = *f;
+                }
+                self.try_inject(now, h);
+            }
+        }
+        if !down {
+            self.schedule_arbitrate(now, s);
         }
     }
 
@@ -1235,10 +1479,46 @@ impl<'a> Network<'a> {
                 }
             }
         }
+        // Every freshly installed table set — degraded recovery tables or
+        // the reinstated primaries — is certified deadlock-free before
+        // traffic resumes on it.
+        self.certify_escape(false);
         self.reroute_buffered();
         for s in 0..self.switches.len() {
             self.schedule_arbitrate(now, SwitchId(s as u16));
         }
+    }
+
+    /// Certify the currently live tables' escape paths acyclic with
+    /// [`check_escape_routes`] (the up\*/down\* deadlock-freedom
+    /// invariant), feeding the verdict into the run statistics. With
+    /// `alternate` set the APM alternate path set is walked instead of
+    /// the primary one. Purely observational: no RNG, no control flow —
+    /// certified runs stay bit-identical across queue backends.
+    fn certify_escape(&mut self, alternate: bool) {
+        let ok = {
+            let routing = self.recovery_routing.as_ref().unwrap_or(self.routing);
+            check_escape_routes(self.topo, |s, h| {
+                let dlid = if alternate {
+                    routing.apm_dlid(h, false).ok()?
+                } else {
+                    routing.dlid(h, false).ok()?
+                };
+                routing.route_shared(s, dlid).ok().map(|r| r.escape)
+            })
+            .is_ok()
+        };
+        self.stats.on_escape_certification(ok);
+    }
+
+    /// Test hook: run an escape certification against an arbitrary
+    /// next-hop function through the production stats path, so the
+    /// failure-counting plumbing can be exercised with a deliberately
+    /// cyclic table.
+    #[doc(hidden)]
+    pub fn debug_certify_with(&mut self, next_hop: impl Fn(SwitchId, HostId) -> Option<PortIndex>) {
+        let ok = check_escape_routes(self.topo, next_hop).is_ok();
+        self.stats.on_escape_certification(ok);
     }
 
     /// Rebuild routing on the degraded topology, in *physical* id order
@@ -1295,6 +1575,13 @@ impl<'a> Network<'a> {
         // alternate path set, steering them off the primary tree without
         // waiting for the SM.
         let migrate = self.recovery == RecoveryPolicy::ApmMigrate && self.active_faults > 0;
+        if migrate && !self.apm_certified {
+            // First migration onto the alternate path set: certify its
+            // escape chains acyclic before any packet addresses them
+            // (once per run — the APM tables never change).
+            self.apm_certified = true;
+            self.certify_escape(true);
+        }
         let routing = self.recovery_routing.as_ref().unwrap_or(self.routing);
         let h = &mut self.hosts[host.index()];
         let gp = h.gen.as_mut().expect("synthetic mode").generate();
@@ -1475,6 +1762,20 @@ impl<'a> Network<'a> {
             .schedule(now.plus_ns(ser), Event::TryInject { host });
     }
 
+    /// Account one in-transit loss at `sw`: stats (per cause), journey
+    /// trace, flight-recorder event and (when configured) the drop
+    /// trigger.
+    fn drop_in_transit(&mut self, now: SimTime, sw: SwitchId, id: PacketId, cause: DropCause) {
+        self.stats.on_transit_drop(now, cause);
+        self.trace(id, now, TraceStep::Dropped { sw, cause });
+        if let Some(r) = self.recorder.as_deref_mut() {
+            r.record(Some(sw), now, FlightEvent::Dropped { packet: id, cause });
+            if r.wants_drop_trigger() {
+                r.trigger(now, TriggerCause::Drop, Some(sw), Some(id));
+            }
+        }
+    }
+
     fn on_header_arrive(
         &mut self,
         now: SimTime,
@@ -1484,32 +1785,35 @@ impl<'a> Network<'a> {
         packet: Packet,
     ) {
         if !self.switches[sw.index()].link_up[port.index()] {
-            // The link died while the packet was on the wire: with no
-            // receiver it is lost — virtual cut-through has no
-            // retransmission below the transport layer. The sender's
-            // stale credit counter is re-synchronized at link-up.
-            self.stats.on_transit_drop(now);
-            self.trace(
-                packet.id,
-                now,
-                TraceStep::Dropped {
-                    sw,
-                    cause: DropCause::LinkDown,
+            // The link (or the whole receiving switch) died while the
+            // packet was on the wire: with no receiver it is lost —
+            // virtual cut-through has no retransmission below the
+            // transport layer. The sender's stale credit counter is
+            // re-synchronized at link-up.
+            let cause = if self.switches[sw.index()].switch_down_depth[port.index()] > 0 {
+                DropCause::SwitchDown
+            } else {
+                DropCause::LinkDown
+            };
+            self.drop_in_transit(now, sw, packet.id, cause);
+            return;
+        }
+        if self.corrupt_prob > 0.0 && self.corrupt_rng.chance(self.corrupt_prob) {
+            // CRC failure at the receiver. The link is healthy, so the
+            // space the packet would have occupied must still be
+            // advertised back to the sender — dropping without the
+            // return would leak credits from the upstream counter.
+            self.drop_in_transit(now, sw, packet.id, DropCause::Corrupted);
+            let upstream = self.topo.endpoint(sw, port).expect("input port is wired");
+            self.queue.schedule(
+                now.plus_ns(self.config.phys.propagation_ns),
+                Event::CreditReturn {
+                    target: upstream.node,
+                    port: upstream.port,
+                    vl,
+                    credits: packet.credits(),
                 },
             );
-            if let Some(r) = self.recorder.as_deref_mut() {
-                r.record(
-                    Some(sw),
-                    now,
-                    FlightEvent::Dropped {
-                        packet: packet.id,
-                        cause: DropCause::LinkDown,
-                    },
-                );
-                if r.wants_drop_trigger() {
-                    r.trigger(now, TriggerCause::Drop, Some(sw), Some(packet.id));
-                }
-            }
             return;
         }
         let id = packet.id;
@@ -1641,7 +1945,13 @@ impl<'a> Network<'a> {
                 self.schedule_arbitrate(now, s);
             }
             NodeRef::Host(h) => {
-                self.hosts[h.index()].credits[vl.index()] += credits;
+                // Clamp at capacity for the same reason as the switch
+                // path: a switch-up resync rebuilds the host counter from
+                // free space, and a return already on the wire would
+                // otherwise overshoot. A no-op in fault-free runs.
+                let cap = self.config.vl_buffer_credits;
+                let c = &mut self.hosts[h.index()].credits[vl.index()];
+                *c = (*c + credits).min(cap);
                 self.try_inject(now, h);
             }
         }

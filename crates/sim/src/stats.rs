@@ -12,7 +12,9 @@
 //! window (after warm-up) and delivered before the horizon; accepted
 //! traffic counts all bytes delivered inside the window.
 
-use iba_core::{HostId, Json, Lid, Packet, Pow2Histogram, RoutingMode, ServiceLevel, SimTime};
+use iba_core::{
+    DropCause, HostId, Json, Lid, Packet, Pow2Histogram, RoutingMode, ServiceLevel, SimTime,
+};
 use serde::{Deserialize, Serialize};
 use std::time::Duration;
 
@@ -51,7 +53,11 @@ pub struct StatsCollector {
     last_det_seq: OrderTracker,
     /// Number of deterministic packets delivered out of order.
     pub order_violations: u64,
-    /// Link-down fault events applied to the fabric.
+    /// Number of deterministic packets delivered twice (the exact
+    /// duplicate-of-latest case; an older duplicate is indistinguishable
+    /// from an order violation and counts there).
+    pub duplicate_deliveries: u64,
+    /// Fault events (link or switch down) applied to the fabric.
     pub faults: u64,
     first_fault_at: Option<SimTime>,
     recovery_installed_at: Option<SimTime>,
@@ -59,11 +65,17 @@ pub struct StatsCollector {
     resweeps_failed: u64,
     transit_drops: u64,
     transit_drops_after_recovery: u64,
+    drops_link_down: u64,
+    drops_switch_down: u64,
+    drops_corrupted: u64,
+    escape_certifications: u64,
+    escape_cert_failures: u64,
     recovery_ns: Option<u64>,
 }
 
-/// Per-flow in-order tracker: the highest sequence number delivered by a
-/// deterministic packet of each `(src, DLID, SL)` flow. IBA orders
+/// Per-flow in-order tracker: one past the highest sequence number
+/// delivered by a deterministic packet of each `(src, DLID, SL)` flow
+/// ("delivered through"). IBA orders
 /// traffic per path and service level: the exact DLID names the path
 /// (both under the paper's scheme — where the low bit selects
 /// deterministic routing — and under source-selected multipath, where
@@ -74,8 +86,9 @@ pub struct StatsCollector {
 /// 16 service levels — so the tracker is a flat array indexed by
 /// `(src, dlid, sl)` rather than a hash map: the per-delivery update is
 /// one multiply-add and one store, with no hashing in the event loop.
-/// Sequence numbers start at 0 and `0` doubles as "nothing delivered
-/// yet", exactly like the old map's `or_insert(0)`.
+/// Storing `seq + 1` keeps `0` as an unambiguous "nothing delivered
+/// yet" — a re-delivery of sequence 0 is detectable as a duplicate
+/// instead of colliding with the empty sentinel.
 #[derive(Debug)]
 struct OrderTracker {
     /// `sources * lid_space * 16` entries, lazily grown if a flow outside
@@ -139,6 +152,7 @@ impl StatsCollector {
             source_drops: 0,
             last_det_seq: OrderTracker::new(num_hosts, lid_space),
             order_violations: 0,
+            duplicate_deliveries: 0,
             faults: 0,
             first_fault_at: None,
             recovery_installed_at: None,
@@ -146,6 +160,11 @@ impl StatsCollector {
             resweeps_failed: 0,
             transit_drops: 0,
             transit_drops_after_recovery: 0,
+            drops_link_down: 0,
+            drops_switch_down: 0,
+            drops_corrupted: 0,
+            escape_certifications: 0,
+            escape_cert_failures: 0,
             recovery_ns: None,
         }
     }
@@ -184,7 +203,7 @@ impl StatsCollector {
         self.escape_forwards += 1;
     }
 
-    /// A link-down fault took effect in the fabric.
+    /// A fault (link or switch down) took effect in the fabric.
     pub fn on_fault(&mut self, at: SimTime) {
         self.faults += 1;
         if self.first_fault_at.is_none() {
@@ -205,11 +224,30 @@ impl StatsCollector {
         self.resweeps_failed += 1;
     }
 
-    /// A packet was lost in transit on a failed link.
-    pub fn on_transit_drop(&mut self, at: SimTime) {
+    /// A packet was lost in transit (dead link, dead switch, or CRC
+    /// failure), attributed per cause so conservation totals stay
+    /// decomposable.
+    pub fn on_transit_drop(&mut self, at: SimTime, cause: DropCause) {
         self.transit_drops += 1;
+        match cause {
+            DropCause::LinkDown => self.drops_link_down += 1,
+            DropCause::SwitchDown => self.drops_switch_down += 1,
+            DropCause::Corrupted => self.drops_corrupted += 1,
+            // Source-queue drops go through `on_source_drop`; reaching
+            // here with that cause is a caller bug.
+            DropCause::SourceQueueFull => debug_assert!(false, "not an in-transit cause"),
+        }
         if self.recovery_installed_at.is_some_and(|t| at >= t) {
             self.transit_drops_after_recovery += 1;
+        }
+    }
+
+    /// An escape-route certification (`check_escape_routes` over freshly
+    /// installed or first-migrated tables) completed.
+    pub fn on_escape_certification(&mut self, ok: bool) {
+        self.escape_certifications += 1;
+        if !ok {
+            self.escape_cert_failures += 1;
         }
     }
 
@@ -240,10 +278,13 @@ impl StatsCollector {
         }
         if packet.mode() == RoutingMode::Deterministic {
             let last = self.last_det_seq.slot(packet.src, packet.dlid, packet.sl);
-            if packet.seq < *last {
+            let through = *last; // one past the highest delivered seq
+            if packet.seq + 1 == through {
+                self.duplicate_deliveries += 1;
+            } else if packet.seq + 1 < through {
                 self.order_violations += 1;
             } else {
-                *last = packet.seq;
+                *last = packet.seq + 1;
             }
         }
     }
@@ -280,11 +321,17 @@ impl StatsCollector {
             escape_forwards: self.escape_forwards,
             adaptive_forwards: self.adaptive_forwards,
             order_violations: self.order_violations,
+            duplicate_deliveries: self.duplicate_deliveries,
             max_host_queue: self.max_host_queue,
             source_drops: self.source_drops,
             faults_injected: self.faults,
             drops_in_transit: self.transit_drops,
             drops_after_recovery: self.transit_drops_after_recovery,
+            drops_link_down: self.drops_link_down,
+            drops_switch_down: self.drops_switch_down,
+            drops_corrupted: self.drops_corrupted,
+            escape_certifications: self.escape_certifications,
+            escape_cert_failures: self.escape_cert_failures,
             delivered_ratio: {
                 let entered = self.generated - self.source_drops;
                 if entered == 0 {
@@ -310,7 +357,11 @@ impl StatsCollector {
 /// Version stamp of the [`RunResult`] field set, carried in
 /// [`RunResult::schema_version`] and into every JSON artifact derived
 /// from it. Bump whenever a field is added, removed or re-interpreted.
-pub const RUN_RESULT_SCHEMA_VERSION: u32 = 1;
+///
+/// History: 1 → 2 added `duplicate_deliveries`, the per-cause transit
+/// drop counters (`drops_link_down` / `drops_switch_down` /
+/// `drops_corrupted`) and the escape-certification counters.
+pub const RUN_RESULT_SCHEMA_VERSION: u32 = 2;
 
 /// The outcome of one simulation run.
 ///
@@ -350,19 +401,38 @@ pub struct RunResult {
     pub adaptive_forwards: u64,
     /// Deterministic packets delivered out of order (must be 0).
     pub order_violations: u64,
+    /// Deterministic packets delivered twice (must be 0; the simulator
+    /// removes each buffer residency exactly once, so a nonzero value is
+    /// a simulator bug, not a modelled fabric behaviour).
+    pub duplicate_deliveries: u64,
     /// Largest source-queue length observed.
     pub max_host_queue: usize,
     /// Packets discarded at full source queues (0 in open-loop mode).
     pub source_drops: u64,
-    /// Link-down fault events applied (0 without a fault schedule).
+    /// Fault events (link or switch down) applied (0 without a fault
+    /// schedule).
     pub faults_injected: u64,
-    /// Packets lost in transit on a link that went down under them.
+    /// Packets lost in transit: on a link that went down under them, at
+    /// a dead switch, or to a CRC failure.
     pub drops_in_transit: u64,
     /// Of [`Self::drops_in_transit`], those lost at or after the first
     /// recovery-routing installation (must be 0 for a single-fault
     /// SM-resweep run: nothing is routed onto a dead link once the
     /// recovery tables are live).
     pub drops_after_recovery: u64,
+    /// Of [`Self::drops_in_transit`], those lost to a dead link.
+    pub drops_link_down: u64,
+    /// Of [`Self::drops_in_transit`], those lost at a dead switch.
+    pub drops_switch_down: u64,
+    /// Of [`Self::drops_in_transit`], those lost to packet corruption
+    /// (CRC failure at the receiver).
+    pub drops_corrupted: u64,
+    /// Escape-route acyclicity certifications run (`check_escape_routes`
+    /// after each re-sweep installation and at the first APM migration).
+    pub escape_certifications: u64,
+    /// Of [`Self::escape_certifications`], those that found a cyclic
+    /// escape dependency (must be 0).
+    pub escape_cert_failures: u64,
     /// Delivered packets over packets that entered the fabric
     /// (`delivered / (generated − source_drops)`; 1.0 for an empty run).
     /// Strictly below 1 even without faults — packets still in flight at
@@ -405,11 +475,17 @@ impl PartialEq for RunResult {
             && self.escape_forwards == other.escape_forwards
             && self.adaptive_forwards == other.adaptive_forwards
             && self.order_violations == other.order_violations
+            && self.duplicate_deliveries == other.duplicate_deliveries
             && self.max_host_queue == other.max_host_queue
             && self.source_drops == other.source_drops
             && self.faults_injected == other.faults_injected
             && self.drops_in_transit == other.drops_in_transit
             && self.drops_after_recovery == other.drops_after_recovery
+            && self.drops_link_down == other.drops_link_down
+            && self.drops_switch_down == other.drops_switch_down
+            && self.drops_corrupted == other.drops_corrupted
+            && self.escape_certifications == other.escape_certifications
+            && self.escape_cert_failures == other.escape_cert_failures
             && self.delivered_ratio == other.delivered_ratio
             && self.recovery_time_ns == other.recovery_time_ns
             && self.resweeps == other.resweeps
@@ -452,6 +528,10 @@ impl RunResult {
             ("escape_forwards", Json::from(self.escape_forwards)),
             ("adaptive_forwards", Json::from(self.adaptive_forwards)),
             ("order_violations", Json::from(self.order_violations)),
+            (
+                "duplicate_deliveries",
+                Json::from(self.duplicate_deliveries),
+            ),
             ("max_host_queue", Json::from(self.max_host_queue)),
             ("source_drops", Json::from(self.source_drops)),
             ("faults_injected", Json::from(self.faults_injected)),
@@ -459,6 +539,17 @@ impl RunResult {
             (
                 "drops_after_recovery",
                 Json::from(self.drops_after_recovery),
+            ),
+            ("drops_link_down", Json::from(self.drops_link_down)),
+            ("drops_switch_down", Json::from(self.drops_switch_down)),
+            ("drops_corrupted", Json::from(self.drops_corrupted)),
+            (
+                "escape_certifications",
+                Json::from(self.escape_certifications),
+            ),
+            (
+                "escape_cert_failures",
+                Json::from(self.escape_cert_failures),
             ),
             ("delivered_ratio", Json::from(self.delivered_ratio)),
             ("recovery_time_ns", Json::from(self.recovery_time_ns)),
@@ -609,7 +700,7 @@ mod tests {
         c.on_generated(SimTime::from_ns(150));
         // Fault at t=1100; a packet on the dead wire is lost.
         c.on_fault(SimTime::from_ns(1100));
-        c.on_transit_drop(SimTime::from_ns(1150));
+        c.on_transit_drop(SimTime::from_ns(1150), DropCause::LinkDown);
         // A delivery before the recovery tables are live does not close
         // the recovery window...
         c.on_delivered(&packet(1, true, 1000), SimTime::from_ns(1200));
@@ -621,12 +712,55 @@ mod tests {
         assert_eq!(r.faults_injected, 1);
         assert_eq!(r.drops_in_transit, 1);
         assert_eq!(r.drops_after_recovery, 0);
+        assert_eq!(r.drops_link_down, 1);
         assert_eq!(r.recovery_time_ns, Some(500));
         assert_eq!(r.resweeps, 1);
         assert!((r.delivered_ratio - 1.5).abs() < 1e-12); // 3 of 2 generated (toy numbers)
                                                           // Drops after installation are flagged separately.
-        c.on_transit_drop(SimTime::from_ns(1700));
-        assert_eq!(c.finish(4, 0, Duration::ZERO).drops_after_recovery, 1);
+        c.on_transit_drop(SimTime::from_ns(1700), DropCause::Corrupted);
+        let r2 = c.finish(4, 0, Duration::ZERO);
+        assert_eq!(r2.drops_after_recovery, 1);
+        assert_eq!(r2.drops_corrupted, 1);
+        assert_eq!(
+            r2.drops_in_transit,
+            r2.drops_link_down + r2.drops_switch_down + r2.drops_corrupted
+        );
+    }
+
+    #[test]
+    fn duplicate_deliveries_detected_including_seq_zero() {
+        let mut c = collector();
+        // Sequence 0 delivered twice: the old highest-seq sentinel could
+        // not see this; the delivered-through encoding can.
+        c.on_delivered(&packet(0, false, 1100), SimTime::from_ns(1200));
+        c.on_delivered(&packet(0, false, 1100), SimTime::from_ns(1300));
+        assert_eq!(c.duplicate_deliveries, 1);
+        assert_eq!(c.order_violations, 0);
+        // A duplicate of the current head counts as duplicate; an older
+        // re-delivery is indistinguishable from overtaking and counts as
+        // an order violation.
+        c.on_delivered(&packet(1, false, 1100), SimTime::from_ns(1400));
+        c.on_delivered(&packet(1, false, 1100), SimTime::from_ns(1500));
+        c.on_delivered(&packet(0, false, 1100), SimTime::from_ns(1600));
+        let r = c.finish(4, 0, Duration::ZERO);
+        assert_eq!(r.duplicate_deliveries, 2);
+        assert_eq!(r.order_violations, 1);
+        // Adaptive packets may be reordered freely and are not tracked.
+        let mut c2 = collector();
+        c2.on_delivered(&packet(0, true, 1100), SimTime::from_ns(1200));
+        c2.on_delivered(&packet(0, true, 1100), SimTime::from_ns(1300));
+        assert_eq!(c2.duplicate_deliveries, 0);
+    }
+
+    #[test]
+    fn escape_certifications_counted() {
+        let mut c = collector();
+        c.on_escape_certification(true);
+        c.on_escape_certification(false);
+        c.on_escape_certification(true);
+        let r = c.finish(4, 0, Duration::ZERO);
+        assert_eq!(r.escape_certifications, 3);
+        assert_eq!(r.escape_cert_failures, 1);
     }
 
     #[test]
@@ -645,7 +779,7 @@ mod tests {
         let r = c.finish(4, 10, Duration::ZERO);
         assert_eq!(r.schema_version, RUN_RESULT_SCHEMA_VERSION);
         let json = r.to_json().to_string_compact();
-        assert!(json.starts_with(r#"{"schema_version":1,"#));
+        assert!(json.starts_with(r#"{"schema_version":2,"#));
         assert!(json.contains(r#""delivered":1"#));
         assert!(json.contains(r#""events":10"#));
         // NaN-valued aggregates render as null, not as invalid JSON.

@@ -146,6 +146,12 @@ impl PacketTrace {
                     DropCause::LinkDown => {
                         format!("{at:>12}  DROPPED on the dead link into {sw}")
                     }
+                    DropCause::SwitchDown => {
+                        format!("{at:>12}  DROPPED at dead switch {sw}")
+                    }
+                    DropCause::Corrupted => {
+                        format!("{at:>12}  DROPPED at {sw}: CRC failure")
+                    }
                     DropCause::SourceQueueFull => {
                         format!("{at:>12}  DROPPED before {sw}: source queue full")
                     }

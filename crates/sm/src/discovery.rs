@@ -9,6 +9,7 @@
 
 use crate::mad::{DirectedRoute, NodeKind, PortState, Smp, SmpAttribute, SmpMethod, SmpResponse};
 use crate::managed::ManagedFabric;
+use crate::retry::{ReliableSender, SendOutcome};
 use iba_core::{IbaError, PortIndex, ServiceLevel, SwitchId};
 use iba_topology::{Topology, TopologyBuilder};
 use std::collections::HashMap;
@@ -235,6 +236,178 @@ impl Discoverer {
         out.smps_used = fabric.smps_sent - before;
         Ok(out)
     }
+
+    /// The loss-tolerant sweep: identical BFS, but every exchange rides
+    /// `sender`'s retransmit loop. Three degradations replace the plain
+    /// sweep's hard errors:
+    ///
+    /// * an unreachable switch (every retry timed out) is recorded in
+    ///   [`RobustDiscovery::unreachable`] and skipped — the sweep keeps
+    ///   going and reconstructs the reachable component;
+    /// * an unreachable port probe demotes that port to
+    ///   [`PortTarget::Down`] in the discovered view;
+    /// * a spent sweep budget stops the BFS where it stands and flags
+    ///   the result [`RobustDiscovery::partial`].
+    ///
+    /// Protocol violations — an agent that *answers* with the wrong
+    /// thing — still hard-error: those are bugs, not faults.
+    pub fn discover_robust(
+        &mut self,
+        fabric: &mut ManagedFabric,
+        sender: &mut ReliableSender,
+    ) -> Result<RobustDiscovery, IbaError> {
+        let before = fabric.smps_sent;
+        let mut out = DiscoveredFabric::default();
+        let mut unreachable: Vec<String> = Vec::new();
+        let mut partial = false;
+        let mut seen: HashMap<u64, usize> = HashMap::new();
+        let mut queue: VecDeque<DirectedRoute> = VecDeque::from([DirectedRoute::local()]);
+        'sweep: while let Some(route) = queue.pop_front() {
+            let smp = self.smp(SmpMethod::Get, SmpAttribute::NodeInfo, route.clone());
+            let (ports, guid) = match sender.send(fabric, &smp) {
+                SendOutcome::Delivered(SmpResponse::NodeInfo {
+                    kind: NodeKind::Switch { ports },
+                    guid,
+                }) => (ports, guid),
+                SendOutcome::Delivered(resp) => {
+                    return Err(IbaError::InvalidTopology(format!(
+                        "discovery route did not end at a switch: {resp:?}"
+                    )));
+                }
+                SendOutcome::Unreachable => {
+                    unreachable.push(format!(
+                        "switch at route {:?} never answered NodeInfo",
+                        route.hops
+                    ));
+                    continue;
+                }
+                SendOutcome::BudgetExhausted => {
+                    partial = true;
+                    break 'sweep;
+                }
+            };
+            if seen.contains_key(&guid) {
+                continue; // reached an already-visited switch by another path
+            }
+            seen.insert(guid, out.switches.len());
+            let mut port_targets = vec![PortTarget::Down; ports as usize];
+            for p in 0..ports {
+                let port = PortIndex(p);
+                let smp = self.smp(
+                    SmpMethod::Get,
+                    SmpAttribute::PortInfo { port },
+                    route.clone(),
+                );
+                let state = match sender.send(fabric, &smp) {
+                    SendOutcome::Delivered(SmpResponse::PortInfo { state }) => state,
+                    SendOutcome::Delivered(resp) => {
+                        return Err(IbaError::InvalidTopology(format!(
+                            "PortInfo failed: {resp:?}"
+                        )));
+                    }
+                    SendOutcome::Unreachable => {
+                        unreachable.push(format!(
+                            "PortInfo for port {p} at route {:?} never answered",
+                            route.hops
+                        ));
+                        continue;
+                    }
+                    SendOutcome::BudgetExhausted => {
+                        partial = true;
+                        break 'sweep;
+                    }
+                };
+                if state == PortState::Down {
+                    continue;
+                }
+                // Identify the peer through its own NodeInfo.
+                let peer_route = route.then(port);
+                let smp = self.smp(SmpMethod::Get, SmpAttribute::NodeInfo, peer_route.clone());
+                match sender.send(fabric, &smp) {
+                    SendOutcome::Delivered(SmpResponse::NodeInfo {
+                        kind: NodeKind::Host,
+                        guid: hg,
+                    }) => {
+                        port_targets[p as usize] = PortTarget::Host(hg);
+                        out.hosts.push(hg);
+                    }
+                    SendOutcome::Delivered(SmpResponse::NodeInfo {
+                        kind: NodeKind::Switch { .. },
+                        guid: sg,
+                    }) => {
+                        port_targets[p as usize] = PortTarget::Switch(sg);
+                        if !seen.contains_key(&sg) {
+                            queue.push_back(peer_route);
+                        }
+                    }
+                    SendOutcome::Delivered(other) => {
+                        return Err(IbaError::InvalidTopology(format!(
+                            "peer NodeInfo failed: {other:?}"
+                        )));
+                    }
+                    SendOutcome::Unreachable => {
+                        // A trained port whose peer never answers: the
+                        // link is partitioned as far as VL15 can tell.
+                        // Leave the port Down in the discovered view so
+                        // routing never crosses it.
+                        unreachable.push(format!(
+                            "peer behind port {p} at route {:?} never answered",
+                            route.hops
+                        ));
+                    }
+                    SendOutcome::BudgetExhausted => {
+                        partial = true;
+                        break 'sweep;
+                    }
+                }
+            }
+            out.switches.push(DiscoveredSwitch {
+                guid,
+                route,
+                ports: port_targets,
+            });
+        }
+        // Demote half-seen links: an entry that points at a switch the
+        // sweep never (fully) visited, or whose far side did not record
+        // the link back, must read `Down` — routing may not cross a
+        // link only one end vouches for.
+        let mut demote: Vec<(usize, usize)> = Vec::new();
+        for (i, sw) in out.switches.iter().enumerate() {
+            for (p, target) in sw.ports.iter().enumerate() {
+                if let PortTarget::Switch(g) = target {
+                    let symmetric = seen
+                        .get(g)
+                        .filter(|&&j| j < out.switches.len())
+                        .is_some_and(|&j| {
+                            out.switches[j].ports.contains(&PortTarget::Switch(sw.guid))
+                        });
+                    if !symmetric {
+                        demote.push((i, p));
+                    }
+                }
+            }
+        }
+        for (i, p) in demote {
+            out.switches[i].ports[p] = PortTarget::Down;
+        }
+        out.smps_used = fabric.smps_sent - before;
+        Ok(RobustDiscovery {
+            fabric: out,
+            unreachable,
+            partial,
+        })
+    }
+}
+
+/// What a loss-tolerant sweep produced.
+#[derive(Clone, Debug)]
+pub struct RobustDiscovery {
+    /// The reachable component, in BFS order.
+    pub fabric: DiscoveredFabric,
+    /// Partition report: destinations that exhausted every retry.
+    pub unreachable: Vec<String>,
+    /// `true` when the sweep budget ran out before the BFS finished.
+    pub partial: bool,
 }
 
 impl Default for Discoverer {

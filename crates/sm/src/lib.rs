@@ -20,6 +20,9 @@
 //! * [`program`] — LID assignment and forwarding-table upload in the
 //!   spec's 64-entry linear-forwarding-table blocks, from an
 //!   [`iba_routing::FaRouting`] path computation;
+//! * [`retry`] — reliable SMP delivery over the spec's best-effort
+//!   VL15: bounded retransmit with exponential backoff, per-sweep retry
+//!   budgets, and partition reporting when every retry is exhausted;
 //! * [`apm`] — the §4.1 coexistence scheme: the LMC address range is
 //!   partitioned by a high bit into *adaptive routing options* and
 //!   *Automatic Path Migration* alternate paths, so both mechanisms use
@@ -37,11 +40,13 @@ pub mod discovery;
 pub mod mad;
 pub mod managed;
 pub mod program;
+pub mod retry;
 pub mod sm;
 
 pub use apm::ApmPlan;
-pub use discovery::{DiscoveredFabric, Discoverer};
+pub use discovery::{DiscoveredFabric, Discoverer, RobustDiscovery};
 pub use mad::{DirectedRoute, Smp, SmpAttribute, SmpMethod, SmpResponse};
 pub use managed::{ManagedFabric, ManagedSwitch};
-pub use program::{ProgramReport, Programmer};
-pub use sm::SubnetManager;
+pub use program::{ProgramReport, Programmer, RobustProgram};
+pub use retry::{ReliableSender, RetryPolicy, RetryStats, SendOutcome};
+pub use sm::{RobustBringUp, SubnetManager, SweepReport};

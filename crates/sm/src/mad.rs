@@ -151,6 +151,10 @@ pub enum SmpResponse {
     BadRoute,
     /// Attribute/method combination not supported.
     Unsupported,
+    /// No response arrived: the SMP (or its reply) was lost in transit.
+    /// VL15 is unacknowledged and unbuffered in the spec, so loss is
+    /// silent — the SM only ever observes it as a response timeout.
+    Timeout,
 }
 
 #[cfg(test)]

@@ -10,6 +10,8 @@
 
 use crate::mad::{DirectedRoute, NodeKind, PortState, Smp, SmpAttribute, SmpMethod, SmpResponse};
 use iba_core::{Lid, NodeRef, ServiceLevel as Sl, SwitchId};
+use iba_engine::rng::StreamKind;
+use iba_engine::StreamRng;
 use iba_routing::{InterleavedForwardingTable, SlToVlTable};
 use iba_topology::Topology;
 
@@ -44,6 +46,15 @@ pub struct ManagedFabric<'a> {
     /// cross a dead link) and `PortInfo` (reports `Down`, so a re-sweep
     /// discovers the degraded fabric) consult it.
     down: Vec<Vec<bool>>,
+    /// Per-switch, per-port *silent* failure overlay: the link reports
+    /// trained (`PortInfo` says `Up`) but eats every SMP that tries to
+    /// cross it — a misbehaving link the SM can only detect by timeout.
+    silent: Vec<Vec<bool>>,
+    /// Probability that any one SMP exchange is lost (request or reply;
+    /// the SM cannot tell which). `0.0` disables the draw entirely.
+    smp_loss: f64,
+    /// RNG for the loss draws; `None` until armed.
+    smp_rng: Option<StreamRng>,
     /// Total SMPs transported.
     pub smps_sent: u64,
 }
@@ -84,7 +95,7 @@ impl<'a> ManagedFabric<'a> {
                 })
             })
             .collect::<Result<Vec<_>, _>>()?;
-        let down = topo
+        let down: Vec<Vec<bool>> = topo
             .switch_ids()
             .map(|_| vec![false; topo.ports_per_switch() as usize])
             .collect();
@@ -92,9 +103,29 @@ impl<'a> ManagedFabric<'a> {
             topo,
             sm_switch: topo.host_switch(iba_core::HostId(0)),
             switches,
+            silent: down.clone(),
             down,
+            smp_loss: 0.0,
+            smp_rng: None,
             smps_sent: 0,
         })
+    }
+
+    /// Arm random VL15 loss: every subsequent [`Self::send`] is dropped
+    /// with probability `loss` (reported as [`SmpResponse::Timeout`]).
+    /// The draw stream is derived from `seed`, so a sweep over a lossy
+    /// fabric is reproducible. `loss = 0.0` disarms the hook and
+    /// consumes no draws.
+    pub fn set_smp_faults(&mut self, loss: f64, seed: u64) -> Result<(), iba_core::IbaError> {
+        if !(0.0..=1.0).contains(&loss) {
+            return Err(iba_core::IbaError::InvalidConfig(format!(
+                "SMP loss probability {loss} outside [0, 1]"
+            )));
+        }
+        self.smp_loss = loss;
+        self.smp_rng = (loss > 0.0)
+            .then(|| StreamRng::from_seed(seed).derive(StreamKind::Custom(0x5713_7F00)));
+        Ok(())
     }
 
     /// Fail the physical link between switches `a` and `b`: SMPs can no
@@ -114,6 +145,30 @@ impl<'a> ManagedFabric<'a> {
         let (pa, pb) = self.link_ports(a, b)?;
         self.down[a.index()][pa.index()] = false;
         self.down[b.index()][pb.index()] = false;
+        Ok(())
+    }
+
+    /// Fail the link between `a` and `b` *silently*: both ends still
+    /// report [`PortState::Up`], but no SMP crosses. This is the nasty
+    /// failure mode — the SM sees a trained link whose peer never
+    /// answers, and can only conclude partition after its retries are
+    /// exhausted.
+    pub fn fail_link_silent(&mut self, a: SwitchId, b: SwitchId) -> Result<(), iba_core::IbaError> {
+        let (pa, pb) = self.link_ports(a, b)?;
+        self.silent[a.index()][pa.index()] = true;
+        self.silent[b.index()][pb.index()] = true;
+        Ok(())
+    }
+
+    /// Undo [`Self::fail_link_silent`] for the link between `a` and `b`.
+    pub fn restore_link_silent(
+        &mut self,
+        a: SwitchId,
+        b: SwitchId,
+    ) -> Result<(), iba_core::IbaError> {
+        let (pa, pb) = self.link_ports(a, b)?;
+        self.silent[a.index()][pa.index()] = false;
+        self.silent[b.index()][pb.index()] = false;
         Ok(())
     }
 
@@ -147,21 +202,26 @@ impl<'a> ManagedFabric<'a> {
     }
 
     /// Walk a directed route from the SM switch. `Ok` holds the final
-    /// node; `Err(())` marks a route that fell off the fabric.
-    fn walk(&self, route: &DirectedRoute) -> Result<NodeRef, ()> {
+    /// node; the error distinguishes a route that fell off the fabric
+    /// (answered `BadRoute`) from one that crossed a silently-failed
+    /// link (answered by nothing at all — a `Timeout`).
+    fn walk(&self, route: &DirectedRoute) -> Result<NodeRef, SmpResponse> {
         let mut cur = NodeRef::Switch(self.sm_switch);
         for &port in &route.hops {
             let NodeRef::Switch(sw) = cur else {
-                return Err(()); // tried to hop out of a host
+                return Err(SmpResponse::BadRoute); // tried to hop out of a host
             };
             if port.index() >= self.topo.ports_per_switch() as usize {
-                return Err(());
+                return Err(SmpResponse::BadRoute);
             }
             if self.down[sw.index()][port.index()] {
-                return Err(()); // failed link: nothing crosses, SMPs included
+                return Err(SmpResponse::BadRoute); // failed link: nothing crosses
+            }
+            if self.silent[sw.index()][port.index()] {
+                return Err(SmpResponse::Timeout); // trained link that eats SMPs
             }
             let Some(ep) = self.topo.endpoint(sw, port) else {
-                return Err(()); // down port
+                return Err(SmpResponse::BadRoute); // down port
             };
             cur = ep.node;
         }
@@ -171,8 +231,16 @@ impl<'a> ManagedFabric<'a> {
     /// Transport and process one SMP, returning the response.
     pub fn send(&mut self, smp: &Smp) -> SmpResponse {
         self.smps_sent += 1;
-        let Ok(target) = self.walk(&smp.route) else {
-            return SmpResponse::BadRoute;
+        if self.smp_loss > 0.0 {
+            if let Some(rng) = self.smp_rng.as_mut() {
+                if rng.chance(self.smp_loss) {
+                    return SmpResponse::Timeout; // lost on VL15, silently
+                }
+            }
+        }
+        let target = match self.walk(&smp.route) {
+            Ok(node) => node,
+            Err(resp) => return resp,
         };
         match target {
             NodeRef::Host(h) => match (&smp.method, &smp.attribute) {

@@ -11,6 +11,7 @@
 use crate::discovery::DiscoveredFabric;
 use crate::mad::{DirectedRoute, Smp, SmpAttribute, SmpMethod, SmpResponse};
 use crate::managed::{ManagedFabric, LFT_BLOCK};
+use crate::retry::{ReliableSender, SendOutcome};
 use iba_core::{IbaError, Lid, PortIndex, ServiceLevel, SwitchId, VirtualLane};
 use iba_routing::FaRouting;
 use serde::{Deserialize, Serialize};
@@ -146,6 +147,140 @@ impl Programmer {
             verified,
         })
     }
+
+    /// The loss-tolerant upload: every SMP rides `sender`'s retransmit
+    /// loop. A switch that stops answering mid-upload is skipped (its
+    /// remaining writes are abandoned and the skip recorded); a spent
+    /// sweep budget stops the pass and flags it partial. Agents that
+    /// *answer* but reject a write still hard-error — that is a bug,
+    /// not a fault.
+    pub fn program_robust(
+        &mut self,
+        fabric: &mut ManagedFabric,
+        discovered: &DiscoveredFabric,
+        routing: &FaRouting,
+        sender: &mut ReliableSender,
+    ) -> Result<RobustProgram, IbaError> {
+        let before = fabric.smps_sent;
+        let mut blocks_written = 0u64;
+        let mut sl2vl_rows_written = 0u64;
+        let mut verified = true;
+        let mut skipped: Vec<String> = Vec::new();
+        let mut partial = false;
+        'switches: for (i, sw) in discovered.switches.iter().enumerate() {
+            // One reusable closure-shaped helper would hide the control
+            // flow; the explicit match per site keeps the three exits
+            // (ok / skip switch / stop sweep) visible.
+            macro_rules! deliver {
+                ($smp:expr, $what:expr) => {
+                    match sender.send(fabric, &$smp) {
+                        SendOutcome::Delivered(resp) => resp,
+                        SendOutcome::Unreachable => {
+                            skipped.push(format!("switch {i} stopped answering during {}", $what));
+                            verified = false;
+                            continue 'switches;
+                        }
+                        SendOutcome::BudgetExhausted => {
+                            partial = true;
+                            break 'switches;
+                        }
+                    }
+                };
+            }
+            let view = routing.table(SwitchId(i as u16)).linear_view();
+            for (block, chunk) in view.chunks(LFT_BLOCK).enumerate() {
+                if chunk.iter().all(|e| e.is_none()) {
+                    continue; // nothing programmed in this block
+                }
+                let entries: Vec<Option<PortIndex>> = chunk.to_vec();
+                let smp = self.smp(
+                    SmpMethod::Set,
+                    SmpAttribute::LinearForwardingTable {
+                        block: block as u32,
+                        entries: entries.clone(),
+                    },
+                    sw.route.clone(),
+                );
+                let resp = deliver!(smp, format!("LFT block {block}"));
+                if resp != SmpResponse::Ok {
+                    return Err(IbaError::InvalidConfig(format!(
+                        "LFT write rejected at switch {i} block {block}: {resp:?}"
+                    )));
+                }
+                blocks_written += 1;
+                // Read back and compare.
+                let smp = self.smp(
+                    SmpMethod::Get,
+                    SmpAttribute::LinearForwardingTable {
+                        block: block as u32,
+                        entries: vec![],
+                    },
+                    sw.route.clone(),
+                );
+                let resp = deliver!(smp, format!("LFT read-back of block {block}"));
+                let SmpResponse::LftBlock { entries: got } = resp else {
+                    return Err(IbaError::InvalidConfig("LFT read-back failed".into()));
+                };
+                for (k, want) in entries.iter().enumerate() {
+                    if want.is_some() && got.get(k) != Some(want) {
+                        verified = false;
+                    }
+                }
+            }
+            let ports = sw.ports.len() as u8;
+            let identity: Vec<VirtualLane> = (0..16).map(|_| VirtualLane(0)).collect();
+            for input in 0..ports {
+                for output in 0..ports {
+                    let smp = self.smp(
+                        SmpMethod::Set,
+                        SmpAttribute::SlToVlMappingTable {
+                            input: PortIndex(input),
+                            output: PortIndex(output),
+                            vls: identity.clone(),
+                        },
+                        sw.route.clone(),
+                    );
+                    let resp = deliver!(smp, format!("SLtoVL row {input}->{output}"));
+                    if resp != SmpResponse::Ok {
+                        return Err(IbaError::InvalidConfig("SLtoVL write rejected".into()));
+                    }
+                    sl2vl_rows_written += 1;
+                }
+            }
+            let mgmt_lid = Lid(routing.lid_map().table_len() as u16 + i as u16);
+            let smp = self.smp(
+                SmpMethod::Set,
+                SmpAttribute::SwitchInfo { lid: mgmt_lid },
+                sw.route.clone(),
+            );
+            let resp = deliver!(smp, "SwitchInfo".to_string());
+            if resp != SmpResponse::Ok {
+                return Err(IbaError::InvalidConfig("SwitchInfo set failed".into()));
+            }
+        }
+        Ok(RobustProgram {
+            report: ProgramReport {
+                switches: discovered.switches.len() - skipped.len(),
+                blocks_written,
+                sl2vl_rows_written,
+                smps_used: fabric.smps_sent - before,
+                verified,
+            },
+            skipped,
+            partial,
+        })
+    }
+}
+
+/// What a loss-tolerant programming pass produced.
+#[derive(Clone, Debug)]
+pub struct RobustProgram {
+    /// The usual statistics, over the switches actually programmed.
+    pub report: ProgramReport,
+    /// Switches abandoned mid-upload (partition report entries).
+    pub skipped: Vec<String>,
+    /// `true` when the sweep budget ran out before the pass finished.
+    pub partial: bool,
 }
 
 impl Default for Programmer {

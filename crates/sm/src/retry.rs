@@ -1,0 +1,282 @@
+//! Reliable SMP delivery: timeout, retransmit, exponential backoff.
+//!
+//! VL15 is unacknowledged and unbuffered — the spec makes subnet
+//! management packets *best effort* and puts the reliability burden on
+//! the SM itself. This module is that burden: [`ReliableSender`] wraps
+//! [`ManagedFabric::send`] with a bounded retransmit loop. A lost SMP
+//! (or a directed route that silently fell off the fabric — the SM
+//! cannot tell the difference, nothing answers either way) is retried
+//! up to [`RetryPolicy::max_attempts`] times, waiting an exponentially
+//! growing timeout between attempts. Two exhaustion levels exist:
+//!
+//! * **per-SMP**: all attempts used → the destination is declared
+//!   [`SendOutcome::Unreachable`] and surfaced as a partition entry
+//!   instead of being retried forever;
+//! * **per-sweep**: the cumulative retransmit budget ran out →
+//!   [`SendOutcome::BudgetExhausted`], and the sweep reports *partial*
+//!   convergence rather than silently wedging.
+
+use crate::mad::{Smp, SmpResponse};
+use crate::managed::ManagedFabric;
+use iba_core::{FlightEvent, IbaError};
+
+/// Cap on retransmit events kept for the flight recorder; past this the
+/// counters keep counting but the per-event log stops growing.
+pub const MAX_LOGGED_RETRANSMITS: usize = 256;
+
+/// Retry parameters of one management sweep.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total transmission attempts per SMP (first send included).
+    pub max_attempts: u32,
+    /// Response timeout before the first retransmit, in modeled ns.
+    pub base_timeout_ns: u64,
+    /// Timeout multiplier per further attempt (exponential backoff).
+    pub backoff: u32,
+    /// Cumulative retransmits allowed across the whole sweep; once
+    /// spent, the sweep stops and reports partial convergence.
+    pub sweep_budget: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 8,
+            base_timeout_ns: 4_096,
+            backoff: 2,
+            sweep_budget: 100_000,
+        }
+    }
+}
+
+/// Counters a retried sweep accumulates.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RetryStats {
+    /// SMPs re-sent after a timeout.
+    pub retransmits: u64,
+    /// Attempts that ended in a timeout (lost SMP or dead route).
+    pub timeouts: u64,
+    /// Total modeled time spent waiting out timeouts, in ns.
+    pub backoff_wait_ns: u64,
+    /// Whether the sweep's retransmit budget ran out.
+    pub budget_exhausted: bool,
+}
+
+/// What one reliable send concluded.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SendOutcome {
+    /// A response arrived (possibly `Unsupported` — delivery says
+    /// nothing about the agent liking the request).
+    Delivered(SmpResponse),
+    /// Every attempt timed out: the destination is partitioned from the
+    /// SM as far as VL15 can tell.
+    Unreachable,
+    /// The sweep-wide retransmit budget ran out mid-send.
+    BudgetExhausted,
+}
+
+/// The reliable transport: policy + counters + capped retransmit log.
+#[derive(Debug)]
+pub struct ReliableSender {
+    policy: RetryPolicy,
+    /// Counters (public so sweep reports can fold them in).
+    pub stats: RetryStats,
+    events: Vec<FlightEvent>,
+}
+
+impl ReliableSender {
+    /// Build a sender; rejects degenerate policies.
+    pub fn new(policy: RetryPolicy) -> Result<ReliableSender, IbaError> {
+        if policy.max_attempts == 0 {
+            return Err(IbaError::InvalidConfig(
+                "retry policy needs at least one attempt".into(),
+            ));
+        }
+        if policy.backoff == 0 {
+            return Err(IbaError::InvalidConfig(
+                "retry backoff multiplier must be at least 1".into(),
+            ));
+        }
+        Ok(ReliableSender {
+            policy,
+            stats: RetryStats::default(),
+            events: Vec::new(),
+        })
+    }
+
+    /// The policy this sender runs.
+    pub fn policy(&self) -> RetryPolicy {
+        self.policy
+    }
+
+    /// Retransmit events logged so far (capped at
+    /// [`MAX_LOGGED_RETRANSMITS`]).
+    pub fn events(&self) -> &[FlightEvent] {
+        &self.events
+    }
+
+    /// Consume the sender, keeping the event log.
+    pub fn into_events(self) -> Vec<FlightEvent> {
+        self.events
+    }
+
+    /// The timeout waited on attempt number `attempt` (1-based).
+    fn timeout_ns(&self, attempt: u32) -> u64 {
+        let factor = (self.policy.backoff as u64).saturating_pow(attempt.saturating_sub(1));
+        self.policy.base_timeout_ns.saturating_mul(factor)
+    }
+
+    /// Send `smp` reliably: retransmit on timeout with exponential
+    /// backoff until a response arrives, the per-SMP attempts run out,
+    /// or the sweep budget is spent. `BadRoute` walks are treated
+    /// exactly like timeouts — on the wire both look the same (no
+    /// response ever comes back), so the SM must not distinguish them.
+    pub fn send(&mut self, fabric: &mut ManagedFabric, smp: &Smp) -> SendOutcome {
+        for attempt in 1..=self.policy.max_attempts {
+            if attempt > 1 {
+                if self.stats.retransmits >= self.policy.sweep_budget {
+                    self.stats.budget_exhausted = true;
+                    return SendOutcome::BudgetExhausted;
+                }
+                self.stats.retransmits += 1;
+                if self.events.len() < MAX_LOGGED_RETRANSMITS {
+                    self.events.push(FlightEvent::SmpRetransmit {
+                        tid: smp.tid,
+                        attempt,
+                        hops: smp.route.len().min(u8::MAX as usize) as u8,
+                    });
+                }
+            }
+            match fabric.send(smp) {
+                SmpResponse::Timeout | SmpResponse::BadRoute => {
+                    self.stats.timeouts += 1;
+                    self.stats.backoff_wait_ns = self
+                        .stats
+                        .backoff_wait_ns
+                        .saturating_add(self.timeout_ns(attempt));
+                }
+                resp => return SendOutcome::Delivered(resp),
+            }
+        }
+        SendOutcome::Unreachable
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mad::{DirectedRoute, SmpAttribute, SmpMethod};
+    use iba_core::ServiceLevel;
+    use iba_topology::regular;
+
+    fn node_info(tid: u64) -> Smp {
+        Smp {
+            method: SmpMethod::Get,
+            attribute: SmpAttribute::NodeInfo,
+            route: DirectedRoute::local(),
+            tid,
+            sl: ServiceLevel(0),
+        }
+    }
+
+    #[test]
+    fn lossless_delivery_needs_no_retries() {
+        let topo = regular::ring(4, 1).unwrap();
+        let mut fab = ManagedFabric::new(&topo, 2).unwrap();
+        let mut tx = ReliableSender::new(RetryPolicy::default()).unwrap();
+        let out = tx.send(&mut fab, &node_info(1));
+        assert!(matches!(
+            out,
+            SendOutcome::Delivered(SmpResponse::NodeInfo { .. })
+        ));
+        assert_eq!(tx.stats, RetryStats::default());
+        assert!(tx.events().is_empty());
+    }
+
+    #[test]
+    fn total_loss_backs_off_exponentially_then_declares_unreachable() {
+        let topo = regular::ring(4, 1).unwrap();
+        let mut fab = ManagedFabric::new(&topo, 2).unwrap();
+        fab.set_smp_faults(1.0, 7).unwrap();
+        let mut tx = ReliableSender::new(RetryPolicy {
+            max_attempts: 4,
+            base_timeout_ns: 1_000,
+            backoff: 2,
+            sweep_budget: 1_000,
+        })
+        .unwrap();
+        let out = tx.send(&mut fab, &node_info(42));
+        assert_eq!(out, SendOutcome::Unreachable);
+        assert_eq!(tx.stats.timeouts, 4);
+        assert_eq!(tx.stats.retransmits, 3);
+        // 1000 + 2000 + 4000 + 8000: the wait doubles every attempt.
+        assert_eq!(tx.stats.backoff_wait_ns, 15_000);
+        let attempts: Vec<u32> = tx
+            .events()
+            .iter()
+            .map(|e| match e {
+                FlightEvent::SmpRetransmit { attempt, tid, .. } => {
+                    assert_eq!(*tid, 42);
+                    *attempt
+                }
+                other => panic!("unexpected event {other:?}"),
+            })
+            .collect();
+        assert_eq!(attempts, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn sweep_budget_cuts_the_retry_loop_short() {
+        let topo = regular::ring(4, 1).unwrap();
+        let mut fab = ManagedFabric::new(&topo, 2).unwrap();
+        fab.set_smp_faults(1.0, 3).unwrap();
+        let mut tx = ReliableSender::new(RetryPolicy {
+            max_attempts: 8,
+            base_timeout_ns: 100,
+            backoff: 2,
+            sweep_budget: 2,
+        })
+        .unwrap();
+        let out = tx.send(&mut fab, &node_info(1));
+        assert_eq!(out, SendOutcome::BudgetExhausted);
+        assert_eq!(tx.stats.retransmits, 2);
+        assert!(tx.stats.budget_exhausted);
+    }
+
+    #[test]
+    fn bad_routes_look_exactly_like_loss() {
+        // A route that falls off the fabric gets retried and declared
+        // unreachable — the SM cannot (and must not) tell a dead route
+        // from a lossy one.
+        let topo = regular::ring(4, 1).unwrap();
+        let mut fab = ManagedFabric::new(&topo, 2).unwrap();
+        let mut tx = ReliableSender::new(RetryPolicy {
+            max_attempts: 3,
+            base_timeout_ns: 10,
+            backoff: 3,
+            sweep_budget: 100,
+        })
+        .unwrap();
+        let smp = Smp {
+            route: DirectedRoute::local().then(iba_core::PortIndex(99)),
+            ..node_info(9)
+        };
+        assert_eq!(tx.send(&mut fab, &smp), SendOutcome::Unreachable);
+        assert_eq!(tx.stats.timeouts, 3);
+        assert_eq!(tx.stats.backoff_wait_ns, 10 + 30 + 90);
+    }
+
+    #[test]
+    fn degenerate_policies_are_rejected() {
+        assert!(ReliableSender::new(RetryPolicy {
+            max_attempts: 0,
+            ..RetryPolicy::default()
+        })
+        .is_err());
+        assert!(ReliableSender::new(RetryPolicy {
+            backoff: 0,
+            ..RetryPolicy::default()
+        })
+        .is_err());
+    }
+}

@@ -3,7 +3,8 @@
 use crate::discovery::{DiscoveredFabric, Discoverer};
 use crate::managed::ManagedFabric;
 use crate::program::{ProgramReport, Programmer};
-use iba_core::IbaError;
+use crate::retry::{ReliableSender, RetryPolicy};
+use iba_core::{FlightEvent, IbaError};
 use iba_routing::{FaRouting, RoutingConfig};
 use iba_topology::Topology;
 
@@ -49,6 +50,86 @@ impl SubnetManager {
             report,
         })
     }
+
+    /// The loss-tolerant pipeline: every SMP rides a retransmit loop
+    /// with exponential backoff, unreachable destinations become
+    /// partition-report entries, and a spent retry budget yields a
+    /// *partial* verdict instead of an error. Control-plane loss never
+    /// hard-errors; only protocol violations (an agent answering with
+    /// the wrong thing) and internal failures do.
+    pub fn initialize_robust(
+        &self,
+        fabric: &mut ManagedFabric,
+        policy: RetryPolicy,
+    ) -> Result<RobustBringUp, IbaError> {
+        let mut sender = ReliableSender::new(policy)?;
+        let disc = Discoverer::new().discover_robust(fabric, &mut sender)?;
+        let mut unreachable = disc.unreachable;
+        let mut partial = disc.partial;
+        let mut bringup = None;
+        if !partial && disc.fabric.switch_count() > 0 {
+            let discovered = disc.fabric;
+            let topology = discovered.to_topology()?;
+            let routing = FaRouting::build(&topology, self.routing_config)?;
+            let prog =
+                Programmer::new().program_robust(fabric, &discovered, &routing, &mut sender)?;
+            unreachable.extend(prog.skipped);
+            partial |= prog.partial;
+            if !partial {
+                bringup = Some(BringUp {
+                    discovered,
+                    topology,
+                    routing,
+                    report: prog.report,
+                });
+            }
+        }
+        let converged = !partial && bringup.is_some();
+        let stats = sender.stats;
+        Ok(RobustBringUp {
+            bringup,
+            report: SweepReport {
+                converged,
+                partial,
+                retransmits: stats.retransmits,
+                timeouts: stats.timeouts,
+                backoff_wait_ns: stats.backoff_wait_ns,
+                unreachable,
+                events: sender.into_events(),
+            },
+        })
+    }
+}
+
+/// How a loss-tolerant sweep went.
+#[derive(Clone, Debug)]
+pub struct SweepReport {
+    /// The sweep finished and programmed every switch it could reach.
+    /// Partitioned destinations may still be listed in `unreachable` —
+    /// convergence is over the reachable component.
+    pub converged: bool,
+    /// The retry budget ran out before the sweep finished.
+    pub partial: bool,
+    /// SMPs retransmitted across the whole sweep.
+    pub retransmits: u64,
+    /// Attempts that timed out.
+    pub timeouts: u64,
+    /// Modeled time spent waiting out timeouts, in ns.
+    pub backoff_wait_ns: u64,
+    /// Partition report: destinations that exhausted every retry.
+    pub unreachable: Vec<String>,
+    /// Capped retransmit log, as flight-recorder events.
+    pub events: Vec<FlightEvent>,
+}
+
+/// The result of a loss-tolerant initialization: the bring-up when one
+/// was achieved, and the sweep verdict either way.
+pub struct RobustBringUp {
+    /// `Some` when the reachable component was fully programmed;
+    /// `None` under a spent budget or an unreachable SM switch.
+    pub bringup: Option<BringUp>,
+    /// Retry counters, partition report and verdict.
+    pub report: SweepReport,
 }
 
 #[cfg(test)]
@@ -85,6 +166,157 @@ mod tests {
             fabric.smps_sent,
             up.discovered.smps_used + up.report.smps_used
         );
+    }
+
+    #[test]
+    fn robust_bringup_converges_under_heavy_smp_loss() {
+        // 20% of all SMPs vanish; with 12 attempts per SMP the sweep
+        // must still converge on the whole fabric with a bounded number
+        // of retransmits and a verified read-back.
+        let physical = IrregularConfig::paper(8, 3).generate().unwrap();
+        let mut fabric = ManagedFabric::new(&physical, 2).unwrap();
+        fabric.set_smp_faults(0.20, 11).unwrap();
+        let sm = SubnetManager::new(RoutingConfig::two_options());
+        let policy = RetryPolicy {
+            max_attempts: 12,
+            ..RetryPolicy::default()
+        };
+        let up = sm.initialize_robust(&mut fabric, policy).unwrap();
+        assert!(up.report.converged, "sweep failed: {:?}", up.report);
+        assert!(!up.report.partial);
+        assert!(
+            up.report.unreachable.is_empty(),
+            "{:?}",
+            up.report.unreachable
+        );
+        let bringup = up.bringup.expect("bring-up achieved");
+        assert_eq!(bringup.topology.num_switches(), 8);
+        assert_eq!(bringup.topology.num_hosts(), 32);
+        assert!(bringup.report.verified);
+        // Loss happened and was absorbed by bounded retries: roughly a
+        // fifth of sends time out, so retransmits sit well below the
+        // total SMP count.
+        assert!(up.report.retransmits > 0);
+        assert!(up.report.retransmits < fabric.smps_sent / 2);
+        assert!(up.report.backoff_wait_ns > 0);
+        assert!(!up.report.events.is_empty());
+    }
+
+    #[test]
+    fn robust_bringup_under_loss_is_deterministic() {
+        let physical = IrregularConfig::paper(8, 5).generate().unwrap();
+        let run = || {
+            let mut fabric = ManagedFabric::new(&physical, 2).unwrap();
+            fabric.set_smp_faults(0.15, 23).unwrap();
+            SubnetManager::new(RoutingConfig::two_options())
+                .initialize_robust(&mut fabric, RetryPolicy::default())
+                .unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.report.retransmits, b.report.retransmits);
+        assert_eq!(a.report.timeouts, b.report.timeouts);
+        assert_eq!(a.report.backoff_wait_ns, b.report.backoff_wait_ns);
+        assert_eq!(a.bringup.unwrap().report, b.bringup.unwrap().report);
+    }
+
+    #[test]
+    fn silent_partition_is_reported_not_retried_forever() {
+        // Silently fail every link of one switch: its neighbors still
+        // report the ports trained, so discovery probes them, exhausts
+        // its retries, files partition entries — and brings up the rest
+        // of the fabric.
+        let physical = IrregularConfig::paper(8, 4).generate().unwrap();
+        let mut fabric = ManagedFabric::new(&physical, 2).unwrap();
+        let sm_sw = fabric.sm_switch();
+        // A victim whose removal keeps the remaining switch graph
+        // connected (checked by BFS over the other switches).
+        let victim = physical
+            .switch_ids()
+            .filter(|&s| s != sm_sw)
+            .find(|&victim| {
+                let n = physical.num_switches();
+                let mut seen = vec![false; n];
+                let start = physical.switch_ids().find(|&s| s != victim).unwrap();
+                let mut stack = vec![start];
+                seen[start.index()] = true;
+                while let Some(s) = stack.pop() {
+                    for (_, peer, _) in physical.switch_neighbors(s) {
+                        if peer != victim && !seen[peer.index()] {
+                            seen[peer.index()] = true;
+                            stack.push(peer);
+                        }
+                    }
+                }
+                physical
+                    .switch_ids()
+                    .all(|s| s == victim || seen[s.index()])
+            })
+            .expect("some victim keeps the fabric connected");
+        let neighbors: Vec<_> = physical
+            .switch_neighbors(victim)
+            .map(|(_, peer, _)| peer)
+            .collect();
+        for peer in &neighbors {
+            fabric.fail_link_silent(victim, *peer).unwrap();
+        }
+        let sm = SubnetManager::new(RoutingConfig::two_options());
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            base_timeout_ns: 256,
+            ..RetryPolicy::default()
+        };
+        let up = sm.initialize_robust(&mut fabric, policy).unwrap();
+        assert!(up.report.converged, "{:?}", up.report);
+        assert!(
+            !up.report.unreachable.is_empty(),
+            "partition must be reported"
+        );
+        let bringup = up.bringup.expect("rest of the fabric brought up");
+        assert_eq!(bringup.topology.num_switches(), 7);
+        // The victim's hosts are behind the partition.
+        assert_eq!(bringup.topology.num_hosts(), 28);
+        assert!(bringup.report.verified);
+        // Bounded: every silent link was probed at most max_attempts
+        // times from the reachable side.
+        assert!(up.report.retransmits >= 2 * neighbors.len() as u64);
+    }
+
+    #[test]
+    fn spent_budget_reports_partial_convergence() {
+        let physical = IrregularConfig::paper(8, 6).generate().unwrap();
+        let mut fabric = ManagedFabric::new(&physical, 2).unwrap();
+        fabric.set_smp_faults(0.5, 9).unwrap();
+        let sm = SubnetManager::new(RoutingConfig::two_options());
+        let policy = RetryPolicy {
+            max_attempts: 8,
+            sweep_budget: 10,
+            ..RetryPolicy::default()
+        };
+        let up = sm.initialize_robust(&mut fabric, policy).unwrap();
+        assert!(
+            up.report.partial,
+            "a 10-retransmit budget cannot cover 50% loss"
+        );
+        assert!(!up.report.converged);
+        assert!(up.bringup.is_none());
+    }
+
+    #[test]
+    fn unreachable_sm_switch_yields_no_bringup_not_a_panic() {
+        let physical = IrregularConfig::paper(8, 2).generate().unwrap();
+        let mut fabric = ManagedFabric::new(&physical, 2).unwrap();
+        fabric.set_smp_faults(1.0, 1).unwrap();
+        let sm = SubnetManager::new(RoutingConfig::two_options());
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            sweep_budget: 1_000,
+            ..RetryPolicy::default()
+        };
+        let up = sm.initialize_robust(&mut fabric, policy).unwrap();
+        assert!(up.bringup.is_none());
+        assert!(!up.report.converged);
+        assert!(!up.report.unreachable.is_empty());
     }
 
     #[test]

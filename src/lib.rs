@@ -81,7 +81,10 @@ pub mod prelude {
         SelectionPolicy, SimConfig, SimConfigBuilder, StallCause, TelemetryOpts, TelemetryReport,
         TelemetrySample, TelemetrySink, TraceOpts, Trigger, TriggerCause, WatchdogOpts,
     };
-    pub use iba_sm::{ApmPlan, ManagedFabric, SubnetManager};
+    pub use iba_sm::{
+        ApmPlan, ManagedFabric, ReliableSender, RetryPolicy, RetryStats, RobustBringUp,
+        SendOutcome, SubnetManager, SweepReport,
+    };
     pub use iba_stats::{Curve, CurvePoint, MinMaxAvg};
     pub use iba_topology::{regular, IrregularConfig, Topology, TopologyBuilder, TopologyMetrics};
     pub use iba_workloads::{
