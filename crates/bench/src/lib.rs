@@ -51,6 +51,27 @@ impl BenchFixture {
             .run()
     }
 
+    /// Run one simulation on the parallel engine: the fabric split into
+    /// `shards` partitions advanced in conservative lookahead windows by
+    /// `threads` worker threads (`shards = 1` routes through the serial
+    /// engine).
+    pub fn simulate_sharded(
+        &self,
+        spec: WorkloadSpec,
+        cfg: SimConfig,
+        shards: usize,
+        threads: usize,
+    ) -> RunResult {
+        Network::builder(&self.topology, &self.routing)
+            .workload(spec)
+            .config(cfg)
+            .shards(shards)
+            .threads(threads)
+            .build()
+            .expect("consistent setup")
+            .run()
+    }
+
     /// Run one simulation with the telemetry probes armed (in-memory
     /// sink) — the instrumented side of the hook-overhead benchmark.
     pub fn simulate_instrumented(

@@ -57,7 +57,7 @@ impl RoutingMode {
 }
 
 /// A packet in flight.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
 pub struct Packet {
     /// Unique id, assigned at generation.
     pub id: PacketId,

@@ -27,9 +27,13 @@
 
 use iba_core::SimTime;
 
+/// One scheduled entry. As in [`crate::EventQueue`], `ord` is the
+/// tie-break rank among equal times: insertion sequence for plain
+/// scheduling, canonical key for keyed scheduling (never both in one
+/// queue).
 struct Entry<E> {
     time: SimTime,
-    seq: u64,
+    ord: u64,
     event: E,
 }
 
@@ -60,6 +64,10 @@ pub struct CalendarQueue<E> {
     next_seq: u64,
     now: SimTime,
     popped: u64,
+    /// Debug-only mixing guard: `Some(true)` once keyed scheduling has
+    /// been used, `Some(false)` once plain scheduling has.
+    #[cfg(debug_assertions)]
+    keyed: Option<bool>,
 }
 
 impl<E> CalendarQueue<E> {
@@ -86,6 +94,8 @@ impl<E> CalendarQueue<E> {
             next_seq: 0,
             now: SimTime::ZERO,
             popped: 0,
+            #[cfg(debug_assertions)]
+            keyed: None,
         }
     }
 
@@ -118,15 +128,48 @@ impl<E> CalendarQueue<E> {
         ((t.as_ns() / self.width) as usize) & (self.buckets.len() - 1)
     }
 
-    /// Schedule `event` at absolute time `at` (must not precede `now`).
+    /// Schedule `event` at absolute time `at` (must not precede `now`);
+    /// pops come out in `(time, insertion order)` order. Must not be
+    /// mixed with [`CalendarQueue::schedule_keyed`] on the same queue
+    /// (checked in debug builds).
     pub fn schedule(&mut self, at: SimTime, event: E) {
-        debug_assert!(at >= self.now, "event scheduled in the past");
-        let seq = self.next_seq;
+        #[cfg(debug_assertions)]
+        {
+            debug_assert!(
+                self.keyed != Some(true),
+                "plain schedule on a keyed queue: the two orders cannot mix"
+            );
+            self.keyed = Some(false);
+        }
+        let ord = self.next_seq;
         self.next_seq += 1;
+        self.push_entry(at, ord, event);
+    }
+
+    /// Schedule with an explicit ordering key — pops come out in
+    /// `(time, key)` order, matching
+    /// [`crate::EventQueue::schedule_keyed`] and carrying the same
+    /// contract: `(time, key)` pairs must be globally unique, and keyed
+    /// and plain scheduling must not mix on one queue (checked in debug
+    /// builds).
+    pub fn schedule_keyed(&mut self, at: SimTime, key: u64, event: E) {
+        #[cfg(debug_assertions)]
+        {
+            debug_assert!(
+                self.keyed != Some(false),
+                "keyed schedule on a plain-FIFO queue: the two orders cannot mix"
+            );
+            self.keyed = Some(true);
+        }
+        self.push_entry(at, key, event);
+    }
+
+    fn push_entry(&mut self, at: SimTime, ord: u64, event: E) {
+        debug_assert!(at >= self.now, "event scheduled in the past");
         let b = self.bucket_of(at);
         self.buckets[b].push(Entry {
             time: at,
-            seq,
+            ord,
             event,
         });
         self.len += 1;
@@ -153,11 +196,10 @@ impl<E> CalendarQueue<E> {
             let bucket = &self.buckets[cur_bucket];
             let mut best: Option<(usize, SimTime, u64)> = None;
             for (i, e) in bucket.iter().enumerate() {
-                if e.time.as_ns() < cur_day_end {
-                    let key = (e.time, e.seq);
-                    if best.is_none_or(|(_, bt, bs)| key < (bt, bs)) {
-                        best = Some((i, e.time, e.seq));
-                    }
+                if e.time.as_ns() < cur_day_end
+                    && best.is_none_or(|(_, bt, bo)| (e.time, e.ord) < (bt, bo))
+                {
+                    best = Some((i, e.time, e.ord));
                 }
             }
             if let Some((index, time, _)) = best {
@@ -244,6 +286,10 @@ impl<E> CalendarQueue<E> {
         fresh.now = self.now;
         fresh.next_seq = self.next_seq;
         fresh.popped = self.popped;
+        #[cfg(debug_assertions)]
+        {
+            fresh.keyed = self.keyed;
+        }
         // Re-anchor the day cursor at `now`.
         fresh.cur_bucket = fresh.bucket_of(self.now);
         fresh.cur_day_end = (self.now.as_ns() / fresh.width + 1) * fresh.width;
@@ -350,6 +396,41 @@ mod tests {
     }
 
     proptest! {
+        /// Keyed scheduling agrees between the two backends for any
+        /// interleaving of (time, key) pairs — the property the parallel
+        /// engine's cross-backend determinism rests on. Keys follow the
+        /// engine's contract: globally unique per (time, key), which the
+        /// low insertion-index bits guarantee here while the high bits
+        /// still exercise key-major ordering among equal times.
+        #[test]
+        fn prop_keyed_equivalent_to_event_queue(
+            ops in proptest::collection::vec((0u64..50_000, 0u64..8, any::<bool>()), 1..300)
+        ) {
+            let mut cal = CalendarQueue::new();
+            let mut heap = EventQueue::new();
+            let mut idx = 0u32;
+            for (t, k, do_pop) in ops {
+                if do_pop {
+                    prop_assert_eq!(cal.pop(), heap.pop());
+                } else {
+                    let at = SimTime::from_ns(heap.now().as_ns() + t);
+                    let key = (k << 32) | idx as u64;
+                    cal.schedule_keyed(at, key, idx);
+                    heap.schedule_keyed(at, key, idx);
+                    idx += 1;
+                }
+            }
+            loop {
+                let a = cal.pop();
+                let b = heap.pop();
+                prop_assert_eq!(a.is_some(), b.is_some());
+                match (a, b) {
+                    (Some(x), Some(y)) => prop_assert_eq!(x, y),
+                    _ => break,
+                }
+            }
+        }
+
         /// The calendar queue pops exactly the same sequence as the
         /// reference binary-heap queue, for any interleaving of schedules
         /// and pops.

@@ -101,6 +101,16 @@ impl<E> DesQueue<E> {
         }
     }
 
+    /// Schedule `event` at `at` with an explicit ordering key; pops come
+    /// out in `(time, key, insertion order)` order on both backends.
+    #[inline]
+    pub fn schedule_keyed(&mut self, at: SimTime, key: u64, event: E) {
+        match self {
+            DesQueue::Heap(q) => q.schedule_keyed(at, key, event),
+            DesQueue::Calendar(q) => q.schedule_keyed(at, key, event),
+        }
+    }
+
     /// Schedule `event` `delay_ns` nanoseconds from now.
     #[inline]
     pub fn schedule_in(&mut self, delay_ns: u64, event: E) {

@@ -19,7 +19,11 @@
 //!   own an independent deterministic stream;
 //! * [`rng`] also carries the handful of distributions the workloads need
 //!   (exponential inter-arrival times for Poisson-like injection), built on
-//!   the sanctioned `rand` crate only.
+//!   the sanctioned `rand` crate only;
+//! * [`shard`] and [`barrier`] — the substrate of the sharded
+//!   conservative-parallel engine: canonical event-ordering keys,
+//!   lookahead-window arithmetic, and a reusable spin barrier for the
+//!   per-window worker synchronization.
 //!
 //! The kernel is intentionally *not* generic over an "agent" framework:
 //! the network model in `iba-sim` pops events and dispatches on its own
@@ -27,12 +31,16 @@
 
 #![warn(missing_docs)]
 
+pub mod barrier;
 pub mod calendar;
 pub mod des;
 pub mod queue;
 pub mod rng;
+pub mod shard;
 
+pub use barrier::SpinBarrier;
 pub use calendar::CalendarQueue;
 pub use des::{DesQueue, QueueBackend};
 pub use queue::EventQueue;
 pub use rng::StreamRng;
+pub use shard::{conservative_window, event_key, Window};

@@ -1,26 +1,45 @@
 //! Deterministic time-ordered event queue.
 //!
 //! A thin wrapper over [`std::collections::BinaryHeap`] keyed on
-//! `(SimTime, sequence)`. The monotonically increasing sequence number
-//! guarantees FIFO order among events scheduled for the same instant,
-//! which makes simulation runs bit-reproducible for a given seed — a
-//! property the paper's min/max/avg-over-topologies methodology depends
-//! on, and that the test suite exploits heavily.
+//! `(SimTime, key, sequence)`. The monotonically increasing sequence
+//! number guarantees FIFO order among events scheduled for the same
+//! instant (and the same key), which makes simulation runs
+//! bit-reproducible for a given seed — a property the paper's
+//! min/max/avg-over-topologies methodology depends on, and that the
+//! test suite exploits heavily.
+//!
+//! The *key* flavor exists for the sharded parallel engine: shards
+//! ingest cross-shard messages in nondeterministic mailbox order, so
+//! FIFO sequence alone would leak thread timing into the event order.
+//! [`EventQueue::schedule_keyed`] orders by a caller-supplied canonical
+//! key instead; the parallel engine assigns every event a globally
+//! unique `(time, key)` so insertion order never decides.
+//!
+//! Within any one queue the two flavors must not be mixed: an entry
+//! carries a single `ord` rank that is the FIFO sequence for plain
+//! [`EventQueue::schedule`] and the canonical key for
+//! [`EventQueue::schedule_keyed`] — one `u64` per entry instead of two,
+//! which keeps the plain (serial-engine) entry at its original size.
+//! The simulator upholds the contract structurally (a shard's queue is
+//! all-plain in the serial engine, all-keyed in the parallel one), and
+//! debug builds assert it.
 
 use iba_core::SimTime;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
-/// One scheduled entry (internal).
+/// One scheduled entry (internal). `ord` is the tie-break rank among
+/// equal times: insertion sequence for plain scheduling, canonical key
+/// for keyed scheduling (never both in one queue).
 struct Entry<E> {
     time: SimTime,
-    seq: u64,
+    ord: u64,
     event: E,
 }
 
 impl<E> PartialEq for Entry<E> {
     fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
+        self.time == other.time && self.ord == other.ord
     }
 }
 
@@ -35,11 +54,12 @@ impl<E> PartialOrd for Entry<E> {
 impl<E> Ord for Entry<E> {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; invert to pop the earliest event, and
-        // among equal times the lowest sequence number (FIFO).
+        // among equal times the lowest rank — pure FIFO under plain
+        // scheduling, canonical-key order under keyed scheduling.
         other
             .time
             .cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
+            .then_with(|| other.ord.cmp(&self.ord))
     }
 }
 
@@ -53,6 +73,10 @@ pub struct EventQueue<E> {
     next_seq: u64,
     now: SimTime,
     popped: u64,
+    /// Debug-only mixing guard: `Some(true)` once keyed scheduling has
+    /// been used, `Some(false)` once plain scheduling has.
+    #[cfg(debug_assertions)]
+    keyed: Option<bool>,
 }
 
 impl<E> EventQueue<E> {
@@ -63,6 +87,8 @@ impl<E> EventQueue<E> {
             next_seq: 0,
             now: SimTime::ZERO,
             popped: 0,
+            #[cfg(debug_assertions)]
+            keyed: None,
         }
     }
 
@@ -98,7 +124,10 @@ impl<E> EventQueue<E> {
         self.popped
     }
 
-    /// Schedule `event` at absolute time `at`.
+    /// Schedule `event` at absolute time `at`; pops come out in
+    /// `(time, insertion order)` order. Must not be mixed with
+    /// [`EventQueue::schedule_keyed`] on the same queue (checked in
+    /// debug builds).
     ///
     /// `at` must not precede the current time (checked in debug builds).
     pub fn schedule(&mut self, at: SimTime, event: E) {
@@ -107,11 +136,46 @@ impl<E> EventQueue<E> {
             "event scheduled in the past: {at:?} < now {:?}",
             self.now
         );
-        let seq = self.next_seq;
+        #[cfg(debug_assertions)]
+        {
+            debug_assert!(
+                self.keyed != Some(true),
+                "plain schedule on a keyed queue: the two orders cannot mix"
+            );
+            self.keyed = Some(false);
+        }
+        let ord = self.next_seq;
         self.next_seq += 1;
         self.heap.push(Entry {
             time: at,
-            seq,
+            ord,
+            event,
+        });
+    }
+
+    /// Schedule `event` at `at` with an explicit ordering key: events pop
+    /// in `(time, key)` order. The caller must assign globally unique
+    /// `(time, key)` pairs — there is no insertion-order tie-break — and
+    /// must not mix this with [`EventQueue::schedule`] on the same queue
+    /// (checked in debug builds). The parallel engine's canonical event
+    /// keys satisfy both, so mailbox ingest timing never decides.
+    pub fn schedule_keyed(&mut self, at: SimTime, key: u64, event: E) {
+        debug_assert!(
+            at >= self.now,
+            "event scheduled in the past: {at:?} < now {:?}",
+            self.now
+        );
+        #[cfg(debug_assertions)]
+        {
+            debug_assert!(
+                self.keyed != Some(false),
+                "keyed schedule on a plain-FIFO queue: the two orders cannot mix"
+            );
+            self.keyed = Some(true);
+        }
+        self.heap.push(Entry {
+            time: at,
+            ord: key,
             event,
         });
     }
@@ -238,6 +302,19 @@ mod tests {
         q.clear();
         assert!(q.is_empty());
         assert_eq!(q.now(), SimTime::from_ns(4));
+    }
+
+    #[test]
+    fn keyed_events_order_by_key_before_insertion() {
+        let mut q = EventQueue::new();
+        q.schedule_keyed(SimTime::from_ns(5), 9, "third");
+        q.schedule_keyed(SimTime::from_ns(5), 2, "second");
+        q.schedule_keyed(SimTime::from_ns(5), 1, "first");
+        q.schedule_keyed(SimTime::from_ns(1), 99, "zeroth");
+        assert_eq!(q.pop().unwrap().1, "zeroth");
+        assert_eq!(q.pop().unwrap().1, "first");
+        assert_eq!(q.pop().unwrap().1, "second");
+        assert_eq!(q.pop().unwrap().1, "third");
     }
 
     proptest! {

@@ -56,6 +56,7 @@ pub mod config;
 pub mod network;
 pub mod perfetto;
 pub mod recorder;
+mod shard;
 pub mod stats;
 pub mod telemetry;
 pub mod trace;

@@ -1,4 +1,4 @@
-//! The event-driven network model.
+//! The simulation coordinator.
 //!
 //! [`Network`] wires a [`Topology`] + [`FaRouting`] + [`WorkloadSpec`]
 //! into a register-transfer-level simulation of an IBA subnet, following
@@ -22,242 +22,90 @@
 //! Hosts are open-loop sources with unbounded source queues and infinite
 //! sink buffers (the paper measures fabric performance, not end-node
 //! limits).
+//!
+//! ## Serial and parallel execution
+//!
+//! The event-handling machinery lives in the (private) `shard` module:
+//! a `Shard` owns a connected group of switches, their attached hosts,
+//! and a private event queue. This module is the coordinator around it:
+//!
+//! * **serial engine** (the default, `shards(1)`): one shard owns the
+//!   whole fabric and the coordinator steps its queue directly —
+//!   byte-identical to the historical single-queue engine;
+//! * **parallel engine** (`shards(n)`, n > 1): the fabric is split by
+//!   [`Partition::contiguous`] into `n` connected regions. Shards
+//!   synchronize conservatively: every pending-event timestamp is
+//!   collected, the global minimum plus the link propagation delay
+//!   bounds a window, and each shard drains its queue up to (and
+//!   excluding) the window end before any cross-shard message is
+//!   exchanged. Since every cross-shard effect travels over a physical
+//!   link (≥ one propagation delay in the future), no shard can receive
+//!   an event earlier than the window it just executed — classic
+//!   conservative link-latency lookahead.
+//!
+//! Cross-shard events carry canonical `(class, entity, counter)` keys so
+//! each shard's queue order — and therefore the whole simulation — is
+//! independent of thread interleaving and of the shard count: for a
+//! fixed fabric, `shards(2)` and `shards(8)` produce identical results,
+//! on any `threads(..)` setting and any event-queue backend. The
+//! parallel engine uses per-switch RNG substreams and source-local
+//! packet ids (the serial engine keeps its historical shared streams),
+//! so serial and parallel results are each internally deterministic but
+//! not numerically identical to each other.
+//!
+//! Three subsystems require the serial engine and are rejected by
+//! `build()` when combined with `shards(n > 1)`: trace-driven replay
+//! (a global script cursor), the flight recorder (globally ordered
+//! rings), and [`RecoveryPolicy::SmResweep`] (a fabric-wide atomic
+//! table swap).
 
-use crate::buffer::{ReadPoint, SlotHandle, VlBuffer};
-use crate::config::{RecoveryPolicy, SelectionPolicy, SimConfig};
-use crate::recorder::{classify_stall, FlightDump, FlightRecorder, RecorderOpts, TriggerCause};
+use crate::config::{RecoveryPolicy, SimConfig};
+use crate::recorder::{FlightDump, FlightRecorder, RecorderOpts};
+use crate::shard::{Mailbox, OutMsg, Shard};
 use crate::stats::{RunResult, StatsCollector};
-use crate::telemetry::{MemorySink, StallCause, TelemetryOpts, TelemetrySink, TelemetryState};
-use crate::trace::{TraceOpts, TraceStep, Tracer};
-use iba_core::{
-    Credits, DropCause, FlightEvent, HostId, IbaError, InlineVec, NodeRef, OptionOutcome,
-    OptionOutcomes, OptionVerdict, Packet, PacketId, PortIndex, SimTime, StallClass, SwitchId,
-    VirtualLane, MAX_PORTS,
+use crate::telemetry::{
+    MemorySink, SwitchTelemetry, TelemetryOpts, TelemetryReport, TelemetrySample, TelemetrySink,
+    TelemetryState, TELEMETRY_SCHEMA_VERSION,
 };
-use iba_engine::rng::{StreamKind, StreamRng};
-use iba_engine::DesQueue;
-use iba_routing::{check_escape_routes, FaRouting, SlToVlTable};
-use iba_topology::{Topology, TopologyBuilder};
-use iba_workloads::{
-    FaultKind, FaultSchedule, HostGenerator, PathSet, TrafficScript, WorkloadSpec,
-};
-use std::collections::VecDeque;
+use crate::trace::{PacketTrace, TraceOpts, TraceStep, Tracer};
+use iba_core::{HostId, IbaError, PacketId, PortIndex, SimTime, SwitchId};
+use iba_engine::{conservative_window, SpinBarrier};
+use iba_routing::FaRouting;
+use iba_topology::{Partition, Topology};
+use iba_workloads::{FaultSchedule, TrafficScript, WorkloadSpec};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
-/// Discrete events of the network model.
-#[derive(Debug)]
-enum Event {
-    /// A host's traffic generator fires.
-    Generate { host: HostId },
-    /// The next scripted injection (trace-driven mode) fires.
-    GenerateScripted { idx: usize },
-    /// A host retries sending the head of its source queue.
-    TryInject { host: HostId },
-    /// A packet's header reaches a switch input port.
-    HeaderArrive {
-        sw: SwitchId,
-        port: PortIndex,
-        vl: VirtualLane,
-        packet: Packet,
-    },
-    /// The forwarding-table pipeline for a buffered packet completes.
-    /// The handle addresses the exact residency `push` created, so no
-    /// buffer scan is needed when the event fires.
-    RouteDone {
-        sw: SwitchId,
-        port: PortIndex,
-        vl: VirtualLane,
-        handle: SlotHandle,
-    },
-    /// Coalesced arbitration pass at a switch.
-    Arbitrate { sw: SwitchId },
-    /// A forwarded packet's tail has left its input buffer.
-    TxDone {
-        sw: SwitchId,
-        port: PortIndex,
-        vl: VirtualLane,
-        handle: SlotHandle,
-    },
-    /// Freed credits reach the upstream sender.
-    CreditReturn {
-        target: NodeRef,
-        port: PortIndex,
-        vl: VirtualLane,
-        credits: Credits,
-    },
-    /// A packet's tail reaches its destination host.
-    Deliver { host: HostId, packet: Packet },
-    /// A scheduled link fault (down or up) takes effect.
-    Fault { idx: usize },
-    /// The subnet manager's re-sweep completes and recovery routing is
-    /// installed (`RecoveryPolicy::SmResweep` only).
-    ResweepDone,
-    /// The telemetry probe samples buffer occupancy (instrumented runs
-    /// only; reschedules itself at the configured cadence).
-    TelemetrySample,
-    /// The flight recorder's stall watchdog inspects every VL buffer for
-    /// forward progress (recorded runs with a watchdog only; reschedules
-    /// itself at the configured cadence).
-    WatchdogCheck,
-}
-
-/// A schedule entry with its endpoints resolved to concrete ports, done
-/// once at construction so fault application is O(1) and allocation-free
-/// inside the event loop. For switch faults only `a` is meaningful; the
-/// affected ports are enumerated from the topology at apply time.
-#[derive(Clone, Copy, Debug)]
-struct ResolvedFault {
-    at: SimTime,
-    kind: FaultKind,
-    a: SwitchId,
-    pa: PortIndex,
-    b: SwitchId,
-    pb: PortIndex,
-}
-
-/// One physical input port of a switch.
-struct InputPort {
-    /// Per-VL split buffers.
-    vls: Vec<VlBuffer>,
-    /// The buffer RAM's read path (the Figure 2 multiplexer) is busy
-    /// streaming a packet out until this time.
-    read_busy_until: SimTime,
-    /// Round-robin cursor over VLs (a minimal stand-in for IBA's VL
-    /// arbitration so no data VL starves behind VL0).
-    vl_cursor: usize,
-}
-
-/// One physical output port of a switch.
-struct OutputPort {
-    /// The serial link transmits one packet at a time.
-    busy_until: SimTime,
-    /// Sender-side credit counters per VL of the downstream input buffer;
-    /// `None` for host-facing ports (hosts are infinite sinks).
-    credits: Option<Vec<Credits>>,
-    /// Cumulative transmission time (utilization probe).
-    busy_ns_total: u64,
-}
-
-struct SwitchState {
-    inputs: Vec<InputPort>,
-    outputs: Vec<OutputPort>,
-    sl2vl: SlToVlTable,
-    arb_pending: bool,
-    rr_cursor: usize,
-    /// Per-port link state; `false` masks the port out of every feasible
-    /// option set at arbitration. Derived cache of `down_depth == 0` so
-    /// the hot path stays a single bool load. A host-facing port goes
-    /// down only when its own switch dies.
-    link_up: Vec<bool>,
-    /// How many active faults currently mask each port: a link fault
-    /// contributes 1 to both endpoints, a switch fault contributes 1 to
-    /// every wired port of the dead switch *and* the peer-side port of
-    /// each of its inter-switch links — so two overlapping switch deaths
-    /// on adjacent switches stack on the shared link and the port only
-    /// revives when both have recovered.
-    down_depth: Vec<u8>,
-    /// The portion of `down_depth` owed to switch deaths; used to
-    /// attribute wire drops at a masked port to [`DropCause::SwitchDown`]
-    /// rather than [`DropCause::LinkDown`]. Schedule validation forbids
-    /// link and switch windows overlapping on a shared endpoint, so a
-    /// nonzero value is unambiguous.
-    switch_down_depth: Vec<u8>,
-}
-
-struct HostState {
-    /// Synthetic generator; `None` in trace-driven mode.
-    gen: Option<HostGenerator>,
-    /// Open-loop source queue.
-    queue: VecDeque<Packet>,
-    tx_busy_until: SimTime,
-    /// Credits towards the attached switch's input buffer, per VL.
-    credits: Vec<Credits>,
-    attached_switch: SwitchId,
-    /// Per-source sequence counter (order checking).
-    next_seq: u64,
-    /// Rotating DLID-offset cursor for source-selected multipath.
-    mp_cursor: u16,
-}
-
-/// A forwarding decision produced by arbitration. Positions and handle
-/// are taken while the buffer is inspected and stay valid until the
-/// decision is committed (arbitration grants synchronously, and a grant
-/// marks the packet in flight rather than removing it).
-struct Decision {
-    input: usize,
-    vl: usize,
-    /// FIFO position of the granted packet in its VL buffer.
-    idx: usize,
-    /// Stable residency handle, carried into the `TxDone` event.
-    handle: SlotHandle,
-    packet_id: PacketId,
-    out_port: PortIndex,
-    out_vl: VirtualLane,
-    via_escape: bool,
-    read_point: ReadPoint,
-}
-
-/// An IBA subnet simulation.
+/// An IBA subnet simulation: one shard stepping serially, or several
+/// shards advancing in conservative lookahead windows (see the module
+/// docs for the execution model).
 pub struct Network<'a> {
     topo: &'a Topology,
     routing: &'a FaRouting,
-    spec: WorkloadSpec,
     config: SimConfig,
-    queue: DesQueue<Event>,
-    switches: Vec<SwitchState>,
-    hosts: Vec<HostState>,
-    stats: StatsCollector,
-    next_packet_id: u64,
-    arb_rng: StreamRng,
-    /// No packets are generated at or after this time.
-    gen_deadline: SimTime,
-    /// Whether the initial generation events have been scheduled.
-    primed: bool,
-    tracer: Option<Tracer>,
-    /// Trace-driven injections (replaces the synthetic generators).
-    script: Option<&'a TrafficScript>,
-    /// Resolved link-fault schedule (empty without [`Self::with_faults`]).
-    faults: Vec<ResolvedFault>,
-    /// What repairs reachability after a fault.
-    recovery: RecoveryPolicy,
-    /// Modelled duration of one SM re-sweep (fault event → recovery
-    /// tables live), in nanoseconds.
-    resweep_latency_ns: u64,
-    /// Number of faults (links *or* switches) currently down.
-    active_faults: usize,
-    /// Which switches are currently dead (switch-fault windows).
-    dead_switches: Vec<bool>,
-    /// Per-link bit-error probability folded to a per-packet CRC-failure
-    /// probability at the receiving input port; 0.0 (the default) keeps
-    /// the hot-path hook a single float compare.
-    corrupt_prob: f64,
-    /// Dedicated substream for corruption draws, so armed corruption
-    /// never perturbs arbitration tie-breaks or generator schedules.
-    corrupt_rng: StreamRng,
-    /// Whether the APM alternate escape tables have been certified
-    /// acyclic (done lazily at the first migration activation).
-    apm_certified: bool,
-    /// Recovery tables installed by the last completed re-sweep; `None`
-    /// while the primary tables are live.
-    recovery_routing: Option<FaRouting>,
-    /// Telemetry probe state; `None` (the default) keeps every hook a
-    /// single pointer-null check and schedules no sampling events.
-    telemetry: Option<Box<TelemetryState>>,
-    /// Flight-recorder state; `None` (the default) keeps every hook a
-    /// single pointer-null check and schedules no watchdog events.
-    recorder: Option<Box<FlightRecorder>>,
-    /// Candidate-option verdicts of the most recent arbitration grant.
-    /// Scratch reused across grants so `Decision` stays small — the
-    /// ~100-byte option set is only written (and read back by
-    /// `start_forward`) while the recorder is capturing; with it off or
-    /// frozen the field is never touched on the hot path.
-    decision_options: OptionOutcomes,
+    /// `None` selects the serial engine; `Some` the parallel engine.
+    partition: Option<Arc<Partition>>,
+    /// Worker threads for the parallel engine (1 = run windows inline).
+    threads: usize,
+    shards: Vec<Shard<'a>>,
+    /// Whether the one-shot parallel observer merge has run.
+    finalized: bool,
+    /// The user's telemetry sink in parallel mode (shards record into
+    /// private `MemorySink`s; the merge feeds this one).
+    par_sink: Option<Box<dyn TelemetrySink>>,
+    /// The merged journey recorder in parallel mode (built by the
+    /// observer merge from the shard-local tracers).
+    merged_tracer: Option<Tracer>,
+    trace_opts: Option<TraceOpts>,
 }
 
 /// The one construction path for [`Network`]: topology and routing up
 /// front, then a traffic source (synthetic [`WorkloadSpec`] or replayed
 /// [`TrafficScript`]), a [`SimConfig`], and the optional subsystems —
-/// faults, journey tracing, telemetry — as builder options instead of
-/// bolted-on constructors and post-construction mutators.
+/// faults, journey tracing, telemetry, sharding — as builder options
+/// instead of bolted-on constructors and post-construction mutators.
 ///
 /// ```
 /// # use iba_topology::IrregularConfig;
@@ -286,6 +134,8 @@ pub struct NetworkBuilder<'a> {
     trace: Option<TraceOpts>,
     telemetry: Option<(TelemetryOpts, Box<dyn TelemetrySink>)>,
     recorder: Option<RecorderOpts>,
+    shards: Option<usize>,
+    threads: Option<usize>,
 }
 
 impl<'a> NetworkBuilder<'a> {
@@ -359,13 +209,34 @@ impl<'a> NetworkBuilder<'a> {
     /// Arm the flight recorder: bounded per-switch event rings, anomaly
     /// triggers, and the stall watchdog (see [`crate::FlightRecorder`]).
     /// Retrieve the dump after the run through [`Network::flight_dump`].
+    /// Requires the serial engine (the default [`Self::shards`] of 1).
     pub fn recorder(mut self, opts: RecorderOpts) -> Self {
         self.recorder = Some(opts);
         self
     }
 
+    /// Partition the fabric into `n` shards for parallel execution
+    /// (default 1 = the serial engine). Results are deterministic for a
+    /// fixed `n` regardless of [`Self::threads`] and the event-queue
+    /// backend, and identical across every `n > 1`; `n = 1` is
+    /// byte-identical to the historical serial engine. See the module
+    /// docs for the subsystems that require `n = 1`.
+    pub fn shards(mut self, n: usize) -> Self {
+        self.shards = Some(n);
+        self
+    }
+
+    /// Worker threads driving the shards (default 1 = execute windows
+    /// inline on the calling thread). Only meaningful with
+    /// [`Self::shards`] above 1; never affects results.
+    pub fn threads(mut self, t: usize) -> Self {
+        self.threads = Some(t);
+        self
+    }
+
     /// Assemble the simulation. Fails on a missing config or traffic
-    /// source, on both traffic sources at once, and on every
+    /// source, on both traffic sources at once, on a parallel request
+    /// combined with a serial-only subsystem, and on every
     /// inconsistency the individual subsystems check (workload vs
     /// routing tables, fault schedule vs topology, config invariants).
     pub fn build(self) -> Result<Network<'a>, IbaError> {
@@ -374,11 +245,19 @@ impl<'a> NetworkBuilder<'a> {
                 "NetworkBuilder: a SimConfig is required (use .config(...))".into(),
             )
         })?;
-        let mut net = match (self.workload, self.script) {
-            (Some(spec), None) => Network::assemble(self.topo, self.routing, spec, config)?,
-            (None, Some(script)) => {
-                Network::assemble_scripted(self.topo, self.routing, script, config)?
-            }
+        let num_shards = self.shards.unwrap_or(1);
+        if num_shards == 0 {
+            return Err(IbaError::InvalidConfig(
+                "NetworkBuilder: at least one shard is required".into(),
+            ));
+        }
+        let threads = self.threads.unwrap_or(1).max(1);
+        let (spec, script) = match (self.workload, self.script) {
+            (Some(spec), None) => (spec, None),
+            (None, Some(script)) => (
+                validate_script(self.topo, self.routing, &config, script)?,
+                Some(script),
+            ),
             (Some(_), Some(_)) => {
                 return Err(IbaError::InvalidConfig(
                     "NetworkBuilder: .workload(...) and .script(...) are mutually exclusive".into(),
@@ -392,37 +271,175 @@ impl<'a> NetworkBuilder<'a> {
                 ))
             }
         };
-        if let Some((schedule, policy, resweep_latency_ns)) = self.faults {
-            net.arm_faults(schedule, policy, resweep_latency_ns)?;
-        }
         if let Some(p) = self.corruption {
             if !(0.0..=1.0).contains(&p) {
                 return Err(IbaError::InvalidConfig(format!(
                     "corruption probability {p} outside [0, 1]"
                 )));
             }
-            net.corrupt_prob = p;
         }
-        if let Some(opts) = self.trace {
-            net.tracer = Some(Tracer::with_opts(opts));
+        let partition = if num_shards > 1 {
+            if script.is_some() {
+                return Err(IbaError::InvalidConfig(
+                    "trace-driven replay requires the serial engine (shards = 1): \
+                     the script cursor is a single global sequence"
+                        .into(),
+                ));
+            }
+            if self.recorder.is_some() {
+                return Err(IbaError::InvalidConfig(
+                    "the flight recorder requires the serial engine (shards = 1): \
+                     its rings are globally ordered"
+                        .into(),
+                ));
+            }
+            if let Some((_, policy, _)) = self.faults {
+                if policy == RecoveryPolicy::SmResweep {
+                    return Err(IbaError::InvalidConfig(
+                        "SmResweep recovery requires the serial engine (shards = 1): \
+                         the re-sweep installs tables fabric-atomically"
+                            .into(),
+                    ));
+                }
+            }
+            Some(Arc::new(Partition::contiguous(self.topo, num_shards)?))
+        } else {
+            None
+        };
+
+        let mut shards = Vec::with_capacity(num_shards);
+        for id in 0..num_shards {
+            let mut sh = Shard::new(self.topo, self.routing, spec, config, id, partition.clone())?;
+            if let Some(script) = script {
+                sh.set_script(script);
+            }
+            if let Some((schedule, policy, resweep_latency_ns)) = self.faults {
+                sh.arm_faults(schedule, policy, resweep_latency_ns)?;
+            }
+            if let Some(p) = self.corruption {
+                sh.corrupt_prob = p;
+            }
+            if let Some(opts) = self.trace {
+                sh.tracer = Some(Tracer::with_opts(opts));
+            }
+            shards.push(sh);
         }
+
+        let num_switches = self.topo.num_switches();
+        let ports = self.topo.ports_per_switch() as usize;
+        let mut par_sink = None;
         if let Some((opts, sink)) = self.telemetry {
-            net.telemetry = Some(Box::new(TelemetryState::new(
-                opts,
-                sink,
-                net.topo.num_switches(),
-                net.topo.ports_per_switch() as usize,
-            )));
+            if partition.is_some() {
+                // Each shard samples only its own switches into a
+                // private memory sink; the end-of-run merge splices the
+                // slices and feeds the user's sink.
+                for sh in shards.iter_mut() {
+                    sh.telemetry = Some(Box::new(TelemetryState::new(
+                        opts,
+                        Box::new(MemorySink::new()),
+                        num_switches,
+                        ports,
+                    )));
+                }
+                par_sink = Some(sink);
+            } else {
+                shards[0].telemetry = Some(Box::new(TelemetryState::new(
+                    opts,
+                    sink,
+                    num_switches,
+                    ports,
+                )));
+            }
         }
         if let Some(opts) = self.recorder {
-            net.recorder = Some(Box::new(FlightRecorder::new(
+            shards[0].recorder = Some(Box::new(FlightRecorder::new(
                 opts,
-                net.topo.num_switches(),
-                net.topo.ports_per_switch() as usize,
-                net.config.data_vls as usize,
+                num_switches,
+                ports,
+                config.data_vls as usize,
             )));
         }
-        Ok(net)
+
+        Ok(Network {
+            topo: self.topo,
+            routing: self.routing,
+            config,
+            partition,
+            threads,
+            shards,
+            finalized: false,
+            par_sink,
+            merged_tracer: None,
+            trace_opts: self.trace,
+        })
+    }
+}
+
+/// The trace-driven-mode validations (script vs topology, routing
+/// capabilities, VL separation of alternate paths), returning the
+/// placeholder [`WorkloadSpec`] whose packet size mirrors the script's
+/// largest packet (only the size participates in buffer validation).
+fn validate_script(
+    topo: &Topology,
+    routing: &FaRouting,
+    config: &SimConfig,
+    script: &TrafficScript,
+) -> Result<WorkloadSpec, IbaError> {
+    if let Some(max) = script.max_host() {
+        if max.index() >= topo.num_hosts() {
+            return Err(IbaError::InvalidConfig(format!(
+                "script references {max} but the topology has {} hosts",
+                topo.num_hosts()
+            )));
+        }
+    }
+    if script.uses_adaptive() && routing.config().table_options < 2 {
+        return Err(IbaError::InvalidConfig(
+            "adaptive script entries require at least 2 routing options".into(),
+        ));
+    }
+    if script.uses_alternate() {
+        if !routing.has_apm() {
+            return Err(IbaError::InvalidConfig(
+                "alternate-path script entries require APM tables \
+                 (FaRouting::build_with_apm)"
+                    .into(),
+            ));
+        }
+        // The two escape orientations are only jointly deadlock-free
+        // on disjoint virtual lanes: every SL used by alternate
+        // entries must map to a different VL than every primary SL.
+        let (primary, alternate) = script.sls_by_path_set();
+        let vl_of = |sl: iba_core::ServiceLevel| sl.0 % config.data_vls;
+        for a in &alternate {
+            if primary.iter().any(|p| vl_of(*p) == vl_of(*a)) {
+                return Err(IbaError::InvalidConfig(format!(
+                    "alternate-path SL {a} shares a VL with primary traffic; \
+                     put the path sets on SLs mapping to disjoint VLs \
+                     (data_vls = {})",
+                    config.data_vls
+                )));
+            }
+        }
+    }
+    Ok(WorkloadSpec {
+        packet_bytes: script.max_packet_bytes().max(1),
+        adaptive_fraction: 0.0,
+        ..WorkloadSpec::uniform32(1e-6)
+    })
+}
+
+/// Canonical ordering of trace steps sharing a timestamp, used when the
+/// observer merge splices one packet's steps recorded by different
+/// shards.
+fn step_rank(s: &TraceStep) -> u8 {
+    match s {
+        TraceStep::Generated { .. } => 0,
+        TraceStep::Injected => 1,
+        TraceStep::ArrivedAt { .. } => 2,
+        TraceStep::Forwarded { .. } => 3,
+        TraceStep::Dropped { .. } => 4,
+        TraceStep::Delivered { .. } => 5,
     }
 }
 
@@ -441,6 +458,8 @@ impl<'a> Network<'a> {
             trace: None,
             telemetry: None,
             recorder: None,
+            shards: None,
+            threads: None,
         }
     }
 
@@ -455,237 +474,10 @@ impl<'a> Network<'a> {
         spec: WorkloadSpec,
         config: SimConfig,
     ) -> Result<Network<'a>, IbaError> {
-        Network::assemble(topo, routing, spec, config)
-    }
-
-    /// Assemble a synthetic-workload simulation. Fails on inconsistent
-    /// configuration (e.g. a workload requesting adaptive marking when
-    /// the routing tables have no adaptive addresses).
-    fn assemble(
-        topo: &'a Topology,
-        routing: &'a FaRouting,
-        spec: WorkloadSpec,
-        config: SimConfig,
-    ) -> Result<Network<'a>, IbaError> {
-        spec.validate()?;
-        config.validate(spec.packet_bytes)?;
-        if routing.lid_map().num_hosts() as usize != topo.num_hosts() {
-            return Err(IbaError::InvalidConfig(
-                "routing tables built for a different topology".into(),
-            ));
-        }
-        if spec.adaptive_fraction > 0.0 && routing.config().table_options < 2 {
-            return Err(IbaError::InvalidConfig(
-                "adaptive traffic requires at least 2 routing options (LMC >= 1)".into(),
-            ));
-        }
-
-        let root = StreamRng::from_seed(config.seed);
-        let vls = config.data_vls as usize;
-        let cap = config.vl_buffer_credits;
-
-        let switches = topo
-            .switch_ids()
-            .map(|s| {
-                let ports = topo.ports_per_switch() as usize;
-                let inputs = (0..ports)
-                    .map(|_| InputPort {
-                        vls: (0..vls).map(|_| VlBuffer::new(cap)).collect(),
-                        read_busy_until: SimTime::ZERO,
-                        vl_cursor: 0,
-                    })
-                    .collect();
-                let outputs = (0..ports)
-                    .map(|p| {
-                        let to_switch = topo
-                            .endpoint(s, PortIndex(p as u8))
-                            .is_some_and(|ep| ep.node.is_switch());
-                        OutputPort {
-                            busy_until: SimTime::ZERO,
-                            credits: to_switch.then(|| vec![cap; vls]),
-                            busy_ns_total: 0,
-                        }
-                    })
-                    .collect();
-                Ok(SwitchState {
-                    inputs,
-                    outputs,
-                    sl2vl: SlToVlTable::identity(topo.ports_per_switch(), config.data_vls)?,
-                    arb_pending: false,
-                    rr_cursor: 0,
-                    link_up: vec![true; ports],
-                    down_depth: vec![0; ports],
-                    switch_down_depth: vec![0; ports],
-                })
-            })
-            .collect::<Result<Vec<_>, IbaError>>()?;
-
-        // Hosts are numbered consecutively per switch by the topology
-        // builders; permutation patterns act on the switch index.
-        let hosts_per_switch = if topo.num_hosts().is_multiple_of(topo.num_switches()) {
-            topo.num_hosts() / topo.num_switches()
-        } else {
-            1
-        };
-        let hosts = topo
-            .host_ids()
-            .map(|h| {
-                Ok(HostState {
-                    gen: Some(HostGenerator::with_groups(
-                        h,
-                        topo.num_hosts(),
-                        hosts_per_switch,
-                        spec,
-                        &root,
-                    )?),
-                    queue: VecDeque::new(),
-                    tx_busy_until: SimTime::ZERO,
-                    credits: vec![cap; vls],
-                    attached_switch: topo.host_switch(h),
-                    next_seq: 0,
-                    mp_cursor: h.0 % routing.config().table_options,
-                })
-            })
-            .collect::<Result<Vec<_>, IbaError>>()?;
-
-        // Pre-size the event queue from the topology: pending events are
-        // bounded by buffered packets (each VL buffer holds at most its
-        // credit count, each buffered packet has at most one pending
-        // RouteDone/TxDone/CreditReturn) plus a few per host — so the
-        // steady state never reallocates the queue.
-        let ports = topo.ports_per_switch() as usize;
-        let est_events = (topo.num_switches() * ports * vls * cap.count() as usize / 4
-            + topo.num_hosts() * 4)
-            .max(1024);
-
-        let horizon = config.horizon();
-        Ok(Network {
-            topo,
-            routing,
-            spec,
-            config,
-            queue: DesQueue::with_capacity(config.queue_backend, est_events),
-            switches,
-            hosts,
-            stats: StatsCollector::new(
-                config.warmup,
-                horizon,
-                topo.num_hosts(),
-                routing.lid_map().table_len(),
-            ),
-            next_packet_id: 0,
-            arb_rng: root.derive(StreamKind::Arbiter),
-            gen_deadline: horizon,
-            primed: false,
-            tracer: None,
-            script: None,
-            faults: Vec::new(),
-            recovery: RecoveryPolicy::None,
-            resweep_latency_ns: 0,
-            active_faults: 0,
-            dead_switches: vec![false; topo.num_switches()],
-            corrupt_prob: 0.0,
-            corrupt_rng: root.derive(StreamKind::Custom(0xC0DE)),
-            apm_certified: false,
-            recovery_routing: None,
-            telemetry: None,
-            recorder: None,
-            decision_options: OptionOutcomes::new(),
-        })
-    }
-
-    /// Arm a link-fault schedule (compatibility shim).
-    #[deprecated(
-        since = "0.2.0",
-        note = "use Network::builder(..).faults(schedule, policy, resweep_latency_ns)"
-    )]
-    pub fn with_faults(
-        mut self,
-        schedule: &FaultSchedule,
-        policy: RecoveryPolicy,
-        resweep_latency_ns: u64,
-    ) -> Result<Network<'a>, IbaError> {
-        self.arm_faults(schedule, policy, resweep_latency_ns)?;
-        Ok(self)
-    }
-
-    /// Arm a link-fault schedule and the recovery policy answering it
-    /// (the working half of `NetworkBuilder::faults`).
-    ///
-    /// Fails when a schedule entry names a link the topology does not
-    /// have, or when `ApmMigrate` is requested without APM tables.
-    fn arm_faults(
-        &mut self,
-        schedule: &FaultSchedule,
-        policy: RecoveryPolicy,
-        resweep_latency_ns: u64,
-    ) -> Result<(), IbaError> {
-        if self.primed {
-            return Err(IbaError::InvalidConfig(
-                "fault schedule must be armed before the simulation starts".into(),
-            ));
-        }
-        if policy == RecoveryPolicy::ApmMigrate && !self.routing.has_apm() {
-            return Err(IbaError::InvalidConfig(
-                "ApmMigrate recovery requires APM tables (FaRouting::build_with_apm)".into(),
-            ));
-        }
-        self.faults.clear();
-        for (i, e) in schedule.events().iter().enumerate() {
-            let n = self.topo.num_switches();
-            if e.a.index() >= n || e.b.index() >= n {
-                return Err(IbaError::InvalidConfig(format!(
-                    "fault entry {i}: switch out of range (topology has {n} switches)"
-                )));
-            }
-            let (pa, pb) = match e.kind {
-                // A switch fault names no link; the affected ports are
-                // enumerated from the topology when the fault fires.
-                FaultKind::SwitchDown | FaultKind::SwitchUp => (PortIndex(0), PortIndex(0)),
-                FaultKind::LinkDown | FaultKind::LinkUp => {
-                    let (Some(pa), Some(pb)) = (
-                        self.topo.port_towards(e.a, e.b),
-                        self.topo.port_towards(e.b, e.a),
-                    ) else {
-                        return Err(IbaError::InvalidConfig(format!(
-                            "fault entry {i}: no link {}–{} in the topology",
-                            e.a, e.b
-                        )));
-                    };
-                    (pa, pb)
-                }
-            };
-            self.faults.push(ResolvedFault {
-                at: e.at,
-                kind: e.kind,
-                a: e.a,
-                pa,
-                b: e.b,
-                pb,
-            });
-        }
-        self.recovery = policy;
-        self.resweep_latency_ns = resweep_latency_ns;
-        Ok(())
-    }
-
-    /// Number of links currently down.
-    pub fn active_faults(&self) -> usize {
-        self.active_faults
-    }
-
-    /// Whether SM recovery tables (rather than the primary tables) are
-    /// currently live.
-    pub fn recovery_installed(&self) -> bool {
-        self.recovery_routing.is_some()
-    }
-
-    /// The routing tables currently programmed into the fabric: the
-    /// recovery tables once an SM re-sweep has installed them, the
-    /// primary tables otherwise.
-    #[inline]
-    fn cur_routing(&self) -> &FaRouting {
-        self.recovery_routing.as_ref().unwrap_or(self.routing)
+        Network::builder(topo, routing)
+            .workload(spec)
+            .config(config)
+            .build()
     }
 
     /// Assemble a trace-driven simulation (compatibility shim).
@@ -699,83 +491,32 @@ impl<'a> Network<'a> {
         script: &'a TrafficScript,
         config: SimConfig,
     ) -> Result<Network<'a>, IbaError> {
-        Network::assemble_scripted(topo, routing, script, config)
+        Network::builder(topo, routing)
+            .script(script)
+            .config(config)
+            .build()
     }
 
-    /// Assemble a *trace-driven* simulation: instead of synthetic
-    /// generators, the exact injections of `script` are replayed.
-    fn assemble_scripted(
-        topo: &'a Topology,
-        routing: &'a FaRouting,
-        script: &'a TrafficScript,
-        config: SimConfig,
+    /// Arm a link-fault schedule (compatibility shim).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use Network::builder(..).faults(schedule, policy, resweep_latency_ns)"
+    )]
+    pub fn with_faults(
+        mut self,
+        schedule: &FaultSchedule,
+        policy: RecoveryPolicy,
+        resweep_latency_ns: u64,
     ) -> Result<Network<'a>, IbaError> {
-        if let Some(max) = script.max_host() {
-            if max.index() >= topo.num_hosts() {
-                return Err(IbaError::InvalidConfig(format!(
-                    "script references {max} but the topology has {} hosts",
-                    topo.num_hosts()
-                )));
-            }
-        }
-        if script.uses_adaptive() && routing.config().table_options < 2 {
+        if self.partition.is_some() && policy == RecoveryPolicy::SmResweep {
             return Err(IbaError::InvalidConfig(
-                "adaptive script entries require at least 2 routing options".into(),
+                "SmResweep recovery requires the serial engine (shards = 1)".into(),
             ));
         }
-        if script.uses_alternate() {
-            if !routing.has_apm() {
-                return Err(IbaError::InvalidConfig(
-                    "alternate-path script entries require APM tables \
-                     (FaRouting::build_with_apm)"
-                        .into(),
-                ));
-            }
-            // The two escape orientations are only jointly deadlock-free
-            // on disjoint virtual lanes: every SL used by alternate
-            // entries must map to a different VL than every primary SL.
-            let (primary, alternate) = script.sls_by_path_set();
-            let vl_of = |sl: iba_core::ServiceLevel| sl.0 % config.data_vls;
-            for a in &alternate {
-                if primary.iter().any(|p| vl_of(*p) == vl_of(*a)) {
-                    return Err(IbaError::InvalidConfig(format!(
-                        "alternate-path SL {a} shares a VL with primary traffic; \
-                         put the path sets on SLs mapping to disjoint VLs \
-                         (data_vls = {})",
-                        config.data_vls
-                    )));
-                }
-            }
+        for sh in self.shards.iter_mut() {
+            sh.arm_faults(schedule, policy, resweep_latency_ns)?;
         }
-        // The synthetic spec is a placeholder in this mode; only its
-        // packet size participates in buffer validation, so mirror the
-        // script's largest packet.
-        let spec = WorkloadSpec {
-            packet_bytes: script.max_packet_bytes().max(1),
-            adaptive_fraction: 0.0,
-            ..WorkloadSpec::uniform32(1e-6)
-        };
-        let mut net = Network::assemble(topo, routing, spec, config)?;
-        for h in &mut net.hosts {
-            h.gen = None;
-        }
-        net.script = Some(script);
-        Ok(net)
-    }
-
-    /// The workload driving the simulation.
-    pub fn spec(&self) -> &WorkloadSpec {
-        &self.spec
-    }
-
-    /// The simulator configuration.
-    pub fn config(&self) -> &SimConfig {
-        &self.config
-    }
-
-    /// Current simulated time.
-    pub fn now(&self) -> SimTime {
-        self.queue.now()
+        Ok(self)
     }
 
     /// Enable journey tracing before running (compatibility shim).
@@ -784,20 +525,65 @@ impl<'a> Network<'a> {
         note = "use Network::builder(..).trace(TraceOpts::sampled(sample_every, max_packets))"
     )]
     pub fn enable_tracing(&mut self, sample_every: u64, max_packets: usize) {
-        self.tracer = Some(Tracer::with_opts(TraceOpts::sampled(
-            sample_every,
-            max_packets,
-        )));
+        let opts = TraceOpts::sampled(sample_every, max_packets);
+        self.trace_opts = Some(opts);
+        for sh in self.shards.iter_mut() {
+            sh.tracer = Some(Tracer::with_opts(opts));
+        }
     }
 
-    /// Recorded journeys (empty unless tracing was enabled).
+    /// The workload driving the simulation.
+    pub fn spec(&self) -> &WorkloadSpec {
+        &self.shards[0].spec
+    }
+
+    /// The simulator configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Current simulated time (in the parallel engine: the furthest
+    /// shard clock — shard clocks never differ by more than one
+    /// conservative window).
+    pub fn now(&self) -> SimTime {
+        self.shards
+            .iter()
+            .map(|s| s.queue.now())
+            .max()
+            .expect("at least one shard")
+    }
+
+    /// Number of shards the fabric is partitioned into (1 = serial).
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Number of links currently down.
+    pub fn active_faults(&self) -> usize {
+        // Fault events are replicated: every shard applies every fault,
+        // so shard 0's count is the fabric's.
+        self.shards[0].active_faults
+    }
+
+    /// Whether SM recovery tables (rather than the primary tables) are
+    /// currently live.
+    pub fn recovery_installed(&self) -> bool {
+        self.shards[0].recovery_routing.is_some()
+    }
+
+    /// Recorded journeys (empty unless tracing was enabled; in the
+    /// parallel engine, available after the run has finished).
     pub fn tracer(&self) -> Option<&Tracer> {
-        self.tracer.as_ref()
+        if self.partition.is_none() {
+            self.shards[0].tracer.as_ref()
+        } else {
+            self.merged_tracer.as_ref()
+        }
     }
 
     /// Whether the telemetry probes are armed.
     pub fn telemetry_enabled(&self) -> bool {
-        self.telemetry.is_some()
+        self.shards[0].telemetry.is_some()
     }
 
     /// The telemetry sink, once armed through the builder. The report is
@@ -805,29 +591,49 @@ impl<'a> Network<'a> {
     /// [`MemorySink`], downcast through
     /// [`TelemetrySink::as_memory`] to read the recorded samples.
     pub fn telemetry_sink(&self) -> Option<&dyn TelemetrySink> {
-        self.telemetry.as_deref().map(|t| t.sink())
+        if self.partition.is_none() {
+            self.shards[0].telemetry.as_deref().map(|t| t.sink())
+        } else {
+            self.par_sink.as_deref()
+        }
     }
 
     /// Whether the flight recorder is armed.
     pub fn recorder_enabled(&self) -> bool {
-        self.recorder.is_some()
+        self.shards[0].recorder.is_some()
     }
 
     /// The flight recorder, once armed through the builder.
     pub fn recorder(&self) -> Option<&FlightRecorder> {
-        self.recorder.as_deref()
+        self.shards[0].recorder.as_deref()
     }
 
     /// Drain the flight recorder into an exportable [`FlightDump`]
     /// (`None` unless the recorder was armed through the builder).
     pub fn flight_dump(&self) -> Option<FlightDump> {
-        self.recorder.as_deref().map(|r| {
+        self.shards[0].recorder.as_deref().map(|r| {
             r.dump(
                 self.topo.num_switches(),
                 self.topo.ports_per_switch() as usize,
                 self.config.data_vls as usize,
             )
         })
+    }
+
+    /// The shard owning switch `si` (0 in the serial engine).
+    #[inline]
+    fn shard_for_switch(&self, si: usize) -> usize {
+        self.partition
+            .as_deref()
+            .map_or(0, |p| p.shard_of_switch(SwitchId(si as u16)))
+    }
+
+    /// The shard owning host `hi` (0 in the serial engine).
+    #[inline]
+    fn shard_for_host(&self, hi: usize) -> usize {
+        self.partition
+            .as_deref()
+            .map_or(0, |p| p.shard_of_host(HostId(hi as u16)))
     }
 
     /// Test hook: zero the sender-side credit counters of one output
@@ -838,42 +644,48 @@ impl<'a> Network<'a> {
     /// wedge, as opposed to the dead-escape-link flavour.
     #[doc(hidden)]
     pub fn debug_block_output(&mut self, sw: SwitchId, port: PortIndex) {
-        if let Some(cs) = self.switches[sw.index()].outputs[port.index()]
-            .credits
-            .as_mut()
-        {
-            for c in cs.iter_mut() {
-                *c = Credits::ZERO;
-            }
-        }
+        let sid = self.shard_for_switch(sw.index());
+        self.shards[sid].debug_block_output(sw, port);
     }
 
-    #[inline]
-    fn trace(&mut self, id: PacketId, at: SimTime, step: TraceStep) {
-        if let Some(tr) = self.tracer.as_mut() {
-            tr.record(id, at, step);
-        }
+    /// Test hook: run an escape certification against an arbitrary
+    /// next-hop function through the production stats path, so the
+    /// failure-counting plumbing can be exercised with a deliberately
+    /// cyclic table.
+    #[doc(hidden)]
+    pub fn debug_certify_with(&mut self, next_hop: impl Fn(SwitchId, HostId) -> Option<PortIndex>) {
+        self.shards[0].debug_certify_with(next_hop);
     }
 
     /// Run until the measurement horizon, returning the per-run result.
     pub fn run(&mut self) -> RunResult {
         let horizon = self.config.horizon();
-        self.prime();
+        for sh in self.shards.iter_mut() {
+            sh.prime();
+        }
         let wall_start = std::time::Instant::now();
-        while self.queue.events_processed() < self.config.max_events {
-            let Some((now, ev)) = self.queue.pop_until(horizon) else {
-                break;
-            };
-            self.dispatch(now, ev);
+        if self.partition.is_none() {
+            let max_events = self.config.max_events;
+            let num_switches = self.topo.num_switches();
+            let sh = &mut self.shards[0];
+            while sh.queue.events_processed() < max_events {
+                if !sh.step_until(horizon) {
+                    break;
+                }
+            }
+            if let Some(t) = sh.telemetry.as_deref_mut() {
+                t.flush();
+            }
+            return sh.stats.finish(
+                num_switches,
+                sh.queue.events_processed(),
+                wall_start.elapsed(),
+            );
         }
-        if let Some(t) = self.telemetry.as_deref_mut() {
-            t.flush();
-        }
-        self.stats.finish(
-            self.topo.num_switches(),
-            self.queue.events_processed(),
-            wall_start.elapsed(),
-        )
+        self.execute_windows(horizon, self.config.max_events);
+        self.finalize_observers();
+        let events = self.total_events();
+        self.merged_result(events, wall_start.elapsed())
     }
 
     /// Run with generation stopped at `stop_generation`, continuing until
@@ -885,26 +697,39 @@ impl<'a> Network<'a> {
         stop_generation: SimTime,
         hard_deadline: SimTime,
     ) -> (RunResult, bool) {
-        self.gen_deadline = stop_generation;
-        self.prime();
+        for sh in self.shards.iter_mut() {
+            sh.gen_deadline = stop_generation;
+            sh.prime();
+        }
         let wall_start = std::time::Instant::now();
-        let mut drained = true;
-        while let Some((now, ev)) = self.queue.pop_until(hard_deadline) {
-            self.dispatch(now, ev);
-            if self.queue.events_processed() >= self.config.max_events {
-                drained = false;
-                break;
+        let (result, drained) = if self.partition.is_none() {
+            let max_events = self.config.max_events;
+            let num_switches = self.topo.num_switches();
+            let sh = &mut self.shards[0];
+            let mut drained = true;
+            while sh.step_until(hard_deadline) {
+                if sh.queue.events_processed() >= max_events {
+                    drained = false;
+                    break;
+                }
             }
-        }
-        drained &= self.queue.is_empty();
-        if let Some(t) = self.telemetry.as_deref_mut() {
-            t.flush();
-        }
-        let result = self.stats.finish(
-            self.topo.num_switches(),
-            self.queue.events_processed(),
-            wall_start.elapsed(),
-        );
+            drained &= sh.queue.is_empty();
+            if let Some(t) = sh.telemetry.as_deref_mut() {
+                t.flush();
+            }
+            let result = sh.stats.finish(
+                num_switches,
+                sh.queue.events_processed(),
+                wall_start.elapsed(),
+            );
+            (result, drained)
+        } else {
+            let hit_budget = self.execute_windows(hard_deadline, self.config.max_events);
+            let drained = !hit_budget && self.shards.iter().all(|s| s.queue.is_empty());
+            self.finalize_observers();
+            let events = self.total_events();
+            (self.merged_result(events, wall_start.elapsed()), drained)
+        };
         // Packets dropped at full source queues never entered the fabric,
         // and packets lost on a failed link are resolved, not in flight —
         // every other generated packet must have been delivered.
@@ -913,25 +738,282 @@ impl<'a> Network<'a> {
         (result, fully_drained)
     }
 
+    /// Process up to `max_events` further events (priming the generators
+    /// on first use), stopping early at the configured horizon. Returns
+    /// the number of events actually processed. A stepping hook for
+    /// benchmarks and diagnostics; [`Self::run`] and
+    /// [`Self::run_until_drained`] remain the measurement entry points.
+    /// The parallel engine steps whole conservative windows, so it may
+    /// overshoot `max_events` by up to one window's worth of events.
+    pub fn advance(&mut self, max_events: u64) -> u64 {
+        let horizon = self.config.horizon();
+        for sh in self.shards.iter_mut() {
+            sh.prime();
+        }
+        if self.partition.is_none() {
+            let sh = &mut self.shards[0];
+            let mut n = 0;
+            while n < max_events {
+                if !sh.step_until(horizon) {
+                    break;
+                }
+                n += 1;
+            }
+            return n;
+        }
+        let before = self.total_events();
+        self.execute_windows(horizon, before.saturating_add(max_events));
+        self.total_events() - before
+    }
+
+    /// One §4.3 arbitration sweep over every switch at the current
+    /// simulated time, returning the total number of grants. The
+    /// microbenchmark probe for the arbitration hot path; grants made
+    /// here reserve resources and schedule downstream events exactly as
+    /// in-loop arbitration does.
+    pub fn arbitrate_pass(&mut self) -> usize {
+        self.shards.iter_mut().map(|s| s.arbitrate_pass()).sum()
+    }
+
+    /// Events processed fabric-wide, with parallel-replicated events
+    /// (faults, telemetry ticks) counted once — invariant in the shard
+    /// count.
+    fn total_events(&self) -> u64 {
+        self.shards.iter().map(|s| s.counted_events()).sum()
+    }
+
+    /// Run conservative lookahead windows until every queue is drained,
+    /// `limit` is passed, or `max_total` fabric-wide events have been
+    /// processed. Returns whether the event budget stopped the run.
+    fn execute_windows(&mut self, limit: SimTime, max_total: u64) -> bool {
+        let lookahead = self.config.phys.propagation_ns;
+        let limit_ns = limit.as_ns();
+        let nshards = self.shards.len();
+        let workers_req = self.threads.min(nshards).max(1);
+
+        if workers_req == 1 {
+            // Inline execution: same window protocol, no threads.
+            loop {
+                if self.total_events() >= max_total {
+                    return true;
+                }
+                let next: Vec<u64> = self.shards.iter().map(|s| s.next_time_ns()).collect();
+                let Some(w) = conservative_window(&next, lookahead) else {
+                    return false;
+                };
+                if w.start_ns > limit_ns {
+                    return false;
+                }
+                // `pop_until` is inclusive; the window end is exclusive.
+                let exec = SimTime::from_ns((w.end_ns - 1).min(limit_ns));
+                let mut msgs: Vec<OutMsg> = Vec::new();
+                for sh in self.shards.iter_mut() {
+                    sh.run_window(exec);
+                    msgs.append(&mut sh.take_outbox());
+                }
+                for m in msgs {
+                    self.shards[m.dst].enqueue_remote(m.at, m.key, m.ev);
+                }
+            }
+        }
+
+        // Threaded execution. Shards are split into contiguous chunks,
+        // one worker per chunk; `workers` is recomputed from the chunk
+        // size so the barrier matches the number of threads actually
+        // spawned (e.g. 4 shards over 3 requested threads → chunks of 2
+        // → 2 workers).
+        let chunk = nshards.div_ceil(workers_req);
+        let workers = nshards.div_ceil(chunk);
+        let mailboxes: Vec<Mailbox> = (0..nshards).map(|_| Mutex::new(Vec::new())).collect();
+        let next_times: Vec<AtomicU64> = self
+            .shards
+            .iter()
+            .map(|s| AtomicU64::new(s.next_time_ns()))
+            .collect();
+        let counted: Vec<AtomicU64> = self
+            .shards
+            .iter()
+            .map(|s| AtomicU64::new(s.counted_events()))
+            .collect();
+        let barrier = SpinBarrier::new(workers);
+        let hit_budget = AtomicBool::new(false);
+
+        std::thread::scope(|scope| {
+            for (wi, chunk_shards) in self.shards.chunks_mut(chunk).enumerate() {
+                let mailboxes = &mailboxes;
+                let next_times = &next_times;
+                let counted = &counted;
+                let barrier = &barrier;
+                let hit_budget = &hit_budget;
+                let base = wi * chunk;
+                scope.spawn(move || {
+                    loop {
+                        // Decide: every worker reads the same published
+                        // values (stores precede barrier B, reads follow
+                        // it), computes the same window, and therefore
+                        // takes the same branch — no worker can strand
+                        // another at a barrier.
+                        let total: u64 = counted.iter().map(|c| c.load(Ordering::Acquire)).sum();
+                        if total >= max_total {
+                            hit_budget.store(true, Ordering::Release);
+                            break;
+                        }
+                        let next: Vec<u64> = next_times
+                            .iter()
+                            .map(|t| t.load(Ordering::Acquire))
+                            .collect();
+                        let Some(w) = conservative_window(&next, lookahead) else {
+                            break;
+                        };
+                        if w.start_ns > limit_ns {
+                            break;
+                        }
+                        let exec = SimTime::from_ns((w.end_ns - 1).min(limit_ns));
+                        for sh in chunk_shards.iter_mut() {
+                            sh.run_window(exec);
+                            sh.flush_outbox(mailboxes);
+                        }
+                        barrier.wait(); // A: every outbox flushed
+                        for (i, sh) in chunk_shards.iter_mut().enumerate() {
+                            let msgs = std::mem::take(
+                                &mut *mailboxes[base + i].lock().expect("mailbox poisoned"),
+                            );
+                            sh.ingest(msgs);
+                            next_times[base + i].store(sh.next_time_ns(), Ordering::Release);
+                            counted[base + i].store(sh.counted_events(), Ordering::Release);
+                        }
+                        barrier.wait(); // B: every ingest published
+                    }
+                });
+            }
+        });
+        hit_budget.load(Ordering::Acquire)
+    }
+
+    /// Flush shard telemetry and, in the parallel engine, run the
+    /// one-shot observer merge: splice per-shard occupancy samples into
+    /// fabric-wide samples for the user's sink, absorb per-shard switch
+    /// accumulations into one report, and union the shard tracers.
+    fn finalize_observers(&mut self) {
+        for sh in self.shards.iter_mut() {
+            if let Some(t) = sh.telemetry.as_deref_mut() {
+                t.flush();
+            }
+        }
+        if self.partition.is_none() || self.finalized {
+            return;
+        }
+        self.finalized = true;
+
+        if let Some(sink) = self.par_sink.as_deref_mut() {
+            let shard_sinks: Vec<&MemorySink> = self
+                .shards
+                .iter()
+                .filter_map(|s| s.telemetry.as_deref())
+                .map(|t| {
+                    t.sink()
+                        .as_memory()
+                        .expect("parallel shards use memory sinks")
+                })
+                .collect();
+            let n_samples = shard_sinks
+                .iter()
+                .map(|m| m.samples().len())
+                .max()
+                .unwrap_or(0);
+            for k in 0..n_samples {
+                let mut at = None;
+                let mut occupancy = Vec::new();
+                for ms in &shard_sinks {
+                    if let Some(sample) = ms.samples().get(k) {
+                        at.get_or_insert(sample.at);
+                        occupancy.extend_from_slice(&sample.occupancy);
+                    }
+                }
+                occupancy.sort_by_key(|o| (o.sw.0, o.vl.0));
+                sink.on_sample(&TelemetrySample {
+                    at: at.expect("nonempty sample index"),
+                    occupancy,
+                });
+            }
+            if !shard_sinks.is_empty() {
+                let r0 = shard_sinks[0].report().expect("telemetry flushed");
+                let ports = self.topo.ports_per_switch() as usize;
+                let mut switches: Vec<SwitchTelemetry> = (0..self.topo.num_switches())
+                    .map(|s| SwitchTelemetry::new(SwitchId(s as u16), ports))
+                    .collect();
+                for ms in &shard_sinks {
+                    for st in &ms.report().expect("telemetry flushed").switches {
+                        switches[st.sw.index()].absorb(st);
+                    }
+                }
+                let merged = TelemetryReport {
+                    schema_version: TELEMETRY_SCHEMA_VERSION,
+                    sample_every_ns: r0.sample_every_ns,
+                    samples_taken: r0.samples_taken,
+                    samples_dropped: r0.samples_dropped,
+                    switches,
+                };
+                sink.on_report(&merged);
+            }
+        }
+
+        if let Some(opts) = self.trace_opts {
+            // Each shard records the steps it executed for a sampled
+            // packet; a journey crossing shards is split across tracers.
+            // Union the steps per packet and re-sort by (time, step
+            // kind) — the canonical order a single-queue run would have
+            // recorded them in.
+            let mut all: HashMap<PacketId, PacketTrace> = HashMap::new();
+            for sh in &self.shards {
+                if let Some(tr) = sh.tracer.as_ref() {
+                    for (id, t) in tr.traces() {
+                        all.entry(*id)
+                            .or_default()
+                            .steps
+                            .extend(t.steps.iter().cloned());
+                    }
+                }
+            }
+            let mut merged = Tracer::with_opts(opts);
+            for (id, mut t) in all {
+                t.steps.sort_by_key(|s| (s.0, step_rank(&s.1)));
+                merged.insert(id, t);
+            }
+            self.merged_tracer = Some(merged);
+        }
+    }
+
+    /// The run result: shard 0's collector in the serial engine, the
+    /// deterministic merge of every shard's collector in the parallel
+    /// engine.
+    fn merged_result(&self, events: u64, wall: Duration) -> RunResult {
+        if self.partition.is_none() {
+            return self.shards[0]
+                .stats
+                .finish(self.topo.num_switches(), events, wall);
+        }
+        let mut merged = StatsCollector::new(
+            self.config.warmup,
+            self.config.horizon(),
+            self.topo.num_hosts(),
+            self.routing.lid_map().table_len(),
+        );
+        for sh in &self.shards {
+            merged.merge(&sh.stats);
+        }
+        merged.finish(self.topo.num_switches(), events, wall)
+    }
+
     /// Whether every buffer is empty, every credit counter restored to
     /// capacity and every source queue empty — the quiescence invariant
-    /// after a full drain.
+    /// after a full drain. Each entity is checked in its owning shard
+    /// (the only shard whose copy of that state advances).
     pub fn is_quiescent(&self) -> bool {
-        let cap = self.config.vl_buffer_credits;
-        self.switches.iter().all(|sw| {
-            sw.inputs.iter().all(|ip| {
-                ip.vls
-                    .iter()
-                    .all(|b| b.is_empty() && b.occupied() == Credits::ZERO)
-            }) && sw.outputs.iter().all(|op| {
-                op.credits
-                    .as_ref()
-                    .is_none_or(|cs| cs.iter().all(|&c| c == cap))
-            })
-        }) && self
-            .hosts
-            .iter()
-            .all(|h| h.queue.is_empty() && h.credits.iter().all(|&c| c == cap))
+        (0..self.topo.num_switches())
+            .all(|si| self.shards[self.shard_for_switch(si)].switch_quiescent(si))
+            && (0..self.topo.num_hosts())
+                .all(|hi| self.shards[self.shard_for_host(hi)].host_quiescent(hi))
     }
 
     /// Packets still resident in the fabric: everything buffered in
@@ -940,13 +1022,12 @@ impl<'a> Network<'a> {
     /// conservation invariant `generated = delivered + dropped +
     /// in-flight`.
     pub fn residual_packets(&self) -> usize {
-        self.switches
-            .iter()
-            .flat_map(|sw| sw.inputs.iter())
-            .flat_map(|ip| ip.vls.iter())
-            .map(|b| b.len())
+        (0..self.topo.num_switches())
+            .map(|si| self.shards[self.shard_for_switch(si)].switch_residual(si))
             .sum::<usize>()
-            + self.hosts.iter().map(|h| h.queue.len()).sum::<usize>()
+            + (0..self.topo.num_hosts())
+                .map(|hi| self.shards[self.shard_for_host(hi)].host_residual(hi))
+                .sum::<usize>()
     }
 
     /// Per-VL credit-conservation audit: after a full drain every
@@ -956,41 +1037,12 @@ impl<'a> Network<'a> {
     /// still masked by an open fault window are skipped, since their
     /// counters are only re-synchronized when the link retrains.
     pub fn credit_audit(&self) -> Vec<String> {
-        let cap = self.config.vl_buffer_credits;
         let mut out = Vec::new();
-        for (si, sw) in self.switches.iter().enumerate() {
-            for (p, op) in sw.outputs.iter().enumerate() {
-                if !sw.link_up[p] {
-                    continue;
-                }
-                let Some(cs) = op.credits.as_ref() else {
-                    continue;
-                };
-                for (v, &c) in cs.iter().enumerate() {
-                    if c != cap {
-                        out.push(format!(
-                            "switch {si} port {p} vl {v}: {}/{} credits",
-                            c.count(),
-                            cap.count()
-                        ));
-                    }
-                }
-            }
+        for si in 0..self.topo.num_switches() {
+            self.shards[self.shard_for_switch(si)].audit_switch_into(si, &mut out);
         }
-        for (hi, h) in self.hosts.iter().enumerate() {
-            let (sw, port) = self.topo.host_attachment(HostId(hi as u16));
-            if !self.switches[sw.index()].link_up[port.index()] {
-                continue;
-            }
-            for (v, &c) in h.credits.iter().enumerate() {
-                if c != cap {
-                    out.push(format!(
-                        "host {hi} vl {v}: {}/{} credits",
-                        c.count(),
-                        cap.count()
-                    ));
-                }
-            }
+        for hi in 0..self.topo.num_hosts() {
+            self.shards[self.shard_for_host(hi)].audit_host_into(hi, &mut out);
         }
         out
     }
@@ -1000,13 +1052,13 @@ impl<'a> Network<'a> {
     /// probe — under pure up\*/down\* routing the ports around the tree
     /// root run visibly hotter than the rest (the §5.2.1 effect).
     pub fn port_utilization(&self) -> Vec<Vec<f64>> {
-        let elapsed = self.queue.now().as_ns().max(1) as f64;
-        self.switches
-            .iter()
-            .map(|sw| {
-                sw.outputs
-                    .iter()
-                    .map(|op| op.busy_ns_total as f64 / elapsed)
+        let elapsed = self.now().as_ns().max(1) as f64;
+        (0..self.topo.num_switches())
+            .map(|si| {
+                self.shards[self.shard_for_switch(si)]
+                    .port_busy_row(si)
+                    .into_iter()
+                    .map(|busy| busy as f64 / elapsed)
                     .collect()
             })
             .collect()
@@ -1032,1402 +1084,5 @@ impl<'a> Network<'a> {
         } else {
             sum / n as f64
         }
-    }
-
-    /// Seed the event queue: every host's first synthetic generation, or
-    /// the script's first entry in trace-driven mode. Idempotent.
-    fn prime(&mut self) {
-        if self.primed {
-            return;
-        }
-        self.primed = true;
-        // Faults are plain events in the queue, so their application is
-        // serialized with packet events at deterministic points — a
-        // fault-driven run stays bit-identical across queue backends.
-        for idx in 0..self.faults.len() {
-            self.queue
-                .schedule(self.faults[idx].at, Event::Fault { idx });
-        }
-        // The telemetry probe rides the event queue like everything else,
-        // so sampling points are serialized deterministically across
-        // backends. Disabled runs schedule nothing.
-        if let Some(t) = self.telemetry.as_deref() {
-            let at = SimTime::from_ns(t.cadence_ns());
-            if at <= self.config.horizon() {
-                self.queue.schedule(at, Event::TelemetrySample);
-            }
-        }
-        // Likewise the stall watchdog: its checks are ordinary events at
-        // deterministic times, so recorded runs stay bit-identical across
-        // queue backends.
-        if let Some(wd) = self.recorder.as_deref().and_then(|r| r.opts().watchdog) {
-            let at = SimTime::from_ns(wd.check_every_ns);
-            if at <= self.config.horizon() {
-                self.queue.schedule(at, Event::WatchdogCheck);
-            }
-        }
-        if let Some(script) = self.script {
-            if let Some(first) = script.packets().first() {
-                if first.at < self.gen_deadline {
-                    self.queue
-                        .schedule(first.at, Event::GenerateScripted { idx: 0 });
-                }
-            }
-            return;
-        }
-        for h in 0..self.hosts.len() {
-            let dt = self.hosts[h]
-                .gen
-                .as_mut()
-                .expect("synthetic mode")
-                .next_interarrival_ns();
-            let at = SimTime::from_ns(dt);
-            if at < self.gen_deadline {
-                self.queue.schedule(
-                    at,
-                    Event::Generate {
-                        host: HostId(h as u16),
-                    },
-                );
-            }
-        }
-    }
-
-    fn dispatch(&mut self, now: SimTime, ev: Event) {
-        match ev {
-            Event::Generate { host } => self.on_generate(now, host),
-            Event::GenerateScripted { idx } => self.on_generate_scripted(now, idx),
-            Event::TryInject { host } => self.try_inject(now, host),
-            Event::HeaderArrive {
-                sw,
-                port,
-                vl,
-                packet,
-            } => self.on_header_arrive(now, sw, port, vl, packet),
-            Event::RouteDone {
-                sw,
-                port,
-                vl,
-                handle,
-            } => self.on_route_done(now, sw, port, vl, handle),
-            Event::Arbitrate { sw } => {
-                self.switches[sw.index()].arb_pending = false;
-                self.arbitrate(now, sw);
-            }
-            Event::TxDone {
-                sw,
-                port,
-                vl,
-                handle,
-            } => self.on_tx_done(now, sw, port, vl, handle),
-            Event::CreditReturn {
-                target,
-                port,
-                vl,
-                credits,
-            } => self.on_credit_return(now, target, port, vl, credits),
-            Event::Deliver { host, packet } => {
-                self.trace(packet.id, now, TraceStep::Delivered { host });
-                if let Some(r) = self.recorder.as_deref_mut() {
-                    let latency_ns = now.since(packet.generated_at);
-                    r.record(
-                        None,
-                        now,
-                        FlightEvent::Delivered {
-                            packet: packet.id,
-                            host,
-                            latency_ns,
-                        },
-                    );
-                    if r.wants_latency_trigger(latency_ns) {
-                        r.trigger(now, TriggerCause::LatencyThreshold, None, Some(packet.id));
-                    }
-                }
-                self.stats.on_delivered(&packet, now);
-            }
-            Event::Fault { idx } => self.on_fault(now, idx),
-            Event::ResweepDone => self.on_resweep_done(now),
-            Event::TelemetrySample => self.on_telemetry_sample(now),
-            Event::WatchdogCheck => self.on_watchdog_check(now),
-        }
-    }
-
-    /// Take one telemetry sample of every VL buffer in the fabric, hand
-    /// it to the sink, and reschedule the probe one cadence later (while
-    /// the horizon allows).
-    fn on_telemetry_sample(&mut self, now: SimTime) {
-        let nvls = self.config.data_vls as usize;
-        let nports = self.topo.ports_per_switch() as usize;
-        let nsw = self.switches.len();
-        let Some(t) = self.telemetry.as_deref_mut() else {
-            return;
-        };
-        let switches = &self.switches;
-        t.record_sample(
-            now,
-            nvls,
-            |s, p, v| &switches[s].inputs[p].vls[v],
-            nsw,
-            nports,
-        );
-        let next = now.plus_ns(t.cadence_ns());
-        if next <= self.config.horizon() {
-            self.queue.schedule(next, Event::TelemetrySample);
-        }
-    }
-
-    /// One stall-watchdog pass: check every (switch, input port, VL)
-    /// buffer for forward progress, classify stalled buffers by the
-    /// liveness of their escape path, and reschedule one cadence later
-    /// (while the horizon allows).
-    fn on_watchdog_check(&mut self, now: SimTime) {
-        let Some(wd) = self.recorder.as_deref().and_then(|r| r.opts().watchdog) else {
-            return;
-        };
-        if !self.recorder.as_deref().is_some_and(|r| r.frozen()) {
-            let nports = self.topo.ports_per_switch() as usize;
-            let nvls = self.config.data_vls as usize;
-            for si in 0..self.switches.len() {
-                for ip in 0..nports {
-                    for vl in 0..nvls {
-                        self.watchdog_check_buffer(
-                            now,
-                            SwitchId(si as u16),
-                            ip,
-                            vl,
-                            wd.stall_after_ns,
-                        );
-                    }
-                }
-            }
-        }
-        let next = now.plus_ns(wd.check_every_ns);
-        if next <= self.config.horizon() {
-            self.queue.schedule(next, Event::WatchdogCheck);
-        }
-    }
-
-    /// Check one buffer: stalled means occupied, not mid-transmission,
-    /// head routed, and no forward progress for `stall_after_ns`. A
-    /// stalled buffer is classified by its head packet's *escape* path
-    /// (the deadlock-freedom invariant guarantees escape queues drain,
-    /// so a lively escape path means the stall resolves); a suspected
-    /// wedge logs a [`FlightEvent::Stall`] and fires the freeze trigger.
-    fn watchdog_check_buffer(
-        &mut self,
-        now: SimTime,
-        sw: SwitchId,
-        ip: usize,
-        vl: usize,
-        stall_after_ns: u64,
-    ) {
-        let st = &self.switches[sw.index()];
-        let buf = &st.inputs[ip].vls[vl];
-        if buf.is_empty() || buf.has_in_flight() {
-            return;
-        }
-        let head = buf.get(0);
-        let Some(route) = head.route.as_ref() else {
-            return; // still in the routing pipeline: not stall-eligible
-        };
-        let waited = self
-            .recorder
-            .as_deref()
-            .map_or(0, |r| r.stalled_for(sw, ip, vl, now));
-        if waited < stall_after_ns {
-            return;
-        }
-        let op = route.escape;
-        let escape_link_up = st.link_up[op.index()];
-        let out = &st.outputs[op.index()];
-        let escape_streaming = out.busy_until > now;
-        let out_vl = st.sl2vl.vl_for(PortIndex(ip as u8), op, head.packet.sl);
-        let escape_credits_ok = match out.credits.as_ref() {
-            None => true,
-            Some(cs) => cs[out_vl.index()] >= head.packet.credits(),
-        };
-        let packet_id = head.packet.id;
-        let since_return = self
-            .recorder
-            .as_deref()
-            .and_then(|r| r.last_credit_return_at(sw, op))
-            .map(|t| now.since(t));
-        let class = classify_stall(
-            escape_link_up,
-            escape_streaming,
-            escape_credits_ok,
-            since_return,
-            stall_after_ns,
-        );
-        let Some(r) = self.recorder.as_deref_mut() else {
-            return;
-        };
-        if r.should_log_stall(sw, ip, vl, class) {
-            r.record(
-                Some(sw),
-                now,
-                FlightEvent::Stall {
-                    port: PortIndex(ip as u8),
-                    vl: VirtualLane(vl as u8),
-                    packet: packet_id,
-                    waited_ns: waited,
-                    class,
-                },
-            );
-            if class == StallClass::SuspectedWedge {
-                r.trigger(now, TriggerCause::SuspectedWedge, Some(sw), Some(packet_id));
-            }
-        }
-    }
-
-    /// Raise the fault-mask depth of one port. Returns `true` when the
-    /// port transitioned from live to masked.
-    fn mask_port(&mut self, s: SwitchId, p: PortIndex, by_switch: bool) -> bool {
-        let st = &mut self.switches[s.index()];
-        st.down_depth[p.index()] += 1;
-        if by_switch {
-            st.switch_down_depth[p.index()] += 1;
-        }
-        let transitioned = st.down_depth[p.index()] == 1;
-        if transitioned {
-            st.link_up[p.index()] = false;
-        }
-        transitioned
-    }
-
-    /// Lower the fault-mask depth of one port. Returns `true` when the
-    /// port transitioned from masked back to live (overlapping faults
-    /// keep it masked until the last one clears).
-    fn unmask_port(&mut self, s: SwitchId, p: PortIndex, by_switch: bool) -> bool {
-        let st = &mut self.switches[s.index()];
-        let was = st.down_depth[p.index()];
-        st.down_depth[p.index()] = was.saturating_sub(1);
-        if by_switch {
-            st.switch_down_depth[p.index()] = st.switch_down_depth[p.index()].saturating_sub(1);
-        }
-        let live = was == 1;
-        if live {
-            st.link_up[p.index()] = true;
-        }
-        live
-    }
-
-    /// Re-synchronize the `s → peer` sender-side credit counters from the
-    /// receiver's actual free space (link retraining resets flow
-    /// control); space held by residencies still draining comes back
-    /// through their normal CreditReturns.
-    fn resync_link_credits(
-        &mut self,
-        now: SimTime,
-        s: SwitchId,
-        p: PortIndex,
-        peer: SwitchId,
-        pp: PortIndex,
-    ) {
-        let free: InlineVec<Credits, 16> = self.switches[peer.index()].inputs[pp.index()]
-            .vls
-            .iter()
-            .map(|b| b.free())
-            .collect();
-        if let Some(cs) = self.switches[s.index()].outputs[p.index()].credits.as_mut() {
-            for (c, f) in cs.iter_mut().zip(free.iter()) {
-                *c = *f;
-            }
-        }
-        self.schedule_arbitrate(now, s);
-    }
-
-    /// Apply one fault-schedule entry. Downing a link masks both port
-    /// directions; downing a switch atomically masks every wired port of
-    /// the switch in both directions (in-flight packets toward it are
-    /// lost, its own buffered packets are stranded until it returns — a
-    /// power-cycled switch that kept its buffer RAM, chosen so pending
-    /// buffer residencies stay valid). The matching up event restores the
-    /// ports and re-synchronizes sender-side credit counters from the
-    /// receiver buffers. Redundant events (downing a dead link, upping a
-    /// live one) are ignored.
-    fn on_fault(&mut self, now: SimTime, idx: usize) {
-        let f = self.faults[idx];
-        match f.kind {
-            FaultKind::LinkDown => {
-                if !self.switches[f.a.index()].link_up[f.pa.index()] {
-                    return;
-                }
-                self.mask_port(f.a, f.pa, false);
-                self.mask_port(f.b, f.pb, false);
-                self.active_faults += 1;
-                self.stats.on_fault(now);
-                if let Some(r) = self.recorder.as_deref_mut() {
-                    r.record(Some(f.a), now, FlightEvent::LinkDown { port: f.pa });
-                    r.record(Some(f.b), now, FlightEvent::LinkDown { port: f.pb });
-                }
-            }
-            FaultKind::LinkUp => {
-                if self.switches[f.a.index()].link_up[f.pa.index()] {
-                    return;
-                }
-                self.unmask_port(f.a, f.pa, false);
-                self.unmask_port(f.b, f.pb, false);
-                self.active_faults -= 1;
-                if let Some(r) = self.recorder.as_deref_mut() {
-                    r.record(Some(f.a), now, FlightEvent::LinkUp { port: f.pa });
-                    r.record(Some(f.b), now, FlightEvent::LinkUp { port: f.pb });
-                }
-                for (s, p, peer, pp) in [(f.a, f.pa, f.b, f.pb), (f.b, f.pb, f.a, f.pa)] {
-                    self.resync_link_credits(now, s, p, peer, pp);
-                }
-            }
-            FaultKind::SwitchDown => self.apply_switch_fault(now, f.a, true),
-            FaultKind::SwitchUp => self.apply_switch_fault(now, f.a, false),
-        }
-        if self.recovery == RecoveryPolicy::SmResweep {
-            self.queue
-                .schedule(now.plus_ns(self.resweep_latency_ns), Event::ResweepDone);
-        }
-    }
-
-    /// Down or up a whole switch: every inter-switch link is masked or
-    /// unmasked in both directions, every host-facing port on the switch
-    /// side. At switch-up, each link whose two sides both came back live
-    /// gets its sender credits re-synchronized; attached hosts get their
-    /// credit counters rebuilt from the receiver's free space — credits
-    /// they spent on packets that died at the masked port never return,
-    /// and without the resync they would be leaked forever.
-    fn apply_switch_fault(&mut self, now: SimTime, s: SwitchId, down: bool) {
-        if self.dead_switches[s.index()] == down {
-            return; // redundant (already in the requested state)
-        }
-        self.dead_switches[s.index()] = down;
-        if down {
-            self.active_faults += 1;
-            self.stats.on_fault(now);
-        } else {
-            self.active_faults -= 1;
-        }
-        if let Some(r) = self.recorder.as_deref_mut() {
-            let ev = if down {
-                FlightEvent::SwitchDown { sw: s }
-            } else {
-                FlightEvent::SwitchUp { sw: s }
-            };
-            r.record(Some(s), now, ev);
-        }
-        let neighbors: InlineVec<(PortIndex, SwitchId, PortIndex), MAX_PORTS> =
-            self.topo.switch_neighbors(s).collect();
-        for &(p, peer, pp) in neighbors.iter() {
-            if down {
-                self.mask_port(s, p, true);
-                if self.mask_port(peer, pp, true) {
-                    if let Some(r) = self.recorder.as_deref_mut() {
-                        r.record(Some(peer), now, FlightEvent::LinkDown { port: pp });
-                    }
-                }
-            } else {
-                let live_s = self.unmask_port(s, p, true);
-                let live_peer = self.unmask_port(peer, pp, true);
-                if live_peer {
-                    if let Some(r) = self.recorder.as_deref_mut() {
-                        r.record(Some(peer), now, FlightEvent::LinkUp { port: pp });
-                    }
-                }
-                if live_s && live_peer {
-                    self.resync_link_credits(now, s, p, peer, pp);
-                    self.resync_link_credits(now, peer, pp, s, p);
-                }
-            }
-        }
-        let attached: InlineVec<(PortIndex, HostId), MAX_PORTS> =
-            self.topo.attached_hosts(s).collect();
-        for &(p, h) in attached.iter() {
-            if down {
-                self.mask_port(s, p, true);
-            } else if self.unmask_port(s, p, true) {
-                let free: InlineVec<Credits, 16> = self.switches[s.index()].inputs[p.index()]
-                    .vls
-                    .iter()
-                    .map(|b| b.free())
-                    .collect();
-                for (c, f) in self.hosts[h.index()].credits.iter_mut().zip(free.iter()) {
-                    *c = *f;
-                }
-                self.try_inject(now, h);
-            }
-        }
-        if !down {
-            self.schedule_arbitrate(now, s);
-        }
-    }
-
-    /// The SM re-sweep completes: install routing rebuilt on the
-    /// *current* degraded topology and re-route already-buffered packets
-    /// against it. If every link is back up the primary tables are
-    /// reinstated; if the degraded fabric is disconnected the sweep
-    /// fails and the old tables stay live.
-    fn on_resweep_done(&mut self, now: SimTime) {
-        if self.active_faults == 0 {
-            self.recovery_routing = None;
-            self.stats.on_recovery_installed(now);
-        } else {
-            match self.rebuild_degraded_routing() {
-                Ok(r) => {
-                    self.recovery_routing = Some(r);
-                    self.stats.on_recovery_installed(now);
-                }
-                Err(_) => {
-                    self.stats.on_resweep_failed();
-                    return;
-                }
-            }
-        }
-        // Every freshly installed table set — degraded recovery tables or
-        // the reinstated primaries — is certified deadlock-free before
-        // traffic resumes on it.
-        self.certify_escape(false);
-        self.reroute_buffered();
-        for s in 0..self.switches.len() {
-            self.schedule_arbitrate(now, SwitchId(s as u16));
-        }
-    }
-
-    /// Certify the currently live tables' escape paths acyclic with
-    /// [`check_escape_routes`] (the up\*/down\* deadlock-freedom
-    /// invariant), feeding the verdict into the run statistics. With
-    /// `alternate` set the APM alternate path set is walked instead of
-    /// the primary one. Purely observational: no RNG, no control flow —
-    /// certified runs stay bit-identical across queue backends.
-    fn certify_escape(&mut self, alternate: bool) {
-        let ok = {
-            let routing = self.recovery_routing.as_ref().unwrap_or(self.routing);
-            check_escape_routes(self.topo, |s, h| {
-                let dlid = if alternate {
-                    routing.apm_dlid(h, false).ok()?
-                } else {
-                    routing.dlid(h, false).ok()?
-                };
-                routing.route_shared(s, dlid).ok().map(|r| r.escape)
-            })
-            .is_ok()
-        };
-        self.stats.on_escape_certification(ok);
-    }
-
-    /// Test hook: run an escape certification against an arbitrary
-    /// next-hop function through the production stats path, so the
-    /// failure-counting plumbing can be exercised with a deliberately
-    /// cyclic table.
-    #[doc(hidden)]
-    pub fn debug_certify_with(&mut self, next_hop: impl Fn(SwitchId, HostId) -> Option<PortIndex>) {
-        let ok = check_escape_routes(self.topo, next_hop).is_ok();
-        self.stats.on_escape_certification(ok);
-    }
-
-    /// Rebuild routing on the degraded topology, in *physical* id order
-    /// so the LID space is unchanged and DLIDs of in-flight packets stay
-    /// valid (the SMP-level SM pipeline discovers in BFS order and
-    /// correlates by GUID; the in-sim re-sweep models its outcome, not
-    /// its numbering).
-    fn rebuild_degraded_routing(&self) -> Result<FaRouting, IbaError> {
-        let mut b = TopologyBuilder::new(self.topo.num_switches(), self.topo.ports_per_switch());
-        for s in self.topo.switch_ids() {
-            for (p, peer, pp) in self.topo.switch_neighbors(s) {
-                if peer.0 > s.0 && self.switches[s.index()].link_up[p.index()] {
-                    b.connect_ports(s, p, peer, pp)?;
-                }
-            }
-        }
-        for h in self.topo.host_ids() {
-            let (sw, port) = self.topo.host_attachment(h);
-            b.attach_host_at(sw, port)?;
-        }
-        let degraded = b.build()?; // errors when the dead link disconnected the fabric
-        let cfg = *self.routing.config();
-        if self.routing.has_apm() {
-            FaRouting::build_with_apm(&degraded, cfg)
-        } else if self.routing.source_multipath().is_some() {
-            FaRouting::build_source_multipath(&degraded, cfg)
-        } else {
-            let caps: Vec<bool> = self
-                .topo
-                .switch_ids()
-                .map(|s| self.routing.switch_adaptive(s))
-                .collect();
-            FaRouting::build_mixed(&degraded, cfg, &caps)
-        }
-    }
-
-    /// Point every routed, not-in-flight buffered packet at the freshly
-    /// installed tables (packets routed before the sweep may hold
-    /// options through a dead link and would stall forever).
-    fn reroute_buffered(&mut self) {
-        let routing = self.recovery_routing.as_ref().unwrap_or(self.routing);
-        for (si, st) in self.switches.iter_mut().enumerate() {
-            let sw = SwitchId(si as u16);
-            for input in st.inputs.iter_mut() {
-                for buf in input.vls.iter_mut() {
-                    buf.reroute_with(|p| routing.route_shared(sw, p.dlid).ok());
-                }
-            }
-        }
-    }
-
-    fn on_generate(&mut self, now: SimTime, host: HostId) {
-        // APM migration: while any link is down, new packets address the
-        // alternate path set, steering them off the primary tree without
-        // waiting for the SM.
-        let migrate = self.recovery == RecoveryPolicy::ApmMigrate && self.active_faults > 0;
-        if migrate && !self.apm_certified {
-            // First migration onto the alternate path set: certify its
-            // escape chains acyclic before any packet addresses them
-            // (once per run — the APM tables never change).
-            self.apm_certified = true;
-            self.certify_escape(true);
-        }
-        let routing = self.recovery_routing.as_ref().unwrap_or(self.routing);
-        let h = &mut self.hosts[host.index()];
-        let gp = h.gen.as_mut().expect("synthetic mode").generate();
-        let dlid = match routing.source_multipath() {
-            // Source-selected multipath: rotate over the destination's
-            // whole address range; each address is a distinct fixed path.
-            Some(x) => {
-                let offset = h.mp_cursor % x;
-                h.mp_cursor = (h.mp_cursor + 1) % x;
-                routing
-                    .lid_map()
-                    .lid_for(gp.dst, offset)
-                    .expect("offset within the LMC range")
-            }
-            None if migrate => routing
-                .apm_dlid(gp.dst, gp.adaptive)
-                .expect("APM tables checked in with_faults"),
-            None => routing
-                .dlid(gp.dst, gp.adaptive)
-                .expect("validated at construction"),
-        };
-        self.enqueue_generated(now, host, gp.dst, dlid, gp.sl, gp.size_bytes);
-
-        let dt = self.hosts[host.index()]
-            .gen
-            .as_mut()
-            .expect("synthetic mode")
-            .next_interarrival_ns();
-        if now.plus_ns(dt) < self.gen_deadline {
-            self.queue
-                .schedule(now.plus_ns(dt), Event::Generate { host });
-        }
-        self.try_inject(now, host);
-    }
-
-    fn on_generate_scripted(&mut self, now: SimTime, idx: usize) {
-        let script = self.script.expect("scripted mode");
-        let entry = script.packets()[idx];
-        // Scripted path sets are explicit traces and are honoured as
-        // written even under ApmMigrate; only the tables may be swapped
-        // by an SM re-sweep.
-        let routing = self.recovery_routing.as_ref().unwrap_or(self.routing);
-        let dlid = match (routing.source_multipath(), entry.path_set) {
-            (Some(x), _) => {
-                let h = &mut self.hosts[entry.src.index()];
-                let offset = h.mp_cursor % x;
-                h.mp_cursor = (h.mp_cursor + 1) % x;
-                routing
-                    .lid_map()
-                    .lid_for(entry.dst, offset)
-                    .expect("offset within the LMC range")
-            }
-            (None, PathSet::Primary) => routing
-                .dlid(entry.dst, entry.adaptive)
-                .expect("validated at construction"),
-            (None, PathSet::Alternate) => routing
-                .apm_dlid(entry.dst, entry.adaptive)
-                .expect("validated at construction"),
-        };
-        self.enqueue_generated(now, entry.src, entry.dst, dlid, entry.sl, entry.size_bytes);
-        if let Some(next) = script.packets().get(idx + 1) {
-            if next.at < self.gen_deadline {
-                self.queue
-                    .schedule(next.at, Event::GenerateScripted { idx: idx + 1 });
-            }
-        }
-        self.try_inject(now, entry.src);
-    }
-
-    /// Create the packet and place it in the source queue (or drop it at
-    /// a full finite queue).
-    fn enqueue_generated(
-        &mut self,
-        now: SimTime,
-        host: HostId,
-        dst: HostId,
-        dlid: iba_core::Lid,
-        sl: iba_core::ServiceLevel,
-        size_bytes: u32,
-    ) {
-        let id = PacketId(self.next_packet_id);
-        self.next_packet_id += 1;
-        let h = &mut self.hosts[host.index()];
-        let packet = Packet {
-            id,
-            src: host,
-            dst,
-            dlid,
-            sl,
-            size_bytes,
-            generated_at: now,
-            seq: h.next_seq,
-            hops: 0,
-            escape_uses: 0,
-        };
-        h.next_seq += 1;
-        let attached = h.attached_switch;
-        let queue_full = self
-            .config
-            .host_queue_capacity
-            .is_some_and(|cap| h.queue.len() >= cap);
-        if !queue_full {
-            h.queue.push_back(packet);
-        }
-        self.stats.on_generated(now);
-        if queue_full {
-            // Finite CA send queue: the new packet is discarded.
-            self.stats.on_source_drop();
-            self.trace(
-                id,
-                now,
-                TraceStep::Dropped {
-                    sw: attached,
-                    cause: DropCause::SourceQueueFull,
-                },
-            );
-            if let Some(r) = self.recorder.as_deref_mut() {
-                r.record(
-                    None,
-                    now,
-                    FlightEvent::Dropped {
-                        packet: id,
-                        cause: DropCause::SourceQueueFull,
-                    },
-                );
-                if r.wants_drop_trigger() {
-                    r.trigger(now, TriggerCause::Drop, None, Some(id));
-                }
-            }
-        } else {
-            self.trace(id, now, TraceStep::Generated { host });
-        }
-    }
-
-    fn try_inject(&mut self, now: SimTime, host: HostId) {
-        let h = &mut self.hosts[host.index()];
-        if h.tx_busy_until > now {
-            return; // a TryInject is already scheduled at tx_busy_until
-        }
-        let Some(front) = h.queue.front() else {
-            return;
-        };
-        let vl = VirtualLane(front.sl.0 % self.config.data_vls);
-        let need = front.credits();
-        if h.credits[vl.index()] < need {
-            return; // woken again by CreditReturn
-        }
-        let packet = h.queue.pop_front().expect("checked above");
-        let traced_id = packet.id;
-        h.credits[vl.index()] -= need;
-        let ser = self.config.phys.serialization_ns(packet.size_bytes);
-        h.tx_busy_until = now.plus_ns(ser);
-        let queue_len = h.queue.len();
-        let sw = h.attached_switch;
-        let (_, port) = self.topo.host_attachment(host);
-        self.stats.on_injected(queue_len);
-        self.trace(traced_id, now, TraceStep::Injected);
-        if let Some(r) = self.recorder.as_deref_mut() {
-            r.record(
-                None,
-                now,
-                FlightEvent::Injected {
-                    packet: traced_id,
-                    host,
-                },
-            );
-        }
-        self.queue.schedule(
-            now.plus_ns(self.config.phys.propagation_ns),
-            Event::HeaderArrive {
-                sw,
-                port,
-                vl,
-                packet,
-            },
-        );
-        self.queue
-            .schedule(now.plus_ns(ser), Event::TryInject { host });
-    }
-
-    /// Account one in-transit loss at `sw`: stats (per cause), journey
-    /// trace, flight-recorder event and (when configured) the drop
-    /// trigger.
-    fn drop_in_transit(&mut self, now: SimTime, sw: SwitchId, id: PacketId, cause: DropCause) {
-        self.stats.on_transit_drop(now, cause);
-        self.trace(id, now, TraceStep::Dropped { sw, cause });
-        if let Some(r) = self.recorder.as_deref_mut() {
-            r.record(Some(sw), now, FlightEvent::Dropped { packet: id, cause });
-            if r.wants_drop_trigger() {
-                r.trigger(now, TriggerCause::Drop, Some(sw), Some(id));
-            }
-        }
-    }
-
-    fn on_header_arrive(
-        &mut self,
-        now: SimTime,
-        sw: SwitchId,
-        port: PortIndex,
-        vl: VirtualLane,
-        packet: Packet,
-    ) {
-        if !self.switches[sw.index()].link_up[port.index()] {
-            // The link (or the whole receiving switch) died while the
-            // packet was on the wire: with no receiver it is lost —
-            // virtual cut-through has no retransmission below the
-            // transport layer. The sender's stale credit counter is
-            // re-synchronized at link-up.
-            let cause = if self.switches[sw.index()].switch_down_depth[port.index()] > 0 {
-                DropCause::SwitchDown
-            } else {
-                DropCause::LinkDown
-            };
-            self.drop_in_transit(now, sw, packet.id, cause);
-            return;
-        }
-        if self.corrupt_prob > 0.0 && self.corrupt_rng.chance(self.corrupt_prob) {
-            // CRC failure at the receiver. The link is healthy, so the
-            // space the packet would have occupied must still be
-            // advertised back to the sender — dropping without the
-            // return would leak credits from the upstream counter.
-            self.drop_in_transit(now, sw, packet.id, DropCause::Corrupted);
-            let upstream = self.topo.endpoint(sw, port).expect("input port is wired");
-            self.queue.schedule(
-                now.plus_ns(self.config.phys.propagation_ns),
-                Event::CreditReturn {
-                    target: upstream.node,
-                    port: upstream.port,
-                    vl,
-                    credits: packet.credits(),
-                },
-            );
-            return;
-        }
-        let id = packet.id;
-        let ready_at = now.plus_ns(self.config.phys.routing_delay_ns);
-        self.trace(id, now, TraceStep::ArrivedAt { sw, port, vl });
-        if let Some(r) = self.recorder.as_deref_mut() {
-            r.record(
-                Some(sw),
-                now,
-                FlightEvent::Arrived {
-                    packet: id,
-                    port,
-                    vl,
-                },
-            );
-            // A packet landing in an empty buffer starts a fresh
-            // forward-progress clock for the watchdog.
-            if self.switches[sw.index()].inputs[port.index()].vls[vl.index()].is_empty() {
-                r.note_progress(sw, port.index(), vl.index(), now);
-            }
-        }
-        let handle =
-            self.switches[sw.index()].inputs[port.index()].vls[vl.index()].push(packet, ready_at);
-        self.queue.schedule(
-            ready_at,
-            Event::RouteDone {
-                sw,
-                port,
-                vl,
-                handle,
-            },
-        );
-    }
-
-    fn on_route_done(
-        &mut self,
-        now: SimTime,
-        sw: SwitchId,
-        port: PortIndex,
-        vl: VirtualLane,
-        handle: SlotHandle,
-    ) {
-        let dlid = {
-            let buf = &self.switches[sw.index()].inputs[port.index()].vls[vl.index()];
-            buf.get_slot(handle).map(|p| p.packet.dlid)
-        };
-        let Some(dlid) = dlid else {
-            return; // residency already gone (cannot happen before ready_at)
-        };
-        let route = self
-            .cur_routing()
-            .route_shared(sw, dlid)
-            .expect("forwarding tables are fully programmed");
-        self.switches[sw.index()].inputs[port.index()].vls[vl.index()].set_route_at(handle, route);
-        self.schedule_arbitrate(now, sw);
-    }
-
-    fn on_tx_done(
-        &mut self,
-        now: SimTime,
-        sw: SwitchId,
-        port: PortIndex,
-        vl: VirtualLane,
-        handle: SlotHandle,
-    ) {
-        let removed = self.switches[sw.index()].inputs[port.index()].vls[vl.index()]
-            .remove_at(handle)
-            .expect("tx-done packet still buffered");
-        if let Some(r) = self.recorder.as_deref_mut() {
-            r.record(
-                Some(sw),
-                now,
-                FlightEvent::TailLeft {
-                    packet: removed.packet.id,
-                    port,
-                    vl,
-                },
-            );
-            // A freed slot is forward progress for this buffer.
-            r.note_progress(sw, port.index(), vl.index(), now);
-        }
-        // Return the freed credits to whoever feeds this input port.
-        let upstream = self.topo.endpoint(sw, port).expect("input port is wired");
-        self.queue.schedule(
-            now.plus_ns(self.config.phys.propagation_ns),
-            Event::CreditReturn {
-                target: upstream.node,
-                port: upstream.port,
-                vl,
-                credits: removed.packet.credits(),
-            },
-        );
-        self.schedule_arbitrate(now, sw);
-    }
-
-    fn on_credit_return(
-        &mut self,
-        now: SimTime,
-        target: NodeRef,
-        port: PortIndex,
-        vl: VirtualLane,
-        credits: Credits,
-    ) {
-        match target {
-            NodeRef::Switch(s) => {
-                let st = &mut self.switches[s.index()];
-                if !st.link_up[port.index()] {
-                    return; // the return was on the wire of a dead link
-                }
-                let cap = self.config.vl_buffer_credits;
-                if let Some(cs) = st.outputs[port.index()].credits.as_mut() {
-                    // Clamp at capacity: after a link-up credit reset, a
-                    // return already in flight before the fault could
-                    // otherwise overshoot. A no-op in fault-free runs.
-                    cs[vl.index()] = (cs[vl.index()] + credits).min(cap);
-                }
-                if let Some(r) = self.recorder.as_deref_mut() {
-                    r.record(
-                        Some(s),
-                        now,
-                        FlightEvent::CreditReturned {
-                            port,
-                            vl,
-                            credits: credits.count(),
-                        },
-                    );
-                    r.note_credit_return(s, port, now);
-                }
-                self.schedule_arbitrate(now, s);
-            }
-            NodeRef::Host(h) => {
-                // Clamp at capacity for the same reason as the switch
-                // path: a switch-up resync rebuilds the host counter from
-                // free space, and a return already on the wire would
-                // otherwise overshoot. A no-op in fault-free runs.
-                let cap = self.config.vl_buffer_credits;
-                let c = &mut self.hosts[h.index()].credits[vl.index()];
-                *c = (*c + credits).min(cap);
-                self.try_inject(now, h);
-            }
-        }
-    }
-
-    fn schedule_arbitrate(&mut self, now: SimTime, sw: SwitchId) {
-        let st = &mut self.switches[sw.index()];
-        if !st.arb_pending {
-            st.arb_pending = true;
-            self.queue.schedule(now, Event::Arbitrate { sw });
-        }
-    }
-
-    /// Process up to `max_events` further events (priming the generators
-    /// on first use), stopping early at the configured horizon. Returns
-    /// the number of events actually processed. A stepping hook for
-    /// benchmarks and diagnostics; [`Self::run`] and
-    /// [`Self::run_until_drained`] remain the measurement entry points.
-    pub fn advance(&mut self, max_events: u64) -> u64 {
-        self.prime();
-        let horizon = self.config.horizon();
-        let mut n = 0;
-        while n < max_events {
-            let Some((now, ev)) = self.queue.pop_until(horizon) else {
-                break;
-            };
-            self.dispatch(now, ev);
-            n += 1;
-        }
-        n
-    }
-
-    /// One §4.3 arbitration sweep over every switch at the current
-    /// simulated time, returning the total number of grants. The
-    /// microbenchmark probe for the arbitration hot path; grants made
-    /// here reserve resources and schedule downstream events exactly as
-    /// in-loop arbitration does.
-    pub fn arbitrate_pass(&mut self) -> usize {
-        let now = self.queue.now();
-        let mut grants = 0;
-        for s in 0..self.switches.len() {
-            grants += self.arbitrate(now, SwitchId(s as u16));
-        }
-        grants
-    }
-
-    /// One arbitration pass: repeatedly grant feasible (input, output)
-    /// matches until no further progress, with a round-robin cursor over
-    /// input ports for fairness. Returns the number of grants made.
-    fn arbitrate(&mut self, now: SimTime, sw: SwitchId) -> usize {
-        let nports = self.topo.ports_per_switch() as usize;
-        let mut grants = 0;
-        loop {
-            let mut progress = false;
-            for k in 0..nports {
-                let ip = (self.switches[sw.index()].rr_cursor + k) % nports;
-                if self.switches[sw.index()].inputs[ip].read_busy_until > now {
-                    continue;
-                }
-                if let Some(d) = self.pick_for_input(now, sw, ip) {
-                    self.start_forward(now, sw, d);
-                    progress = true;
-                    grants += 1;
-                }
-            }
-            let st = &mut self.switches[sw.index()];
-            st.rr_cursor = (st.rr_cursor + 1) % nports;
-            if !progress {
-                break;
-            }
-        }
-        grants
-    }
-
-    /// Find one forwardable candidate in input port `ip`'s buffers.
-    fn pick_for_input(&mut self, now: SimTime, sw: SwitchId, ip: usize) -> Option<Decision> {
-        let nvls = self.config.data_vls as usize;
-        let start = self.switches[sw.index()].inputs[ip].vl_cursor;
-        for k in 0..nvls {
-            let vl = (start + k) % nvls;
-            let cands = {
-                let buf = &self.switches[sw.index()].inputs[ip].vls[vl];
-                if buf.has_in_flight() {
-                    continue;
-                }
-                let mut cands = buf.candidates(now, self.config.escape_order);
-                if !self.routing.switch_adaptive(sw) {
-                    // A plain deterministic IBA switch (§4.2 mixed
-                    // fabrics) has a single FIFO read point: no escape
-                    // head, no pointer redirection.
-                    cands.retain(|&(idx, _)| idx == 0);
-                }
-                cands
-            };
-            let record = self.recorder.as_deref().is_some_and(|r| !r.frozen());
-            for &(idx, read_point) in &cands {
-                let mut scratch = OptionOutcomes::new();
-                if let Some(d) = self.pick_option(
-                    now,
-                    sw,
-                    ip,
-                    vl,
-                    idx,
-                    read_point,
-                    record.then_some(&mut scratch),
-                ) {
-                    if record {
-                        // Park the granted candidate's option verdicts for
-                        // `start_forward` to attach to the RouteDecision
-                        // event; keeping them out of `Decision` spares the
-                        // recorder-off path the ~100-byte copy per grant.
-                        self.decision_options = scratch;
-                    }
-                    // Advance the VL cursor past the served lane.
-                    self.switches[sw.index()].inputs[ip].vl_cursor = (vl + 1) % nvls;
-                    return Some(d);
-                }
-                if record && !scratch.is_empty() {
-                    // Every candidate option was rejected: log the full
-                    // reason set (deduplicated per buffer).
-                    let packet = self.switches[sw.index()].inputs[ip].vls[vl]
-                        .get(idx)
-                        .packet
-                        .id;
-                    if let Some(r) = self.recorder.as_deref_mut() {
-                        r.record_blocked(sw, now, ip, vl, packet, &scratch);
-                    }
-                }
-            }
-        }
-        None
-    }
-
-    /// §4.3/§4.4 output selection for one candidate packet: adaptive
-    /// options first (minimal paths — the livelock-avoidance preference),
-    /// gated by adaptive-queue credits; the escape option as fallback,
-    /// gated by total credits.
-    ///
-    /// With the flight recorder armed, `rec` collects one
-    /// [`OptionOutcome`] per candidate — including, when an adaptive
-    /// option wins, the *observed* fate the escape option would have had
-    /// — so recorded routing decisions carry their full alternative set.
-    /// The observation never touches the RNG or any control flow, so
-    /// recorded runs stay bit-identical to unrecorded ones.
-    #[allow(clippy::too_many_arguments)]
-    fn pick_option(
-        &mut self,
-        now: SimTime,
-        sw: SwitchId,
-        ip: usize,
-        vl: usize,
-        idx: usize,
-        read_point: ReadPoint,
-        mut rec: Option<&mut OptionOutcomes>,
-    ) -> Option<Decision> {
-        let cap = self.config.vl_buffer_credits;
-        let st = &self.switches[sw.index()];
-        let bp = st.inputs[ip].vls[vl].get(idx);
-        let need = bp.packet.credits();
-        let sl = bp.packet.sl;
-        let route = bp.route.as_ref().expect("candidate is routed");
-
-        let adaptive_allowed =
-            read_point == ReadPoint::AdaptiveHead || self.config.adaptive_from_escape_head;
-        if !adaptive_allowed {
-            if let Some(o) = rec.as_deref_mut() {
-                for &op in &route.adaptive {
-                    o.push(OptionOutcome {
-                        port: op,
-                        escape: false,
-                        verdict: OptionVerdict::AdaptiveRestricted,
-                    });
-                }
-            }
-        }
-
-        // Collect feasible adaptive options with their free adaptive-queue
-        // credits (host ports are infinite sinks). At most one option per
-        // switch port, so the list lives on the stack — arbitration runs
-        // once per event and must not allocate.
-        let mut feasible: InlineVec<(PortIndex, VirtualLane, u32), MAX_PORTS> = InlineVec::new();
-        if adaptive_allowed {
-            for &op in &route.adaptive {
-                if !st.link_up[op.index()] {
-                    // Dead port: graceful degradation (§4.3).
-                    if let Some(t) = self.telemetry.as_deref_mut() {
-                        t.note_stall(sw, op, StallCause::DeadPort);
-                    }
-                    if let Some(o) = rec.as_deref_mut() {
-                        o.push(OptionOutcome {
-                            port: op,
-                            escape: false,
-                            verdict: OptionVerdict::DeadPort,
-                        });
-                    }
-                    continue;
-                }
-                let out = &st.outputs[op.index()];
-                if out.busy_until > now {
-                    if let Some(o) = rec.as_deref_mut() {
-                        o.push(OptionOutcome {
-                            port: op,
-                            escape: false,
-                            verdict: OptionVerdict::LinkBusy,
-                        });
-                    }
-                    continue;
-                }
-                let out_vl = st.sl2vl.vl_for(PortIndex(ip as u8), op, sl);
-                match out.credits.as_ref() {
-                    None => feasible.push((op, out_vl, u32::MAX)),
-                    Some(cs) => {
-                        let avail = cs[out_vl.index()].adaptive_share(cap);
-                        if avail >= need {
-                            feasible.push((op, out_vl, avail.count()));
-                        } else {
-                            if let Some(t) = self.telemetry.as_deref_mut() {
-                                t.note_stall(sw, op, StallCause::NoAdaptiveCredit);
-                            }
-                            if let Some(o) = rec.as_deref_mut() {
-                                o.push(OptionOutcome {
-                                    port: op,
-                                    escape: false,
-                                    verdict: OptionVerdict::NoAdaptiveCredit,
-                                });
-                            }
-                        }
-                    }
-                }
-            }
-        }
-
-        let adaptive_pick: Option<(PortIndex, VirtualLane, u32)> = match self.config.selection {
-            SelectionPolicy::CreditWeighted => {
-                // Most free adaptive-queue space wins; random tie-break
-                // among equals keeps the load balanced.
-                feasible.iter().map(|f| f.2).max().map(|best| {
-                    let ties: InlineVec<_, MAX_PORTS> =
-                        feasible.iter().filter(|f| f.2 == best).copied().collect();
-                    ties[self.arb_rng.below(ties.len())]
-                })
-            }
-            SelectionPolicy::RandomAdaptive => {
-                (!feasible.is_empty()).then(|| feasible[self.arb_rng.below(feasible.len())])
-            }
-            SelectionPolicy::FirstFeasible => feasible.iter().min_by_key(|f| f.0).copied(),
-        };
-
-        if let Some(o) = rec.as_deref_mut() {
-            for f in feasible.iter() {
-                o.push(OptionOutcome {
-                    port: f.0,
-                    escape: false,
-                    verdict: if adaptive_pick.map(|p| p.0) == Some(f.0) {
-                        OptionVerdict::Selected
-                    } else {
-                        OptionVerdict::LostArbitration
-                    },
-                });
-            }
-        }
-
-        if let Some((op, out_vl, _)) = adaptive_pick {
-            if let Some(o) = rec.as_deref_mut() {
-                // The escape option was never consulted (an adaptive
-                // option won); observe the fate it *would* have had so
-                // the recorded candidate set is complete. Observation
-                // only — no RNG, no control flow.
-                let ep = route.escape;
-                let verdict = if !st.link_up[ep.index()] {
-                    OptionVerdict::DeadPort
-                } else if st.outputs[ep.index()].busy_until > now {
-                    OptionVerdict::LinkBusy
-                } else {
-                    let evl = st.sl2vl.vl_for(PortIndex(ip as u8), ep, sl);
-                    let fits = match st.outputs[ep.index()].credits.as_ref() {
-                        None => true,
-                        Some(cs) => cs[evl.index()] >= need,
-                    };
-                    if fits {
-                        OptionVerdict::LostArbitration
-                    } else {
-                        OptionVerdict::NoEscapeCredit
-                    }
-                };
-                o.push(OptionOutcome {
-                    port: ep,
-                    escape: true,
-                    verdict,
-                });
-            }
-            return Some(Decision {
-                input: ip,
-                vl,
-                idx,
-                handle: st.inputs[ip].vls[vl].handle_at(idx),
-                packet_id: bp.packet.id,
-                out_port: op,
-                out_vl,
-                via_escape: false,
-                read_point,
-            });
-        }
-
-        // Escape fallback: usable whenever the *total* credit count fits
-        // the packet — it lands in the adaptive or escape region of the
-        // downstream buffer depending on occupancy (§4.4).
-        let op = route.escape;
-        if !st.link_up[op.index()] {
-            // Escape path severed: the packet waits for recovery (an SM
-            // re-sweep re-routes it; under other policies it stays until
-            // the link returns).
-            if let Some(t) = self.telemetry.as_deref_mut() {
-                t.note_stall(sw, op, StallCause::DeadPort);
-            }
-            if let Some(o) = rec.as_deref_mut() {
-                o.push(OptionOutcome {
-                    port: op,
-                    escape: true,
-                    verdict: OptionVerdict::DeadPort,
-                });
-            }
-            return None;
-        }
-        let out = &st.outputs[op.index()];
-        if out.busy_until > now {
-            if let Some(o) = rec.as_deref_mut() {
-                o.push(OptionOutcome {
-                    port: op,
-                    escape: true,
-                    verdict: OptionVerdict::LinkBusy,
-                });
-            }
-            return None;
-        }
-        let out_vl = st.sl2vl.vl_for(PortIndex(ip as u8), op, sl);
-        let ok = match out.credits.as_ref() {
-            None => true,
-            Some(cs) => cs[out_vl.index()] >= need,
-        };
-        if !ok {
-            if let Some(t) = self.telemetry.as_deref_mut() {
-                t.note_stall(sw, op, StallCause::NoEscapeCredit);
-            }
-            if let Some(o) = rec.as_deref_mut() {
-                o.push(OptionOutcome {
-                    port: op,
-                    escape: true,
-                    verdict: OptionVerdict::NoEscapeCredit,
-                });
-            }
-            return None;
-        }
-        if let Some(o) = rec {
-            o.push(OptionOutcome {
-                port: op,
-                escape: true,
-                verdict: OptionVerdict::Selected,
-            });
-        }
-        Some(Decision {
-            input: ip,
-            vl,
-            idx,
-            handle: st.inputs[ip].vls[vl].handle_at(idx),
-            packet_id: bp.packet.id,
-            out_port: op,
-            out_vl,
-            via_escape: true,
-            read_point,
-        })
-    }
-
-    /// Commit a forwarding decision: reserve the resources, update the
-    /// packet, and schedule the downstream events.
-    fn start_forward(&mut self, now: SimTime, sw: SwitchId, d: Decision) {
-        if self.telemetry.is_some() || self.recorder.is_some() {
-            // Arbitration-pass latency: how long the packet sat routed in
-            // the input buffer before the crossbar granted it.
-            let ready_at = self.switches[sw.index()].inputs[d.input].vls[d.vl]
-                .get(d.idx)
-                .ready_at;
-            let wait = now.since(ready_at);
-            if let Some(t) = self.telemetry.as_deref_mut() {
-                t.note_forward(sw, d.via_escape, wait);
-            }
-            if let Some(r) = self.recorder.as_deref_mut() {
-                // `decision_options` holds the verdict set `pick_for_input`
-                // parked for this grant (stale contents are possible only
-                // when frozen, where `record` discards the event anyway).
-                r.record(
-                    Some(sw),
-                    now,
-                    FlightEvent::RouteDecision {
-                        packet: d.packet_id,
-                        in_port: PortIndex(d.input as u8),
-                        vl: VirtualLane(d.vl as u8),
-                        out_port: d.out_port,
-                        via_escape: d.via_escape,
-                        from_escape_head: d.read_point == ReadPoint::EscapeHead,
-                        waited_ns: wait,
-                        options: self.decision_options.clone(),
-                    },
-                );
-                // Winning arbitration is forward progress.
-                r.note_progress(sw, d.input, d.vl, now);
-            }
-        }
-        let st = &mut self.switches[sw.index()];
-        let buf = &mut st.inputs[d.input].vls[d.vl];
-
-        // Clone the packet for the downstream hop, updating its counters.
-        let (packet, ser) = {
-            let bp = buf.get(d.idx);
-            debug_assert_eq!(bp.packet.id, d.packet_id);
-            let mut p = bp.packet.clone();
-            p.hops += 1;
-            p.escape_uses += u32::from(d.via_escape);
-            let ser = self.config.phys.serialization_ns(p.size_bytes);
-            (p, ser)
-        };
-        buf.mark_in_flight(d.idx);
-        st.inputs[d.input].read_busy_until = now.plus_ns(ser);
-        let out = &mut st.outputs[d.out_port.index()];
-        out.busy_until = now.plus_ns(ser);
-        out.busy_ns_total += ser;
-        if let Some(cs) = out.credits.as_mut() {
-            cs[d.out_vl.index()] -= packet.credits();
-        }
-
-        if d.via_escape {
-            self.stats.on_escape_forward();
-        } else {
-            self.stats.on_adaptive_forward();
-        }
-        self.trace(
-            d.packet_id,
-            now,
-            TraceStep::Forwarded {
-                sw,
-                out_port: d.out_port,
-                via_escape: d.via_escape,
-                from_escape_head: d.read_point == ReadPoint::EscapeHead,
-            },
-        );
-
-        let prop = self.config.phys.propagation_ns;
-        let ep = self
-            .topo
-            .endpoint(sw, d.out_port)
-            .expect("output port is wired");
-        match ep.node {
-            NodeRef::Switch(n) => {
-                self.queue.schedule(
-                    now.plus_ns(prop),
-                    Event::HeaderArrive {
-                        sw: n,
-                        port: ep.port,
-                        vl: d.out_vl,
-                        packet,
-                    },
-                );
-            }
-            NodeRef::Host(h) => {
-                self.queue
-                    .schedule(now.plus_ns(ser + prop), Event::Deliver { host: h, packet });
-            }
-        }
-        self.queue.schedule(
-            now.plus_ns(ser),
-            Event::TxDone {
-                sw,
-                port: PortIndex(d.input as u8),
-                vl: VirtualLane(d.vl as u8),
-                handle: d.handle,
-            },
-        );
     }
 }

@@ -1,0 +1,2453 @@
+//! One shard of the fabric simulation: the event core of the network
+//! model, shared by the serial and the conservative-parallel engines.
+//!
+//! A [`Shard`] owns a private event queue over the run-time selected
+//! [`DesQueue`] backend plus the *full-size* fabric state vectors
+//! (switches, hosts, fault masks). In serial mode there is exactly one
+//! shard that owns every entity and schedules with plain FIFO keys —
+//! byte-identical to the pre-shard engine. In parallel mode each shard
+//! executes only the events of the switches and hosts its
+//! [`Partition`] region owns, exchanges cross-shard link messages
+//! through per-shard mailboxes, and tags every schedule with a
+//! canonical `(class, entity, counter)` key so the pop order within a
+//! timestamp is partition- and thread-count-independent.
+//!
+//! Mode divergences are deliberate and few, each gated on
+//! `self.part.is_some()`:
+//!
+//! * **Event keys** — serial schedules keep key 0 (pure FIFO); parallel
+//!   schedules pack [`event_key`] from the *acting* entity's counter.
+//! * **RNG discipline** — serial keeps the single shared arbitration
+//!   and corruption streams; parallel derives one stream per switch
+//!   (`derive_indexed`), so draw order is partition-independent.
+//! * **Packet ids** — serial numbers packets globally in generation
+//!   order; parallel packs `(source host, per-host sequence)` so ids
+//!   never depend on the interleaving of other hosts' generators.
+//! * **Fault masks** — every shard executes every fault event and
+//!   applies the port masks globally (reads are hot-path); behavioral
+//!   side effects (stats, credit resync, arbitration kicks) run only in
+//!   the owning shard.
+//! * **Credit resync** — serial re-synchronizes sender counters from
+//!   receiver free space instantly at link-up; parallel runs a
+//!   two-phase snapshot protocol ([`Event::CreditResync`]) that crosses
+//!   the shard boundary with the link propagation delay and discards
+//!   stale in-flight returns, conserving credits exactly.
+
+use crate::buffer::{ReadPoint, SlotHandle, VlBuffer};
+use crate::config::{RecoveryPolicy, SelectionPolicy, SimConfig};
+use crate::recorder::{classify_stall, FlightRecorder, TriggerCause};
+use crate::stats::StatsCollector;
+use crate::telemetry::{StallCause, TelemetryState};
+use crate::trace::{TraceStep, Tracer};
+use iba_core::{
+    Credits, DropCause, FlightEvent, HostId, IbaError, InlineVec, NodeRef, OptionOutcome,
+    OptionOutcomes, OptionVerdict, Packet, PacketId, PortIndex, SimTime, StallClass, SwitchId,
+    VirtualLane, MAX_PORTS,
+};
+use iba_engine::rng::{StreamKind, StreamRng};
+use iba_engine::{event_key, DesQueue};
+use iba_routing::{check_escape_routes, FaRouting, SlToVlTable};
+use iba_topology::{Partition, Topology, TopologyBuilder};
+use iba_workloads::{
+    FaultKind, FaultSchedule, HostGenerator, PathSet, TrafficScript, WorkloadSpec,
+};
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+/// Event-class ranks for the canonical ordering key: ties at one
+/// timestamp execute in class order, chosen so state mutations land
+/// before the events that observe them (fault masks before packet
+/// events, credit snapshots before credit returns, credit returns
+/// before injection retries).
+pub(crate) const CLASS_FAULT: u8 = 0;
+pub(crate) const CLASS_TELEMETRY: u8 = 1;
+pub(crate) const CLASS_CREDIT_RESYNC: u8 = 2;
+pub(crate) const CLASS_CREDIT_RETURN: u8 = 3;
+pub(crate) const CLASS_GENERATE: u8 = 4;
+pub(crate) const CLASS_TRY_INJECT: u8 = 5;
+pub(crate) const CLASS_HEADER_ARRIVE: u8 = 6;
+pub(crate) const CLASS_ROUTE_DONE: u8 = 7;
+pub(crate) const CLASS_ARBITRATE: u8 = 8;
+pub(crate) const CLASS_TX_DONE: u8 = 9;
+pub(crate) const CLASS_DELIVER: u8 = 10;
+
+/// Discrete events of the network model.
+#[derive(Debug)]
+pub(crate) enum Event {
+    /// A host's traffic generator fires.
+    Generate { host: HostId },
+    /// The next scripted injection (trace-driven mode) fires.
+    GenerateScripted { idx: usize },
+    /// A host retries sending the head of its source queue.
+    TryInject { host: HostId },
+    /// A packet's header reaches a switch input port.
+    HeaderArrive {
+        sw: SwitchId,
+        port: PortIndex,
+        vl: VirtualLane,
+        packet: Packet,
+    },
+    /// The forwarding-table pipeline for a buffered packet completes.
+    /// The handle addresses the exact residency `push` created, so no
+    /// buffer scan is needed when the event fires.
+    RouteDone {
+        sw: SwitchId,
+        port: PortIndex,
+        vl: VirtualLane,
+        handle: SlotHandle,
+    },
+    /// Coalesced arbitration pass at a switch.
+    Arbitrate { sw: SwitchId },
+    /// A forwarded packet's tail has left its input buffer.
+    TxDone {
+        sw: SwitchId,
+        port: PortIndex,
+        vl: VirtualLane,
+        handle: SlotHandle,
+    },
+    /// Freed credits reach the upstream sender.
+    CreditReturn {
+        target: NodeRef,
+        port: PortIndex,
+        vl: VirtualLane,
+        credits: Credits,
+    },
+    /// Link-retraining credit snapshot from the receiver side of a
+    /// revived link (parallel engine only; the serial engine
+    /// re-synchronizes sender counters instantly at link-up). `free` is
+    /// the receiver's per-VL free space at snapshot time; it reaches
+    /// the sender-side switch `sw`/`port` with the link propagation
+    /// delay, and in-flight credit returns that raced it are discarded.
+    CreditResync {
+        sw: SwitchId,
+        port: PortIndex,
+        /// Boxed so this rare variant (one per link revival) does not
+        /// inflate the size of every queue entry in the hot path.
+        free: Box<InlineVec<Credits, 16>>,
+    },
+    /// A packet's tail reaches its destination host.
+    Deliver { host: HostId, packet: Packet },
+    /// A scheduled link fault (down or up) takes effect.
+    Fault { idx: usize },
+    /// The subnet manager's re-sweep completes and recovery routing is
+    /// installed (`RecoveryPolicy::SmResweep` only).
+    ResweepDone,
+    /// The telemetry probe samples buffer occupancy (instrumented runs
+    /// only; reschedules itself at the configured cadence).
+    TelemetrySample,
+    /// The flight recorder's stall watchdog inspects every VL buffer for
+    /// forward progress (recorded runs with a watchdog only; reschedules
+    /// itself at the configured cadence).
+    WatchdogCheck,
+}
+
+/// A cross-shard event en route to another shard's queue, carrying the
+/// ordering key assigned by the sending shard.
+pub(crate) struct OutMsg {
+    pub(crate) dst: usize,
+    pub(crate) at: SimTime,
+    pub(crate) key: u64,
+    pub(crate) ev: Event,
+}
+
+/// One shard's inbox in the threaded window protocol: senders push
+/// keyed events under the lock during the flush step, the owner drains
+/// it after the barrier.
+pub(crate) type Mailbox = Mutex<Vec<(SimTime, u64, Event)>>;
+
+/// A schedule entry with its endpoints resolved to concrete ports, done
+/// once at construction so fault application is O(1) and allocation-free
+/// inside the event loop. For switch faults only `a` is meaningful; the
+/// affected ports are enumerated from the topology at apply time.
+#[derive(Clone, Copy, Debug)]
+struct ResolvedFault {
+    at: SimTime,
+    kind: FaultKind,
+    a: SwitchId,
+    pa: PortIndex,
+    b: SwitchId,
+    pb: PortIndex,
+}
+
+/// One physical input port of a switch.
+struct InputPort {
+    /// Per-VL split buffers.
+    vls: Vec<VlBuffer>,
+    /// The buffer RAM's read path (the Figure 2 multiplexer) is busy
+    /// streaming a packet out until this time.
+    read_busy_until: SimTime,
+    /// Round-robin cursor over VLs (a minimal stand-in for IBA's VL
+    /// arbitration so no data VL starves behind VL0).
+    vl_cursor: usize,
+}
+
+/// One physical output port of a switch.
+struct OutputPort {
+    /// The serial link transmits one packet at a time.
+    busy_until: SimTime,
+    /// Sender-side credit counters per VL of the downstream input buffer;
+    /// `None` for host-facing ports (hosts are infinite sinks).
+    credits: Option<Vec<Credits>>,
+    /// Cumulative transmission time (utilization probe).
+    busy_ns_total: u64,
+}
+
+struct SwitchState {
+    inputs: Vec<InputPort>,
+    outputs: Vec<OutputPort>,
+    sl2vl: SlToVlTable,
+    arb_pending: bool,
+    rr_cursor: usize,
+    /// Per-port link state; `false` masks the port out of every feasible
+    /// option set at arbitration. Derived cache of `down_depth == 0` so
+    /// the hot path stays a single bool load. A host-facing port goes
+    /// down only when its own switch dies.
+    link_up: Vec<bool>,
+    /// How many active faults currently mask each port: a link fault
+    /// contributes 1 to both endpoints, a switch fault contributes 1 to
+    /// every wired port of the dead switch *and* the peer-side port of
+    /// each of its inter-switch links — so two overlapping switch deaths
+    /// on adjacent switches stack on the shared link and the port only
+    /// revives when both have recovered.
+    down_depth: Vec<u8>,
+    /// The portion of `down_depth` owed to switch deaths; used to
+    /// attribute wire drops at a masked port to [`DropCause::SwitchDown`]
+    /// rather than [`DropCause::LinkDown`]. Schedule validation forbids
+    /// link and switch windows overlapping on a shared endpoint, so a
+    /// nonzero value is unambiguous.
+    switch_down_depth: Vec<u8>,
+}
+
+struct HostState {
+    /// Synthetic generator; `None` in trace-driven mode.
+    gen: Option<HostGenerator>,
+    /// Open-loop source queue.
+    queue: VecDeque<Packet>,
+    tx_busy_until: SimTime,
+    /// Credits towards the attached switch's input buffer, per VL.
+    credits: Vec<Credits>,
+    attached_switch: SwitchId,
+    /// Per-source sequence counter (order checking).
+    next_seq: u64,
+    /// Rotating DLID-offset cursor for source-selected multipath.
+    mp_cursor: u16,
+}
+
+/// A forwarding decision produced by arbitration. Positions and handle
+/// are taken while the buffer is inspected and stay valid until the
+/// decision is committed (arbitration grants synchronously, and a grant
+/// marks the packet in flight rather than removing it).
+struct Decision {
+    input: usize,
+    vl: usize,
+    /// FIFO position of the granted packet in its VL buffer.
+    idx: usize,
+    /// Stable residency handle, carried into the `TxDone` event.
+    handle: SlotHandle,
+    packet_id: PacketId,
+    out_port: PortIndex,
+    out_vl: VirtualLane,
+    via_escape: bool,
+    read_point: ReadPoint,
+}
+
+/// One shard of the simulation (the whole simulation in serial mode).
+pub(crate) struct Shard<'a> {
+    /// This shard's index in the partition (0 in serial mode).
+    pub(crate) id: usize,
+    topo: &'a Topology,
+    routing: &'a FaRouting,
+    pub(crate) spec: WorkloadSpec,
+    config: SimConfig,
+    /// `None` in serial mode; the shared fabric partition otherwise.
+    part: Option<Arc<Partition>>,
+    pub(crate) queue: DesQueue<Event>,
+    switches: Vec<SwitchState>,
+    hosts: Vec<HostState>,
+    pub(crate) stats: StatsCollector,
+    next_packet_id: u64,
+    arb_rng: StreamRng,
+    /// Parallel mode: one arbitration stream per switch, so draw order
+    /// is partition-independent. Empty in serial mode.
+    switch_arb_rngs: Vec<StreamRng>,
+    /// No packets are generated at or after this time.
+    pub(crate) gen_deadline: SimTime,
+    /// Whether the initial generation events have been scheduled.
+    primed: bool,
+    pub(crate) tracer: Option<Tracer>,
+    /// Trace-driven injections (replaces the synthetic generators).
+    script: Option<&'a TrafficScript>,
+    /// Resolved link-fault schedule (empty without armed faults).
+    faults: Vec<ResolvedFault>,
+    /// What repairs reachability after a fault.
+    recovery: RecoveryPolicy,
+    /// Modelled duration of one SM re-sweep (fault event → recovery
+    /// tables live), in nanoseconds.
+    resweep_latency_ns: u64,
+    /// Number of faults (links *or* switches) currently down. Every
+    /// shard executes every fault event, so the count is globally
+    /// consistent across shards.
+    pub(crate) active_faults: usize,
+    /// Which switches are currently dead (switch-fault windows).
+    dead_switches: Vec<bool>,
+    /// Per-link bit-error probability folded to a per-packet CRC-failure
+    /// probability at the receiving input port; 0.0 (the default) keeps
+    /// the hot-path hook a single float compare.
+    pub(crate) corrupt_prob: f64,
+    /// Dedicated substream for corruption draws, so armed corruption
+    /// never perturbs arbitration tie-breaks or generator schedules.
+    corrupt_rng: StreamRng,
+    /// Parallel mode: one corruption stream per switch. Empty in serial.
+    switch_corrupt_rngs: Vec<StreamRng>,
+    /// Whether the APM alternate escape tables have been certified
+    /// acyclic (lazily at the first migration in serial mode; eagerly at
+    /// prime in parallel mode).
+    apm_certified: bool,
+    /// Recovery tables installed by the last completed re-sweep; `None`
+    /// while the primary tables are live.
+    pub(crate) recovery_routing: Option<FaRouting>,
+    /// Telemetry probe state; `None` (the default) keeps every hook a
+    /// single pointer-null check and schedules no sampling events.
+    pub(crate) telemetry: Option<Box<TelemetryState>>,
+    /// Flight-recorder state; `None` (the default, and always in
+    /// parallel mode) keeps every hook a single pointer-null check.
+    pub(crate) recorder: Option<Box<FlightRecorder>>,
+    /// Candidate-option verdicts of the most recent arbitration grant.
+    /// Scratch reused across grants so `Decision` stays small — the
+    /// ~100-byte option set is only written (and read back by
+    /// `start_forward`) while the recorder is capturing; with it off or
+    /// frozen the field is never touched on the hot path.
+    decision_options: OptionOutcomes,
+    /// Per-entity schedule counters backing the canonical event keys
+    /// (switches, then hosts, then the coordinator pseudo-entity).
+    /// Only the owning shard advances an entity's counter, except the
+    /// coordinator's, which every shard advances in lockstep.
+    key_counters: Vec<u64>,
+    /// Parallel mode: `(switch, port)` flags set while a credit-resync
+    /// snapshot is on the wire; credit returns arriving at a pending
+    /// port are stale (their space is already counted in the snapshot)
+    /// and discarded. Empty in serial mode.
+    resync_pending: Vec<bool>,
+    /// Cross-shard events produced by the current window, drained into
+    /// the per-shard mailboxes at the window boundary.
+    outbox: Vec<OutMsg>,
+    /// Events this shard popped that every shard replicates (fault and
+    /// telemetry ticks); subtracted from the aggregate event count on
+    /// all shards but shard 0 so totals are shard-count-invariant.
+    replicated: u64,
+}
+
+impl<'a> Shard<'a> {
+    /// Assemble one shard. `part == None` builds the serial engine
+    /// (shard 0 owns everything, plain FIFO keys); otherwise the shard
+    /// owns the switches and hosts `part` assigns to `id`, while state
+    /// vectors stay full-size (fault masks are applied globally).
+    pub(crate) fn new(
+        topo: &'a Topology,
+        routing: &'a FaRouting,
+        spec: WorkloadSpec,
+        config: SimConfig,
+        id: usize,
+        part: Option<Arc<Partition>>,
+    ) -> Result<Shard<'a>, IbaError> {
+        spec.validate()?;
+        config.validate(spec.packet_bytes)?;
+        if routing.lid_map().num_hosts() as usize != topo.num_hosts() {
+            return Err(IbaError::InvalidConfig(
+                "routing tables built for a different topology".into(),
+            ));
+        }
+        if spec.adaptive_fraction > 0.0 && routing.config().table_options < 2 {
+            return Err(IbaError::InvalidConfig(
+                "adaptive traffic requires at least 2 routing options (LMC >= 1)".into(),
+            ));
+        }
+
+        let root = StreamRng::from_seed(config.seed);
+        let vls = config.data_vls as usize;
+        let cap = config.vl_buffer_credits;
+        let parallel = part.is_some();
+
+        let switches = topo
+            .switch_ids()
+            .map(|s| {
+                let ports = topo.ports_per_switch() as usize;
+                let inputs = (0..ports)
+                    .map(|_| InputPort {
+                        vls: (0..vls).map(|_| VlBuffer::new(cap)).collect(),
+                        read_busy_until: SimTime::ZERO,
+                        vl_cursor: 0,
+                    })
+                    .collect();
+                let outputs = (0..ports)
+                    .map(|p| {
+                        let to_switch = topo
+                            .endpoint(s, PortIndex(p as u8))
+                            .is_some_and(|ep| ep.node.is_switch());
+                        OutputPort {
+                            busy_until: SimTime::ZERO,
+                            credits: to_switch.then(|| vec![cap; vls]),
+                            busy_ns_total: 0,
+                        }
+                    })
+                    .collect();
+                Ok(SwitchState {
+                    inputs,
+                    outputs,
+                    sl2vl: SlToVlTable::identity(topo.ports_per_switch(), config.data_vls)?,
+                    arb_pending: false,
+                    rr_cursor: 0,
+                    link_up: vec![true; ports],
+                    down_depth: vec![0; ports],
+                    switch_down_depth: vec![0; ports],
+                })
+            })
+            .collect::<Result<Vec<_>, IbaError>>()?;
+
+        // Hosts are numbered consecutively per switch by the topology
+        // builders; permutation patterns act on the switch index. Every
+        // shard builds every host's generator (each host draws from its
+        // own derived substream, so a generator's schedule is
+        // independent of which shard advances it); only owned hosts'
+        // generators ever advance.
+        let hosts_per_switch = if topo.num_hosts().is_multiple_of(topo.num_switches()) {
+            topo.num_hosts() / topo.num_switches()
+        } else {
+            1
+        };
+        let hosts = topo
+            .host_ids()
+            .map(|h| {
+                Ok(HostState {
+                    gen: Some(HostGenerator::with_groups(
+                        h,
+                        topo.num_hosts(),
+                        hosts_per_switch,
+                        spec,
+                        &root,
+                    )?),
+                    queue: VecDeque::new(),
+                    tx_busy_until: SimTime::ZERO,
+                    credits: vec![cap; vls],
+                    attached_switch: topo.host_switch(h),
+                    next_seq: 0,
+                    mp_cursor: h.0 % routing.config().table_options,
+                })
+            })
+            .collect::<Result<Vec<_>, IbaError>>()?;
+
+        // Pre-size the event queue from the topology: pending events are
+        // bounded by buffered packets (each VL buffer holds at most its
+        // credit count, each buffered packet has at most one pending
+        // RouteDone/TxDone/CreditReturn) plus a few per host — so the
+        // steady state never reallocates the queue.
+        let ports = topo.ports_per_switch() as usize;
+        let est_events = (topo.num_switches() * ports * vls * cap.count() as usize / 4
+            + topo.num_hosts() * 4)
+            .max(1024);
+
+        let nsw = topo.num_switches();
+        let nh = topo.num_hosts();
+        let horizon = config.horizon();
+        Ok(Shard {
+            id,
+            topo,
+            routing,
+            spec,
+            config,
+            part,
+            queue: DesQueue::with_capacity(config.queue_backend, est_events),
+            switches,
+            hosts,
+            stats: StatsCollector::new(
+                config.warmup,
+                horizon,
+                topo.num_hosts(),
+                routing.lid_map().table_len(),
+            ),
+            next_packet_id: 0,
+            arb_rng: root.derive(StreamKind::Arbiter),
+            switch_arb_rngs: if parallel {
+                (0..nsw)
+                    .map(|s| root.derive_indexed(StreamKind::Arbiter, s as u64))
+                    .collect()
+            } else {
+                Vec::new()
+            },
+            gen_deadline: horizon,
+            primed: false,
+            tracer: None,
+            script: None,
+            faults: Vec::new(),
+            recovery: RecoveryPolicy::None,
+            resweep_latency_ns: 0,
+            active_faults: 0,
+            dead_switches: vec![false; nsw],
+            corrupt_prob: 0.0,
+            corrupt_rng: root.derive(StreamKind::Custom(0xC0DE)),
+            switch_corrupt_rngs: if parallel {
+                (0..nsw)
+                    .map(|s| root.derive_indexed(StreamKind::Custom(0xC0DE), s as u64))
+                    .collect()
+            } else {
+                Vec::new()
+            },
+            apm_certified: false,
+            recovery_routing: None,
+            telemetry: None,
+            recorder: None,
+            decision_options: OptionOutcomes::new(),
+            key_counters: vec![0; nsw + nh + 1],
+            resync_pending: if parallel {
+                vec![false; nsw * ports]
+            } else {
+                Vec::new()
+            },
+            outbox: Vec::new(),
+            replicated: 0,
+        })
+    }
+
+    /// Switch trace-driven mode on: clear the synthetic generators and
+    /// install the script (validated by the caller).
+    pub(crate) fn set_script(&mut self, script: &'a TrafficScript) {
+        for h in &mut self.hosts {
+            h.gen = None;
+        }
+        self.script = Some(script);
+    }
+
+    /// Arm a link-fault schedule and the recovery policy answering it.
+    ///
+    /// Fails when a schedule entry names a link the topology does not
+    /// have, or when `ApmMigrate` is requested without APM tables.
+    pub(crate) fn arm_faults(
+        &mut self,
+        schedule: &FaultSchedule,
+        policy: RecoveryPolicy,
+        resweep_latency_ns: u64,
+    ) -> Result<(), IbaError> {
+        if self.primed {
+            return Err(IbaError::InvalidConfig(
+                "fault schedule must be armed before the simulation starts".into(),
+            ));
+        }
+        if policy == RecoveryPolicy::ApmMigrate && !self.routing.has_apm() {
+            return Err(IbaError::InvalidConfig(
+                "ApmMigrate recovery requires APM tables (FaRouting::build_with_apm)".into(),
+            ));
+        }
+        self.faults.clear();
+        for (i, e) in schedule.events().iter().enumerate() {
+            let n = self.topo.num_switches();
+            if e.a.index() >= n || e.b.index() >= n {
+                return Err(IbaError::InvalidConfig(format!(
+                    "fault entry {i}: switch out of range (topology has {n} switches)"
+                )));
+            }
+            let (pa, pb) = match e.kind {
+                // A switch fault names no link; the affected ports are
+                // enumerated from the topology when the fault fires.
+                FaultKind::SwitchDown | FaultKind::SwitchUp => (PortIndex(0), PortIndex(0)),
+                FaultKind::LinkDown | FaultKind::LinkUp => {
+                    let (Some(pa), Some(pb)) = (
+                        self.topo.port_towards(e.a, e.b),
+                        self.topo.port_towards(e.b, e.a),
+                    ) else {
+                        return Err(IbaError::InvalidConfig(format!(
+                            "fault entry {i}: no link {}–{} in the topology",
+                            e.a, e.b
+                        )));
+                    };
+                    (pa, pb)
+                }
+            };
+            self.faults.push(ResolvedFault {
+                at: e.at,
+                kind: e.kind,
+                a: e.a,
+                pa,
+                b: e.b,
+                pb,
+            });
+        }
+        self.recovery = policy;
+        self.resweep_latency_ns = resweep_latency_ns;
+        Ok(())
+    }
+
+    /// Entity id of a switch in the key space.
+    #[inline]
+    fn ent_switch(&self, s: SwitchId) -> u64 {
+        s.index() as u64
+    }
+
+    /// Entity id of a host in the key space (after all switches).
+    #[inline]
+    fn ent_host(&self, h: HostId) -> u64 {
+        (self.topo.num_switches() + h.index()) as u64
+    }
+
+    /// The coordinator pseudo-entity: schedules every shard replicates
+    /// identically (fault priming, the telemetry tick chain). Never use
+    /// it for an ownership-gated schedule — per-shard counters would
+    /// diverge.
+    #[inline]
+    fn ent_coord(&self) -> u64 {
+        (self.topo.num_switches() + self.topo.num_hosts()) as u64
+    }
+
+    /// Whether this shard executes switch `s`'s events (always, serially).
+    #[inline]
+    fn owns_switch(&self, s: SwitchId) -> bool {
+        self.part
+            .as_deref()
+            .is_none_or(|p| p.shard_of_switch(s) == self.id)
+    }
+
+    /// Whether this shard executes host `h`'s events (always, serially).
+    #[inline]
+    fn owns_host(&self, h: HostId) -> bool {
+        self.part
+            .as_deref()
+            .is_none_or(|p| p.shard_of_host(h) == self.id)
+    }
+
+    /// The shard that must execute `ev`. Parallel mode only.
+    fn dst_shard(&self, ev: &Event) -> usize {
+        let p = self.part.as_deref().expect("parallel mode");
+        match ev {
+            Event::Generate { host } | Event::TryInject { host } | Event::Deliver { host, .. } => {
+                p.shard_of_host(*host)
+            }
+            Event::HeaderArrive { sw, .. }
+            | Event::RouteDone { sw, .. }
+            | Event::Arbitrate { sw }
+            | Event::TxDone { sw, .. }
+            | Event::CreditResync { sw, .. } => p.shard_of_switch(*sw),
+            Event::CreditReturn { target, .. } => match target {
+                NodeRef::Switch(s) => p.shard_of_switch(*s),
+                NodeRef::Host(h) => p.shard_of_host(*h),
+            },
+            // Replicated or serial-only events stay local.
+            Event::Fault { .. }
+            | Event::ResweepDone
+            | Event::TelemetrySample
+            | Event::WatchdogCheck
+            | Event::GenerateScripted { .. } => self.id,
+        }
+    }
+
+    /// The one schedule point. Serial mode: plain FIFO scheduling,
+    /// byte-identical to the pre-shard engine. Parallel mode: stamp the
+    /// canonical `(class, entity, counter)` key and route the event to
+    /// its owning shard — locally into the queue, or into the outbox
+    /// when it crosses the partition (which the conservative lookahead
+    /// guarantees is at least one propagation delay in the future).
+    fn sched(&mut self, at: SimTime, class: u8, entity: u64, ev: Event) {
+        if self.part.is_none() {
+            self.queue.schedule(at, ev);
+            return;
+        }
+        let c = self.key_counters[entity as usize];
+        self.key_counters[entity as usize] = c + 1;
+        let key = event_key(class, entity, c);
+        let dst = self.dst_shard(&ev);
+        if dst == self.id {
+            self.queue.schedule_keyed(at, key, ev);
+        } else {
+            debug_assert!(
+                at.as_ns() >= self.queue.now().as_ns() + self.config.phys.propagation_ns,
+                "cross-shard event inside the conservative lookahead window"
+            );
+            self.outbox.push(OutMsg { dst, at, key, ev });
+        }
+    }
+
+    /// The routing tables currently programmed into the fabric: the
+    /// recovery tables once an SM re-sweep has installed them, the
+    /// primary tables otherwise.
+    #[inline]
+    fn cur_routing(&self) -> &FaRouting {
+        self.recovery_routing.as_ref().unwrap_or(self.routing)
+    }
+
+    #[inline]
+    fn trace(&mut self, id: PacketId, at: SimTime, step: TraceStep) {
+        if let Some(tr) = self.tracer.as_mut() {
+            tr.record(id, at, step);
+        }
+    }
+
+    /// Seed the event queue: every owned host's first synthetic
+    /// generation, or the script's first entry in trace-driven mode.
+    /// Fault and telemetry events are replicated into every shard.
+    /// Idempotent.
+    pub(crate) fn prime(&mut self) {
+        if self.primed {
+            return;
+        }
+        self.primed = true;
+        // Parallel APM migration certifies the alternate escape set up
+        // front: the serial engine does it lazily at the first
+        // migration, but that point is owner-local, and the verdict must
+        // land in exactly one shard's stats. Every shard flips the flag
+        // (so the lazy branch never fires); shard 0 records the verdict.
+        if self.part.is_some()
+            && self.recovery == RecoveryPolicy::ApmMigrate
+            && !self.faults.is_empty()
+            && !self.apm_certified
+        {
+            self.apm_certified = true;
+            if self.id == 0 {
+                self.certify_escape(true);
+            }
+        }
+        // Faults are plain events in the queue, so their application is
+        // serialized with packet events at deterministic points — a
+        // fault-driven run stays bit-identical across queue backends. In
+        // parallel mode every shard schedules (and executes) every fault
+        // so the port masks stay globally consistent.
+        for idx in 0..self.faults.len() {
+            let (at, ent) = (self.faults[idx].at, self.ent_coord());
+            self.sched(at, CLASS_FAULT, ent, Event::Fault { idx });
+        }
+        // The telemetry probe rides the event queue like everything else,
+        // so sampling points are serialized deterministically across
+        // backends. Disabled runs schedule nothing.
+        if let Some(t) = self.telemetry.as_deref() {
+            let at = SimTime::from_ns(t.cadence_ns());
+            if at <= self.config.horizon() {
+                let ent = self.ent_coord();
+                self.sched(at, CLASS_TELEMETRY, ent, Event::TelemetrySample);
+            }
+        }
+        // Likewise the stall watchdog: its checks are ordinary events at
+        // deterministic times, so recorded runs stay bit-identical across
+        // queue backends. (Serial-only: the builder rejects the recorder
+        // in parallel mode.)
+        if let Some(wd) = self.recorder.as_deref().and_then(|r| r.opts().watchdog) {
+            let at = SimTime::from_ns(wd.check_every_ns);
+            if at <= self.config.horizon() {
+                self.queue.schedule(at, Event::WatchdogCheck);
+            }
+        }
+        if let Some(script) = self.script {
+            // Serial-only: the builder rejects scripts in parallel mode.
+            if let Some(first) = script.packets().first() {
+                if first.at < self.gen_deadline {
+                    self.queue
+                        .schedule(first.at, Event::GenerateScripted { idx: 0 });
+                }
+            }
+            return;
+        }
+        for h in 0..self.hosts.len() {
+            let host = HostId(h as u16);
+            if !self.owns_host(host) {
+                continue;
+            }
+            let dt = self.hosts[h]
+                .gen
+                .as_mut()
+                .expect("synthetic mode")
+                .next_interarrival_ns();
+            let at = SimTime::from_ns(dt);
+            if at < self.gen_deadline {
+                let ent = self.ent_host(host);
+                self.sched(at, CLASS_GENERATE, ent, Event::Generate { host });
+            }
+        }
+    }
+
+    fn dispatch(&mut self, now: SimTime, ev: Event) {
+        match ev {
+            Event::Generate { host } => self.on_generate(now, host),
+            Event::GenerateScripted { idx } => self.on_generate_scripted(now, idx),
+            Event::TryInject { host } => self.try_inject(now, host),
+            Event::HeaderArrive {
+                sw,
+                port,
+                vl,
+                packet,
+            } => self.on_header_arrive(now, sw, port, vl, packet),
+            Event::RouteDone {
+                sw,
+                port,
+                vl,
+                handle,
+            } => self.on_route_done(now, sw, port, vl, handle),
+            Event::Arbitrate { sw } => {
+                self.switches[sw.index()].arb_pending = false;
+                self.arbitrate(now, sw);
+            }
+            Event::TxDone {
+                sw,
+                port,
+                vl,
+                handle,
+            } => self.on_tx_done(now, sw, port, vl, handle),
+            Event::CreditReturn {
+                target,
+                port,
+                vl,
+                credits,
+            } => self.on_credit_return(now, target, port, vl, credits),
+            Event::CreditResync { sw, port, free } => self.on_credit_resync(now, sw, port, &free),
+            Event::Deliver { host, packet } => {
+                self.trace(packet.id, now, TraceStep::Delivered { host });
+                if let Some(r) = self.recorder.as_deref_mut() {
+                    let latency_ns = now.since(packet.generated_at);
+                    r.record(
+                        None,
+                        now,
+                        FlightEvent::Delivered {
+                            packet: packet.id,
+                            host,
+                            latency_ns,
+                        },
+                    );
+                    if r.wants_latency_trigger(latency_ns) {
+                        r.trigger(now, TriggerCause::LatencyThreshold, None, Some(packet.id));
+                    }
+                }
+                self.stats.on_delivered(&packet, now);
+            }
+            Event::Fault { idx } => {
+                if self.part.is_some() {
+                    self.replicated += 1;
+                }
+                self.on_fault(now, idx)
+            }
+            Event::ResweepDone => self.on_resweep_done(now),
+            Event::TelemetrySample => {
+                if self.part.is_some() {
+                    self.replicated += 1;
+                }
+                self.on_telemetry_sample(now)
+            }
+            Event::WatchdogCheck => self.on_watchdog_check(now),
+        }
+    }
+
+    /// Pop and dispatch one event at or before `limit`. Returns whether
+    /// an event was executed — the serial engine's stepping primitive.
+    pub(crate) fn step_until(&mut self, limit: SimTime) -> bool {
+        let Some((now, ev)) = self.queue.pop_until(limit) else {
+            return false;
+        };
+        self.dispatch(now, ev);
+        true
+    }
+
+    /// Drain every event at or before `limit` — one conservative
+    /// execution window of the parallel engine.
+    pub(crate) fn run_window(&mut self, limit: SimTime) {
+        while let Some((now, ev)) = self.queue.pop_until(limit) {
+            self.dispatch(now, ev);
+        }
+    }
+
+    /// Move this window's cross-shard events into the per-shard
+    /// mailboxes (threaded execution).
+    pub(crate) fn flush_outbox(&mut self, mailboxes: &[Mailbox]) {
+        for m in self.outbox.drain(..) {
+            mailboxes[m.dst]
+                .lock()
+                .expect("mailbox poisoned")
+                .push((m.at, m.key, m.ev));
+        }
+    }
+
+    /// Take this window's cross-shard events (inline execution).
+    pub(crate) fn take_outbox(&mut self) -> Vec<OutMsg> {
+        std::mem::take(&mut self.outbox)
+    }
+
+    /// Ingest cross-shard events delivered by other shards. The
+    /// canonical keys make the queue order independent of ingest order.
+    pub(crate) fn ingest(&mut self, msgs: Vec<(SimTime, u64, Event)>) {
+        for (at, key, ev) in msgs {
+            self.queue.schedule_keyed(at, key, ev);
+        }
+    }
+
+    /// Ingest one cross-shard event (inline execution).
+    pub(crate) fn enqueue_remote(&mut self, at: SimTime, key: u64, ev: Event) {
+        self.queue.schedule_keyed(at, key, ev);
+    }
+
+    /// Timestamp of this shard's next pending event in ns (`u64::MAX`
+    /// when empty) — the input to the conservative window computation.
+    pub(crate) fn next_time_ns(&self) -> u64 {
+        self.queue.peek_time().map_or(u64::MAX, |t| t.as_ns())
+    }
+
+    /// Events processed, with replicated fault/telemetry pops counted
+    /// exactly once fabric-wide (on shard 0) — so the aggregate over
+    /// shards is invariant in the shard count.
+    pub(crate) fn counted_events(&self) -> u64 {
+        let n = self.queue.events_processed();
+        if self.id == 0 {
+            n
+        } else {
+            n - self.replicated
+        }
+    }
+
+    /// Take one telemetry sample, hand it to the sink, and reschedule
+    /// the probe one cadence later (while the horizon allows). Serial
+    /// mode samples every switch; parallel mode samples only owned
+    /// switches (the merge concatenates the shards' slices).
+    fn on_telemetry_sample(&mut self, now: SimTime) {
+        let nvls = self.config.data_vls as usize;
+        let nports = self.topo.ports_per_switch() as usize;
+        let nsw = self.switches.len();
+        let part = self.part.clone();
+        let id = self.id;
+        let horizon = self.config.horizon();
+        let Some(t) = self.telemetry.as_deref_mut() else {
+            return;
+        };
+        let switches = &self.switches;
+        t.record_sample_filtered(
+            now,
+            nvls,
+            |s, p, v| &switches[s].inputs[p].vls[v],
+            nsw,
+            nports,
+            |s| {
+                part.as_deref()
+                    .is_none_or(|p| p.shard_of_switch(SwitchId(s as u16)) == id)
+            },
+        );
+        let next = now.plus_ns(t.cadence_ns());
+        if next <= horizon {
+            let ent = self.ent_coord();
+            self.sched(next, CLASS_TELEMETRY, ent, Event::TelemetrySample);
+        }
+    }
+
+    /// One stall-watchdog pass: check every (switch, input port, VL)
+    /// buffer for forward progress, classify stalled buffers by the
+    /// liveness of their escape path, and reschedule one cadence later
+    /// (while the horizon allows). Serial-only (the builder rejects the
+    /// recorder in parallel mode).
+    fn on_watchdog_check(&mut self, now: SimTime) {
+        let Some(wd) = self.recorder.as_deref().and_then(|r| r.opts().watchdog) else {
+            return;
+        };
+        if !self.recorder.as_deref().is_some_and(|r| r.frozen()) {
+            let nports = self.topo.ports_per_switch() as usize;
+            let nvls = self.config.data_vls as usize;
+            for si in 0..self.switches.len() {
+                for ip in 0..nports {
+                    for vl in 0..nvls {
+                        self.watchdog_check_buffer(
+                            now,
+                            SwitchId(si as u16),
+                            ip,
+                            vl,
+                            wd.stall_after_ns,
+                        );
+                    }
+                }
+            }
+        }
+        let next = now.plus_ns(wd.check_every_ns);
+        if next <= self.config.horizon() {
+            self.queue.schedule(next, Event::WatchdogCheck);
+        }
+    }
+
+    /// Check one buffer: stalled means occupied, not mid-transmission,
+    /// head routed, and no forward progress for `stall_after_ns`. A
+    /// stalled buffer is classified by its head packet's *escape* path
+    /// (the deadlock-freedom invariant guarantees escape queues drain,
+    /// so a lively escape path means the stall resolves); a suspected
+    /// wedge logs a [`FlightEvent::Stall`] and fires the freeze trigger.
+    fn watchdog_check_buffer(
+        &mut self,
+        now: SimTime,
+        sw: SwitchId,
+        ip: usize,
+        vl: usize,
+        stall_after_ns: u64,
+    ) {
+        let st = &self.switches[sw.index()];
+        let buf = &st.inputs[ip].vls[vl];
+        if buf.is_empty() || buf.has_in_flight() {
+            return;
+        }
+        let head = buf.get(0);
+        let Some(route) = head.route.as_ref() else {
+            return; // still in the routing pipeline: not stall-eligible
+        };
+        let waited = self
+            .recorder
+            .as_deref()
+            .map_or(0, |r| r.stalled_for(sw, ip, vl, now));
+        if waited < stall_after_ns {
+            return;
+        }
+        let op = route.escape;
+        let escape_link_up = st.link_up[op.index()];
+        let out = &st.outputs[op.index()];
+        let escape_streaming = out.busy_until > now;
+        let out_vl = st.sl2vl.vl_for(PortIndex(ip as u8), op, head.packet.sl);
+        let escape_credits_ok = match out.credits.as_ref() {
+            None => true,
+            Some(cs) => cs[out_vl.index()] >= head.packet.credits(),
+        };
+        let packet_id = head.packet.id;
+        let since_return = self
+            .recorder
+            .as_deref()
+            .and_then(|r| r.last_credit_return_at(sw, op))
+            .map(|t| now.since(t));
+        let class = classify_stall(
+            escape_link_up,
+            escape_streaming,
+            escape_credits_ok,
+            since_return,
+            stall_after_ns,
+        );
+        let Some(r) = self.recorder.as_deref_mut() else {
+            return;
+        };
+        if r.should_log_stall(sw, ip, vl, class) {
+            r.record(
+                Some(sw),
+                now,
+                FlightEvent::Stall {
+                    port: PortIndex(ip as u8),
+                    vl: VirtualLane(vl as u8),
+                    packet: packet_id,
+                    waited_ns: waited,
+                    class,
+                },
+            );
+            if class == StallClass::SuspectedWedge {
+                r.trigger(now, TriggerCause::SuspectedWedge, Some(sw), Some(packet_id));
+            }
+        }
+    }
+
+    /// Raise the fault-mask depth of one port. Returns `true` when the
+    /// port transitioned from live to masked. Masks are global state:
+    /// every shard applies every fault's masks, so hot-path `link_up`
+    /// reads never cross the partition.
+    fn mask_port(&mut self, s: SwitchId, p: PortIndex, by_switch: bool) -> bool {
+        let st = &mut self.switches[s.index()];
+        st.down_depth[p.index()] += 1;
+        if by_switch {
+            st.switch_down_depth[p.index()] += 1;
+        }
+        let transitioned = st.down_depth[p.index()] == 1;
+        if transitioned {
+            st.link_up[p.index()] = false;
+        }
+        transitioned
+    }
+
+    /// Lower the fault-mask depth of one port. Returns `true` when the
+    /// port transitioned from masked back to live (overlapping faults
+    /// keep it masked until the last one clears).
+    fn unmask_port(&mut self, s: SwitchId, p: PortIndex, by_switch: bool) -> bool {
+        let st = &mut self.switches[s.index()];
+        let was = st.down_depth[p.index()];
+        st.down_depth[p.index()] = was.saturating_sub(1);
+        if by_switch {
+            st.switch_down_depth[p.index()] = st.switch_down_depth[p.index()].saturating_sub(1);
+        }
+        let live = was == 1;
+        if live {
+            st.link_up[p.index()] = true;
+        }
+        live
+    }
+
+    /// Re-synchronize the `s → peer` sender-side credit counters after
+    /// link retraining (flow-control reset); space held by residencies
+    /// still draining comes back through their normal CreditReturns.
+    ///
+    /// Serial mode snapshots the receiver's free space instantly.
+    /// Parallel mode may have `s` and `peer` in different shards, so it
+    /// runs a two-phase protocol: the receiver's owner snapshots free
+    /// space and sends it with the link propagation delay; the sender's
+    /// owner zeroes the counters and discards credit returns until the
+    /// snapshot lands (their space is already counted in it). Class
+    /// order Fault < CreditResync < CreditReturn makes the handoff
+    /// exact at every timestamp.
+    fn resync_link_credits(
+        &mut self,
+        now: SimTime,
+        s: SwitchId,
+        p: PortIndex,
+        peer: SwitchId,
+        pp: PortIndex,
+    ) {
+        if self.part.is_some() {
+            if self.owns_switch(peer) {
+                let free: Box<InlineVec<Credits, 16>> = Box::new(
+                    self.switches[peer.index()].inputs[pp.index()]
+                        .vls
+                        .iter()
+                        .map(|b| b.free())
+                        .collect(),
+                );
+                let at = now.plus_ns(self.config.phys.propagation_ns);
+                let ent = self.ent_switch(peer);
+                self.sched(
+                    at,
+                    CLASS_CREDIT_RESYNC,
+                    ent,
+                    Event::CreditResync {
+                        sw: s,
+                        port: p,
+                        free,
+                    },
+                );
+            }
+            if self.owns_switch(s) {
+                if let Some(cs) = self.switches[s.index()].outputs[p.index()].credits.as_mut() {
+                    for c in cs.iter_mut() {
+                        *c = Credits::ZERO;
+                    }
+                }
+                let ports = self.topo.ports_per_switch() as usize;
+                self.resync_pending[s.index() * ports + p.index()] = true;
+            }
+            return;
+        }
+        let free: InlineVec<Credits, 16> = self.switches[peer.index()].inputs[pp.index()]
+            .vls
+            .iter()
+            .map(|b| b.free())
+            .collect();
+        if let Some(cs) = self.switches[s.index()].outputs[p.index()].credits.as_mut() {
+            for (c, f) in cs.iter_mut().zip(free.iter()) {
+                *c = *f;
+            }
+        }
+        self.schedule_arbitrate(now, s);
+    }
+
+    /// The receiver's credit snapshot lands at the sender (parallel
+    /// engine only): install it, lift the stale-return discard, and give
+    /// the revived output a chance to arbitrate. Applying a snapshot to
+    /// a port that died again while it was on the wire is harmless —
+    /// arbitration re-checks `link_up`, and the next link-up restarts
+    /// the protocol.
+    fn on_credit_resync(
+        &mut self,
+        now: SimTime,
+        sw: SwitchId,
+        port: PortIndex,
+        free: &InlineVec<Credits, 16>,
+    ) {
+        let ports = self.topo.ports_per_switch() as usize;
+        self.resync_pending[sw.index() * ports + port.index()] = false;
+        if let Some(cs) = self.switches[sw.index()].outputs[port.index()]
+            .credits
+            .as_mut()
+        {
+            for (c, f) in cs.iter_mut().zip(free.iter()) {
+                *c = *f;
+            }
+        }
+        self.schedule_arbitrate(now, sw);
+    }
+
+    /// Apply one fault-schedule entry. Downing a link masks both port
+    /// directions; downing a switch atomically masks every wired port of
+    /// the switch in both directions (in-flight packets toward it are
+    /// lost, its own buffered packets are stranded until it returns — a
+    /// power-cycled switch that kept its buffer RAM, chosen so pending
+    /// buffer residencies stay valid). The matching up event restores the
+    /// ports and re-synchronizes sender-side credit counters from the
+    /// receiver buffers. Redundant events (downing a dead link, upping a
+    /// live one) are ignored. In parallel mode every shard executes every
+    /// fault (masks are global); the stats count is taken by the shard
+    /// owning the first-named switch.
+    fn on_fault(&mut self, now: SimTime, idx: usize) {
+        let f = self.faults[idx];
+        match f.kind {
+            FaultKind::LinkDown => {
+                if !self.switches[f.a.index()].link_up[f.pa.index()] {
+                    return;
+                }
+                self.mask_port(f.a, f.pa, false);
+                self.mask_port(f.b, f.pb, false);
+                self.active_faults += 1;
+                if self.owns_switch(f.a) {
+                    self.stats.on_fault(now);
+                }
+                if let Some(r) = self.recorder.as_deref_mut() {
+                    r.record(Some(f.a), now, FlightEvent::LinkDown { port: f.pa });
+                    r.record(Some(f.b), now, FlightEvent::LinkDown { port: f.pb });
+                }
+            }
+            FaultKind::LinkUp => {
+                if self.switches[f.a.index()].link_up[f.pa.index()] {
+                    return;
+                }
+                self.unmask_port(f.a, f.pa, false);
+                self.unmask_port(f.b, f.pb, false);
+                self.active_faults -= 1;
+                if let Some(r) = self.recorder.as_deref_mut() {
+                    r.record(Some(f.a), now, FlightEvent::LinkUp { port: f.pa });
+                    r.record(Some(f.b), now, FlightEvent::LinkUp { port: f.pb });
+                }
+                for (s, p, peer, pp) in [(f.a, f.pa, f.b, f.pb), (f.b, f.pb, f.a, f.pa)] {
+                    self.resync_link_credits(now, s, p, peer, pp);
+                }
+            }
+            FaultKind::SwitchDown => self.apply_switch_fault(now, f.a, true),
+            FaultKind::SwitchUp => self.apply_switch_fault(now, f.a, false),
+        }
+        if self.recovery == RecoveryPolicy::SmResweep {
+            // Serial-only: the builder rejects SmResweep in parallel mode
+            // (a re-sweep rebuilds global routing mid-run).
+            self.queue
+                .schedule(now.plus_ns(self.resweep_latency_ns), Event::ResweepDone);
+        }
+    }
+
+    /// Down or up a whole switch: every inter-switch link is masked or
+    /// unmasked in both directions, every host-facing port on the switch
+    /// side. At switch-up, each link whose two sides both came back live
+    /// gets its sender credits re-synchronized; attached hosts get their
+    /// credit counters rebuilt from the receiver's free space — credits
+    /// they spent on packets that died at the masked port never return,
+    /// and without the resync they would be leaked forever. (Hosts are
+    /// co-located with their switch, so the host rebuild stays instant
+    /// in both modes.)
+    fn apply_switch_fault(&mut self, now: SimTime, s: SwitchId, down: bool) {
+        if self.dead_switches[s.index()] == down {
+            return; // redundant (already in the requested state)
+        }
+        self.dead_switches[s.index()] = down;
+        if down {
+            self.active_faults += 1;
+            if self.owns_switch(s) {
+                self.stats.on_fault(now);
+            }
+        } else {
+            self.active_faults -= 1;
+        }
+        if let Some(r) = self.recorder.as_deref_mut() {
+            let ev = if down {
+                FlightEvent::SwitchDown { sw: s }
+            } else {
+                FlightEvent::SwitchUp { sw: s }
+            };
+            r.record(Some(s), now, ev);
+        }
+        let neighbors: InlineVec<(PortIndex, SwitchId, PortIndex), MAX_PORTS> =
+            self.topo.switch_neighbors(s).collect();
+        for &(p, peer, pp) in neighbors.iter() {
+            if down {
+                self.mask_port(s, p, true);
+                if self.mask_port(peer, pp, true) {
+                    if let Some(r) = self.recorder.as_deref_mut() {
+                        r.record(Some(peer), now, FlightEvent::LinkDown { port: pp });
+                    }
+                }
+            } else {
+                let live_s = self.unmask_port(s, p, true);
+                let live_peer = self.unmask_port(peer, pp, true);
+                if live_peer {
+                    if let Some(r) = self.recorder.as_deref_mut() {
+                        r.record(Some(peer), now, FlightEvent::LinkUp { port: pp });
+                    }
+                }
+                if live_s && live_peer {
+                    self.resync_link_credits(now, s, p, peer, pp);
+                    self.resync_link_credits(now, peer, pp, s, p);
+                }
+            }
+        }
+        let attached: InlineVec<(PortIndex, HostId), MAX_PORTS> =
+            self.topo.attached_hosts(s).collect();
+        for &(p, h) in attached.iter() {
+            if down {
+                self.mask_port(s, p, true);
+            } else if self.unmask_port(s, p, true) && self.owns_switch(s) {
+                let free: InlineVec<Credits, 16> = self.switches[s.index()].inputs[p.index()]
+                    .vls
+                    .iter()
+                    .map(|b| b.free())
+                    .collect();
+                for (c, f) in self.hosts[h.index()].credits.iter_mut().zip(free.iter()) {
+                    *c = *f;
+                }
+                self.try_inject(now, h);
+            }
+        }
+        if !down && self.owns_switch(s) {
+            self.schedule_arbitrate(now, s);
+        }
+    }
+
+    /// The SM re-sweep completes: install routing rebuilt on the
+    /// *current* degraded topology and re-route already-buffered packets
+    /// against it. If every link is back up the primary tables are
+    /// reinstated; if the degraded fabric is disconnected the sweep
+    /// fails and the old tables stay live. Serial-only.
+    fn on_resweep_done(&mut self, now: SimTime) {
+        if self.active_faults == 0 {
+            self.recovery_routing = None;
+            self.stats.on_recovery_installed(now);
+        } else {
+            match self.rebuild_degraded_routing() {
+                Ok(r) => {
+                    self.recovery_routing = Some(r);
+                    self.stats.on_recovery_installed(now);
+                }
+                Err(_) => {
+                    self.stats.on_resweep_failed();
+                    return;
+                }
+            }
+        }
+        // Every freshly installed table set — degraded recovery tables or
+        // the reinstated primaries — is certified deadlock-free before
+        // traffic resumes on it.
+        self.certify_escape(false);
+        self.reroute_buffered();
+        for s in 0..self.switches.len() {
+            self.schedule_arbitrate(now, SwitchId(s as u16));
+        }
+    }
+
+    /// Certify the currently live tables' escape paths acyclic with
+    /// [`check_escape_routes`] (the up\*/down\* deadlock-freedom
+    /// invariant), feeding the verdict into the run statistics. With
+    /// `alternate` set the APM alternate path set is walked instead of
+    /// the primary one. Purely observational: no RNG, no control flow —
+    /// certified runs stay bit-identical across queue backends.
+    fn certify_escape(&mut self, alternate: bool) {
+        let ok = {
+            let routing = self.recovery_routing.as_ref().unwrap_or(self.routing);
+            check_escape_routes(self.topo, |s, h| {
+                let dlid = if alternate {
+                    routing.apm_dlid(h, false).ok()?
+                } else {
+                    routing.dlid(h, false).ok()?
+                };
+                routing.route_shared(s, dlid).ok().map(|r| r.escape)
+            })
+            .is_ok()
+        };
+        self.stats.on_escape_certification(ok);
+    }
+
+    /// Test hook: run an escape certification against an arbitrary
+    /// next-hop function through the production stats path, so the
+    /// failure-counting plumbing can be exercised with a deliberately
+    /// cyclic table.
+    pub(crate) fn debug_certify_with(
+        &mut self,
+        next_hop: impl Fn(SwitchId, HostId) -> Option<PortIndex>,
+    ) {
+        let ok = check_escape_routes(self.topo, next_hop).is_ok();
+        self.stats.on_escape_certification(ok);
+    }
+
+    /// Rebuild routing on the degraded topology, in *physical* id order
+    /// so the LID space is unchanged and DLIDs of in-flight packets stay
+    /// valid (the SMP-level SM pipeline discovers in BFS order and
+    /// correlates by GUID; the in-sim re-sweep models its outcome, not
+    /// its numbering).
+    fn rebuild_degraded_routing(&self) -> Result<FaRouting, IbaError> {
+        let mut b = TopologyBuilder::new(self.topo.num_switches(), self.topo.ports_per_switch());
+        for s in self.topo.switch_ids() {
+            for (p, peer, pp) in self.topo.switch_neighbors(s) {
+                if peer.0 > s.0 && self.switches[s.index()].link_up[p.index()] {
+                    b.connect_ports(s, p, peer, pp)?;
+                }
+            }
+        }
+        for h in self.topo.host_ids() {
+            let (sw, port) = self.topo.host_attachment(h);
+            b.attach_host_at(sw, port)?;
+        }
+        let degraded = b.build()?; // errors when the dead link disconnected the fabric
+        let cfg = *self.routing.config();
+        if self.routing.has_apm() {
+            FaRouting::build_with_apm(&degraded, cfg)
+        } else if self.routing.source_multipath().is_some() {
+            FaRouting::build_source_multipath(&degraded, cfg)
+        } else {
+            let caps: Vec<bool> = self
+                .topo
+                .switch_ids()
+                .map(|s| self.routing.switch_adaptive(s))
+                .collect();
+            FaRouting::build_mixed(&degraded, cfg, &caps)
+        }
+    }
+
+    /// Point every routed, not-in-flight buffered packet at the freshly
+    /// installed tables (packets routed before the sweep may hold
+    /// options through a dead link and would stall forever).
+    fn reroute_buffered(&mut self) {
+        let routing = self.recovery_routing.as_ref().unwrap_or(self.routing);
+        for (si, st) in self.switches.iter_mut().enumerate() {
+            let sw = SwitchId(si as u16);
+            for input in st.inputs.iter_mut() {
+                for buf in input.vls.iter_mut() {
+                    buf.reroute_with(|p| routing.route_shared(sw, p.dlid).ok());
+                }
+            }
+        }
+    }
+
+    fn on_generate(&mut self, now: SimTime, host: HostId) {
+        // APM migration: while any link is down, new packets address the
+        // alternate path set, steering them off the primary tree without
+        // waiting for the SM.
+        let migrate = self.recovery == RecoveryPolicy::ApmMigrate && self.active_faults > 0;
+        if migrate && !self.apm_certified {
+            // First migration onto the alternate path set: certify its
+            // escape chains acyclic before any packet addresses them
+            // (once per run — the APM tables never change). Parallel
+            // runs certify eagerly at prime instead, so this branch is
+            // serial-only.
+            self.apm_certified = true;
+            self.certify_escape(true);
+        }
+        let routing = self.recovery_routing.as_ref().unwrap_or(self.routing);
+        let h = &mut self.hosts[host.index()];
+        let gp = h.gen.as_mut().expect("synthetic mode").generate();
+        let dlid = match routing.source_multipath() {
+            // Source-selected multipath: rotate over the destination's
+            // whole address range; each address is a distinct fixed path.
+            Some(x) => {
+                let offset = h.mp_cursor % x;
+                h.mp_cursor = (h.mp_cursor + 1) % x;
+                routing
+                    .lid_map()
+                    .lid_for(gp.dst, offset)
+                    .expect("offset within the LMC range")
+            }
+            None if migrate => routing
+                .apm_dlid(gp.dst, gp.adaptive)
+                .expect("APM tables checked in with_faults"),
+            None => routing
+                .dlid(gp.dst, gp.adaptive)
+                .expect("validated at construction"),
+        };
+        self.enqueue_generated(now, host, gp.dst, dlid, gp.sl, gp.size_bytes);
+
+        let dt = self.hosts[host.index()]
+            .gen
+            .as_mut()
+            .expect("synthetic mode")
+            .next_interarrival_ns();
+        if now.plus_ns(dt) < self.gen_deadline {
+            let ent = self.ent_host(host);
+            self.sched(
+                now.plus_ns(dt),
+                CLASS_GENERATE,
+                ent,
+                Event::Generate { host },
+            );
+        }
+        self.try_inject(now, host);
+    }
+
+    /// Serial-only (the builder rejects scripts in parallel mode).
+    fn on_generate_scripted(&mut self, now: SimTime, idx: usize) {
+        let script = self.script.expect("scripted mode");
+        let entry = script.packets()[idx];
+        // Scripted path sets are explicit traces and are honoured as
+        // written even under ApmMigrate; only the tables may be swapped
+        // by an SM re-sweep.
+        let routing = self.recovery_routing.as_ref().unwrap_or(self.routing);
+        let dlid = match (routing.source_multipath(), entry.path_set) {
+            (Some(x), _) => {
+                let h = &mut self.hosts[entry.src.index()];
+                let offset = h.mp_cursor % x;
+                h.mp_cursor = (h.mp_cursor + 1) % x;
+                routing
+                    .lid_map()
+                    .lid_for(entry.dst, offset)
+                    .expect("offset within the LMC range")
+            }
+            (None, PathSet::Primary) => routing
+                .dlid(entry.dst, entry.adaptive)
+                .expect("validated at construction"),
+            (None, PathSet::Alternate) => routing
+                .apm_dlid(entry.dst, entry.adaptive)
+                .expect("validated at construction"),
+        };
+        self.enqueue_generated(now, entry.src, entry.dst, dlid, entry.sl, entry.size_bytes);
+        if let Some(next) = script.packets().get(idx + 1) {
+            if next.at < self.gen_deadline {
+                self.queue
+                    .schedule(next.at, Event::GenerateScripted { idx: idx + 1 });
+            }
+        }
+        self.try_inject(now, entry.src);
+    }
+
+    /// Create the packet and place it in the source queue (or drop it at
+    /// a full finite queue). Serial mode numbers packets from a single
+    /// global counter (generation order); parallel mode packs
+    /// `(source host, per-host sequence)` so ids are independent of the
+    /// interleaving of other hosts' generators across shards.
+    fn enqueue_generated(
+        &mut self,
+        now: SimTime,
+        host: HostId,
+        dst: HostId,
+        dlid: iba_core::Lid,
+        sl: iba_core::ServiceLevel,
+        size_bytes: u32,
+    ) {
+        let id = if self.part.is_some() {
+            PacketId(((host.0 as u64) << 40) | self.hosts[host.index()].next_seq)
+        } else {
+            let id = PacketId(self.next_packet_id);
+            self.next_packet_id += 1;
+            id
+        };
+        let h = &mut self.hosts[host.index()];
+        let packet = Packet {
+            id,
+            src: host,
+            dst,
+            dlid,
+            sl,
+            size_bytes,
+            generated_at: now,
+            seq: h.next_seq,
+            hops: 0,
+            escape_uses: 0,
+        };
+        h.next_seq += 1;
+        let attached = h.attached_switch;
+        let queue_full = self
+            .config
+            .host_queue_capacity
+            .is_some_and(|cap| h.queue.len() >= cap);
+        if !queue_full {
+            h.queue.push_back(packet);
+        }
+        self.stats.on_generated(now);
+        if queue_full {
+            // Finite CA send queue: the new packet is discarded.
+            self.stats.on_source_drop();
+            self.trace(
+                id,
+                now,
+                TraceStep::Dropped {
+                    sw: attached,
+                    cause: DropCause::SourceQueueFull,
+                },
+            );
+            if let Some(r) = self.recorder.as_deref_mut() {
+                r.record(
+                    None,
+                    now,
+                    FlightEvent::Dropped {
+                        packet: id,
+                        cause: DropCause::SourceQueueFull,
+                    },
+                );
+                if r.wants_drop_trigger() {
+                    r.trigger(now, TriggerCause::Drop, None, Some(id));
+                }
+            }
+        } else {
+            self.trace(id, now, TraceStep::Generated { host });
+        }
+    }
+
+    fn try_inject(&mut self, now: SimTime, host: HostId) {
+        let h = &mut self.hosts[host.index()];
+        if h.tx_busy_until > now {
+            return; // a TryInject is already scheduled at tx_busy_until
+        }
+        let Some(front) = h.queue.front() else {
+            return;
+        };
+        let vl = VirtualLane(front.sl.0 % self.config.data_vls);
+        let need = front.credits();
+        if h.credits[vl.index()] < need {
+            return; // woken again by CreditReturn
+        }
+        let packet = h.queue.pop_front().expect("checked above");
+        let traced_id = packet.id;
+        h.credits[vl.index()] -= need;
+        let ser = self.config.phys.serialization_ns(packet.size_bytes);
+        h.tx_busy_until = now.plus_ns(ser);
+        let queue_len = h.queue.len();
+        let sw = h.attached_switch;
+        let (_, port) = self.topo.host_attachment(host);
+        self.stats.on_injected(queue_len);
+        self.trace(traced_id, now, TraceStep::Injected);
+        if let Some(r) = self.recorder.as_deref_mut() {
+            r.record(
+                None,
+                now,
+                FlightEvent::Injected {
+                    packet: traced_id,
+                    host,
+                },
+            );
+        }
+        let ent = self.ent_host(host);
+        self.sched(
+            now.plus_ns(self.config.phys.propagation_ns),
+            CLASS_HEADER_ARRIVE,
+            ent,
+            Event::HeaderArrive {
+                sw,
+                port,
+                vl,
+                packet,
+            },
+        );
+        self.sched(
+            now.plus_ns(ser),
+            CLASS_TRY_INJECT,
+            ent,
+            Event::TryInject { host },
+        );
+    }
+
+    /// Account one in-transit loss at `sw`: stats (per cause), journey
+    /// trace, flight-recorder event and (when configured) the drop
+    /// trigger.
+    fn drop_in_transit(&mut self, now: SimTime, sw: SwitchId, id: PacketId, cause: DropCause) {
+        self.stats.on_transit_drop(now, cause);
+        self.trace(id, now, TraceStep::Dropped { sw, cause });
+        if let Some(r) = self.recorder.as_deref_mut() {
+            r.record(Some(sw), now, FlightEvent::Dropped { packet: id, cause });
+            if r.wants_drop_trigger() {
+                r.trigger(now, TriggerCause::Drop, Some(sw), Some(id));
+            }
+        }
+    }
+
+    fn on_header_arrive(
+        &mut self,
+        now: SimTime,
+        sw: SwitchId,
+        port: PortIndex,
+        vl: VirtualLane,
+        packet: Packet,
+    ) {
+        if !self.switches[sw.index()].link_up[port.index()] {
+            // The link (or the whole receiving switch) died while the
+            // packet was on the wire: with no receiver it is lost —
+            // virtual cut-through has no retransmission below the
+            // transport layer. The sender's stale credit counter is
+            // re-synchronized at link-up.
+            let cause = if self.switches[sw.index()].switch_down_depth[port.index()] > 0 {
+                DropCause::SwitchDown
+            } else {
+                DropCause::LinkDown
+            };
+            self.drop_in_transit(now, sw, packet.id, cause);
+            return;
+        }
+        let corrupted = self.corrupt_prob > 0.0
+            && if self.part.is_some() {
+                self.switch_corrupt_rngs[sw.index()].chance(self.corrupt_prob)
+            } else {
+                self.corrupt_rng.chance(self.corrupt_prob)
+            };
+        if corrupted {
+            // CRC failure at the receiver. The link is healthy, so the
+            // space the packet would have occupied must still be
+            // advertised back to the sender — dropping without the
+            // return would leak credits from the upstream counter.
+            self.drop_in_transit(now, sw, packet.id, DropCause::Corrupted);
+            let upstream = self.topo.endpoint(sw, port).expect("input port is wired");
+            let ent = self.ent_switch(sw);
+            self.sched(
+                now.plus_ns(self.config.phys.propagation_ns),
+                CLASS_CREDIT_RETURN,
+                ent,
+                Event::CreditReturn {
+                    target: upstream.node,
+                    port: upstream.port,
+                    vl,
+                    credits: packet.credits(),
+                },
+            );
+            return;
+        }
+        let id = packet.id;
+        let ready_at = now.plus_ns(self.config.phys.routing_delay_ns);
+        self.trace(id, now, TraceStep::ArrivedAt { sw, port, vl });
+        if let Some(r) = self.recorder.as_deref_mut() {
+            r.record(
+                Some(sw),
+                now,
+                FlightEvent::Arrived {
+                    packet: id,
+                    port,
+                    vl,
+                },
+            );
+            // A packet landing in an empty buffer starts a fresh
+            // forward-progress clock for the watchdog.
+            if self.switches[sw.index()].inputs[port.index()].vls[vl.index()].is_empty() {
+                r.note_progress(sw, port.index(), vl.index(), now);
+            }
+        }
+        let handle =
+            self.switches[sw.index()].inputs[port.index()].vls[vl.index()].push(packet, ready_at);
+        let ent = self.ent_switch(sw);
+        self.sched(
+            ready_at,
+            CLASS_ROUTE_DONE,
+            ent,
+            Event::RouteDone {
+                sw,
+                port,
+                vl,
+                handle,
+            },
+        );
+    }
+
+    fn on_route_done(
+        &mut self,
+        now: SimTime,
+        sw: SwitchId,
+        port: PortIndex,
+        vl: VirtualLane,
+        handle: SlotHandle,
+    ) {
+        let dlid = {
+            let buf = &self.switches[sw.index()].inputs[port.index()].vls[vl.index()];
+            buf.get_slot(handle).map(|p| p.packet.dlid)
+        };
+        let Some(dlid) = dlid else {
+            return; // residency already gone (cannot happen before ready_at)
+        };
+        let route = self
+            .cur_routing()
+            .route_shared(sw, dlid)
+            .expect("forwarding tables are fully programmed");
+        self.switches[sw.index()].inputs[port.index()].vls[vl.index()].set_route_at(handle, route);
+        self.schedule_arbitrate(now, sw);
+    }
+
+    fn on_tx_done(
+        &mut self,
+        now: SimTime,
+        sw: SwitchId,
+        port: PortIndex,
+        vl: VirtualLane,
+        handle: SlotHandle,
+    ) {
+        let removed = self.switches[sw.index()].inputs[port.index()].vls[vl.index()]
+            .remove_at(handle)
+            .expect("tx-done packet still buffered");
+        if let Some(r) = self.recorder.as_deref_mut() {
+            r.record(
+                Some(sw),
+                now,
+                FlightEvent::TailLeft {
+                    packet: removed.packet.id,
+                    port,
+                    vl,
+                },
+            );
+            // A freed slot is forward progress for this buffer.
+            r.note_progress(sw, port.index(), vl.index(), now);
+        }
+        // Return the freed credits to whoever feeds this input port.
+        let upstream = self.topo.endpoint(sw, port).expect("input port is wired");
+        let ent = self.ent_switch(sw);
+        self.sched(
+            now.plus_ns(self.config.phys.propagation_ns),
+            CLASS_CREDIT_RETURN,
+            ent,
+            Event::CreditReturn {
+                target: upstream.node,
+                port: upstream.port,
+                vl,
+                credits: removed.packet.credits(),
+            },
+        );
+        self.schedule_arbitrate(now, sw);
+    }
+
+    fn on_credit_return(
+        &mut self,
+        now: SimTime,
+        target: NodeRef,
+        port: PortIndex,
+        vl: VirtualLane,
+        credits: Credits,
+    ) {
+        match target {
+            NodeRef::Switch(s) => {
+                if !self.switches[s.index()].link_up[port.index()] {
+                    return; // the return was on the wire of a dead link
+                }
+                if self.part.is_some() {
+                    // A credit-resync snapshot is on the wire: this
+                    // return's space is already counted in it, so
+                    // applying both would double-count.
+                    let ports = self.topo.ports_per_switch() as usize;
+                    if self.resync_pending[s.index() * ports + port.index()] {
+                        return;
+                    }
+                }
+                let st = &mut self.switches[s.index()];
+                let cap = self.config.vl_buffer_credits;
+                if let Some(cs) = st.outputs[port.index()].credits.as_mut() {
+                    // Clamp at capacity: after a link-up credit reset, a
+                    // return already in flight before the fault could
+                    // otherwise overshoot. A no-op in fault-free runs.
+                    cs[vl.index()] = (cs[vl.index()] + credits).min(cap);
+                }
+                if let Some(r) = self.recorder.as_deref_mut() {
+                    r.record(
+                        Some(s),
+                        now,
+                        FlightEvent::CreditReturned {
+                            port,
+                            vl,
+                            credits: credits.count(),
+                        },
+                    );
+                    r.note_credit_return(s, port, now);
+                }
+                self.schedule_arbitrate(now, s);
+            }
+            NodeRef::Host(h) => {
+                // Clamp at capacity for the same reason as the switch
+                // path: a switch-up resync rebuilds the host counter from
+                // free space, and a return already on the wire would
+                // otherwise overshoot. A no-op in fault-free runs.
+                let cap = self.config.vl_buffer_credits;
+                let c = &mut self.hosts[h.index()].credits[vl.index()];
+                *c = (*c + credits).min(cap);
+                self.try_inject(now, h);
+            }
+        }
+    }
+
+    fn schedule_arbitrate(&mut self, now: SimTime, sw: SwitchId) {
+        if !self.switches[sw.index()].arb_pending {
+            self.switches[sw.index()].arb_pending = true;
+            let ent = self.ent_switch(sw);
+            self.sched(now, CLASS_ARBITRATE, ent, Event::Arbitrate { sw });
+        }
+    }
+
+    /// One §4.3 arbitration sweep over every owned switch at the current
+    /// simulated time, returning the total number of grants. The
+    /// microbenchmark probe for the arbitration hot path; grants made
+    /// here reserve resources and schedule downstream events exactly as
+    /// in-loop arbitration does.
+    pub(crate) fn arbitrate_pass(&mut self) -> usize {
+        let now = self.queue.now();
+        let mut grants = 0;
+        for s in 0..self.switches.len() {
+            let sw = SwitchId(s as u16);
+            if !self.owns_switch(sw) {
+                continue;
+            }
+            grants += self.arbitrate(now, sw);
+        }
+        grants
+    }
+
+    /// One arbitration pass: repeatedly grant feasible (input, output)
+    /// matches until no further progress, with a round-robin cursor over
+    /// input ports for fairness. Returns the number of grants made.
+    fn arbitrate(&mut self, now: SimTime, sw: SwitchId) -> usize {
+        let nports = self.topo.ports_per_switch() as usize;
+        let mut grants = 0;
+        loop {
+            let mut progress = false;
+            for k in 0..nports {
+                let ip = (self.switches[sw.index()].rr_cursor + k) % nports;
+                if self.switches[sw.index()].inputs[ip].read_busy_until > now {
+                    continue;
+                }
+                if let Some(d) = self.pick_for_input(now, sw, ip) {
+                    self.start_forward(now, sw, d);
+                    progress = true;
+                    grants += 1;
+                }
+            }
+            let st = &mut self.switches[sw.index()];
+            st.rr_cursor = (st.rr_cursor + 1) % nports;
+            if !progress {
+                break;
+            }
+        }
+        grants
+    }
+
+    /// Find one forwardable candidate in input port `ip`'s buffers.
+    fn pick_for_input(&mut self, now: SimTime, sw: SwitchId, ip: usize) -> Option<Decision> {
+        let nvls = self.config.data_vls as usize;
+        let start = self.switches[sw.index()].inputs[ip].vl_cursor;
+        for k in 0..nvls {
+            let vl = (start + k) % nvls;
+            let cands = {
+                let buf = &self.switches[sw.index()].inputs[ip].vls[vl];
+                if buf.has_in_flight() {
+                    continue;
+                }
+                let mut cands = buf.candidates(now, self.config.escape_order);
+                if !self.routing.switch_adaptive(sw) {
+                    // A plain deterministic IBA switch (§4.2 mixed
+                    // fabrics) has a single FIFO read point: no escape
+                    // head, no pointer redirection.
+                    cands.retain(|&(idx, _)| idx == 0);
+                }
+                cands
+            };
+            let record = self.recorder.as_deref().is_some_and(|r| !r.frozen());
+            for &(idx, read_point) in &cands {
+                let mut scratch = OptionOutcomes::new();
+                if let Some(d) = self.pick_option(
+                    now,
+                    sw,
+                    ip,
+                    vl,
+                    idx,
+                    read_point,
+                    record.then_some(&mut scratch),
+                ) {
+                    if record {
+                        // Park the granted candidate's option verdicts for
+                        // `start_forward` to attach to the RouteDecision
+                        // event; keeping them out of `Decision` spares the
+                        // recorder-off path the ~100-byte copy per grant.
+                        self.decision_options = scratch;
+                    }
+                    // Advance the VL cursor past the served lane.
+                    self.switches[sw.index()].inputs[ip].vl_cursor = (vl + 1) % nvls;
+                    return Some(d);
+                }
+                if record && !scratch.is_empty() {
+                    // Every candidate option was rejected: log the full
+                    // reason set (deduplicated per buffer).
+                    let packet = self.switches[sw.index()].inputs[ip].vls[vl]
+                        .get(idx)
+                        .packet
+                        .id;
+                    if let Some(r) = self.recorder.as_deref_mut() {
+                        r.record_blocked(sw, now, ip, vl, packet, &scratch);
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// §4.3/§4.4 output selection for one candidate packet: adaptive
+    /// options first (minimal paths — the livelock-avoidance preference),
+    /// gated by adaptive-queue credits; the escape option as fallback,
+    /// gated by total credits.
+    ///
+    /// With the flight recorder armed, `rec` collects one
+    /// [`OptionOutcome`] per candidate — including, when an adaptive
+    /// option wins, the *observed* fate the escape option would have had
+    /// — so recorded routing decisions carry their full alternative set.
+    /// The observation never touches the RNG or any control flow, so
+    /// recorded runs stay bit-identical to unrecorded ones.
+    #[allow(clippy::too_many_arguments)]
+    fn pick_option(
+        &mut self,
+        now: SimTime,
+        sw: SwitchId,
+        ip: usize,
+        vl: usize,
+        idx: usize,
+        read_point: ReadPoint,
+        mut rec: Option<&mut OptionOutcomes>,
+    ) -> Option<Decision> {
+        let cap = self.config.vl_buffer_credits;
+        let parallel = self.part.is_some();
+        let st = &self.switches[sw.index()];
+        let bp = st.inputs[ip].vls[vl].get(idx);
+        let need = bp.packet.credits();
+        let sl = bp.packet.sl;
+        let route = bp.route.as_ref().expect("candidate is routed");
+
+        let adaptive_allowed =
+            read_point == ReadPoint::AdaptiveHead || self.config.adaptive_from_escape_head;
+        if !adaptive_allowed {
+            if let Some(o) = rec.as_deref_mut() {
+                for &op in &route.adaptive {
+                    o.push(OptionOutcome {
+                        port: op,
+                        escape: false,
+                        verdict: OptionVerdict::AdaptiveRestricted,
+                    });
+                }
+            }
+        }
+
+        // Collect feasible adaptive options with their free adaptive-queue
+        // credits (host ports are infinite sinks). At most one option per
+        // switch port, so the list lives on the stack — arbitration runs
+        // once per event and must not allocate.
+        let mut feasible: InlineVec<(PortIndex, VirtualLane, u32), MAX_PORTS> = InlineVec::new();
+        if adaptive_allowed {
+            for &op in &route.adaptive {
+                if !st.link_up[op.index()] {
+                    // Dead port: graceful degradation (§4.3).
+                    if let Some(t) = self.telemetry.as_deref_mut() {
+                        t.note_stall(sw, op, StallCause::DeadPort);
+                    }
+                    if let Some(o) = rec.as_deref_mut() {
+                        o.push(OptionOutcome {
+                            port: op,
+                            escape: false,
+                            verdict: OptionVerdict::DeadPort,
+                        });
+                    }
+                    continue;
+                }
+                let out = &st.outputs[op.index()];
+                if out.busy_until > now {
+                    if let Some(o) = rec.as_deref_mut() {
+                        o.push(OptionOutcome {
+                            port: op,
+                            escape: false,
+                            verdict: OptionVerdict::LinkBusy,
+                        });
+                    }
+                    continue;
+                }
+                let out_vl = st.sl2vl.vl_for(PortIndex(ip as u8), op, sl);
+                match out.credits.as_ref() {
+                    None => feasible.push((op, out_vl, u32::MAX)),
+                    Some(cs) => {
+                        let avail = cs[out_vl.index()].adaptive_share(cap);
+                        if avail >= need {
+                            feasible.push((op, out_vl, avail.count()));
+                        } else {
+                            if let Some(t) = self.telemetry.as_deref_mut() {
+                                t.note_stall(sw, op, StallCause::NoAdaptiveCredit);
+                            }
+                            if let Some(o) = rec.as_deref_mut() {
+                                o.push(OptionOutcome {
+                                    port: op,
+                                    escape: false,
+                                    verdict: OptionVerdict::NoAdaptiveCredit,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        let adaptive_pick: Option<(PortIndex, VirtualLane, u32)> = match self.config.selection {
+            SelectionPolicy::CreditWeighted => {
+                // Most free adaptive-queue space wins; random tie-break
+                // among equals keeps the load balanced.
+                feasible.iter().map(|f| f.2).max().map(|best| {
+                    let ties: InlineVec<_, MAX_PORTS> =
+                        feasible.iter().filter(|f| f.2 == best).copied().collect();
+                    let k = if parallel {
+                        self.switch_arb_rngs[sw.index()].below(ties.len())
+                    } else {
+                        self.arb_rng.below(ties.len())
+                    };
+                    ties[k]
+                })
+            }
+            SelectionPolicy::RandomAdaptive => (!feasible.is_empty()).then(|| {
+                let k = if parallel {
+                    self.switch_arb_rngs[sw.index()].below(feasible.len())
+                } else {
+                    self.arb_rng.below(feasible.len())
+                };
+                feasible[k]
+            }),
+            SelectionPolicy::FirstFeasible => feasible.iter().min_by_key(|f| f.0).copied(),
+        };
+
+        if let Some(o) = rec.as_deref_mut() {
+            for f in feasible.iter() {
+                o.push(OptionOutcome {
+                    port: f.0,
+                    escape: false,
+                    verdict: if adaptive_pick.map(|p| p.0) == Some(f.0) {
+                        OptionVerdict::Selected
+                    } else {
+                        OptionVerdict::LostArbitration
+                    },
+                });
+            }
+        }
+
+        if let Some((op, out_vl, _)) = adaptive_pick {
+            if let Some(o) = rec.as_deref_mut() {
+                // The escape option was never consulted (an adaptive
+                // option won); observe the fate it *would* have had so
+                // the recorded candidate set is complete. Observation
+                // only — no RNG, no control flow.
+                let ep = route.escape;
+                let verdict = if !st.link_up[ep.index()] {
+                    OptionVerdict::DeadPort
+                } else if st.outputs[ep.index()].busy_until > now {
+                    OptionVerdict::LinkBusy
+                } else {
+                    let evl = st.sl2vl.vl_for(PortIndex(ip as u8), ep, sl);
+                    let fits = match st.outputs[ep.index()].credits.as_ref() {
+                        None => true,
+                        Some(cs) => cs[evl.index()] >= need,
+                    };
+                    if fits {
+                        OptionVerdict::LostArbitration
+                    } else {
+                        OptionVerdict::NoEscapeCredit
+                    }
+                };
+                o.push(OptionOutcome {
+                    port: ep,
+                    escape: true,
+                    verdict,
+                });
+            }
+            return Some(Decision {
+                input: ip,
+                vl,
+                idx,
+                handle: st.inputs[ip].vls[vl].handle_at(idx),
+                packet_id: bp.packet.id,
+                out_port: op,
+                out_vl,
+                via_escape: false,
+                read_point,
+            });
+        }
+
+        // Escape fallback: usable whenever the *total* credit count fits
+        // the packet — it lands in the adaptive or escape region of the
+        // downstream buffer depending on occupancy (§4.4).
+        let op = route.escape;
+        if !st.link_up[op.index()] {
+            // Escape path severed: the packet waits for recovery (an SM
+            // re-sweep re-routes it; under other policies it stays until
+            // the link returns).
+            if let Some(t) = self.telemetry.as_deref_mut() {
+                t.note_stall(sw, op, StallCause::DeadPort);
+            }
+            if let Some(o) = rec.as_deref_mut() {
+                o.push(OptionOutcome {
+                    port: op,
+                    escape: true,
+                    verdict: OptionVerdict::DeadPort,
+                });
+            }
+            return None;
+        }
+        let out = &st.outputs[op.index()];
+        if out.busy_until > now {
+            if let Some(o) = rec.as_deref_mut() {
+                o.push(OptionOutcome {
+                    port: op,
+                    escape: true,
+                    verdict: OptionVerdict::LinkBusy,
+                });
+            }
+            return None;
+        }
+        let out_vl = st.sl2vl.vl_for(PortIndex(ip as u8), op, sl);
+        let ok = match out.credits.as_ref() {
+            None => true,
+            Some(cs) => cs[out_vl.index()] >= need,
+        };
+        if !ok {
+            if let Some(t) = self.telemetry.as_deref_mut() {
+                t.note_stall(sw, op, StallCause::NoEscapeCredit);
+            }
+            if let Some(o) = rec.as_deref_mut() {
+                o.push(OptionOutcome {
+                    port: op,
+                    escape: true,
+                    verdict: OptionVerdict::NoEscapeCredit,
+                });
+            }
+            return None;
+        }
+        if let Some(o) = rec {
+            o.push(OptionOutcome {
+                port: op,
+                escape: true,
+                verdict: OptionVerdict::Selected,
+            });
+        }
+        Some(Decision {
+            input: ip,
+            vl,
+            idx,
+            handle: st.inputs[ip].vls[vl].handle_at(idx),
+            packet_id: bp.packet.id,
+            out_port: op,
+            out_vl,
+            via_escape: true,
+            read_point,
+        })
+    }
+
+    /// Commit a forwarding decision: reserve the resources, update the
+    /// packet, and schedule the downstream events.
+    fn start_forward(&mut self, now: SimTime, sw: SwitchId, d: Decision) {
+        if self.telemetry.is_some() || self.recorder.is_some() {
+            // Arbitration-pass latency: how long the packet sat routed in
+            // the input buffer before the crossbar granted it.
+            let ready_at = self.switches[sw.index()].inputs[d.input].vls[d.vl]
+                .get(d.idx)
+                .ready_at;
+            let wait = now.since(ready_at);
+            if let Some(t) = self.telemetry.as_deref_mut() {
+                t.note_forward(sw, d.via_escape, wait);
+            }
+            if self.recorder.is_some() {
+                // `decision_options` holds the verdict set `pick_for_input`
+                // parked for this grant (stale contents are possible only
+                // when frozen, where `record` discards the event anyway).
+                // Taken, not cloned: the scratch is dead until the next
+                // grant parks a fresh set.
+                let options = std::mem::replace(&mut self.decision_options, OptionOutcomes::new());
+                if let Some(r) = self.recorder.as_deref_mut() {
+                    r.record(
+                        Some(sw),
+                        now,
+                        FlightEvent::RouteDecision {
+                            packet: d.packet_id,
+                            in_port: PortIndex(d.input as u8),
+                            vl: VirtualLane(d.vl as u8),
+                            out_port: d.out_port,
+                            via_escape: d.via_escape,
+                            from_escape_head: d.read_point == ReadPoint::EscapeHead,
+                            waited_ns: wait,
+                            options,
+                        },
+                    );
+                    // Winning arbitration is forward progress.
+                    r.note_progress(sw, d.input, d.vl, now);
+                }
+            }
+        }
+        let st = &mut self.switches[sw.index()];
+        let buf = &mut st.inputs[d.input].vls[d.vl];
+
+        // Copy the packet for the downstream hop, updating its counters
+        // (the buffered original keeps its residency until TxDone).
+        let (packet, ser) = {
+            let bp = buf.get(d.idx);
+            debug_assert_eq!(bp.packet.id, d.packet_id);
+            let mut p = bp.packet;
+            p.hops += 1;
+            p.escape_uses += u32::from(d.via_escape);
+            let ser = self.config.phys.serialization_ns(p.size_bytes);
+            (p, ser)
+        };
+        buf.mark_in_flight(d.idx);
+        st.inputs[d.input].read_busy_until = now.plus_ns(ser);
+        let out = &mut st.outputs[d.out_port.index()];
+        out.busy_until = now.plus_ns(ser);
+        out.busy_ns_total += ser;
+        if let Some(cs) = out.credits.as_mut() {
+            cs[d.out_vl.index()] -= packet.credits();
+        }
+
+        if d.via_escape {
+            self.stats.on_escape_forward();
+        } else {
+            self.stats.on_adaptive_forward();
+        }
+        self.trace(
+            d.packet_id,
+            now,
+            TraceStep::Forwarded {
+                sw,
+                out_port: d.out_port,
+                via_escape: d.via_escape,
+                from_escape_head: d.read_point == ReadPoint::EscapeHead,
+            },
+        );
+
+        let prop = self.config.phys.propagation_ns;
+        let ep = self
+            .topo
+            .endpoint(sw, d.out_port)
+            .expect("output port is wired");
+        let ent = self.ent_switch(sw);
+        match ep.node {
+            NodeRef::Switch(n) => {
+                self.sched(
+                    now.plus_ns(prop),
+                    CLASS_HEADER_ARRIVE,
+                    ent,
+                    Event::HeaderArrive {
+                        sw: n,
+                        port: ep.port,
+                        vl: d.out_vl,
+                        packet,
+                    },
+                );
+            }
+            NodeRef::Host(h) => {
+                self.sched(
+                    now.plus_ns(ser + prop),
+                    CLASS_DELIVER,
+                    ent,
+                    Event::Deliver { host: h, packet },
+                );
+            }
+        }
+        self.sched(
+            now.plus_ns(ser),
+            CLASS_TX_DONE,
+            ent,
+            Event::TxDone {
+                sw,
+                port: PortIndex(d.input as u8),
+                vl: VirtualLane(d.vl as u8),
+                handle: d.handle,
+            },
+        );
+    }
+
+    /// Quiescence of one switch: every buffer empty with zero occupancy
+    /// and every live sender-side counter back at capacity. Only
+    /// meaningful on the owning shard.
+    pub(crate) fn switch_quiescent(&self, si: usize) -> bool {
+        let cap = self.config.vl_buffer_credits;
+        let sw = &self.switches[si];
+        sw.inputs.iter().all(|ip| {
+            ip.vls
+                .iter()
+                .all(|b| b.is_empty() && b.occupied() == Credits::ZERO)
+        }) && sw.outputs.iter().all(|op| {
+            op.credits
+                .as_ref()
+                .is_none_or(|cs| cs.iter().all(|&c| c == cap))
+        })
+    }
+
+    /// Quiescence of one host: empty source queue, counters at capacity.
+    pub(crate) fn host_quiescent(&self, hi: usize) -> bool {
+        let cap = self.config.vl_buffer_credits;
+        let h = &self.hosts[hi];
+        h.queue.is_empty() && h.credits.iter().all(|&c| c == cap)
+    }
+
+    /// Packets resident in one switch's VL buffers.
+    pub(crate) fn switch_residual(&self, si: usize) -> usize {
+        self.switches[si]
+            .inputs
+            .iter()
+            .flat_map(|ip| ip.vls.iter())
+            .map(|b| b.len())
+            .sum()
+    }
+
+    /// Packets waiting in one host's source queue.
+    pub(crate) fn host_residual(&self, hi: usize) -> usize {
+        self.hosts[hi].queue.len()
+    }
+
+    /// Credit-audit lines for one switch (see `Network::credit_audit`);
+    /// ports masked by an open fault window are skipped.
+    pub(crate) fn audit_switch_into(&self, si: usize, out: &mut Vec<String>) {
+        let cap = self.config.vl_buffer_credits;
+        let sw = &self.switches[si];
+        for (p, op) in sw.outputs.iter().enumerate() {
+            if !sw.link_up[p] {
+                continue;
+            }
+            let Some(cs) = op.credits.as_ref() else {
+                continue;
+            };
+            for (v, &c) in cs.iter().enumerate() {
+                if c != cap {
+                    out.push(format!(
+                        "switch {si} port {p} vl {v}: {}/{} credits",
+                        c.count(),
+                        cap.count()
+                    ));
+                }
+            }
+        }
+    }
+
+    /// Credit-audit lines for one host; a host behind a masked
+    /// attachment port is skipped.
+    pub(crate) fn audit_host_into(&self, hi: usize, out: &mut Vec<String>) {
+        let cap = self.config.vl_buffer_credits;
+        let h = &self.hosts[hi];
+        let (sw, port) = self.topo.host_attachment(HostId(hi as u16));
+        if !self.switches[sw.index()].link_up[port.index()] {
+            return;
+        }
+        for (v, &c) in h.credits.iter().enumerate() {
+            if c != cap {
+                out.push(format!(
+                    "host {hi} vl {v}: {}/{} credits",
+                    c.count(),
+                    cap.count()
+                ));
+            }
+        }
+    }
+
+    /// Cumulative transmission time per output port of one switch
+    /// (utilization probe numerator).
+    pub(crate) fn port_busy_row(&self, si: usize) -> Vec<u64> {
+        self.switches[si]
+            .outputs
+            .iter()
+            .map(|op| op.busy_ns_total)
+            .collect()
+    }
+
+    /// Test hook: zero the sender-side credit counters of one output
+    /// port without marking the link down. Nothing can be forwarded
+    /// through the port (and, with nothing in flight, no credits ever
+    /// return), which wedges any buffer whose packets have no other
+    /// feasible option — the credit-withholding flavour of a fabric
+    /// wedge, as opposed to the dead-escape-link flavour.
+    pub(crate) fn debug_block_output(&mut self, sw: SwitchId, port: PortIndex) {
+        if let Some(cs) = self.switches[sw.index()].outputs[port.index()]
+            .credits
+            .as_mut()
+        {
+            for c in cs.iter_mut() {
+                *c = Credits::ZERO;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_stays_one_cache_line() {
+        // Every queue entry carries an Event by value, and the binary
+        // heap moves entries during sift — a fat variant taxes the whole
+        // hot path. Rare bulky payloads (CreditResync's credit snapshot)
+        // must be boxed.
+        assert!(
+            std::mem::size_of::<Event>() <= 64,
+            "Event grew to {} bytes; box the new payload",
+            std::mem::size_of::<Event>()
+        );
+    }
+}

@@ -289,6 +289,69 @@ impl StatsCollector {
         }
     }
 
+    /// Fold another collector (same window and tracker dimensions) into
+    /// this one — how the parallel engine combines shard-local
+    /// statistics. Counters sum; extrema take the max; first-occurrence
+    /// times take the min; the order trackers merge elementwise (each
+    /// flow's delivered-through watermark lives in exactly one shard, so
+    /// elementwise max is exact).
+    pub(crate) fn merge(&mut self, other: &StatsCollector) {
+        debug_assert_eq!(self.window_start, other.window_start);
+        debug_assert_eq!(self.window_end, other.window_end);
+        self.generated += other.generated;
+        self.generated_window += other.generated_window;
+        self.injected += other.injected;
+        self.delivered += other.delivered;
+        self.delivered_bytes_window += other.delivered_bytes_window;
+        self.latency_sum_ns += other.latency_sum_ns;
+        self.latency_max_ns = self.latency_max_ns.max(other.latency_max_ns);
+        self.latency_count += other.latency_count;
+        self.histogram.merge(&other.histogram);
+        self.hops_sum += other.hops_sum;
+        self.escape_forwards += other.escape_forwards;
+        self.adaptive_forwards += other.adaptive_forwards;
+        self.max_host_queue = self.max_host_queue.max(other.max_host_queue);
+        self.source_drops += other.source_drops;
+        if self.last_det_seq.last.len() < other.last_det_seq.last.len() {
+            self.last_det_seq
+                .last
+                .resize(other.last_det_seq.last.len(), 0);
+        }
+        for (mine, theirs) in self
+            .last_det_seq
+            .last
+            .iter_mut()
+            .zip(other.last_det_seq.last.iter())
+        {
+            *mine = (*mine).max(*theirs);
+        }
+        self.order_violations += other.order_violations;
+        self.duplicate_deliveries += other.duplicate_deliveries;
+        self.faults += other.faults;
+        self.first_fault_at = match (self.first_fault_at, other.first_fault_at) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        self.recovery_installed_at = match (self.recovery_installed_at, other.recovery_installed_at)
+        {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        self.resweeps += other.resweeps;
+        self.resweeps_failed += other.resweeps_failed;
+        self.transit_drops += other.transit_drops;
+        self.transit_drops_after_recovery += other.transit_drops_after_recovery;
+        self.drops_link_down += other.drops_link_down;
+        self.drops_switch_down += other.drops_switch_down;
+        self.drops_corrupted += other.drops_corrupted;
+        self.escape_certifications += other.escape_certifications;
+        self.escape_cert_failures += other.escape_cert_failures;
+        self.recovery_ns = match (self.recovery_ns, other.recovery_ns) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+    }
+
     /// Finalize into a [`RunResult`], given the number of switches, the
     /// events processed, and the wall-clock time the event loop took.
     pub fn finish(&self, num_switches: usize, events: u64, wall: Duration) -> RunResult {

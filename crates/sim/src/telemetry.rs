@@ -236,7 +236,7 @@ pub struct SwitchTelemetry {
 }
 
 impl SwitchTelemetry {
-    fn new(sw: SwitchId, ports: usize) -> SwitchTelemetry {
+    pub(crate) fn new(sw: SwitchId, ports: usize) -> SwitchTelemetry {
         SwitchTelemetry {
             sw,
             adaptive_forwards: 0,
@@ -249,6 +249,21 @@ impl SwitchTelemetry {
     /// Stalls of `cause` summed over this switch's ports.
     pub fn stalls_by_cause(&self, cause: StallCause) -> u64 {
         self.stalls.iter().map(|p| p.by_cause(cause)).sum()
+    }
+
+    /// Fold another accumulation of the *same* switch into this one —
+    /// how the parallel engine merges shard-local telemetry. Counters
+    /// sum, per-port stalls sum positionally, histograms merge.
+    pub(crate) fn absorb(&mut self, other: &SwitchTelemetry) {
+        debug_assert_eq!(self.sw, other.sw);
+        self.adaptive_forwards += other.adaptive_forwards;
+        self.escape_forwards += other.escape_forwards;
+        for (mine, theirs) in self.stalls.iter_mut().zip(other.stalls.iter()) {
+            mine.no_adaptive_credit += theirs.no_adaptive_credit;
+            mine.no_escape_credit += theirs.no_escape_credit;
+            mine.dead_port += theirs.dead_port;
+        }
+        self.arb_wait_ns.merge(&other.arb_wait_ns);
     }
 }
 
@@ -327,7 +342,10 @@ impl TelemetryReport {
 /// Where telemetry flows. Implementations receive every occupancy
 /// sample as it is taken and the accumulated report once at the end of
 /// the run.
-pub trait TelemetrySink {
+///
+/// Sinks are `Send` so an instrumented simulation can hand its
+/// shard-local sinks to the parallel engine's worker threads.
+pub trait TelemetrySink: Send {
     /// An occupancy snapshot was taken.
     fn on_sample(&mut self, sample: &TelemetrySample);
     /// The run ended; `report` holds the accumulated counters.
@@ -416,7 +434,7 @@ impl<W: std::io::Write> JsonLinesSink<W> {
     }
 }
 
-impl<W: std::io::Write> TelemetrySink for JsonLinesSink<W> {
+impl<W: std::io::Write + Send> TelemetrySink for JsonLinesSink<W> {
     fn on_sample(&mut self, sample: &TelemetrySample) {
         self.write_line(&sample.to_json());
     }
@@ -487,15 +505,19 @@ impl TelemetryState {
         s.arb_wait_ns.record(wait_ns);
     }
 
-    /// Take one occupancy snapshot at `at` over `switch_vls`, an
-    /// iterator of each switch's per-input-port VL buffers.
-    pub(crate) fn record_sample<'b>(
+    /// Take one occupancy snapshot at `at` over the switches `filter`
+    /// admits (the serial engine admits all) — a parallel-engine shard
+    /// snapshots only the switches it owns, and the coordinator splices
+    /// the shard samples back together in switch order. `buffers` maps
+    /// `(switch, port, vl)` to that input port's VL buffer.
+    pub(crate) fn record_sample_filtered<'b>(
         &mut self,
         at: SimTime,
         num_vls: usize,
         mut buffers: impl FnMut(usize, usize, usize) -> &'b VlBuffer,
         num_switches: usize,
         ports: usize,
+        filter: impl Fn(usize) -> bool,
     ) {
         if !self.wants_sample() {
             self.samples_dropped += 1;
@@ -503,6 +525,9 @@ impl TelemetryState {
         }
         let mut occupancy = Vec::with_capacity(num_switches * num_vls);
         for sw in 0..num_switches {
+            if !filter(sw) {
+                continue;
+            }
             for vl in 0..num_vls {
                 let mut adaptive = Credits::ZERO;
                 let mut escape = Credits::ZERO;
@@ -645,7 +670,7 @@ mod tests {
         };
         let mut st = TelemetryState::new(opts, Box::new(MemorySink::new()), 1, 1);
         for i in 0..4u64 {
-            st.record_sample(SimTime::from_ns(i * 10), 1, |_, _, _| &buf, 1, 1);
+            st.record_sample_filtered(SimTime::from_ns(i * 10), 1, |_, _, _| &buf, 1, 1, |_| true);
         }
         st.flush();
         st.flush(); // idempotent

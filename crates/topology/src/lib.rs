@@ -18,15 +18,20 @@
 //!   with deterministic edge-swap repair, seeded, always connected);
 //! * [`regular`] — reference topologies (ring, 2-D mesh/torus, hypercube,
 //!   fully connected) used by tests, examples and ablations;
-//! * [`metrics`] — diameter, average distance, link counts.
+//! * [`metrics`] — diameter, average distance, link counts;
+//! * [`partition`] — deterministic fabric sharding for the parallel
+//!   simulation engine (balanced BFS regions, cross-shard link
+//!   enumeration, validated partition invariants).
 
 #![warn(missing_docs)]
 
 pub mod graph;
 pub mod irregular;
 pub mod metrics;
+pub mod partition;
 pub mod regular;
 
 pub use graph::{Endpoint, Topology, TopologyBuilder};
 pub use irregular::IrregularConfig;
 pub use metrics::TopologyMetrics;
+pub use partition::{CrossLink, Partition};
