@@ -1,0 +1,64 @@
+//! Recovery-scaling curve (DESIGN.md §13): full SM rebuild vs
+//! incremental re-sweep, SMP wire cost over fabric size.
+//!
+//! ```text
+//! cargo run --release -p iba-experiments --bin recovery_scaling -- \
+//!     [--sizes 8,16,32,64] [--seed 8] [--per-smp-ns 1000] \
+//!     [--out results/recovery_scaling.json]
+//! ```
+//!
+//! Exits non-zero when any hard gate fails (LFT divergence, escape
+//! cycle, or an incremental point that saves nothing).
+
+use iba_experiments::cli::Args;
+use iba_experiments::recovery;
+
+fn main() {
+    if let Err(e) = real_main() {
+        eprintln!("recovery_scaling: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn real_main() -> Result<(), String> {
+    let args = Args::from_env()?;
+    let sizes = args.get_list_or("sizes", &[8usize, 16, 32, 64])?;
+    let seed = args.get_or("seed", 8u64)?;
+    let per_smp_ns = args.get_or("per-smp-ns", 1_000u64)?;
+    let out = args
+        .get("out")
+        .unwrap_or("results/recovery_scaling.json")
+        .to_string();
+
+    eprintln!("recovery_scaling: sizes {sizes:?}, seed {seed}, {per_smp_ns} ns/SMP");
+    let points = recovery::sweep(&sizes, seed, per_smp_ns).map_err(|e| e.to_string())?;
+
+    println!(
+        "switches  policy       SMPs    blocks(up/total)  entries     rec µs  delta  match  acyclic"
+    );
+    for p in &points {
+        println!(
+            "{:>8}  {:<11} {:>6}  {:>8}/{:<8}  {:>8}  {:>8.1}  {:>5}  {:>5}  {:>7}",
+            p.switches,
+            p.policy,
+            p.smps,
+            p.blocks_uploaded,
+            p.blocks_total,
+            p.entries_recomputed,
+            p.recovery_time_ns as f64 / 1_000.0,
+            p.delta_path,
+            p.lfts_match,
+            p.escape_acyclic,
+        );
+    }
+
+    let json = recovery::to_json(&sizes, seed, per_smp_ns, &points);
+    if let Some(dir) = std::path::Path::new(&out).parent() {
+        std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+    }
+    std::fs::write(&out, json).map_err(|e| e.to_string())?;
+    eprintln!("recovery_scaling: wrote {out}");
+
+    recovery::verify(&points)?;
+    Ok(())
+}

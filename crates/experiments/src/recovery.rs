@@ -1,0 +1,305 @@
+//! Recovery-scaling experiment (DESIGN.md §13): full SM rebuild vs
+//! incremental re-sweep after a single link failure, swept over fabric
+//! size.
+//!
+//! Both policies recover the *same* degradation on twin fabrics driven
+//! by the real SMP-level subnet manager:
+//!
+//! * **full** — the legacy path: re-discover the whole fabric with a
+//!   fresh (stateless) [`iba_sm::Programmer`] and re-upload every LFT
+//!   block;
+//! * **incremental** — the [`iba_sm::SubnetManager::
+//!   resweep_after_link_failure`] path: reuse the previous discovery,
+//!   recompute only the affected routing columns, and diff-program
+//!   through the *stateful* programmer that remembers per-block hashes.
+//!
+//! Per point the sweep records the SMPs spent, the block-upload
+//! accounting, and a recovery time pinned to SMP wire cost
+//! (`smps × per_smp_ns`), plus two machine-checked gates: the
+//! incremental fabric's LFTs must be entry-identical to the fully
+//! rebuilt twin's, and the recovered escape layer must certify
+//! deadlock-free. [`verify`] turns gate violations into a hard error so
+//! CI fails loudly instead of plotting a broken curve.
+
+use iba_core::{IbaError, Json, Lid, SwitchId};
+use iba_routing::{check_escape_routes, FaRouting, RoutingConfig};
+use iba_sm::{Discoverer, ManagedFabric, Programmer, SubnetManager};
+use iba_topology::{IrregularConfig, Topology};
+use rayon::prelude::*;
+
+/// One point of the recovery-scaling curve.
+#[derive(Debug, Clone)]
+pub struct RecoveryPoint {
+    /// Fabric size (switches).
+    pub switches: usize,
+    /// `"full"` or `"incremental"`.
+    pub policy: &'static str,
+    /// SMPs the recovery spent on the wire (writes + verification reads).
+    pub smps: u64,
+    /// Non-empty LFT blocks the recovered tables contain.
+    pub blocks_total: u64,
+    /// LFT blocks actually uploaded.
+    pub blocks_uploaded: u64,
+    /// Forwarding-table entries the routing layer recomputed.
+    pub entries_recomputed: u64,
+    /// `smps × per_smp_ns` — the wire-cost recovery time, comparable
+    /// across policies because both recover the identical degradation.
+    pub recovery_time_ns: u64,
+    /// Whether the affected-destination delta analysis ran (`false`
+    /// when it fell back to a root-pinned full rebuild — and always for
+    /// the `"full"` policy, by definition).
+    pub delta_path: bool,
+    /// Whether the two policies ended with entry-identical LFTs.
+    pub lfts_match: bool,
+    /// Whether the recovered escape layer certifies deadlock-free.
+    pub escape_acyclic: bool,
+}
+
+/// Physical switch carrying `guid`.
+fn physical_of(topo: &Topology, fabric: &ManagedFabric, guid: u64) -> SwitchId {
+    topo.switch_ids()
+        .find(|&s| fabric.agent(s).guid == guid)
+        .expect("every discovered GUID exists physically")
+}
+
+/// Entry-wise LFT equality across two fabrics of the same topology.
+fn fabrics_equal(topo: &Topology, a: &ManagedFabric, b: &ManagedFabric) -> bool {
+    topo.switch_ids().all(|s| {
+        let (x, y) = (&a.agent(s).lft, &b.agent(s).lft);
+        x.len() == y.len()
+            && (0..x.len()).all(|lid| x.get(Lid(lid as u16)) == y.get(Lid(lid as u16)))
+    })
+}
+
+/// The §4.2 certification, phrased over a programmed routing.
+fn escape_acyclic(topo: &Topology, routing: &FaRouting) -> bool {
+    check_escape_routes(topo, |s, h| {
+        let dlid = routing.dlid(h, false).ok()?;
+        routing.route_shared(s, dlid).ok().map(|r| r.escape)
+    })
+    .is_ok()
+}
+
+/// Recover one seeded fabric of `size` switches under both policies and
+/// return the `(full, incremental)` pair of curve points.
+pub fn run_size(
+    size: usize,
+    seed: u64,
+    per_smp_ns: u64,
+) -> Result<(RecoveryPoint, RecoveryPoint), IbaError> {
+    let physical = IrregularConfig::paper(size, seed).generate()?;
+    let sm = SubnetManager::new(RoutingConfig::two_options());
+
+    // Incremental fabric: bring up through a stateful programmer so the
+    // re-sweep can diff against the verified shadow state.
+    let mut fabric = ManagedFabric::new(&physical, 2)?;
+    let mut programmer = Programmer::new();
+    let up = sm.initialize_with(&mut fabric, &mut programmer)?;
+    if !up.report.verified {
+        return Err(IbaError::RoutingFailed("bring-up did not verify".into()));
+    }
+    // Prefer a removable link between switches at the *same* BFS level
+    // from the up*/down* root: such a link lies on no shortest path from
+    // the root, so its removal cannot shift any level — the delta
+    // analysis runs instead of its full fallback, and the curve measures
+    // the delta rather than the fallback. Root-adjacent links are the
+    // next thing to avoid, for the same reason.
+    let root = up.routing.updown().root();
+    let level = up.topology.distances_from(root);
+    let mut candidates = Vec::new();
+    for n in (1..=8).rev() {
+        if let Ok(c) = crate::faults::removable_links(&up.topology, n) {
+            candidates = c;
+            break;
+        }
+    }
+    if candidates.is_empty() {
+        candidates = crate::faults::removable_links(&up.topology, 1)?;
+    }
+    let (a, b) = candidates
+        .iter()
+        .copied()
+        .find(|&(x, y)| x != root && y != root && level[x.index()] == level[y.index()])
+        .or_else(|| {
+            candidates
+                .iter()
+                .copied()
+                .find(|&(x, y)| x != root && y != root)
+        })
+        .unwrap_or(candidates[0]);
+    let pa = physical_of(&physical, &fabric, up.discovered.switches[a.index()].guid);
+    let pb = physical_of(&physical, &fabric, up.discovered.switches[b.index()].guid);
+    fabric.fail_link(pa, pb)?;
+    let before = fabric.smps_sent;
+    let resweep = sm.resweep_after_link_failure(&mut fabric, &up, a, b, &mut programmer)?;
+    let inc_smps = fabric.smps_sent - before;
+
+    // Full-rebuild twin: the same physical fabric and the same dead
+    // link, recovered the legacy way — re-sweep the whole fabric, build
+    // the routing from scratch, upload every block through a fresh
+    // (stateless) programmer. The from-scratch build is held in the
+    // *same* comparison frame as the incremental one (previous
+    // discovery's LID assignment, previous up*/down* root): an unpinned
+    // rebuild may elect a different root and produce legitimately
+    // different, incomparable tables, which would make the byte-equality
+    // gate meaningless. The re-discovery sweep still runs on the twin so
+    // its SMPs count toward the full path's wire cost.
+    let mut degraded = up.discovered.clone();
+    let (pa_port, _, pb_port) = up
+        .topology
+        .switch_neighbors(a)
+        .find(|&(_, peer, _)| peer == b)
+        .expect("the failed link exists in the previous topology");
+    degraded.degrade_link(a, pa_port, b, pb_port)?;
+    degraded.recompute_routes()?;
+    let degraded_topo = degraded.to_topology()?;
+    let pinned = RoutingConfig {
+        root: Some(up.routing.updown().root()),
+        ..RoutingConfig::two_options()
+    };
+    let full_routing = FaRouting::build(&degraded_topo, pinned)?;
+
+    let mut twin = ManagedFabric::new(&physical, 2)?;
+    sm.initialize(&mut twin)?;
+    twin.fail_link(pa, pb)?;
+    let before = twin.smps_sent;
+    Discoverer::new().discover(&mut twin)?;
+    let full_report = Programmer::new().program(&mut twin, &degraded, &full_routing)?;
+    let full_smps = twin.smps_sent - before;
+
+    let lfts_match = fabrics_equal(&physical, &fabric, &twin);
+    let full = RecoveryPoint {
+        switches: size,
+        policy: "full",
+        smps: full_smps,
+        blocks_total: full_report.blocks_total,
+        blocks_uploaded: full_report.blocks_written,
+        entries_recomputed: (full_routing.lid_map().table_len() * degraded_topo.num_switches())
+            as u64,
+        recovery_time_ns: full_smps * per_smp_ns,
+        delta_path: false,
+        lfts_match,
+        escape_acyclic: escape_acyclic(&degraded_topo, &full_routing),
+    };
+    let incremental = RecoveryPoint {
+        switches: size,
+        policy: "incremental",
+        smps: inc_smps,
+        blocks_total: resweep.bringup.report.blocks_total,
+        blocks_uploaded: resweep.bringup.report.blocks_written,
+        entries_recomputed: resweep.delta.entries_recomputed,
+        recovery_time_ns: inc_smps * per_smp_ns,
+        delta_path: !resweep.delta.full_rebuild,
+        lfts_match,
+        escape_acyclic: escape_acyclic(&resweep.bringup.topology, &resweep.bringup.routing),
+    };
+    Ok((full, incremental))
+}
+
+/// The whole curve: both policies at every size, full before
+/// incremental per size.
+pub fn sweep(sizes: &[usize], seed: u64, per_smp_ns: u64) -> Result<Vec<RecoveryPoint>, IbaError> {
+    let pairs: Vec<_> = sizes
+        .par_iter()
+        .map(|&size| run_size(size, seed, per_smp_ns))
+        .collect::<Result<_, _>>()?;
+    Ok(pairs
+        .into_iter()
+        .flat_map(|(full, inc)| [full, inc])
+        .collect())
+}
+
+/// The experiment's hard gates: per size, the incremental path must end
+/// with the same tables, certify deadlock-free, and upload strictly
+/// fewer blocks / spend strictly fewer SMPs than the full rebuild.
+pub fn verify(points: &[RecoveryPoint]) -> Result<(), String> {
+    for pair in points.chunks(2) {
+        let [full, inc] = pair else {
+            return Err("curve must hold (full, incremental) pairs".into());
+        };
+        let n = full.switches;
+        if !(full.lfts_match && inc.lfts_match) {
+            return Err(format!(
+                "{n} switches: incremental LFTs diverge from full rebuild"
+            ));
+        }
+        if !(full.escape_acyclic && inc.escape_acyclic) {
+            return Err(format!("{n} switches: recovered escape layer has a cycle"));
+        }
+        if inc.blocks_uploaded >= full.blocks_uploaded {
+            return Err(format!(
+                "{n} switches: incremental uploaded {} blocks, full {} — no saving",
+                inc.blocks_uploaded, full.blocks_uploaded
+            ));
+        }
+        if inc.smps >= full.smps {
+            return Err(format!(
+                "{n} switches: incremental spent {} SMPs, full {}",
+                inc.smps, full.smps
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Render the curve as a JSON document (layout in EXPERIMENTS.md).
+pub fn to_json(sizes: &[usize], seed: u64, per_smp_ns: u64, points: &[RecoveryPoint]) -> String {
+    Json::obj([
+        ("experiment", Json::from("recovery_scaling")),
+        ("sizes", Json::arr(sizes.iter().map(|&s| Json::from(s)))),
+        ("seed", Json::from(seed)),
+        ("per_smp_ns", Json::from(per_smp_ns)),
+        (
+            "curve",
+            Json::arr(points.iter().map(|p| {
+                Json::obj([
+                    ("switches", Json::from(p.switches)),
+                    ("policy", Json::from(p.policy)),
+                    ("smps", Json::from(p.smps)),
+                    ("blocks_total", Json::from(p.blocks_total)),
+                    ("blocks_uploaded", Json::from(p.blocks_uploaded)),
+                    ("entries_recomputed", Json::from(p.entries_recomputed)),
+                    ("recovery_time_ns", Json::from(p.recovery_time_ns)),
+                    ("delta_path", Json::from(p.delta_path)),
+                    ("lfts_match", Json::from(p.lfts_match)),
+                    ("escape_acyclic", Json::from(p.escape_acyclic)),
+                ])
+            })),
+        ),
+    ])
+    .to_string_pretty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn incremental_beats_full_at_every_gate() {
+        let (full, inc) = run_size(16, 8, 1_000).unwrap();
+        assert!(full.lfts_match && inc.lfts_match);
+        assert!(full.escape_acyclic && inc.escape_acyclic);
+        assert!(inc.blocks_uploaded < full.blocks_uploaded);
+        assert!(inc.smps < full.smps);
+        assert!(inc.recovery_time_ns < full.recovery_time_ns);
+        assert_eq!(inc.blocks_total, full.blocks_total);
+        verify(&[full, inc]).unwrap();
+    }
+
+    #[test]
+    fn json_layout_is_wellformed_enough() {
+        let (full, inc) = run_size(8, 3, 1_000).unwrap();
+        let j = to_json(&[8], 3, 1_000, &[full, inc]);
+        assert!(j.contains("\"experiment\": \"recovery_scaling\""));
+        assert!(j.contains("\"policy\": \"incremental\""));
+        assert!(j.contains("\"recovery_time_ns\""));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+
+    #[test]
+    fn verify_rejects_a_broken_pair() {
+        let (full, mut inc) = run_size(8, 3, 1_000).unwrap();
+        inc.blocks_uploaded = full.blocks_uploaded;
+        assert!(verify(&[full, inc]).is_err());
+    }
+}

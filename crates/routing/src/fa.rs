@@ -26,6 +26,7 @@ use crate::updown::UpDownRouting;
 use iba_core::{HostId, IbaError, InlineVec, Lid, LidMap, PortIndex, SwitchId, MAX_PORTS};
 use iba_topology::Topology;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Configuration of the FA table construction.
@@ -87,31 +88,36 @@ pub struct RouteOptions {
 
 /// FA routing compiled for one topology: the LID assignment plus one
 /// interleaved forwarding table per switch.
+///
+/// Fields are crate-visible so the delta rebuild (`crate::delta`) can
+/// patch affected destination rows in place after a link failure.
 #[derive(Clone, Debug)]
 pub struct FaRouting {
-    config: RoutingConfig,
-    lid_map: LidMap,
-    updown: UpDownRouting,
-    minimal: MinimalRouting,
-    tables: Vec<InterleavedForwardingTable>,
+    pub(crate) config: RoutingConfig,
+    pub(crate) lid_map: LidMap,
+    pub(crate) updown: UpDownRouting,
+    pub(crate) minimal: MinimalRouting,
+    pub(crate) tables: Vec<InterleavedForwardingTable>,
     /// Which switches support the adaptive mechanism (§4.2 allows mixing
     /// enhanced and plain deterministic switches in one subnet).
-    adaptive_capable: Vec<bool>,
+    pub(crate) adaptive_capable: Vec<bool>,
     /// `Some(x)` when the tables implement *source-selected multipath*
     /// over `x` deterministic path variants instead of switch adaptivity.
-    source_multipath: Option<u16>,
+    pub(crate) source_multipath: Option<u16>,
     /// APM coexistence (§4.1 footnote): `Some` when the upper half of
     /// every destination's LID range holds an *alternate* path set.
-    apm: Option<ApmInfo>,
+    pub(crate) apm: Option<ApmInfo>,
     /// Precomputed decode of every (switch, DLID) table access, shared by
     /// reference — the simulator resolves millions of routes per run and
     /// must not re-derive (and re-allocate) the option lists each time.
-    route_cache: Vec<Vec<Option<Arc<RouteOptions>>>>,
+    /// Identical decodes are *interned*: switches whose tables agree on a
+    /// destination share one allocation (structural sharing).
+    pub(crate) route_cache: Vec<Vec<Option<Arc<RouteOptions>>>>,
 }
 
 /// APM bookkeeping.
 #[derive(Clone, Copy, Debug)]
-struct ApmInfo {
+pub(crate) struct ApmInfo {
     /// First LID offset of the alternate (APM) half.
     base_offset: u16,
     /// Root of the alternate up\*/down\* orientation.
@@ -174,45 +180,17 @@ impl FaRouting {
         for s in topo.switch_ids() {
             let mut table = InterleavedForwardingTable::new(lid_map.table_len(), x)?;
             for h in topo.host_ids() {
-                let t = topo.host_switch(h);
-                let (escape, mut adaptive): (PortIndex, Vec<PortIndex>) = if t == s {
-                    // Local delivery: the only option is the host port.
-                    let (_, port) = topo.host_attachment(h);
-                    (port, vec![port])
-                } else {
-                    let escape = self::escape_hop(&updown, s, t)?;
-                    (escape, minimal.options(s, t).to_vec())
-                };
-                if !adaptive_capable[s.index()] {
-                    // Deterministic switch: every address stores the
-                    // escape port (§4.2).
-                    adaptive.clear();
-                } else if t != s {
-                    // Safety filter for mixed fabrics: adaptive hops may
-                    // only lead into adaptive-capable switches.
-                    adaptive.retain(|&p| {
-                        topo.endpoint(s, p)
-                            .and_then(|ep| ep.node.as_switch())
-                            .is_none_or(|peer| adaptive_capable[peer.index()])
-                    });
-                }
-                table.set(lid_map.lid_for(h, 0)?, escape)?;
-                let slots = x as usize - 1;
-                if slots > 0 {
-                    if adaptive.is_empty() {
-                        // No usable adaptive option: program the escape
-                        // port everywhere, as a deterministic switch would.
-                        adaptive.push(escape);
-                    }
-                    // Seed-mixed rotation balances which minimal options
-                    // are stored when there are more than fit.
-                    let start =
-                        (mix(s.0 as u64, h.0 as u64, config.seed) % adaptive.len() as u64) as usize;
-                    for k in 0..slots {
-                        let opt = adaptive[(start + k) % adaptive.len()];
-                        table.set(lid_map.lid_for(h, 1 + k as u16)?, opt)?;
-                    }
-                }
+                program_host_rows(
+                    topo,
+                    &updown,
+                    &minimal,
+                    adaptive_capable,
+                    &config,
+                    &lid_map,
+                    &mut table,
+                    s,
+                    h,
+                )?;
             }
             tables.push(table);
         }
@@ -409,20 +387,53 @@ impl FaRouting {
         Ok(fa)
     }
 
-    /// Decode every programmed (switch, DLID) entry once.
+    /// Decode every programmed (switch, DLID) entry once, *interning*
+    /// identical decodes: two switches whose tables agree on a
+    /// destination (common — escape chains converge, and deterministic
+    /// switches repeat one port across the whole group) share a single
+    /// allocation instead of carrying one copy per switch.
     fn fill_route_cache(&mut self) {
         let len = self.lid_map.table_len();
+        let mut interned: HashMap<InternKey, Arc<RouteOptions>> = HashMap::new();
         self.route_cache = (0..self.tables.len())
             .map(|s| {
                 (0..len)
                     .map(|lid| {
                         self.decode(SwitchId(s as u16), Lid(lid as u16))
                             .ok()
-                            .map(Arc::new)
+                            .map(|opts| {
+                                interned
+                                    .entry(intern_key(&opts))
+                                    .or_insert_with(|| Arc::new(opts))
+                                    .clone()
+                            })
                     })
                     .collect()
             })
             .collect();
+    }
+
+    /// Structural-sharing statistics of the decoded forwarding state:
+    /// `(programmed entries, distinct shared decodes)`. The gap between
+    /// the two is memory the interning in [`Self::route_cache`] saved.
+    pub fn route_cache_sharing(&self) -> (usize, usize) {
+        let mut total = 0usize;
+        let mut unique: std::collections::HashSet<*const RouteOptions> =
+            std::collections::HashSet::new();
+        for per_switch in &self.route_cache {
+            for entry in per_switch.iter().flatten() {
+                total += 1;
+                unique.insert(Arc::as_ptr(entry));
+            }
+        }
+        (total, unique.len())
+    }
+
+    /// Whether two routings program byte-identical forwarding tables on
+    /// every switch — the machine-checked equality gate the incremental
+    /// re-sweep is held to.
+    pub fn tables_equal(&self, other: &FaRouting) -> bool {
+        self.tables == other.tables
     }
 
     /// `Some(x)` when the tables implement source-selected multipath over
@@ -487,8 +498,8 @@ impl FaRouting {
     }
 
     /// Decode one physical table access (uncached; used to build the
-    /// cache and exposed for tests of the raw mechanism).
-    fn decode(&self, s: SwitchId, dlid: Lid) -> Result<RouteOptions, IbaError> {
+    /// cache and by the delta rebuild to refresh affected entries).
+    pub(crate) fn decode(&self, s: SwitchId, dlid: Lid) -> Result<RouteOptions, IbaError> {
         if self.adaptive_capable[s.index()] {
             let lookup = self.tables[s.index()].lookup(dlid);
             let escape = lookup.escape.ok_or(IbaError::UnknownLid(dlid.raw()))?;
@@ -534,6 +545,85 @@ fn escape_hop(updown: &UpDownRouting, s: SwitchId, t: SwitchId) -> Result<PortIn
     updown
         .next_hop(s, t)
         .ok_or_else(|| IbaError::RoutingFailed(format!("no escape hop {s}→{t}")))
+}
+
+/// Interning key of one decoded table access: the escape port followed by
+/// the adaptive ports, in slot order (build-time only, so the small
+/// allocation per *distinct* decode is irrelevant).
+type InternKey = Vec<u8>;
+
+fn intern_key(opts: &RouteOptions) -> InternKey {
+    let mut key = Vec::with_capacity(1 + opts.adaptive.len());
+    key.push(opts.escape.0);
+    for p in &opts.adaptive {
+        key.push(p.0);
+    }
+    key
+}
+
+/// Program the whole LID group of host `h` into switch `s`'s table: the
+/// escape row at offset 0, the adaptive rows (capability-filtered,
+/// seed-rotated) at offsets `1..x`. Returns the number of table entries
+/// written.
+///
+/// This is the single source of the per-row build logic, shared between
+/// [`FaRouting::build_mixed`] and the delta rebuild (`crate::delta`) so
+/// an incremental recompute is byte-identical to a full build *by
+/// construction*, not by coincidence.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn program_host_rows(
+    topo: &Topology,
+    updown: &UpDownRouting,
+    minimal: &MinimalRouting,
+    adaptive_capable: &[bool],
+    config: &RoutingConfig,
+    lid_map: &LidMap,
+    table: &mut InterleavedForwardingTable,
+    s: SwitchId,
+    h: HostId,
+) -> Result<u64, IbaError> {
+    let t = topo.host_switch(h);
+    let x = config.table_options;
+    let (escape, mut adaptive): (PortIndex, Vec<PortIndex>) = if t == s {
+        // Local delivery: the only option is the host port.
+        let (_, port) = topo.host_attachment(h);
+        (port, vec![port])
+    } else {
+        let escape = escape_hop(updown, s, t)?;
+        (escape, minimal.options(s, t).to_vec())
+    };
+    if !adaptive_capable[s.index()] {
+        // Deterministic switch: every address stores the escape port
+        // (§4.2).
+        adaptive.clear();
+    } else if t != s {
+        // Safety filter for mixed fabrics: adaptive hops may only lead
+        // into adaptive-capable switches.
+        adaptive.retain(|&p| {
+            topo.endpoint(s, p)
+                .and_then(|ep| ep.node.as_switch())
+                .is_none_or(|peer| adaptive_capable[peer.index()])
+        });
+    }
+    table.set(lid_map.lid_for(h, 0)?, escape)?;
+    let mut written = 1u64;
+    let slots = x as usize - 1;
+    if slots > 0 {
+        if adaptive.is_empty() {
+            // No usable adaptive option: program the escape port
+            // everywhere, as a deterministic switch would.
+            adaptive.push(escape);
+        }
+        // Seed-mixed rotation balances which minimal options are stored
+        // when there are more than fit.
+        let start = (mix(s.0 as u64, h.0 as u64, config.seed) % adaptive.len() as u64) as usize;
+        for k in 0..slots {
+            let opt = adaptive[(start + k) % adaptive.len()];
+            table.set(lid_map.lid_for(h, 1 + k as u16)?, opt)?;
+            written += 1;
+        }
+    }
+    Ok(written)
 }
 
 #[cfg(test)]

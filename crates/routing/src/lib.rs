@@ -24,10 +24,14 @@
 //!   port, output port, SL).
 //! * [`analysis`] — static routing analysis: the routing-option
 //!   distribution of Table 2 and path-length statistics.
+//! * [`delta`] — incremental route recomputation after a link failure:
+//!   only the destination columns the dead link was *tight* for are
+//!   recomputed, byte-identical to a from-scratch rebuild.
 
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod delta;
 pub mod fa;
 pub mod minimal;
 pub mod sl2vl;
@@ -35,6 +39,7 @@ pub mod table;
 pub mod updown;
 
 pub use analysis::{check_escape_routes, OptionDistribution, PathLengthStats};
+pub use delta::{DeltaRebuild, DeltaStats};
 pub use fa::{AdaptiveOptions, FaRouting, RouteOptions, RoutingConfig};
 pub use minimal::MinimalRouting;
 pub use sl2vl::SlToVlTable;

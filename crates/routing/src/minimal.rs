@@ -11,13 +11,16 @@ use iba_core::{IbaError, PortIndex, SwitchId};
 use iba_topology::Topology;
 
 /// All minimal next-hop ports for every (switch, destination-switch) pair.
+///
+/// Fields are crate-visible so the delta rebuild (`crate::delta`) can
+/// patch individual destination columns in place after a link failure.
 #[derive(Clone, Debug)]
 pub struct MinimalRouting {
     /// `dist[s][t]`: unconstrained shortest distance between switches.
-    dist: Vec<Vec<u32>>,
+    pub(crate) dist: Vec<Vec<u32>>,
     /// `options[t][s]`: ports of `s` on shortest paths to `t`, in
     /// ascending port order. Empty for `s == t`.
-    options: Vec<Vec<Vec<PortIndex>>>,
+    pub(crate) options: Vec<Vec<Vec<PortIndex>>>,
 }
 
 impl MinimalRouting {

@@ -35,7 +35,7 @@ pub struct TableLookup {
 }
 
 /// A linear forwarding table stored as `x` interleaved memory modules.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct InterleavedForwardingTable {
     /// `modules[m][row]` = entry at linear address `row * x + m`.
     modules: Vec<Vec<u8>>,
@@ -266,6 +266,40 @@ mod tests {
                 prop_assert_eq!(t.get(Lid(a as u16)), expect);
             }
             prop_assert_eq!(t.linear_view(), shadow);
+        }
+
+        /// Full `set`/`get` round-trip across every legal fanout and
+        /// arbitrary table lengths — including lengths that leave the
+        /// last interleave row partially filled and straddle the SM's
+        /// 64-entry LFT upload blocks. Out-of-range writes must error
+        /// without perturbing any in-range entry; out-of-range reads
+        /// are `None`.
+        #[test]
+        fn prop_set_get_roundtrip_across_fanouts_blocks_and_range(
+            fanout_log in 0u32..8,
+            len in 1usize..300,
+            writes in proptest::collection::vec((0usize..512, 0u8..32), 0..300)
+        ) {
+            let fanout = 1u16 << fanout_log; // 1..=128, every legal value
+            let mut t = InterleavedForwardingTable::new(len, fanout).unwrap();
+            let mut shadow: Vec<Option<PortIndex>> = vec![None; len];
+            for (addr, port) in writes {
+                if addr < len {
+                    t.set(Lid(addr as u16), PortIndex(port)).unwrap();
+                    shadow[addr] = Some(PortIndex(port));
+                } else {
+                    prop_assert!(t.set(Lid(addr as u16), PortIndex(port)).is_err());
+                }
+            }
+            // Probe past the end too (to 512 > any len): every in-range
+            // entry reads back exactly, every out-of-range read is None
+            // — i.e. rejected writes really left no trace.
+            for a in 0..512usize {
+                let expect = shadow.get(a).copied().flatten();
+                prop_assert_eq!(t.get(Lid(a as u16)), expect);
+            }
+            prop_assert_eq!(t.len(), len);
+            prop_assert_eq!(t.fanout(), fanout);
         }
 
         /// Group lookup agrees with the linear view: escape is the entry

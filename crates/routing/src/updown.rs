@@ -34,23 +34,26 @@ use iba_topology::Topology;
 use std::collections::VecDeque;
 
 /// Unreachable marker in distance matrices.
-const INF: u32 = u32::MAX;
+pub(crate) const INF: u32 = u32::MAX;
 
 /// The up\*/down\* routing function for one topology.
+///
+/// Fields are crate-visible so the delta rebuild (`crate::delta`) can
+/// patch individual destination columns in place after a link failure.
 #[derive(Clone, Debug)]
 pub struct UpDownRouting {
     root: SwitchId,
     /// BFS level of every switch (root = 0).
-    level: Vec<u32>,
+    pub(crate) level: Vec<u32>,
     /// `down_dist[t][s]`: length of the shortest all-down path s→t, or
     /// `INF`. Indexed destination-first for cache-friendly per-dest use.
-    down_dist: Vec<Vec<u32>>,
+    pub(crate) down_dist: Vec<Vec<u32>>,
     /// `legal_dist[t][s]`: length of the shortest legal (up\* then down\*)
     /// path s→t.
-    legal_dist: Vec<Vec<u32>>,
+    pub(crate) legal_dist: Vec<Vec<u32>>,
     /// `next_hop[t][s]`: the output port switch `s` uses towards switch
     /// `t` (undefined for `s == t`, stored as `None`).
-    next_hop: Vec<Vec<Option<PortIndex>>>,
+    pub(crate) next_hop: Vec<Vec<Option<PortIndex>>>,
 }
 
 impl UpDownRouting {
@@ -150,7 +153,7 @@ impl UpDownRouting {
     /// `(s, CanUp) → (n, CanUp)`; a forward edge `s →(down) m` connects
     /// both `(s, CanUp)` and `(s, DownOnly)` to `(m, DownOnly)`. We BFS
     /// the reversed edges from `{(t, CanUp), (t, DownOnly)}`.
-    fn distances_to(&self, topo: &Topology, t: SwitchId) -> (Vec<u32>, Vec<u32>) {
+    pub(crate) fn distances_to(&self, topo: &Topology, t: SwitchId) -> (Vec<u32>, Vec<u32>) {
         let n = topo.num_switches();
         // legal[s] = distance of state (s, CanUp); down[s] = distance of
         // state (s, DownOnly). Recurrences (forward semantics):
@@ -197,7 +200,7 @@ impl UpDownRouting {
     }
 
     /// Deterministic next hop of `s` towards `t` (`s != t`).
-    fn compute_next_hop(
+    pub(crate) fn compute_next_hop(
         &self,
         topo: &Topology,
         s: SwitchId,

@@ -1,0 +1,109 @@
+//! Hot-entry FIB cache for the switch forwarding path.
+//!
+//! §4.1's interleaved forwarding table answers a full lookup in one
+//! memory access; real switch pipelines still front it with a small
+//! direct-mapped cache of recently routed destinations. This module
+//! models that cache purely observationally: the routed options are
+//! identical with and without it (entries are `Arc`-shared decodes of
+//! the same table), so enabling it never changes simulation results —
+//! it only produces the hit/miss telemetry
+//! ([`crate::RunResult::fib_hits`] / [`crate::RunResult::fib_misses`])
+//! that sizes how much routing-table bandwidth a hot-entry cache would
+//! absorb. Disabled (the default) it is a single pointer-null check on
+//! the hot path, like the flight recorder.
+
+use iba_core::{Lid, SwitchId};
+use iba_routing::RouteOptions;
+use std::sync::Arc;
+
+/// A direct-mapped per-switch route cache: `ways` slots per switch,
+/// indexed by `dlid % ways`, tagged with the full DLID.
+#[derive(Debug)]
+pub(crate) struct FibCache {
+    ways: usize,
+    /// `num_switches * ways` slots; `None` = invalid.
+    slots: Vec<Option<(Lid, Arc<RouteOptions>)>>,
+}
+
+impl FibCache {
+    /// A cache with `ways` slots per switch (at least 1).
+    pub(crate) fn new(num_switches: usize, ways: usize) -> FibCache {
+        let ways = ways.max(1);
+        FibCache {
+            ways,
+            slots: vec![None; num_switches * ways],
+        }
+    }
+
+    #[inline]
+    fn slot(&self, sw: SwitchId, dlid: Lid) -> usize {
+        sw.index() * self.ways + dlid.raw() as usize % self.ways
+    }
+
+    /// The cached route of `(sw, dlid)`, if resident.
+    #[inline]
+    pub(crate) fn lookup(&self, sw: SwitchId, dlid: Lid) -> Option<Arc<RouteOptions>> {
+        match &self.slots[self.slot(sw, dlid)] {
+            Some((tag, route)) if *tag == dlid => Some(route.clone()),
+            _ => None,
+        }
+    }
+
+    /// Fill the slot of `(sw, dlid)`, evicting whatever mapped there.
+    #[inline]
+    pub(crate) fn insert(&mut self, sw: SwitchId, dlid: Lid, route: Arc<RouteOptions>) {
+        let i = self.slot(sw, dlid);
+        self.slots[i] = Some((dlid, route));
+    }
+
+    /// Invalidate everything — called whenever a table swap (re-sweep
+    /// installation or primary reinstatement) makes cached decodes
+    /// stale.
+    pub(crate) fn flush(&mut self) {
+        self.slots.iter_mut().for_each(|s| *s = None);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iba_core::PortIndex;
+    use iba_routing::AdaptiveOptions;
+
+    fn route(escape: u8) -> Arc<RouteOptions> {
+        Arc::new(RouteOptions {
+            adaptive: AdaptiveOptions::new(),
+            escape: PortIndex(escape),
+        })
+    }
+
+    #[test]
+    fn direct_mapped_lookup_insert_and_conflict_eviction() {
+        let mut fib = FibCache::new(2, 4);
+        assert!(fib.lookup(SwitchId(0), Lid(5)).is_none());
+        fib.insert(SwitchId(0), Lid(5), route(1));
+        assert_eq!(
+            fib.lookup(SwitchId(0), Lid(5)).unwrap().escape,
+            PortIndex(1)
+        );
+        // Same slot on another switch is independent.
+        assert!(fib.lookup(SwitchId(1), Lid(5)).is_none());
+        // Lid 9 maps to the same slot (9 % 4 == 5 % 4): conflict evicts.
+        fib.insert(SwitchId(0), Lid(9), route(2));
+        assert!(fib.lookup(SwitchId(0), Lid(5)).is_none());
+        assert_eq!(
+            fib.lookup(SwitchId(0), Lid(9)).unwrap().escape,
+            PortIndex(2)
+        );
+    }
+
+    #[test]
+    fn flush_invalidates_everything() {
+        let mut fib = FibCache::new(1, 2);
+        fib.insert(SwitchId(0), Lid(0), route(1));
+        fib.insert(SwitchId(0), Lid(1), route(2));
+        fib.flush();
+        assert!(fib.lookup(SwitchId(0), Lid(0)).is_none());
+        assert!(fib.lookup(SwitchId(0), Lid(1)).is_none());
+    }
+}

@@ -53,6 +53,7 @@
 
 pub mod buffer;
 pub mod config;
+mod fib;
 pub mod network;
 pub mod perfetto;
 pub mod recorder;

@@ -60,6 +60,7 @@
 //! table swap).
 
 use crate::config::{RecoveryPolicy, SimConfig};
+use crate::fib::FibCache;
 use crate::recorder::{FlightDump, FlightRecorder, RecorderOpts};
 use crate::shard::{Mailbox, OutMsg, Shard};
 use crate::stats::{RunResult, StatsCollector};
@@ -134,8 +135,26 @@ pub struct NetworkBuilder<'a> {
     trace: Option<TraceOpts>,
     telemetry: Option<(TelemetryOpts, Box<dyn TelemetrySink>)>,
     recorder: Option<RecorderOpts>,
+    fib_ways: Option<usize>,
     shards: Option<usize>,
     threads: Option<usize>,
+}
+
+/// The single serial-only guard for [`RecoveryPolicy::SmResweep`]: the
+/// re-sweep installs tables fabric-atomically, which the conservative
+/// windows of the parallel engine cannot express. Both entry points
+/// that arm faults — [`NetworkBuilder::build`] and the deprecated
+/// [`Network::with_faults`] — route through this one predicate, so they
+/// cannot drift apart.
+fn check_resweep_serial(parallel: bool, policy: RecoveryPolicy) -> Result<(), IbaError> {
+    if parallel && policy == RecoveryPolicy::SmResweep {
+        return Err(IbaError::InvalidConfig(
+            "SmResweep recovery requires the serial engine (shards = 1): \
+             the re-sweep installs tables fabric-atomically"
+                .into(),
+        ));
+    }
+    Ok(())
 }
 
 impl<'a> NetworkBuilder<'a> {
@@ -215,6 +234,20 @@ impl<'a> NetworkBuilder<'a> {
         self
     }
 
+    /// Arm the hot-entry FIB cache: a direct-mapped cache of `ways`
+    /// recently routed destinations per switch, in front of the full
+    /// forwarding table. Purely observational — cached entries are
+    /// shared decodes of the live tables, so results are identical with
+    /// and without it; the run gains the [`RunResult::fib_hits`] /
+    /// [`RunResult::fib_misses`] counters that size how much table
+    /// bandwidth such a cache would absorb. Off by default (a disabled
+    /// cache costs one pointer-null check per routing, like the flight
+    /// recorder).
+    pub fn fib_cache(mut self, ways: usize) -> Self {
+        self.fib_ways = Some(ways);
+        self
+    }
+
     /// Partition the fabric into `n` shards for parallel execution
     /// (default 1 = the serial engine). Results are deterministic for a
     /// fixed `n` regardless of [`Self::threads`] and the event-queue
@@ -278,7 +311,14 @@ impl<'a> NetworkBuilder<'a> {
                 )));
             }
         }
-        let partition = if num_shards > 1 {
+        // One boolean decides the engine; the partition exists iff it is
+        // set, so `Network::parallel_mode` and these builder checks can
+        // never disagree.
+        let parallel = num_shards > 1;
+        if let Some((_, policy, _)) = self.faults {
+            check_resweep_serial(parallel, policy)?;
+        }
+        let partition = if parallel {
             if script.is_some() {
                 return Err(IbaError::InvalidConfig(
                     "trace-driven replay requires the serial engine (shards = 1): \
@@ -292,15 +332,6 @@ impl<'a> NetworkBuilder<'a> {
                      its rings are globally ordered"
                         .into(),
                 ));
-            }
-            if let Some((_, policy, _)) = self.faults {
-                if policy == RecoveryPolicy::SmResweep {
-                    return Err(IbaError::InvalidConfig(
-                        "SmResweep recovery requires the serial engine (shards = 1): \
-                         the re-sweep installs tables fabric-atomically"
-                            .into(),
-                    ));
-                }
             }
             Some(Arc::new(Partition::contiguous(self.topo, num_shards)?))
         } else {
@@ -321,6 +352,14 @@ impl<'a> NetworkBuilder<'a> {
             }
             if let Some(opts) = self.trace {
                 sh.tracer = Some(Tracer::with_opts(opts));
+            }
+            if let Some(ways) = self.fib_ways {
+                if ways == 0 {
+                    return Err(IbaError::InvalidConfig(
+                        "fib_cache needs at least one way per switch".into(),
+                    ));
+                }
+                sh.fib = Some(Box::new(FibCache::new(self.topo.num_switches(), ways)));
             }
             shards.push(sh);
         }
@@ -458,6 +497,7 @@ impl<'a> Network<'a> {
             trace: None,
             telemetry: None,
             recorder: None,
+            fib_ways: None,
             shards: None,
             threads: None,
         }
@@ -508,11 +548,7 @@ impl<'a> Network<'a> {
         policy: RecoveryPolicy,
         resweep_latency_ns: u64,
     ) -> Result<Network<'a>, IbaError> {
-        if self.partition.is_some() && policy == RecoveryPolicy::SmResweep {
-            return Err(IbaError::InvalidConfig(
-                "SmResweep recovery requires the serial engine (shards = 1)".into(),
-            ));
-        }
+        check_resweep_serial(self.parallel_mode(), policy)?;
         for sh in self.shards.iter_mut() {
             sh.arm_faults(schedule, policy, resweep_latency_ns)?;
         }
@@ -556,6 +592,18 @@ impl<'a> Network<'a> {
     /// Number of shards the fabric is partitioned into (1 = serial).
     pub fn num_shards(&self) -> usize {
         self.shards.len()
+    }
+
+    /// Whether the parallel engine is driving the run — the predicate
+    /// every serial-only guard keys on (`partition` exists iff the
+    /// builder saw `shards(n > 1)`).
+    pub fn parallel_mode(&self) -> bool {
+        self.partition.is_some()
+    }
+
+    /// Whether the hot-entry FIB cache is armed.
+    pub fn fib_cache_enabled(&self) -> bool {
+        self.shards[0].fib.is_some()
     }
 
     /// Number of links currently down.

@@ -71,6 +71,10 @@ pub struct StatsCollector {
     escape_certifications: u64,
     escape_cert_failures: u64,
     recovery_ns: Option<u64>,
+    /// Forwarding lookups answered by the hot-entry FIB cache.
+    pub fib_hits: u64,
+    /// Forwarding lookups that missed the FIB cache (0 when disabled).
+    pub fib_misses: u64,
 }
 
 /// Per-flow in-order tracker: one past the highest sequence number
@@ -166,6 +170,8 @@ impl StatsCollector {
             escape_certifications: 0,
             escape_cert_failures: 0,
             recovery_ns: None,
+            fib_hits: 0,
+            fib_misses: 0,
         }
     }
 
@@ -211,11 +217,18 @@ impl StatsCollector {
         }
     }
 
-    /// The SM re-sweep installed recovery routing tables.
+    /// The SM re-sweep installed recovery routing tables. This closes
+    /// the recovery window: `recovery_time_ns` is the time from the
+    /// first fault to the first successful LFT (re)programming, a pure
+    /// control-plane quantity independent of whatever traffic happens
+    /// to be in flight.
     pub fn on_recovery_installed(&mut self, at: SimTime) {
         self.resweeps += 1;
         if self.recovery_installed_at.is_none() {
             self.recovery_installed_at = Some(at);
+            if let Some(fault) = self.first_fault_at {
+                self.recovery_ns = Some(at.since(fault));
+            }
         }
     }
 
@@ -254,17 +267,6 @@ impl StatsCollector {
     /// A packet's tail reached its destination host.
     pub fn on_delivered(&mut self, packet: &Packet, at: SimTime) {
         self.delivered += 1;
-        // Recovery time: first fault → first delivery at or after the
-        // recovery tables went live.
-        if self.recovery_ns.is_none() {
-            if let (Some(fault), Some(installed)) =
-                (self.first_fault_at, self.recovery_installed_at)
-            {
-                if at >= installed {
-                    self.recovery_ns = Some(at.since(fault));
-                }
-            }
-        }
         if self.in_window(at) {
             self.delivered_bytes_window += packet.size_bytes as u64;
         }
@@ -350,6 +352,8 @@ impl StatsCollector {
             (Some(a), Some(b)) => Some(a.min(b)),
             (a, b) => a.or(b),
         };
+        self.fib_hits += other.fib_hits;
+        self.fib_misses += other.fib_misses;
     }
 
     /// Finalize into a [`RunResult`], given the number of switches, the
@@ -406,6 +410,8 @@ impl StatsCollector {
             recovery_time_ns: self.recovery_ns,
             resweeps: self.resweeps,
             resweeps_failed: self.resweeps_failed,
+            fib_hits: self.fib_hits,
+            fib_misses: self.fib_misses,
             events,
             wall_time_s,
             events_per_sec: if wall_time_s > 0.0 {
@@ -423,8 +429,12 @@ impl StatsCollector {
 ///
 /// History: 1 → 2 added `duplicate_deliveries`, the per-cause transit
 /// drop counters (`drops_link_down` / `drops_switch_down` /
-/// `drops_corrupted`) and the escape-certification counters.
-pub const RUN_RESULT_SCHEMA_VERSION: u32 = 2;
+/// `drops_corrupted`) and the escape-certification counters. 2 → 3
+/// added the FIB-cache counters (`fib_hits` / `fib_misses`) and
+/// re-pinned `recovery_time_ns` to fault → last successful LFT
+/// reprogramming (previously fault → first post-install delivery,
+/// which made the value depend on the traffic pattern).
+pub const RUN_RESULT_SCHEMA_VERSION: u32 = 3;
 
 /// The outcome of one simulation run.
 ///
@@ -501,15 +511,26 @@ pub struct RunResult {
     /// Strictly below 1 even without faults — packets still in flight at
     /// the horizon are not delivered.
     pub delivered_ratio: f64,
-    /// Nanoseconds from the first fault to the first delivery at or
-    /// after recovery tables were installed; `None` when no fault
-    /// occurred or no recovery completed.
+    /// Nanoseconds from the first fault event to the moment the first
+    /// re-sweep finished (re)programming the forwarding tables — i.e.
+    /// to the *last successful LFT reprogram* of that sweep, when the
+    /// recovery tables go live. `None` when no fault occurred or no
+    /// recovery completed. Deliberately a control-plane measurement:
+    /// it does not depend on when (or whether) traffic flows after the
+    /// repair, so values are comparable across runs with different
+    /// traffic patterns and between full and incremental re-sweeps.
     pub recovery_time_ns: Option<u64>,
     /// SM re-sweeps that installed recovery tables.
     pub resweeps: u64,
     /// SM re-sweeps abandoned because the degraded fabric was
     /// disconnected.
     pub resweeps_failed: u64,
+    /// Forwarding lookups answered by the hot-entry FIB cache (0 when
+    /// the cache is disabled).
+    pub fib_hits: u64,
+    /// Forwarding lookups that consulted the full table because the
+    /// FIB cache missed (0 when the cache is disabled).
+    pub fib_misses: u64,
     /// Discrete events processed.
     pub events: u64,
     /// Wall-clock seconds the event loop ran (host-machine measurement,
@@ -553,6 +574,8 @@ impl PartialEq for RunResult {
             && self.recovery_time_ns == other.recovery_time_ns
             && self.resweeps == other.resweeps
             && self.resweeps_failed == other.resweeps_failed
+            && self.fib_hits == other.fib_hits
+            && self.fib_misses == other.fib_misses
             && self.events == other.events
     }
 }
@@ -618,6 +641,8 @@ impl RunResult {
             ("recovery_time_ns", Json::from(self.recovery_time_ns)),
             ("resweeps", Json::from(self.resweeps)),
             ("resweeps_failed", Json::from(self.resweeps_failed)),
+            ("fib_hits", Json::from(self.fib_hits)),
+            ("fib_misses", Json::from(self.fib_misses)),
             ("events", Json::from(self.events)),
             ("wall_time_s", Json::from(self.wall_time_s)),
             ("events_per_sec", Json::from(self.events_per_sec)),
@@ -764,11 +789,11 @@ mod tests {
         // Fault at t=1100; a packet on the dead wire is lost.
         c.on_fault(SimTime::from_ns(1100));
         c.on_transit_drop(SimTime::from_ns(1150), DropCause::LinkDown);
-        // A delivery before the recovery tables are live does not close
-        // the recovery window...
+        // Deliveries never move the recovery clock...
         c.on_delivered(&packet(1, true, 1000), SimTime::from_ns(1200));
+        // ...installing the recovery tables closes it: 1500 − 1100 =
+        // 400 ns from the fault to the last successful LFT reprogram.
         c.on_recovery_installed(SimTime::from_ns(1500));
-        // ...but the first one after does: 1600 − 1100 = 500 ns.
         c.on_delivered(&packet(2, true, 1000), SimTime::from_ns(1600));
         c.on_delivered(&packet(3, true, 1000), SimTime::from_ns(1900));
         let r = c.finish(4, 0, Duration::ZERO);
@@ -776,7 +801,7 @@ mod tests {
         assert_eq!(r.drops_in_transit, 1);
         assert_eq!(r.drops_after_recovery, 0);
         assert_eq!(r.drops_link_down, 1);
-        assert_eq!(r.recovery_time_ns, Some(500));
+        assert_eq!(r.recovery_time_ns, Some(400));
         assert_eq!(r.resweeps, 1);
         assert!((r.delivered_ratio - 1.5).abs() < 1e-12); // 3 of 2 generated (toy numbers)
                                                           // Drops after installation are flagged separately.
@@ -827,6 +852,58 @@ mod tests {
     }
 
     #[test]
+    fn recovery_time_is_traffic_independent() {
+        // The pinned semantics: fault-event time → recovery-table
+        // installation. Two runs whose control planes act at the same
+        // instants must report the same recovery time no matter how
+        // their traffic differs — that is what makes the metric
+        // comparable across policies and loads.
+        let control_plane = |c: &mut StatsCollector| {
+            c.on_fault(SimTime::from_ns(1100));
+            c.on_recovery_installed(SimTime::from_ns(1750));
+        };
+        let mut idle = collector();
+        control_plane(&mut idle);
+        // No traffic at all: the old delivery-based definition would
+        // have reported None here.
+        let mut busy = collector();
+        control_plane(&mut busy);
+        for seq in 0..20 {
+            busy.on_delivered(&packet(seq, true, 1000), SimTime::from_ns(1800 + 10 * seq));
+        }
+        let (ri, rb) = (
+            idle.finish(4, 0, Duration::ZERO),
+            busy.finish(4, 0, Duration::ZERO),
+        );
+        assert_eq!(ri.recovery_time_ns, Some(650));
+        assert_eq!(ri.recovery_time_ns, rb.recovery_time_ns);
+        // Only the first installation counts; later re-sweeps don't
+        // stretch the window.
+        busy.on_recovery_installed(SimTime::from_ns(5000));
+        assert_eq!(
+            busy.finish(4, 0, Duration::ZERO).recovery_time_ns,
+            Some(650)
+        );
+    }
+
+    #[test]
+    fn fib_counters_flow_into_run_result_and_merge() {
+        let mut a = collector();
+        a.fib_hits = 10;
+        a.fib_misses = 3;
+        let mut b = collector();
+        b.fib_hits = 5;
+        b.fib_misses = 1;
+        a.merge(&b);
+        let r = a.finish(4, 0, Duration::ZERO);
+        assert_eq!(r.fib_hits, 15);
+        assert_eq!(r.fib_misses, 4);
+        let json = r.to_json().to_string_compact();
+        assert!(json.contains(r#""fib_hits":15"#));
+        assert!(json.contains(r#""fib_misses":4"#));
+    }
+
+    #[test]
     fn faultless_run_reports_no_recovery() {
         let r = collector().finish(4, 0, Duration::ZERO);
         assert_eq!(r.faults_injected, 0);
@@ -842,7 +919,7 @@ mod tests {
         let r = c.finish(4, 10, Duration::ZERO);
         assert_eq!(r.schema_version, RUN_RESULT_SCHEMA_VERSION);
         let json = r.to_json().to_string_compact();
-        assert!(json.starts_with(r#"{"schema_version":2,"#));
+        assert!(json.starts_with(r#"{"schema_version":3,"#));
         assert!(json.contains(r#""delivered":1"#));
         assert!(json.contains(r#""events":10"#));
         // NaN-valued aggregates render as null, not as invalid JSON.

@@ -135,6 +135,82 @@ impl DiscoveredFabric {
         }
         builder.build()
     }
+
+    /// Mark the inter-switch link behind `(a, pa)`/`(b, pb)` as down on
+    /// both ends, in place. Port positions are preserved, so switch and
+    /// host ids of [`Self::to_topology`] stay stable — the property the
+    /// incremental re-sweep relies on.
+    pub fn degrade_link(
+        &mut self,
+        a: SwitchId,
+        pa: PortIndex,
+        b: SwitchId,
+        pb: PortIndex,
+    ) -> Result<(), IbaError> {
+        let check = |fab: &DiscoveredFabric, s: SwitchId, p: PortIndex, peer: SwitchId| {
+            let peer_guid = fab
+                .switches
+                .get(peer.index())
+                .ok_or_else(|| IbaError::InvalidTopology(format!("no switch {peer:?}")))?
+                .guid;
+            let sw = fab
+                .switches
+                .get(s.index())
+                .ok_or_else(|| IbaError::InvalidTopology(format!("no switch {s:?}")))?;
+            match sw.ports.get(p.index()) {
+                Some(PortTarget::Switch(g)) if *g == peer_guid => Ok(()),
+                other => Err(IbaError::InvalidTopology(format!(
+                    "port {p:?} of {s:?} is {other:?}, not a link to {peer:?}"
+                ))),
+            }
+        };
+        check(self, a, pa, b)?;
+        check(self, b, pb, a)?;
+        self.switches[a.index()].ports[pa.index()] = PortTarget::Down;
+        self.switches[b.index()].ports[pb.index()] = PortTarget::Down;
+        Ok(())
+    }
+
+    /// Recompute every switch's directed route by BFS over the
+    /// discovered port graph, without sending a single SMP. Needed after
+    /// [`Self::degrade_link`]: the recorded routes may have crossed the
+    /// dead link. Errors if some switch is no longer reachable.
+    pub fn recompute_routes(&mut self) -> Result<(), IbaError> {
+        let index_of: HashMap<u64, usize> = self
+            .switches
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.guid, i))
+            .collect();
+        let mut routes: Vec<Option<DirectedRoute>> = vec![None; self.switches.len()];
+        if routes.is_empty() {
+            return Ok(());
+        }
+        routes[0] = Some(DirectedRoute::local());
+        let mut queue = VecDeque::from([0usize]);
+        while let Some(cur) = queue.pop_front() {
+            let cur_route = routes[cur].clone().expect("queued switches have routes");
+            for (p, target) in self.switches[cur].ports.iter().enumerate() {
+                if let PortTarget::Switch(g) = target {
+                    let j = *index_of.get(g).ok_or_else(|| {
+                        IbaError::InvalidTopology("link to unknown switch".into())
+                    })?;
+                    if routes[j].is_none() {
+                        routes[j] = Some(cur_route.then(PortIndex(p as u8)));
+                        queue.push_back(j);
+                    }
+                }
+            }
+        }
+        for (i, route) in routes.into_iter().enumerate() {
+            self.switches[i].route = route.ok_or_else(|| {
+                IbaError::InvalidTopology(format!(
+                    "switch {i} unreachable over directed routes after degrade"
+                ))
+            })?;
+        }
+        Ok(())
+    }
 }
 
 /// The discovery engine.

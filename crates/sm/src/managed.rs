@@ -282,8 +282,24 @@ impl<'a> ManagedFabric<'a> {
                     }
                     (SmpMethod::Set, SmpAttribute::LinearForwardingTable { block, entries }) => {
                         let base = *block as usize * LFT_BLOCK;
+                        // Validate the whole block before touching the
+                        // table: a rejected SMP must leave the agent
+                        // unchanged (atomic apply). Applying entry by
+                        // entry and bailing mid-block would leave the
+                        // LFT half-written — and the SM, seeing the
+                        // rejection, would never know which half.
+                        let bad = entries.iter().enumerate().take(LFT_BLOCK).any(|(i, e)| {
+                            e.is_some_and(|p| {
+                                base + i >= agent.lft.len() || p.index() >= ports as usize
+                            })
+                        });
+                        if bad {
+                            return SmpResponse::Unsupported;
+                        }
                         for (i, entry) in entries.iter().enumerate().take(LFT_BLOCK) {
                             if let Some(port) = entry {
+                                // Infallible after validation; a failure
+                                // here would be an agent bug.
                                 if agent.lft.set(Lid((base + i) as u16), *port).is_err() {
                                     return SmpResponse::Unsupported;
                                 }
@@ -432,6 +448,53 @@ mod tests {
         assert_eq!(
             fab.agent(fab.sm_switch()).lft.get(Lid(69)),
             Some(PortIndex(2))
+        );
+    }
+
+    #[test]
+    fn rejected_lft_block_leaves_agent_untouched() {
+        // Regression: a block with a bad entry in the *middle* used to be
+        // applied entry by entry, leaving the leading half written when
+        // the agent bailed. The apply must be atomic.
+        let topo = regular::ring(4, 1).unwrap();
+        let mut fab = ManagedFabric::new(&topo, 2).unwrap();
+        let mut entries = vec![None; LFT_BLOCK];
+        entries[0] = Some(PortIndex(1));
+        entries[1] = Some(PortIndex(2));
+        entries[2] = Some(PortIndex(99)); // out of range for a 3-port switch
+        entries[3] = Some(PortIndex(0));
+        let resp = fab.send(&smp(
+            SmpMethod::Set,
+            SmpAttribute::LinearForwardingTable { block: 0, entries },
+            DirectedRoute::local(),
+        ));
+        assert_eq!(resp, SmpResponse::Unsupported);
+        // Nothing before (or after) the bad entry landed.
+        let agent = fab.agent(fab.sm_switch());
+        for lid in 0..LFT_BLOCK as u16 {
+            assert_eq!(agent.lft.get(Lid(lid)), None, "lid {lid} half-written");
+        }
+        // An out-of-table block number is rejected outright. Before the
+        // address validation, `(base + i) as u16` could wrap a huge
+        // block number back into the table and silently clobber LID 0.
+        let len = fab.agent(fab.sm_switch()).lft.len();
+        let wrapping_block = (65536 / LFT_BLOCK) as u32; // base 65536 → wraps to 0
+        assert!(wrapping_block as usize * LFT_BLOCK >= len);
+        let mut entries = vec![None; LFT_BLOCK];
+        entries[0] = Some(PortIndex(1));
+        let resp = fab.send(&smp(
+            SmpMethod::Set,
+            SmpAttribute::LinearForwardingTable {
+                block: wrapping_block,
+                entries,
+            },
+            DirectedRoute::local(),
+        ));
+        assert_eq!(resp, SmpResponse::Unsupported);
+        assert_eq!(
+            fab.agent(fab.sm_switch()).lft.get(Lid(0)),
+            None,
+            "wrapped block write clobbered LID 0"
         );
     }
 

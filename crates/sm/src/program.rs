@@ -15,13 +15,17 @@ use crate::retry::{ReliableSender, SendOutcome};
 use iba_core::{IbaError, Lid, PortIndex, ServiceLevel, SwitchId, VirtualLane};
 use iba_routing::FaRouting;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 
 /// Outcome of a programming pass.
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ProgramReport {
     /// Switches programmed.
     pub switches: usize,
-    /// LFT blocks written.
+    /// Non-empty LFT blocks the routing tables contain (written + skipped
+    /// as already up to date on the switch).
+    pub blocks_total: u64,
+    /// LFT blocks actually written.
     pub blocks_written: u64,
     /// SLtoVL rows written.
     pub sl2vl_rows_written: u64,
@@ -31,15 +35,76 @@ pub struct ProgramReport {
     pub verified: bool,
 }
 
+/// What the programmer remembers about one switch across passes, keyed
+/// by GUID. Only state whose upload was *verified delivered* is
+/// recorded, so a lost or rejected write is always retried on the next
+/// pass.
+#[derive(Debug, Default)]
+struct SwitchShadow {
+    /// Content hash per LFT block number, as last verified on-switch.
+    block_hashes: HashMap<u32, u64>,
+    /// The SLtoVL identity grid has been fully programmed.
+    sl2vl_done: bool,
+    /// Management LID confirmed set.
+    mgmt_lid: Option<Lid>,
+}
+
+/// Content hash of one LFT block (order-sensitive FNV-1a over the
+/// entries; `None` gets its own sentinel so clearing an entry dirties
+/// the block).
+fn block_hash(entries: &[Option<PortIndex>]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for e in entries {
+        let byte = match e {
+            None => 0x100u64,
+            Some(p) => p.0 as u64,
+        };
+        h ^= byte;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
 /// The programming engine.
+///
+/// A `Programmer` is stateful across passes: it shadows, per switch
+/// GUID, the hash of every LFT block it has verifiably uploaded plus
+/// the SLtoVL/management-LID bring-up state. Re-programming through the
+/// *same* `Programmer` therefore uploads only the blocks that changed —
+/// the dirty-block diff that makes an incremental re-sweep cheap. A
+/// fresh `Programmer` has an empty shadow and uploads everything.
 pub struct Programmer {
     tid: u64,
+    shadow: HashMap<u64, SwitchShadow>,
 }
 
 impl Programmer {
     /// Fresh engine.
     pub fn new() -> Programmer {
-        Programmer { tid: 0 }
+        Programmer {
+            tid: 0,
+            shadow: HashMap::new(),
+        }
+    }
+
+    /// Forget everything shadowed: the next pass uploads every block.
+    pub fn forget(&mut self) {
+        self.shadow.clear();
+    }
+
+    fn block_clean(&self, guid: u64, block: u32, hash: u64) -> bool {
+        self.shadow
+            .get(&guid)
+            .and_then(|s| s.block_hashes.get(&block))
+            == Some(&hash)
+    }
+
+    fn record_block(&mut self, guid: u64, block: u32, hash: u64) {
+        self.shadow
+            .entry(guid)
+            .or_default()
+            .block_hashes
+            .insert(block, hash);
     }
 
     fn smp(&mut self, method: SmpMethod, attribute: SmpAttribute, route: DirectedRoute) -> Smp {
@@ -63,6 +128,7 @@ impl Programmer {
         routing: &FaRouting,
     ) -> Result<ProgramReport, IbaError> {
         let before = fabric.smps_sent;
+        let mut blocks_total = 0u64;
         let mut blocks_written = 0u64;
         let mut sl2vl_rows_written = 0u64;
         let mut verified = true;
@@ -71,6 +137,11 @@ impl Programmer {
             for (block, chunk) in view.chunks(LFT_BLOCK).enumerate() {
                 if chunk.iter().all(|e| e.is_none()) {
                     continue; // nothing programmed in this block
+                }
+                blocks_total += 1;
+                let hash = block_hash(chunk);
+                if self.block_clean(sw.guid, block as u32, hash) {
+                    continue; // on-switch content already matches
                 }
                 let entries: Vec<Option<PortIndex>> = chunk.to_vec();
                 let resp = fabric.send(&self.smp(
@@ -99,48 +170,62 @@ impl Programmer {
                 let SmpResponse::LftBlock { entries: got } = resp else {
                     return Err(IbaError::InvalidConfig("LFT read-back failed".into()));
                 };
+                let mut ok = true;
                 for (k, want) in entries.iter().enumerate() {
                     if want.is_some() && got.get(k) != Some(want) {
-                        verified = false;
+                        ok = false;
                     }
+                }
+                if ok {
+                    self.record_block(sw.guid, block as u32, hash);
+                } else {
+                    verified = false;
                 }
             }
             // Program the identity SLtoVL mapping over one data VL for
             // every (input, output) port pair (§4.4 leaves the SLtoVL
             // machinery in its spec role; the evaluation runs on VL0).
+            // The grid never changes, so a shadowed switch skips it.
             let ports = sw.ports.len() as u8;
-            let identity: Vec<VirtualLane> = (0..16).map(|_| VirtualLane(0)).collect();
-            for input in 0..ports {
-                for output in 0..ports {
-                    let resp = fabric.send(&self.smp(
-                        SmpMethod::Set,
-                        SmpAttribute::SlToVlMappingTable {
-                            input: PortIndex(input),
-                            output: PortIndex(output),
-                            vls: identity.clone(),
-                        },
-                        sw.route.clone(),
-                    ));
-                    if resp != SmpResponse::Ok {
-                        return Err(IbaError::InvalidConfig("SLtoVL write rejected".into()));
+            if !self.shadow.get(&sw.guid).is_some_and(|s| s.sl2vl_done) {
+                let identity: Vec<VirtualLane> = (0..16).map(|_| VirtualLane(0)).collect();
+                for input in 0..ports {
+                    for output in 0..ports {
+                        let resp = fabric.send(&self.smp(
+                            SmpMethod::Set,
+                            SmpAttribute::SlToVlMappingTable {
+                                input: PortIndex(input),
+                                output: PortIndex(output),
+                                vls: identity.clone(),
+                            },
+                            sw.route.clone(),
+                        ));
+                        if resp != SmpResponse::Ok {
+                            return Err(IbaError::InvalidConfig("SLtoVL write rejected".into()));
+                        }
+                        sl2vl_rows_written += 1;
                     }
-                    sl2vl_rows_written += 1;
                 }
+                self.shadow.entry(sw.guid).or_default().sl2vl_done = true;
             }
             // Assign the switch's management LID (simple dense scheme
             // above the host ranges).
             let mgmt_lid = Lid(routing.lid_map().table_len() as u16 + i as u16);
-            let resp = fabric.send(&self.smp(
-                SmpMethod::Set,
-                SmpAttribute::SwitchInfo { lid: mgmt_lid },
-                sw.route.clone(),
-            ));
-            if resp != SmpResponse::Ok {
-                return Err(IbaError::InvalidConfig("SwitchInfo set failed".into()));
+            if self.shadow.get(&sw.guid).and_then(|s| s.mgmt_lid) != Some(mgmt_lid) {
+                let resp = fabric.send(&self.smp(
+                    SmpMethod::Set,
+                    SmpAttribute::SwitchInfo { lid: mgmt_lid },
+                    sw.route.clone(),
+                ));
+                if resp != SmpResponse::Ok {
+                    return Err(IbaError::InvalidConfig("SwitchInfo set failed".into()));
+                }
+                self.shadow.entry(sw.guid).or_default().mgmt_lid = Some(mgmt_lid);
             }
         }
         Ok(ProgramReport {
             switches: discovered.switches.len(),
+            blocks_total,
             blocks_written,
             sl2vl_rows_written,
             smps_used: fabric.smps_sent - before,
@@ -162,6 +247,7 @@ impl Programmer {
         sender: &mut ReliableSender,
     ) -> Result<RobustProgram, IbaError> {
         let before = fabric.smps_sent;
+        let mut blocks_total = 0u64;
         let mut blocks_written = 0u64;
         let mut sl2vl_rows_written = 0u64;
         let mut verified = true;
@@ -192,6 +278,11 @@ impl Programmer {
                 if chunk.iter().all(|e| e.is_none()) {
                     continue; // nothing programmed in this block
                 }
+                blocks_total += 1;
+                let hash = block_hash(chunk);
+                if self.block_clean(sw.guid, block as u32, hash) {
+                    continue; // on-switch content already matches
+                }
                 let entries: Vec<Option<PortIndex>> = chunk.to_vec();
                 let smp = self.smp(
                     SmpMethod::Set,
@@ -221,46 +312,59 @@ impl Programmer {
                 let SmpResponse::LftBlock { entries: got } = resp else {
                     return Err(IbaError::InvalidConfig("LFT read-back failed".into()));
                 };
+                let mut ok = true;
                 for (k, want) in entries.iter().enumerate() {
                     if want.is_some() && got.get(k) != Some(want) {
-                        verified = false;
+                        ok = false;
                     }
+                }
+                if ok {
+                    self.record_block(sw.guid, block as u32, hash);
+                } else {
+                    verified = false;
                 }
             }
             let ports = sw.ports.len() as u8;
-            let identity: Vec<VirtualLane> = (0..16).map(|_| VirtualLane(0)).collect();
-            for input in 0..ports {
-                for output in 0..ports {
-                    let smp = self.smp(
-                        SmpMethod::Set,
-                        SmpAttribute::SlToVlMappingTable {
-                            input: PortIndex(input),
-                            output: PortIndex(output),
-                            vls: identity.clone(),
-                        },
-                        sw.route.clone(),
-                    );
-                    let resp = deliver!(smp, format!("SLtoVL row {input}->{output}"));
-                    if resp != SmpResponse::Ok {
-                        return Err(IbaError::InvalidConfig("SLtoVL write rejected".into()));
+            if !self.shadow.get(&sw.guid).is_some_and(|s| s.sl2vl_done) {
+                let identity: Vec<VirtualLane> = (0..16).map(|_| VirtualLane(0)).collect();
+                for input in 0..ports {
+                    for output in 0..ports {
+                        let smp = self.smp(
+                            SmpMethod::Set,
+                            SmpAttribute::SlToVlMappingTable {
+                                input: PortIndex(input),
+                                output: PortIndex(output),
+                                vls: identity.clone(),
+                            },
+                            sw.route.clone(),
+                        );
+                        let resp = deliver!(smp, format!("SLtoVL row {input}->{output}"));
+                        if resp != SmpResponse::Ok {
+                            return Err(IbaError::InvalidConfig("SLtoVL write rejected".into()));
+                        }
+                        sl2vl_rows_written += 1;
                     }
-                    sl2vl_rows_written += 1;
                 }
+                self.shadow.entry(sw.guid).or_default().sl2vl_done = true;
             }
             let mgmt_lid = Lid(routing.lid_map().table_len() as u16 + i as u16);
-            let smp = self.smp(
-                SmpMethod::Set,
-                SmpAttribute::SwitchInfo { lid: mgmt_lid },
-                sw.route.clone(),
-            );
-            let resp = deliver!(smp, "SwitchInfo".to_string());
-            if resp != SmpResponse::Ok {
-                return Err(IbaError::InvalidConfig("SwitchInfo set failed".into()));
+            if self.shadow.get(&sw.guid).and_then(|s| s.mgmt_lid) != Some(mgmt_lid) {
+                let smp = self.smp(
+                    SmpMethod::Set,
+                    SmpAttribute::SwitchInfo { lid: mgmt_lid },
+                    sw.route.clone(),
+                );
+                let resp = deliver!(smp, "SwitchInfo".to_string());
+                if resp != SmpResponse::Ok {
+                    return Err(IbaError::InvalidConfig("SwitchInfo set failed".into()));
+                }
+                self.shadow.entry(sw.guid).or_default().mgmt_lid = Some(mgmt_lid);
             }
         }
         Ok(RobustProgram {
             report: ProgramReport {
                 switches: discovered.switches.len() - skipped.len(),
+                blocks_total,
                 blocks_written,
                 sl2vl_rows_written,
                 smps_used: fabric.smps_sent - before,
@@ -332,6 +436,52 @@ mod tests {
             // Management LID assigned.
             assert_ne!(fabric.agent(agent_sw).lid, Lid(0));
         }
+    }
+
+    #[test]
+    fn reprogramming_through_the_same_programmer_uploads_nothing() {
+        let topo = IrregularConfig::paper(8, 4).generate().unwrap();
+        let mut fabric = ManagedFabric::new(&topo, 2).unwrap();
+        let discovered = Discoverer::new().discover(&mut fabric).unwrap();
+        let rebuilt = discovered.to_topology().unwrap();
+        let routing = FaRouting::build(&rebuilt, RoutingConfig::two_options()).unwrap();
+        let mut programmer = Programmer::new();
+        let first = programmer
+            .program(&mut fabric, &discovered, &routing)
+            .unwrap();
+        assert!(first.verified);
+        assert_eq!(first.blocks_total, first.blocks_written);
+
+        // Identical content: the shadow makes the second pass free.
+        let second = programmer
+            .program(&mut fabric, &discovered, &routing)
+            .unwrap();
+        assert_eq!(second.blocks_written, 0);
+        assert_eq!(second.blocks_total, first.blocks_total);
+        assert_eq!(second.sl2vl_rows_written, 0);
+        assert_eq!(second.smps_used, 0);
+
+        // After forgetting, everything is uploaded again.
+        programmer.forget();
+        let third = programmer
+            .program(&mut fabric, &discovered, &routing)
+            .unwrap();
+        assert_eq!(third, first);
+    }
+
+    #[test]
+    fn fresh_programmer_matches_legacy_full_upload() {
+        // A stateless pass (fresh engine) is byte-for-byte the old
+        // behavior: every non-empty block written.
+        let topo = IrregularConfig::paper(8, 9).generate().unwrap();
+        let mut fabric = ManagedFabric::new(&topo, 2).unwrap();
+        let discovered = Discoverer::new().discover(&mut fabric).unwrap();
+        let rebuilt = discovered.to_topology().unwrap();
+        let routing = FaRouting::build(&rebuilt, RoutingConfig::two_options()).unwrap();
+        let report = Programmer::new()
+            .program(&mut fabric, &discovered, &routing)
+            .unwrap();
+        assert_eq!(report.blocks_total, report.blocks_written);
     }
 
     #[test]

@@ -4,8 +4,8 @@ use crate::discovery::{DiscoveredFabric, Discoverer};
 use crate::managed::ManagedFabric;
 use crate::program::{ProgramReport, Programmer};
 use crate::retry::{ReliableSender, RetryPolicy};
-use iba_core::{FlightEvent, IbaError};
-use iba_routing::{FaRouting, RoutingConfig};
+use iba_core::{FlightEvent, IbaError, SwitchId};
+use iba_routing::{DeltaStats, FaRouting, RoutingConfig};
 use iba_topology::Topology;
 
 /// The result of a complete subnet initialization.
@@ -39,16 +39,127 @@ impl SubnetManager {
     /// adaptive options), upload every forwarding table in 64-entry
     /// blocks, and verify by read-back.
     pub fn initialize(&self, fabric: &mut ManagedFabric) -> Result<BringUp, IbaError> {
+        self.initialize_with(fabric, &mut Programmer::new())
+    }
+
+    /// [`Self::initialize`] through a caller-owned [`Programmer`]. The
+    /// programmer's dirty-block shadow survives the call, so a later
+    /// [`Self::resweep_after_link_failure`] through the *same*
+    /// programmer uploads only the LFT blocks that changed.
+    pub fn initialize_with(
+        &self,
+        fabric: &mut ManagedFabric,
+        programmer: &mut Programmer,
+    ) -> Result<BringUp, IbaError> {
         let discovered = Discoverer::new().discover(fabric)?;
         let topology = discovered.to_topology()?;
         let routing = FaRouting::build(&topology, self.routing_config)?;
-        let report = Programmer::new().program(fabric, &discovered, &routing)?;
+        let report = programmer.program(fabric, &discovered, &routing)?;
         Ok(BringUp {
             discovered,
             topology,
             routing,
             report,
         })
+    }
+
+    /// The incremental re-sweep: given the previous bring-up and a
+    /// failed inter-switch link `(a, b)` (discovery-ordered ids), skip
+    /// rediscovery — degrade the recorded fabric in place, recompute
+    /// only the routing columns the dead link was tight for
+    /// ([`FaRouting::rebuild_after_link_failure`]), and upload the diff
+    /// through `programmer`'s dirty-block shadow. The resulting tables
+    /// are byte-identical to a from-scratch sweep of the degraded
+    /// fabric; only the changed blocks travel as SMPs.
+    pub fn resweep_after_link_failure(
+        &self,
+        fabric: &mut ManagedFabric,
+        previous: &BringUp,
+        a: SwitchId,
+        b: SwitchId,
+        programmer: &mut Programmer,
+    ) -> Result<Resweep, IbaError> {
+        let (discovered, topology, delta) = self.resweep_tables(previous, a, b)?;
+        let report = programmer.program(fabric, &discovered, &delta.routing)?;
+        Ok(Resweep {
+            bringup: BringUp {
+                discovered,
+                topology,
+                routing: delta.routing,
+                report,
+            },
+            delta: delta.stats,
+        })
+    }
+
+    /// [`Self::resweep_after_link_failure`] with loss-tolerant
+    /// programming: every SMP rides a retransmit loop, and the sweep
+    /// verdict (including diff statistics) comes back as a
+    /// [`SweepReport`].
+    pub fn resweep_after_link_failure_robust(
+        &self,
+        fabric: &mut ManagedFabric,
+        previous: &BringUp,
+        a: SwitchId,
+        b: SwitchId,
+        programmer: &mut Programmer,
+        policy: RetryPolicy,
+    ) -> Result<RobustResweep, IbaError> {
+        let (discovered, topology, delta) = self.resweep_tables(previous, a, b)?;
+        let mut sender = ReliableSender::new(policy)?;
+        let prog = programmer.program_robust(fabric, &discovered, &delta.routing, &mut sender)?;
+        let partial = prog.partial;
+        let converged = !partial && prog.skipped.is_empty();
+        let entries_recomputed = delta.stats.entries_recomputed;
+        let report = prog.report.clone();
+        let stats = sender.stats;
+        let resweep = converged.then(|| Resweep {
+            bringup: BringUp {
+                discovered,
+                topology,
+                routing: delta.routing,
+                report: prog.report,
+            },
+            delta: delta.stats,
+        });
+        Ok(RobustResweep {
+            resweep,
+            report: SweepReport {
+                converged,
+                partial,
+                retransmits: stats.retransmits,
+                timeouts: stats.timeouts,
+                backoff_wait_ns: stats.backoff_wait_ns,
+                unreachable: prog.skipped,
+                blocks_total: report.blocks_total,
+                blocks_uploaded: report.blocks_written,
+                entries_recomputed,
+                events: sender.into_events(),
+            },
+        })
+    }
+
+    /// The SMP-free half of a re-sweep: degrade the recorded fabric,
+    /// recompute routes incrementally from the previous tables.
+    fn resweep_tables(
+        &self,
+        previous: &BringUp,
+        a: SwitchId,
+        b: SwitchId,
+    ) -> Result<(DiscoveredFabric, Topology, iba_routing::DeltaRebuild), IbaError> {
+        let (pa, _, pb) = previous
+            .topology
+            .switch_neighbors(a)
+            .find(|&(_, peer, _)| peer == b)
+            .ok_or_else(|| IbaError::InvalidTopology(format!("no link between {a:?} and {b:?}")))?;
+        let mut discovered = previous.discovered.clone();
+        discovered.degrade_link(a, pa, b, pb)?;
+        discovered.recompute_routes()?;
+        let topology = discovered.to_topology()?;
+        let delta = previous
+            .routing
+            .rebuild_after_link_failure(&topology, a, pa, b, pb)?;
+        Ok((discovered, topology, delta))
     }
 
     /// The loss-tolerant pipeline: every SMP rides a retransmit loop
@@ -67,12 +178,19 @@ impl SubnetManager {
         let mut unreachable = disc.unreachable;
         let mut partial = disc.partial;
         let mut bringup = None;
+        let mut blocks_total = 0u64;
+        let mut blocks_uploaded = 0u64;
+        let mut entries_recomputed = 0u64;
         if !partial && disc.fabric.switch_count() > 0 {
             let discovered = disc.fabric;
             let topology = discovered.to_topology()?;
             let routing = FaRouting::build(&topology, self.routing_config)?;
+            // A full sweep recomputes every table entry from scratch.
+            entries_recomputed = (routing.lid_map().table_len() * topology.num_switches()) as u64;
             let prog =
                 Programmer::new().program_robust(fabric, &discovered, &routing, &mut sender)?;
+            blocks_total = prog.report.blocks_total;
+            blocks_uploaded = prog.report.blocks_written;
             unreachable.extend(prog.skipped);
             partial |= prog.partial;
             if !partial {
@@ -95,6 +213,9 @@ impl SubnetManager {
                 timeouts: stats.timeouts,
                 backoff_wait_ns: stats.backoff_wait_ns,
                 unreachable,
+                blocks_total,
+                blocks_uploaded,
+                entries_recomputed,
                 events: sender.into_events(),
             },
         })
@@ -118,8 +239,36 @@ pub struct SweepReport {
     pub backoff_wait_ns: u64,
     /// Partition report: destinations that exhausted every retry.
     pub unreachable: Vec<String>,
+    /// Non-empty LFT blocks the computed tables contain.
+    pub blocks_total: u64,
+    /// LFT blocks actually uploaded (≤ `blocks_total`; strictly fewer
+    /// when the programmer's dirty-block shadow filtered clean blocks).
+    pub blocks_uploaded: u64,
+    /// Forwarding-table entries recomputed by the routing stage (the
+    /// full table size on an initial sweep or fallback; the affected
+    /// subset on an incremental re-sweep).
+    pub entries_recomputed: u64,
     /// Capped retransmit log, as flight-recorder events.
     pub events: Vec<FlightEvent>,
+}
+
+/// The result of an incremental re-sweep.
+pub struct Resweep {
+    /// The refreshed bring-up state: degraded fabric view, new
+    /// topology, new routing tables, and the diff-programming report.
+    pub bringup: BringUp,
+    /// What the incremental route recomputation did (affected
+    /// destinations, fallback verdict, entries recomputed).
+    pub delta: DeltaStats,
+}
+
+/// The result of a loss-tolerant incremental re-sweep.
+pub struct RobustResweep {
+    /// `Some` when every switch was diff-programmed; `None` under a
+    /// spent budget or unreachable switches.
+    pub resweep: Option<Resweep>,
+    /// Retry counters, diff statistics and verdict.
+    pub report: SweepReport,
 }
 
 /// The result of a loss-tolerant initialization: the bring-up when one
@@ -135,7 +284,136 @@ pub struct RobustBringUp {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use iba_core::Lid;
     use iba_topology::IrregularConfig;
+
+    /// First inter-switch link of `topo` whose removal keeps the switch
+    /// graph connected.
+    fn removable_link(topo: &Topology) -> (SwitchId, SwitchId) {
+        let n = topo.num_switches();
+        for a in topo.switch_ids() {
+            for (_, b, _) in topo.switch_neighbors(a) {
+                if a.0 >= b.0 {
+                    continue;
+                }
+                let mut seen = vec![false; n];
+                let mut stack = vec![SwitchId(0)];
+                seen[0] = true;
+                while let Some(s) = stack.pop() {
+                    for (_, peer, _) in topo.switch_neighbors(s) {
+                        let dead = (s == a && peer == b) || (s == b && peer == a);
+                        if !dead && !seen[peer.index()] {
+                            seen[peer.index()] = true;
+                            stack.push(peer);
+                        }
+                    }
+                }
+                if seen.iter().all(|&v| v) {
+                    return (a, b);
+                }
+            }
+        }
+        panic!("no removable link");
+    }
+
+    /// Physical switch carrying `guid`.
+    fn physical_of(topo: &Topology, fabric: &ManagedFabric, guid: u64) -> SwitchId {
+        topo.switch_ids()
+            .find(|&s| fabric.agent(s).guid == guid)
+            .unwrap()
+    }
+
+    fn assert_same_agent_tables(topo: &Topology, a: &ManagedFabric, b: &ManagedFabric) {
+        for s in topo.switch_ids() {
+            let (x, y) = (&a.agent(s).lft, &b.agent(s).lft);
+            assert_eq!(x.len(), y.len());
+            for lid in 0..x.len() {
+                assert_eq!(
+                    x.get(Lid(lid as u16)),
+                    y.get(Lid(lid as u16)),
+                    "switch {s:?}, lid {lid}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_resweep_diff_programs_to_the_full_result() {
+        let physical = IrregularConfig::paper(16, 8).generate().unwrap();
+        let mut fabric = ManagedFabric::new(&physical, 2).unwrap();
+        let sm = SubnetManager::new(RoutingConfig::two_options());
+        let mut programmer = Programmer::new();
+        let up = sm.initialize_with(&mut fabric, &mut programmer).unwrap();
+        assert!(up.report.verified);
+
+        // Fail a link whose removal keeps the fabric connected.
+        let (a, b) = removable_link(&up.topology);
+        let pa = physical_of(&physical, &fabric, up.discovered.switches[a.index()].guid);
+        let pb = physical_of(&physical, &fabric, up.discovered.switches[b.index()].guid);
+        fabric.fail_link(pa, pb).unwrap();
+
+        let r = sm
+            .resweep_after_link_failure(&mut fabric, &up, a, b, &mut programmer)
+            .unwrap();
+        assert!(r.bringup.report.verified);
+        // The diff did its job: strictly fewer uploads than blocks.
+        assert!(r.bringup.report.blocks_written < r.bringup.report.blocks_total);
+
+        // Diff programming converges to exactly what a full upload
+        // produces: program the same routing from scratch onto an
+        // identically degraded twin fabric and compare agent tables.
+        let mut twin = ManagedFabric::new(&physical, 2).unwrap();
+        twin.fail_link(pa, pb).unwrap();
+        let full = Programmer::new()
+            .program(&mut twin, &r.bringup.discovered, &r.bringup.routing)
+            .unwrap();
+        assert!(full.verified);
+        assert!(r.bringup.report.blocks_written < full.blocks_written);
+        assert_same_agent_tables(&physical, &fabric, &twin);
+    }
+
+    #[test]
+    fn lossy_resweep_converges_to_the_full_tables() {
+        // 20% of SMPs vanish mid-re-sweep; the dirty-block diff must
+        // still converge on the same agent tables as a lossless full
+        // upload, retrying only what was actually lost.
+        let physical = IrregularConfig::paper(8, 3).generate().unwrap();
+        let mut fabric = ManagedFabric::new(&physical, 2).unwrap();
+        let sm = SubnetManager::new(RoutingConfig::two_options());
+        let mut programmer = Programmer::new();
+        let up = sm.initialize_with(&mut fabric, &mut programmer).unwrap();
+
+        let (a, b) = removable_link(&up.topology);
+        let pa = physical_of(&physical, &fabric, up.discovered.switches[a.index()].guid);
+        let pb = physical_of(&physical, &fabric, up.discovered.switches[b.index()].guid);
+        fabric.fail_link(pa, pb).unwrap();
+        fabric.set_smp_faults(0.20, 17).unwrap();
+
+        let policy = RetryPolicy {
+            max_attempts: 12,
+            ..RetryPolicy::default()
+        };
+        let r = sm
+            .resweep_after_link_failure_robust(&mut fabric, &up, a, b, &mut programmer, policy)
+            .unwrap();
+        assert!(
+            r.report.converged,
+            "re-sweep failed: {:?}",
+            r.report.unreachable
+        );
+        assert!(r.report.retransmits > 0, "loss must have been absorbed");
+        assert!(r.report.blocks_uploaded < r.report.blocks_total);
+        assert!(r.report.entries_recomputed > 0);
+        let r = r.resweep.unwrap();
+
+        let mut twin = ManagedFabric::new(&physical, 2).unwrap();
+        twin.fail_link(pa, pb).unwrap();
+        let full = Programmer::new()
+            .program(&mut twin, &r.bringup.discovered, &r.bringup.routing)
+            .unwrap();
+        assert!(full.verified);
+        assert_same_agent_tables(&physical, &fabric, &twin);
+    }
 
     #[test]
     fn full_bringup_discovers_routes_and_programs() {

@@ -82,8 +82,8 @@ pub mod prelude {
         TelemetrySample, TelemetrySink, TraceOpts, Trigger, TriggerCause, WatchdogOpts,
     };
     pub use iba_sm::{
-        ApmPlan, ManagedFabric, ReliableSender, RetryPolicy, RetryStats, RobustBringUp,
-        SendOutcome, SubnetManager, SweepReport,
+        ApmPlan, ManagedFabric, Programmer, ReliableSender, Resweep, RetryPolicy, RetryStats,
+        RobustBringUp, RobustResweep, SendOutcome, SubnetManager, SweepReport,
     };
     pub use iba_stats::{Curve, CurvePoint, MinMaxAvg};
     pub use iba_topology::{regular, IrregularConfig, Topology, TopologyBuilder, TopologyMetrics};
