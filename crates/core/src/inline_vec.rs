@@ -26,8 +26,11 @@ use std::ops::{Deref, DerefMut};
 ///
 /// Topology builders reject switches with more ports than this at
 /// routing-compilation time, which in turn bounds every adaptive option
-/// list and feasible-candidate set.
-pub const MAX_PORTS: usize = 32;
+/// list and feasible-candidate set. Sized so a 64-switch full mesh
+/// (63 inter-switch links + 4 hosts = 67 ports) fits with headroom —
+/// the routing-engine zoo runs FA over a direct full-mesh escape layer
+/// at that scale.
+pub const MAX_PORTS: usize = 80;
 
 /// A `Vec`-like container holding at most `N` elements inline.
 pub struct InlineVec<T, const N: usize> {

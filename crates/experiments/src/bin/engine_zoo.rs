@@ -1,0 +1,72 @@
+//! Engine-zoo sweep: FA over {up*/down*, OutFlank, full-mesh} escape
+//! engines, torus and full-mesh fabrics, Fig-3-style curves.
+//!
+//! ```text
+//! cargo run --release -p iba-experiments --bin engine_zoo -- \
+//!     [--fidelity quick|full] [--sizes 64,256] [--hosts 4] \
+//!     [--adaptive 1.0] [--seed 100] [--out results/engine_zoo.json]
+//! ```
+//!
+//! Exits non-zero when any escape layer fails its cycle certification
+//! or the full-mesh calibration pair diverges.
+
+use iba_experiments::cli::Args;
+use iba_experiments::engine_zoo::{self, ZooConfig};
+use iba_experiments::Fidelity;
+
+fn main() {
+    if let Err(e) = real_main() {
+        eprintln!("engine_zoo: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn real_main() -> Result<(), String> {
+    let args = Args::from_env()?;
+    let fidelity = Fidelity::parse(args.get("fidelity").unwrap_or("quick"))
+        .ok_or("--fidelity must be quick or full")?;
+    let cfg = ZooConfig {
+        sizes: args.get_list_or("sizes", &[64usize, 256])?,
+        hosts_per_switch: args.get_or("hosts", 4usize)?,
+        adaptive_fraction: args.get_or("adaptive", 1.0f64)?,
+        fidelity,
+        seed: args.get_or("seed", 100u64)?,
+    };
+    let out = args
+        .get("out")
+        .unwrap_or("results/engine_zoo.json")
+        .to_string();
+
+    eprintln!(
+        "engine_zoo: {:?} fidelity, sizes {:?}, {} hosts/switch, {:.0}% adaptive",
+        fidelity,
+        cfg.sizes,
+        cfg.hosts_per_switch,
+        cfg.adaptive_fraction * 100.0
+    );
+    let points = engine_zoo::run(&cfg).map_err(|e| e.to_string())?;
+
+    println!("topology      switches  engine    escape_acyclic  saturation B/ns/sw");
+    for p in &points {
+        println!(
+            "{:<12}  {:>8}  {:<8}  escape_acyclic: {:<5}  {}",
+            p.topology,
+            p.switches,
+            p.engine,
+            p.escape_acyclic,
+            p.saturation
+                .map(|s| format!("{s:.4}"))
+                .unwrap_or_else(|| "-".into()),
+        );
+    }
+
+    let json = engine_zoo::to_json(&cfg, &points);
+    if let Some(dir) = std::path::Path::new(&out).parent() {
+        std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+    }
+    std::fs::write(&out, json).map_err(|e| e.to_string())?;
+    eprintln!("engine_zoo: wrote {out}");
+
+    engine_zoo::verify(&points)?;
+    Ok(())
+}

@@ -37,17 +37,17 @@ fn real_main() -> Result<(), String> {
     let options = args.get_or("options", 2u16)?;
     let routing =
         FaRouting::build(&topo, RoutingConfig::with_options(options)).map_err(|e| e.to_string())?;
-    let plens = PathLengthStats::compute(&topo, routing.minimal(), routing.updown())
+    let plens = PathLengthStats::compute(&topo, routing.minimal(), routing.escape())
         .map_err(|e| e.to_string())?;
     println!(
         "routing: {options} options, root {}, avg minimal {:.2} hops, avg up*/down* {:.2} hops \
          ({:.0}% of pairs non-minimal)",
-        routing.updown().root(),
+        routing.escape().root(),
         plens.avg_minimal,
         plens.avg_updown,
         plens.nonminimal_fraction * 100.0
     );
-    let dist = OptionDistribution::compute(&topo, routing.minimal(), routing.updown(), 4, false)
+    let dist = OptionDistribution::compute(&topo, routing.minimal(), routing.escape(), 4, false)
         .map_err(|e| e.to_string())?;
     println!(
         "options per (switch, destination): {:?} % for 1..4 options",

@@ -67,7 +67,7 @@ fn real_main() -> Result<(), String> {
 
     // Rows sorted by tree level: the root at the top.
     let mut order: Vec<_> = topo.switch_ids().collect();
-    order.sort_by_key(|&s| (routing.updown().level_of(s), s.0));
+    order.sort_by_key(|&s| (routing.escape().level_of(s), s.0));
 
     println!("link utilization per switch (rows: up*/down* tree level; cols: inter-switch ports)");
     println!(
@@ -85,14 +85,14 @@ fn real_main() -> Result<(), String> {
         let row = |util: &Vec<Vec<f64>>| -> String {
             ports.iter().map(|&p| shade(util[s.index()][p])).collect()
         };
-        let marker = if s == routing.updown().root() {
+        let marker = if s == routing.escape().root() {
             " <- root"
         } else {
             ""
         };
         println!(
             "{:<18}{:<16}{:<16}{}",
-            format!("{s} (L{})", routing.updown().level_of(s)),
+            format!("{s} (L{})", routing.escape().level_of(s)),
             row(&det),
             row(&ada),
             marker

@@ -1,7 +1,7 @@
 //! Shared simulation harness: ensembles, sweeps and saturation search.
 
 use iba_core::IbaError;
-use iba_routing::{FaRouting, RoutingConfig};
+use iba_routing::{EscapeEngine, FaRouting, RoutingConfig};
 use iba_sim::{Network, RunResult, SimConfig};
 use iba_stats::{Curve, CurvePoint};
 use iba_topology::{IrregularConfig, Topology};
@@ -44,9 +44,9 @@ pub fn build_ensemble(
 }
 
 /// Run a single simulation point.
-pub fn run_point(
+pub fn run_point<E: EscapeEngine>(
     topo: &Topology,
-    routing: &FaRouting,
+    routing: &FaRouting<E>,
     spec: WorkloadSpec,
     cfg: SimConfig,
 ) -> Result<RunResult, IbaError> {
@@ -66,9 +66,9 @@ fn host_rate(topo: &Topology, offered_per_switch: f64) -> f64 {
 
 /// Sweep `offered_grid` (bytes/ns/switch) and collect the latency /
 /// accepted-traffic curve. Points are simulated in parallel.
-pub fn sweep_curve(
+pub fn sweep_curve<E: EscapeEngine>(
     topo: &Topology,
-    routing: &FaRouting,
+    routing: &FaRouting<E>,
     base_spec: WorkloadSpec,
     cfg: SimConfig,
     offered_grid: &[f64],
@@ -94,9 +94,9 @@ pub fn sweep_curve(
 /// and return the maximum accepted traffic. Stops early once accepted
 /// traffic has clearly flattened (two consecutive points below 98 % of
 /// the best), which skips the most expensive, deeply saturated points.
-pub fn find_saturation(
+pub fn find_saturation<E: EscapeEngine>(
     topo: &Topology,
-    routing: &FaRouting,
+    routing: &FaRouting<E>,
     base_spec: WorkloadSpec,
     cfg: SimConfig,
     offered_grid: &[f64],

@@ -15,6 +15,7 @@
 //! | telemetry load sweep (occupancy / stalls vs load, DESIGN.md §9) | `telemetry` | [`telemetry::run_sweep`] |
 //! | flight-recorder demo run + dump artifacts (DESIGN.md §10) | `flightrec` | [`flightrec::run_recorded`] |
 //! | flight-dump queries: slice / causal chain / stall causes | `iba-trace` | [`tracequery`] |
+//! | engine zoo: FA over {up*/down*, OutFlank, full-mesh} escape engines | `engine_zoo` | [`engine_zoo::run`] |
 //! | ad-hoc single runs | `explore` | [`harness::run_point`] |
 //!
 //! Simulations of different topologies and injection rates are
@@ -26,6 +27,7 @@
 pub mod ablation;
 pub mod chaos;
 pub mod cli;
+pub mod engine_zoo;
 pub mod faults;
 pub mod fidelity;
 pub mod fig3;

@@ -104,7 +104,7 @@ pub fn run_size(
     // analysis runs instead of its full fallback, and the curve measures
     // the delta rather than the fallback. Root-adjacent links are the
     // next thing to avoid, for the same reason.
-    let root = up.routing.updown().root();
+    let root = up.routing.escape().root();
     let level = up.topology.distances_from(root);
     let mut candidates = Vec::new();
     for n in (1..=8).rev() {
@@ -154,7 +154,7 @@ pub fn run_size(
     degraded.recompute_routes()?;
     let degraded_topo = degraded.to_topology()?;
     let pinned = RoutingConfig {
-        root: Some(up.routing.updown().root()),
+        root: Some(up.routing.escape().root()),
         ..RoutingConfig::two_options()
     };
     let full_routing = FaRouting::build(&degraded_topo, pinned)?;

@@ -19,8 +19,8 @@
 //! since no routing decision exists for them; `include_local` restores
 //! them.
 
+use crate::engine::EscapeEngine;
 use crate::minimal::MinimalRouting;
-use crate::updown::UpDownRouting;
 use iba_core::{HostId, IbaError, NodeRef, PortIndex, SwitchId};
 use iba_topology::Topology;
 use serde::{Deserialize, Serialize};
@@ -128,11 +128,13 @@ pub struct OptionDistribution {
 }
 
 impl OptionDistribution {
-    /// Compute the distribution for one topology.
-    pub fn compute(
+    /// Compute the distribution for one topology. Generic over the
+    /// escape engine — the distribution of FA-over-OutFlank differs from
+    /// FA-over-up\*/down\* exactly when their escape hops differ.
+    pub fn compute<E: EscapeEngine>(
         topo: &Topology,
         minimal: &MinimalRouting,
-        updown: &UpDownRouting,
+        escape: &E,
         max_routing_options: usize,
         include_local: bool,
     ) -> Result<OptionDistribution, IbaError> {
@@ -153,10 +155,10 @@ impl OptionDistribution {
                     // Distinct storable options: minimal next hops plus
                     // the escape hop when it is not minimal.
                     let mins = minimal.options(s, t);
-                    let escape = updown
+                    let esc = escape
                         .next_hop(s, t)
                         .ok_or_else(|| IbaError::RoutingFailed(format!("no escape hop {s}→{t}")))?;
-                    mins.len() + usize::from(!mins.contains(&escape))
+                    mins.len() + usize::from(!mins.contains(&esc))
                 };
                 let capped = options.clamp(1, max_routing_options);
                 counts[capped - 1] += 1;
@@ -214,25 +216,30 @@ impl OptionDistribution {
     }
 }
 
-/// Path-length comparison between minimal routing and up\*/down\* — the
-/// §5.2.1 explanation of why adaptivity helps more in large networks.
+/// Path-length comparison between minimal routing and the deterministic
+/// escape layer — the §5.2.1 explanation of why adaptivity helps more in
+/// large networks.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct PathLengthStats {
     /// Mean shortest-path length over remote switch pairs.
     pub avg_minimal: f64,
-    /// Mean up\*/down\* deterministic route length over the same pairs.
+    /// Mean deterministic escape-route length over the same pairs. The
+    /// field keeps its historical name (up\*/down\* was the only escape
+    /// layer when the JSON schema was fixed); for other engines it holds
+    /// *their* deterministic route length.
     pub avg_updown: f64,
-    /// Fraction of pairs whose up\*/down\* route is strictly longer than
+    /// Fraction of pairs whose escape route is strictly longer than
     /// minimal.
     pub nonminimal_fraction: f64,
 }
 
 impl PathLengthStats {
-    /// Compute over all ordered remote switch pairs.
-    pub fn compute(
+    /// Compute over all ordered remote switch pairs, following the
+    /// escape engine's deterministic rule.
+    pub fn compute<E: EscapeEngine>(
         topo: &Topology,
         minimal: &MinimalRouting,
-        updown: &UpDownRouting,
+        escape: &E,
     ) -> Result<PathLengthStats, IbaError> {
         let mut sum_min = 0u64;
         let mut sum_ud = 0u64;
@@ -244,7 +251,7 @@ impl PathLengthStats {
                     continue;
                 }
                 let dmin = minimal.distance(s, t) as u64;
-                let dud = (updown.path(topo, s, t)?.len() - 1) as u64;
+                let dud = (escape.path(topo, s, t)?.len() - 1) as u64;
                 sum_min += dmin;
                 sum_ud += dud;
                 nonmin += u64::from(dud > dmin);
@@ -267,6 +274,7 @@ impl PathLengthStats {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::updown::UpDownRouting;
     use iba_topology::{regular, IrregularConfig};
 
     #[test]

@@ -3,28 +3,33 @@
 //!
 //! A full SM re-sweep recomputes every forwarding-table row from
 //! scratch; at scale that is the recovery bottleneck. This module
-//! exploits a structural property of the paper's routing stack: all
-//! three per-destination layers — the up\*/down\* escape distances, the
-//! deterministic next hops and the minimal adaptive option sets — are
-//! *destination-separable*. A dead link can only change the column of a
-//! destination switch `t` if the link was **tight** for `t`, i.e. lay on
-//! a shortest path of the layer's distance relaxation or was the chosen
-//! next hop. Every other column is provably unchanged, so every
-//! forwarding-table row addressing a host on an unaffected switch is
-//! unchanged too.
+//! exploits a structural property of the paper's routing stack: both
+//! per-destination layers — the escape engine's deterministic next hops
+//! and the minimal adaptive option sets — are *destination-separable*.
+//! A dead link can only change the column of a destination switch `t`
+//! if the link was **tight** for `t`, i.e. lay on a shortest path of a
+//! layer's distance relaxation or was the chosen next hop. Every other
+//! column is provably unchanged, so every forwarding-table row
+//! addressing a host on an unaffected switch is unchanged too.
 //!
-//! [`FaRouting::rebuild_after_link_failure`] identifies exactly the
-//! affected destination switches, recomputes only their columns and
-//! rewrites only their hosts' LID rows (at every switch — an affected
-//! *destination* changes rows fabric-wide), reusing the same
-//! row-programming routine as the full build so the result is
-//! byte-identical to a from-scratch rebuild by construction. Three
-//! situations fall back to a full (root-pinned) rebuild:
+//! The escape half of that analysis belongs to the engine:
+//! [`EscapeEngine::rebuild_after_link_failure`] either patches its own
+//! columns (up\*/down\* has a tightness argument over its down/legal
+//! distance relaxations) or refuses with a reason, in which case the
+//! whole routing is rebuilt from scratch with the frame anchor pinned.
+//! [`FaRouting::rebuild_after_link_failure`] unions the engine's
+//! affected set with the minimal layer's own tightness test, recomputes
+//! only those columns and rewrites only their hosts' LID rows (at every
+//! switch — an affected *destination* changes rows fabric-wide),
+//! reusing the same row-programming routine as the full build so the
+//! result is byte-identical to a from-scratch rebuild by construction.
 //!
-//! * the failed link touches the spanning-tree root (the orientation
-//!   anchor itself is suspect),
-//! * the BFS levels from the pinned root shift (the up/down orientation
-//!   of *surviving* links would change, invalidating every column),
+//! Fallback situations (always correct, just slower):
+//!
+//! * the engine refuses — for up\*/down\*: the failed link touches the
+//!   spanning-tree root, or the BFS levels from the pinned root shift
+//!   (the up/down orientation of *surviving* links would change);
+//!   engines without an incremental argument refuse unconditionally,
 //! * the tables are not plain FA (APM alternate sets and
 //!   source-selected multipath interleave per-destination state in ways
 //!   a column patch does not cover).
@@ -34,8 +39,9 @@
 //! the whole table set is compared against a from-scratch rebuild.
 
 use crate::analysis::check_escape_routes;
+use crate::engine::{DeltaOutcome, EscapeEngine};
 use crate::fa::{program_host_rows, FaRouting, RoutingConfig};
-use crate::updown::INF;
+use crate::updown::{UpDownRouting, INF};
 use iba_core::{HostId, IbaError, PortIndex, SwitchId};
 use iba_topology::Topology;
 use std::sync::Arc;
@@ -59,21 +65,21 @@ pub struct DeltaStats {
 /// The result of an incremental rebuild: the patched routing plus the
 /// delta accounting.
 #[derive(Clone, Debug)]
-pub struct DeltaRebuild {
+pub struct DeltaRebuild<E: EscapeEngine = UpDownRouting> {
     /// Routing valid for the degraded topology, byte-identical to a
     /// root-pinned from-scratch rebuild.
-    pub routing: FaRouting,
+    pub routing: FaRouting<E>,
     /// What the rebuild touched.
     pub stats: DeltaStats,
 }
 
-impl FaRouting {
+impl<E: EscapeEngine> FaRouting<E> {
     /// Incrementally rebuild this routing for `degraded` — the same
     /// fabric with the single link `a.pa ↔ b.pb` removed. Only the
     /// destination columns the dead link could have influenced are
-    /// recomputed; the up\*/down\* root stays pinned (the SM keeps its
-    /// spanning-tree anchor stable across sweeps, which is also what
-    /// makes delta-vs-full equality well-defined).
+    /// recomputed; the escape engine's frame anchor stays pinned (the SM
+    /// keeps its spanning-tree anchor stable across sweeps, which is
+    /// also what makes delta-vs-full equality well-defined).
     ///
     /// Errors when `degraded` still contains the link, has a different
     /// shape than the routing was built for, or is disconnected.
@@ -84,7 +90,7 @@ impl FaRouting {
         pa: PortIndex,
         b: SwitchId,
         pb: PortIndex,
-    ) -> Result<DeltaRebuild, IbaError> {
+    ) -> Result<DeltaRebuild<E>, IbaError> {
         let n = self.tables.len();
         if degraded.num_switches() != n {
             return Err(IbaError::InvalidConfig(format!(
@@ -108,57 +114,33 @@ impl FaRouting {
         if self.source_multipath.is_some() {
             return self.full_fallback(degraded, "source-selected multipath tables");
         }
-        let root = self.updown.root();
-        if a == root || b == root {
-            return self.full_fallback(degraded, "failed link touches the spanning-tree root");
-        }
-        let new_level = degraded.distances_from(root);
-        if new_level.contains(&INF) {
-            return Err(IbaError::RoutingFailed(
-                "link failure disconnected the fabric".into(),
-            ));
-        }
-        if new_level != self.updown.level {
-            return self.full_fallback(degraded, "BFS levels from the pinned root shifted");
-        }
 
-        // Levels (hence the up/down orientation of every surviving link)
-        // are unchanged: the failed link's influence is confined to
-        // destinations it was tight for. Orient it once.
-        let (up_end, down_end) = if self.updown.is_down_move(a, b) {
-            (a, b)
-        } else {
-            (b, a)
+        // Ask the escape engine for its half of the analysis first: it
+        // owns the root/level fallback conditions and patches its own
+        // distance and next-hop columns.
+        let (engine, escape_affected) = match self
+            .escape
+            .rebuild_after_link_failure(degraded, a, pa, b, pb)?
+        {
+            DeltaOutcome::FullRebuild { reason } => return self.full_fallback(degraded, &reason),
+            DeltaOutcome::Patched { engine, affected } => (engine, affected),
         };
-        let mut affected: Vec<usize> = Vec::new();
+
+        // Union with the minimal (adaptive) layer's own tightness test:
+        // the edge lies on some shortest path to `t` iff its endpoint
+        // distances to `t` differ by exactly one.
+        let mut affected = escape_affected;
         for t in 0..n {
-            if self.column_affected(t, a, pa, b, pb, up_end, down_end) {
+            if self.minimal.dist[a.index()][t].abs_diff(self.minimal.dist[b.index()][t]) == 1 {
                 affected.push(t);
             }
         }
+        affected.sort_unstable();
+        affected.dedup();
 
         let mut next = self.clone();
-        // 1. Escape layer: distance columns first (the next-hop argmin
-        //    reads them), then the next-hop columns.
-        for &t in &affected {
-            let (down, legal) = next.updown.distances_to(degraded, SwitchId(t as u16));
-            next.updown.down_dist[t] = down;
-            next.updown.legal_dist[t] = legal;
-        }
-        for &t in &affected {
-            for s in 0..n {
-                next.updown.next_hop[t][s] = if s == t {
-                    None
-                } else {
-                    Some(next.updown.compute_next_hop(
-                        degraded,
-                        SwitchId(s as u16),
-                        SwitchId(t as u16),
-                    )?)
-                };
-            }
-        }
-        // 2. Adaptive layer: per-destination shortest distances and
+        next.escape = engine;
+        // 1. Adaptive layer: per-destination shortest distances and
         //    minimal option sets, in the same neighbor order as the full
         //    build so the stored lists match byte for byte.
         for &t in &affected {
@@ -183,7 +165,7 @@ impl FaRouting {
                 }
             }
         }
-        // 3. Table rows: every host attached to an affected destination
+        // 2. Table rows: every host attached to an affected destination
         //    switch gets its whole LID group reprogrammed at every
         //    switch, through the same routine as the full build.
         let affected_hosts: Vec<HostId> = degraded
@@ -201,7 +183,7 @@ impl FaRouting {
             for &h in &affected_hosts {
                 entries_recomputed += program_host_rows(
                     degraded,
-                    &next.updown,
+                    &next.escape,
                     &next.minimal,
                     &next.adaptive_capable,
                     &next.config,
@@ -212,7 +194,7 @@ impl FaRouting {
                 )?;
             }
         }
-        // 4. Refresh the decoded route cache for the rewritten rows.
+        // 3. Refresh the decoded route cache for the rewritten rows.
         for s in 0..n {
             for &h in &affected_hosts {
                 for k in 0..x {
@@ -233,9 +215,9 @@ impl FaRouting {
         next.certify_delta(degraded)?;
         #[cfg(debug_assertions)]
         {
-            let full = FaRouting::build_mixed(
+            let full = Self::build_mixed_with_engine(
                 degraded,
-                pinned(&self.config, root),
+                pinned(&self.config, self.escape.root()),
                 &self.adaptive_capable,
             )?;
             debug_assert!(
@@ -249,58 +231,20 @@ impl FaRouting {
         })
     }
 
-    /// Whether the failed link could have influenced destination column
-    /// `t` in *any* layer. Over-approximation is safe (the column is
-    /// recomputed); under-approximation would be a correctness bug — the
-    /// conditions below are exactly the tightness tests of the three
-    /// distance relaxations plus the chosen-next-hop check.
-    #[allow(clippy::too_many_arguments)]
-    fn column_affected(
+    /// Fallback: from-scratch rebuild with the frame anchor pinned,
+    /// packaged as a (degenerate) delta result.
+    fn full_fallback(
         &self,
-        t: usize,
-        a: SwitchId,
-        pa: PortIndex,
-        b: SwitchId,
-        pb: PortIndex,
-        up_end: SwitchId,
-        down_end: SwitchId,
-    ) -> bool {
-        let down = &self.updown.down_dist[t];
-        let legal = &self.updown.legal_dist[t];
-        let (u, d) = (up_end.index(), down_end.index());
-        // Down layer: the edge descends up_end → down_end; tight when it
-        // lies on a shortest all-down path to t.
-        if down[d] != INF && down[u] != INF && down[u] == down[d] + 1 {
-            return true;
-        }
-        // Legal layer, up instance (down_end → up_end is an up move).
-        if legal[u] != INF && legal[d] != INF && legal[d] == legal[u] + 1 {
-            return true;
-        }
-        // Legal layer, down instance (CanUp at up_end stepping down).
-        if down[d] != INF && legal[u] != INF && legal[u] == down[d] + 1 {
-            return true;
-        }
-        // The deterministic next hop of either endpoint used the link.
-        let hops = &self.updown.next_hop[t];
-        if hops[a.index()] == Some(pa) || hops[b.index()] == Some(pb) {
-            return true;
-        }
-        // Minimal layer: the edge lies on some shortest path to t iff the
-        // endpoint distances differ by exactly one.
-        self.minimal.dist[a.index()][t].abs_diff(self.minimal.dist[b.index()][t]) == 1
-    }
-
-    /// Fallback: from-scratch rebuild with the root pinned, packaged as a
-    /// (degenerate) delta result.
-    fn full_fallback(&self, degraded: &Topology, reason: &str) -> Result<DeltaRebuild, IbaError> {
-        let cfg = pinned(&self.config, self.updown.root());
+        degraded: &Topology,
+        reason: &str,
+    ) -> Result<DeltaRebuild<E>, IbaError> {
+        let cfg = pinned(&self.config, self.escape.root());
         let routing = if self.apm.is_some() {
-            FaRouting::build_with_apm(degraded, cfg)?
+            Self::build_apm_with_engine(degraded, cfg)?
         } else if self.source_multipath.is_some() {
-            FaRouting::build_source_multipath(degraded, cfg)?
+            Self::build_source_multipath_with_engine(degraded, cfg)?
         } else {
-            FaRouting::build_mixed(degraded, cfg, &self.adaptive_capable)?
+            Self::build_mixed_with_engine(degraded, cfg, &self.adaptive_capable)?
         };
         let entries = (routing.lid_map.table_len() * degraded.num_switches()) as u64;
         let stats = DeltaStats {
@@ -323,10 +267,10 @@ impl FaRouting {
     }
 }
 
-/// `config` with the up\*/down\* root pinned to `root` — the comparison
-/// frame for delta-vs-full equality (an unpinned rebuild may elect a
-/// different root on the degraded topology and produce legitimately
-/// different, incomparable tables).
+/// `config` with the engine's frame anchor pinned to `root` — the
+/// comparison frame for delta-vs-full equality (an unpinned rebuild may
+/// elect a different anchor on the degraded topology and produce
+/// legitimately different, incomparable tables).
 fn pinned(config: &RoutingConfig, root: SwitchId) -> RoutingConfig {
     RoutingConfig {
         root: Some(root),
@@ -404,7 +348,7 @@ mod tests {
         for seed in [1u64, 7, 42] {
             let topo = IrregularConfig::paper(16, seed).generate().unwrap();
             let fa = FaRouting::build(&topo, RoutingConfig::with_options(4)).unwrap();
-            let root = fa.updown().root();
+            let root = fa.escape().root();
             for (a, b) in removable_links(&topo) {
                 let (degraded, pa, pb) = without_link(&topo, a, b);
                 let delta = fa
@@ -466,7 +410,7 @@ mod tests {
     fn root_link_failure_falls_back_to_full_rebuild() {
         let topo = IrregularConfig::paper(16, 5).generate().unwrap();
         let fa = FaRouting::build(&topo, RoutingConfig::two_options()).unwrap();
-        let root = fa.updown().root();
+        let root = fa.escape().root();
         let (a, b) = removable_links(&topo)
             .into_iter()
             .find(|&(a, b)| a == root || b == root)

@@ -1,25 +1,33 @@
 //! The Fully Adaptive (FA) routing function, materialized into IBA
 //! forwarding tables.
 //!
-//! FA (§3) extends a deadlock-free base routing — up\*/down\* here — with
-//! fully adaptive *minimal* options: when a packet is routed, any minimal
-//! output port whose downstream adaptive queue has room may be taken; the
-//! up\*/down\* option is always available as the escape. Under virtual
-//! cut-through a packet may return to adaptive queues after using an
-//! escape queue, and livelock is avoided by preferring the (minimal)
-//! adaptive options.
+//! FA (§3) extends a deadlock-free base routing — any
+//! [`EscapeEngine`]; up\*/down\* by default — with fully adaptive
+//! *minimal* options: when a packet is routed, any minimal output port
+//! whose downstream adaptive queue has room may be taken; the escape
+//! option is always available. Under virtual cut-through a packet may
+//! return to adaptive queues after using an escape queue, and livelock
+//! is avoided by preferring the (minimal) adaptive options.
 //!
 //! [`FaRouting::build`] compiles this routing function into one
 //! [`InterleavedForwardingTable`] per switch, exactly as the paper's
 //! subnet manager would (§4.1): each destination port owns
 //! `x = 2^LMC` consecutive LIDs; address `d` (offset 0) is programmed
-//! with the up\*/down\* next hop, addresses `d+1 .. d+x−1` with minimal
+//! with the escape next hop, addresses `d+1 .. d+x−1` with minimal
 //! options. When a destination has more minimal options than adaptive
 //! slots, a deterministic seed-mixed rotation picks which ones are
 //! stored — different switches favour different options, balancing load.
 //! When it has fewer, the available options are repeated (the lookup
 //! de-duplicates).
+//!
+//! The escape layer is a type parameter: `FaRouting<E>` is FA over any
+//! [`EscapeEngine`] (up\*/down\* on arbitrary graphs, dateline-free
+//! dimension-order on tori, direct routing on full meshes, ...). The
+//! default `FaRouting` = `FaRouting<UpDownRouting>` reproduces the
+//! paper's stack bit for bit — the golden LFT pins in
+//! `crates/routing/tests/golden_lft.rs` hold across the trait boundary.
 
+use crate::engine::EscapeEngine;
 use crate::minimal::MinimalRouting;
 use crate::table::InterleavedForwardingTable;
 use crate::updown::UpDownRouting;
@@ -36,11 +44,13 @@ pub struct RoutingConfig {
     /// destination port: 1 escape + `table_options − 1` adaptive slots.
     /// The paper's "two routing options" is `2`, "up to four" is `4`.
     /// Must be a power of two so the LMC interleaving works; 1 disables
-    /// adaptivity entirely (pure up\*/down\*).
+    /// adaptivity entirely (pure escape routing).
     pub table_options: u16,
     /// Seed for the option-balancing rotation.
     pub seed: u64,
-    /// Optional explicit up\*/down\* root (default: min eccentricity).
+    /// Optional explicit escape-engine frame anchor (the up\*/down\*
+    /// root; default: the engine picks — min eccentricity for
+    /// up\*/down\*).
     pub root: Option<SwitchId>,
 }
 
@@ -78,7 +88,7 @@ pub type AdaptiveOptions = InlineVec<PortIndex, MAX_PORTS>;
 /// the forwarding-table access.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RouteOptions {
-    /// The escape (up\*/down\*) option; always present.
+    /// The escape option; always present.
     pub escape: PortIndex,
     /// Adaptive (minimal) options; empty for deterministic requests.
     /// Inline (no heap) so the simulator's per-hop decode stays
@@ -87,15 +97,16 @@ pub struct RouteOptions {
 }
 
 /// FA routing compiled for one topology: the LID assignment plus one
-/// interleaved forwarding table per switch.
+/// interleaved forwarding table per switch. Generic over the escape
+/// layer `E`; the default is the paper's up\*/down\*.
 ///
 /// Fields are crate-visible so the delta rebuild (`crate::delta`) can
 /// patch affected destination rows in place after a link failure.
 #[derive(Clone, Debug)]
-pub struct FaRouting {
+pub struct FaRouting<E: EscapeEngine = UpDownRouting> {
     pub(crate) config: RoutingConfig,
     pub(crate) lid_map: LidMap,
-    pub(crate) updown: UpDownRouting,
+    pub(crate) escape: E,
     pub(crate) minimal: MinimalRouting,
     pub(crate) tables: Vec<InterleavedForwardingTable>,
     /// Which switches support the adaptive mechanism (§4.2 allows mixing
@@ -120,7 +131,7 @@ pub struct FaRouting {
 pub(crate) struct ApmInfo {
     /// First LID offset of the alternate (APM) half.
     base_offset: u16,
-    /// Root of the alternate up\*/down\* orientation.
+    /// Frame anchor of the alternate escape orientation.
     alt_root: SwitchId,
 }
 
@@ -133,30 +144,75 @@ fn mix(a: u64, b: u64, c: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// The four canonical constructors on the **default** (up\*/down\*)
+/// instantiation. Kept on the concrete type so the ~hundred existing
+/// call sites (`FaRouting::build(&topo, cfg)`) need no turbofish; the
+/// generic spellings live in the `impl<E: EscapeEngine>` block below.
 impl FaRouting {
-    /// Compile FA routing for `topo` with every switch adaptive-capable.
+    /// Compile FA-over-up\*/down\* with every switch adaptive-capable.
     pub fn build(topo: &Topology, config: RoutingConfig) -> Result<FaRouting, IbaError> {
-        Self::build_mixed(topo, config, &vec![true; topo.num_switches()])
+        Self::build_with_engine(topo, config)
+    }
+
+    /// Compile FA-over-up\*/down\* for a *mixed* fabric (§4.2). See
+    /// [`Self::build_mixed_with_engine`].
+    pub fn build_mixed(
+        topo: &Topology,
+        config: RoutingConfig,
+        adaptive_capable: &[bool],
+    ) -> Result<FaRouting, IbaError> {
+        Self::build_mixed_with_engine(topo, config, adaptive_capable)
+    }
+
+    /// Compile FA-over-up\*/down\* with APM coexistence. See
+    /// [`Self::build_apm_with_engine`].
+    pub fn build_with_apm(topo: &Topology, config: RoutingConfig) -> Result<FaRouting, IbaError> {
+        Self::build_apm_with_engine(topo, config)
+    }
+
+    /// Compile source-selected multipath tables over up\*/down\*
+    /// variants. See [`Self::build_source_multipath_with_engine`].
+    pub fn build_source_multipath(
+        topo: &Topology,
+        config: RoutingConfig,
+    ) -> Result<FaRouting, IbaError> {
+        Self::build_source_multipath_with_engine(topo, config)
+    }
+}
+
+impl<E: EscapeEngine> FaRouting<E> {
+    /// Compile FA over escape engine `E` with every switch
+    /// adaptive-capable.
+    pub fn build_with_engine(topo: &Topology, config: RoutingConfig) -> Result<Self, IbaError> {
+        Self::build_mixed_with_engine(topo, config, &vec![true; topo.num_switches()])
+    }
+
+    /// Build the escape engine honouring an explicit frame anchor.
+    fn engine_for(topo: &Topology, config: &RoutingConfig) -> Result<E, IbaError> {
+        match config.root {
+            Some(root) => E::build_with_root(topo, root),
+            None => E::build(topo),
+        }
     }
 
     /// Compile FA routing for a *mixed* fabric (§4.2): switches with
     /// `adaptive_capable[s] == false` are plain deterministic IBA
     /// switches. Per the paper, their forwarding tables are programmed
     /// with "all the table addresses that correspond to the same
-    /// destination port with the same switch output port" — the
-    /// up\*/down\* escape hop.
+    /// destination port with the same switch output port" — the escape
+    /// hop.
     ///
     /// Additionally, adaptive slots at *capable* switches only store
     /// minimal options whose next hop is another capable switch (or the
     /// destination host): a deterministic switch's buffer has no escape
     /// read point, so its drainage is only guaranteed when every packet
-    /// it holds continues a legal up\*/down\* chain — which is exactly
+    /// it holds continues a legal escape chain — which is exactly
     /// the case when packets enter it via escape options only.
-    pub fn build_mixed(
+    pub fn build_mixed_with_engine(
         topo: &Topology,
         config: RoutingConfig,
         adaptive_capable: &[bool],
-    ) -> Result<FaRouting, IbaError> {
+    ) -> Result<Self, IbaError> {
         if adaptive_capable.len() != topo.num_switches() {
             return Err(IbaError::InvalidConfig(format!(
                 "capability vector has {} entries for {} switches",
@@ -169,10 +225,7 @@ impl FaRouting {
             return Err(IbaError::InvalidOptionCount(config.table_options));
         }
         let lid_map = LidMap::for_options(topo.num_hosts() as u16, config.table_options)?;
-        let updown = match config.root {
-            Some(root) => UpDownRouting::build_with_root(topo, root)?,
-            None => UpDownRouting::build(topo)?,
-        };
+        let escape = Self::engine_for(topo, &config)?;
         let minimal = MinimalRouting::build(topo)?;
 
         let x = config.table_options;
@@ -182,7 +235,7 @@ impl FaRouting {
             for h in topo.host_ids() {
                 program_host_rows(
                     topo,
-                    &updown,
+                    &escape,
                     &minimal,
                     adaptive_capable,
                     &config,
@@ -197,7 +250,7 @@ impl FaRouting {
         let mut fa = FaRouting {
             config,
             lid_map,
-            updown,
+            escape,
             minimal,
             tables,
             adaptive_capable: adaptive_capable.to_vec(),
@@ -212,20 +265,20 @@ impl FaRouting {
     /// Compile FA routing with **Automatic Path Migration coexistence**
     /// (§4.1, footnote 3): each destination's LID range doubles to
     /// `2 × table_options`; the top LMC bit selects the *path set*. The
-    /// lower half is the ordinary FA group (up\*/down\* escape + minimal
-    /// adaptive options); the upper half is an equally-shaped group whose
-    /// escape is an **alternate** up\*/down\* orientation rooted at the
-    /// switch farthest from the primary root — the independent path a CA
-    /// migrates to on failure. The switch's interleave fanout stays
-    /// `table_options`, so each half forms its own deterministic/adaptive
-    /// group and "the APM mechanism uses different LIDs from those used
-    /// for adaptive routing".
+    /// lower half is the ordinary FA group (escape + minimal adaptive
+    /// options); the upper half is an equally-shaped group whose escape
+    /// is an **alternate** orientation of the same engine, anchored at
+    /// the switch farthest from the primary anchor — the independent
+    /// path a CA migrates to on failure. The switch's interleave fanout
+    /// stays `table_options`, so each half forms its own
+    /// deterministic/adaptive group and "the APM mechanism uses
+    /// different LIDs from those used for adaptive routing".
     ///
     /// Deadlock discipline: the two escape orientations are only jointly
     /// safe when they do not share virtual lanes. Keep primary and
     /// alternate traffic on SLs that map to different VLs (the simulator
     /// validates this for scripted traffic).
-    pub fn build_with_apm(topo: &Topology, config: RoutingConfig) -> Result<FaRouting, IbaError> {
+    pub fn build_apm_with_engine(topo: &Topology, config: RoutingConfig) -> Result<Self, IbaError> {
         if !config.table_options.is_power_of_two() {
             return Err(IbaError::InvalidOptionCount(config.table_options));
         }
@@ -233,18 +286,15 @@ impl FaRouting {
         let x = config.table_options;
         let total = x.checked_mul(2).ok_or(IbaError::InvalidOptionCount(x))?;
         let lid_map = LidMap::for_options(topo.num_hosts() as u16, total)?;
-        let updown = match config.root {
-            Some(root) => UpDownRouting::build_with_root(topo, root)?,
-            None => UpDownRouting::build(topo)?,
-        };
-        // Alternate orientation: rooted at the switch farthest from the
-        // primary root (ties to the lowest id).
-        let dist = topo.distances_from(updown.root());
+        let escape = Self::engine_for(topo, &config)?;
+        // Alternate orientation: anchored at the switch farthest from
+        // the primary anchor (ties to the lowest id).
+        let dist = topo.distances_from(escape.root());
         let alt_root = topo
             .switch_ids()
             .max_by_key(|s| (dist[s.index()], std::cmp::Reverse(s.0)))
             .ok_or_else(|| IbaError::InvalidTopology("empty topology".into()))?;
-        let alternate = UpDownRouting::build_with_root(topo, alt_root)?;
+        let alternate = E::build_with_root(topo, alt_root)?;
         let minimal = MinimalRouting::build(topo)?;
 
         let mut tables = Vec::with_capacity(topo.num_switches());
@@ -252,18 +302,18 @@ impl FaRouting {
             let mut table = InterleavedForwardingTable::new(lid_map.table_len(), x)?;
             for h in topo.host_ids() {
                 let t = topo.host_switch(h);
-                for (half, layer) in [(0u16, &updown), (x, &alternate)] {
-                    let (escape, adaptive): (PortIndex, Vec<PortIndex>) = if t == s {
+                for (half, layer) in [(0u16, &escape), (x, &alternate)] {
+                    let (escape_port, adaptive): (PortIndex, Vec<PortIndex>) = if t == s {
                         let (_, port) = topo.host_attachment(h);
                         (port, vec![port])
                     } else {
                         (escape_hop(layer, s, t)?, minimal.options(s, t).to_vec())
                     };
-                    table.set(lid_map.lid_for(h, half)?, escape)?;
+                    table.set(lid_map.lid_for(h, half)?, escape_port)?;
                     let slots = x as usize - 1;
                     if slots > 0 {
                         let adaptive = if adaptive.is_empty() {
-                            vec![escape]
+                            vec![escape_port]
                         } else {
                             adaptive
                         };
@@ -281,7 +331,7 @@ impl FaRouting {
         let mut fa = FaRouting {
             config,
             lid_map,
-            updown,
+            escape,
             minimal,
             tables,
             adaptive_capable: vec![true; topo.num_switches()],
@@ -302,7 +352,7 @@ impl FaRouting {
         self.apm.is_some()
     }
 
-    /// Root of the alternate orientation, if APM is provisioned.
+    /// Frame anchor of the alternate orientation, if APM is provisioned.
     pub fn apm_alt_root(&self) -> Option<SwitchId> {
         self.apm.map(|a| a.alt_root)
     }
@@ -329,22 +379,22 @@ impl FaRouting {
     ///
     /// Plain (unmodified) switches forward linearly by the packet's exact
     /// DLID; each of a destination's `x` addresses is programmed with a
-    /// *different deterministic* up\*/down\* variant (the k-th consistent
-    /// next-hop choice at every switch), and sources rotate over the
-    /// addresses per packet. All variants are legal turn-free moves of
-    /// one orientation, so any mixture stays deadlock-free.
-    pub fn build_source_multipath(
+    /// *different deterministic* variant of the escape engine (the k-th
+    /// consistent next-hop choice at every switch, per
+    /// [`EscapeEngine::next_hop_variants`]), and sources rotate over the
+    /// addresses per packet. All variants are legal moves of one
+    /// orientation, so any mixture stays deadlock-free. Engines without
+    /// a variant structure degrade to `x` copies of the single escape
+    /// path.
+    pub fn build_source_multipath_with_engine(
         topo: &Topology,
         config: RoutingConfig,
-    ) -> Result<FaRouting, IbaError> {
+    ) -> Result<Self, IbaError> {
         if !config.table_options.is_power_of_two() {
             return Err(IbaError::InvalidOptionCount(config.table_options));
         }
         let lid_map = LidMap::for_options(topo.num_hosts() as u16, config.table_options)?;
-        let updown = match config.root {
-            Some(root) => UpDownRouting::build_with_root(topo, root)?,
-            None => UpDownRouting::build(topo)?,
-        };
+        let escape = Self::engine_for(topo, &config)?;
         let minimal = MinimalRouting::build(topo)?;
         let x = config.table_options;
         let mut tables = Vec::with_capacity(topo.num_switches());
@@ -358,7 +408,7 @@ impl FaRouting {
                         table.set(lid_map.lid_for(h, k)?, port)?;
                     }
                 } else {
-                    let variants = updown.next_hop_variants(topo, s, t);
+                    let variants = escape.next_hop_variants(topo, s, t);
                     debug_assert!(!variants.is_empty());
                     // Rotate which variant lands at which offset so that a
                     // fixed source offset spreads across the fabric.
@@ -375,7 +425,7 @@ impl FaRouting {
         let mut fa = FaRouting {
             config,
             lid_map,
-            updown,
+            escape,
             minimal,
             tables,
             adaptive_capable: vec![false; topo.num_switches()],
@@ -431,8 +481,10 @@ impl FaRouting {
 
     /// Whether two routings program byte-identical forwarding tables on
     /// every switch — the machine-checked equality gate the incremental
-    /// re-sweep is held to.
-    pub fn tables_equal(&self, other: &FaRouting) -> bool {
+    /// re-sweep is held to. The comparison is escape-engine-agnostic
+    /// (tables are just bytes), so FA-over-different-engines can be
+    /// compared directly.
+    pub fn tables_equal<F: EscapeEngine>(&self, other: &FaRouting<F>) -> bool {
         self.tables == other.tables
     }
 
@@ -460,9 +512,9 @@ impl FaRouting {
         &self.lid_map
     }
 
-    /// The escape-layer routing.
-    pub fn updown(&self) -> &UpDownRouting {
-        &self.updown
+    /// The escape-layer engine.
+    pub fn escape(&self) -> &E {
+        &self.escape
     }
 
     /// The minimal-option analysis the adaptive slots were filled from.
@@ -482,7 +534,7 @@ impl FaRouting {
     /// — the switch has no selection logic, whatever the table rows hold
     /// (§4.2 programs them all with the escape port anyway). An adaptive
     /// entry that happens to equal the escape entry is still a valid
-    /// adaptive option: it is a legal up\*/down\* hop that may simply be
+    /// adaptive option: it is a legal escape hop that may simply be
     /// taken under the adaptive-queue credit rule.
     pub fn route(&self, s: SwitchId, dlid: Lid) -> Result<RouteOptions, IbaError> {
         self.route_shared(s, dlid).map(|r| (*r).clone())
@@ -541,8 +593,12 @@ fn ensure_radix(topo: &Topology) -> Result<(), IbaError> {
     Ok(())
 }
 
-fn escape_hop(updown: &UpDownRouting, s: SwitchId, t: SwitchId) -> Result<PortIndex, IbaError> {
-    updown
+fn escape_hop<E: EscapeEngine>(
+    engine: &E,
+    s: SwitchId,
+    t: SwitchId,
+) -> Result<PortIndex, IbaError> {
+    engine
         .next_hop(s, t)
         .ok_or_else(|| IbaError::RoutingFailed(format!("no escape hop {s}→{t}")))
 }
@@ -567,13 +623,13 @@ fn intern_key(opts: &RouteOptions) -> InternKey {
 /// written.
 ///
 /// This is the single source of the per-row build logic, shared between
-/// [`FaRouting::build_mixed`] and the delta rebuild (`crate::delta`) so
-/// an incremental recompute is byte-identical to a full build *by
-/// construction*, not by coincidence.
+/// [`FaRouting::build_mixed_with_engine`] and the delta rebuild
+/// (`crate::delta`) so an incremental recompute is byte-identical to a
+/// full build *by construction*, not by coincidence.
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn program_host_rows(
+pub(crate) fn program_host_rows<E: EscapeEngine>(
     topo: &Topology,
-    updown: &UpDownRouting,
+    escape_engine: &E,
     minimal: &MinimalRouting,
     adaptive_capable: &[bool],
     config: &RoutingConfig,
@@ -589,7 +645,7 @@ pub(crate) fn program_host_rows(
         let (_, port) = topo.host_attachment(h);
         (port, vec![port])
     } else {
-        let escape = escape_hop(updown, s, t)?;
+        let escape = escape_hop(escape_engine, s, t)?;
         (escape, minimal.options(s, t).to_vec())
     };
     if !adaptive_capable[s.index()] {
@@ -650,7 +706,7 @@ mod tests {
                     let (_, port) = topo.host_attachment(h);
                     assert_eq!(r.escape, port);
                 } else {
-                    assert_eq!(Some(r.escape), fa.updown().next_hop(s, t));
+                    assert_eq!(Some(r.escape), fa.escape().next_hop(s, t));
                 }
             }
         }
@@ -711,7 +767,7 @@ mod tests {
                 assert!(r.adaptive.is_empty());
                 let t = topo.host_switch(h);
                 if t != s {
-                    assert_eq!(Some(r.escape), fa.updown().next_hop(s, t));
+                    assert_eq!(Some(r.escape), fa.escape().next_hop(s, t));
                 }
             }
         }
@@ -821,7 +877,7 @@ mod tests {
                 assert!(r.adaptive.is_empty());
                 let t = topo.host_switch(h);
                 if t != s {
-                    assert_eq!(Some(r.escape), fa.updown().next_hop(s, t));
+                    assert_eq!(Some(r.escape), fa.escape().next_hop(s, t));
                 }
             }
         }
@@ -894,7 +950,7 @@ mod tests {
         let fa = FaRouting::build_with_apm(&topo, RoutingConfig::two_options()).unwrap();
         assert!(fa.has_apm());
         assert_eq!(fa.lid_map().lmc().bits(), 2); // 2 primary + 2 APM addresses
-        assert_ne!(fa.apm_alt_root(), Some(fa.updown().root()));
+        assert_ne!(fa.apm_alt_root(), Some(fa.escape().root()));
         let mut first_hops_differ = 0;
         for s in topo.switch_ids() {
             for h in topo.host_ids() {

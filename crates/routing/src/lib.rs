@@ -3,12 +3,21 @@
 //! Routing for the iba-far reproduction: everything between the topology
 //! and the simulator.
 //!
+//! * [`engine`] — the [`EscapeEngine`] contract every escape layer
+//!   implements: deterministic per-destination next hops that certify
+//!   acyclic through [`check_escape_routes`]. `FaRouting`, the delta
+//!   rebuild, the SM and the simulator are all generic over it.
 //! * [`updown`] — the up\*/down\* routing algorithm \[Schroeder et al.,
 //!   Autonet\]: BFS spanning tree, up/down link orientation, and a
 //!   destination-based deterministic next-hop function whose paths never
 //!   take a forbidden down→up turn. This is both the paper's baseline
-//!   (deterministic routing, 0 % adaptive traffic) and the *escape* layer
-//!   of the FA algorithm.
+//!   (deterministic routing, 0 % adaptive traffic) and the *default*
+//!   escape layer of the FA algorithm.
+//! * [`outflank`] — dateline-free dimension-order escape for 2-D tori:
+//!   deadlock-free without extra virtual channels because the escape
+//!   layer never crosses a wrap-around link.
+//! * [`fullmesh`] — direct single-hop escape for complete switch
+//!   graphs; trivially acyclic, no VCs needed.
 //! * [`minimal`] — minimal-path routing options: every output port on a
 //!   shortest path to the destination. These are the *adaptive* options
 //!   of the FA algorithm.
@@ -32,16 +41,22 @@
 
 pub mod analysis;
 pub mod delta;
+pub mod engine;
 pub mod fa;
+pub mod fullmesh;
 pub mod minimal;
+pub mod outflank;
 pub mod sl2vl;
 pub mod table;
 pub mod updown;
 
 pub use analysis::{check_escape_routes, OptionDistribution, PathLengthStats};
 pub use delta::{DeltaRebuild, DeltaStats};
+pub use engine::{certify_engine, DeltaOutcome, EscapeEngine};
 pub use fa::{AdaptiveOptions, FaRouting, RouteOptions, RoutingConfig};
+pub use fullmesh::FullMeshRouting;
 pub use minimal::MinimalRouting;
+pub use outflank::OutflankRouting;
 pub use sl2vl::SlToVlTable;
 pub use table::InterleavedForwardingTable;
 pub use updown::UpDownRouting;

@@ -29,6 +29,7 @@
 //! well-known behaviour the paper leans on in §5.2.1: up\*/down\* paths
 //! may be non-minimal and concentrate traffic near the root.
 
+use crate::engine::{DeltaOutcome, EscapeEngine};
 use iba_core::{HostId, IbaError, PortIndex, SwitchId};
 use iba_topology::Topology;
 use std::collections::VecDeque;
@@ -57,9 +58,20 @@ pub struct UpDownRouting {
 }
 
 impl UpDownRouting {
-    /// Build up\*/down\* for `topo`, selecting the root automatically
-    /// (minimum eccentricity, ties to the lowest id — the usual heuristic
-    /// keeping the tree shallow).
+    /// Build up\*/down\* for `topo`, selecting the root automatically.
+    ///
+    /// **Root selection is pinned** (cross-engine comparisons and the
+    /// delta rebuild's root-pinned equality frame both depend on it
+    /// being deterministic): the root is the switch of **minimum
+    /// eccentricity**, and among equally central switches the **lowest
+    /// switch id wins**. On vertex-transitive [`TopologySpec`] shapes
+    /// (rings, tori, hypercubes, full meshes) every switch is equally
+    /// central, so the root is always `SwitchId(0)`. The rule is a pure
+    /// function of the topology — no RNG, no iteration-order
+    /// sensitivity — and is locked by `roots_are_deterministic_across_
+    /// topology_specs` in `crates/routing/tests/engine_zoo_contract.rs`.
+    ///
+    /// [`TopologySpec`]: iba_topology::TopologySpec
     pub fn build(topo: &Topology) -> Result<UpDownRouting, IbaError> {
         let root = Self::select_root(topo)?;
         Self::build_with_root(topo, root)
@@ -101,7 +113,10 @@ impl UpDownRouting {
         Ok(rt)
     }
 
-    /// Root with minimum eccentricity (lowest id wins ties).
+    /// Root with minimum eccentricity (lowest id wins ties): switches
+    /// are scanned in ascending id order and only a *strictly* smaller
+    /// eccentricity displaces the incumbent, so the tie-break needs no
+    /// secondary comparison.
     fn select_root(topo: &Topology) -> Result<SwitchId, IbaError> {
         let dist = topo.switch_distances();
         let mut best: Option<(u32, SwitchId)> = None;
@@ -323,6 +338,143 @@ impl UpDownRouting {
         let s = topo.host_switch(src);
         let t = topo.host_switch(dst);
         Ok(self.path(topo, s, t)?.len() - 1)
+    }
+
+    /// Whether the failed link could have influenced destination column
+    /// `t` in any *escape* layer (the adaptive/minimal layer is the FA
+    /// delta rebuild's own concern). Over-approximation is safe (the
+    /// column is recomputed); under-approximation would be a correctness
+    /// bug — the conditions below are exactly the tightness tests of the
+    /// down and legal distance relaxations plus the chosen-next-hop
+    /// check.
+    #[allow(clippy::too_many_arguments)]
+    fn column_affected(
+        &self,
+        t: usize,
+        a: SwitchId,
+        pa: PortIndex,
+        b: SwitchId,
+        pb: PortIndex,
+        up_end: SwitchId,
+        down_end: SwitchId,
+    ) -> bool {
+        let down = &self.down_dist[t];
+        let legal = &self.legal_dist[t];
+        let (u, d) = (up_end.index(), down_end.index());
+        // Down layer: the edge descends up_end → down_end; tight when it
+        // lies on a shortest all-down path to t.
+        if down[d] != INF && down[u] != INF && down[u] == down[d] + 1 {
+            return true;
+        }
+        // Legal layer, up instance (down_end → up_end is an up move).
+        if legal[u] != INF && legal[d] != INF && legal[d] == legal[u] + 1 {
+            return true;
+        }
+        // Legal layer, down instance (CanUp at up_end stepping down).
+        if down[d] != INF && legal[u] != INF && legal[u] == down[d] + 1 {
+            return true;
+        }
+        // The deterministic next hop of either endpoint used the link.
+        let hops = &self.next_hop[t];
+        hops[a.index()] == Some(pa) || hops[b.index()] == Some(pb)
+    }
+}
+
+impl EscapeEngine for UpDownRouting {
+    const NAME: &'static str = "updown";
+
+    fn build(topo: &Topology) -> Result<Self, IbaError> {
+        UpDownRouting::build(topo)
+    }
+
+    fn build_with_root(topo: &Topology, root: SwitchId) -> Result<Self, IbaError> {
+        UpDownRouting::build_with_root(topo, root)
+    }
+
+    fn root(&self) -> SwitchId {
+        self.root
+    }
+
+    fn next_hop(&self, s: SwitchId, t: SwitchId) -> Option<PortIndex> {
+        UpDownRouting::next_hop(self, s, t)
+    }
+
+    fn next_hop_variants(&self, topo: &Topology, s: SwitchId, t: SwitchId) -> Vec<PortIndex> {
+        UpDownRouting::next_hop_variants(self, topo, s, t)
+    }
+
+    fn path(&self, topo: &Topology, s: SwitchId, t: SwitchId) -> Result<Vec<SwitchId>, IbaError> {
+        UpDownRouting::path(self, topo, s, t)
+    }
+
+    /// The up\*/down\* incremental rebuild: destination columns are
+    /// separable, and a dead link can only change the columns it was
+    /// *tight* for (see [`Self::column_affected`]). Falls back when the
+    /// orientation frame itself is suspect: the failed link touches the
+    /// spanning-tree root, or the BFS levels from the pinned root shift
+    /// (the up/down orientation of *surviving* links would change,
+    /// invalidating every column).
+    fn rebuild_after_link_failure(
+        &self,
+        degraded: &Topology,
+        a: SwitchId,
+        pa: PortIndex,
+        b: SwitchId,
+        pb: PortIndex,
+    ) -> Result<DeltaOutcome<Self>, IbaError> {
+        let root = self.root;
+        if a == root || b == root {
+            return Ok(DeltaOutcome::FullRebuild {
+                reason: "failed link touches the spanning-tree root".into(),
+            });
+        }
+        let new_level = degraded.distances_from(root);
+        if new_level.contains(&INF) {
+            return Err(IbaError::RoutingFailed(
+                "link failure disconnected the fabric".into(),
+            ));
+        }
+        if new_level != self.level {
+            return Ok(DeltaOutcome::FullRebuild {
+                reason: "BFS levels from the pinned root shifted".into(),
+            });
+        }
+        // Levels (hence the up/down orientation of every surviving link)
+        // are unchanged: the failed link's influence is confined to
+        // destinations it was tight for. Orient it once.
+        let (up_end, down_end) = if self.is_down_move(a, b) {
+            (a, b)
+        } else {
+            (b, a)
+        };
+        let n = self.level.len();
+        let mut affected: Vec<usize> = Vec::new();
+        for t in 0..n {
+            if self.column_affected(t, a, pa, b, pb, up_end, down_end) {
+                affected.push(t);
+            }
+        }
+        let mut next = self.clone();
+        // Distance columns first (the next-hop argmin reads them), then
+        // the next-hop columns.
+        for &t in &affected {
+            let (down, legal) = next.distances_to(degraded, SwitchId(t as u16));
+            next.down_dist[t] = down;
+            next.legal_dist[t] = legal;
+        }
+        for &t in &affected {
+            for s in 0..n {
+                next.next_hop[t][s] = if s == t {
+                    None
+                } else {
+                    Some(next.compute_next_hop(degraded, SwitchId(s as u16), SwitchId(t as u16))?)
+                };
+            }
+        }
+        Ok(DeltaOutcome::Patched {
+            engine: next,
+            affected,
+        })
     }
 }
 

@@ -71,7 +71,7 @@ use crate::telemetry::{
 use crate::trace::{PacketTrace, TraceOpts, TraceStep, Tracer};
 use iba_core::{HostId, IbaError, PacketId, PortIndex, SimTime, SwitchId};
 use iba_engine::{conservative_window, SpinBarrier};
-use iba_routing::FaRouting;
+use iba_routing::{EscapeEngine, FaRouting, UpDownRouting};
 use iba_topology::{Partition, Topology};
 use iba_workloads::{FaultSchedule, TrafficScript, WorkloadSpec};
 use std::collections::HashMap;
@@ -82,15 +82,15 @@ use std::time::Duration;
 /// An IBA subnet simulation: one shard stepping serially, or several
 /// shards advancing in conservative lookahead windows (see the module
 /// docs for the execution model).
-pub struct Network<'a> {
+pub struct Network<'a, E: EscapeEngine = UpDownRouting> {
     topo: &'a Topology,
-    routing: &'a FaRouting,
+    routing: &'a FaRouting<E>,
     config: SimConfig,
     /// `None` selects the serial engine; `Some` the parallel engine.
     partition: Option<Arc<Partition>>,
     /// Worker threads for the parallel engine (1 = run windows inline).
     threads: usize,
-    shards: Vec<Shard<'a>>,
+    shards: Vec<Shard<'a, E>>,
     /// Whether the one-shot parallel observer merge has run.
     finalized: bool,
     /// The user's telemetry sink in parallel mode (shards record into
@@ -124,9 +124,9 @@ pub struct Network<'a> {
 /// let result = net.run();
 /// assert!(result.delivered > 0);
 /// ```
-pub struct NetworkBuilder<'a> {
+pub struct NetworkBuilder<'a, E: EscapeEngine = UpDownRouting> {
     topo: &'a Topology,
-    routing: &'a FaRouting,
+    routing: &'a FaRouting<E>,
     workload: Option<WorkloadSpec>,
     script: Option<&'a TrafficScript>,
     config: Option<SimConfig>,
@@ -142,10 +142,9 @@ pub struct NetworkBuilder<'a> {
 
 /// The single serial-only guard for [`RecoveryPolicy::SmResweep`]: the
 /// re-sweep installs tables fabric-atomically, which the conservative
-/// windows of the parallel engine cannot express. Both entry points
-/// that arm faults — [`NetworkBuilder::build`] and the deprecated
-/// [`Network::with_faults`] — route through this one predicate, so they
-/// cannot drift apart.
+/// windows of the parallel engine cannot express. [`NetworkBuilder::build`]
+/// routes through this one predicate for every engine instantiation, so
+/// the check cannot drift.
 fn check_resweep_serial(parallel: bool, policy: RecoveryPolicy) -> Result<(), IbaError> {
     if parallel && policy == RecoveryPolicy::SmResweep {
         return Err(IbaError::InvalidConfig(
@@ -157,7 +156,7 @@ fn check_resweep_serial(parallel: bool, policy: RecoveryPolicy) -> Result<(), Ib
     Ok(())
 }
 
-impl<'a> NetworkBuilder<'a> {
+impl<'a, E: EscapeEngine> NetworkBuilder<'a, E> {
     /// Drive the simulation with synthetic generators (mutually
     /// exclusive with [`Self::script`]).
     pub fn workload(mut self, spec: WorkloadSpec) -> Self {
@@ -272,7 +271,7 @@ impl<'a> NetworkBuilder<'a> {
     /// combined with a serial-only subsystem, and on every
     /// inconsistency the individual subsystems check (workload vs
     /// routing tables, fault schedule vs topology, config invariants).
-    pub fn build(self) -> Result<Network<'a>, IbaError> {
+    pub fn build(self) -> Result<Network<'a, E>, IbaError> {
         let config = self.config.ok_or_else(|| {
             IbaError::InvalidConfig(
                 "NetworkBuilder: a SimConfig is required (use .config(...))".into(),
@@ -418,9 +417,9 @@ impl<'a> NetworkBuilder<'a> {
 /// capabilities, VL separation of alternate paths), returning the
 /// placeholder [`WorkloadSpec`] whose packet size mirrors the script's
 /// largest packet (only the size participates in buffer validation).
-fn validate_script(
+fn validate_script<E: EscapeEngine>(
     topo: &Topology,
-    routing: &FaRouting,
+    routing: &FaRouting<E>,
     config: &SimConfig,
     script: &TrafficScript,
 ) -> Result<WorkloadSpec, IbaError> {
@@ -482,10 +481,10 @@ fn step_rank(s: &TraceStep) -> u8 {
     }
 }
 
-impl<'a> Network<'a> {
+impl<'a, E: EscapeEngine> Network<'a, E> {
     /// Start building a simulation over `topo` with `routing` tables —
     /// see [`NetworkBuilder`] for the options.
-    pub fn builder(topo: &'a Topology, routing: &'a FaRouting) -> NetworkBuilder<'a> {
+    pub fn builder(topo: &'a Topology, routing: &'a FaRouting<E>) -> NetworkBuilder<'a, E> {
         NetworkBuilder {
             topo,
             routing,
@@ -500,71 +499,6 @@ impl<'a> Network<'a> {
             fib_ways: None,
             shards: None,
             threads: None,
-        }
-    }
-
-    /// Assemble a simulation (compatibility shim).
-    #[deprecated(
-        since = "0.2.0",
-        note = "use Network::builder(topo, routing).workload(spec).config(config).build()"
-    )]
-    pub fn new(
-        topo: &'a Topology,
-        routing: &'a FaRouting,
-        spec: WorkloadSpec,
-        config: SimConfig,
-    ) -> Result<Network<'a>, IbaError> {
-        Network::builder(topo, routing)
-            .workload(spec)
-            .config(config)
-            .build()
-    }
-
-    /// Assemble a trace-driven simulation (compatibility shim).
-    #[deprecated(
-        since = "0.2.0",
-        note = "use Network::builder(topo, routing).script(script).config(config).build()"
-    )]
-    pub fn new_scripted(
-        topo: &'a Topology,
-        routing: &'a FaRouting,
-        script: &'a TrafficScript,
-        config: SimConfig,
-    ) -> Result<Network<'a>, IbaError> {
-        Network::builder(topo, routing)
-            .script(script)
-            .config(config)
-            .build()
-    }
-
-    /// Arm a link-fault schedule (compatibility shim).
-    #[deprecated(
-        since = "0.2.0",
-        note = "use Network::builder(..).faults(schedule, policy, resweep_latency_ns)"
-    )]
-    pub fn with_faults(
-        mut self,
-        schedule: &FaultSchedule,
-        policy: RecoveryPolicy,
-        resweep_latency_ns: u64,
-    ) -> Result<Network<'a>, IbaError> {
-        check_resweep_serial(self.parallel_mode(), policy)?;
-        for sh in self.shards.iter_mut() {
-            sh.arm_faults(schedule, policy, resweep_latency_ns)?;
-        }
-        Ok(self)
-    }
-
-    /// Enable journey tracing before running (compatibility shim).
-    #[deprecated(
-        since = "0.2.0",
-        note = "use Network::builder(..).trace(TraceOpts::sampled(sample_every, max_packets))"
-    )]
-    pub fn enable_tracing(&mut self, sample_every: u64, max_packets: usize) {
-        let opts = TraceOpts::sampled(sample_every, max_packets);
-        self.trace_opts = Some(opts);
-        for sh in self.shards.iter_mut() {
-            sh.tracer = Some(Tracer::with_opts(opts));
         }
     }
 

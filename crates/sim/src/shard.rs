@@ -47,7 +47,7 @@ use iba_core::{
 };
 use iba_engine::rng::{StreamKind, StreamRng};
 use iba_engine::{event_key, DesQueue};
-use iba_routing::{check_escape_routes, FaRouting, SlToVlTable};
+use iba_routing::{check_escape_routes, EscapeEngine, FaRouting, SlToVlTable};
 use iba_topology::{Partition, Topology, TopologyBuilder};
 use iba_workloads::{
     FaultKind, FaultSchedule, HostGenerator, PathSet, TrafficScript, WorkloadSpec,
@@ -253,11 +253,11 @@ struct Decision {
 }
 
 /// One shard of the simulation (the whole simulation in serial mode).
-pub(crate) struct Shard<'a> {
+pub(crate) struct Shard<'a, E: EscapeEngine> {
     /// This shard's index in the partition (0 in serial mode).
     pub(crate) id: usize,
     topo: &'a Topology,
-    routing: &'a FaRouting,
+    routing: &'a FaRouting<E>,
     pub(crate) spec: WorkloadSpec,
     config: SimConfig,
     /// `None` in serial mode; the shared fabric partition otherwise.
@@ -306,7 +306,7 @@ pub(crate) struct Shard<'a> {
     apm_certified: bool,
     /// Recovery tables installed by the last completed re-sweep; `None`
     /// while the primary tables are live.
-    pub(crate) recovery_routing: Option<FaRouting>,
+    pub(crate) recovery_routing: Option<FaRouting<E>>,
     /// Telemetry probe state; `None` (the default) keeps every hook a
     /// single pointer-null check and schedules no sampling events.
     pub(crate) telemetry: Option<Box<TelemetryState>>,
@@ -343,19 +343,19 @@ pub(crate) struct Shard<'a> {
     replicated: u64,
 }
 
-impl<'a> Shard<'a> {
+impl<'a, E: EscapeEngine> Shard<'a, E> {
     /// Assemble one shard. `part == None` builds the serial engine
     /// (shard 0 owns everything, plain FIFO keys); otherwise the shard
     /// owns the switches and hosts `part` assigns to `id`, while state
     /// vectors stay full-size (fault masks are applied globally).
     pub(crate) fn new(
         topo: &'a Topology,
-        routing: &'a FaRouting,
+        routing: &'a FaRouting<E>,
         spec: WorkloadSpec,
         config: SimConfig,
         id: usize,
         part: Option<Arc<Partition>>,
-    ) -> Result<Shard<'a>, IbaError> {
+    ) -> Result<Shard<'a, E>, IbaError> {
         spec.validate()?;
         config.validate(spec.packet_bytes)?;
         if routing.lid_map().num_hosts() as usize != topo.num_hosts() {
@@ -675,7 +675,7 @@ impl<'a> Shard<'a> {
     /// recovery tables once an SM re-sweep has installed them, the
     /// primary tables otherwise.
     #[inline]
-    fn cur_routing(&self) -> &FaRouting {
+    fn cur_routing(&self) -> &FaRouting<E> {
         self.recovery_routing.as_ref().unwrap_or(self.routing)
     }
 
@@ -1371,7 +1371,7 @@ impl<'a> Shard<'a> {
     /// valid (the SMP-level SM pipeline discovers in BFS order and
     /// correlates by GUID; the in-sim re-sweep models its outcome, not
     /// its numbering).
-    fn rebuild_degraded_routing(&self) -> Result<FaRouting, IbaError> {
+    fn rebuild_degraded_routing(&self) -> Result<FaRouting<E>, IbaError> {
         let mut b = TopologyBuilder::new(self.topo.num_switches(), self.topo.ports_per_switch());
         for s in self.topo.switch_ids() {
             for (p, peer, pp) in self.topo.switch_neighbors(s) {
@@ -1387,16 +1387,16 @@ impl<'a> Shard<'a> {
         let degraded = b.build()?; // errors when the dead link disconnected the fabric
         let cfg = *self.routing.config();
         if self.routing.has_apm() {
-            FaRouting::build_with_apm(&degraded, cfg)
+            FaRouting::build_apm_with_engine(&degraded, cfg)
         } else if self.routing.source_multipath().is_some() {
-            FaRouting::build_source_multipath(&degraded, cfg)
+            FaRouting::build_source_multipath_with_engine(&degraded, cfg)
         } else {
             let caps: Vec<bool> = self
                 .topo
                 .switch_ids()
                 .map(|s| self.routing.switch_adaptive(s))
                 .collect();
-            FaRouting::build_mixed(&degraded, cfg, &caps)
+            FaRouting::build_mixed_with_engine(&degraded, cfg, &caps)
         }
     }
 
@@ -1445,7 +1445,7 @@ impl<'a> Shard<'a> {
             }
             None if migrate => routing
                 .apm_dlid(gp.dst, gp.adaptive)
-                .expect("APM tables checked in with_faults"),
+                .expect("APM tables checked when faults were armed"),
             None => routing
                 .dlid(gp.dst, gp.adaptive)
                 .expect("validated at construction"),

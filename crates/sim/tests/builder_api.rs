@@ -104,21 +104,19 @@ fn json_lines_sink_streams_versioned_lines() {
 }
 
 #[test]
-#[allow(deprecated)]
-fn deprecated_shims_match_the_builder() {
+fn repeated_builds_are_bit_identical() {
     let (topo, fa) = fixture();
     let spec = WorkloadSpec::uniform32(0.02);
 
-    let r_old = Network::new(&topo, &fa, spec, SimConfig::test(9))
-        .unwrap()
-        .run();
-    let r_new = Network::builder(&topo, &fa)
-        .workload(spec)
-        .config(SimConfig::test(9))
-        .build()
-        .unwrap()
-        .run();
-    assert_eq!(r_old, r_new, "shim and builder must be bit-identical");
+    let run = || {
+        Network::builder(&topo, &fa)
+            .workload(spec)
+            .config(SimConfig::test(9))
+            .build()
+            .unwrap()
+            .run()
+    };
+    assert_eq!(run(), run(), "same inputs must produce identical results");
 }
 
 #[test]

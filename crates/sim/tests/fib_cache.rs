@@ -110,14 +110,14 @@ fn fib_cache_flushes_across_sm_resweep() {
 }
 
 #[test]
-fn sm_resweep_guard_is_the_same_through_both_entry_points() {
+fn sm_resweep_guard_keys_on_the_engine() {
     let topo = IrregularConfig::paper(16, 5).generate().unwrap();
     let fa = FaRouting::build(&topo, RoutingConfig::two_options()).unwrap();
     let a = topo.switch_ids().next().unwrap();
     let (_, b, _) = topo.switch_neighbors(a).next().unwrap();
     let schedule = FaultSchedule::single(SimTime::from_us(20), a, b).unwrap();
 
-    // Builder entry point, parallel engine: rejected.
+    // Parallel engine: rejected.
     let built = Network::builder(&topo, &fa)
         .workload(WorkloadSpec::uniform32(0.02))
         .config(SimConfig::test(5))
@@ -126,25 +126,7 @@ fn sm_resweep_guard_is_the_same_through_both_entry_points() {
         .build();
     assert!(built.is_err(), "builder must reject SmResweep on shards(2)");
 
-    // Deprecated post-construction entry point, parallel engine: the
-    // same predicate must reject it.
-    #[allow(deprecated)]
-    {
-        let net = Network::builder(&topo, &fa)
-            .workload(WorkloadSpec::uniform32(0.02))
-            .config(SimConfig::test(5))
-            .shards(2)
-            .build()
-            .unwrap();
-        assert!(net.parallel_mode());
-        let armed = net.with_faults(&schedule, RecoveryPolicy::SmResweep, 2_000);
-        assert!(
-            armed.is_err(),
-            "with_faults must reject SmResweep on the parallel engine"
-        );
-    }
-
-    // Serial engine: both entry points accept.
+    // Serial engine: accepted.
     let serial_built = Network::builder(&topo, &fa)
         .workload(WorkloadSpec::uniform32(0.02))
         .config(SimConfig::test(5))
@@ -152,16 +134,4 @@ fn sm_resweep_guard_is_the_same_through_both_entry_points() {
         .shards(1)
         .build();
     assert!(serial_built.is_ok());
-    #[allow(deprecated)]
-    {
-        let net = Network::builder(&topo, &fa)
-            .workload(WorkloadSpec::uniform32(0.02))
-            .config(SimConfig::test(5))
-            .build()
-            .unwrap();
-        assert!(!net.parallel_mode());
-        assert!(net
-            .with_faults(&schedule, RecoveryPolicy::SmResweep, 2_000)
-            .is_ok());
-    }
 }

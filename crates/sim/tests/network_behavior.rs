@@ -5,7 +5,7 @@
 use iba_core::{Credits, PhysParams, SimTime};
 use iba_routing::{FaRouting, RoutingConfig};
 use iba_sim::{Network, RunResult, SimConfig};
-use iba_topology::{regular, IrregularConfig, Topology};
+use iba_topology::{IrregularConfig, Topology, TopologySpec};
 use iba_workloads::{InjectionProcess, TrafficPattern, WorkloadSpec};
 
 fn routing(topo: &Topology, options: u16) -> FaRouting {
@@ -24,7 +24,12 @@ fn run(topo: &Topology, fa: &FaRouting, spec: WorkloadSpec, cfg: SimConfig) -> R
 #[test]
 fn zero_load_latency_is_exact_on_a_two_switch_chain() {
     // One host per switch; each sends to the other across 2 switch hops.
-    let topo = regular::chain(2, 1).unwrap();
+    let topo = TopologySpec::Chain {
+        switches: 2,
+        hosts_per_switch: 1,
+    }
+    .generate(0)
+    .unwrap();
     let fa = routing(&topo, 2);
     // One 32 B packet per ~1 ms per host: zero queueing anywhere.
     let spec = WorkloadSpec {
@@ -48,7 +53,12 @@ fn zero_load_latency_is_exact_on_a_two_switch_chain() {
 
 #[test]
 fn zero_load_latency_scales_with_packet_size() {
-    let topo = regular::chain(2, 1).unwrap();
+    let topo = TopologySpec::Chain {
+        switches: 2,
+        hosts_per_switch: 1,
+    }
+    .generate(0)
+    .unwrap();
     let fa = routing(&topo, 2);
     let spec = WorkloadSpec {
         packet_bytes: 256,
@@ -250,10 +260,32 @@ fn accepted_traffic_saturates_with_offered_load() {
 #[test]
 fn works_on_regular_topologies() {
     for topo in [
-        regular::mesh2d(3, 3, 2).unwrap(),
-        regular::torus2d(3, 3, 2).unwrap(),
-        regular::hypercube(3, 2).unwrap(),
-        regular::ring(6, 2).unwrap(),
+        TopologySpec::Mesh2D {
+            rows: 3,
+            cols: 3,
+            hosts_per_switch: 2,
+        }
+        .generate(0)
+        .unwrap(),
+        TopologySpec::Torus2D {
+            rows: 3,
+            cols: 3,
+            hosts_per_switch: 2,
+        }
+        .generate(0)
+        .unwrap(),
+        TopologySpec::Hypercube {
+            dim: 3,
+            hosts_per_switch: 2,
+        }
+        .generate(0)
+        .unwrap(),
+        TopologySpec::Ring {
+            switches: 6,
+            hosts_per_switch: 2,
+        }
+        .generate(0)
+        .unwrap(),
     ] {
         let fa = routing(&topo, 2);
         let spec = WorkloadSpec::uniform32(0.01).with_adaptive_fraction(0.5);
@@ -394,7 +426,12 @@ fn two_vls_buy_throughput_on_a_bottleneck() {
     // On a chain, a second VL doubles the buffering on the single
     // inter-switch link and relieves head-of-line blocking: throughput
     // must not drop, and typically improves.
-    let topo = regular::chain(2, 4).unwrap();
+    let topo = TopologySpec::Chain {
+        switches: 2,
+        hosts_per_switch: 4,
+    }
+    .generate(0)
+    .unwrap();
     let fa = routing(&topo, 2);
     let run_with = |vls: u8, sls: u8| {
         let mut cfg = SimConfig::test(29);

@@ -102,7 +102,7 @@ fn updown_concentrates_load_near_the_root() {
         .unwrap();
     let _ = net.run();
 
-    let root = fa.updown().root();
+    let root = fa.escape().root();
     let root_util = net.switch_link_utilization(root);
     let avg_util: f64 = topo
         .switch_ids()
@@ -129,7 +129,7 @@ fn adaptivity_flattens_the_root_hotspot() {
             .build()
             .unwrap();
         let _ = net.run();
-        let root_util = net.switch_link_utilization(fa.updown().root());
+        let root_util = net.switch_link_utilization(fa.escape().root());
         let avg: f64 = topo
             .switch_ids()
             .map(|s| net.switch_link_utilization(s))

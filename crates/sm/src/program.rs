@@ -13,7 +13,7 @@ use crate::mad::{DirectedRoute, Smp, SmpAttribute, SmpMethod, SmpResponse};
 use crate::managed::{ManagedFabric, LFT_BLOCK};
 use crate::retry::{ReliableSender, SendOutcome};
 use iba_core::{IbaError, Lid, PortIndex, ServiceLevel, SwitchId, VirtualLane};
-use iba_routing::FaRouting;
+use iba_routing::{EscapeEngine, FaRouting};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -121,11 +121,11 @@ impl Programmer {
     /// Upload `routing`'s tables (computed on the *discovery-ordered*
     /// topology) onto the physical switches of `fabric`, then verify by
     /// reading every written block back.
-    pub fn program(
+    pub fn program<E: EscapeEngine>(
         &mut self,
         fabric: &mut ManagedFabric,
         discovered: &DiscoveredFabric,
-        routing: &FaRouting,
+        routing: &FaRouting<E>,
     ) -> Result<ProgramReport, IbaError> {
         let before = fabric.smps_sent;
         let mut blocks_total = 0u64;
@@ -239,11 +239,11 @@ impl Programmer {
     /// sweep budget stops the pass and flags it partial. Agents that
     /// *answer* but reject a write still hard-error — that is a bug,
     /// not a fault.
-    pub fn program_robust(
+    pub fn program_robust<E: EscapeEngine>(
         &mut self,
         fabric: &mut ManagedFabric,
         discovered: &DiscoveredFabric,
-        routing: &FaRouting,
+        routing: &FaRouting<E>,
         sender: &mut ReliableSender,
     ) -> Result<RobustProgram, IbaError> {
         let before = fabric.smps_sent;

@@ -5,40 +5,54 @@ use crate::managed::ManagedFabric;
 use crate::program::{ProgramReport, Programmer};
 use crate::retry::{ReliableSender, RetryPolicy};
 use iba_core::{FlightEvent, IbaError, SwitchId};
-use iba_routing::{DeltaStats, FaRouting, RoutingConfig};
+use iba_routing::{DeltaStats, EscapeEngine, FaRouting, RoutingConfig, UpDownRouting};
 use iba_topology::Topology;
+use std::marker::PhantomData;
 
 /// The result of a complete subnet initialization.
-pub struct BringUp {
+pub struct BringUp<E: EscapeEngine = UpDownRouting> {
     /// What discovery found.
     pub discovered: DiscoveredFabric,
     /// The fabric graph as the SM sees it (discovery-ordered ids,
     /// physical port numbers).
     pub topology: Topology,
     /// The routes computed and uploaded.
-    pub routing: FaRouting,
+    pub routing: FaRouting<E>,
     /// Programming statistics.
     pub report: ProgramReport,
 }
 
-/// The subnet manager.
-pub struct SubnetManager {
+/// The subnet manager, parameterized by the escape engine its FA tables
+/// are built over (default: the paper's up\*/down\*).
+pub struct SubnetManager<E: EscapeEngine = UpDownRouting> {
     routing_config: RoutingConfig,
+    _engine: PhantomData<E>,
 }
 
 impl SubnetManager {
-    /// A subnet manager that will deploy FA routing with the given
-    /// configuration.
+    /// A subnet manager that will deploy FA-over-up\*/down\* routing
+    /// with the given configuration.
     pub fn new(routing_config: RoutingConfig) -> SubnetManager {
-        SubnetManager { routing_config }
+        SubnetManager::with_engine(routing_config)
+    }
+}
+
+impl<E: EscapeEngine> SubnetManager<E> {
+    /// A subnet manager deploying FA over the escape engine `E`, e.g.
+    /// `SubnetManager::<OutflankRouting>::with_engine(cfg)` on a torus.
+    pub fn with_engine(routing_config: RoutingConfig) -> SubnetManager<E> {
+        SubnetManager {
+            routing_config,
+            _engine: PhantomData,
+        }
     }
 
     /// Run the whole pipeline against a fabric: discover every node via
     /// directed-route SMPs, rebuild the graph, assign LID ranges per the
-    /// LMC scheme, compute FA routes (up\*/down\* escape + minimal
+    /// LMC scheme, compute FA routes (deterministic escape + minimal
     /// adaptive options), upload every forwarding table in 64-entry
     /// blocks, and verify by read-back.
-    pub fn initialize(&self, fabric: &mut ManagedFabric) -> Result<BringUp, IbaError> {
+    pub fn initialize(&self, fabric: &mut ManagedFabric) -> Result<BringUp<E>, IbaError> {
         self.initialize_with(fabric, &mut Programmer::new())
     }
 
@@ -50,10 +64,10 @@ impl SubnetManager {
         &self,
         fabric: &mut ManagedFabric,
         programmer: &mut Programmer,
-    ) -> Result<BringUp, IbaError> {
+    ) -> Result<BringUp<E>, IbaError> {
         let discovered = Discoverer::new().discover(fabric)?;
         let topology = discovered.to_topology()?;
-        let routing = FaRouting::build(&topology, self.routing_config)?;
+        let routing = FaRouting::<E>::build_with_engine(&topology, self.routing_config)?;
         let report = programmer.program(fabric, &discovered, &routing)?;
         Ok(BringUp {
             discovered,
@@ -74,11 +88,11 @@ impl SubnetManager {
     pub fn resweep_after_link_failure(
         &self,
         fabric: &mut ManagedFabric,
-        previous: &BringUp,
+        previous: &BringUp<E>,
         a: SwitchId,
         b: SwitchId,
         programmer: &mut Programmer,
-    ) -> Result<Resweep, IbaError> {
+    ) -> Result<Resweep<E>, IbaError> {
         let (discovered, topology, delta) = self.resweep_tables(previous, a, b)?;
         let report = programmer.program(fabric, &discovered, &delta.routing)?;
         Ok(Resweep {
@@ -99,12 +113,12 @@ impl SubnetManager {
     pub fn resweep_after_link_failure_robust(
         &self,
         fabric: &mut ManagedFabric,
-        previous: &BringUp,
+        previous: &BringUp<E>,
         a: SwitchId,
         b: SwitchId,
         programmer: &mut Programmer,
         policy: RetryPolicy,
-    ) -> Result<RobustResweep, IbaError> {
+    ) -> Result<RobustResweep<E>, IbaError> {
         let (discovered, topology, delta) = self.resweep_tables(previous, a, b)?;
         let mut sender = ReliableSender::new(policy)?;
         let prog = programmer.program_robust(fabric, &discovered, &delta.routing, &mut sender)?;
@@ -143,10 +157,10 @@ impl SubnetManager {
     /// recompute routes incrementally from the previous tables.
     fn resweep_tables(
         &self,
-        previous: &BringUp,
+        previous: &BringUp<E>,
         a: SwitchId,
         b: SwitchId,
-    ) -> Result<(DiscoveredFabric, Topology, iba_routing::DeltaRebuild), IbaError> {
+    ) -> Result<(DiscoveredFabric, Topology, iba_routing::DeltaRebuild<E>), IbaError> {
         let (pa, _, pb) = previous
             .topology
             .switch_neighbors(a)
@@ -172,7 +186,7 @@ impl SubnetManager {
         &self,
         fabric: &mut ManagedFabric,
         policy: RetryPolicy,
-    ) -> Result<RobustBringUp, IbaError> {
+    ) -> Result<RobustBringUp<E>, IbaError> {
         let mut sender = ReliableSender::new(policy)?;
         let disc = Discoverer::new().discover_robust(fabric, &mut sender)?;
         let mut unreachable = disc.unreachable;
@@ -184,7 +198,7 @@ impl SubnetManager {
         if !partial && disc.fabric.switch_count() > 0 {
             let discovered = disc.fabric;
             let topology = discovered.to_topology()?;
-            let routing = FaRouting::build(&topology, self.routing_config)?;
+            let routing = FaRouting::<E>::build_with_engine(&topology, self.routing_config)?;
             // A full sweep recomputes every table entry from scratch.
             entries_recomputed = (routing.lid_map().table_len() * topology.num_switches()) as u64;
             let prog =
@@ -253,30 +267,30 @@ pub struct SweepReport {
 }
 
 /// The result of an incremental re-sweep.
-pub struct Resweep {
+pub struct Resweep<E: EscapeEngine = UpDownRouting> {
     /// The refreshed bring-up state: degraded fabric view, new
     /// topology, new routing tables, and the diff-programming report.
-    pub bringup: BringUp,
+    pub bringup: BringUp<E>,
     /// What the incremental route recomputation did (affected
     /// destinations, fallback verdict, entries recomputed).
     pub delta: DeltaStats,
 }
 
 /// The result of a loss-tolerant incremental re-sweep.
-pub struct RobustResweep {
+pub struct RobustResweep<E: EscapeEngine = UpDownRouting> {
     /// `Some` when every switch was diff-programmed; `None` under a
     /// spent budget or unreachable switches.
-    pub resweep: Option<Resweep>,
+    pub resweep: Option<Resweep<E>>,
     /// Retry counters, diff statistics and verdict.
     pub report: SweepReport,
 }
 
 /// The result of a loss-tolerant initialization: the bring-up when one
 /// was achieved, and the sweep verdict either way.
-pub struct RobustBringUp {
+pub struct RobustBringUp<E: EscapeEngine = UpDownRouting> {
     /// `Some` when the reachable component was fully programmed;
     /// `None` under a spent budget or an unreachable SM switch.
-    pub bringup: Option<BringUp>,
+    pub bringup: Option<BringUp<E>>,
     /// Retry counters, partition report and verdict.
     pub report: SweepReport,
 }

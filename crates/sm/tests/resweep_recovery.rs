@@ -129,7 +129,12 @@ fn resweep_of_partitioning_failure_programs_reachable_half() {
     // directed-route sweep can only reach its own partition, so the
     // re-sweep brings up a *smaller* but still sound subnet — it must
     // not invent routes across the dead link.
-    let physical = iba_topology::regular::chain(4, 1).unwrap();
+    let physical = iba_topology::TopologySpec::Chain {
+        switches: 4,
+        hosts_per_switch: 1,
+    }
+    .generate(0)
+    .unwrap();
     let mut fabric = ManagedFabric::new(&physical, 2).unwrap();
     let sm = SubnetManager::new(RoutingConfig::two_options());
     let up1 = sm.initialize(&mut fabric).unwrap();

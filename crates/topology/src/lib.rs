@@ -18,6 +18,9 @@
 //!   with deterministic edge-swap repair, seeded, always connected);
 //! * [`regular`] — reference topologies (ring, 2-D mesh/torus, hypercube,
 //!   fully connected) used by tests, examples and ablations;
+//! * [`spec`] — [`TopologySpec`], the unified serializable shape
+//!   description dispatching to the generators above, plus the
+//!   dragonfly generator used by the routing-engine zoo;
 //! * [`metrics`] — diameter, average distance, link counts;
 //! * [`partition`] — deterministic fabric sharding for the parallel
 //!   simulation engine (balanced BFS regions, cross-shard link
@@ -30,8 +33,10 @@ pub mod irregular;
 pub mod metrics;
 pub mod partition;
 pub mod regular;
+pub mod spec;
 
 pub use graph::{Endpoint, Topology, TopologyBuilder};
 pub use irregular::IrregularConfig;
 pub use metrics::TopologyMetrics;
 pub use partition::{CrossLink, Partition};
+pub use spec::TopologySpec;

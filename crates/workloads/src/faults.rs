@@ -5,7 +5,7 @@
 //! pays off when the fabric *breaks*. A [`FaultSchedule`] carries timed
 //! events, built programmatically or parsed from CSV exactly like
 //! [`TrafficScript`] (crate::TrafficScript); the simulator replays it
-//! (`Network::with_faults`), dropping in-transit packets, masking dead
+//! (`NetworkBuilder::faults`), dropping in-transit packets, masking dead
 //! ports out of the routing options, and optionally triggering an SM
 //! re-sweep or APM migration. Beyond the clean `LinkDown`/`LinkUp`
 //! pairs, the schedule models whole-switch death (`SwitchDown` takes

@@ -4,7 +4,7 @@
 //! application traces: an explicit list of `(time, source, destination,
 //! size, adaptive?)` injections. [`TrafficScript`] holds such a trace —
 //! built programmatically or parsed from CSV — and the simulator replays
-//! it exactly (`Network::new_scripted`), which is how MPI communication
+//! it exactly (`NetworkBuilder::script`), which is how MPI communication
 //! patterns (the paper's §2 motivation: "MPI-based parallel applications
 //! ... able to initiate many concurrent non-blocking message
 //! transmissions") can be driven through the fabric.

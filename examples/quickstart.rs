@@ -18,7 +18,7 @@ fn main() -> Result<(), IbaError> {
     let routing = FaRouting::build(&topo, RoutingConfig::two_options())?;
     println!(
         "routing  : up*/down* root {}, LMC {} ({} addresses per host)",
-        routing.updown().root(),
+        routing.escape().root(),
         routing.lid_map().lmc().bits(),
         routing.lid_map().lmc().addresses_per_port(),
     );

@@ -39,7 +39,7 @@ fn main() -> Result<(), IbaError> {
 
     // APM coexistence (§4.1 footnote): double the LMC, program alternate
     // up*/down* paths in the upper half of every destination's range.
-    let apm = ApmPlan::build(&up.topology, up.routing.config(), up.routing.updown())?;
+    let apm = ApmPlan::build(&up.topology, up.routing.config(), up.routing.escape())?;
     let h = HostId(5);
     println!(
         "APM plan        : LMC {} ({} addresses/port), primary root {}, alternate root {}",

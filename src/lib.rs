@@ -71,9 +71,9 @@ pub mod prelude {
         RoutingMode, ServiceLevel, SimTime, SwitchId, VirtualLane,
     };
     pub use iba_routing::{
-        check_escape_routes, FaRouting, InterleavedForwardingTable, MinimalRouting,
-        OptionDistribution, PathLengthStats, RouteOptions, RoutingConfig, SlToVlTable,
-        UpDownRouting,
+        certify_engine, check_escape_routes, EscapeEngine, FaRouting, FullMeshRouting,
+        InterleavedForwardingTable, MinimalRouting, OptionDistribution, OutflankRouting,
+        PathLengthStats, RouteOptions, RoutingConfig, SlToVlTable, UpDownRouting,
     };
     pub use iba_sim::{
         perfetto_trace, EscapeOrderPolicy, FlightDump, FlightRecorder, JsonLinesSink, MemorySink,
@@ -86,7 +86,9 @@ pub mod prelude {
         RobustBringUp, RobustResweep, SendOutcome, SubnetManager, SweepReport,
     };
     pub use iba_stats::{Curve, CurvePoint, MinMaxAvg};
-    pub use iba_topology::{regular, IrregularConfig, Topology, TopologyBuilder, TopologyMetrics};
+    pub use iba_topology::{
+        regular, IrregularConfig, Topology, TopologyBuilder, TopologyMetrics, TopologySpec,
+    };
     pub use iba_workloads::{
         FaultEvent, FaultKind, FaultSchedule, HostGenerator, InjectionProcess, PathSet,
         ScriptedPacket, TrafficPattern, TrafficScript, WorkloadSpec,

@@ -86,7 +86,7 @@ fn incremental_resweep_is_byte_identical_and_uploads_strictly_less() {
     degraded.recompute_routes().unwrap();
     let degraded_topo = degraded.to_topology().unwrap();
     let pinned = RoutingConfig {
-        root: Some(up.routing.updown().root()),
+        root: Some(up.routing.escape().root()),
         ..RoutingConfig::two_options()
     };
     let full_routing = FaRouting::build(&degraded_topo, pinned).unwrap();

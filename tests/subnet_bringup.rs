@@ -69,7 +69,7 @@ fn apm_plan_coexists_with_sm_assignment() {
     let up = SubnetManager::new(RoutingConfig::two_options())
         .initialize(&mut fabric)
         .unwrap();
-    let plan = ApmPlan::build(&up.topology, up.routing.config(), up.routing.updown()).unwrap();
+    let plan = ApmPlan::build(&up.topology, up.routing.config(), up.routing.escape()).unwrap();
     // The APM plan widens the LMC but keeps the primary deterministic
     // address identical to the SM's assignment scheme semantics: both
     // resolve to the same host.
