@@ -11,8 +11,11 @@
 //!   recorder armed with default rings + watchdog, and the fault
 //!   machinery armed with an empty schedule plus a zero-probability
 //!   corruption hook (bounding each hook family's overhead separately —
-//!   the armed-but-empty fault row must match the bare row). These rows
-//!   carry `"shards": 1` and are the serial regression baseline.
+//!   the armed-but-empty fault row must match the bare row), and the
+//!   metrics plane armed (engine profiling + post-run registry fill).
+//!   These rows carry `"shards": 1` and are the serial regression
+//!   baseline; the everything-off row (`"metrics": "disabled"`) is the
+//!   one perf work is gated on.
 //!
 //! * **scaling sweep** — fabric sizes 32/64/128/256 crossed with shard
 //!   counts 1/2/4/8 on the parallel engine (threads = shards, capped at
@@ -58,6 +61,7 @@ enum Mode {
     Telemetry,
     Recorder,
     FaultsArmed,
+    Metrics,
 }
 
 impl Mode {
@@ -81,6 +85,13 @@ impl Mode {
             _ => "disabled",
         }
     }
+
+    fn metrics(self) -> &'static str {
+        match self {
+            Mode::Metrics => "enabled",
+            _ => "disabled",
+        }
+    }
 }
 
 fn run_once(fixture: &BenchFixture, backend: QueueBackend, seed: u64, mode: Mode) -> Sample {
@@ -93,6 +104,7 @@ fn run_once(fixture: &BenchFixture, backend: QueueBackend, seed: u64, mode: Mode
         Mode::Telemetry => fixture.simulate_instrumented(spec, cfg, TelemetryOpts::default()),
         Mode::Recorder => fixture.simulate_recorded(spec, cfg, RecorderOpts::default()),
         Mode::FaultsArmed => fixture.simulate_fault_armed(spec, cfg),
+        Mode::Metrics => fixture.simulate_metered(spec, cfg),
     };
     let wall_s = t0.elapsed().as_secs_f64();
     Sample {
@@ -123,16 +135,18 @@ fn main() {
             Mode::Telemetry,
             Mode::Recorder,
             Mode::FaultsArmed,
+            Mode::Metrics,
         ] {
             let mut rates = Vec::with_capacity(RUNS);
             let mut last = None;
             for run in 0..RUNS {
                 let s = run_once(&fixture, which, 100 + run as u64, mode);
                 eprintln!(
-                    "{backend} (telemetry {}, recorder {}, faults {}) run {run}: {} events in {:.3}s = {:.0} events/s",
+                    "{backend} (telemetry {}, recorder {}, faults {}, metrics {}) run {run}: {} events in {:.3}s = {:.0} events/s",
                     mode.telemetry(),
                     mode.recorder(),
                     mode.faults(),
+                    mode.metrics(),
                     s.events,
                     s.wall_s,
                     s.events as f64 / s.wall_s
@@ -147,6 +161,7 @@ fn main() {
                 ("telemetry", Json::from(mode.telemetry())),
                 ("recorder", Json::from(mode.recorder())),
                 ("faults", Json::from(mode.faults())),
+                ("metrics", Json::from(mode.metrics())),
                 ("shards", Json::from(1u64)),
                 ("events_per_sec", Json::from(eps.round())),
                 ("events_last_run", Json::from(last.events)),
@@ -192,6 +207,7 @@ fn main() {
                 ("shards", Json::from(shards)),
                 ("threads", Json::from(threads)),
                 ("backend", Json::from("binary_heap")),
+                ("metrics", Json::from("disabled")),
                 ("events_per_sec", Json::from(eps.round())),
                 ("events_last_run", Json::from(last.events)),
                 ("delivered_last_run", Json::from(last.delivered)),

@@ -105,6 +105,23 @@ impl BenchFixture {
             .run()
     }
 
+    /// Run one simulation with the metrics plane armed: engine
+    /// profiling on, registry filled post-run (and discarded) — the
+    /// observability side of the hook-overhead benchmark. The disabled
+    /// counterpart is [`Self::simulate`]: its hot path carries only a
+    /// `bool` check.
+    pub fn simulate_metered(&self, spec: WorkloadSpec, cfg: SimConfig) -> RunResult {
+        let mut net = Network::builder(&self.topology, &self.routing)
+            .workload(spec)
+            .config(cfg)
+            .metrics()
+            .build()
+            .expect("consistent setup");
+        let result = net.run();
+        let _ = net.metrics_registry(&result);
+        result
+    }
+
     /// Run one simulation with the flight recorder armed — the
     /// always-on-capture side of the hook-overhead benchmark.
     pub fn simulate_recorded(

@@ -95,6 +95,24 @@ impl Pow2Histogram {
 
     /// Approximate `q`-quantile (`0 < q <= 1`): the upper bound of the
     /// bucket containing the quantile rank. `None` when empty.
+    ///
+    /// ## Worst-case error bound
+    ///
+    /// Let `x` be the exact quantile of the recorded samples at rank
+    /// `ceil(q·count).max(1)` (the rank this scan uses). `x` lands in
+    /// bucket `i` with `2^i <= max(x, 1) < 2^(i+1)`, and the estimate
+    /// returned is that bucket's upper bound `2^(i+1)`, so:
+    ///
+    /// * the estimate **never underestimates**: `estimate >= x`
+    ///   (strictly greater except in the top bucket, where it is
+    ///   clamped to `u64::MAX`);
+    /// * the estimate **overestimates by at most 2×**:
+    ///   `estimate <= 2 · max(x, 1)` (saturating at `u64::MAX`).
+    ///
+    /// In other words the relative error is bounded by one octave —
+    /// the price of 64 fixed two-instruction buckets. When a tighter
+    /// bound matters, use `iba_stats::LogHistogram`, whose sub-bucket
+    /// precision shrinks the bound to `2^-p`.
     pub fn quantile(&self, q: f64) -> Option<u64> {
         if self.count == 0 {
             return None;
@@ -152,6 +170,7 @@ impl Default for Pow2Histogram {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     #[test]
     fn counter_saturates() {
@@ -210,5 +229,35 @@ mod tests {
         let buckets: Vec<_> = h.nonzero_buckets().collect();
         assert_eq!(buckets, vec![(0, 2, 1), (2, 4, 1)]);
         assert_eq!(h.to_json().to_string_compact(), "[[2,1],[4,1]]");
+    }
+
+    proptest! {
+        // The documented worst-case bound on `quantile`: compare
+        // against the exact sorted-sample quantile at the same rank —
+        // the estimate never underestimates and never exceeds
+        // 2·max(exact, 1).
+        #[test]
+        fn prop_quantile_within_one_octave_of_exact(
+            samples in proptest::collection::vec(0u64..=u64::MAX, 1..200),
+            qs in proptest::collection::vec(1u64..=1000, 1..8),
+        ) {
+            let mut h = Pow2Histogram::new();
+            let mut sorted = samples.clone();
+            sorted.sort_unstable();
+            for &s in &samples {
+                h.record(s);
+            }
+            for &qm in &qs {
+                let q = qm as f64 / 1000.0;
+                let rank = ((q * sorted.len() as f64).ceil() as usize).max(1);
+                let exact = sorted[rank - 1];
+                let est = h.quantile(q).unwrap();
+                prop_assert!(est >= exact, "q={q}: est {est} < exact {exact}");
+                prop_assert!(
+                    est <= exact.max(1).saturating_mul(2),
+                    "q={q}: est {est} > 2x exact {exact}"
+                );
+            }
+        }
     }
 }

@@ -1,0 +1,172 @@
+//! `iba-metrics` — report queries over JSONL metrics snapshots.
+//!
+//! ```text
+//! iba-metrics summary --in results/metrics.jsonl [--at 0]
+//! iba-metrics top     --in results/metrics.jsonl [--k 10] [--prefix iba_sim_]
+//! iba-metrics slo     --in results/metrics.jsonl --metric iba_sim_latency_ns \
+//!                     --q 0.99 --max-ns 100000
+//! ```
+//!
+//! `summary` prints every series of one snapshot (histograms as
+//! p50/p99/max), `top` ranks counters by value, `slo` gates a
+//! histogram quantile against a ceiling and exits non-zero on
+//! violation — the scriptable end of the metrics plane.
+
+use iba_core::Json;
+use iba_experiments::cli::Args;
+use iba_stats::{MetricValue, MetricsRegistry};
+
+fn main() {
+    if let Err(e) = real_main() {
+        eprintln!("iba-metrics: {e}");
+        std::process::exit(1);
+    }
+}
+
+/// Every `(at_ns, registry)` snapshot in the JSONL stream, in file
+/// order. Non-snapshot lines are an error, not silently skipped.
+fn load(path: &str) -> Result<Vec<(u64, MetricsRegistry)>, String> {
+    let body = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut snaps = Vec::new();
+    for (i, line) in body.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let j = Json::parse(line).map_err(|e| format!("{path}:{}: not JSON: {e:?}", i + 1))?;
+        let snap = MetricsRegistry::from_snapshot_json(&j)
+            .ok_or_else(|| format!("{path}:{}: not a metrics snapshot", i + 1))?;
+        snaps.push(snap);
+    }
+    if snaps.is_empty() {
+        return Err(format!("{path}: no snapshots"));
+    }
+    Ok(snaps)
+}
+
+/// The snapshot labeled `at`, or the last one when `at` is `None`.
+fn pick(
+    snaps: Vec<(u64, MetricsRegistry)>,
+    at: Option<u64>,
+) -> Result<(u64, MetricsRegistry), String> {
+    match at {
+        None => Ok(snaps.into_iter().next_back().unwrap()),
+        Some(want) => snaps
+            .into_iter()
+            .find(|(t, _)| *t == want)
+            .ok_or_else(|| format!("no snapshot labeled at_ns={want}")),
+    }
+}
+
+fn render_labels(labels: &str) -> String {
+    if labels.is_empty() {
+        String::new()
+    } else {
+        format!("{{{labels}}}")
+    }
+}
+
+fn real_main() -> Result<(), String> {
+    let args = Args::from_env()?;
+    let cmd = args
+        .positional
+        .first()
+        .map(String::as_str)
+        .ok_or("usage: iba-metrics <summary|top|slo> --in <file.jsonl> [flags]")?;
+    let input = args.get("in").ok_or("--in <file.jsonl> is required")?;
+    let snaps = load(input)?;
+
+    match cmd {
+        "summary" => {
+            let at = args
+                .get("at")
+                .map(|v| v.parse().map_err(|_| "bad --at"))
+                .transpose()?;
+            let (t, reg) = pick(snaps, at)?;
+            println!("snapshot at_ns={t}: {} series", reg.len());
+            for (name, labels, value) in reg.iter() {
+                let rendered = match value {
+                    MetricValue::Counter(c) => format!("{c}"),
+                    MetricValue::Gauge(g) => format!("{g}"),
+                    MetricValue::Histogram(h) => format!(
+                        "count {}  p50 {}  p99 {}  max {}",
+                        h.count(),
+                        h.quantile(0.5).unwrap_or(0),
+                        h.quantile(0.99).unwrap_or(0),
+                        h.max().unwrap_or(0),
+                    ),
+                };
+                println!(
+                    "  {:<9} {}{} = {rendered}",
+                    value.kind(),
+                    name,
+                    render_labels(labels)
+                );
+            }
+        }
+        "top" => {
+            let k: usize = args.get_or("k", 10)?;
+            let prefix = args.get("prefix").unwrap_or("");
+            let (t, reg) = pick(snaps, None)?;
+            let mut counters: Vec<(u64, String)> = reg
+                .iter()
+                .filter(|(name, _, _)| name.starts_with(prefix))
+                .filter_map(|(name, labels, v)| match v {
+                    MetricValue::Counter(c) => {
+                        Some((*c, format!("{name}{}", render_labels(labels))))
+                    }
+                    _ => None,
+                })
+                .collect();
+            counters.sort_by(|a, b| b.0.cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
+            println!("top {k} counters at_ns={t}:");
+            for (value, series) in counters.into_iter().take(k) {
+                println!("  {value:>16}  {series}");
+            }
+        }
+        "slo" => {
+            let metric = args.get("metric").ok_or("--metric is required")?;
+            let q_milli: u64 = args.get_or("q-milli", 0)?;
+            let q: f64 = if q_milli > 0 {
+                q_milli as f64 / 1000.0
+            } else {
+                args.get_or("q", 0.99f64)?
+            };
+            let max_ns: u64 = args
+                .get("max-ns")
+                .ok_or("--max-ns is required")?
+                .parse()
+                .map_err(|_| "bad --max-ns")?;
+            let (t, reg) = pick(snaps, None)?;
+            let mut checked = 0usize;
+            let mut violations = Vec::new();
+            for (name, labels, value) in reg.iter() {
+                if name != metric {
+                    continue;
+                }
+                let MetricValue::Histogram(h) = value else {
+                    return Err(format!("{metric} is not a histogram"));
+                };
+                checked += 1;
+                if let Some(v) = h.quantile(q) {
+                    let series = format!("{name}{}", render_labels(labels));
+                    if v > max_ns {
+                        violations.push(format!("{series}: p{q} = {v} ns > {max_ns} ns"));
+                    } else {
+                        println!("ok  {series}: p{q} = {v} ns <= {max_ns} ns");
+                    }
+                }
+            }
+            if checked == 0 {
+                return Err(format!("no histogram named {metric} in snapshot at_ns={t}"));
+            }
+            if !violations.is_empty() {
+                for v in &violations {
+                    eprintln!("SLO VIOLATION  {v}");
+                }
+                return Err(format!("{} SLO violation(s)", violations.len()));
+            }
+        }
+        other => return Err(format!("unknown command {other:?} (summary|top|slo)")),
+    }
+    Ok(())
+}

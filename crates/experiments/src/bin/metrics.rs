@@ -1,0 +1,99 @@
+//! Metrics-plane experiment: instrumented SM bring-up + one profiled
+//! simulation per shard count, with Prometheus/JSONL export.
+//!
+//! ```text
+//! cargo run --release -p iba-experiments --bin metrics -- \
+//!     [--switches 32] [--load 0.01] [--adaptive 1.0] \
+//!     [--shards 1,2,4] [--fidelity quick|full] [--seed 100] \
+//!     [--out results/metrics.json] [--prom results/metrics.prom] \
+//!     [--snapshots results/metrics.jsonl] [--digest-names results/metrics.digest-names.txt]
+//! ```
+//!
+//! Exits non-zero when sim-time metrics diverge across shard counts or
+//! a `profiling_` series leaks into the determinism digest.
+
+use iba_experiments::metrics::{self, MetricsConfig};
+use iba_experiments::Fidelity;
+
+fn main() {
+    if let Err(e) = real_main() {
+        eprintln!("metrics: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn real_main() -> Result<(), String> {
+    let args = iba_experiments::cli::Args::from_env()?;
+    let fidelity = Fidelity::parse(args.get("fidelity").unwrap_or("quick"))
+        .ok_or("--fidelity must be quick or full")?;
+    let mut cfg = MetricsConfig::paper(fidelity, args.get_or("seed", 100u64)?);
+    cfg.switches = args.get_or("switches", cfg.switches)?;
+    cfg.load = args.get_or("load", cfg.load)?;
+    cfg.adaptive_fraction = args.get_or("adaptive", cfg.adaptive_fraction)?;
+    cfg.shards = args.get_list_or("shards", &cfg.shards)?;
+    let out = args
+        .get("out")
+        .unwrap_or("results/metrics.json")
+        .to_string();
+    let prom_out = args
+        .get("prom")
+        .unwrap_or("results/metrics.prom")
+        .to_string();
+    let snap_out = args
+        .get("snapshots")
+        .unwrap_or("results/metrics.jsonl")
+        .to_string();
+    let names_out = args
+        .get("digest-names")
+        .unwrap_or("results/metrics.digest-names.txt")
+        .to_string();
+
+    eprintln!(
+        "metrics: {:?} fidelity, {} switches, shards {:?}, load {}",
+        fidelity, cfg.switches, cfg.shards, cfg.load
+    );
+    let run = metrics::run(&cfg).map_err(|e| e.to_string())?;
+
+    println!("shards  digest              barrier_wait  p50/p99 latency ns");
+    for p in &run.points {
+        println!(
+            "{:>6}  {:#018x}  {:>11.1}%  {} / {}",
+            p.shards,
+            p.digest,
+            p.barrier_wait_share * 100.0,
+            p.result.p50_latency_ns.unwrap_or(0),
+            p.result.p99_latency_ns.unwrap_or(0),
+        );
+    }
+
+    let write = |path: &str, body: &str| -> Result<(), String> {
+        if let Some(dir) = std::path::Path::new(path).parent() {
+            std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+        }
+        std::fs::write(path, body).map_err(|e| e.to_string())
+    };
+    write(&out, &metrics::to_json(&cfg, &run))?;
+    write(&prom_out, &run.registry.prometheus())?;
+    // One snapshot line per shard point (at_ns = shard count, a stable
+    // label in lieu of wall time), then the merged fabric-wide line.
+    let mut snaps = Vec::new();
+    for p in &run.points {
+        p.registry
+            .write_jsonl_snapshot(&mut snaps, p.shards as u64)
+            .map_err(|e| e.to_string())?;
+    }
+    run.registry
+        .write_jsonl_snapshot(&mut snaps, 0)
+        .map_err(|e| e.to_string())?;
+    write(
+        &snap_out,
+        &String::from_utf8(snaps).map_err(|e| e.to_string())?,
+    )?;
+    let mut names = run.registry.digest_names().join("\n");
+    names.push('\n');
+    write(&names_out, &names)?;
+    eprintln!("metrics: wrote {out}, {prom_out}, {snap_out}, {names_out}");
+
+    metrics::verify(&run)?;
+    Ok(())
+}

@@ -16,6 +16,8 @@
 //! | flight-recorder demo run + dump artifacts (DESIGN.md §10) | `flightrec` | [`flightrec::run_recorded`] |
 //! | flight-dump queries: slice / causal chain / stall causes | `iba-trace` | [`tracequery`] |
 //! | engine zoo: FA over {up*/down*, OutFlank, full-mesh} escape engines | `engine_zoo` | [`engine_zoo::run`] |
+//! | metrics plane: shard-scaling profile + Prometheus/JSONL export (DESIGN.md §15) | `metrics` | [`metrics::run`] |
+//! | metrics report queries: summary / top-k / SLO gates over snapshots | `iba-metrics` | [`metrics`] |
 //! | ad-hoc single runs | `explore` | [`harness::run_point`] |
 //!
 //! Simulations of different topologies and injection rates are
@@ -33,6 +35,7 @@ pub mod fidelity;
 pub mod fig3;
 pub mod flightrec;
 pub mod harness;
+pub mod metrics;
 pub mod recovery;
 pub mod table1;
 pub mod table2;

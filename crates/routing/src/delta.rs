@@ -62,6 +62,33 @@ pub struct DeltaStats {
     pub entries_recomputed: u64,
 }
 
+impl DeltaStats {
+    /// Export this rebuild into `reg`. All counters are deterministic
+    /// functions of the topology change, so they participate in
+    /// determinism digests.
+    pub fn record_metrics(&self, reg: &mut iba_stats::MetricsRegistry) {
+        reg.add("iba_routing_delta_rebuilds_total", &[], 1);
+        if self.full_rebuild {
+            reg.add("iba_routing_delta_fallbacks_total", &[], 1);
+        }
+        reg.add(
+            "iba_routing_delta_affected_switches_total",
+            &[],
+            self.affected_switches as u64,
+        );
+        reg.add(
+            "iba_routing_delta_affected_lids_total",
+            &[],
+            self.affected_lids as u64,
+        );
+        reg.add(
+            "iba_routing_delta_entries_recomputed_total",
+            &[],
+            self.entries_recomputed,
+        );
+    }
+}
+
 /// The result of an incremental rebuild: the patched routing plus the
 /// delta accounting.
 #[derive(Clone, Debug)]

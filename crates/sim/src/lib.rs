@@ -12,7 +12,13 @@
 //! * [`network`] — the event-driven subnet model: hosts, switches, serial
 //!   links, per-VL credit flow control, virtual cut-through forwarding
 //!   and the §4.3 arbitration-time output selection;
-//! * [`stats`] — latency and accepted-traffic measurement;
+//! * [`stats`] — latency and accepted-traffic measurement, including
+//!   the per-workload-class log-linear latency histograms behind the
+//!   p50/p90/p99/p999 fields of [`RunResult`];
+//! * [`metrics`] — the simulator's side of the metrics plane: engine
+//!   profiling ([`EngineProfile`], armed by the builder's `.metrics()`)
+//!   and the post-run registry fill behind
+//!   [`Network::metrics_registry`];
 //! * [`telemetry`] — the sampling probe layer: per-VL occupancy
 //!   timeseries, cause-tagged credit-stall counters, escape-vs-adaptive
 //!   forwarding counters and arbitration-wait histograms, flushed
@@ -54,6 +60,7 @@
 pub mod buffer;
 pub mod config;
 mod fib;
+pub mod metrics;
 pub mod network;
 pub mod perfetto;
 pub mod recorder;
@@ -65,12 +72,16 @@ pub mod trace;
 pub use buffer::{BufferedPacket, Candidates, EscapeOrderPolicy, ReadPoint, SlotHandle, VlBuffer};
 pub use config::{RecoveryPolicy, SelectionPolicy, SimConfig, SimConfigBuilder};
 pub use iba_engine::QueueBackend;
+pub use metrics::{EngineProfile, WorkerProfile};
 pub use network::{Network, NetworkBuilder};
 pub use perfetto::perfetto_trace;
 pub use recorder::{
     classify_stall, FlightDump, FlightRecorder, RecorderOpts, Trigger, TriggerCause, WatchdogOpts,
 };
-pub use stats::{LatencyHistogram, RunResult, StatsCollector, RUN_RESULT_SCHEMA_VERSION};
+pub use stats::{
+    latency_class_label, LatencyHistogram, RunResult, StatsCollector, LATENCY_CLASSES,
+    RUN_RESULT_SCHEMA_VERSION, SOURCE_GROUPS,
+};
 pub use telemetry::{
     JsonLinesSink, MemorySink, PortStalls, StallCause, SwitchTelemetry, TelemetryOpts,
     TelemetryReport, TelemetrySample, TelemetrySink, VlOccupancy, TELEMETRY_SCHEMA_VERSION,

@@ -61,6 +61,7 @@
 
 use crate::config::{RecoveryPolicy, SimConfig};
 use crate::fib::FibCache;
+use crate::metrics::{fill_run_metrics, EngineProfile, WorkerProfile};
 use crate::recorder::{FlightDump, FlightRecorder, RecorderOpts};
 use crate::shard::{Mailbox, OutMsg, Shard};
 use crate::stats::{RunResult, StatsCollector};
@@ -72,6 +73,7 @@ use crate::trace::{PacketTrace, TraceOpts, TraceStep, Tracer};
 use iba_core::{HostId, IbaError, PacketId, PortIndex, SimTime, SwitchId};
 use iba_engine::{conservative_window, SpinBarrier};
 use iba_routing::{EscapeEngine, FaRouting, UpDownRouting};
+use iba_stats::{LogHistogram, MetricsRegistry};
 use iba_topology::{Partition, Topology};
 use iba_workloads::{FaultSchedule, TrafficScript, WorkloadSpec};
 use std::collections::HashMap;
@@ -100,6 +102,13 @@ pub struct Network<'a, E: EscapeEngine = UpDownRouting> {
     /// observer merge from the shard-local tracers).
     merged_tracer: Option<Tracer>,
     trace_opts: Option<TraceOpts>,
+    /// Whether engine profiling (the `.metrics()` builder option) is
+    /// armed; the deterministic half of [`Self::metrics_registry`]
+    /// works without it.
+    metrics_enabled: bool,
+    /// Accumulated engine profile, populated by the run loops when
+    /// `metrics_enabled`.
+    profile: Option<Box<EngineProfile>>,
 }
 
 /// The one construction path for [`Network`]: topology and routing up
@@ -138,6 +147,7 @@ pub struct NetworkBuilder<'a, E: EscapeEngine = UpDownRouting> {
     fib_ways: Option<usize>,
     shards: Option<usize>,
     threads: Option<usize>,
+    metrics: bool,
 }
 
 /// The single serial-only guard for [`RecoveryPolicy::SmResweep`]: the
@@ -263,6 +273,20 @@ impl<'a, E: EscapeEngine> NetworkBuilder<'a, E> {
     /// [`Self::shards`] above 1; never affects results.
     pub fn threads(mut self, t: usize) -> Self {
         self.threads = Some(t);
+        self
+    }
+
+    /// Arm engine profiling for the metrics plane: per-worker wall-clock
+    /// breakdowns (barrier waits, window execution, mailbox ingest) and
+    /// conservative-window shape distributions, retrievable after the
+    /// run through [`Network::engine_profile`] and folded into
+    /// [`Network::metrics_registry`] under the non-deterministic
+    /// `profiling_` namespace. Off by default: the deterministic half of
+    /// the metrics registry costs nothing at runtime and works without
+    /// this flag; arming it adds a handful of `Instant` reads per
+    /// conservative window. Never affects simulation results.
+    pub fn metrics(mut self) -> Self {
+        self.metrics = true;
         self
     }
 
@@ -409,6 +433,8 @@ impl<'a, E: EscapeEngine> NetworkBuilder<'a, E> {
             par_sink,
             merged_tracer: None,
             trace_opts: self.trace,
+            metrics_enabled: self.metrics,
+            profile: None,
         })
     }
 }
@@ -499,6 +525,7 @@ impl<'a, E: EscapeEngine> Network<'a, E> {
             fib_ways: None,
             shards: None,
             threads: None,
+            metrics: false,
         }
     }
 
@@ -658,11 +685,13 @@ impl<'a, E: EscapeEngine> Network<'a, E> {
             if let Some(t) = sh.telemetry.as_deref_mut() {
                 t.flush();
             }
-            return sh.stats.finish(
+            let result = sh.stats.finish(
                 num_switches,
                 sh.queue.events_processed(),
                 wall_start.elapsed(),
             );
+            self.note_serial_profile(wall_start.elapsed());
+            return result;
         }
         self.execute_windows(horizon, self.config.max_events);
         self.finalize_observers();
@@ -704,6 +733,7 @@ impl<'a, E: EscapeEngine> Network<'a, E> {
                 sh.queue.events_processed(),
                 wall_start.elapsed(),
             );
+            self.note_serial_profile(wall_start.elapsed());
             (result, drained)
         } else {
             let hit_budget = self.execute_windows(hard_deadline, self.config.max_events);
@@ -775,16 +805,32 @@ impl<'a, E: EscapeEngine> Network<'a, E> {
 
         if workers_req == 1 {
             // Inline execution: same window protocol, no threads.
-            loop {
-                if self.total_events() >= max_total {
-                    return true;
+            let mut prof = self.metrics_enabled.then(|| EngineProfile {
+                shards: nshards,
+                workers: 1,
+                ..EngineProfile::default()
+            });
+            let started = std::time::Instant::now();
+            let mut prev_total: Option<u64> = None;
+            let hit_budget = loop {
+                let total = self.total_events();
+                if let (Some(p), Some(prev)) = (prof.as_mut(), prev_total) {
+                    p.events_per_window.record(total - prev);
+                }
+                prev_total = Some(total);
+                if total >= max_total {
+                    break true;
                 }
                 let next: Vec<u64> = self.shards.iter().map(|s| s.next_time_ns()).collect();
                 let Some(w) = conservative_window(&next, lookahead) else {
-                    return false;
+                    break false;
                 };
                 if w.start_ns > limit_ns {
-                    return false;
+                    break false;
+                }
+                if let Some(p) = prof.as_mut() {
+                    p.windows += 1;
+                    p.window_width_ns.record(w.end_ns - w.start_ns);
                 }
                 // `pop_until` is inclusive; the window end is exclusive.
                 let exec = SimTime::from_ns((w.end_ns - 1).min(limit_ns));
@@ -793,10 +839,25 @@ impl<'a, E: EscapeEngine> Network<'a, E> {
                     sh.run_window(exec);
                     msgs.append(&mut sh.take_outbox());
                 }
+                if let Some(p) = prof.as_mut() {
+                    p.mailbox_msgs += msgs.len() as u64;
+                }
                 for m in msgs {
                     self.shards[m.dst].enqueue_remote(m.at, m.key, m.ev);
                 }
+            };
+            if let Some(mut p) = prof {
+                p.wall_ns = started.elapsed().as_nanos() as u64;
+                p.worker_profiles.push(WorkerProfile {
+                    worker: 0,
+                    shards: nshards,
+                    run_ns: p.wall_ns,
+                    mailbox_msgs: p.mailbox_msgs,
+                    ..WorkerProfile::default()
+                });
+                self.absorb_profile(p);
             }
+            return hit_budget;
         }
 
         // Threaded execution. Shards are split into contiguous chunks,
@@ -819,6 +880,16 @@ impl<'a, E: EscapeEngine> Network<'a, E> {
             .collect();
         let barrier = SpinBarrier::new(workers);
         let hit_budget = AtomicBool::new(false);
+        // Shared profile the workers fold their fragments into at exit
+        // (None = profiling off; the hot loop then only tests a bool).
+        let prof_collect: Option<Mutex<EngineProfile>> = self.metrics_enabled.then(|| {
+            Mutex::new(EngineProfile {
+                shards: nshards,
+                workers,
+                ..EngineProfile::default()
+            })
+        });
+        let started = std::time::Instant::now();
 
         std::thread::scope(|scope| {
             for (wi, chunk_shards) in self.shards.chunks_mut(chunk).enumerate() {
@@ -827,8 +898,22 @@ impl<'a, E: EscapeEngine> Network<'a, E> {
                 let counted = &counted;
                 let barrier = &barrier;
                 let hit_budget = &hit_budget;
+                let prof_collect = &prof_collect;
                 let base = wi * chunk;
                 scope.spawn(move || {
+                    let metrics = prof_collect.is_some();
+                    let mut wp = WorkerProfile {
+                        worker: wi,
+                        shards: chunk_shards.len(),
+                        ..WorkerProfile::default()
+                    };
+                    // Window-shape observations are identical in every
+                    // worker (all compute the same window), so worker 0
+                    // records them for the fabric.
+                    let mut windows = 0u64;
+                    let mut width_hist = LogHistogram::new();
+                    let mut epw_hist = LogHistogram::new();
+                    let mut prev_total: Option<u64> = None;
                     loop {
                         // Decide: every worker reads the same published
                         // values (stores precede barrier B, reads follow
@@ -836,6 +921,12 @@ impl<'a, E: EscapeEngine> Network<'a, E> {
                         // takes the same branch — no worker can strand
                         // another at a barrier.
                         let total: u64 = counted.iter().map(|c| c.load(Ordering::Acquire)).sum();
+                        if metrics && wi == 0 {
+                            if let Some(prev) = prev_total {
+                                epw_hist.record(total - prev);
+                            }
+                            prev_total = Some(total);
+                        }
                         if total >= max_total {
                             hit_budget.store(true, Ordering::Release);
                             break;
@@ -850,26 +941,163 @@ impl<'a, E: EscapeEngine> Network<'a, E> {
                         if w.start_ns > limit_ns {
                             break;
                         }
+                        if metrics && wi == 0 {
+                            windows += 1;
+                            width_hist.record(w.end_ns - w.start_ns);
+                        }
                         let exec = SimTime::from_ns((w.end_ns - 1).min(limit_ns));
+                        let t_run = metrics.then(std::time::Instant::now);
                         for sh in chunk_shards.iter_mut() {
                             sh.run_window(exec);
                             sh.flush_outbox(mailboxes);
                         }
+                        if let Some(t) = t_run {
+                            wp.run_ns += t.elapsed().as_nanos() as u64;
+                        }
+                        let t_a = metrics.then(std::time::Instant::now);
                         barrier.wait(); // A: every outbox flushed
+                        if let Some(t) = t_a {
+                            wp.barrier_a_wait_ns += t.elapsed().as_nanos() as u64;
+                        }
+                        let t_ingest = metrics.then(std::time::Instant::now);
                         for (i, sh) in chunk_shards.iter_mut().enumerate() {
                             let msgs = std::mem::take(
                                 &mut *mailboxes[base + i].lock().expect("mailbox poisoned"),
                             );
+                            if metrics {
+                                wp.mailbox_msgs += msgs.len() as u64;
+                            }
                             sh.ingest(msgs);
                             next_times[base + i].store(sh.next_time_ns(), Ordering::Release);
                             counted[base + i].store(sh.counted_events(), Ordering::Release);
                         }
+                        if let Some(t) = t_ingest {
+                            wp.ingest_ns += t.elapsed().as_nanos() as u64;
+                        }
+                        let t_b = metrics.then(std::time::Instant::now);
                         barrier.wait(); // B: every ingest published
+                        if let Some(t) = t_b {
+                            wp.barrier_b_wait_ns += t.elapsed().as_nanos() as u64;
+                        }
+                    }
+                    if let Some(pc) = prof_collect.as_ref() {
+                        let frag = EngineProfile {
+                            windows,
+                            window_width_ns: width_hist,
+                            events_per_window: epw_hist,
+                            mailbox_msgs: wp.mailbox_msgs,
+                            worker_profiles: vec![wp],
+                            ..EngineProfile::default()
+                        };
+                        pc.lock().expect("profile poisoned").absorb(&frag);
                     }
                 });
             }
         });
+        if let Some(pc) = prof_collect {
+            let mut p = pc.into_inner().expect("profile poisoned");
+            p.wall_ns = started.elapsed().as_nanos() as u64;
+            self.absorb_profile(p);
+        }
         hit_budget.load(Ordering::Acquire)
+    }
+
+    /// Fold a profile fragment from one engine invocation into the
+    /// network's accumulated profile.
+    fn absorb_profile(&mut self, frag: EngineProfile) {
+        match self.profile.as_deref_mut() {
+            Some(p) => p.absorb(&frag),
+            None => self.profile = Some(Box::new(frag)),
+        }
+    }
+
+    /// Record a serial run into the profile (when `.metrics()` is
+    /// armed): one worker, no windows, no barriers — the whole wall
+    /// time is window execution.
+    fn note_serial_profile(&mut self, wall: Duration) {
+        if !self.metrics_enabled {
+            return;
+        }
+        let wall_ns = wall.as_nanos() as u64;
+        self.absorb_profile(EngineProfile {
+            shards: 1,
+            workers: 1,
+            wall_ns,
+            worker_profiles: vec![WorkerProfile {
+                worker: 0,
+                shards: 1,
+                run_ns: wall_ns,
+                ..WorkerProfile::default()
+            }],
+            ..EngineProfile::default()
+        });
+    }
+
+    /// The accumulated engine profile (`None` unless `.metrics()` was
+    /// armed and a run has executed).
+    pub fn engine_profile(&self) -> Option<&EngineProfile> {
+        self.profile.as_deref()
+    }
+
+    /// Whether engine profiling (`.metrics()`) is armed.
+    pub fn metrics_enabled(&self) -> bool {
+        self.metrics_enabled
+    }
+
+    /// Build the fabric-wide [`MetricsRegistry`] for a finished run:
+    /// deterministic outcome counters and latency histograms from
+    /// `result` and the (merged) collectors, per-VL occupancy gauges
+    /// from the last telemetry snapshot (when telemetry was armed with
+    /// a memory sink), and — when `.metrics()` was armed — the engine
+    /// profile under the non-deterministic `profiling_` namespace.
+    ///
+    /// Everything outside that namespace is bit-identical across
+    /// event-queue backends and (for the parallel engine) shard counts;
+    /// [`MetricsRegistry::digest`] covers exactly that deterministic
+    /// half.
+    pub fn metrics_registry(&self, result: &RunResult) -> MetricsRegistry {
+        let mut reg = MetricsRegistry::new();
+        if self.partition.is_none() {
+            fill_run_metrics(&mut reg, result, &self.shards[0].stats);
+        } else {
+            let mut merged = StatsCollector::new(
+                self.config.warmup,
+                self.config.horizon(),
+                self.topo.num_hosts(),
+                self.routing.lid_map().table_len(),
+            );
+            for sh in &self.shards {
+                merged.merge(&sh.stats);
+            }
+            fill_run_metrics(&mut reg, result, &merged);
+        }
+        if let Some(mem) = self.telemetry_sink().and_then(|s| s.as_memory()) {
+            if let Some(sample) = mem.samples().last() {
+                for o in &sample.occupancy {
+                    let sw = o.sw.index().to_string();
+                    let vl = o.vl.0.to_string();
+                    reg.set_gauge(
+                        "iba_sim_vl_occupancy_credits",
+                        &[("region", "adaptive"), ("sw", &sw), ("vl", &vl)],
+                        o.adaptive.0 as f64,
+                    );
+                    reg.set_gauge(
+                        "iba_sim_vl_occupancy_credits",
+                        &[("region", "escape"), ("sw", &sw), ("vl", &vl)],
+                        o.escape.0 as f64,
+                    );
+                    reg.set_gauge(
+                        "iba_sim_vl_occupancy_peak_credits",
+                        &[("sw", &sw), ("vl", &vl)],
+                        o.peak.0 as f64,
+                    );
+                }
+            }
+        }
+        if let Some(p) = self.profile.as_deref() {
+            p.record_metrics(&mut reg);
+        }
+        reg
     }
 
     /// Flush shard telemetry and, in the parallel engine, run the

@@ -15,6 +15,7 @@
 use iba_core::{
     DropCause, HostId, Json, Lid, Packet, Pow2Histogram, RoutingMode, ServiceLevel, SimTime,
 };
+use iba_stats::LogHistogram;
 use serde::{Deserialize, Serialize};
 use std::time::Duration;
 
@@ -25,6 +26,42 @@ use std::time::Duration;
 /// them), this is the shared [`Pow2Histogram`] under its historical
 /// name.
 pub type LatencyHistogram = Pow2Histogram;
+
+/// Number of per-workload-class latency histograms a collector keeps:
+/// 2 routing modes × [`SOURCE_GROUPS`] source groups.
+pub const LATENCY_CLASSES: usize = 2 * SOURCE_GROUPS;
+
+/// Number of equal host-index ranges the sources are grouped into for
+/// per-class latency (a stand-in for per-tenant accounting: group
+/// membership is a pure function of the host index, so it is identical
+/// across shard layouts and queue backends).
+pub const SOURCE_GROUPS: usize = 4;
+
+/// The `(mode, source_group)` labels of latency class `idx`
+/// (`idx < LATENCY_CLASSES`) — what the metrics registry stamps on each
+/// class histogram.
+pub fn latency_class_label(idx: usize) -> (&'static str, &'static str) {
+    let mode = if idx < SOURCE_GROUPS {
+        "adaptive"
+    } else {
+        "deterministic"
+    };
+    let group = ["g0", "g1", "g2", "g3"][idx % SOURCE_GROUPS];
+    (mode, group)
+}
+
+/// Latency class of a delivered packet: routing mode (from the DLID's
+/// low bit, as everywhere else) × the source's host-index group.
+#[inline]
+fn latency_class_of(packet: &Packet, num_hosts: usize) -> usize {
+    let mode_off = if packet.mode() == RoutingMode::Adaptive {
+        0
+    } else {
+        SOURCE_GROUPS
+    };
+    let group = (packet.src.index() * SOURCE_GROUPS / num_hosts).min(SOURCE_GROUPS - 1);
+    mode_off + group
+}
 
 /// Live accumulator updated by the simulator.
 #[derive(Debug)]
@@ -42,7 +79,15 @@ pub struct StatsCollector {
     latency_sum_ns: u128,
     latency_max_ns: u64,
     latency_count: u64,
-    histogram: LatencyHistogram,
+    /// End-to-end latency of measured packets, log-linear buckets
+    /// (bounded relative quantile error) — the source of the
+    /// p50/p90/p99/p999 fields of [`RunResult`].
+    latency_hist: LogHistogram,
+    /// Per workload-class latency: indexed by
+    /// `mode × source-group` (see [`latency_class_label`]).
+    class_hists: Vec<LogHistogram>,
+    /// Host count, for the source-group mapping of `class_hists`.
+    num_hosts: usize,
     hops_sum: u64,
     escape_forwards: u64,
     adaptive_forwards: u64,
@@ -148,7 +193,9 @@ impl StatsCollector {
             latency_sum_ns: 0,
             latency_max_ns: 0,
             latency_count: 0,
-            histogram: LatencyHistogram::new(),
+            latency_hist: LogHistogram::new(),
+            class_hists: vec![LogHistogram::new(); LATENCY_CLASSES],
+            num_hosts: num_hosts.max(1),
             hops_sum: 0,
             escape_forwards: 0,
             adaptive_forwards: 0,
@@ -275,7 +322,8 @@ impl StatsCollector {
             self.latency_sum_ns += lat as u128;
             self.latency_max_ns = self.latency_max_ns.max(lat);
             self.latency_count += 1;
-            self.histogram.record(lat);
+            self.latency_hist.record(lat);
+            self.class_hists[latency_class_of(packet, self.num_hosts)].record(lat);
             self.hops_sum += packet.hops as u64;
         }
         if packet.mode() == RoutingMode::Deterministic {
@@ -308,7 +356,10 @@ impl StatsCollector {
         self.latency_sum_ns += other.latency_sum_ns;
         self.latency_max_ns = self.latency_max_ns.max(other.latency_max_ns);
         self.latency_count += other.latency_count;
-        self.histogram.merge(&other.histogram);
+        self.latency_hist.merge(&other.latency_hist);
+        for (mine, theirs) in self.class_hists.iter_mut().zip(&other.class_hists) {
+            mine.merge(theirs);
+        }
         self.hops_sum += other.hops_sum;
         self.escape_forwards += other.escape_forwards;
         self.adaptive_forwards += other.adaptive_forwards;
@@ -372,8 +423,13 @@ impl StatsCollector {
                 self.latency_sum_ns as f64 / self.latency_count as f64
             },
             max_latency_ns: self.latency_max_ns,
-            p50_latency_ns: self.histogram.quantile(0.5),
-            p99_latency_ns: self.histogram.quantile(0.99),
+            // All four percentiles come from the log-linear histogram:
+            // bounded relative error, and None (never NaN/garbage) when
+            // zero packets were measured.
+            p50_latency_ns: self.latency_hist.quantile(0.5),
+            p90_latency_ns: self.latency_hist.quantile(0.9),
+            p99_latency_ns: self.latency_hist.quantile(0.99),
+            p999_latency_ns: self.latency_hist.quantile(0.999),
             measured_packets: self.latency_count,
             accepted_bytes_per_ns_per_switch: if window_ns == 0 {
                 0.0
@@ -421,6 +477,17 @@ impl StatsCollector {
             },
         }
     }
+
+    /// The overall end-to-end latency histogram (measured packets only).
+    pub fn latency_histogram(&self) -> &LogHistogram {
+        &self.latency_hist
+    }
+
+    /// The per-workload-class latency histograms, indexed as
+    /// [`latency_class_label`] describes.
+    pub fn class_histograms(&self) -> &[LogHistogram] {
+        &self.class_hists
+    }
 }
 
 /// Version stamp of the [`RunResult`] field set, carried in
@@ -433,8 +500,14 @@ impl StatsCollector {
 /// added the FIB-cache counters (`fib_hits` / `fib_misses`) and
 /// re-pinned `recovery_time_ns` to fault → last successful LFT
 /// reprogramming (previously fault → first post-install delivery,
-/// which made the value depend on the traffic pattern).
-pub const RUN_RESULT_SCHEMA_VERSION: u32 = 3;
+/// which made the value depend on the traffic pattern). 3 → 4 added
+/// `p90_latency_ns` / `p999_latency_ns` and re-sourced all four
+/// percentiles from the log-linear latency histogram
+/// (`iba_stats::LogHistogram`, relative error ≤ 1/32 at the default
+/// precision; previously power-of-two upper bucket bounds, i.e. up to
+/// 2× overestimates). v3 files still parse via
+/// [`RunResult::from_json`] — the fields v4 added read back as `None`.
+pub const RUN_RESULT_SCHEMA_VERSION: u32 = 4;
 
 /// The outcome of one simulation run.
 ///
@@ -457,10 +530,15 @@ pub struct RunResult {
     pub avg_latency_ns: f64,
     /// Maximum measured latency, ns.
     pub max_latency_ns: u64,
-    /// Median latency (upper bucket bound, ~2× resolution), ns.
+    /// Median latency (log-linear bucket bound, relative error ≤ 1/32),
+    /// ns. `None` when zero packets were measured.
     pub p50_latency_ns: Option<u64>,
-    /// 99th-percentile latency (upper bucket bound), ns.
+    /// 90th-percentile latency, same resolution/guard as p50.
+    pub p90_latency_ns: Option<u64>,
+    /// 99th-percentile latency, same resolution/guard as p50.
     pub p99_latency_ns: Option<u64>,
+    /// 99.9th-percentile latency, same resolution/guard as p50.
+    pub p999_latency_ns: Option<u64>,
     /// Number of packets in the latency average.
     pub measured_packets: u64,
     /// Accepted traffic in bytes/ns/switch — the paper's throughput
@@ -552,7 +630,9 @@ impl PartialEq for RunResult {
             && self.avg_latency_ns == other.avg_latency_ns
             && self.max_latency_ns == other.max_latency_ns
             && self.p50_latency_ns == other.p50_latency_ns
+            && self.p90_latency_ns == other.p90_latency_ns
             && self.p99_latency_ns == other.p99_latency_ns
+            && self.p999_latency_ns == other.p999_latency_ns
             && self.measured_packets == other.measured_packets
             && self.accepted_bytes_per_ns_per_switch == other.accepted_bytes_per_ns_per_switch
             && self.avg_hops == other.avg_hops
@@ -604,7 +684,9 @@ impl RunResult {
             ("avg_latency_ns", Json::from(self.avg_latency_ns)),
             ("max_latency_ns", Json::from(self.max_latency_ns)),
             ("p50_latency_ns", Json::from(self.p50_latency_ns)),
+            ("p90_latency_ns", Json::from(self.p90_latency_ns)),
             ("p99_latency_ns", Json::from(self.p99_latency_ns)),
+            ("p999_latency_ns", Json::from(self.p999_latency_ns)),
             ("measured_packets", Json::from(self.measured_packets)),
             (
                 "accepted_bytes_per_ns_per_switch",
@@ -647,6 +729,61 @@ impl RunResult {
             ("wall_time_s", Json::from(self.wall_time_s)),
             ("events_per_sec", Json::from(self.events_per_sec)),
         ])
+    }
+
+    /// Parse a [`Self::to_json`] document back. Accepts schema v3 and
+    /// v4: a v3 file simply lacks `p90_latency_ns`/`p999_latency_ns`,
+    /// which read back as `None` (v3's p50/p99 were coarser power-of-two
+    /// bounds, but the field meaning — "latency percentile in ns, `None`
+    /// when nothing was measured" — is unchanged). `None` on any other
+    /// version or a malformed document.
+    pub fn from_json(j: &Json) -> Option<RunResult> {
+        let schema_version = j.get("schema_version")?.as_u64()? as u32;
+        if !(3..=RUN_RESULT_SCHEMA_VERSION).contains(&schema_version) {
+            return None;
+        }
+        let req_u64 = |k: &str| j.get(k).and_then(Json::as_u64);
+        let opt_u64 = |k: &str| j.get(k).and_then(Json::as_u64);
+        // NaN renders as null; read null back as NaN.
+        let f64_or_nan = |k: &str| j.get(k).and_then(Json::as_f64).unwrap_or(f64::NAN);
+        Some(RunResult {
+            schema_version,
+            generated: req_u64("generated")?,
+            injected: req_u64("injected")?,
+            delivered: req_u64("delivered")?,
+            avg_latency_ns: f64_or_nan("avg_latency_ns"),
+            max_latency_ns: req_u64("max_latency_ns")?,
+            p50_latency_ns: opt_u64("p50_latency_ns"),
+            p90_latency_ns: opt_u64("p90_latency_ns"),
+            p99_latency_ns: opt_u64("p99_latency_ns"),
+            p999_latency_ns: opt_u64("p999_latency_ns"),
+            measured_packets: req_u64("measured_packets")?,
+            accepted_bytes_per_ns_per_switch: f64_or_nan("accepted_bytes_per_ns_per_switch"),
+            avg_hops: f64_or_nan("avg_hops"),
+            escape_forwards: req_u64("escape_forwards")?,
+            adaptive_forwards: req_u64("adaptive_forwards")?,
+            order_violations: req_u64("order_violations")?,
+            duplicate_deliveries: req_u64("duplicate_deliveries")?,
+            max_host_queue: req_u64("max_host_queue")? as usize,
+            source_drops: req_u64("source_drops")?,
+            faults_injected: req_u64("faults_injected")?,
+            drops_in_transit: req_u64("drops_in_transit")?,
+            drops_after_recovery: req_u64("drops_after_recovery")?,
+            drops_link_down: req_u64("drops_link_down")?,
+            drops_switch_down: req_u64("drops_switch_down")?,
+            drops_corrupted: req_u64("drops_corrupted")?,
+            escape_certifications: req_u64("escape_certifications")?,
+            escape_cert_failures: req_u64("escape_cert_failures")?,
+            delivered_ratio: f64_or_nan("delivered_ratio"),
+            recovery_time_ns: opt_u64("recovery_time_ns"),
+            resweeps: req_u64("resweeps")?,
+            resweeps_failed: req_u64("resweeps_failed")?,
+            fib_hits: req_u64("fib_hits")?,
+            fib_misses: req_u64("fib_misses")?,
+            events: req_u64("events")?,
+            wall_time_s: f64_or_nan("wall_time_s"),
+            events_per_sec: f64_or_nan("events_per_sec"),
+        })
     }
 }
 
@@ -773,12 +910,133 @@ mod tests {
         let mut c = collector();
         c.on_delivered(&packet(1, true, 1100), SimTime::from_ns(1400));
         let r = c.finish(1, 0, Duration::ZERO);
-        assert_eq!(r.p50_latency_ns, Some(512)); // 300 ns → bucket [256,512)
-        assert_eq!(r.p99_latency_ns, Some(512));
+        // A single 300 ns sample: the log-linear histogram clamps the
+        // bucket bound to the exact observed maximum.
+        assert_eq!(r.p50_latency_ns, Some(300));
+        assert_eq!(r.p90_latency_ns, Some(300));
+        assert_eq!(r.p99_latency_ns, Some(300));
+        assert_eq!(r.p999_latency_ns, Some(300));
         assert_eq!(
             collector().finish(1, 0, Duration::ZERO).p50_latency_ns,
             None
         );
+    }
+
+    #[test]
+    fn percentiles_have_bounded_relative_error() {
+        let mut c = collector();
+        // 100 samples spread 1000..=1990 ns (generated at 1000, offsets
+        // into the window): exact p50 = 1000+2*... compare within 1/32.
+        for i in 0..100u64 {
+            c.on_generated(SimTime::from_ns(1100));
+            c.on_delivered(
+                &packet(i, true, 1100),
+                SimTime::from_ns(1100 + 1000 + 10 * i),
+            );
+        }
+        let r = c.finish(1, 0, Duration::ZERO);
+        let exact_p50 = 1000 + 10 * 49; // rank 50 of 100 sorted samples
+        let p50 = r.p50_latency_ns.unwrap();
+        assert!(p50 >= exact_p50);
+        assert!((p50 - exact_p50) as f64 <= exact_p50 as f64 / 32.0 + 1.0);
+        // Percentiles are monotone.
+        assert!(r.p50_latency_ns <= r.p90_latency_ns);
+        assert!(r.p90_latency_ns <= r.p99_latency_ns);
+        assert!(r.p99_latency_ns <= r.p999_latency_ns);
+        assert!(r.p999_latency_ns.unwrap() <= r.max_latency_ns);
+    }
+
+    #[test]
+    fn class_histograms_split_by_mode_and_source_group() {
+        let mut c = StatsCollector::new(SimTime::from_ns(1000), SimTime::from_ns(2000), 8, 16);
+        // src 0 → group 0; adaptive vs deterministic split on DLID bit.
+        let mut adaptive = packet(1, true, 1100);
+        adaptive.src = HostId(0);
+        let mut det = packet(2, false, 1100);
+        det.src = HostId(7); // → group 3 of 4 (hosts 0..8)
+        c.on_delivered(&adaptive, SimTime::from_ns(1200));
+        c.on_delivered(&det, SimTime::from_ns(1400));
+        let hists = c.class_histograms();
+        assert_eq!(hists.len(), LATENCY_CLASSES);
+        assert_eq!(hists[0].count(), 1); // adaptive / g0
+        assert_eq!(hists[SOURCE_GROUPS + 3].count(), 1); // deterministic / g3
+        assert_eq!(hists.iter().map(|h| h.count()).sum::<u64>(), 2);
+        assert_eq!(c.latency_histogram().count(), 2);
+        assert_eq!(latency_class_label(0), ("adaptive", "g0"));
+        assert_eq!(
+            latency_class_label(SOURCE_GROUPS + 3),
+            ("deterministic", "g3")
+        );
+    }
+
+    #[test]
+    fn run_result_v4_json_roundtrip() {
+        let mut c = collector();
+        c.on_generated(SimTime::from_ns(1200));
+        c.on_delivered(&packet(1, true, 1200), SimTime::from_ns(1500));
+        c.on_fault(SimTime::from_ns(1300));
+        c.on_recovery_installed(SimTime::from_ns(1400));
+        let r = c.finish(4, 10, Duration::from_millis(5));
+        let parsed = Json::parse(&r.to_json().to_string_compact()).unwrap();
+        let back = RunResult::from_json(&parsed).unwrap();
+        // PartialEq ignores the wall-clock fields, exactly what a
+        // round-trip should preserve bit-for-bit.
+        assert_eq!(back, r);
+        assert_eq!(back.schema_version, 4);
+        assert_eq!(back.p90_latency_ns, r.p90_latency_ns);
+        assert_eq!(back.p999_latency_ns, r.p999_latency_ns);
+    }
+
+    #[test]
+    fn run_result_v3_files_still_parse() {
+        // A v3 document as PR 7 wrote it: no p90/p999 fields, p50/p99
+        // as power-of-two bounds.
+        let v3 = r#"{"schema_version":3,"generated":10,"injected":9,"delivered":8,
+            "avg_latency_ns":350.5,"max_latency_ns":800,"p50_latency_ns":512,
+            "p99_latency_ns":1024,"measured_packets":8,
+            "accepted_bytes_per_ns_per_switch":0.01,"avg_hops":2.5,
+            "escape_forwards":1,"adaptive_forwards":20,"order_violations":0,
+            "duplicate_deliveries":0,"max_host_queue":3,"source_drops":1,
+            "faults_injected":0,"drops_in_transit":0,"drops_after_recovery":0,
+            "drops_link_down":0,"drops_switch_down":0,"drops_corrupted":0,
+            "escape_certifications":0,"escape_cert_failures":0,
+            "delivered_ratio":0.888,"recovery_time_ns":null,"resweeps":0,
+            "resweeps_failed":0,"fib_hits":0,"fib_misses":0,"events":123,
+            "wall_time_s":0.5,"events_per_sec":246.0}"#;
+        let parsed = Json::parse(v3).unwrap();
+        let r = RunResult::from_json(&parsed).unwrap();
+        assert_eq!(r.schema_version, 3);
+        assert_eq!(r.p50_latency_ns, Some(512));
+        // Fields v4 introduced read back as None from a v3 file.
+        assert_eq!(r.p90_latency_ns, None);
+        assert_eq!(r.p999_latency_ns, None);
+        assert_eq!(r.events, 123);
+        // Unknown future versions are rejected, not misread.
+        let v9 = v3.replace(r#""schema_version":3"#, r#""schema_version":9"#);
+        assert!(RunResult::from_json(&Json::parse(&v9).unwrap()).is_none());
+    }
+
+    #[test]
+    fn zero_delivery_run_has_guarded_ratio_and_quantiles() {
+        // The delivered_ratio NaN guard, extended to the quantile
+        // fields: a run where nothing delivers must report None (which
+        // renders as null), never NaN or a stale number.
+        let mut c = collector();
+        c.on_generated(SimTime::from_ns(1200));
+        c.on_source_drop();
+        let r = c.finish(4, 0, Duration::ZERO);
+        assert_eq!(r.delivered_ratio, 1.0); // 0 entered ⇒ vacuously whole
+        assert_eq!(r.p50_latency_ns, None);
+        assert_eq!(r.p90_latency_ns, None);
+        assert_eq!(r.p99_latency_ns, None);
+        assert_eq!(r.p999_latency_ns, None);
+        let json = r.to_json().to_string_compact();
+        assert!(json.contains(r#""p90_latency_ns":null"#));
+        assert!(json.contains(r#""p999_latency_ns":null"#));
+        // And the round-trip preserves the guard.
+        let back = RunResult::from_json(&Json::parse(&json).unwrap()).unwrap();
+        assert_eq!(back.p999_latency_ns, None);
+        assert_eq!(back.delivered_ratio, 1.0);
     }
 
     #[test]
@@ -919,7 +1177,7 @@ mod tests {
         let r = c.finish(4, 10, Duration::ZERO);
         assert_eq!(r.schema_version, RUN_RESULT_SCHEMA_VERSION);
         let json = r.to_json().to_string_compact();
-        assert!(json.starts_with(r#"{"schema_version":3,"#));
+        assert!(json.starts_with(r#"{"schema_version":4,"#));
         assert!(json.contains(r#""delivered":1"#));
         assert!(json.contains(r#""events":10"#));
         // NaN-valued aggregates render as null, not as invalid JSON.

@@ -108,24 +108,85 @@ impl std::fmt::Display for MinMaxAvg {
 /// Points are expected in nondecreasing time order (how a sampling probe
 /// naturally produces them); [`push`](Timeseries::push) debug-asserts
 /// that, and the summaries are order-independent anyway.
-#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+///
+/// ## Bounded memory
+///
+/// A series built with [`bounded`](Timeseries::bounded) never retains
+/// more than `max_points` points: it keeps every `stride`-th pushed
+/// point, and whenever the retained set fills up it drops every other
+/// retained point and doubles the stride. The policy is a pure
+/// function of the *push sequence* — no clocks, no randomness — so two
+/// identical push sequences always retain identical points regardless
+/// of wall-clock timing (push-order determinism, which the telemetry
+/// determinism suites rely on).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct Timeseries {
     points: Vec<(u64, f64)>,
+    /// Retained-point cap (0 = unbounded, the default).
+    max_points: usize,
+    /// Current keep-every-nth stride (starts at 1, doubles on overflow).
+    stride: u64,
+    /// Total points ever pushed (retained or not).
+    pushed: u64,
 }
 
 impl Timeseries {
-    /// Empty series.
+    /// Empty, unbounded series.
     pub fn new() -> Timeseries {
         Timeseries::default()
     }
 
-    /// Append a point at time `at_ns`.
+    /// Empty series that retains at most `max_points` points via
+    /// stride-doubling decimation (`0` means unbounded; nonzero caps
+    /// are clamped to at least 2 so decimation can make progress).
+    pub fn bounded(max_points: usize) -> Timeseries {
+        let max_points = if max_points == 0 {
+            0
+        } else {
+            max_points.max(2)
+        };
+        Timeseries {
+            max_points,
+            ..Timeseries::default()
+        }
+    }
+
+    /// Append a point at time `at_ns`. On a bounded series the point
+    /// is retained only if it lands on the current decimation stride.
     pub fn push(&mut self, at_ns: u64, value: f64) {
         debug_assert!(
             self.points.last().is_none_or(|&(t, _)| t <= at_ns),
             "timeseries points must be pushed in nondecreasing time order"
         );
+        let keep = self.max_points == 0 || self.pushed.is_multiple_of(self.stride);
+        self.pushed += 1;
+        if !keep {
+            return;
+        }
         self.points.push((at_ns, value));
+        if self.max_points != 0 && self.points.len() >= self.max_points {
+            // Halve the retained set (keep the even-indexed survivors,
+            // which are exactly the points at the doubled stride) and
+            // coarsen future admission to match.
+            let mut i = 0usize;
+            self.points.retain(|_| {
+                let kept = i.is_multiple_of(2);
+                i += 1;
+                kept
+            });
+            self.stride *= 2;
+        }
+    }
+
+    /// Total number of points ever pushed, including ones decimation
+    /// dropped.
+    pub fn pushed(&self) -> u64 {
+        self.pushed
+    }
+
+    /// The retained-point cap (0 = unbounded).
+    pub fn max_points(&self) -> usize {
+        self.max_points
     }
 
     /// The recorded `(time_ns, value)` points, in push order.
@@ -169,6 +230,17 @@ impl Timeseries {
             }
         }
         best
+    }
+}
+
+impl Default for Timeseries {
+    fn default() -> Timeseries {
+        Timeseries {
+            points: Vec::new(),
+            max_points: 0,
+            stride: 1,
+            pushed: 0,
+        }
     }
 }
 
@@ -340,7 +412,72 @@ mod tests {
         assert_eq!(empty.peak(), None);
     }
 
+    #[test]
+    fn bounded_timeseries_keeps_memory_bounded_at_1m_points() {
+        // Regression: an unbounded probe on a long run used to grow a
+        // point per sample forever. One million pushes must stay under
+        // the cap while preserving summaries of the retained subset.
+        const N: u64 = 1_000_000;
+        const CAP: usize = 1_024;
+        let mut ts = Timeseries::bounded(CAP);
+        for i in 0..N {
+            ts.push(i * 10, (i % 97) as f64);
+        }
+        assert!(ts.len() <= CAP, "retained {} > cap {CAP}", ts.len());
+        assert!(ts.len() >= CAP / 4, "over-decimated to {}", ts.len());
+        assert_eq!(ts.pushed(), N);
+        // The very first point always survives stride-doubling.
+        assert_eq!(ts.points()[0], (0, 0.0));
+        // Retained points stay in nondecreasing time order.
+        assert!(ts.points().windows(2).all(|w| w[0].0 <= w[1].0));
+    }
+
+    #[test]
+    fn bounded_timeseries_decimation_is_push_order_deterministic() {
+        let build = || {
+            let mut ts = Timeseries::bounded(8);
+            for i in 0..1_000u64 {
+                ts.push(i, (i * 3 % 11) as f64);
+            }
+            ts
+        };
+        assert_eq!(build(), build());
+        // Unbounded series are untouched by the policy.
+        let mut ub = Timeseries::new();
+        for i in 0..100u64 {
+            ub.push(i, i as f64);
+        }
+        assert_eq!(ub.len(), 100);
+        assert_eq!(ub.pushed(), 100);
+        assert_eq!(ub.max_points(), 0);
+    }
+
+    #[test]
+    fn bounded_timeseries_small_caps_are_clamped() {
+        let mut ts = Timeseries::bounded(1);
+        assert_eq!(ts.max_points(), 2);
+        for i in 0..64u64 {
+            ts.push(i, i as f64);
+        }
+        assert!(ts.len() <= 2);
+        assert_eq!(ts.pushed(), 64);
+    }
+
     proptest! {
+        #[test]
+        fn prop_bounded_timeseries_never_exceeds_cap(
+            cap in 2usize..64,
+            n in 0u64..5_000,
+        ) {
+            let mut ts = Timeseries::bounded(cap);
+            for i in 0..n {
+                ts.push(i, i as f64);
+            }
+            prop_assert!(ts.len() <= cap);
+            prop_assert_eq!(ts.pushed(), n);
+            prop_assert!(ts.points().windows(2).all(|w| w[0].0 <= w[1].0));
+        }
+
         #[test]
         fn prop_minmaxavg_bounds(samples in proptest::collection::vec(-1e6f64..1e6, 1..100)) {
             let acc = MinMaxAvg::from_samples(samples.iter().copied());

@@ -76,16 +76,17 @@ pub mod prelude {
         PathLengthStats, RouteOptions, RoutingConfig, SlToVlTable, UpDownRouting,
     };
     pub use iba_sim::{
-        perfetto_trace, EscapeOrderPolicy, FlightDump, FlightRecorder, JsonLinesSink, MemorySink,
-        Network, NetworkBuilder, QueueBackend, RecorderOpts, RecoveryPolicy, RunResult,
-        SelectionPolicy, SimConfig, SimConfigBuilder, StallCause, TelemetryOpts, TelemetryReport,
-        TelemetrySample, TelemetrySink, TraceOpts, Trigger, TriggerCause, WatchdogOpts,
+        perfetto_trace, EngineProfile, EscapeOrderPolicy, FlightDump, FlightRecorder,
+        JsonLinesSink, MemorySink, Network, NetworkBuilder, QueueBackend, RecorderOpts,
+        RecoveryPolicy, RunResult, SelectionPolicy, SimConfig, SimConfigBuilder, StallCause,
+        TelemetryOpts, TelemetryReport, TelemetrySample, TelemetrySink, TraceOpts, Trigger,
+        TriggerCause, WatchdogOpts,
     };
     pub use iba_sm::{
         ApmPlan, ManagedFabric, Programmer, ReliableSender, Resweep, RetryPolicy, RetryStats,
         RobustBringUp, RobustResweep, SendOutcome, SubnetManager, SweepReport,
     };
-    pub use iba_stats::{Curve, CurvePoint, MinMaxAvg};
+    pub use iba_stats::{Curve, CurvePoint, LogHistogram, MetricValue, MetricsRegistry, MinMaxAvg};
     pub use iba_topology::{
         regular, IrregularConfig, Topology, TopologyBuilder, TopologyMetrics, TopologySpec,
     };
