@@ -1,0 +1,125 @@
+//! Declarative campaign definitions.
+
+use iba_core::Json;
+
+/// One run of a campaign: an experiment kind plus its parameters
+/// (topology spec, seed, LMC, load, fault mix, ...), all declarative —
+/// the executor closure interprets them.
+///
+/// The `id` is the run's durable identity: the journal keys completed
+/// work by it, and resume skips specs whose id already has a record.
+/// It must be unique within the campaign and stable across invocations
+/// (derive it from the parameters, never from wall time).
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunSpec {
+    /// Stable unique identity, e.g. `chaos/links/n8/s100`.
+    pub id: String,
+    /// Experiment kind the executor dispatches on, e.g. `chaos-cell`.
+    pub experiment: String,
+    /// Declarative parameters of the run.
+    pub params: Json,
+}
+
+impl RunSpec {
+    /// Build a spec.
+    pub fn new(id: impl Into<String>, experiment: impl Into<String>, params: Json) -> RunSpec {
+        RunSpec {
+            id: id.into(),
+            experiment: experiment.into(),
+            params,
+        }
+    }
+
+    /// A `u64` parameter, with a spec-qualified error.
+    pub fn param_u64(&self, key: &str) -> Result<u64, String> {
+        self.params
+            .get(key)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("{}: missing or non-integer param {key:?}", self.id))
+    }
+
+    /// A string parameter, with a spec-qualified error.
+    pub fn param_str(&self, key: &str) -> Result<&str, String> {
+        self.params
+            .get(key)
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("{}: missing or non-string param {key:?}", self.id))
+    }
+}
+
+/// An ordered set of [`RunSpec`]s with a campaign name.
+///
+/// Order matters: the final output is assembled in spec order, which is
+/// what makes a resumed campaign byte-identical to an uninterrupted
+/// one regardless of worker interleaving.
+#[derive(Clone, Debug, Default)]
+pub struct Campaign {
+    /// Campaign name (journal header / report labelling).
+    pub name: String,
+    /// The runs, in output order.
+    pub specs: Vec<RunSpec>,
+}
+
+impl Campaign {
+    /// An empty campaign.
+    pub fn new(name: impl Into<String>) -> Campaign {
+        Campaign {
+            name: name.into(),
+            specs: Vec::new(),
+        }
+    }
+
+    /// Append a spec.
+    pub fn push(&mut self, spec: RunSpec) {
+        self.specs.push(spec);
+    }
+
+    /// Validate the definition: every id non-empty and unique.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut seen = std::collections::HashSet::new();
+        for s in &self.specs {
+            if s.id.is_empty() {
+                return Err(format!("campaign {}: empty spec id", self.name));
+            }
+            if !seen.insert(s.id.as_str()) {
+                return Err(format!(
+                    "campaign {}: duplicate spec id {}",
+                    self.name, s.id
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn params_accessors_carry_spec_context() {
+        let s = RunSpec::new(
+            "chaos/links/n8/s1",
+            "chaos-cell",
+            Json::obj([("size", Json::from(8u64)), ("mix", Json::from("links"))]),
+        );
+        assert_eq!(s.param_u64("size").unwrap(), 8);
+        assert_eq!(s.param_str("mix").unwrap(), "links");
+        let err = s.param_u64("seed").unwrap_err();
+        assert!(err.contains("chaos/links/n8/s1"), "{err}");
+        assert!(s.param_str("size").is_err());
+    }
+
+    #[test]
+    fn validate_rejects_duplicates_and_empties() {
+        let mut c = Campaign::new("t");
+        c.push(RunSpec::new("a", "k", Json::object()));
+        c.push(RunSpec::new("b", "k", Json::object()));
+        assert!(c.validate().is_ok());
+        c.push(RunSpec::new("a", "k", Json::object()));
+        assert!(c.validate().unwrap_err().contains("duplicate"));
+        let mut e = Campaign::new("t");
+        e.push(RunSpec::new("", "k", Json::object()));
+        assert!(e.validate().unwrap_err().contains("empty"));
+    }
+}

@@ -4,13 +4,27 @@
 //! against the conservation / duplicate / credit / escape-acyclicity /
 //! no-wedge invariants, plus an SMP-level bring-up convergence check.
 //!
-//! Exits non-zero when any invariant is violated.
+//! Runs under the crash-safe campaign runner (DESIGN.md §16): every
+//! cell is journalled as it completes, `--resume` continues an
+//! interrupted sweep without re-running finished cells, and a panicking
+//! or hanging cell ends as a recorded poisoned run instead of killing
+//! the sweep.
+//!
+//! Exits non-zero when any invariant is violated (poisoned runs alone
+//! do not change the exit code — they are supervision records, not
+//! invariant verdicts).
 //!
 //! ```text
 //! cargo run --release -p iba-experiments --bin chaos -- \
-//!     [--sizes 8,16] [--seeds 15] [--seed 100] [--out results/chaos.json]
+//!     [--sizes 8,16] [--seeds 15] [--seed 100] [--mixes links,everything] \
+//!     [--out results/chaos.json] [--journal <path>] [--resume] \
+//!     [--workers N] [--attempts 3] [--timeout-ms 600000] [--quiet] \
+//!     [--halt-after N] [--inject-panic] [--inject-hang]
 //! ```
 
+use iba_campaign::{digest_hex, run_campaign, write_atomic, RunStatus};
+use iba_core::Json;
+use iba_experiments::campaigns::{self, ChaosPlan};
 use iba_experiments::chaos;
 
 fn main() {
@@ -24,19 +38,63 @@ fn main() {
     }
 }
 
-fn real_main() -> Result<usize, String> {
+fn cell_u64(c: &Json, key: &str) -> u64 {
+    c.get(key).and_then(Json::as_u64).unwrap_or(0)
+}
+
+fn real_main() -> Result<u64, String> {
     let args = iba_experiments::cli::Args::from_env()?;
-    let sizes = args.get_list_or("sizes", &[8usize, 16])?;
-    let seeds = args.get_or("seeds", 15u64)?;
-    let base_seed = args.get_or("seed", 100u64)?;
+    let plan = ChaosPlan::from_args(&args)?;
     let out = args.get("out").unwrap_or("results/chaos.json").to_string();
+    let journal = campaigns::journal_path(&args, &out);
+    let (opts, resume) = campaigns::runner_opts(&args)?;
+
+    let mut campaign = campaigns::chaos_campaign(&plan)?;
+    campaigns::push_injected(
+        &mut campaign,
+        args.get_bool("inject-panic"),
+        args.get_bool("inject-hang"),
+    );
+    let (executor, cache) = campaigns::chaos_executor();
 
     eprintln!(
-        "chaos: sizes {sizes:?} × {} mixes × {seeds} seeds = {} runs (each on both queue backends)",
-        chaos::MIXES.len(),
-        sizes.len() * chaos::MIXES.len() * seeds as usize
+        "chaos: sizes {:?} × {} mixes × {} seeds = {} runs (each on both queue backends)",
+        plan.sizes,
+        plan.mixes.len(),
+        plan.seeds,
+        campaign.specs.len()
     );
-    let runs = chaos::run_campaign(&sizes, seeds, base_seed).map_err(|e| e.to_string())?;
+    let outcome = run_campaign(
+        &campaign,
+        campaigns::with_injections(executor),
+        &journal,
+        &opts,
+        resume,
+    )?;
+    let (hits, misses) = cache.stats();
+    eprintln!("chaos: fabric cache: {hits} hits / {misses} builds");
+    if outcome.halted {
+        eprintln!(
+            "chaos: halted after {} new runs; journal kept at {journal}; rerun with --resume",
+            outcome.executed
+        );
+        return Ok(0);
+    }
+
+    let poisoned = outcome.poisoned_ids();
+    for id in &poisoned {
+        let err = outcome
+            .record_for(id)
+            .and_then(|r| r.error.clone())
+            .unwrap_or_default();
+        eprintln!("chaos: POISONED {id}: {err}");
+    }
+    let cells: Vec<Json> = outcome
+        .records
+        .iter()
+        .filter(|r| r.status == RunStatus::Ok && r.experiment == "chaos-cell")
+        .map(|r| r.result.clone())
+        .collect();
 
     println!(
         "{:<14} {:>4} {:>6} {:>9} {:>7} {:>7} {:>7} {:>8} {:>9} {:>5}",
@@ -51,43 +109,86 @@ fn real_main() -> Result<usize, String> {
         "sm.retx",
         "viol"
     );
-    for mix in &chaos::MIXES {
-        let cell: Vec<_> = runs.iter().filter(|r| r.mix == mix.name).collect();
+    for mix in &plan.mixes {
+        let cell: Vec<&Json> = cells
+            .iter()
+            .filter(|c| c.get("mix").and_then(Json::as_str) == Some(mix))
+            .collect();
         println!(
             "{:<14} {:>4} {:>6} {:>9} {:>7} {:>7} {:>7} {:>8} {:>9} {:>5}",
-            mix.name,
+            mix,
             cell.len(),
-            cell.iter().map(|r| r.result.faults_injected).sum::<u64>(),
-            cell.iter().map(|r| r.result.delivered).sum::<u64>(),
-            cell.iter().map(|r| r.result.drops_link_down).sum::<u64>(),
-            cell.iter().map(|r| r.result.drops_switch_down).sum::<u64>(),
-            cell.iter().map(|r| r.result.drops_corrupted).sum::<u64>(),
-            cell.iter().map(|r| r.result.resweeps).sum::<u64>(),
-            cell.iter().map(|r| r.sm_retransmits).sum::<u64>(),
-            cell.iter().map(|r| r.violations.len()).sum::<usize>(),
+            cell.iter()
+                .map(|c| cell_u64(c, "faults_injected"))
+                .sum::<u64>(),
+            cell.iter().map(|c| cell_u64(c, "delivered")).sum::<u64>(),
+            cell.iter()
+                .map(|c| cell_u64(c, "drops_link_down"))
+                .sum::<u64>(),
+            cell.iter()
+                .map(|c| cell_u64(c, "drops_switch_down"))
+                .sum::<u64>(),
+            cell.iter()
+                .map(|c| cell_u64(c, "drops_corrupted"))
+                .sum::<u64>(),
+            cell.iter().map(|c| cell_u64(c, "resweeps")).sum::<u64>(),
+            cell.iter()
+                .map(|c| cell_u64(c, "sm_retransmits"))
+                .sum::<u64>(),
+            cell.iter()
+                .map(|c| {
+                    c.get("violations")
+                        .and_then(Json::as_arr)
+                        .map(|v| v.len() as u64)
+                        .unwrap_or(0)
+                })
+                .sum::<u64>(),
         );
     }
-    let violations = chaos::total_violations(&runs);
-    let wedges: usize = runs.iter().map(|r| r.wedges).sum();
-    let identical = runs.iter().all(|r| r.backends_identical);
+    let violations: u64 = cells
+        .iter()
+        .map(|c| {
+            c.get("violations")
+                .and_then(Json::as_arr)
+                .map(|v| v.len() as u64)
+                .unwrap_or(0)
+        })
+        .sum();
+    let wedges: u64 = cells.iter().map(|c| cell_u64(c, "wedges")).sum();
+    let identical = cells
+        .iter()
+        .all(|c| c.get("backends_identical").and_then(Json::as_bool) == Some(true));
     println!(
         "chaos: {} runs, {violations} violations, {wedges} suspected wedges, backends identical: {identical}",
-        runs.len()
+        cells.len()
     );
-    for r in &runs {
-        for v in &r.violations {
+    for c in &cells {
+        let Some(list) = c.get("violations").and_then(Json::as_arr) else {
+            continue;
+        };
+        for v in list {
             eprintln!(
-                "chaos: VIOLATION [{} n={} seed={}]: {v}",
-                r.mix, r.size, r.seed
+                "chaos: VIOLATION [{} n={} seed={}]: {}",
+                c.get("mix").and_then(Json::as_str).unwrap_or("?"),
+                cell_u64(c, "switches"),
+                cell_u64(c, "seed"),
+                v.as_str().unwrap_or("?")
             );
         }
     }
 
-    let json = chaos::to_json(&sizes, seeds, base_seed, &runs);
-    if let Some(dir) = std::path::Path::new(&out).parent() {
-        std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+    let mixes: Vec<&str> = plan.mixes.iter().map(String::as_str).collect();
+    let json = chaos::document_from_cells(&plan.sizes, &mixes, plan.seeds, plan.base_seed, &cells);
+    write_atomic(&out, json).map_err(|e| e.to_string())?;
+    eprintln!(
+        "chaos: wrote {out} (campaign digest {})",
+        digest_hex(outcome.digest())
+    );
+    if !poisoned.is_empty() {
+        eprintln!(
+            "chaos: {} poisoned runs excluded from the document (see journal {journal})",
+            poisoned.len()
+        );
     }
-    std::fs::write(&out, json).map_err(|e| e.to_string())?;
-    eprintln!("chaos: wrote {out}");
     Ok(violations)
 }

@@ -1,15 +1,23 @@
 //! Engine-zoo sweep: FA over {up*/down*, OutFlank, full-mesh} escape
-//! engines, torus and full-mesh fabrics, Fig-3-style curves.
+//! engines, torus and full-mesh fabrics, Fig-3-style curves — run under
+//! the crash-safe campaign runner (DESIGN.md §16).
 //!
 //! ```text
 //! cargo run --release -p iba-experiments --bin engine_zoo -- \
 //!     [--fidelity quick|full] [--sizes 64,256] [--hosts 4] \
-//!     [--adaptive 1.0] [--seed 100] [--out results/engine_zoo.json]
+//!     [--adaptive 1.0] [--seed 100] [--out results/engine_zoo.json] \
+//!     [--journal <path>] [--resume] [--workers N] [--attempts 3] \
+//!     [--timeout-ms 600000] [--quiet] [--halt-after N] \
+//!     [--inject-panic] [--inject-hang]
 //! ```
 //!
-//! Exits non-zero when any escape layer fails its cycle certification
-//! or the full-mesh calibration pair diverges.
+//! Exits non-zero when any escape layer fails its cycle certification,
+//! the full-mesh calibration pair diverges, or a real (non-injected)
+//! point was poisoned — a gate cannot pass on missing data.
 
+use iba_campaign::{digest_hex, run_campaign, write_atomic, RunStatus};
+use iba_core::Json;
+use iba_experiments::campaigns;
 use iba_experiments::cli::Args;
 use iba_experiments::engine_zoo::{self, ZooConfig};
 use iba_experiments::Fidelity;
@@ -36,37 +44,89 @@ fn real_main() -> Result<(), String> {
         .get("out")
         .unwrap_or("results/engine_zoo.json")
         .to_string();
+    let journal = campaigns::journal_path(&args, &out);
+    let (opts, resume) = campaigns::runner_opts(&args)?;
+
+    let mut campaign = campaigns::zoo_campaign(&cfg)?;
+    campaigns::push_injected(
+        &mut campaign,
+        args.get_bool("inject-panic"),
+        args.get_bool("inject-hang"),
+    );
+    let (executor, cache) = campaigns::zoo_executor(&cfg);
 
     eprintln!(
-        "engine_zoo: {:?} fidelity, sizes {:?}, {} hosts/switch, {:.0}% adaptive",
+        "engine_zoo: {:?} fidelity, sizes {:?}, {} hosts/switch, {:.0}% adaptive, {} points",
         fidelity,
         cfg.sizes,
         cfg.hosts_per_switch,
-        cfg.adaptive_fraction * 100.0
+        cfg.adaptive_fraction * 100.0,
+        campaign.specs.len()
     );
-    let points = engine_zoo::run(&cfg).map_err(|e| e.to_string())?;
+    let outcome = run_campaign(
+        &campaign,
+        campaigns::with_injections(executor),
+        &journal,
+        &opts,
+        resume,
+    )?;
+    let (hits, misses) = cache.stats();
+    eprintln!("engine_zoo: topology cache: {hits} hits / {misses} builds");
+    if outcome.halted {
+        eprintln!(
+            "engine_zoo: halted after {} new runs; journal kept at {journal}; rerun with --resume",
+            outcome.executed
+        );
+        return Ok(());
+    }
+
+    let mut real_poisoned = Vec::new();
+    for id in outcome.poisoned_ids() {
+        let rec = outcome.record_for(id);
+        let err = rec.and_then(|r| r.error.clone()).unwrap_or_default();
+        eprintln!("engine_zoo: POISONED {id}: {err}");
+        if rec.map(|r| r.experiment == "zoo-point").unwrap_or(false) {
+            real_poisoned.push(id.to_string());
+        }
+    }
+    let points: Vec<Json> = outcome
+        .records
+        .iter()
+        .filter(|r| r.status == RunStatus::Ok && r.experiment == "zoo-point")
+        .map(|r| r.result.clone())
+        .collect();
 
     println!("topology      switches  engine    escape_acyclic  saturation B/ns/sw");
     for p in &points {
         println!(
             "{:<12}  {:>8}  {:<8}  escape_acyclic: {:<5}  {}",
-            p.topology,
-            p.switches,
-            p.engine,
-            p.escape_acyclic,
-            p.saturation
+            p.get("topology").and_then(Json::as_str).unwrap_or("?"),
+            p.get("switches").and_then(Json::as_u64).unwrap_or(0),
+            p.get("engine").and_then(Json::as_str).unwrap_or("?"),
+            p.get("escape_acyclic")
+                .and_then(Json::as_bool)
+                .unwrap_or(false),
+            p.get("saturation")
+                .and_then(Json::as_f64)
                 .map(|s| format!("{s:.4}"))
                 .unwrap_or_else(|| "-".into()),
         );
     }
 
-    let json = engine_zoo::to_json(&cfg, &points);
-    if let Some(dir) = std::path::Path::new(&out).parent() {
-        std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
-    }
-    std::fs::write(&out, json).map_err(|e| e.to_string())?;
-    eprintln!("engine_zoo: wrote {out}");
+    let json = engine_zoo::document_from_cells(&cfg, &points);
+    write_atomic(&out, json).map_err(|e| e.to_string())?;
+    eprintln!(
+        "engine_zoo: wrote {out} (campaign digest {})",
+        digest_hex(outcome.digest())
+    );
 
-    engine_zoo::verify(&points)?;
+    if !real_poisoned.is_empty() {
+        return Err(format!(
+            "{} zoo points poisoned ({}); the acyclicity gate cannot pass on missing data",
+            real_poisoned.len(),
+            real_poisoned.join(", ")
+        ));
+    }
+    engine_zoo::verify_cells(&points)?;
     Ok(())
 }

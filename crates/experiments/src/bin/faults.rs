@@ -86,10 +86,7 @@ fn real_main() -> Result<(), String> {
     }
 
     let json = faults::to_json(size, seeds, rate, resweep_latency_ns, &cells);
-    if let Some(dir) = std::path::Path::new(&out).parent() {
-        std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
-    }
-    std::fs::write(&out, json).map_err(|e| e.to_string())?;
+    iba_campaign::write_atomic(&out, json).map_err(|e| e.to_string())?;
     eprintln!("faults: wrote {out}");
     Ok(())
 }

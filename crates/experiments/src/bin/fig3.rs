@@ -62,7 +62,8 @@ fn real_main() -> Result<(), String> {
                         dat.push_str(&format!("{:.6} {:.1}\n", p.accepted, p.avg_latency_ns));
                     }
                 }
-                std::fs::write(format!("{dir}/{name}"), dat).map_err(|e| e.to_string())?;
+                iba_campaign::write_atomic(format!("{dir}/{name}"), dat)
+                    .map_err(|e| e.to_string())?;
                 plots.push(format!(
                     "'{name}' using 1:2 with linespoints title '{:.0}% adaptive'",
                     frac * 100.0
@@ -74,7 +75,7 @@ fn real_main() -> Result<(), String> {
                 plots.join(", ")
             ));
         }
-        std::fs::write(format!("{dir}/fig3.gp"), script).map_err(|e| e.to_string())?;
+        iba_campaign::write_atomic(format!("{dir}/fig3.gp"), script).map_err(|e| e.to_string())?;
         eprintln!("fig3: gnuplot bundle written to {dir}/");
     }
     if let Some(path) = args.get("csv") {
@@ -102,7 +103,7 @@ fn real_main() -> Result<(), String> {
             ],
             &rows,
         );
-        std::fs::write(path, csv).map_err(|e| e.to_string())?;
+        iba_campaign::write_atomic(path, csv).map_err(|e| e.to_string())?;
         eprintln!("fig3: CSV written to {path}");
     }
     Ok(())

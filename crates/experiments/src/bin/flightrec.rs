@@ -65,13 +65,12 @@ fn real_main() -> Result<(), String> {
         result.generated, result.delivered, result.drops_in_transit
     );
 
-    std::fs::create_dir_all(&out_dir).map_err(|e| e.to_string())?;
     let jsonl_path = format!("{out_dir}/flight.jsonl");
-    std::fs::write(&jsonl_path, dump.to_jsonl()).map_err(|e| e.to_string())?;
+    iba_campaign::write_atomic(&jsonl_path, dump.to_jsonl()).map_err(|e| e.to_string())?;
     let perfetto = perfetto_text(&dump);
     let n = validate_perfetto(&perfetto)?;
     let perfetto_path = format!("{out_dir}/flight.perfetto.json");
-    std::fs::write(&perfetto_path, perfetto).map_err(|e| e.to_string())?;
+    iba_campaign::write_atomic(&perfetto_path, perfetto).map_err(|e| e.to_string())?;
     eprintln!(
         "flightrec: wrote {jsonl_path} ({} events)",
         dump.events.len()

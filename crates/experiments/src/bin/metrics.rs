@@ -67,10 +67,7 @@ fn real_main() -> Result<(), String> {
     }
 
     let write = |path: &str, body: &str| -> Result<(), String> {
-        if let Some(dir) = std::path::Path::new(path).parent() {
-            std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
-        }
-        std::fs::write(path, body).map_err(|e| e.to_string())
+        iba_campaign::write_atomic(path, body).map_err(|e| e.to_string())
     };
     write(&out, &metrics::to_json(&cfg, &run))?;
     write(&prom_out, &run.registry.prometheus())?;

@@ -88,7 +88,7 @@ fn real_main() -> Result<(), String> {
             &["switches", "packet_bytes", "pattern", "min", "max", "avg"],
             &rows,
         );
-        std::fs::write(path, csv).map_err(|e| e.to_string())?;
+        iba_campaign::write_atomic(path, csv).map_err(|e| e.to_string())?;
         eprintln!("table1: CSV written to {path}");
     }
     Ok(())

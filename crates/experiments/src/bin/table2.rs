@@ -42,7 +42,7 @@ fn real_main() -> Result<(), String> {
             }
         }
         let csv = csv_table(&["switches", "links", "mr", "options", "percent"], &out);
-        std::fs::write(path, csv).map_err(|e| e.to_string())?;
+        iba_campaign::write_atomic(path, csv).map_err(|e| e.to_string())?;
         eprintln!("table2: CSV written to {path}");
     }
     Ok(())

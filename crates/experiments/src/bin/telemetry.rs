@@ -63,10 +63,7 @@ fn real_main() -> Result<(), String> {
     println!("{}", timeseries_table(&rows));
 
     let json = telemetry::to_json(size, seed, sample_every_ns, &points);
-    if let Some(dir) = std::path::Path::new(&out).parent() {
-        std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
-    }
-    std::fs::write(&out, json).map_err(|e| e.to_string())?;
+    iba_campaign::write_atomic(&out, json).map_err(|e| e.to_string())?;
     eprintln!("telemetry: wrote {out}");
     Ok(())
 }

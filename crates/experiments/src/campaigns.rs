@@ -1,0 +1,397 @@
+//! Campaign definitions bridging the experiment modules onto the
+//! crash-safe [`iba_campaign`] runner (DESIGN.md §16).
+//!
+//! Each migrated binary (chaos, engine_zoo, recovery_scaling) is a thin
+//! shell over three pieces defined here:
+//!
+//! 1. a **declarative campaign** — one [`RunSpec`] per sweep cell, with
+//!    a stable id and pure-data parameters, so an interrupted sweep can
+//!    be resumed from the journal alone;
+//! 2. an **executor** — interprets a spec, runs the experiment cell,
+//!    and returns the *rendered* per-cell JSON (the exact `cells[]` /
+//!    `points[]` / `curve[]` element of the final document), making a
+//!    resumed document byte-identical to an uninterrupted one;
+//! 3. a shared [`ArtifactCache`] so cells on the same `(topology,
+//!    seed)` fabric compile it once across workers.
+//!
+//! The `--inject-panic` / `--inject-hang` flags append synthetic
+//! always-failing specs ([`push_injected`] + [`with_injections`]): CI
+//! uses them to pin the supervision contract — a panicking or hanging
+//! run must end as a *recorded poisoned run*, not a dead sweep.
+
+use crate::chaos::{self, ChaosArtifact};
+use crate::cli::Args;
+use crate::engine_zoo::{self, ZooConfig};
+use crate::recovery;
+use iba_campaign::{ArtifactCache, Campaign, Executor, FabricKey, RunSpec, RunnerOpts};
+use iba_core::Json;
+use iba_sim::RecoveryPolicy;
+use iba_topology::{Topology, TopologySpec};
+use std::sync::Arc;
+
+/// Parse the shared supervision flags (`--workers`, `--attempts`,
+/// `--timeout-ms`, `--halt-after`, `--quiet`, `--resume`) into runner
+/// options plus the resume switch.
+pub fn runner_opts(args: &Args) -> Result<(RunnerOpts, bool), String> {
+    let defaults = RunnerOpts::default();
+    let halt_after = args.get_or("halt-after", 0usize)?;
+    let opts = RunnerOpts {
+        workers: args.get_or("workers", defaults.workers)?,
+        max_attempts: args.get_or("attempts", defaults.max_attempts)?,
+        timeout_ms: args.get_or("timeout-ms", defaults.timeout_ms)?,
+        halt_after: (halt_after > 0).then_some(halt_after),
+        quiet: args.get_bool("quiet"),
+        ..defaults
+    };
+    Ok((opts, args.get_bool("resume")))
+}
+
+/// The journal path: `--journal`, defaulting to `<out>.journal.jsonl`
+/// next to the results artifact.
+pub fn journal_path(args: &Args, out: &str) -> String {
+    args.get("journal")
+        .map(str::to_string)
+        .unwrap_or_else(|| format!("{out}.journal.jsonl"))
+}
+
+/// Append the synthetic failure specs CI's poisoned-run gate drives.
+pub fn push_injected(campaign: &mut Campaign, panic: bool, hang: bool) {
+    let prefix = campaign.name.clone();
+    if panic {
+        campaign.push(RunSpec::new(
+            format!("{prefix}/injected-panic"),
+            "injected-panic",
+            Json::object(),
+        ));
+    }
+    if hang {
+        campaign.push(RunSpec::new(
+            format!("{prefix}/injected-hang"),
+            "injected-hang",
+            Json::object(),
+        ));
+    }
+}
+
+/// Wrap an executor so the synthetic `injected-panic` / `injected-hang`
+/// specs misbehave on purpose; everything else passes through.
+pub fn with_injections(inner: Executor) -> Executor {
+    Arc::new(move |spec: &RunSpec| match spec.experiment.as_str() {
+        "injected-panic" => panic!("injected panic (spec {})", spec.id),
+        "injected-hang" => loop {
+            std::thread::sleep(std::time::Duration::from_millis(50));
+        },
+        _ => inner(spec),
+    })
+}
+
+// ---------------------------------------------------------------- chaos
+
+/// The chaos sweep grid, declaratively.
+#[derive(Clone, Debug)]
+pub struct ChaosPlan {
+    /// Fabric sizes (switches).
+    pub sizes: Vec<usize>,
+    /// Seeds per (size, mix) cell.
+    pub seeds: u64,
+    /// First seed.
+    pub base_seed: u64,
+    /// Mix-name subset of [`chaos::MIXES`] to run (campaign order).
+    pub mixes: Vec<String>,
+}
+
+impl ChaosPlan {
+    /// Parse `--sizes/--seeds/--seed/--mixes` with the bin's defaults.
+    pub fn from_args(args: &Args) -> Result<ChaosPlan, String> {
+        let mixes = match args.get("mixes") {
+            None => chaos::MIXES.iter().map(|m| m.name.to_string()).collect(),
+            Some(list) => list
+                .split(',')
+                .map(|name| {
+                    let name = name.trim();
+                    chaos::mix_by_name(name)
+                        .map(|m| m.name.to_string())
+                        .ok_or_else(|| format!("unknown chaos mix {name:?}"))
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+        };
+        Ok(ChaosPlan {
+            sizes: args.get_list_or("sizes", &[8usize, 16])?,
+            seeds: args.get_or("seeds", 15u64)?,
+            base_seed: args.get_or("seed", 100u64)?,
+            mixes,
+        })
+    }
+}
+
+/// One [`RunSpec`] per (size, mix, seed) cell, ids like
+/// `chaos/links/n8/s100`.
+pub fn chaos_campaign(plan: &ChaosPlan) -> Result<Campaign, String> {
+    let mut campaign = Campaign::new("chaos");
+    for &size in &plan.sizes {
+        for (mix_index, mix) in chaos::MIXES.iter().enumerate() {
+            if !plan.mixes.iter().any(|m| m == mix.name) {
+                continue;
+            }
+            for s in 0..plan.seeds {
+                let seed = plan.base_seed + s;
+                campaign.push(RunSpec::new(
+                    format!("chaos/{}/n{size}/s{seed}", mix.name),
+                    "chaos-cell",
+                    Json::obj([
+                        ("mix", Json::from(mix.name)),
+                        ("mix_index", Json::from(mix_index as u64)),
+                        ("size", Json::from(size)),
+                        ("seed", Json::from(seed)),
+                    ]),
+                ));
+            }
+        }
+    }
+    campaign.validate()?;
+    Ok(campaign)
+}
+
+/// The chaos executor plus its fabric cache (for the final stats line).
+/// Cells sharing a `(size, seed, apm?)` fabric compile topology and
+/// routing once.
+pub fn chaos_executor() -> (Executor, Arc<ArtifactCache<ChaosArtifact>>) {
+    let cache: Arc<ArtifactCache<ChaosArtifact>> = Arc::new(ArtifactCache::new());
+    let shared = cache.clone();
+    let executor: Executor = Arc::new(move |spec: &RunSpec| {
+        let mix_name = spec.param_str("mix")?;
+        let mix = chaos::mix_by_name(mix_name)
+            .ok_or_else(|| format!("{}: unknown mix {mix_name:?}", spec.id))?;
+        let mix_index = spec.param_u64("mix_index")?;
+        let size = spec.param_u64("size")? as usize;
+        let seed = spec.param_u64("seed")?;
+        let apm = mix.policy == RecoveryPolicy::ApmMigrate;
+        let topo_spec = if apm {
+            format!("irregular{size}+apm")
+        } else {
+            format!("irregular{size}")
+        };
+        let artifact = shared.get_or_build(&FabricKey::new(topo_spec, seed, 0), || {
+            chaos::build_artifact(size, seed, apm).map_err(|e| e.to_string())
+        })?;
+        let run = chaos::run_one_with(&artifact, mix, mix_index, seed)
+            .map_err(|e| format!("{}: {e}", spec.id))?;
+        Ok(chaos::cell_json(&run))
+    });
+    (executor, cache)
+}
+
+// ----------------------------------------------------------- engine zoo
+
+/// One [`RunSpec`] per (topology, engine) zoo point, ids like
+/// `zoo/torus4x4/outflank`. Skip rules (and their stderr notes) are
+/// [`engine_zoo::plan`]'s.
+pub fn zoo_campaign(cfg: &ZooConfig) -> Result<Campaign, String> {
+    let mut campaign = Campaign::new("engine_zoo");
+    for (spec, engine) in engine_zoo::plan(cfg) {
+        let shape = match spec {
+            TopologySpec::Torus2D { rows, cols, .. } => Json::obj([
+                ("shape", Json::from("torus2d")),
+                ("rows", Json::from(rows)),
+                ("cols", Json::from(cols)),
+                ("engine", Json::from(engine)),
+            ]),
+            TopologySpec::FullMesh { switches, .. } => Json::obj([
+                ("shape", Json::from("fullmesh")),
+                ("switches", Json::from(switches)),
+                ("engine", Json::from(engine)),
+            ]),
+            other => {
+                return Err(format!("engine zoo cannot plan topology {other:?}"));
+            }
+        };
+        campaign.push(RunSpec::new(
+            format!("zoo/{}/{engine}", spec.name()),
+            "zoo-point",
+            shape,
+        ));
+    }
+    campaign.validate()?;
+    Ok(campaign)
+}
+
+/// The zoo executor plus its topology cache: both engines of a pair
+/// sweep the identical generated fabric.
+pub fn zoo_executor(cfg: &ZooConfig) -> (Executor, Arc<ArtifactCache<Topology>>) {
+    let cache: Arc<ArtifactCache<Topology>> = Arc::new(ArtifactCache::new());
+    let shared = cache.clone();
+    let cfg = cfg.clone();
+    let executor: Executor = Arc::new(move |spec: &RunSpec| {
+        let engine = spec.param_str("engine")?;
+        let topo_spec = match spec.param_str("shape")? {
+            "torus2d" => TopologySpec::Torus2D {
+                rows: spec.param_u64("rows")? as usize,
+                cols: spec.param_u64("cols")? as usize,
+                hosts_per_switch: cfg.hosts_per_switch,
+            },
+            "fullmesh" => TopologySpec::FullMesh {
+                switches: spec.param_u64("switches")? as usize,
+                hosts_per_switch: cfg.hosts_per_switch,
+            },
+            other => return Err(format!("{}: unknown shape {other:?}", spec.id)),
+        };
+        let name = topo_spec.name();
+        let topo = shared.get_or_build(&FabricKey::new(name.clone(), cfg.seed, 0), || {
+            topo_spec.generate(cfg.seed).map_err(|e| e.to_string())
+        })?;
+        let point = engine_zoo::run_engine_named(&topo, name, engine, &cfg)
+            .map_err(|e| format!("{}: {e}", spec.id))?;
+        Ok(engine_zoo::point_json(&point))
+    });
+    (executor, cache)
+}
+
+// ------------------------------------------------------------- recovery
+
+/// One [`RunSpec`] per fabric size, ids like `recovery/n16`; each run
+/// produces the `(full, incremental)` pair of curve points as a
+/// two-element array.
+pub fn recovery_campaign(sizes: &[usize], seed: u64, per_smp_ns: u64) -> Result<Campaign, String> {
+    let mut campaign = Campaign::new("recovery_scaling");
+    for &size in sizes {
+        campaign.push(RunSpec::new(
+            format!("recovery/n{size}"),
+            "recovery-pair",
+            Json::obj([
+                ("size", Json::from(size)),
+                ("seed", Json::from(seed)),
+                ("per_smp_ns", Json::from(per_smp_ns)),
+            ]),
+        ));
+    }
+    campaign.validate()?;
+    Ok(campaign)
+}
+
+/// The recovery executor: twin-fabric recovery of one size, both
+/// policies.
+pub fn recovery_executor() -> Executor {
+    Arc::new(move |spec: &RunSpec| {
+        let size = spec.param_u64("size")? as usize;
+        let seed = spec.param_u64("seed")?;
+        let per_smp_ns = spec.param_u64("per_smp_ns")?;
+        let (full, inc) =
+            recovery::run_size(size, seed, per_smp_ns).map_err(|e| format!("{}: {e}", spec.id))?;
+        Ok(Json::arr([
+            recovery::point_json(&full),
+            recovery::point_json(&inc),
+        ]))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(v: &[&str]) -> Args {
+        Args::parse(v.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    #[test]
+    fn runner_flags_parse() {
+        let args = parse(&[
+            "--workers",
+            "2",
+            "--attempts",
+            "5",
+            "--timeout-ms",
+            "1234",
+            "--halt-after",
+            "3",
+            "--resume",
+            "--quiet",
+        ]);
+        let (opts, resume) = runner_opts(&args).unwrap();
+        assert_eq!(opts.workers, 2);
+        assert_eq!(opts.max_attempts, 5);
+        assert_eq!(opts.timeout_ms, 1234);
+        assert_eq!(opts.halt_after, Some(3));
+        assert!(opts.quiet);
+        assert!(resume);
+        let (opts, resume) = runner_opts(&parse(&[])).unwrap();
+        assert_eq!(opts.halt_after, None);
+        assert!(!resume);
+        assert!(!opts.quiet);
+    }
+
+    #[test]
+    fn chaos_campaign_covers_the_grid_with_stable_ids() {
+        let plan = ChaosPlan {
+            sizes: vec![8, 16],
+            seeds: 2,
+            base_seed: 100,
+            mixes: vec!["links".into(), "everything".into()],
+        };
+        let c = chaos_campaign(&plan).unwrap();
+        assert_eq!(c.specs.len(), 2 * 2 * 2);
+        assert_eq!(c.specs[0].id, "chaos/links/n8/s100");
+        assert!(c.specs.iter().any(|s| s.id == "chaos/everything/n16/s101"));
+        // Mix order follows the MIXES catalogue, not the filter order.
+        let plan_rev = ChaosPlan {
+            mixes: vec!["everything".into(), "links".into()],
+            ..plan
+        };
+        let c2 = chaos_campaign(&plan_rev).unwrap();
+        assert_eq!(
+            c.specs.iter().map(|s| &s.id).collect::<Vec<_>>(),
+            c2.specs.iter().map(|s| &s.id).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn chaos_plan_rejects_unknown_mixes() {
+        let args = parse(&["--mixes", "links,bogus"]);
+        assert!(ChaosPlan::from_args(&args).unwrap_err().contains("bogus"));
+    }
+
+    #[test]
+    fn injected_specs_misbehave_only_for_their_kinds() {
+        let mut c = Campaign::new("t");
+        push_injected(&mut c, true, true);
+        assert_eq!(c.specs.len(), 2);
+        let inner: Executor = Arc::new(|_| Ok(Json::from(1u64)));
+        let wrapped = with_injections(inner);
+        let normal = RunSpec::new("t/x", "anything", Json::object());
+        assert!(wrapped(&normal).is_ok());
+        let p = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| wrapped(&c.specs[0])));
+        assert!(p.is_err(), "injected-panic spec must panic");
+    }
+
+    #[test]
+    fn zoo_campaign_matches_the_plan_grid() {
+        let cfg = ZooConfig {
+            sizes: vec![16],
+            hosts_per_switch: 2,
+            adaptive_fraction: 1.0,
+            fidelity: crate::Fidelity::Quick,
+            seed: 3,
+        };
+        let c = zoo_campaign(&cfg).unwrap();
+        let ids: Vec<&str> = c.specs.iter().map(|s| s.id.as_str()).collect();
+        assert_eq!(
+            ids,
+            [
+                "zoo/torus4x4/updown",
+                "zoo/torus4x4/outflank",
+                "zoo/fullmesh16/updown",
+                "zoo/fullmesh16/fullmesh"
+            ]
+        );
+    }
+
+    #[test]
+    fn recovery_campaign_is_one_spec_per_size() {
+        let c = recovery_campaign(&[8, 16, 32], 8, 1_000).unwrap();
+        let ids: Vec<&str> = c.specs.iter().map(|s| s.id.as_str()).collect();
+        assert_eq!(ids, ["recovery/n8", "recovery/n16", "recovery/n32"]);
+        assert_eq!(
+            c.specs[1].params.get("size").and_then(Json::as_u64),
+            Some(16)
+        );
+    }
+}

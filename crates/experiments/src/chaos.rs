@@ -313,7 +313,9 @@ fn run_backend(
             r.escape_cert_failures
         ));
     }
-    let dump = net.flight_dump().expect("recorder is armed");
+    let dump = net.flight_dump().ok_or_else(|| {
+        IbaError::RoutingFailed("chaos run lost its flight recorder (builder arms it)".into())
+    })?;
     let wedges = dump
         .triggers
         .iter()
@@ -325,6 +327,31 @@ fn run_backend(
     Ok((r, wedges, v))
 }
 
+/// The compiled fabric a chaos cell runs on: the seeded topology plus
+/// the FA routing (with or without the APM alternate-path layer).
+/// Campaign runs sharing a `(size, seed, apm)` triple share one of
+/// these through the [`iba_campaign::ArtifactCache`].
+#[derive(Debug)]
+pub struct ChaosArtifact {
+    /// The seeded irregular fabric.
+    pub topo: Topology,
+    /// FA routing compiled over it.
+    pub routing: FaRouting,
+}
+
+/// Build the shared artifact for a `(size, seed)` fabric; `apm` selects
+/// the alternate-path-migration routing build the `apm-migrate` mix
+/// needs.
+pub fn build_artifact(size: usize, seed: u64, apm: bool) -> Result<ChaosArtifact, IbaError> {
+    let topo = IrregularConfig::paper(size, seed).generate()?;
+    let routing = if apm {
+        FaRouting::build_with_apm(&topo, RoutingConfig::two_options())?
+    } else {
+        FaRouting::build(&topo, RoutingConfig::two_options())?
+    };
+    Ok(ChaosArtifact { topo, routing })
+}
+
 /// Run one (size, mix, seed) cell on both backends plus the SM
 /// side-check.
 pub fn run_one(
@@ -333,32 +360,33 @@ pub fn run_one(
     mix_index: u64,
     seed: u64,
 ) -> Result<ChaosRun, IbaError> {
-    let topo = IrregularConfig::paper(size, seed).generate()?;
-    let routing = if mix.policy == RecoveryPolicy::ApmMigrate {
-        FaRouting::build_with_apm(&topo, RoutingConfig::two_options())?
-    } else {
-        FaRouting::build(&topo, RoutingConfig::two_options())?
-    };
+    let artifact = build_artifact(size, seed, mix.policy == RecoveryPolicy::ApmMigrate)?;
+    run_one_with(&artifact, mix, mix_index, seed)
+}
+
+/// [`run_one`] on a pre-built (possibly cached) fabric artifact.
+pub fn run_one_with(
+    artifact: &ChaosArtifact,
+    mix: &ChaosMix,
+    mix_index: u64,
+    seed: u64,
+) -> Result<ChaosRun, IbaError> {
+    let ChaosArtifact { topo, routing } = artifact;
+    let size = topo.num_switches();
     let mut rng = StreamRng::from_seed(seed).derive_indexed(StreamKind::Custom(0xCA05), mix_index);
     let warmup_ns = SimConfig::test(seed).warmup.as_ns();
-    let schedule = sample_schedule(&topo, &mut rng, mix, warmup_ns)?;
+    let schedule = sample_schedule(topo, &mut rng, mix, warmup_ns)?;
 
     let (heap, wedges_h, mut violations) = run_backend(
-        &topo,
-        &routing,
+        topo,
+        routing,
         &schedule,
         mix,
         seed,
         QueueBackend::BinaryHeap,
     )?;
-    let (cal, wedges_c, v_cal) = run_backend(
-        &topo,
-        &routing,
-        &schedule,
-        mix,
-        seed,
-        QueueBackend::Calendar,
-    )?;
+    let (cal, wedges_c, v_cal) =
+        run_backend(topo, routing, &schedule, mix, seed, QueueBackend::Calendar)?;
     for v in v_cal {
         violations.push(format!("[calendar] {v}"));
     }
@@ -369,7 +397,7 @@ pub fn run_one(
 
     // Control-plane side-check: the SMP-level sweep must converge on
     // this topology under the mix's SMP loss rate with bounded retries.
-    let mut fabric = ManagedFabric::new(&topo, 2)?;
+    let mut fabric = ManagedFabric::new(topo, 2)?;
     if mix.smp_loss > 0.0 {
         fabric.set_smp_faults(mix.smp_loss, seed)?;
     }
@@ -431,59 +459,89 @@ pub fn total_violations(runs: &[ChaosRun]) -> usize {
     runs.iter().map(|r| r.violations.len()).sum()
 }
 
+/// One campaign cell as a JSON object — the `cells[]` element of the
+/// results document, and the per-run result a campaign journal record
+/// stores. It carries everything the campaign-level summary needs
+/// (violations, wedge count, backend identity, SM convergence) so a
+/// resumed sweep rebuilds the identical document from journal records
+/// alone.
+pub fn cell_json(r: &ChaosRun) -> Json {
+    Json::obj([
+        ("mix", Json::from(r.mix)),
+        ("switches", Json::from(r.size)),
+        ("seed", Json::from(r.seed)),
+        ("faults_injected", Json::from(r.result.faults_injected)),
+        ("generated", Json::from(r.result.generated)),
+        ("delivered", Json::from(r.result.delivered)),
+        ("drops_link_down", Json::from(r.result.drops_link_down)),
+        ("drops_switch_down", Json::from(r.result.drops_switch_down)),
+        ("drops_corrupted", Json::from(r.result.drops_corrupted)),
+        ("resweeps", Json::from(r.result.resweeps)),
+        ("resweeps_failed", Json::from(r.result.resweeps_failed)),
+        (
+            "escape_certifications",
+            Json::from(r.result.escape_certifications),
+        ),
+        ("sm_retransmits", Json::from(r.sm_retransmits)),
+        ("sm_converged", Json::from(r.sm_converged)),
+        ("backends_identical", Json::from(r.backends_identical)),
+        ("wedges", Json::from(r.wedges)),
+        (
+            "violations",
+            Json::arr(r.violations.iter().map(|v| Json::from(v.as_str()))),
+        ),
+    ])
+}
+
+/// Assemble the results document from already-rendered cells (the shape
+/// the campaign runner holds after a resume). `mixes` is the mix-name
+/// vocabulary the sweep covered.
+pub fn document_from_cells(
+    sizes: &[usize],
+    mixes: &[&str],
+    seeds: u64,
+    base_seed: u64,
+    cells: &[Json],
+) -> String {
+    let count = |f: &dyn Fn(&Json) -> u64| cells.iter().map(f).sum::<u64>();
+    let violations = count(&|c| {
+        c.get("violations")
+            .and_then(Json::as_arr)
+            .map(|v| v.len() as u64)
+            .unwrap_or(0)
+    });
+    let wedges = count(&|c| c.get("wedges").and_then(Json::as_u64).unwrap_or(0));
+    let all_true = |key: &str| {
+        cells
+            .iter()
+            .all(|c| c.get(key).and_then(Json::as_bool) == Some(true))
+    };
+    Json::obj([
+        ("experiment", Json::from("chaos")),
+        ("sizes", Json::arr(sizes.iter().map(|&s| Json::from(s)))),
+        ("mixes", Json::arr(mixes.iter().map(|&m| Json::from(m)))),
+        ("seeds", Json::from(seeds)),
+        ("base_seed", Json::from(base_seed)),
+        ("runs", Json::from(cells.len())),
+        ("violations", Json::from(violations)),
+        ("suspected_wedges", Json::from(wedges)),
+        (
+            "backends_identical",
+            Json::from(all_true("backends_identical")),
+        ),
+        ("sm_converged", Json::from(all_true("sm_converged"))),
+        ("cells", Json::arr(cells.iter().cloned())),
+    ])
+    .to_string_pretty()
+}
+
 /// Render the campaign as a JSON document (via [`iba_core::Json`] — the
 /// vendored serde stub has no serializer). Layout documented in
 /// EXPERIMENTS.md.
 pub fn to_json(sizes: &[usize], seeds: u64, base_seed: u64, runs: &[ChaosRun]) -> String {
-    let wedges: usize = runs.iter().map(|r| r.wedges).sum();
-    Json::obj([
-        ("experiment", Json::from("chaos")),
-        ("sizes", Json::arr(sizes.iter().map(|&s| Json::from(s)))),
-        ("mixes", Json::arr(MIXES.iter().map(|m| Json::from(m.name)))),
-        ("seeds", Json::from(seeds)),
-        ("base_seed", Json::from(base_seed)),
-        ("runs", Json::from(runs.len())),
-        ("violations", Json::from(total_violations(runs))),
-        ("suspected_wedges", Json::from(wedges)),
-        (
-            "backends_identical",
-            Json::from(runs.iter().all(|r| r.backends_identical)),
-        ),
-        (
-            "sm_converged",
-            Json::from(runs.iter().all(|r| r.sm_converged)),
-        ),
-        (
-            "cells",
-            Json::arr(runs.iter().map(|r| {
-                Json::obj([
-                    ("mix", Json::from(r.mix)),
-                    ("switches", Json::from(r.size)),
-                    ("seed", Json::from(r.seed)),
-                    ("faults_injected", Json::from(r.result.faults_injected)),
-                    ("generated", Json::from(r.result.generated)),
-                    ("delivered", Json::from(r.result.delivered)),
-                    ("drops_link_down", Json::from(r.result.drops_link_down)),
-                    ("drops_switch_down", Json::from(r.result.drops_switch_down)),
-                    ("drops_corrupted", Json::from(r.result.drops_corrupted)),
-                    ("resweeps", Json::from(r.result.resweeps)),
-                    ("resweeps_failed", Json::from(r.result.resweeps_failed)),
-                    (
-                        "escape_certifications",
-                        Json::from(r.result.escape_certifications),
-                    ),
-                    ("sm_retransmits", Json::from(r.sm_retransmits)),
-                    ("sm_converged", Json::from(r.sm_converged)),
-                    ("backends_identical", Json::from(r.backends_identical)),
-                    (
-                        "violations",
-                        Json::arr(r.violations.iter().map(|v| Json::from(v.as_str()))),
-                    ),
-                ])
-            })),
-        ),
-    ])
-    .to_string_pretty()
+    let cells: Vec<Json> = runs.iter().map(cell_json).collect();
+    let mixes: Vec<&str> = MIXES.iter().map(|m| m.name).collect();
+    document_from_cells(sizes, &mixes, seeds, base_seed, &cells)
 }
 
 #[cfg(test)]

@@ -18,9 +18,12 @@ impl Args {
         let mut raw = raw.peekable();
         while let Some(a) = raw.next() {
             if let Some(key) = a.strip_prefix("--") {
-                let value = raw
-                    .next()
-                    .ok_or_else(|| format!("missing value for --{key}"))?;
+                // A flag followed by another flag (or nothing) is a
+                // boolean switch, e.g. `--resume`.
+                let value = match raw.peek() {
+                    Some(next) if !next.starts_with("--") => raw.next().unwrap_or_default(),
+                    _ => "true".to_string(),
+                };
                 args.flags.insert(key.to_string(), value);
             } else {
                 args.positional.push(a);
@@ -47,6 +50,11 @@ impl Args {
                 .parse()
                 .map_err(|_| format!("invalid value {v:?} for --{key}")),
         }
+    }
+
+    /// Boolean switch: present with no value (or `true`/`1`) means on.
+    pub fn get_bool(&self, key: &str) -> bool {
+        matches!(self.get(key), Some("true") | Some("1"))
     }
 
     /// Comma-separated list flag, or `default`.
@@ -89,8 +97,24 @@ mod tests {
     }
 
     #[test]
+    fn boolean_switches() {
+        let a = parse(&["--resume", "--seed", "7", "--quiet"]);
+        assert!(a.get_bool("resume"));
+        assert!(a.get_bool("quiet"));
+        assert!(!a.get_bool("absent"));
+        assert_eq!(a.get_or("seed", 0u64).unwrap(), 7);
+        let a = parse(&["--resume", "true"]);
+        assert!(a.get_bool("resume"));
+        let a = parse(&["--resume", "false"]);
+        assert!(!a.get_bool("resume"));
+    }
+
+    #[test]
     fn errors() {
-        assert!(Args::parse(["--seed".to_string()].into_iter()).is_err());
+        // A value-less trailing flag parses as a boolean switch; using
+        // it as a number then fails loudly.
+        let a = parse(&["--seed"]);
+        assert!(a.get_or("seed", 0u64).is_err());
         let a = parse(&["--seed", "x"]);
         assert!(a.get_or("seed", 0u64).is_err());
         assert!(a.get_list_or("seed", &[1u64]).is_err());

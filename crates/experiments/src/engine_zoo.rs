@@ -122,11 +122,29 @@ fn run_engine<E: EscapeEngine>(
     })
 }
 
-/// Run the zoo: per size, the torus pair and (port budget permitting)
-/// the full-mesh pair. Skipped combinations are reported on stderr —
-/// never silently dropped.
-pub fn run(cfg: &ZooConfig) -> Result<Vec<ZooPoint>, IbaError> {
-    let mut points = Vec::new();
+/// [`run_engine`] dispatched on the engine's stable name (the
+/// vocabulary a campaign spec stores).
+pub fn run_engine_named(
+    topo: &Topology,
+    name: String,
+    engine: &str,
+    cfg: &ZooConfig,
+) -> Result<ZooPoint, IbaError> {
+    match engine {
+        "updown" => run_engine::<iba_routing::UpDownRouting>(topo, name, cfg),
+        "outflank" => run_engine::<OutflankRouting>(topo, name, cfg),
+        "fullmesh" => run_engine::<FullMeshRouting>(topo, name, cfg),
+        other => Err(IbaError::RoutingFailed(format!(
+            "unknown escape engine {other:?}"
+        ))),
+    }
+}
+
+/// The `(topology spec, engine)` grid of the zoo for `cfg`, with the
+/// same skip rules (and stderr notes) as [`run`]: tori need a
+/// `rows × cols ≥ 3` split, full meshes must fit the port budget.
+pub fn plan(cfg: &ZooConfig) -> Vec<(TopologySpec, &'static str)> {
+    let mut grid = Vec::new();
     for &size in &cfg.sizes {
         match torus_dims(size) {
             Some((rows, cols)) => {
@@ -135,13 +153,8 @@ pub fn run(cfg: &ZooConfig) -> Result<Vec<ZooPoint>, IbaError> {
                     cols,
                     hosts_per_switch: cfg.hosts_per_switch,
                 };
-                let topo = spec.generate(cfg.seed)?;
-                points.push(run_engine::<iba_routing::UpDownRouting>(
-                    &topo,
-                    spec.name(),
-                    cfg,
-                )?);
-                points.push(run_engine::<OutflankRouting>(&topo, spec.name(), cfg)?);
+                grid.push((spec, "updown"));
+                grid.push((spec, "outflank"));
             }
             None => {
                 eprintln!("engine_zoo: {size} switches has no rows×cols ≥ 3 split; torus skipped")
@@ -152,19 +165,28 @@ pub fn run(cfg: &ZooConfig) -> Result<Vec<ZooPoint>, IbaError> {
                 switches: size,
                 hosts_per_switch: cfg.hosts_per_switch,
             };
-            let topo = spec.generate(cfg.seed)?;
-            points.push(run_engine::<iba_routing::UpDownRouting>(
-                &topo,
-                spec.name(),
-                cfg,
-            )?);
-            points.push(run_engine::<FullMeshRouting>(&topo, spec.name(), cfg)?);
+            grid.push((spec, "updown"));
+            grid.push((spec, "fullmesh"));
         } else {
             eprintln!(
                 "engine_zoo: K_{size} needs {} ports (> {MAX_PORTS}); full mesh skipped",
                 size - 1 + cfg.hosts_per_switch
             );
         }
+    }
+    grid
+}
+
+/// Run the zoo: per size, the torus pair and (port budget permitting)
+/// the full-mesh pair. Skipped combinations are reported on stderr —
+/// never silently dropped.
+pub fn run(cfg: &ZooConfig) -> Result<Vec<ZooPoint>, IbaError> {
+    let mut points = Vec::new();
+    for (spec, engine) in plan(cfg) {
+        // Regenerating from the same (spec, seed) wires the identical
+        // fabric, so both engines of a pair still measure the same wires.
+        let topo = spec.generate(cfg.seed)?;
+        points.push(run_engine_named(&topo, spec.name(), engine, cfg)?);
     }
     Ok(points)
 }
@@ -173,65 +195,93 @@ pub fn run(cfg: &ZooConfig) -> Result<Vec<ZooPoint>, IbaError> {
 /// and the full-mesh calibration pair must saturate identically (the
 /// two engines compile byte-identical tables there).
 pub fn verify(points: &[ZooPoint]) -> Result<(), String> {
+    let cells: Vec<Json> = points.iter().map(point_json).collect();
+    verify_cells(&cells)
+}
+
+/// [`verify`], phrased over rendered point cells — the shape the
+/// campaign runner recovers from its journal, where the original
+/// [`ZooPoint`]s no longer exist.
+pub fn verify_cells(points: &[Json]) -> Result<(), String> {
+    let field = |p: &Json, key: &str| -> String {
+        p.get(key)
+            .and_then(Json::as_str)
+            .unwrap_or("<missing>")
+            .to_string()
+    };
     for p in points {
-        if !p.escape_acyclic {
+        if p.get("escape_acyclic").and_then(Json::as_bool) != Some(true) {
             return Err(format!(
                 "{} on {}: escape layer failed the cycle certification",
-                p.engine, p.topology
+                field(p, "engine"),
+                field(p, "topology")
             ));
         }
     }
     for w in points.windows(2) {
         let (a, b) = (&w[0], &w[1]);
-        if a.topology == b.topology
-            && a.topology.starts_with("fullmesh")
-            && a.engine != b.engine
-            && a.saturation != b.saturation
+        let (ta, tb) = (field(a, "topology"), field(b, "topology"));
+        if ta == tb
+            && ta.starts_with("fullmesh")
+            && field(a, "engine") != field(b, "engine")
+            && a.get("saturation") != b.get("saturation")
         {
             return Err(format!(
                 "calibration broken: {} vs {} on {} saturate at {:?} vs {:?}",
-                a.engine, b.engine, a.topology, a.saturation, b.saturation
+                field(a, "engine"),
+                field(b, "engine"),
+                ta,
+                a.get("saturation"),
+                b.get("saturation")
             ));
         }
     }
     Ok(())
 }
 
-/// Render the sweep as the `results/engine_zoo.json` document.
-pub fn to_json(cfg: &ZooConfig, points: &[ZooPoint]) -> String {
+/// One zoo point as a JSON object — the `points[]` element of the
+/// results document, and the per-run result a campaign journal record
+/// stores.
+pub fn point_json(p: &ZooPoint) -> Json {
+    Json::obj([
+        ("topology", Json::from(p.topology.as_str())),
+        ("switches", Json::from(p.switches)),
+        ("engine", Json::from(p.engine)),
+        ("escape_acyclic", Json::from(p.escape_acyclic)),
+        (
+            "saturation",
+            p.saturation.map(Json::from).unwrap_or(Json::Null),
+        ),
+        (
+            "curve",
+            Json::arr(p.curve.points().iter().map(|c| {
+                Json::obj([
+                    ("offered", Json::from(c.offered)),
+                    ("accepted", Json::from(c.accepted)),
+                    ("avg_latency_ns", Json::from(c.avg_latency_ns)),
+                ])
+            })),
+        ),
+    ])
+}
+
+/// Assemble the results document from already-rendered point cells.
+pub fn document_from_cells(cfg: &ZooConfig, points: &[Json]) -> String {
     Json::obj([
         ("experiment", Json::from("engine_zoo")),
         ("sizes", Json::arr(cfg.sizes.iter().map(|&s| Json::from(s)))),
         ("hosts_per_switch", Json::from(cfg.hosts_per_switch)),
         ("adaptive_fraction", Json::from(cfg.adaptive_fraction)),
         ("seed", Json::from(cfg.seed)),
-        (
-            "points",
-            Json::arr(points.iter().map(|p| {
-                Json::obj([
-                    ("topology", Json::from(p.topology.as_str())),
-                    ("switches", Json::from(p.switches)),
-                    ("engine", Json::from(p.engine)),
-                    ("escape_acyclic", Json::from(p.escape_acyclic)),
-                    (
-                        "saturation",
-                        p.saturation.map(Json::from).unwrap_or(Json::Null),
-                    ),
-                    (
-                        "curve",
-                        Json::arr(p.curve.points().iter().map(|c| {
-                            Json::obj([
-                                ("offered", Json::from(c.offered)),
-                                ("accepted", Json::from(c.accepted)),
-                                ("avg_latency_ns", Json::from(c.avg_latency_ns)),
-                            ])
-                        })),
-                    ),
-                ])
-            })),
-        ),
+        ("points", Json::arr(points.iter().cloned())),
     ])
     .to_string_pretty()
+}
+
+/// Render the sweep as the `results/engine_zoo.json` document.
+pub fn to_json(cfg: &ZooConfig, points: &[ZooPoint]) -> String {
+    let cells: Vec<Json> = points.iter().map(point_json).collect();
+    document_from_cells(cfg, &cells)
 }
 
 #[cfg(test)]

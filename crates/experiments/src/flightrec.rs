@@ -73,7 +73,9 @@ pub fn run_recorded(spec: &FlightRunSpec) -> Result<(RunResult, FlightDump), Iba
     }
     let mut net = b.build()?;
     let result = net.run();
-    let dump = net.flight_dump().expect("builder armed the recorder");
+    let dump = net.flight_dump().ok_or_else(|| {
+        IbaError::RoutingFailed("recorded run lost its flight recorder (builder arms it)".into())
+    })?;
     Ok((result, dump))
 }
 

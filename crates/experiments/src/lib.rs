@@ -23,10 +23,18 @@
 //! Simulations of different topologies and injection rates are
 //! independent, so the harness fans them out with rayon; each individual
 //! simulation stays single-threaded and deterministic in its seed.
+//!
+//! The chaos, engine-zoo and recovery-scaling binaries additionally run
+//! under the crash-safe campaign runner ([`iba_campaign`], DESIGN.md
+//! §16): supervised workers, per-run panic isolation and timeouts,
+//! retry with backoff, an fsync'd journal, and `--resume` for
+//! byte-identical recovery of an interrupted sweep. The campaign
+//! definitions live in [`campaigns`].
 
 #![warn(missing_docs)]
 
 pub mod ablation;
+pub mod campaigns;
 pub mod chaos;
 pub mod cli;
 pub mod engine_zoo;

@@ -56,10 +56,12 @@ pub struct RecoveryPoint {
 }
 
 /// Physical switch carrying `guid`.
-fn physical_of(topo: &Topology, fabric: &ManagedFabric, guid: u64) -> SwitchId {
+fn physical_of(topo: &Topology, fabric: &ManagedFabric, guid: u64) -> Result<SwitchId, IbaError> {
     topo.switch_ids()
         .find(|&s| fabric.agent(s).guid == guid)
-        .expect("every discovered GUID exists physically")
+        .ok_or_else(|| {
+            IbaError::RoutingFailed(format!("discovered GUID {guid:#x} has no physical switch"))
+        })
 }
 
 /// Entry-wise LFT equality across two fabrics of the same topology.
@@ -116,6 +118,9 @@ pub fn run_size(
     if candidates.is_empty() {
         candidates = crate::faults::removable_links(&up.topology, 1)?;
     }
+    let fallback = candidates.first().copied().ok_or_else(|| {
+        IbaError::InvalidTopology(format!("{size}-switch fabric has no removable link"))
+    })?;
     let (a, b) = candidates
         .iter()
         .copied()
@@ -126,9 +131,9 @@ pub fn run_size(
                 .copied()
                 .find(|&(x, y)| x != root && y != root)
         })
-        .unwrap_or(candidates[0]);
-    let pa = physical_of(&physical, &fabric, up.discovered.switches[a.index()].guid);
-    let pb = physical_of(&physical, &fabric, up.discovered.switches[b.index()].guid);
+        .unwrap_or(fallback);
+    let pa = physical_of(&physical, &fabric, up.discovered.switches[a.index()].guid)?;
+    let pb = physical_of(&physical, &fabric, up.discovered.switches[b.index()].guid)?;
     fabric.fail_link(pa, pb)?;
     let before = fabric.smps_sent;
     let resweep = sm.resweep_after_link_failure(&mut fabric, &up, a, b, &mut programmer)?;
@@ -149,7 +154,11 @@ pub fn run_size(
         .topology
         .switch_neighbors(a)
         .find(|&(_, peer, _)| peer == b)
-        .expect("the failed link exists in the previous topology");
+        .ok_or_else(|| {
+            IbaError::RoutingFailed(format!(
+                "failed link {a:?}–{b:?} is absent from the previous topology"
+            ))
+        })?;
     degraded.degrade_link(a, pa_port, b, pb_port)?;
     degraded.recompute_routes()?;
     let degraded_topo = degraded.to_topology()?;
@@ -242,32 +251,84 @@ pub fn verify(points: &[RecoveryPoint]) -> Result<(), String> {
     Ok(())
 }
 
-/// Render the curve as a JSON document (layout in EXPERIMENTS.md).
-pub fn to_json(sizes: &[usize], seed: u64, per_smp_ns: u64, points: &[RecoveryPoint]) -> String {
+/// One curve point as a JSON object — the `curve[]` element of the
+/// results document, and (paired full/incremental) the per-run result a
+/// campaign journal record stores.
+pub fn point_json(p: &RecoveryPoint) -> Json {
+    Json::obj([
+        ("switches", Json::from(p.switches)),
+        ("policy", Json::from(p.policy)),
+        ("smps", Json::from(p.smps)),
+        ("blocks_total", Json::from(p.blocks_total)),
+        ("blocks_uploaded", Json::from(p.blocks_uploaded)),
+        ("entries_recomputed", Json::from(p.entries_recomputed)),
+        ("recovery_time_ns", Json::from(p.recovery_time_ns)),
+        ("delta_path", Json::from(p.delta_path)),
+        ("lfts_match", Json::from(p.lfts_match)),
+        ("escape_acyclic", Json::from(p.escape_acyclic)),
+    ])
+}
+
+impl RecoveryPoint {
+    /// Rebuild a point from its [`point_json`] rendering (the campaign
+    /// runner recovers these from its journal; [`verify`] then runs on
+    /// the reconstructed curve exactly as on a fresh one).
+    pub fn from_json(j: &Json) -> Result<RecoveryPoint, String> {
+        let u = |key: &str| {
+            j.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("recovery point missing numeric {key:?}"))
+        };
+        let b = |key: &str| {
+            j.get(key)
+                .and_then(Json::as_bool)
+                .ok_or_else(|| format!("recovery point missing boolean {key:?}"))
+        };
+        let policy = match j.get("policy").and_then(Json::as_str) {
+            Some("full") => "full",
+            Some("incremental") => "incremental",
+            other => return Err(format!("recovery point has bad policy {other:?}")),
+        };
+        Ok(RecoveryPoint {
+            switches: u("switches")? as usize,
+            policy,
+            smps: u("smps")?,
+            blocks_total: u("blocks_total")?,
+            blocks_uploaded: u("blocks_uploaded")?,
+            entries_recomputed: u("entries_recomputed")?,
+            recovery_time_ns: u("recovery_time_ns")?,
+            delta_path: b("delta_path")?,
+            lfts_match: b("lfts_match")?,
+            escape_acyclic: b("escape_acyclic")?,
+        })
+    }
+}
+
+/// [`verify`] over rendered point cells (journal-recovered shape).
+pub fn verify_cells(cells: &[Json]) -> Result<(), String> {
+    let points: Vec<RecoveryPoint> = cells
+        .iter()
+        .map(RecoveryPoint::from_json)
+        .collect::<Result<_, _>>()?;
+    verify(&points)
+}
+
+/// Assemble the results document from already-rendered curve cells.
+pub fn document_from_cells(sizes: &[usize], seed: u64, per_smp_ns: u64, cells: &[Json]) -> String {
     Json::obj([
         ("experiment", Json::from("recovery_scaling")),
         ("sizes", Json::arr(sizes.iter().map(|&s| Json::from(s)))),
         ("seed", Json::from(seed)),
         ("per_smp_ns", Json::from(per_smp_ns)),
-        (
-            "curve",
-            Json::arr(points.iter().map(|p| {
-                Json::obj([
-                    ("switches", Json::from(p.switches)),
-                    ("policy", Json::from(p.policy)),
-                    ("smps", Json::from(p.smps)),
-                    ("blocks_total", Json::from(p.blocks_total)),
-                    ("blocks_uploaded", Json::from(p.blocks_uploaded)),
-                    ("entries_recomputed", Json::from(p.entries_recomputed)),
-                    ("recovery_time_ns", Json::from(p.recovery_time_ns)),
-                    ("delta_path", Json::from(p.delta_path)),
-                    ("lfts_match", Json::from(p.lfts_match)),
-                    ("escape_acyclic", Json::from(p.escape_acyclic)),
-                ])
-            })),
-        ),
+        ("curve", Json::arr(cells.iter().cloned())),
     ])
     .to_string_pretty()
+}
+
+/// Render the curve as a JSON document (layout in EXPERIMENTS.md).
+pub fn to_json(sizes: &[usize], seed: u64, per_smp_ns: u64, points: &[RecoveryPoint]) -> String {
+    let cells: Vec<Json> = points.iter().map(point_json).collect();
+    document_from_cells(sizes, seed, per_smp_ns, &cells)
 }
 
 #[cfg(test)]

@@ -115,17 +115,18 @@ pub fn run(cfg: &Table1Config) -> Result<Vec<Table1Cell>, IbaError> {
                     1.0,
                     0.0,
                 )?;
-                cells.push(Table1Cell {
+                let cell = Table1Cell {
                     size,
                     packet_bytes,
                     pattern,
                     factor: MinMaxAvg::from_samples(factors),
-                });
+                };
                 eprintln!(
                     "table1: {size} sw, {packet_bytes} B, {}: {}",
                     pattern.name(),
-                    cells.last().unwrap().factor
+                    cell.factor
                 );
+                cells.push(cell);
             }
         }
     }

@@ -69,7 +69,11 @@ pub fn run_sweep(
             let mem = net
                 .telemetry_sink()
                 .and_then(|s| s.as_memory())
-                .expect("builder armed a MemorySink");
+                .ok_or_else(|| {
+                    IbaError::RoutingFailed(
+                        "telemetry run lost its MemorySink (builder arms it)".into(),
+                    )
+                })?;
             let mut adaptive = Timeseries::new();
             let mut escape = Timeseries::new();
             for s in mem.samples() {
@@ -78,7 +82,9 @@ pub fn run_sweep(
             }
             let report = mem
                 .report()
-                .expect("run() flushes the telemetry report")
+                .ok_or_else(|| {
+                    IbaError::RoutingFailed("run() did not flush the telemetry report".into())
+                })?
                 .clone();
             Ok(TelemetryPoint {
                 offered,

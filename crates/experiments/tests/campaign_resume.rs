@@ -1,0 +1,174 @@
+//! End-to-end crash/resume contract on a real experiment campaign: a
+//! chaos sweep interrupted after N runs and resumed must produce a
+//! final results document byte-identical to an uninterrupted sweep,
+//! re-executing zero completed cells.
+
+use iba_campaign::{run_campaign, Executor, RunStatus, RunnerOpts};
+use iba_core::Json;
+use iba_experiments::campaigns::{self, ChaosPlan};
+use iba_experiments::chaos;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+static CASE: AtomicU64 = AtomicU64::new(0);
+
+fn scratch(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!(
+        "iba-exp-resume-{}-{}-{name}",
+        std::process::id(),
+        CASE.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+fn counting(inner: Executor, counter: Arc<AtomicU64>) -> Executor {
+    Arc::new(move |spec| {
+        counter.fetch_add(1, Ordering::Relaxed);
+        inner(spec)
+    })
+}
+
+fn quick_opts() -> RunnerOpts {
+    RunnerOpts {
+        workers: 2,
+        quiet: true,
+        ..RunnerOpts::default()
+    }
+}
+
+fn document(plan: &ChaosPlan, records: &[iba_campaign::RunRecord]) -> String {
+    let cells: Vec<Json> = records
+        .iter()
+        .filter(|r| r.status == RunStatus::Ok && r.experiment == "chaos-cell")
+        .map(|r| r.result.clone())
+        .collect();
+    let mixes: Vec<&str> = plan.mixes.iter().map(String::as_str).collect();
+    chaos::document_from_cells(&plan.sizes, &mixes, plan.seeds, plan.base_seed, &cells)
+}
+
+#[test]
+fn interrupted_chaos_campaign_resumes_byte_identical() {
+    // Small but real: 1 size × 2 mixes × 2 seeds = 4 full chaos cells,
+    // each simulating both queue backends to drain.
+    let plan = ChaosPlan {
+        sizes: vec![8],
+        seeds: 2,
+        base_seed: 42,
+        mixes: vec!["links".into(), "switch-death".into()],
+    };
+    let campaign = campaigns::chaos_campaign(&plan).unwrap();
+    assert_eq!(campaign.specs.len(), 4);
+
+    // Uninterrupted reference sweep.
+    let (ref_exec, _) = campaigns::chaos_executor();
+    let ref_journal = scratch("ref.jsonl");
+    let reference = run_campaign(&campaign, ref_exec, &ref_journal, &quick_opts(), false).unwrap();
+    assert_eq!(reference.executed, 4);
+    let ref_doc = document(&plan, &reference.records);
+    assert!(ref_doc.contains("\"experiment\": \"chaos\""));
+
+    // Interrupted sweep: stop after 2 completed runs (the journal keeps
+    // them), then resume with a *fresh* executor and artifact cache —
+    // exactly what a new process after a crash has.
+    let executions = Arc::new(AtomicU64::new(0));
+    let journal = scratch("halted.jsonl");
+    let (exec1, _) = campaigns::chaos_executor();
+    let halted = run_campaign(
+        &campaign,
+        counting(exec1, executions.clone()),
+        &journal,
+        &RunnerOpts {
+            workers: 1,
+            halt_after: Some(2),
+            ..quick_opts()
+        },
+        false,
+    )
+    .unwrap();
+    assert!(halted.halted);
+    assert_eq!(halted.executed, 2);
+
+    let (exec2, cache) = campaigns::chaos_executor();
+    let resumed = run_campaign(
+        &campaign,
+        counting(exec2, executions.clone()),
+        &journal,
+        &quick_opts(),
+        true,
+    )
+    .unwrap();
+    assert_eq!(resumed.resumed, 2, "both journalled runs must be reused");
+    assert_eq!(resumed.executed, 2);
+    assert_eq!(
+        executions.load(Ordering::Relaxed),
+        4,
+        "every cell executes exactly once across the interruption"
+    );
+    // The resumed half builds only the fabrics it still needs.
+    let (_, misses) = cache.stats();
+    assert!(
+        misses <= 2,
+        "resume must not rebuild completed cells' fabrics"
+    );
+
+    // The headline guarantee: byte-identical final document and equal
+    // campaign digest.
+    assert_eq!(document(&plan, &resumed.records), ref_doc);
+    assert_eq!(resumed.digest(), reference.digest());
+
+    std::fs::remove_file(&journal).unwrap();
+    std::fs::remove_file(&ref_journal).unwrap();
+}
+
+#[test]
+fn injected_failures_poison_without_sinking_the_sweep() {
+    let plan = ChaosPlan {
+        sizes: vec![8],
+        seeds: 1,
+        base_seed: 7,
+        mixes: vec!["links".into()],
+    };
+    let mut campaign = campaigns::chaos_campaign(&plan).unwrap();
+    campaigns::push_injected(&mut campaign, true, true);
+    let (exec, _) = campaigns::chaos_executor();
+    let journal = scratch("poisoned.jsonl");
+    let outcome = run_campaign(
+        &campaign,
+        campaigns::with_injections(exec),
+        &journal,
+        &RunnerOpts {
+            workers: 2,
+            max_attempts: 2,
+            backoff_base_ms: 1,
+            backoff_cap_ms: 2,
+            timeout_ms: 300,
+            halt_after: None,
+            quiet: true,
+        },
+        false,
+    )
+    .unwrap();
+    assert_eq!(outcome.total, 3);
+    assert_eq!(
+        outcome.poisoned_ids(),
+        ["chaos/injected-panic", "chaos/injected-hang"]
+    );
+    let real = outcome.record_for("chaos/links/n8/s7").unwrap();
+    assert_eq!(real.status, RunStatus::Ok);
+    let panicked = outcome.record_for("chaos/injected-panic").unwrap();
+    assert!(
+        panicked
+            .error
+            .as_deref()
+            .unwrap()
+            .contains("injected panic"),
+        "{:?}",
+        panicked.error
+    );
+    let hung = outcome.record_for("chaos/injected-hang").unwrap();
+    assert!(
+        hung.error.as_deref().unwrap().contains("timed out"),
+        "{:?}",
+        hung.error
+    );
+    std::fs::remove_file(&journal).unwrap();
+}

@@ -48,6 +48,7 @@
 //! | [`sm`] | the subnet manager: directed-route discovery, MAD-based table programming, APM coexistence |
 //! | [`workloads`] | traffic patterns and injection processes |
 //! | [`stats`] | aggregation, curves, report formatting |
+//! | [`campaign`] | crash-safe campaign runner: supervised workers, fsync'd journal, resume |
 //!
 //! The experiment harness that regenerates every figure and table of the
 //! paper lives in the separate `iba-experiments` crate (binaries `fig3`,
@@ -55,6 +56,7 @@
 
 #![warn(missing_docs)]
 
+pub use iba_campaign as campaign;
 pub use iba_core as types;
 pub use iba_engine as engine;
 pub use iba_routing as routing;
@@ -66,6 +68,10 @@ pub use iba_workloads as workloads;
 
 /// The most commonly used items, for glob import.
 pub mod prelude {
+    pub use iba_campaign::{
+        run_campaign, write_atomic, ArtifactCache, Campaign, CampaignOutcome, Executor, FabricKey,
+        Journal, RunRecord, RunSpec, RunStatus, RunnerOpts,
+    };
     pub use iba_core::{
         Credits, HostId, IbaError, Lid, LidMap, Lmc, Packet, PacketId, PhysParams, PortIndex,
         RoutingMode, ServiceLevel, SimTime, SwitchId, VirtualLane,
