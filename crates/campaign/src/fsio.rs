@@ -13,13 +13,19 @@
 use std::fs::{self, File};
 use std::io::{self, Write};
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Per-process sequence number for temporary names, so concurrent
+/// writers of the same artifact within one process cannot collide.
+static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
 
 /// Write `contents` to `path` atomically (tmp file + rename), creating
 /// parent directories as needed.
 ///
 /// The temporary file lives in the same directory as `path` (renames
-/// are only atomic within a filesystem) and carries the pid so two
-/// processes writing the same artifact cannot collide on the tmp name.
+/// are only atomic within a filesystem) and carries the pid plus a
+/// per-process sequence number, so neither two processes nor two
+/// threads writing the same artifact can collide on the tmp name.
 pub fn write_atomic(path: impl AsRef<Path>, contents: impl AsRef<[u8]>) -> io::Result<()> {
     let path = path.as_ref();
     let dir = match path.parent() {
@@ -33,7 +39,11 @@ pub fn write_atomic(path: impl AsRef<Path>, contents: impl AsRef<[u8]>) -> io::R
         .file_name()
         .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "path has no file name"))?;
     let mut tmp_name = file_name.to_os_string();
-    tmp_name.push(format!(".tmp.{}", std::process::id()));
+    tmp_name.push(format!(
+        ".tmp.{}.{}",
+        std::process::id(),
+        TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
     let tmp = path.with_file_name(tmp_name);
 
     let result = (|| {
@@ -86,5 +96,38 @@ mod tests {
     #[test]
     fn rejects_directoryless_name() {
         assert!(write_atomic("..", "x").is_err());
+    }
+
+    #[test]
+    fn concurrent_writers_never_tear_or_collide() {
+        let dir = scratch("concurrent");
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.json");
+        let docs: Vec<String> = (0..4)
+            .map(|i| format!("{{\"writer\":{i}}}\n").repeat(64))
+            .collect();
+        std::thread::scope(|s| {
+            for doc in &docs {
+                let path = &path;
+                s.spawn(move || {
+                    for _ in 0..25 {
+                        write_atomic(path, doc).unwrap();
+                    }
+                });
+            }
+        });
+        let last = fs::read_to_string(&path).unwrap();
+        assert!(
+            docs.contains(&last),
+            "final file must be one writer's complete document"
+        );
+        // No tmp litter from any of the 100 writes.
+        let names: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name())
+            .collect();
+        assert_eq!(names.len(), 1, "{names:?}");
+        fs::remove_dir_all(&dir).unwrap();
     }
 }

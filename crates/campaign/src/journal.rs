@@ -225,6 +225,24 @@ pub struct Replay {
     /// Whether a torn (unterminated) final line was dropped — the
     /// signature of a crash mid-write.
     pub torn_tail: bool,
+    /// Byte length of the valid prefix: everything up to and including
+    /// the last newline-terminated line. When [`Replay::torn_tail`] is
+    /// set the file must be truncated to this length (see
+    /// [`truncate_torn_tail`]) before appending, or the next record
+    /// would be concatenated onto the torn fragment and corrupt the
+    /// journal's interior.
+    pub valid_len: u64,
+}
+
+/// Truncate a journal to the valid prefix reported by [`replay`],
+/// discarding a torn final line so the next append starts on a fresh
+/// line instead of being glued onto the crash's partial record (which
+/// would turn a tolerated torn tail into hard interior corruption on
+/// the following replay).
+pub fn truncate_torn_tail(path: impl AsRef<Path>, valid_len: u64) -> io::Result<()> {
+    let file = OpenOptions::new().write(true).open(path)?;
+    file.set_len(valid_len)?;
+    file.sync_data()
 }
 
 /// Replay a journal file.
@@ -234,6 +252,8 @@ pub struct Replay {
 /// journal is append-only, so only its very tail can legitimately be
 /// incomplete); a final line without a terminating newline is the torn
 /// write of a crash and is dropped, reported via [`Replay::torn_tail`].
+/// Callers that go on to append must first cut the torn fragment off
+/// the file with [`truncate_torn_tail`] at [`Replay::valid_len`].
 pub fn replay(path: impl AsRef<Path>) -> Result<Replay, String> {
     let path = path.as_ref();
     let bytes = match std::fs::read(path) {
@@ -242,12 +262,14 @@ pub fn replay(path: impl AsRef<Path>) -> Result<Replay, String> {
             return Ok(Replay {
                 records: Vec::new(),
                 torn_tail: false,
+                valid_len: 0,
             })
         }
         Err(e) => return Err(format!("{}: {e}", path.display())),
     };
     let mut records = Vec::new();
     let mut torn_tail = false;
+    let mut valid_len = 0u64;
     for (idx, chunk) in bytes.split_inclusive(|&b| b == b'\n').enumerate() {
         let line_no = idx + 1;
         let Some(line) = chunk.strip_suffix(b"\n") else {
@@ -257,6 +279,7 @@ pub fn replay(path: impl AsRef<Path>) -> Result<Replay, String> {
             torn_tail = true;
             break;
         };
+        valid_len += chunk.len() as u64;
         if line.is_empty() {
             continue;
         }
@@ -268,7 +291,11 @@ pub fn replay(path: impl AsRef<Path>) -> Result<Replay, String> {
             .map_err(|e| format!("{}: line {line_no}: corrupt journal: {e}", path.display()))?;
         records.push(rec);
     }
-    Ok(Replay { records, torn_tail })
+    Ok(Replay {
+        records,
+        torn_tail,
+        valid_len,
+    })
 }
 
 #[cfg(test)]
@@ -324,6 +351,8 @@ mod tests {
         let rp = replay(&path).unwrap();
         assert_eq!(rp.records, recs);
         assert!(!rp.torn_tail);
+        let intact_len = std::fs::metadata(&path).unwrap().len();
+        assert_eq!(rp.valid_len, intact_len);
 
         // Simulate a crash mid-write: append half a record.
         let mut f = OpenOptions::new().append(true).open(&path).unwrap();
@@ -332,6 +361,36 @@ mod tests {
         let rp = replay(&path).unwrap();
         assert_eq!(rp.records, recs, "torn tail must not hide complete records");
         assert!(rp.torn_tail);
+        assert_eq!(rp.valid_len, intact_len, "valid prefix excludes the torn tail");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn truncated_torn_tail_accepts_appends_and_replays_clean() {
+        let path = scratch("truncate-resume");
+        let _ = std::fs::remove_file(&path);
+        let first = RunRecord::ok(&spec("a"), 1, Json::obj([("v", Json::from(1u64))]));
+        let mut j = Journal::create(&path).unwrap();
+        j.append(&first).unwrap();
+        drop(j);
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(b"{\"v\":1,\"spec_id\":\"b\",\"st").unwrap();
+        drop(f);
+
+        // Resume protocol: replay, truncate the torn tail, append.
+        let rp = replay(&path).unwrap();
+        assert!(rp.torn_tail);
+        truncate_torn_tail(&path, rp.valid_len).unwrap();
+        let second = RunRecord::ok(&spec("b"), 2, Json::obj([("v", Json::from(2u64))]));
+        let mut j = Journal::append_to(&path).unwrap();
+        j.append(&second).unwrap();
+        drop(j);
+
+        // The appended record must be a fresh interior-clean line, not
+        // a continuation of the torn fragment.
+        let rp = replay(&path).unwrap();
+        assert_eq!(rp.records, vec![first, second]);
+        assert!(!rp.torn_tail);
         std::fs::remove_file(&path).unwrap();
     }
 

@@ -38,6 +38,6 @@ pub mod spec;
 pub use cache::{ArtifactCache, FabricKey};
 pub use digest::{digest_hex, fnv1a64};
 pub use fsio::write_atomic;
-pub use journal::{replay, Journal, Replay, RunRecord, RunStatus};
+pub use journal::{replay, truncate_torn_tail, Journal, Replay, RunRecord, RunStatus};
 pub use runner::{run_campaign, CampaignOutcome, Executor, RunnerOpts};
 pub use spec::{Campaign, RunSpec};

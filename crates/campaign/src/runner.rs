@@ -11,7 +11,7 @@
 //! crash (or SIGKILL) loses at most the in-flight runs, never the
 //! completed ones.
 
-use crate::journal::{replay, Journal, RunRecord, RunStatus};
+use crate::journal::{replay, truncate_torn_tail, Journal, RunRecord, RunStatus};
 use crate::spec::{Campaign, RunSpec};
 use iba_core::Json;
 use std::collections::{HashMap, VecDeque};
@@ -165,6 +165,10 @@ struct Progress {
     journal: Journal,
     done: usize,
     new_records: Vec<RunRecord>,
+    /// First journal-append failure, if any. Durability is gone at
+    /// that point, so the campaign must end in an error — never be
+    /// mistaken for a deliberate `halt_after` stop.
+    io_error: Option<String>,
 }
 
 /// Execute (or resume) a campaign.
@@ -192,9 +196,18 @@ pub fn run_campaign(
         let rp = replay(journal_path)?;
         if rp.torn_tail {
             eprintln!(
-                "campaign {}: journal had a torn final line (crash mid-write); dropped",
+                "campaign {}: journal had a torn final line (crash mid-write); truncated",
                 campaign.name
             );
+            // Cut the fragment off before appending: gluing the next
+            // record onto it would turn the tolerated torn tail into
+            // hard interior corruption on the following replay.
+            truncate_torn_tail(journal_path, rp.valid_len).map_err(|e| {
+                format!(
+                    "{}: truncating torn journal tail: {e}",
+                    journal_path.display()
+                )
+            })?;
         }
         for rec in rp.records {
             if !campaign.specs.iter().any(|s| s.id == rec.spec_id) {
@@ -241,6 +254,7 @@ pub fn run_campaign(
         journal,
         done: resumed,
         new_records: Vec::new(),
+        io_error: None,
     });
 
     let workers = opts.workers.max(1);
@@ -261,9 +275,13 @@ pub fn run_campaign(
                 let record = supervise(&executor, &spec, opts);
                 let mut p = progress.lock().expect("progress lock poisoned");
                 // A journal-append failure means durability is gone —
-                // stop dispatching; completed records stay on disk.
+                // stop dispatching; completed records stay on disk and
+                // the campaign ends in an error (not a clean halt).
                 if let Err(e) = p.journal.append(&record) {
                     eprintln!("campaign {name}: journal write failed: {e}; halting");
+                    if p.io_error.is_none() {
+                        p.io_error = Some(e.to_string());
+                    }
                     stop.store(true, Ordering::SeqCst);
                     break;
                 }
@@ -291,6 +309,14 @@ pub fn run_campaign(
 
     let halted = stop.load(Ordering::SeqCst);
     let progress = progress.into_inner().expect("progress lock poisoned");
+    if let Some(e) = progress.io_error {
+        return Err(format!(
+            "journal write failed: {e}; {} completed runs remain in {}; \
+             rerun with --resume once the journal is writable again",
+            progress.done,
+            journal_path.display()
+        ));
+    }
     for rec in progress.new_records {
         done.insert(rec.spec_id.clone(), rec);
     }

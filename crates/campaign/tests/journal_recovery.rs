@@ -77,11 +77,13 @@ proptest! {
                 break;
             }
         }
-        let tail_torn = cut > expected.iter().map(|r| r.to_line().len()).sum::<usize>();
+        let valid_len = expected.iter().map(|r| r.to_line().len()).sum::<usize>();
+        let tail_torn = cut > valid_len;
 
         let rp = replay(&path).unwrap();
         prop_assert_eq!(&rp.records, &expected);
         prop_assert_eq!(rp.torn_tail, tail_torn);
+        prop_assert_eq!(rp.valid_len as usize, valid_len);
         std::fs::remove_file(&path).unwrap();
     }
 }
@@ -108,16 +110,14 @@ fn truncation_sweep_is_exhaustive_for_a_small_journal() {
         std::fs::write(&path, &bytes[..cut]).unwrap();
         let rp = replay(&path).unwrap_or_else(|e| panic!("cut {cut}: {e}"));
         let complete = line_ends.iter().filter(|&&e| e <= cut).count();
+        let valid_len = line_ends
+            .get(complete.wrapping_sub(1))
+            .copied()
+            .unwrap_or(0);
         assert_eq!(rp.records.len(), complete, "cut at byte {cut}");
         assert_eq!(rp.records[..], records[..complete], "cut at byte {cut}");
-        assert_eq!(
-            rp.torn_tail,
-            cut > line_ends
-                .get(complete.wrapping_sub(1))
-                .copied()
-                .unwrap_or(0),
-            "cut at byte {cut}"
-        );
+        assert_eq!(rp.torn_tail, cut > valid_len, "cut at byte {cut}");
+        assert_eq!(rp.valid_len as usize, valid_len, "cut at byte {cut}");
     }
     std::fs::remove_file(&path).unwrap();
 }

@@ -4,7 +4,9 @@
 //! an interrupted campaign, resumed, yields byte-identical output to
 //! an uninterrupted one with zero re-executed runs.
 
-use iba_campaign::{run_campaign, Campaign, Executor, RunRecord, RunSpec, RunStatus, RunnerOpts};
+use iba_campaign::{
+    replay, run_campaign, Campaign, Executor, RunRecord, RunSpec, RunStatus, RunnerOpts,
+};
 use iba_core::Json;
 use std::collections::HashMap;
 use std::fs::OpenOptions;
@@ -251,8 +253,48 @@ fn interrupted_campaign_resumes_byte_identical_with_zero_reruns() {
     };
     assert_eq!(render(&resumed.records), render(&reference.records));
 
+    // The resume must have truncated the torn fragment before
+    // appending: every line of the post-resume journal is a complete
+    // record, so a *second* crash + resume replays clean instead of
+    // dying on interior corruption.
+    let rp = replay(&journal).unwrap();
+    assert!(!rp.torn_tail, "resume left the torn fragment in place");
+    assert_eq!(rp.records.len(), 6);
+    let again = run_campaign(
+        &campaign,
+        scripted(counts.clone()),
+        &journal,
+        &quick_opts(),
+        true,
+    )
+    .unwrap();
+    assert_eq!(again.resumed, 6);
+    assert_eq!(again.executed, 0);
+    assert_eq!(again.records, reference.records);
+
     std::fs::remove_file(&journal).unwrap();
     std::fs::remove_file(&ref_journal).unwrap();
+}
+
+#[cfg(target_os = "linux")]
+#[test]
+fn journal_write_failure_is_an_error_not_a_clean_halt() {
+    // /dev/full accepts opens but fails every write with ENOSPC — the
+    // canonical disk-full stand-in. The campaign must surface that as
+    // an error so a sweep whose journal stopped persisting can never
+    // exit like a deliberate --halt-after stop.
+    let mut campaign = Campaign::new("enospc");
+    campaign.push(ok_spec(0));
+    let counts = Arc::new(Mutex::new(HashMap::new()));
+    let err = run_campaign(
+        &campaign,
+        scripted(counts),
+        "/dev/full",
+        &quick_opts(),
+        false,
+    )
+    .unwrap_err();
+    assert!(err.contains("journal write failed"), "{err}");
 }
 
 #[test]

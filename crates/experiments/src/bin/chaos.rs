@@ -10,9 +10,11 @@
 //! or hanging cell ends as a recorded poisoned run instead of killing
 //! the sweep.
 //!
-//! Exits non-zero when any invariant is violated (poisoned runs alone
-//! do not change the exit code — they are supervision records, not
-//! invariant verdicts).
+//! Exits non-zero when any invariant is violated, or when a real
+//! (non-injected) chaos cell ends poisoned — a cell whose invariants
+//! were never checked cannot count toward a green gate. Only the
+//! synthetic `--inject-panic` / `--inject-hang` specs are pure
+//! supervision records and leave the exit code untouched.
 //!
 //! ```text
 //! cargo run --release -p iba-experiments --bin chaos -- \
@@ -82,12 +84,14 @@ fn real_main() -> Result<u64, String> {
     }
 
     let poisoned = outcome.poisoned_ids();
+    let mut real_poisoned = Vec::new();
     for id in &poisoned {
-        let err = outcome
-            .record_for(id)
-            .and_then(|r| r.error.clone())
-            .unwrap_or_default();
+        let rec = outcome.record_for(id);
+        let err = rec.and_then(|r| r.error.clone()).unwrap_or_default();
         eprintln!("chaos: POISONED {id}: {err}");
+        if rec.map(|r| r.experiment == "chaos-cell").unwrap_or(false) {
+            real_poisoned.push(id.to_string());
+        }
     }
     let cells: Vec<Json> = outcome
         .records
@@ -189,6 +193,14 @@ fn real_main() -> Result<u64, String> {
             "chaos: {} poisoned runs excluded from the document (see journal {journal})",
             poisoned.len()
         );
+    }
+    if !real_poisoned.is_empty() {
+        return Err(format!(
+            "{} chaos cells poisoned ({}); their invariants were never checked, \
+             so the gate cannot pass on an incomplete sweep",
+            real_poisoned.len(),
+            real_poisoned.join(", ")
+        ));
     }
     Ok(violations)
 }

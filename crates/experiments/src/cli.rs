@@ -3,6 +3,13 @@
 
 use std::collections::BTreeMap;
 
+/// The boolean switches shared by the experiment binaries. Every other
+/// `--flag` takes a value; inferring switch-ness from whether the next
+/// token starts with `--` would silently misparse values that
+/// legitimately begin with `--` and let a trailing value flag slip
+/// through as `true`.
+const BOOL_SWITCHES: &[&str] = &["resume", "quiet", "inject-panic", "inject-hang"];
+
 /// Parsed `--key value` flags plus positional arguments.
 #[derive(Debug, Default)]
 pub struct Args {
@@ -18,11 +25,16 @@ impl Args {
         let mut raw = raw.peekable();
         while let Some(a) = raw.next() {
             if let Some(key) = a.strip_prefix("--") {
-                // A flag followed by another flag (or nothing) is a
-                // boolean switch, e.g. `--resume`.
-                let value = match raw.peek() {
-                    Some(next) if !next.starts_with("--") => raw.next().unwrap_or_default(),
-                    _ => "true".to_string(),
+                let value = if BOOL_SWITCHES.contains(&key) {
+                    // Switches default to `true`; an explicit
+                    // `true`/`false` token is consumed as the value.
+                    match raw.peek().map(String::as_str) {
+                        Some("true") | Some("false") => raw.next().unwrap_or_default(),
+                        _ => "true".to_string(),
+                    }
+                } else {
+                    raw.next()
+                        .ok_or_else(|| format!("--{key} requires a value"))?
                 };
                 args.flags.insert(key.to_string(), value);
             } else {
@@ -110,11 +122,24 @@ mod tests {
     }
 
     #[test]
+    fn value_flags_take_the_next_token_verbatim() {
+        // A value flag consumes the following token even when it looks
+        // like a flag; only the declared switches are boolean.
+        let a = parse(&["--out", "--weird-name.json", "--resume"]);
+        assert_eq!(a.get("out"), Some("--weird-name.json"));
+        assert!(a.get_bool("resume"));
+        // A switch followed by a non-boolean token leaves it positional.
+        let a = parse(&["--quiet", "run"]);
+        assert!(a.get_bool("quiet"));
+        assert_eq!(a.positional, vec!["run"]);
+    }
+
+    #[test]
     fn errors() {
-        // A value-less trailing flag parses as a boolean switch; using
-        // it as a number then fails loudly.
-        let a = parse(&["--seed"]);
-        assert!(a.get_or("seed", 0u64).is_err());
+        // A value-less trailing value flag fails at parse time, not at
+        // first typed access.
+        let err = Args::parse(["--seed".to_string()].into_iter()).unwrap_err();
+        assert!(err.contains("--seed requires a value"), "{err}");
         let a = parse(&["--seed", "x"]);
         assert!(a.get_or("seed", 0u64).is_err());
         assert!(a.get_list_or("seed", &[1u64]).is_err());
